@@ -1,0 +1,121 @@
+package resistecc
+
+import (
+	"math/rand"
+
+	"resistecc/internal/eigen"
+	"resistecc/internal/hitting"
+	"resistecc/internal/solver"
+	"resistecc/internal/sparsify"
+	"resistecc/internal/ust"
+)
+
+// HittingTimes returns h[u] = H(u, target), the expected number of
+// random-walk steps from u to target, for every source u — one Laplacian
+// solve (Õ(m)) for the whole column. The commute identity
+// H(u,v) + H(v,u) = 2m·r(u,v) ties these to resistance distances.
+func (gr *Graph) HittingTimes(target int) ([]float64, error) {
+	return hitting.ToTarget(gr.g, target, solver.Options{})
+}
+
+// HittingTime returns H(u, v).
+func (gr *Graph) HittingTime(u, v int) (float64, error) {
+	return hitting.Between(gr.g, u, v, solver.Options{})
+}
+
+// AlgebraicConnectivity returns λ₂, the smallest non-zero Laplacian
+// eigenvalue, by inverse power iteration (near-linear per step). It bounds
+// every resistance quantity: r(u,v) ≤ 2/λ₂, so c(v) ≤ 2/λ₂ and R(G) ≤ 2/λ₂.
+func (gr *Graph) AlgebraicConnectivity(seed int64) (float64, error) {
+	return eigen.LambdaTwo(gr.g.ToCSR(), eigen.Options{Seed: seed})
+}
+
+// LaplacianSpectralRadius returns λ_max of the Laplacian by power iteration.
+func (gr *Graph) LaplacianSpectralRadius(seed int64) (float64, error) {
+	return eigen.LambdaMax(gr.g.ToCSR(), eigen.Options{Seed: seed})
+}
+
+// FiedlerVector returns the (approximate, unit-norm, mean-zero) eigenvector
+// of λ₂, useful for spectral layout and bisection diagnostics.
+func (gr *Graph) FiedlerVector(seed int64) ([]float64, error) {
+	return eigen.FiedlerVector(gr.g.ToCSR(), eigen.Options{Seed: seed})
+}
+
+// UniformSpanningTree samples a uniform spanning tree with Wilson's
+// loop-erased-random-walk algorithm, returning parent[v] (−1 at the root).
+func (gr *Graph) UniformSpanningTree(root int, seed int64) ([]int, error) {
+	parent, err := ust.Sample(gr.g, root, rand.New(rand.NewSource(seed)))
+	if err != nil {
+		return nil, err
+	}
+	out := make([]int, len(parent))
+	for i, p := range parent {
+		out[i] = int(p)
+	}
+	return out, nil
+}
+
+// SpanningEdgeCentrality estimates, for every edge in canonical order (see
+// Edges), the probability that the edge appears in a uniform spanning tree —
+// which equals its effective resistance r(e). `trees` Monte-Carlo samples
+// give a per-edge standard error ≤ 1/(2√trees).
+func (gr *Graph) SpanningEdgeCentrality(trees int, seed int64) ([]float64, error) {
+	return ust.SpanningEdgeCentrality(gr.g, trees, seed)
+}
+
+// CountSpanningTrees returns the exact spanning-tree count via Kirchhoff's
+// matrix-tree theorem. O(n³); for small graphs.
+func (gr *Graph) CountSpanningTrees() (float64, error) {
+	return ust.CountSpanningTrees(gr.g)
+}
+
+// SparsifyOptions configures spectral sparsification.
+type SparsifyOptions struct {
+	// Epsilon is the spectral approximation target ∈ (0,1).
+	Epsilon float64
+	// Samples overrides the sample budget (0 = ⌈9 n ln n/ε²⌉).
+	Samples int
+	// Seed fixes the sketch and the sampling.
+	Seed int64
+}
+
+// Sparsifier is a weighted spectral sparsifier H of a graph G: its weighted
+// Laplacian satisfies (1±ε)-multiplicative closeness to G's, preserving all
+// effective resistances and hence resistance eccentricities.
+type Sparsifier struct {
+	h *solver.WeightedCSR
+	// Samples is the number of draws taken; EdgeCount the distinct edges kept.
+	Samples   int
+	EdgeCount int
+}
+
+// Sparsify builds a Spielman–Srivastava effective-resistance sparsifier.
+func (gr *Graph) Sparsify(opt SparsifyOptions) (*Sparsifier, error) {
+	res, err := sparsify.Sparsify(gr.g, sparsify.Options{
+		Epsilon: opt.Epsilon, Samples: opt.Samples, Seed: opt.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Sparsifier{h: res.H, Samples: res.Samples, EdgeCount: res.SampledEdges}, nil
+}
+
+// Resistance solves for the effective resistance between u and v on the
+// sparsifier's weighted Laplacian.
+func (s *Sparsifier) Resistance(u, v int) (float64, error) {
+	wl, err := solver.NewWeightedLap(s.h, solver.Options{})
+	if err != nil {
+		return 0, err
+	}
+	return wl.Resistance(u, v)
+}
+
+// WeightedEdges returns the sparsifier's edges and weights.
+func (s *Sparsifier) WeightedEdges() ([][2]int, []float64) {
+	edges, ws := s.h.Edges()
+	out := make([][2]int, len(edges))
+	for i, e := range edges {
+		out[i] = [2]int{e.U, e.V}
+	}
+	return out, ws
+}

@@ -1,0 +1,226 @@
+package resistecc
+
+import (
+	"math"
+	"testing"
+)
+
+func TestAlgebraicConnectivityPublic(t *testing.T) {
+	g := CompleteGraph(8)
+	l2, err := g.AlgebraicConnectivity(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(l2-8) > 1e-4 {
+		t.Fatalf("λ₂(K8)=%g", l2)
+	}
+	lmax, err := g.LaplacianSpectralRadius(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(lmax-8) > 1e-4 {
+		t.Fatalf("λmax(K8)=%g", lmax)
+	}
+	// The 2/λ₂ bound holds against the exact eccentricities.
+	ba, err := BarabasiAlbert(100, 3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l2, err = ba.AlgebraicConnectivity(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx, err := ba.NewExactIndex()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range idx.Distribution() {
+		if c > 2/l2+1e-6 {
+			t.Fatalf("c=%g exceeds 2/λ₂=%g", c, 2/l2)
+		}
+	}
+	fv, err := ba.FiedlerVector(1)
+	if err != nil || len(fv) != 100 {
+		t.Fatal("fiedler vector")
+	}
+}
+
+func TestUSTPublic(t *testing.T) {
+	g := CycleGraph(12)
+	parent, err := g.UniformSpanningTree(0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if parent[0] != -1 {
+		t.Fatal("root parent")
+	}
+	edges := 0
+	for v := 1; v < 12; v++ {
+		if parent[v] < 0 || !g.HasEdge(v, parent[v]) {
+			t.Fatalf("bad parent of %d: %d", v, parent[v])
+		}
+		edges++
+	}
+	if edges != 11 {
+		t.Fatalf("tree edges %d", edges)
+	}
+	// Spanning-edge centrality of a cycle edge is (n−1)/n.
+	sec, err := g.SpanningEdgeCentrality(3000, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 11.0 / 12
+	for i, r := range sec {
+		if math.Abs(r-want) > 0.05 {
+			t.Fatalf("edge %d centrality %g, want %g", i, r, want)
+		}
+	}
+	count, err := g.CountSpanningTrees()
+	if err != nil || math.Abs(count-12) > 1e-9 {
+		t.Fatalf("τ(C12)=%g err %v", count, err)
+	}
+}
+
+func TestSparsifyPublic(t *testing.T) {
+	g := CompleteGraph(60)
+	sp, err := g.Sparsify(SparsifyOptions{Epsilon: 0.5, Samples: 3000, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sp.EdgeCount >= g.M() {
+		t.Fatalf("no reduction: %d of %d", sp.EdgeCount, g.M())
+	}
+	if sp.Samples != 3000 {
+		t.Fatal("samples")
+	}
+	edges, ws := sp.WeightedEdges()
+	if len(edges) != sp.EdgeCount || len(ws) != sp.EdgeCount {
+		t.Fatal("edge export")
+	}
+	// r(u,v) in K60 is 2/60; the sparsifier must be in the right ballpark.
+	r, err := sp.Resistance(0, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 2.0 / 60
+	if r < want/2 || r > want*2 {
+		t.Fatalf("sparsified r=%g, want ≈%g", r, want)
+	}
+	if _, err := g.Sparsify(SparsifyOptions{Epsilon: 2}); err == nil {
+		t.Fatal("bad epsilon")
+	}
+}
+
+func TestHittingPublic(t *testing.T) {
+	g := PathGraph(6)
+	h, err := g.HittingTimes(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(h[0]-25) > 1e-6 { // (n−1)² on a path
+		t.Fatalf("H(0,5)=%g, want 25", h[0])
+	}
+	if h[5] != 0 {
+		t.Fatal("target hitting time must be 0")
+	}
+	single, err := g.HittingTime(2, 5)
+	if err != nil || math.Abs(single-h[2]) > 1e-9 {
+		t.Fatalf("HittingTime %g vs column %g", single, h[2])
+	}
+	// Commute identity against the exact index.
+	idx, err := g.NewExactIndex()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rev, err := g.HittingTime(5, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 2 * float64(g.M()) * idx.Resistance(2, 5)
+	if math.Abs(single+rev-want) > 1e-6 {
+		t.Fatalf("commute identity: %g vs %g", single+rev, want)
+	}
+}
+
+func TestCentralityPublic(t *testing.T) {
+	g := StarGraph(7)
+	cl := g.Closeness()
+	if cl[0] != 1 {
+		t.Fatalf("hub closeness %g", cl[0])
+	}
+	ha := g.Harmonic()
+	if ha[0] != 6 {
+		t.Fatalf("hub harmonic %g", ha[0])
+	}
+	cf, err := g.CurrentFlowCloseness()
+	if err != nil {
+		t.Fatal(err)
+	}
+	top, err := TopCentral(cf, 1)
+	if err != nil || top[0] != 0 {
+		t.Fatalf("top central %v err %v", top, err)
+	}
+	// Sketch-based CF from both index kinds tracks the exact one.
+	ba, err := ScaleFreeMixed(200, 1, 5, 0.3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exactCF, err := ba.CurrentFlowCloseness()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ap, err := ba.NewApproxIndex(SketchOptions{Epsilon: 0.3, Dim: 192, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fi, err := ba.NewFastIndex(SketchOptions{Epsilon: 0.3, Dim: 192, Seed: 2, MaxHullVertices: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, approx := range [][]float64{ap.CurrentFlowCloseness(), fi.CurrentFlowCloseness()} {
+		for v := range exactCF {
+			if rel := math.Abs(approx[v]-exactCF[v]) / exactCF[v]; rel > 0.2 {
+				t.Fatalf("node %d: CF %g vs %g", v, approx[v], exactCF[v])
+			}
+		}
+	}
+	// Fast diameter is close to the distribution maximum.
+	diam, pair := fi.ResistanceDiameter()
+	sum := Summarize(fi.Distribution())
+	if diam < 0.7*sum.Diameter || diam > 1.3*sum.Diameter {
+		t.Fatalf("hull diameter %g vs %g (pair %v)", diam, sum.Diameter, pair)
+	}
+}
+
+func TestSpreadPublic(t *testing.T) {
+	g := StarGraph(12)
+	hub, err := g.SimulateSpread(0, SpreadOptions{Beta: 1, Runs: 4, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hub.MeanSaturation != 1 || hub.Coverage != 1 {
+		t.Fatalf("hub spread %+v", hub)
+	}
+	leaf, err := g.SimulateSpread(3, SpreadOptions{Beta: 1, Runs: 4, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if leaf.MeanSaturation != 2 {
+		t.Fatalf("leaf spread %+v", leaf)
+	}
+	sats, err := g.SpreadSaturationTimes([]int{0, 3}, SpreadOptions{Beta: 1, Runs: 4, Seed: 1})
+	if err != nil || len(sats) != 2 || sats[0] >= sats[1] {
+		t.Fatalf("saturation times %v err %v", sats, err)
+	}
+	if _, err := g.SimulateSpread(99, SpreadOptions{}); err == nil {
+		t.Fatal("bad seed")
+	}
+	rho, err := Spearman([]float64{1, 2, 3}, []float64{4, 5, 6})
+	if err != nil || math.Abs(rho-1) > 1e-12 {
+		t.Fatalf("spearman %g err %v", rho, err)
+	}
+	rp, err := Pearson([]float64{1, 2, 3}, []float64{6, 5, 4})
+	if err != nil || math.Abs(rp+1) > 1e-12 {
+		t.Fatalf("pearson %g err %v", rp, err)
+	}
+}

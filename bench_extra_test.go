@@ -1,0 +1,147 @@
+package resistecc
+
+import (
+	"math/rand"
+	"testing"
+
+	"resistecc/internal/centrality"
+	"resistecc/internal/diffusion"
+	"resistecc/internal/eigen"
+	"resistecc/internal/graph"
+	"resistecc/internal/hitting"
+	"resistecc/internal/linalg"
+	"resistecc/internal/solver"
+	"resistecc/internal/sparsify"
+	"resistecc/internal/spectral"
+	"resistecc/internal/ust"
+)
+
+// Benches for the extension subsystems (future-work items and substrate
+// tools beyond the paper's tables): spectral invariants, hitting times,
+// Wilson UST sampling, sparsification, centralities, eigensolvers.
+
+func BenchmarkSpectralKirchhoffExact(b *testing.B) {
+	g := benchProxy(b, "EmailUN", 0.5)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		lp, err := linalg.Pseudoinverse(g)
+		if err != nil {
+			b.Fatal(err)
+		}
+		_ = spectral.KirchhoffExact(lp)
+	}
+}
+
+func BenchmarkSpectralKirchhoffEstimate(b *testing.B) {
+	g := benchProxy(b, "EmailUN", 0.5)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := spectral.KirchhoffEstimate(g, spectral.EstimateOptions{Probes: 64, Seed: 1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSpectralKemenyEstimate(b *testing.B) {
+	g := benchProxy(b, "EmailUN", 0.5)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := spectral.KemenyEstimate(g, spectral.EstimateOptions{Probes: 64, Seed: 1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkHittingColumn(b *testing.B) {
+	g := benchProxy(b, "Politician", 0.1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := hitting.ToTarget(g, i%g.N(), solver.Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkUSTSample(b *testing.B) {
+	g := benchProxy(b, "Politician", 0.1)
+	rng := rand.New(rand.NewSource(1))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := ust.Sample(g, 0, rng); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkUSTEdgeResistances(b *testing.B) {
+	g := benchProxy(b, "EmailUN", 0.3)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := ust.EdgeResistances(g, 50, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSparsifyDense(b *testing.B) {
+	g := graph.BarabasiAlbert(300, 30, 2)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := sparsify.Sparsify(g, sparsify.Options{Epsilon: 0.5, Samples: 6000, Seed: 1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEigenLambdaTwo(b *testing.B) {
+	g := benchProxy(b, "Politician", 0.1)
+	csr := g.ToCSR()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := eigen.LambdaTwo(csr, eigen.Options{Seed: 1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCentralityCurrentFlowApprox(b *testing.B) {
+	g := benchProxy(b, "Politician", 0.1)
+	ap, err := wrapGraph(g).NewApproxIndex(SketchOptions{Epsilon: 0.3, Dim: 96, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = ap.CurrentFlowCloseness()
+	}
+}
+
+func BenchmarkCentralityClosenessBFS(b *testing.B) {
+	g := benchProxy(b, "Politician", 0.1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = centrality.Closeness(g)
+	}
+}
+
+func BenchmarkDiffusionSI(b *testing.B) {
+	g := benchProxy(b, "EmailUN", 0.3)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := diffusion.SimulateSI(g, 0, diffusion.SIOptions{Beta: 0.3, Runs: 8, Seed: 1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFastDistributionParallel(b *testing.B) {
+	g := benchProxy(b, "Politician", 0.1)
+	fi, err := wrapGraph(g).NewFastIndex(SketchOptions{Epsilon: 0.3, Dim: 96, Seed: 1, MaxHullVertices: 48})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = fi.DistributionParallel(0)
+	}
+}

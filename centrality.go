@@ -1,0 +1,46 @@
+package resistecc
+
+import (
+	"resistecc/internal/centrality"
+	"resistecc/internal/linalg"
+)
+
+// Closeness returns classical closeness centrality (n−1)/Σ_u d_hop(v,u) for
+// every node, via n BFS traversals.
+func (gr *Graph) Closeness() []float64 { return centrality.Closeness(gr.g) }
+
+// Harmonic returns harmonic centrality Σ_{u≠v} 1/d_hop(v,u).
+func (gr *Graph) Harmonic() []float64 { return centrality.Harmonic(gr.g) }
+
+// CurrentFlowCloseness returns information centrality
+// (n−1)/Σ_u r(v,u) for every node, exactly (O(n³) preprocessing).
+func (gr *Graph) CurrentFlowCloseness() ([]float64, error) {
+	lp, err := linalg.Pseudoinverse(gr.g)
+	if err != nil {
+		return nil, err
+	}
+	return centrality.CurrentFlowCloseness(lp), nil
+}
+
+// CurrentFlowCloseness estimates information centrality for all nodes from
+// the index's resistance sketch in O(n·d) total.
+func (ix *ApproxIndex) CurrentFlowCloseness() []float64 {
+	return centrality.ApproxCurrentFlowCloseness(ix.ap.Sk)
+}
+
+// CurrentFlowCloseness estimates information centrality for all nodes from
+// the index's resistance sketch in O(n·d) total.
+func (ix *FastIndex) CurrentFlowCloseness() []float64 {
+	return centrality.ApproxCurrentFlowCloseness(ix.f.Sk)
+}
+
+// TopCentral returns the indices of the k highest-scoring nodes.
+func TopCentral(scores []float64, k int) ([]int, error) { return centrality.Top(scores, k) }
+
+// ResistanceDiameter approximates R(G) = max_{u,v} r(u,v) by scanning only
+// hull-boundary pairs (O(l²) sketched distances) and returns the value with
+// a witness pair.
+func (ix *FastIndex) ResistanceDiameter() (float64, [2]int) {
+	r, e := ix.f.Diameter()
+	return r, [2]int{e.U, e.V}
+}

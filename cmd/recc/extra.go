@@ -1,0 +1,156 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"resistecc"
+)
+
+// cmdCentrality handles `recc centrality`: rank nodes by one of the
+// centrality measures related to resistance eccentricity.
+func cmdCentrality(args []string) error {
+	fs := flag.NewFlagSet("centrality", flag.ContinueOnError)
+	in := fs.String("in", "", "input edge list")
+	measure := fs.String("measure", "currentflow", "closeness|harmonic|currentflow|pagerank-free approx: cf-approx")
+	top := fs.Int("top", 10, "print the top-k nodes")
+	eps := fs.Float64("eps", 0.3, "approximation parameter (cf-approx)")
+	dim := fs.Int("dim", 128, "sketch dimension (cf-approx)")
+	seed := fs.Int64("seed", 1, "sketch seed (cf-approx)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	g, err := loadLCC(*in)
+	if err != nil {
+		return err
+	}
+	var scores []float64
+	switch *measure {
+	case "closeness":
+		scores = g.Closeness()
+	case "harmonic":
+		scores = g.Harmonic()
+	case "currentflow":
+		scores, err = g.CurrentFlowCloseness()
+		if err != nil {
+			return err
+		}
+	case "cf-approx":
+		idx, err := g.NewApproxIndex(resistecc.SketchOptions{Epsilon: *eps, Dim: *dim, Seed: *seed})
+		if err != nil {
+			return err
+		}
+		scores = idx.CurrentFlowCloseness()
+	default:
+		return fmt.Errorf("unknown measure %q", *measure)
+	}
+	k := *top
+	if k > len(scores) {
+		k = len(scores)
+	}
+	ranked, err := resistecc.TopCentral(scores, k)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("top %d nodes by %s centrality:\n", k, *measure)
+	for i, v := range ranked {
+		fmt.Printf("  %2d. node %-8d %.6f\n", i+1, v, scores[v])
+	}
+	return nil
+}
+
+// cmdSpectral handles `recc spectral`: global invariants of the network.
+func cmdSpectral(args []string) error {
+	fs := flag.NewFlagSet("spectral", flag.ContinueOnError)
+	in := fs.String("in", "", "input edge list")
+	exact := fs.Bool("exact", false, "exact O(n^3) invariants instead of estimators")
+	probes := fs.Int("probes", 64, "Hutchinson probes for the estimators")
+	seed := fs.Int64("seed", 1, "seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	g, err := loadLCC(*in)
+	if err != nil {
+		return err
+	}
+	l2, err := g.AlgebraicConnectivity(*seed)
+	if err != nil {
+		return err
+	}
+	lmax, err := g.LaplacianSpectralRadius(*seed)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("algebraic connectivity λ₂   = %.6f  (R(G) ≤ 2/λ₂ = %.3f)\n", l2, 2/l2)
+	fmt.Printf("Laplacian spectral radius   = %.6f\n", lmax)
+	var kf, km float64
+	if *exact {
+		if kf, err = g.KirchhoffIndex(); err != nil {
+			return err
+		}
+		if km, err = g.KemenyConstant(); err != nil {
+			return err
+		}
+	} else {
+		opt := resistecc.SpectralEstimateOptions{Probes: *probes, Seed: *seed}
+		if kf, err = g.EstimateKirchhoffIndex(opt); err != nil {
+			return err
+		}
+		if km, err = g.EstimateKemenyConstant(opt); err != nil {
+			return err
+		}
+	}
+	mode := "estimated"
+	if *exact {
+		mode = "exact"
+	}
+	fmt.Printf("Kirchhoff index (%s)   = %.3f\n", mode, kf)
+	fmt.Printf("Kemeny constant (%s)   = %.3f\n", mode, km)
+	return nil
+}
+
+// cmdHitting handles `recc hitting`: expected random-walk hitting times.
+func cmdHitting(args []string) error {
+	fs := flag.NewFlagSet("hitting", flag.ContinueOnError)
+	in := fs.String("in", "", "input edge list")
+	target := fs.Int("target", 0, "target node")
+	sources := fs.String("sources", "", "comma-separated sources (default: 5 farthest)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	g, err := loadLCC(*in)
+	if err != nil {
+		return err
+	}
+	if *target < 0 || *target >= g.N() {
+		return fmt.Errorf("target %d out of range (n=%d)", *target, g.N())
+	}
+	h, err := g.HittingTimes(*target)
+	if err != nil {
+		return err
+	}
+	var srcs []int
+	if *sources != "" {
+		srcs, err = parseNodes(*sources, g.N())
+		if err != nil {
+			return err
+		}
+	} else {
+		srcs, err = resistecc.TopCentral(h, min(5, g.N()))
+		if err != nil {
+			return err
+		}
+	}
+	fmt.Printf("expected hitting times to node %d:\n", *target)
+	for _, u := range srcs {
+		fmt.Printf("  H(%d, %d) = %.3f\n", u, *target, h[u])
+	}
+	return nil
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,181 @@
+// Command reccd serves resistance-eccentricity queries over HTTP: it loads
+// an edge-list network, builds a FASTQUERY index once, and answers
+// JSON queries — the deployment shape of the paper's "fast query of a node
+// subset Q" use case (a service fronting a large static network).
+//
+//	reccd -in graph.txt -listen :8080 -eps 0.2 -dim 128
+//
+// Endpoints:
+//
+//	GET /healthz                  → {"status":"ok", ...index metadata}
+//	GET /eccentricity?node=17     → {"node":17,"eccentricity":…,"farthest":…}
+//	GET /eccentricity?node=1,2,3  → [{…},{…},{…}]
+//	GET /resistance?u=3&v=9       → {"u":3,"v":9,"resistance":…}
+//	GET /summary                  → {"radius":…,"diameter":…,"center":[…]}
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"resistecc"
+)
+
+func main() {
+	in := flag.String("in", "", "input edge-list file (required)")
+	listen := flag.String("listen", ":8080", "listen address")
+	eps := flag.Float64("eps", 0.2, "approximation parameter")
+	dim := flag.Int("dim", 128, "sketch dimension override")
+	hullCap := flag.Int("hullcap", 64, "max hull vertices")
+	seed := flag.Int64("seed", 1, "sketch seed")
+	flag.Parse()
+	if *in == "" {
+		log.Fatal("reccd: -in is required")
+	}
+	g, _, err := resistecc.LoadEdgeList(*in)
+	if err != nil {
+		log.Fatalf("reccd: loading %s: %v", *in, err)
+	}
+	lcc, _ := g.LargestComponent()
+	log.Printf("reccd: loaded %s: LCC %d nodes, %d edges", *in, lcc.N(), lcc.M())
+	srv, err := newServer(lcc, resistecc.SketchOptions{
+		Epsilon: *eps, Dim: *dim, Seed: *seed, MaxHullVertices: *hullCap,
+	})
+	if err != nil {
+		log.Fatalf("reccd: building index: %v", err)
+	}
+	log.Printf("reccd: index ready (d=%d, l=%d) in %s; listening on %s",
+		srv.idx.SketchDim(), srv.idx.BoundarySize(), srv.buildTime, *listen)
+	log.Fatal(http.ListenAndServe(*listen, srv.mux()))
+}
+
+// server holds the immutable graph and index; queries are read-only and safe
+// for concurrent use, with the lazily-computed summary guarded by a Once.
+type server struct {
+	g         *resistecc.Graph
+	idx       *resistecc.FastIndex
+	buildTime time.Duration
+
+	summaryOnce sync.Once
+	summary     resistecc.DistributionSummary
+}
+
+func newServer(g *resistecc.Graph, opt resistecc.SketchOptions) (*server, error) {
+	start := time.Now()
+	idx, err := g.NewFastIndex(opt)
+	if err != nil {
+		return nil, err
+	}
+	return &server{g: g, idx: idx, buildTime: time.Since(start)}, nil
+}
+
+func (s *server) mux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", s.handleHealth)
+	mux.HandleFunc("GET /eccentricity", s.handleEccentricity)
+	mux.HandleFunc("GET /resistance", s.handleResistance)
+	mux.HandleFunc("GET /summary", s.handleSummary)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		// Headers are already out; nothing more to do than log.
+		log.Printf("reccd: encoding response: %v", err)
+	}
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+func (s *server) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":        "ok",
+		"nodes":         s.g.N(),
+		"edges":         s.g.M(),
+		"sketchDim":     s.idx.SketchDim(),
+		"hullBoundary":  s.idx.BoundarySize(),
+		"indexBuildSec": s.buildTime.Seconds(),
+	})
+}
+
+type eccResponse struct {
+	Node         int     `json:"node"`
+	Eccentricity float64 `json:"eccentricity"`
+	Farthest     int     `json:"farthest"`
+}
+
+func (s *server) handleEccentricity(w http.ResponseWriter, r *http.Request) {
+	raw := r.URL.Query().Get("node")
+	if raw == "" {
+		writeError(w, http.StatusBadRequest, "missing ?node= (comma-separated ids)")
+		return
+	}
+	parts := strings.Split(raw, ",")
+	nodes := make([]int, 0, len(parts))
+	for _, p := range parts {
+		v, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "bad node id %q", p)
+			return
+		}
+		if v < 0 || v >= s.g.N() {
+			writeError(w, http.StatusBadRequest, "node %d out of range (n=%d)", v, s.g.N())
+			return
+		}
+		nodes = append(nodes, v)
+	}
+	vals := s.idx.Query(nodes)
+	out := make([]eccResponse, len(vals))
+	for i, v := range vals {
+		out[i] = eccResponse{Node: v.Node, Eccentricity: v.Value, Farthest: v.Farthest}
+	}
+	if len(out) == 1 {
+		writeJSON(w, http.StatusOK, out[0])
+		return
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *server) handleResistance(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	u, err1 := strconv.Atoi(q.Get("u"))
+	v, err2 := strconv.Atoi(q.Get("v"))
+	if err1 != nil || err2 != nil {
+		writeError(w, http.StatusBadRequest, "need integer ?u= and ?v=")
+		return
+	}
+	if u < 0 || v < 0 || u >= s.g.N() || v >= s.g.N() {
+		writeError(w, http.StatusBadRequest, "node out of range (n=%d)", s.g.N())
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"u": u, "v": v, "resistance": s.idx.Resistance(u, v),
+	})
+}
+
+func (s *server) handleSummary(w http.ResponseWriter, _ *http.Request) {
+	s.summaryOnce.Do(func() {
+		s.summary = resistecc.Summarize(s.idx.Distribution())
+	})
+	diam, pair := s.idx.ResistanceDiameter()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"radius":       s.summary.Radius,
+		"diameter":     s.summary.Diameter,
+		"diameterPair": pair,
+		"hullDiameter": diam,
+		"mean":         s.summary.Mean,
+		"skewness":     s.summary.Skewness,
+		"center":       s.summary.Center,
+	})
+}

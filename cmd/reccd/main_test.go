@@ -1,0 +1,117 @@
+package main
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"resistecc"
+)
+
+func testServer(t *testing.T) *server {
+	t.Helper()
+	g, err := resistecc.ScaleFreeMixed(120, 1, 4, 0.3, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := newServer(g, resistecc.SketchOptions{
+		Epsilon: 0.3, Dim: 64, Seed: 5, MaxHullVertices: 24,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return srv
+}
+
+func get(t *testing.T, h http.Handler, url string) (*httptest.ResponseRecorder, map[string]any) {
+	t.Helper()
+	req := httptest.NewRequest(http.MethodGet, url, nil)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	var body map[string]any
+	if strings.HasPrefix(strings.TrimSpace(rec.Body.String()), "{") {
+		if err := json.Unmarshal(rec.Body.Bytes(), &body); err != nil {
+			t.Fatalf("bad JSON from %s: %v (%s)", url, err, rec.Body.String())
+		}
+	}
+	return rec, body
+}
+
+func TestHealthz(t *testing.T) {
+	srv := testServer(t)
+	rec, body := get(t, srv.mux(), "/healthz")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d", rec.Code)
+	}
+	if body["status"] != "ok" || body["nodes"].(float64) != 120 {
+		t.Fatalf("health %v", body)
+	}
+	if body["hullBoundary"].(float64) <= 0 {
+		t.Fatal("missing hull metadata")
+	}
+}
+
+func TestEccentricityEndpoint(t *testing.T) {
+	srv := testServer(t)
+	mux := srv.mux()
+	rec, body := get(t, mux, "/eccentricity?node=0")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", rec.Code, rec.Body.String())
+	}
+	if body["node"].(float64) != 0 || body["eccentricity"].(float64) <= 0 {
+		t.Fatalf("body %v", body)
+	}
+	// Batch query returns an array.
+	rec, _ = get(t, mux, "/eccentricity?node=0,5,10")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("batch status %d", rec.Code)
+	}
+	var arr []map[string]any
+	if err := json.Unmarshal(rec.Body.Bytes(), &arr); err != nil || len(arr) != 3 {
+		t.Fatalf("batch body %s", rec.Body.String())
+	}
+	// Errors.
+	for _, bad := range []string{"/eccentricity", "/eccentricity?node=abc", "/eccentricity?node=99999"} {
+		rec, _ := get(t, mux, bad)
+		if rec.Code != http.StatusBadRequest {
+			t.Fatalf("%s: status %d", bad, rec.Code)
+		}
+	}
+}
+
+func TestResistanceEndpoint(t *testing.T) {
+	srv := testServer(t)
+	mux := srv.mux()
+	rec, body := get(t, mux, "/resistance?u=0&v=10")
+	if rec.Code != http.StatusOK || body["resistance"].(float64) <= 0 {
+		t.Fatalf("status %d body %v", rec.Code, body)
+	}
+	rec, _ = get(t, mux, "/resistance?u=0")
+	if rec.Code != http.StatusBadRequest {
+		t.Fatalf("missing v: %d", rec.Code)
+	}
+	rec, _ = get(t, mux, "/resistance?u=0&v=100000")
+	if rec.Code != http.StatusBadRequest {
+		t.Fatalf("range: %d", rec.Code)
+	}
+}
+
+func TestSummaryEndpoint(t *testing.T) {
+	srv := testServer(t)
+	rec, body := get(t, srv.mux(), "/summary")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d", rec.Code)
+	}
+	radius := body["radius"].(float64)
+	diameter := body["diameter"].(float64)
+	if radius <= 0 || diameter < radius {
+		t.Fatalf("summary %v", body)
+	}
+	// Hull-pair diameter approximates the distribution diameter.
+	hullDiam := body["hullDiameter"].(float64)
+	if hullDiam < 0.5*diameter || hullDiam > 1.5*diameter {
+		t.Fatalf("hull diameter %g vs %g", hullDiam, diameter)
+	}
+}

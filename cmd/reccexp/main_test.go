@@ -1,0 +1,69 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func tinyArgs(exp string) []string {
+	return []string{
+		"-exp", exp,
+		"-scale", "0.02",
+		"-largescale", "0.0004",
+		"-dim", "24",
+		"-k", "2",
+		"-hullcap", "8",
+		"-maxcand", "4",
+		"-exactlimit", "1500",
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-exp", "nope"}, &buf); err == nil {
+		t.Fatal("unknown experiment should fail")
+	}
+	if err := run([]string{"-badflag"}, &buf); err == nil {
+		t.Fatal("bad flag should fail")
+	}
+}
+
+func TestRunSingleExperiments(t *testing.T) {
+	for exp, banner := range map[string]string{
+		"table1":   "Table I",
+		"fig2":     "Figure 2",
+		"fig8":     "Figure 8",
+		"ablation": "Ablation 4",
+	} {
+		var buf bytes.Buffer
+		if err := run(tinyArgs(exp), &buf); err != nil {
+			t.Fatalf("%s: %v", exp, err)
+		}
+		if !strings.Contains(buf.String(), banner) {
+			t.Fatalf("%s output missing banner %q", exp, banner)
+		}
+	}
+}
+
+func TestRunTable2SmallCorpus(t *testing.T) {
+	var buf bytes.Buffer
+	args := append(tinyArgs("table2"), "-scale", "0.01")
+	if err := run(args, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "Table II") || !strings.Contains(out, "EmailUN") {
+		t.Fatalf("table2 output incomplete:\n%s", out)
+	}
+	// The asterisked networks are excluded without -large.
+	if strings.Contains(out, "Soc-orkut") {
+		t.Fatal("large networks should be excluded by default")
+	}
+}
+
+func TestCorpusNamesValid(t *testing.T) {
+	if len(smallTable2Corpus()) != 14 {
+		t.Fatalf("small corpus should list the 14 non-asterisked networks, got %d", len(smallTable2Corpus()))
+	}
+}

@@ -1,0 +1,76 @@
+package resistecc_test
+
+import (
+	"fmt"
+
+	"resistecc"
+)
+
+// The star graph of Figure 1(c): the hub has resistance eccentricity 1,
+// every leaf 2; the resistance radius is 1, the diameter 2, and the hub is
+// the unique resistance-central node.
+func ExampleGraph_NewExactIndex() {
+	g := resistecc.StarGraph(6)
+	idx, err := g.NewExactIndex()
+	if err != nil {
+		panic(err)
+	}
+	hub := idx.Eccentricity(0)
+	leaf := idx.Eccentricity(3)
+	fmt.Printf("c(hub)=%.0f c(leaf)=%.0f\n", hub.Value, leaf.Value)
+	sum := resistecc.Summarize(idx.Distribution())
+	fmt.Printf("radius=%.0f diameter=%.0f center=%v\n", sum.Radius, sum.Diameter, sum.Center)
+	// Output:
+	// c(hub)=1 c(leaf)=2
+	// radius=1 diameter=2 center=[0]
+}
+
+// Resistance distances on the path graph equal hop distances, so the
+// eccentricity of an endpoint is n−1.
+func ExampleGraph_NewFastIndex() {
+	g := resistecc.PathGraph(64)
+	idx, err := g.NewFastIndex(resistecc.SketchOptions{
+		Epsilon: 0.3, Dim: 512, Seed: 1, MaxHullVertices: 16,
+	})
+	if err != nil {
+		panic(err)
+	}
+	v := idx.Eccentricity(0)
+	rel := (v.Value - 63) / 63
+	fmt.Printf("endpoint eccentricity within 10%% of exact: %v, farthest node %d\n",
+		rel > -0.1 && rel < 0.1, v.Farthest)
+	// Output:
+	// endpoint eccentricity within 10% of exact: true, farthest node 63
+}
+
+// Adding an edge between the two ends of a path closes it into a cycle and
+// halves the source's worst-case resistance — the Figure 3 phenomenon that
+// motivates Problem 2 (REM).
+func ExampleGreedyExact() {
+	g := resistecc.PathGraph(6)
+	source := 2 // the paper's node 3
+	plan, err := resistecc.GreedyExact(g, resistecc.REM, source, 1)
+	if err != nil {
+		panic(err)
+	}
+	traj, err := plan.ExactTrajectory(g)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("picked %v: c(s) %.1f -> %.1f\n", plan.Edges, traj[0], traj[1])
+	// Output:
+	// picked [[0 5]]: c(s) 3.0 -> 1.5
+}
+
+// Kirchhoff's matrix-tree theorem: the complete graph K5 has 5³ = 125
+// spanning trees (Cayley's formula).
+func ExampleGraph_CountSpanningTrees() {
+	g := resistecc.CompleteGraph(5)
+	count, err := g.CountSpanningTrees()
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("τ(K5) = %.0f\n", count)
+	// Output:
+	// τ(K5) = 125
+}

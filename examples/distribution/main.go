@@ -1,0 +1,79 @@
+// Distribution analysis (§IV of the paper): compute the resistance
+// eccentricity distribution of a scale-free network with pendant periphery,
+// verify the asymmetry / right-skew / heavy-tail claims, and fit a Burr
+// Type XII density to it.
+//
+//	go run ./examples/distribution
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"resistecc"
+)
+
+func main() {
+	// A scale-free graph with degree-1 pendant nodes: mixed attachment in
+	// [1,7] reproduces the core/periphery split of real social networks.
+	g, err := resistecc.ScaleFreeMixed(1500, 1, 7, 0.4, 7)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("network: n=%d m=%d\n", g.N(), g.M())
+
+	idx, err := g.NewExactIndex()
+	if err != nil {
+		log.Fatal(err)
+	}
+	dist := idx.Distribution()
+	sum := resistecc.Summarize(dist)
+
+	fmt.Printf("resistance radius   φ = %.4f\n", sum.Radius)
+	fmt.Printf("resistance diameter R = %.4f\n", sum.Diameter)
+	fmt.Printf("mean                  = %.4f\n", sum.Mean)
+	fmt.Printf("skewness              = %.4f  (positive ⇒ right-skewed, as §IV-B predicts)\n", sum.Skewness)
+	fmt.Printf("resistance center     = %v\n", sum.Center)
+
+	fit, err := resistecc.FitBurr(dist)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nBurr XII fit: c=%.3f k=%.3f λ=%.3f (KS distance %.4f)\n",
+		fit.C, fit.K, fit.Lambda, fit.KS)
+
+	// Histogram with the fitted density overlaid as '*'.
+	const bins = 24
+	lo, hi := sum.Radius, sum.Diameter
+	counts := make([]int, bins)
+	width := (hi - lo) / bins
+	for _, c := range dist {
+		b := int((c - lo) / width)
+		if b >= bins {
+			b = bins - 1
+		}
+		counts[b]++
+	}
+	maxC := 1
+	for _, c := range counts {
+		if c > maxC {
+			maxC = c
+		}
+	}
+	fmt.Println("\neccentricity histogram (#) with Burr fit (*):")
+	for i, c := range counts {
+		x := lo + (float64(i)+0.5)*width
+		bar := c * 48 / maxC
+		model := int(fit.PDF(x) * float64(g.N()) * width * 48 / float64(maxC))
+		if model > 60 {
+			model = 60
+		}
+		line := []byte(strings.Repeat("#", bar) + strings.Repeat(" ", 61))
+		if model >= 0 && model < len(line) {
+			line[model] = '*'
+		}
+		fmt.Printf("%8.3f |%s\n", x, strings.TrimRight(string(line), " \x00"))
+	}
+	fmt.Println("\nmass concentrates just above φ with a long right tail — the Figure 2 shape.")
+}

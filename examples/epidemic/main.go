@@ -1,0 +1,90 @@
+// Epidemic seeding (the paper's reference-[20] motivation): resistance
+// eccentricity ranks how fast a spread seeded at a node saturates the
+// network, because it accounts for *all* transmission routes rather than
+// just shortest paths. This example seeds SI epidemics at the most
+// resistance-central and the most resistance-peripheral nodes, compares
+// their saturation times, and reports the rank correlation between c(v) and
+// spread time across a node sample.
+//
+//	go run ./examples/epidemic
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+
+	"resistecc"
+)
+
+func main() {
+	g, err := resistecc.ScaleFreeMixed(1000, 1, 5, 0.3, 17)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("contact network: n=%d m=%d\n", g.N(), g.M())
+
+	idx, err := g.NewFastIndex(resistecc.SketchOptions{
+		Epsilon: 0.3, Dim: 128, Seed: 17, MaxHullVertices: 48,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	dist := idx.Distribution()
+	central, peripheral := 0, 0
+	for v, c := range dist {
+		if c < dist[central] {
+			central = v
+		}
+		if c > dist[peripheral] {
+			peripheral = v
+		}
+	}
+
+	opt := resistecc.SpreadOptions{Beta: 0.25, Runs: 48, Seed: 3}
+	cRes, err := g.SimulateSpread(central, opt)
+	if err != nil {
+		log.Fatal(err)
+	}
+	pRes, err := g.SimulateSpread(peripheral, opt)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nseed at resistance center   (node %4d, c=%.3f): saturation %.1f steps, half %.1f\n",
+		central, dist[central], cRes.MeanSaturation, cRes.MeanHalf)
+	fmt.Printf("seed at resistance periphery (node %4d, c=%.3f): saturation %.1f steps, half %.1f\n",
+		peripheral, dist[peripheral], pRes.MeanSaturation, pRes.MeanHalf)
+
+	// Rank correlation across a node sample.
+	var seeds []int
+	var eccs []float64
+	for v := 0; v < g.N(); v += 25 {
+		seeds = append(seeds, v)
+		eccs = append(eccs, dist[v])
+	}
+	sat, err := g.SpreadSaturationTimes(seeds, opt)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rho, err := resistecc.Spearman(eccs, sat)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nSpearman(c(v), saturation time) over %d seeds: %.3f (positive ⇒ c(v) ranks spread speed)\n",
+		len(seeds), rho)
+
+	// Show the 5 best seeding nodes per the resistance metric.
+	type pair struct {
+		v int
+		c float64
+	}
+	all := make([]pair, g.N())
+	for v, c := range dist {
+		all[v] = pair{v, c}
+	}
+	sort.Slice(all, func(a, b int) bool { return all[a].c < all[b].c })
+	fmt.Println("\nbest spreaders by resistance eccentricity:")
+	for i := 0; i < 5; i++ {
+		fmt.Printf("  node %4d  c=%.3f  degree=%d\n", all[i].v, all[i].c, g.Degree(all[i].v))
+	}
+}

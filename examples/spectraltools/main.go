@@ -1,0 +1,101 @@
+// Spectral toolkit tour: the resistance-adjacent invariants built on the
+// same substrate as FASTQUERY — Kirchhoff index, Kemeny's constant (the
+// paper's stated future-work target), algebraic connectivity bounds,
+// spanning-edge centrality via Wilson's algorithm, and effective-resistance
+// spectral sparsification.
+//
+//	go run ./examples/spectraltools
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"resistecc"
+)
+
+func main() {
+	g, err := resistecc.ScaleFreeMixed(800, 1, 6, 0.4, 13)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("network: n=%d m=%d\n\n", g.N(), g.M())
+
+	// --- Global invariants, exact vs near-linear estimates. ---
+	kf, err := g.KirchhoffIndex()
+	if err != nil {
+		log.Fatal(err)
+	}
+	kfEst, err := g.EstimateKirchhoffIndex(resistecc.SpectralEstimateOptions{Probes: 128, Seed: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	km, err := g.KemenyConstant()
+	if err != nil {
+		log.Fatal(err)
+	}
+	kmEst, err := g.EstimateKemenyConstant(resistecc.SpectralEstimateOptions{Probes: 128, Seed: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Kirchhoff index  exact %.1f   estimated %.1f (%.1f%% off, 128 probes)\n",
+		kf, kfEst, 100*abs(kfEst-kf)/kf)
+	fmt.Printf("Kemeny constant  exact %.2f   estimated %.2f (%.1f%% off)\n\n",
+		km, kmEst, 100*abs(kmEst-km)/km)
+
+	// --- Spectral bounds on resistance eccentricity. ---
+	l2, err := g.AlgebraicConnectivity(1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	idx, err := g.NewFastIndex(resistecc.SketchOptions{Epsilon: 0.3, Dim: 128, Seed: 1, MaxHullVertices: 48})
+	if err != nil {
+		log.Fatal(err)
+	}
+	diam, pair := idx.ResistanceDiameter()
+	fmt.Printf("algebraic connectivity λ₂ = %.5f → upper bound R(G) ≤ 2/λ₂ = %.2f\n", l2, 2/l2)
+	fmt.Printf("hull-pair resistance diameter R ≈ %.3f (pair %v)\n\n", diam, pair)
+
+	// --- Spanning-edge centrality (= per-edge effective resistance). ---
+	sec, err := g.SpanningEdgeCentrality(400, 2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	edges := g.Edges()
+	bridgiest, best := 0, 0.0
+	for i, r := range sec {
+		if r > best {
+			best, bridgiest = r, i
+		}
+	}
+	fmt.Printf("most bridge-like edge: %v with UST inclusion %.2f (r(e) ≈ %.2f)\n",
+		edges[bridgiest], best, best)
+
+	// --- Sparsification (on a dense graph, where it pays off). ---
+	dense, err := resistecc.BarabasiAlbert(400, 40, 7)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sp, err := dense.Sparsify(resistecc.SparsifyOptions{Epsilon: 0.4, Samples: 8000, Seed: 3})
+	if err != nil {
+		log.Fatal(err)
+	}
+	exactDense, err := dense.NewExactIndex()
+	if err != nil {
+		log.Fatal(err)
+	}
+	rs, err := sp.Resistance(0, 200)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nsparsifier of a dense BA graph: %d weighted edges from %d (%.1fx fewer)\n",
+		sp.EdgeCount, dense.M(), float64(dense.M())/float64(sp.EdgeCount))
+	fmt.Printf("r(0,200): exact %.4f, sparsifier %.4f\n", exactDense.Resistance(0, 200), rs)
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

@@ -1,0 +1,3 @@
+module resistecc
+
+go 1.22

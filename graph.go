@@ -1,0 +1,227 @@
+package resistecc
+
+import (
+	"io"
+
+	"resistecc/internal/graph"
+)
+
+// Graph is a connected, undirected, unweighted simple graph — the object of
+// study of the paper (§III-B). Nodes are 0..N()-1.
+//
+// Graph wraps the internal representation; construct instances with
+// NewGraph, FromEdges, LoadEdgeList or one of the generators.
+type Graph struct {
+	g *graph.Graph
+}
+
+// NewGraph returns an empty graph with n isolated nodes.
+func NewGraph(n int) *Graph { return &Graph{g: graph.New(n)} }
+
+// FromEdges builds a graph with n nodes and the given (u, v) edges.
+// Self-loops and duplicates are rejected.
+func FromEdges(n int, edges [][2]int) (*Graph, error) {
+	es := make([]graph.Edge, len(edges))
+	for i, e := range edges {
+		es[i] = graph.Edge{U: e[0], V: e[1]}
+	}
+	g, err := graph.FromEdges(n, es)
+	if err != nil {
+		return nil, err
+	}
+	return &Graph{g: g}, nil
+}
+
+// LoadEdgeList reads a whitespace-separated edge-list file (KONECT /
+// NetworkRepository style; '#' and '%' comments allowed). Node labels are
+// compacted to 0..n-1; duplicates and self-loops are dropped. Returns the
+// graph and the original labels indexed by compact node id.
+func LoadEdgeList(path string) (*Graph, []int64, error) {
+	g, labels, err := graph.LoadEdgeList(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	return &Graph{g: g}, labels, nil
+}
+
+// ReadEdgeList parses an edge-list stream; see LoadEdgeList.
+func ReadEdgeList(r io.Reader) (*Graph, []int64, error) {
+	g, labels, err := graph.ReadEdgeList(r)
+	if err != nil {
+		return nil, nil, err
+	}
+	return &Graph{g: g}, labels, nil
+}
+
+// WriteEdgeList emits the graph as "u v" lines.
+func (gr *Graph) WriteEdgeList(w io.Writer) error { return gr.g.WriteEdgeList(w) }
+
+// N returns the node count.
+func (gr *Graph) N() int { return gr.g.N() }
+
+// M returns the undirected edge count.
+func (gr *Graph) M() int { return gr.g.M() }
+
+// Degree returns the degree of node u.
+func (gr *Graph) Degree(u int) int { return gr.g.Degree(u) }
+
+// HasEdge reports whether edge (u,v) is present.
+func (gr *Graph) HasEdge(u, v int) bool { return gr.g.HasEdge(u, v) }
+
+// AddEdge inserts the undirected edge (u,v); it fails on self-loops,
+// duplicates and out-of-range nodes.
+func (gr *Graph) AddEdge(u, v int) error { return gr.g.AddEdge(u, v) }
+
+// RemoveEdge deletes the undirected edge (u,v) if present.
+func (gr *Graph) RemoveEdge(u, v int) error { return gr.g.RemoveEdge(u, v) }
+
+// Edges returns all edges as (u, v) pairs with u < v.
+func (gr *Graph) Edges() [][2]int {
+	es := gr.g.Edges()
+	out := make([][2]int, len(es))
+	for i, e := range es {
+		out[i] = [2]int{e.U, e.V}
+	}
+	return out
+}
+
+// Neighbors returns the sorted neighbours of u as a fresh slice.
+func (gr *Graph) Neighbors(u int) []int {
+	ns := gr.g.Neighbors(u)
+	out := make([]int, len(ns))
+	for i, v := range ns {
+		out[i] = int(v)
+	}
+	return out
+}
+
+// Clone returns a deep copy.
+func (gr *Graph) Clone() *Graph { return &Graph{g: gr.g.Clone()} }
+
+// Connected reports whether the graph is connected.
+func (gr *Graph) Connected() bool { return gr.g.Connected() }
+
+// LargestComponent extracts the largest connected component (relabelled to
+// 0..k-1) and the mapping from new ids back to ids in the receiver — the
+// paper's standard preprocessing step.
+func (gr *Graph) LargestComponent() (*Graph, []int) {
+	sub, mapping := gr.g.LargestComponent()
+	return &Graph{g: sub}, mapping
+}
+
+// HopDistance returns BFS hop distances from src (-1 for unreachable).
+func (gr *Graph) HopDistance(src int) []int { return gr.g.BFS(src) }
+
+// GraphStats reports the structural statistics of Table I.
+type GraphStats struct {
+	N, M                 int
+	AvgDegree            float64
+	MinDegree, MaxDegree int
+	PowerLawGamma        float64
+	Clustering           float64
+}
+
+// Stats computes structural statistics (including the O(Σ deg²) exact mean
+// clustering coefficient; use StatsFast on huge graphs).
+func (gr *Graph) Stats() GraphStats { return convStats(gr.g.Summarize()) }
+
+// StatsFast computes statistics without the clustering coefficient.
+func (gr *Graph) StatsFast() GraphStats { return convStats(gr.g.SummarizeFast()) }
+
+func convStats(s graph.Stats) GraphStats {
+	return GraphStats{
+		N: s.N, M: s.M, AvgDegree: s.AvgDegree,
+		MinDegree: s.MinDegree, MaxDegree: s.MaxDegree,
+		PowerLawGamma: s.PowerLawGamma, Clustering: s.Clustering,
+	}
+}
+
+// inner exposes the internal graph to sibling files of this package.
+func (gr *Graph) inner() *graph.Graph { return gr.g }
+
+// wrapGraph adapts an internal graph.
+func wrapGraph(g *graph.Graph) *Graph { return &Graph{g: g} }
+
+// --- Generators (deterministic in their seed). ---
+
+// PathGraph returns the n-node path 0-1-…-(n-1); Figure 1(a).
+func PathGraph(n int) *Graph { return wrapGraph(graph.Path(n)) }
+
+// CycleGraph returns the n-node cycle (n ≥ 3); Figure 1(b).
+func CycleGraph(n int) *Graph { return wrapGraph(graph.Cycle(n)) }
+
+// StarGraph returns the n-node star with hub 0; Figure 1(c).
+func StarGraph(n int) *Graph { return wrapGraph(graph.Star(n)) }
+
+// CompleteGraph returns K_n.
+func CompleteGraph(n int) *Graph { return wrapGraph(graph.Complete(n)) }
+
+// GridGraph returns the rows×cols lattice.
+func GridGraph(rows, cols int) *Graph { return wrapGraph(graph.Grid(rows, cols)) }
+
+// LollipopGraph returns K_k with a t-node path attached.
+func LollipopGraph(k, t int) *Graph { return wrapGraph(graph.Lollipop(k, t)) }
+
+// BarbellGraph returns two K_k cliques joined by a t-node path.
+func BarbellGraph(k, t int) *Graph { return wrapGraph(graph.Barbell(k, t)) }
+
+// BarabasiAlbert grows an n-node preferential-attachment scale-free graph
+// with k links per new node.
+func BarabasiAlbert(n, k int, seed int64) (*Graph, error) {
+	return genSafe(func() *graph.Graph { return graph.BarabasiAlbert(n, k, seed) })
+}
+
+// PowerlawCluster grows a Holme–Kim scale-free graph with triangle
+// probability tri — the proxy family for the paper's social networks.
+func PowerlawCluster(n, k int, tri float64, seed int64) (*Graph, error) {
+	return genSafe(func() *graph.Graph { return graph.PowerlawCluster(n, k, tri, seed) })
+}
+
+// ScaleFreeMixed grows a preferential-attachment scale-free graph whose
+// per-node attachment count is uniform over [kmin, kmax] with Holme–Kim
+// triangle closure — kmin = 1 yields the degree-1 pendant periphery of real
+// networks (the source of the heavy eccentricity tail of §IV-B).
+func ScaleFreeMixed(n, kmin, kmax int, tri float64, seed int64) (*Graph, error) {
+	return genSafe(func() *graph.Graph { return graph.ScaleFreeMixed(n, kmin, kmax, tri, seed) })
+}
+
+// WattsStrogatz builds the small-world model (LCC of the rewired ring).
+func WattsStrogatz(n, k int, beta float64, seed int64) (*Graph, error) {
+	return genSafe(func() *graph.Graph { return graph.WattsStrogatz(n, k, beta, seed) })
+}
+
+// ErdosRenyi samples the LCC of G(n, p).
+func ErdosRenyi(n int, p float64, seed int64) (*Graph, error) {
+	return genSafe(func() *graph.Graph { return graph.ErdosRenyi(n, p, seed) })
+}
+
+// RandomConnected returns a connected random graph with exactly n nodes and
+// m edges (m ≥ n−1).
+func RandomConnected(n, m int, seed int64) (*Graph, error) {
+	return genSafe(func() *graph.Graph { return graph.RandomConnected(n, m, seed) })
+}
+
+// genSafe converts generator panics (invalid parameters) into errors, so the
+// public API is error-based as library code should be.
+func genSafe(fn func() *graph.Graph) (g *Graph, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			if e, ok := r.(error); ok {
+				err = e
+			} else {
+				err = &genError{msg: r}
+			}
+			g = nil
+		}
+	}()
+	return wrapGraph(fn()), nil
+}
+
+type genError struct{ msg any }
+
+func (e *genError) Error() string {
+	if s, ok := e.msg.(string); ok {
+		return s
+	}
+	return "resistecc: invalid generator parameters"
+}

@@ -1,0 +1,158 @@
+package resistecc
+
+import (
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestIntegrationPipeline exercises the full user journey end to end:
+// generate → persist → reload → LCC → exact index → fast index → optimize →
+// re-query, with cross-validation of every stage against the exact oracle.
+func TestIntegrationPipeline(t *testing.T) {
+	// 1. Generate a realistic scale-free network with pendant periphery.
+	g, err := ScaleFreeMixed(600, 1, 5, 0.4, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// 2. Persist and reload through the edge-list format.
+	path := filepath.Join(t.TempDir(), "net.txt")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.WriteEdgeList(f); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	loaded, _, err := LoadEdgeList(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lcc, _ := loaded.LargestComponent()
+	if lcc.N() != g.N() || lcc.M() != g.M() {
+		t.Fatalf("round trip changed the graph: %d/%d vs %d/%d", lcc.N(), lcc.M(), g.N(), g.M())
+	}
+
+	// 3. Exact ground truth.
+	exact, err := lcc.NewExactIndex()
+	if err != nil {
+		t.Fatal(err)
+	}
+	exD := exact.Distribution()
+	exSum := Summarize(exD)
+	if exSum.Radius <= 0 || exSum.Diameter <= exSum.Radius {
+		t.Fatalf("summary %+v", exSum)
+	}
+
+	// 4. FASTQUERY agrees within the sketch tolerance.
+	fast, err := lcc.NewFastIndex(SketchOptions{Epsilon: 0.3, Dim: 192, Seed: 42, MaxHullVertices: 48})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sigma, err := RelativeError(fast.Distribution(), exD)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sigma > 0.15 {
+		t.Fatalf("pipeline sigma %.3f", sigma)
+	}
+
+	// 5. Pick the worst node and improve it with MinRecc; verify the exact
+	// trajectory drops and the final value is re-confirmed by a fresh index.
+	s := 0
+	for v, c := range exD {
+		if c > exD[s] {
+			s = v
+		}
+	}
+	plan, err := MinRecc(lcc, s, 4, OptimizeOptions{
+		Sketch:        SketchOptions{Epsilon: 0.3, Dim: 96, Seed: 42, MaxHullVertices: 16},
+		MaxCandidates: 24,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	traj, err := plan.ExactTrajectory(lcc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if traj[len(traj)-1] >= traj[0]*0.9 {
+		t.Fatalf("MinRecc improved c(s) only from %g to %g", traj[0], traj[len(traj)-1])
+	}
+	augmented, err := plan.Apply(lcc, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reIdx, err := augmented.NewExactIndex()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := reIdx.Eccentricity(s).Value; math.Abs(got-traj[len(traj)-1]) > 1e-8 {
+		t.Fatalf("trajectory end %g vs recomputed %g", traj[len(traj)-1], got)
+	}
+
+	// 6. Monte-Carlo cross-check of one resistance value.
+	u, v := s, exact.Eccentricity(s).Farthest
+	mc, err := lcc.ResistanceMC(u, v, 1500, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := exact.Resistance(u, v)
+	if rel := math.Abs(mc-want) / want; rel > 0.15 {
+		t.Fatalf("MC r=%g vs exact %g (rel %.3f)", mc, want, rel)
+	}
+}
+
+func TestSpectralPublic(t *testing.T) {
+	g := CompleteGraph(10)
+	kf, err := g.KirchhoffIndex()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(kf-9) > 1e-8 { // Kf(K_n) = n−1
+		t.Fatalf("Kf(K10)=%g", kf)
+	}
+	km, err := g.KemenyConstant()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(km-81.0/10) > 1e-8 { // (n−1)²/n
+		t.Fatalf("K(K10)=%g", km)
+	}
+	ba, err := BarabasiAlbert(120, 3, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kfExact, err := ba.KirchhoffIndex()
+	if err != nil {
+		t.Fatal(err)
+	}
+	kfEst, err := ba.EstimateKirchhoffIndex(SpectralEstimateOptions{Probes: 300, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel := math.Abs(kfEst-kfExact) / kfExact; rel > 0.15 {
+		t.Fatalf("Kf estimate off by %.3f", rel)
+	}
+	kmExact, err := ba.KemenyConstant()
+	if err != nil {
+		t.Fatal(err)
+	}
+	kmEst, err := ba.EstimateKemenyConstant(SpectralEstimateOptions{Probes: 300, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel := math.Abs(kmEst-kmExact) / kmExact; rel > 0.15 {
+		t.Fatalf("Kemeny estimate off by %.3f", rel)
+	}
+	// Disconnected graphs are rejected.
+	d := NewGraph(4)
+	if _, err := d.KirchhoffIndex(); err == nil {
+		t.Fatal("disconnected Kf should fail")
+	}
+}

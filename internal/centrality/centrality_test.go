@@ -1,0 +1,172 @@
+package centrality
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"resistecc/internal/graph"
+	"resistecc/internal/linalg"
+	"resistecc/internal/sketch"
+)
+
+func TestClosenessStar(t *testing.T) {
+	g := graph.Star(6)
+	c := Closeness(g)
+	// Hub: distances all 1 → (n−1)/(n−1) = 1. Leaf: 1 + 4·2 = 9 → 5/9.
+	if math.Abs(c[0]-1) > 1e-12 {
+		t.Fatalf("hub closeness %g", c[0])
+	}
+	for v := 1; v < 6; v++ {
+		if math.Abs(c[v]-5.0/9) > 1e-12 {
+			t.Fatalf("leaf closeness %g", c[v])
+		}
+	}
+}
+
+func TestClosenessDisconnected(t *testing.T) {
+	g := graph.New(3)
+	if err := g.AddEdge(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	c := Closeness(g)
+	if c[2] != 0 {
+		t.Fatalf("isolated node closeness %g", c[2])
+	}
+	if c[0] != 1 { // one reachable node at distance 1
+		t.Fatalf("c[0]=%g", c[0])
+	}
+}
+
+func TestHarmonicPath(t *testing.T) {
+	g := graph.Path(4)
+	h := Harmonic(g)
+	want0 := 1.0 + 0.5 + 1.0/3
+	if math.Abs(h[0]-want0) > 1e-12 {
+		t.Fatalf("h[0]=%g want %g", h[0], want0)
+	}
+	want1 := 1.0 + 1.0 + 0.5
+	if math.Abs(h[1]-want1) > 1e-12 {
+		t.Fatalf("h[1]=%g want %g", h[1], want1)
+	}
+}
+
+func TestCurrentFlowClosenessStar(t *testing.T) {
+	g := graph.Star(8)
+	lp, err := linalg.Pseudoinverse(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cf := CurrentFlowCloseness(lp)
+	// Hub: Σ_u r = 7 → 7/7 = 1; leaf: 1 + 6·2 = 13 → 7/13.
+	if math.Abs(cf[0]-1) > 1e-9 {
+		t.Fatalf("hub CF %g", cf[0])
+	}
+	for v := 1; v < 8; v++ {
+		if math.Abs(cf[v]-7.0/13) > 1e-9 {
+			t.Fatalf("leaf CF %g", cf[v])
+		}
+	}
+}
+
+// CF from the closed form must equal the brute-force (n−1)/Σ r(v,u).
+func TestQuickCurrentFlowBruteForce(t *testing.T) {
+	f := func(seed int64) bool {
+		g := graph.BarabasiAlbert(25, 2, seed)
+		lp, err := linalg.Pseudoinverse(g)
+		if err != nil {
+			return false
+		}
+		cf := CurrentFlowCloseness(lp)
+		for v := 0; v < 25; v++ {
+			sum := 0.0
+			for u := 0; u < 25; u++ {
+				if u != v {
+					sum += linalg.Resistance(lp, v, u)
+				}
+			}
+			if math.Abs(cf[v]-24/sum) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestApproxCurrentFlowTracksExact(t *testing.T) {
+	g := graph.ScaleFreeMixed(300, 1, 5, 0.3, 4)
+	lp, err := linalg.Pseudoinverse(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact := CurrentFlowCloseness(lp)
+	sk, err := sketch.New(g.ToCSR(), sketch.Options{Epsilon: 0.3, Dim: 256, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx := ApproxCurrentFlowCloseness(sk)
+	worst := 0.0
+	for v := range exact {
+		rel := math.Abs(approx[v]-exact[v]) / exact[v]
+		if rel > worst {
+			worst = rel
+		}
+	}
+	if worst > 0.15 {
+		t.Fatalf("worst relative error %.3f", worst)
+	}
+	// Rankings should agree at the top.
+	te, err := Top(exact, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ta, err := Top(approx, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	agree := 0
+	for _, a := range ta {
+		for _, e := range te {
+			if a == e {
+				agree++
+			}
+		}
+	}
+	if agree < 3 {
+		t.Fatalf("top-5 overlap only %d (exact %v vs approx %v)", agree, te, ta)
+	}
+}
+
+func TestTop(t *testing.T) {
+	scores := []float64{0.1, 0.9, 0.5, 0.7}
+	top, err := Top(scores, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if top[0] != 1 || top[1] != 3 {
+		t.Fatalf("top %v", top)
+	}
+	if _, err := Top(scores, 9); err == nil {
+		t.Fatal("k too large")
+	}
+	if _, err := Top(scores, -1); err == nil {
+		t.Fatal("negative k")
+	}
+	empty, err := Top(scores, 0)
+	if err != nil || len(empty) != 0 {
+		t.Fatal("k=0")
+	}
+}
+
+func TestTrivialSizes(t *testing.T) {
+	lp, err := linalg.Pseudoinverse(graph.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cf := CurrentFlowCloseness(lp); cf[0] != 0 {
+		t.Fatal("single node CF should be 0")
+	}
+}

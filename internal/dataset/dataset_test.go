@@ -1,0 +1,143 @@
+package dataset
+
+import (
+	"testing"
+)
+
+func TestRegistryLookup(t *testing.T) {
+	in, err := Get("Politician")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in.N != 5908 || in.M != 41729 || in.PaperPhi != 4.04 || in.PaperR != 7.67 {
+		t.Fatalf("Politician metadata %+v", in)
+	}
+	if _, err := Get("NoSuchNetwork"); err == nil {
+		t.Fatal("unknown dataset should fail")
+	}
+}
+
+func TestNamesSortedBySize(t *testing.T) {
+	names := Names()
+	if len(names) < 20 {
+		t.Fatalf("registry too small: %d", len(names))
+	}
+	prev := 0
+	for _, n := range names {
+		in, err := Get(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if in.N < prev {
+			t.Fatalf("names not sorted by size at %s", n)
+		}
+		prev = in.N
+	}
+	if all := All(); len(all) != len(names) {
+		t.Fatal("All() length mismatch")
+	}
+}
+
+func TestPaperGroups(t *testing.T) {
+	for _, group := range [][]string{TableI(), Tiny(), Figure9Mid(), Largest4()} {
+		if len(group) != 4 {
+			t.Fatalf("group %v should have 4 entries", group)
+		}
+		for _, name := range group {
+			if _, err := Get(name); err != nil {
+				t.Fatalf("group member %s not in registry", name)
+			}
+		}
+	}
+}
+
+func TestProxyScaleFree(t *testing.T) {
+	in, err := Get("EmailUN")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := in.Proxy(0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g.Connected() {
+		t.Fatal("proxy must be connected")
+	}
+	wantN := (in.N + 1) / 2
+	if g.N() != wantN {
+		t.Fatalf("proxy n=%d, want %d", g.N(), wantN)
+	}
+	// Density within 2x of the original m/n ratio.
+	origDensity := float64(in.M) / float64(in.N)
+	got := float64(g.M()) / float64(g.N())
+	if got < origDensity/2 || got > origDensity*2 {
+		t.Fatalf("proxy density %.2f vs original %.2f", got, origDensity)
+	}
+	// Deterministic.
+	h, err := in.Proxy(0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.M() != g.M() {
+		t.Fatal("proxy not deterministic")
+	}
+}
+
+func TestProxyTiny(t *testing.T) {
+	for _, name := range Tiny() {
+		in, err := Get(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g, err := in.Proxy(1.0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantM := in.M
+		if maxM := in.N * (in.N - 1) / 2; wantM > maxM {
+			wantM = maxM // Cloister: paper count exceeds the simple bound
+		}
+		if g.N() != in.N || g.M() != wantM {
+			t.Fatalf("%s proxy %d/%d, want exact %d/%d", name, g.N(), g.M(), in.N, wantM)
+		}
+		if !g.Connected() {
+			t.Fatalf("%s proxy disconnected", name)
+		}
+	}
+}
+
+func TestProxyScaleValidation(t *testing.T) {
+	in, err := Get("HepTh")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := in.Proxy(0); err == nil {
+		t.Fatal("scale 0 must fail")
+	}
+	if _, err := in.Proxy(1.5); err == nil {
+		t.Fatal("scale > 1 must fail")
+	}
+}
+
+func TestTableIIMetadataPresent(t *testing.T) {
+	// Every non-large Table II network must carry exact + fast timings and
+	// sigma values for all three epsilons.
+	for _, in := range All() {
+		if in.Family == DenseSocial || in.PaperFastSec == nil {
+			continue
+		}
+		for _, eps := range []float64{0.3, 0.2, 0.1} {
+			if _, ok := in.PaperFastSec[eps]; !ok {
+				t.Fatalf("%s missing fast time for eps=%g", in.Name, eps)
+			}
+			if !in.Large {
+				if _, ok := in.PaperSigma[eps]; in.PaperSigma != nil && !ok {
+					t.Fatalf("%s missing sigma for eps=%g", in.Name, eps)
+				}
+			}
+		}
+		if in.Large && in.PaperExactSec != 0 {
+			t.Fatalf("%s: large networks have no exact timing", in.Name)
+		}
+	}
+}

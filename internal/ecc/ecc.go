@@ -1,0 +1,337 @@
+// Package ecc implements the paper's primary contribution: exact and
+// approximate query algorithms for resistance eccentricity.
+//
+//   - ExactQuery (Algorithm 1): dense pseudoinverse preprocessing in O(n³),
+//     then O(n) per queried node. Ground truth.
+//   - ApproxQuery (Algorithm 2): APPROXER sketch, then an O(n·d) scan per
+//     queried node; Õ((m + |Q|·n)/ε²) total.
+//   - FastQuery (Algorithm 3): APPROXER sketch + APPROXCH hull, then an
+//     O(l·d) scan per queried node over the l hull-boundary embeddings;
+//     Õ((m + n·l)/ε² + |Q|·l) total with the (1±ε) guarantee of Thm 5.6.
+//   - ApproxRecc (Algorithm 7): single-node APPROXER query used inside the
+//     optimization loops.
+//
+// The package also derives the distribution-level metrics of §III-C/§IV:
+// resistance eccentricity distribution E(G), resistance radius φ(G),
+// resistance diameter R(G) and the resistance center.
+package ecc
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+
+	"resistecc/internal/graph"
+	"resistecc/internal/hull"
+	"resistecc/internal/linalg"
+	"resistecc/internal/sketch"
+)
+
+// Value is one query answer: the (approximate) resistance eccentricity of
+// Node and a witness farthest node.
+type Value struct {
+	Node     int
+	Ecc      float64
+	Farthest int
+}
+
+// Exact holds the EXACTQUERY state: the dense pseudoinverse of the graph
+// Laplacian. Building it costs O(n³) time and O(n²) memory; each query then
+// costs O(n).
+type Exact struct {
+	lp *linalg.Dense
+}
+
+// NewExact runs the preprocessing step of EXACTQUERY (Algorithm 1, line 1).
+func NewExact(g *graph.Graph) (*Exact, error) {
+	lp, err := linalg.Pseudoinverse(g)
+	if err != nil {
+		return nil, fmt.Errorf("ecc: exact preprocessing: %w", err)
+	}
+	return &Exact{lp: lp}, nil
+}
+
+// Pinv exposes the pseudoinverse for callers (the optimizer's exact greedy).
+func (e *Exact) Pinv() *linalg.Dense { return e.lp }
+
+// Resistance returns the exact r(u,v).
+func (e *Exact) Resistance(u, v int) float64 { return linalg.Resistance(e.lp, u, v) }
+
+// Eccentricity returns the exact c(v) and a farthest node.
+func (e *Exact) Eccentricity(v int) Value {
+	c, far := linalg.EccentricityFromPinv(e.lp, v)
+	return Value{Node: v, Ecc: c, Farthest: far}
+}
+
+// Query answers EXACTQUERY(G, Q) for a query node set.
+func (e *Exact) Query(q []int) []Value {
+	out := make([]Value, len(q))
+	for i, v := range q {
+		out[i] = e.Eccentricity(v)
+	}
+	return out
+}
+
+// Distribution returns the exact E(G) = {c(v) : v ∈ V}.
+func (e *Exact) Distribution() []float64 {
+	out := make([]float64, e.lp.N)
+	for v := 0; v < e.lp.N; v++ {
+		out[v], _ = linalg.EccentricityFromPinv(e.lp, v)
+	}
+	return out
+}
+
+// Approx holds the APPROXQUERY state: an APPROXER sketch with no hull.
+type Approx struct {
+	Sk *sketch.Sketch
+}
+
+// NewApprox runs APPROXER (Algorithm 2, lines 1-2).
+func NewApprox(g *graph.Graph, opt sketch.Options) (*Approx, error) {
+	sk, err := sketch.New(g.ToCSR(), opt)
+	if err != nil {
+		return nil, fmt.Errorf("ecc: approx preprocessing: %w", err)
+	}
+	return &Approx{Sk: sk}, nil
+}
+
+// Eccentricity returns c̄(v) by scanning all n sketched points.
+func (a *Approx) Eccentricity(v int) Value {
+	c, far := a.Sk.Eccentricity(v)
+	return Value{Node: v, Ecc: c, Farthest: far}
+}
+
+// Query answers APPROXQUERY(G, Q, ε).
+func (a *Approx) Query(q []int) []Value {
+	out := make([]Value, len(q))
+	for i, v := range q {
+		out[i] = a.Eccentricity(v)
+	}
+	return out
+}
+
+// Distribution returns the approximate E(G) by full scans (Õ(n²) total).
+func (a *Approx) Distribution() []float64 {
+	out := make([]float64, a.Sk.N)
+	for v := 0; v < a.Sk.N; v++ {
+		out[v], _ = a.Sk.Eccentricity(v)
+	}
+	return out
+}
+
+// FastOptions configures FASTQUERY.
+type FastOptions struct {
+	// Sketch configures APPROXER. Sketch.Epsilon is the overall ε; the hull
+	// parameter defaults to θ = ε/12 per Algorithm 3.
+	Sketch sketch.Options
+	// Hull overrides APPROXCH options. Zero Theta means ε/12.
+	Hull hull.Options
+}
+
+// Fast holds the FASTQUERY state: sketch plus hull-boundary node subset.
+type Fast struct {
+	Sk *sketch.Sketch
+	// Boundary is Ŝ: the node ids whose embeddings lie on (an approximation
+	// of) the convex-hull boundary of the embedded point set.
+	Boundary []int
+	// HullInfo reports diagnostics from APPROXCH.
+	HullInfo *hull.Result
+}
+
+// NewFast runs the preprocessing of FASTQUERY (Algorithm 3, lines 1-4):
+// the APPROXER sketch followed by APPROXCH on the embedded points.
+func NewFast(g *graph.Graph, opt FastOptions) (*Fast, error) {
+	sk, err := sketch.New(g.ToCSR(), opt.Sketch)
+	if err != nil {
+		return nil, fmt.Errorf("ecc: fast preprocessing (sketch): %w", err)
+	}
+	hopt := opt.Hull
+	if hopt.Theta <= 0 {
+		hopt.Theta = opt.Sketch.Epsilon / 12
+	}
+	if hopt.Seed == 0 {
+		hopt.Seed = opt.Sketch.Seed + 1
+	}
+	hres, err := hull.Approx(sk.Points(), hopt)
+	if err != nil {
+		return nil, fmt.Errorf("ecc: fast preprocessing (hull): %w", err)
+	}
+	return &Fast{Sk: sk, Boundary: hres.Vertices, HullInfo: hres}, nil
+}
+
+// L returns l = |Ŝ|, the number of hull-boundary nodes each query scans.
+func (f *Fast) L() int { return len(f.Boundary) }
+
+// Eccentricity returns ĉ(v) = max_{u ∈ Ŝ} r̃(v, u) (Algorithm 3, lines 6-7).
+func (f *Fast) Eccentricity(v int) Value {
+	c, far := f.Sk.EccentricityOver(v, f.Boundary)
+	return Value{Node: v, Ecc: c, Farthest: far}
+}
+
+// Query answers FASTQUERY(G, Q, ε).
+func (f *Fast) Query(q []int) []Value {
+	out := make([]Value, len(q))
+	for i, v := range q {
+		out[i] = f.Eccentricity(v)
+	}
+	return out
+}
+
+// Diameter approximates the resistance diameter R(G) = max_{u,v} r(u,v)
+// (Eq. 3) by scanning only hull-boundary pairs: the maximizing pair lies on
+// the convex-hull boundary of the embedding, so O(l²) sketched distances
+// suffice instead of O(n²).
+func (f *Fast) Diameter() (float64, graph.Edge) {
+	best := 0.0
+	var pair graph.Edge
+	for i := 0; i < len(f.Boundary); i++ {
+		for j := i + 1; j < len(f.Boundary); j++ {
+			u, v := f.Boundary[i], f.Boundary[j]
+			if r := f.Sk.Resistance(u, v); r > best {
+				best = r
+				pair = graph.Edge{U: u, V: v}.Canon()
+			}
+		}
+	}
+	return best, pair
+}
+
+// Distribution returns the approximate E(G) in Õ((m+nl)/ε²) total time.
+func (f *Fast) Distribution() []float64 {
+	out := make([]float64, f.Sk.N)
+	for v := 0; v < f.Sk.N; v++ {
+		c, _ := f.Sk.EccentricityOver(v, f.Boundary)
+		out[v] = c
+	}
+	return out
+}
+
+// DistributionParallel computes Distribution with the given worker count
+// (0 = GOMAXPROCS). Per-node scans are independent, so the speedup is
+// near-linear; results are bit-identical to the serial path.
+func (f *Fast) DistributionParallel(workers int) []float64 {
+	n := f.Sk.N
+	out := make([]float64, n)
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		return f.Distribution()
+	}
+	var wg sync.WaitGroup
+	chunk := (n + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for v := lo; v < hi; v++ {
+				c, _ := f.Sk.EccentricityOver(v, f.Boundary)
+				out[v] = c
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+	return out
+}
+
+// ApproxRecc is Algorithm 7: a one-shot approximate resistance eccentricity
+// of a single source, via a fresh APPROXER sketch. The optimization
+// algorithms CHMINRECC/MINRECC call this on candidate-augmented graphs.
+func ApproxRecc(g *graph.Graph, s int, opt sketch.Options) (float64, error) {
+	sk, err := sketch.New(g.ToCSR(), opt)
+	if err != nil {
+		return 0, fmt.Errorf("ecc: ApproxRecc: %w", err)
+	}
+	c, _ := sk.Eccentricity(s)
+	return c, nil
+}
+
+// Summary aggregates a resistance eccentricity distribution into the
+// graph-level metrics of §III-C.
+type Summary struct {
+	// Radius is φ(G) = min_v c(v) (Eq. 4).
+	Radius float64
+	// Diameter is R(G) = max_v c(v) (Eq. 3; R = max_v c(v) by §IV-A).
+	Diameter float64
+	// Center lists the resistance-central nodes: {u : c(u) = φ(G)} up to
+	// CenterTol relative slack for approximate inputs.
+	Center []int
+	// Mean and Skewness describe the distribution shape (§IV-B analyses
+	// asymmetry/right-skew).
+	Mean     float64
+	Skewness float64
+}
+
+// CenterTol is the relative tolerance used to collect resistance-central
+// nodes from (possibly approximate) eccentricity values.
+const CenterTol = 1e-9
+
+// Summarize computes Summary from a distribution vector (index = node).
+func Summarize(dist []float64) Summary {
+	var s Summary
+	if len(dist) == 0 {
+		return s
+	}
+	s.Radius, s.Diameter = math.Inf(1), math.Inf(-1)
+	sum := 0.0
+	for _, c := range dist {
+		if c < s.Radius {
+			s.Radius = c
+		}
+		if c > s.Diameter {
+			s.Diameter = c
+		}
+		sum += c
+	}
+	s.Mean = sum / float64(len(dist))
+	// Sample skewness g1 = m3 / m2^{3/2}.
+	var m2, m3 float64
+	for _, c := range dist {
+		d := c - s.Mean
+		m2 += d * d
+		m3 += d * d * d
+	}
+	m2 /= float64(len(dist))
+	m3 /= float64(len(dist))
+	if m2 > 0 {
+		s.Skewness = m3 / math.Pow(m2, 1.5)
+	}
+	tol := CenterTol * math.Max(1, math.Abs(s.Radius))
+	for v, c := range dist {
+		if c-s.Radius <= tol {
+			s.Center = append(s.Center, v)
+		}
+	}
+	return s
+}
+
+// RelativeError computes σ of Eq. (8): the mean relative deviation of the
+// approximate distribution from the exact one. Slices must align by node.
+func RelativeError(approx, exact []float64) (float64, error) {
+	if len(approx) != len(exact) {
+		return 0, fmt.Errorf("ecc: distribution length mismatch: %d vs %d", len(approx), len(exact))
+	}
+	if len(exact) == 0 {
+		return 0, nil
+	}
+	sum := 0.0
+	for i, c := range exact {
+		if c == 0 {
+			return 0, fmt.Errorf("ecc: exact eccentricity of node %d is zero", i)
+		}
+		sum += math.Abs(approx[i]-c) / c
+	}
+	return sum / float64(len(exact)), nil
+}

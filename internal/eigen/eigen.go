@@ -1,0 +1,190 @@
+// Package eigen provides the Laplacian extremal eigenvalues used for
+// validation and diagnostics: the algebraic connectivity λ₂ (the smallest
+// non-zero Laplacian eigenvalue) and the spectral radius λ_max.
+//
+// They bound every quantity in this library:
+//
+//	2/(n·λ_max)... ≤ r(u,v) ≤ 2/λ₂      (so c(v) ≤ 2/λ₂ and R(G) ≤ 2/λ₂)
+//	Kf(G) = n·Σ_{k≥2} 1/λ_k ∈ [n(n−1)/λ_max, n(n−1)/λ₂]
+//
+// λ_max comes from plain power iteration on L; λ₂ from inverse power
+// iteration (each step is one Laplacian solve on the subspace ⊥ 1, i.e. a
+// largest-eigenvalue iteration on L†).
+package eigen
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"resistecc/internal/graph"
+	"resistecc/internal/linalg"
+	"resistecc/internal/solver"
+)
+
+// Options configures the iterations.
+type Options struct {
+	// Tol is the relative eigenvalue-change tolerance (default 1e-9).
+	Tol float64
+	// MaxIter caps the iterations (default 1000).
+	MaxIter int
+	// Seed fixes the random start vector.
+	Seed int64
+	// Solver configures the inner Laplacian solves (LambdaTwo only).
+	Solver solver.Options
+}
+
+func (o Options) withDefaults() Options {
+	if o.Tol <= 0 {
+		o.Tol = 1e-9
+	}
+	if o.MaxIter <= 0 {
+		o.MaxIter = 1000
+	}
+	return o
+}
+
+// LambdaMax estimates the largest Laplacian eigenvalue by power iteration.
+// For connected graphs λ_max ∈ (d_max, 2·d_max].
+func LambdaMax(csr *graph.CSR, opt Options) (float64, error) {
+	opt = opt.withDefaults()
+	n := csr.N
+	if n == 0 {
+		return 0, fmt.Errorf("eigen: empty graph")
+	}
+	if n == 1 {
+		return 0, nil
+	}
+	rng := rand.New(rand.NewSource(opt.Seed))
+	x := make([]float64, n)
+	y := make([]float64, n)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	normalize(x)
+	lam := 0.0
+	for it := 0; it < opt.MaxIter; it++ {
+		csr.LapMul(x, y)
+		next := linalg.Dot(x, y) // Rayleigh quotient
+		norm := linalg.Norm2(y)
+		if norm == 0 {
+			return 0, nil
+		}
+		for i := range x {
+			x[i] = y[i] / norm
+		}
+		if it > 0 && math.Abs(next-lam) <= opt.Tol*math.Abs(next) {
+			return next, nil
+		}
+		lam = next
+	}
+	return lam, nil
+}
+
+// LambdaTwo estimates the algebraic connectivity λ₂ of a connected graph by
+// inverse power iteration: repeated solves x ← L†x on the subspace ⊥ 1
+// converge to the eigenvector of L†'s largest eigenvalue 1/λ₂ (the Fiedler
+// vector).
+func LambdaTwo(csr *graph.CSR, opt Options) (float64, error) {
+	opt = opt.withDefaults()
+	n := csr.N
+	if n == 0 {
+		return 0, fmt.Errorf("eigen: empty graph")
+	}
+	if n == 1 {
+		return 0, nil
+	}
+	lap, err := solver.NewLap(csr, opt.Solver)
+	if err != nil {
+		return 0, err
+	}
+	rng := rand.New(rand.NewSource(opt.Seed + 1))
+	x := make([]float64, n)
+	y := make([]float64, n)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	linalg.ProjectOutOnes(x)
+	normalize(x)
+	mu := 0.0 // estimate of 1/λ₂
+	for it := 0; it < opt.MaxIter; it++ {
+		for i := range y {
+			y[i] = 0
+		}
+		if _, err := lap.Solve(x, y); err != nil {
+			return 0, fmt.Errorf("eigen: inverse iteration %d: %w", it, err)
+		}
+		next := linalg.Dot(x, y) // Rayleigh quotient of L†
+		norm := linalg.Norm2(y)
+		if norm == 0 {
+			break
+		}
+		for i := range x {
+			x[i] = y[i] / norm
+		}
+		linalg.ProjectOutOnes(x)
+		normalize(x)
+		if it > 0 && math.Abs(next-mu) <= opt.Tol*math.Abs(next) {
+			mu = next
+			break
+		}
+		mu = next
+	}
+	if mu <= 0 {
+		return 0, fmt.Errorf("eigen: inverse iteration failed to converge to a positive eigenvalue")
+	}
+	return 1 / mu, nil
+}
+
+// FiedlerVector returns the (approximate) eigenvector of λ₂, useful for
+// spectral bisection diagnostics. Normalized, mean zero.
+func FiedlerVector(csr *graph.CSR, opt Options) ([]float64, error) {
+	opt = opt.withDefaults()
+	n := csr.N
+	if n <= 1 {
+		return make([]float64, n), nil
+	}
+	lap, err := solver.NewLap(csr, opt.Solver)
+	if err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(opt.Seed + 2))
+	x := make([]float64, n)
+	y := make([]float64, n)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	linalg.ProjectOutOnes(x)
+	normalize(x)
+	prev := 0.0
+	for it := 0; it < opt.MaxIter; it++ {
+		for i := range y {
+			y[i] = 0
+		}
+		if _, err := lap.Solve(x, y); err != nil {
+			return nil, err
+		}
+		mu := linalg.Dot(x, y)
+		norm := linalg.Norm2(y)
+		if norm == 0 {
+			break
+		}
+		for i := range x {
+			x[i] = y[i] / norm
+		}
+		linalg.ProjectOutOnes(x)
+		normalize(x)
+		if it > 0 && math.Abs(mu-prev) <= opt.Tol*math.Abs(mu) {
+			break
+		}
+		prev = mu
+	}
+	return x, nil
+}
+
+func normalize(x []float64) {
+	n := linalg.Norm2(x)
+	if n > 0 {
+		linalg.Scale(1/n, x)
+	}
+}

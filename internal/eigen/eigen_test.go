@@ -1,0 +1,169 @@
+package eigen
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"resistecc/internal/graph"
+	"resistecc/internal/linalg"
+)
+
+func TestLambdaMaxClosedForms(t *testing.T) {
+	// Complete graph K_n: eigenvalues {0, n (multiplicity n−1)}.
+	kn := graph.Complete(10).ToCSR()
+	lam, err := LambdaMax(kn, Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(lam-10) > 1e-6 {
+		t.Fatalf("λmax(K10)=%g, want 10", lam)
+	}
+	// Star S_n: λmax = n.
+	st := graph.Star(12).ToCSR()
+	lam, err = LambdaMax(st, Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(lam-12) > 1e-6 {
+		t.Fatalf("λmax(S12)=%g, want 12", lam)
+	}
+	// Cycle C_n: λmax = 2 − 2cos(2π⌊n/2⌋/n) = 4 for even n.
+	cy := graph.Cycle(8).ToCSR()
+	lam, err = LambdaMax(cy, Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(lam-4) > 1e-6 {
+		t.Fatalf("λmax(C8)=%g, want 4", lam)
+	}
+}
+
+func TestLambdaTwoClosedForms(t *testing.T) {
+	// Complete graph: λ₂ = n.
+	kn := graph.Complete(9).ToCSR()
+	lam, err := LambdaTwo(kn, Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(lam-9) > 1e-5 {
+		t.Fatalf("λ₂(K9)=%g, want 9", lam)
+	}
+	// Cycle C_n: λ₂ = 2 − 2cos(2π/n).
+	n := 12
+	cy := graph.Cycle(n).ToCSR()
+	want := 2 - 2*math.Cos(2*math.Pi/float64(n))
+	lam, err = LambdaTwo(cy, Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(lam-want)/want > 1e-4 {
+		t.Fatalf("λ₂(C12)=%g, want %g", lam, want)
+	}
+	// Path P_n: λ₂ = 2 − 2cos(π/n).
+	pn := graph.Path(n).ToCSR()
+	wantP := 2 - 2*math.Cos(math.Pi/float64(n))
+	lam, err = LambdaTwo(pn, Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(lam-wantP)/wantP > 1e-4 {
+		t.Fatalf("λ₂(P12)=%g, want %g", lam, wantP)
+	}
+}
+
+func TestTrivialSizes(t *testing.T) {
+	if _, err := LambdaMax(graph.New(0).ToCSR(), Options{}); err == nil {
+		t.Fatal("empty graph should fail")
+	}
+	lam, err := LambdaMax(graph.New(1).ToCSR(), Options{})
+	if err != nil || lam != 0 {
+		t.Fatal("single node λmax should be 0")
+	}
+	lam, err = LambdaTwo(graph.New(1).ToCSR(), Options{})
+	if err != nil || lam != 0 {
+		t.Fatal("single node λ₂ should be 0")
+	}
+	fv, err := FiedlerVector(graph.New(1).ToCSR(), Options{})
+	if err != nil || len(fv) != 1 {
+		t.Fatal("trivial fiedler")
+	}
+}
+
+// Property: the spectral sandwich λ₂·I ⪯ L ⪯ λmax·I on 1⊥ forces
+// r(u,v) ≤ 2/λ₂ and r(u,v) ≥ 2/λmax for every pair.
+func TestQuickResistanceSpectralBounds(t *testing.T) {
+	f := func(seed int64, a, b uint8) bool {
+		g := graph.BarabasiAlbert(30, 2, seed)
+		u, v := int(a)%30, int(b)%30
+		if u == v {
+			return true
+		}
+		csr := g.ToCSR()
+		l2, err := LambdaTwo(csr, Options{Seed: seed})
+		if err != nil {
+			return false
+		}
+		lmax, err := LambdaMax(csr, Options{Seed: seed})
+		if err != nil {
+			return false
+		}
+		lp, err := linalg.Pseudoinverse(g)
+		if err != nil {
+			return false
+		}
+		r := linalg.Resistance(lp, u, v)
+		return r <= 2/l2+1e-6 && r >= 2/lmax-1e-6 && l2 <= lmax+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// The Fiedler vector of a path orders the nodes monotonically along it.
+func TestFiedlerVectorPath(t *testing.T) {
+	n := 20
+	fv, err := FiedlerVector(graph.Path(n).ToCSR(), Options{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	increasing, decreasing := true, true
+	for i := 1; i < n; i++ {
+		if fv[i] < fv[i-1] {
+			increasing = false
+		}
+		if fv[i] > fv[i-1] {
+			decreasing = false
+		}
+	}
+	if !increasing && !decreasing {
+		t.Fatalf("path Fiedler vector not monotone: %v", fv)
+	}
+	// Mean zero, unit norm.
+	if math.Abs(linalg.Sum(fv)) > 1e-8 {
+		t.Fatal("not mean zero")
+	}
+	if math.Abs(linalg.Norm2(fv)-1) > 1e-8 {
+		t.Fatal("not normalized")
+	}
+}
+
+// λ₂ sanity against the eccentricity bound of the library: c(v) ≤ 2/λ₂.
+func TestLambdaTwoBoundsEccentricity(t *testing.T) {
+	g := graph.Lollipop(8, 10)
+	csr := g.ToCSR()
+	l2, err := LambdaTwo(csr, Options{Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lp, err := linalg.Pseudoinverse(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := 0; v < g.N(); v++ {
+		c, _ := linalg.EccentricityFromPinv(lp, v)
+		if c > 2/l2+1e-6 {
+			t.Fatalf("c(%d)=%g exceeds 2/λ₂=%g", v, c, 2/l2)
+		}
+	}
+}

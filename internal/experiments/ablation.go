@@ -1,0 +1,215 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"time"
+
+	"resistecc/internal/ecc"
+	"resistecc/internal/graph"
+	"resistecc/internal/linalg"
+	"resistecc/internal/sketch"
+	"resistecc/internal/solver"
+)
+
+// AblationHull quantifies design choice 1 of DESIGN.md: FASTQUERY's hull
+// pruning versus APPROXQUERY's full scan, at equal sketches. Reported per
+// network: hull size l, full-distribution query time with and without the
+// hull, and the accuracy cost.
+func AblationHull(w io.Writer, opt Options, names []string) error {
+	opt = opt.withDefaults()
+	if names == nil {
+		names = []string{"EmailUN", "Politician"}
+	}
+	header(w, "Ablation 1 — hull pruning (FASTQUERY) vs full scan (APPROXQUERY)")
+	tw := newTable(w)
+	fmt.Fprintln(tw, "Network\tn\tl\tscan all\tscan hull\tspeedup\tsigma(hull vs scan)")
+	eps := opt.Epsilons[0]
+	for _, name := range names {
+		g, _, err := opt.proxy(name)
+		if err != nil {
+			return err
+		}
+		f, err := ecc.NewFast(g, opt.fastOptions(eps))
+		if err != nil {
+			return err
+		}
+		// Full scan over the same sketch.
+		start := time.Now()
+		full := make([]float64, g.N())
+		for v := 0; v < g.N(); v++ {
+			full[v], _ = f.Sk.Eccentricity(v)
+		}
+		fullDur := time.Since(start)
+		start = time.Now()
+		pruned := f.Distribution()
+		prunedDur := time.Since(start)
+		sigma, err := ecc.RelativeError(pruned, full)
+		if err != nil {
+			return err
+		}
+		speedup := float64(fullDur) / float64(prunedDur)
+		fmt.Fprintf(tw, "%s\t%d\t%d\t%s\t%s\t%.1fx\t%.3f%%\n",
+			name, g.N(), f.L(), fmtDur(fullDur), fmtDur(prunedDur), speedup, sigma*100)
+	}
+	return tw.Flush()
+}
+
+// AblationSketchDim quantifies design choice 2: accuracy as a function of
+// the sketch dimension, against the theoretical ⌈24 ln n/ε²⌉.
+func AblationSketchDim(w io.Writer, opt Options, name string, dims []int) error {
+	opt = opt.withDefaults()
+	if name == "" {
+		name = "EmailUN"
+	}
+	if len(dims) == 0 {
+		dims = []int{16, 32, 64, 128, 256, 512}
+	}
+	g, _, err := opt.proxy(name)
+	if err != nil {
+		return err
+	}
+	ex, err := ecc.NewExact(g)
+	if err != nil {
+		return err
+	}
+	exact := ex.Distribution()
+	eps := opt.Epsilons[0]
+	header(w, fmt.Sprintf("Ablation 2 — sketch dimension on %s (n=%d, theoretical d=%d at eps=%.1f)",
+		name, g.N(), sketch.TheoreticalDim(g.N(), eps), eps))
+	tw := newTable(w)
+	fmt.Fprintln(tw, "dim\tbuild time\tsigma")
+	for _, d := range dims {
+		o := opt
+		o.Dim = d
+		start := time.Now()
+		ap, err := ecc.NewApprox(g, o.sketchOptions(eps))
+		if err != nil {
+			return err
+		}
+		approx := ap.Distribution()
+		dur := time.Since(start)
+		sigma, err := ecc.RelativeError(approx, exact)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(tw, "%d\t%s\t%.3f%%\n", d, fmtDur(dur), sigma*100)
+	}
+	return tw.Flush()
+}
+
+// AblationSolver quantifies design choice 3: CG preconditioners on one
+// representative solve workload (a full sketch build).
+func AblationSolver(w io.Writer, opt Options, name string) error {
+	opt = opt.withDefaults()
+	if name == "" {
+		name = "EmailUN"
+	}
+	g, _, err := opt.proxy(name)
+	if err != nil {
+		return err
+	}
+	header(w, fmt.Sprintf("Ablation 3 — solver preconditioner on %s (n=%d m=%d)", name, g.N(), g.M()))
+	tw := newTable(w)
+	fmt.Fprintln(tw, "preconditioner\titers\ttime")
+	csr := g.ToCSR()
+	b := make([]float64, g.N())
+	// A representative hard RHS: unit dipole between two peripheral nodes.
+	s, err := peripheralSource(g, opt.Seed)
+	if err != nil {
+		return err
+	}
+	_, far := g.Eccentricity(s)
+	b[s], b[far] = 1, -1
+	for _, pc := range []solver.Preconditioner{solver.None, solver.Jacobi, solver.SGS} {
+		lap, err := solver.NewLap(csr, solver.Options{Precond: pc})
+		if err != nil {
+			return err
+		}
+		x := make([]float64, g.N())
+		start := time.Now()
+		iters, err := lap.Solve(b, x)
+		dur := time.Since(start)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(tw, "%s\t%d\t%s\n", pc, iters, fmtDur(dur))
+	}
+	return tw.Flush()
+}
+
+// AblationShermanMorrison quantifies design choice 4: the SIMPLE greedy's
+// O(n)-per-candidate Sherman–Morrison scoring versus naive re-inversion.
+func AblationShermanMorrison(w io.Writer, opt Options, n int) error {
+	opt = opt.withDefaults()
+	if n <= 0 {
+		n = 150
+	}
+	g := graph.BarabasiAlbert(n, 3, opt.Seed)
+	s := 0
+	header(w, fmt.Sprintf("Ablation 4 — Sherman–Morrison greedy vs naive re-inversion (n=%d)", n))
+	lp, err := linalg.Pseudoinverse(g)
+	if err != nil {
+		return err
+	}
+	cands := g.SourceCandidates(s)
+	if len(cands) > 40 {
+		cands = cands[:40]
+	}
+	// Sherman–Morrison scoring.
+	start := time.Now()
+	smBest, smVal := graph.Edge{}, math.Inf(1)
+	for _, e := range cands {
+		c := eccAfterEdgeSM(lp, s, e.U, e.V)
+		if c < smVal {
+			smVal, smBest = c, e
+		}
+	}
+	smDur := time.Since(start)
+	// Naive scoring: clone + add edge + full pseudoinverse per candidate.
+	start = time.Now()
+	nvBest, nvVal := graph.Edge{}, math.Inf(1)
+	for _, e := range cands {
+		h := g.Clone()
+		if err := h.AddEdge(e.U, e.V); err != nil {
+			return err
+		}
+		lph, err := linalg.Pseudoinverse(h)
+		if err != nil {
+			return err
+		}
+		c, _ := linalg.EccentricityFromPinv(lph, s)
+		if c < nvVal {
+			nvVal, nvBest = c, e
+		}
+	}
+	nvDur := time.Since(start)
+	tw := newTable(w)
+	fmt.Fprintln(tw, "method\tbest edge\tc(s)\ttime")
+	fmt.Fprintf(tw, "Sherman–Morrison\t%v\t%.6f\t%s\n", smBest, smVal, fmtDur(smDur))
+	fmt.Fprintf(tw, "naive re-inversion\t%v\t%.6f\t%s\n", nvBest, nvVal, fmtDur(nvDur))
+	fmt.Fprintf(tw, "speedup\t\t\t%.1fx\n", float64(nvDur)/float64(smDur))
+	return tw.Flush()
+}
+
+// eccAfterEdgeSM mirrors optimize.eccAfterEdge for the ablation without
+// exporting the internal helper.
+func eccAfterEdgeSM(lp *linalg.Dense, s, u, v int) float64 {
+	best := 0.0
+	n := lp.N
+	lss := lp.At(s, s)
+	denom := 1 + linalg.Resistance(lp, u, v)
+	for j := 0; j < n; j++ {
+		if j == s {
+			continue
+		}
+		r := lss + lp.At(j, j) - 2*lp.At(s, j)
+		diff := (lp.At(s, u) - lp.At(s, v)) - (lp.At(j, u) - lp.At(j, v))
+		r -= diff * diff / denom
+		if r > best {
+			best = r
+		}
+	}
+	return best
+}

@@ -1,0 +1,118 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"resistecc/internal/dataset"
+	"resistecc/internal/optimize"
+)
+
+// Fig8Row holds c(s) after k additions for every algorithm on one tiny
+// network (one Figure 8 panel).
+type Fig8Row struct {
+	Name   string
+	Source int
+	K      []int
+	// Curves maps algorithm name → c(s) values aligned with K.
+	Curves map[string][]float64
+}
+
+// Fig8 reproduces Figure 8: on the four tiny sociograms (Kangaroo, Rhesus,
+// Cloister, Tribes) the greedy heuristics are compared against the true
+// optimum (exhaustive search) for k = 0..4, separately for REMD and REM.
+// The paper's claim: the heuristics are near-optimal on all four.
+func Fig8(w io.Writer, opt Options) ([]Fig8Row, error) {
+	opt = opt.withDefaults()
+	kMax := opt.K
+	if kMax > 4 {
+		kMax = 4 // exhaustive search is exponential in k
+	}
+	header(w, "Figure 8 — heuristics vs optimum on tiny networks (k = 0..4)")
+	var rows []Fig8Row
+	for _, name := range dataset.Tiny() {
+		g, _, err := opt.proxy(name)
+		if err != nil {
+			return nil, err
+		}
+		s, err := peripheralSource(g, opt.Seed)
+		if err != nil {
+			return nil, err
+		}
+		row := Fig8Row{Name: name, Source: s, Curves: map[string][]float64{}}
+		for k := 0; k <= kMax; k++ {
+			row.K = append(row.K, k)
+		}
+
+		// Exhaustive optima per k (REMD and REM).
+		for _, p := range []optimize.Problem{optimize.REMD, optimize.REM} {
+			label := "OPT-" + p.String()
+			for k := 0; k <= kMax; k++ {
+				_, val, err := optimize.Exhaustive(g, p, s, k)
+				if err != nil {
+					return nil, fmt.Errorf("experiments: fig8 %s %s k=%d: %w", name, label, k, err)
+				}
+				row.Curves[label] = append(row.Curves[label], val)
+			}
+		}
+
+		// Greedy heuristics: run once at k=kMax and replay prefixes.
+		fopt := optFast(opt)
+		algos := []struct {
+			label string
+			run   func() (*optimize.Result, error)
+		}{
+			{"SIM-REMD", func() (*optimize.Result, error) { return optimize.Simple(g, optimize.REMD, s, kMax) }},
+			{"SIM-REM", func() (*optimize.Result, error) { return optimize.Simple(g, optimize.REM, s, kMax) }},
+			{"FarMinRecc", func() (*optimize.Result, error) { return optimize.FarMinRecc(g, s, kMax, fopt) }},
+			{"CenMinRecc", func() (*optimize.Result, error) { return optimize.CenMinRecc(g, s, kMax, fopt) }},
+			{"ChMinRecc", func() (*optimize.Result, error) { return optimize.ChMinRecc(g, s, kMax, fopt) }},
+			{"MinRecc", func() (*optimize.Result, error) { return optimize.MinRecc(g, s, kMax, fopt) }},
+		}
+		for _, a := range algos {
+			res, err := a.run()
+			if err != nil {
+				return nil, fmt.Errorf("experiments: fig8 %s %s: %w", name, a.label, err)
+			}
+			traj, err := optimize.ExactTrajectory(g, s, res.Edges)
+			if err != nil {
+				return nil, err
+			}
+			// Trajectories may stop early if candidates ran out; pad with the
+			// final value so curves stay aligned.
+			for len(traj) <= kMax {
+				traj = append(traj, traj[len(traj)-1])
+			}
+			row.Curves[a.label] = traj[:kMax+1]
+		}
+		rows = append(rows, row)
+
+		fmt.Fprintf(w, "\n%s (n=%d m=%d source=%d):\n", name, g.N(), g.M(), s)
+		tw := newTable(w)
+		fmt.Fprint(tw, "k")
+		order := []string{"OPT-REMD", "SIM-REMD", "FarMinRecc", "CenMinRecc", "OPT-REM", "SIM-REM", "ChMinRecc", "MinRecc"}
+		for _, l := range order {
+			fmt.Fprintf(tw, "\t%s", l)
+		}
+		fmt.Fprintln(tw)
+		for ki, k := range row.K {
+			fmt.Fprintf(tw, "%d", k)
+			for _, l := range order {
+				fmt.Fprintf(tw, "\t%.4f", row.Curves[l][ki])
+			}
+			fmt.Fprintln(tw)
+		}
+		if err := tw.Flush(); err != nil {
+			return nil, err
+		}
+	}
+	return rows, nil
+}
+
+// optFast builds FastOptions from the experiment options.
+func optFast(opt Options) optimize.FastOptions {
+	f := optimize.FastOptions{MaxCandidates: opt.MaxCandidates}
+	f.Sketch = opt.sketchOptions(opt.Epsilons[0])
+	f.Hull.MaxVertices = opt.MaxHullVertices
+	return f
+}

@@ -1,0 +1,167 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"resistecc/internal/dataset"
+	"resistecc/internal/graph"
+	"resistecc/internal/optimize"
+	"resistecc/internal/pagerank"
+)
+
+// Fig9Row holds the c(s)-vs-k curves of one network (one Figure 9 panel).
+type Fig9Row struct {
+	Name   string
+	Source int
+	K      []int
+	Curves map[string][]float64
+}
+
+// Fig9 reproduces Figure 9: the resistance eccentricity c(s) after adding
+// k = 1..K edges, comparing FARMINRECC/CENMINRECC (REMD panels) and
+// CHMINRECC/MINRECC (REM panels) against the DE-, PK- and PATH- baselines.
+// On the paper's large networks only DE-REM remains feasible among the
+// baselines; the same degradation is reproduced via the `largeMode` flag in
+// Fig9Large.
+func Fig9(w io.Writer, opt Options, names []string, kStep int) ([]Fig9Row, error) {
+	opt = opt.withDefaults()
+	if names == nil {
+		names = dataset.Figure9Mid()
+	}
+	if kStep <= 0 {
+		kStep = 10
+	}
+	header(w, fmt.Sprintf("Figure 9 — c(s) vs k (k = 1..%d)", opt.K))
+	var rows []Fig9Row
+	for _, name := range names {
+		g, _, err := opt.proxy(name)
+		if err != nil {
+			return nil, err
+		}
+		s, err := peripheralSource(g, opt.Seed)
+		if err != nil {
+			return nil, err
+		}
+		row, err := fig9Panel(g, s, opt, false)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: fig9 %s: %w", name, err)
+		}
+		row.Name = name
+		rows = append(rows, *row)
+		printFig9Panel(w, g, row, kStep)
+	}
+	return rows, nil
+}
+
+// Fig9Large reproduces the Figure 9 large-network panels (i)-(l): only the
+// DE-REM baseline is run against the four heuristics.
+func Fig9Large(w io.Writer, opt Options, kStep int) ([]Fig9Row, error) {
+	opt = opt.withDefaults()
+	if kStep <= 0 {
+		kStep = 10
+	}
+	header(w, fmt.Sprintf("Figure 9 (large) — c(s) vs k (k = 1..%d), DE-REM baseline only", opt.K))
+	var rows []Fig9Row
+	for _, name := range dataset.Largest4() {
+		g, _, err := opt.proxy(name)
+		if err != nil {
+			return nil, err
+		}
+		s, err := peripheralSource(g, opt.Seed)
+		if err != nil {
+			return nil, err
+		}
+		row, err := fig9Panel(g, s, opt, true)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: fig9large %s: %w", name, err)
+		}
+		row.Name = name
+		rows = append(rows, *row)
+		printFig9Panel(w, g, row, kStep)
+	}
+	return rows, nil
+}
+
+func fig9Panel(g *graph.Graph, s int, opt Options, largeMode bool) (*Fig9Row, error) {
+	k := opt.K
+	fopt := optFast(opt)
+	row := &Fig9Row{Source: s, Curves: map[string][]float64{}}
+	for i := 0; i <= k; i++ {
+		row.K = append(row.K, i)
+	}
+
+	type algo struct {
+		label string
+		run   func() (*optimize.Result, error)
+	}
+	algos := []algo{
+		{"FarMinRecc", func() (*optimize.Result, error) { return optimize.FarMinRecc(g, s, k, fopt) }},
+		{"CenMinRecc", func() (*optimize.Result, error) { return optimize.CenMinRecc(g, s, k, fopt) }},
+		{"ChMinRecc", func() (*optimize.Result, error) { return optimize.ChMinRecc(g, s, k, fopt) }},
+		{"MinRecc", func() (*optimize.Result, error) { return optimize.MinRecc(g, s, k, fopt) }},
+		{"DE-REM", func() (*optimize.Result, error) { return optimize.Degree(g, optimize.REM, s, k) }},
+	}
+	if !largeMode {
+		algos = append(algos,
+			algo{"DE-REMD", func() (*optimize.Result, error) { return optimize.Degree(g, optimize.REMD, s, k) }},
+			algo{"PK-REMD", func() (*optimize.Result, error) {
+				return optimize.PageRank(g, optimize.REMD, s, k, pagerank.Options{})
+			}},
+			algo{"PK-REM", func() (*optimize.Result, error) {
+				return optimize.PageRank(g, optimize.REM, s, k, pagerank.Options{})
+			}},
+			algo{"PATH-REMD", func() (*optimize.Result, error) {
+				return optimize.Path(g, optimize.REMD, s, k, optimize.PathOptions{})
+			}},
+			algo{"PATH-REM", func() (*optimize.Result, error) {
+				return optimize.Path(g, optimize.REM, s, k, optimize.PathOptions{})
+			}},
+		)
+	}
+	for _, a := range algos {
+		res, err := a.run()
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", a.label, err)
+		}
+		traj, err := optimize.ExactTrajectory(g, s, res.Edges)
+		if err != nil {
+			return nil, fmt.Errorf("%s trajectory: %w", a.label, err)
+		}
+		for len(traj) <= k {
+			traj = append(traj, traj[len(traj)-1])
+		}
+		row.Curves[a.label] = traj[:k+1]
+	}
+	return row, nil
+}
+
+func printFig9Panel(w io.Writer, g *graph.Graph, row *Fig9Row, kStep int) {
+	fmt.Fprintf(w, "\n%s (n=%d m=%d source=%d):\n", row.Name, g.N(), g.M(), row.Source)
+	tw := newTable(w)
+	var labels []string
+	for _, l := range []string{
+		"FarMinRecc", "CenMinRecc", "ChMinRecc", "MinRecc",
+		"DE-REMD", "DE-REM", "PK-REMD", "PK-REM", "PATH-REMD", "PATH-REM",
+	} {
+		if _, ok := row.Curves[l]; ok {
+			labels = append(labels, l)
+		}
+	}
+	fmt.Fprint(tw, "k")
+	for _, l := range labels {
+		fmt.Fprintf(tw, "\t%s", l)
+	}
+	fmt.Fprintln(tw)
+	for _, k := range row.K {
+		if k != 0 && k != row.K[len(row.K)-1] && k%kStep != 0 {
+			continue
+		}
+		fmt.Fprintf(tw, "%d", k)
+		for _, l := range labels {
+			fmt.Fprintf(tw, "\t%.4f", row.Curves[l][k])
+		}
+		fmt.Fprintln(tw)
+	}
+	tw.Flush()
+}

@@ -1,0 +1,67 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"resistecc/internal/dataset"
+	"resistecc/internal/graph"
+	"resistecc/internal/optimize"
+)
+
+// Table3Row records running times of the four heuristics on one network.
+type Table3Row struct {
+	Name    string
+	N, M    int
+	K       int
+	Seconds map[string]float64 // algorithm → wall-clock seconds
+	Paper   *dataset.Info
+}
+
+// Table3 reproduces Table III: the running time of FARMINRECC, CENMINRECC,
+// CHMINRECC and MINRECC at k = Options.K on the four largest networks
+// (proxied at Options.LargeScale). The paper's shape to preserve:
+// CenMinRecc fastest (sketches once), FarMinRecc ≈ ChMinRecc, MinRecc
+// slowest (superset candidate set).
+func Table3(w io.Writer, opt Options) ([]Table3Row, error) {
+	opt = opt.withDefaults()
+	header(w, fmt.Sprintf("Table III — optimizer running time at k=%d", opt.K))
+	fmt.Fprintf(w, "large proxies at scale %.4g\n", opt.LargeScale)
+	tw := newTable(w)
+	fmt.Fprintln(tw, "Network\tn\tm\tFarMinRecc\tCenMinRecc\tChMinRecc\tMinRecc")
+	var rows []Table3Row
+	for _, name := range dataset.Largest4() {
+		g, in, err := opt.proxy(name)
+		if err != nil {
+			return nil, err
+		}
+		s, err := peripheralSource(g, opt.Seed)
+		if err != nil {
+			return nil, err
+		}
+		row := Table3Row{Name: name, N: g.N(), M: g.M(), K: opt.K, Seconds: map[string]float64{}, Paper: in}
+		fopt := optFast(opt)
+		for _, a := range []struct {
+			label string
+			run   func(*graph.Graph, int, int, optimize.FastOptions) (*optimize.Result, error)
+		}{
+			{"FarMinRecc", optimize.FarMinRecc},
+			{"CenMinRecc", optimize.CenMinRecc},
+			{"ChMinRecc", optimize.ChMinRecc},
+			{"MinRecc", optimize.MinRecc},
+		} {
+			start := time.Now()
+			if _, err := a.run(g, s, opt.K, fopt); err != nil {
+				return nil, fmt.Errorf("experiments: table3 %s %s: %w", name, a.label, err)
+			}
+			row.Seconds[a.label] = time.Since(start).Seconds()
+		}
+		rows = append(rows, row)
+		fmt.Fprintf(tw, "%s\t%d\t%d\t%.2fs\t%.2fs\t%.2fs\t%.2fs\n",
+			row.Name, row.N, row.M,
+			row.Seconds["FarMinRecc"], row.Seconds["CenMinRecc"],
+			row.Seconds["ChMinRecc"], row.Seconds["MinRecc"])
+	}
+	return rows, tw.Flush()
+}

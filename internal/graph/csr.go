@@ -1,0 +1,96 @@
+package graph
+
+// CSR is an immutable compressed-sparse-row snapshot of a graph, used by the
+// numerical kernels (Laplacian matvec, solvers, sketching) where pointer-free
+// sequential memory access matters. Row u's neighbours are
+// Col[Ptr[u]:Ptr[u+1]].
+type CSR struct {
+	Ptr []int32 // length n+1
+	Col []int32 // length 2m
+	N   int
+	M   int
+}
+
+// ToCSR snapshots the graph's current adjacency structure.
+func (g *Graph) ToCSR() *CSR {
+	n := len(g.adj)
+	c := &CSR{
+		Ptr: make([]int32, n+1),
+		Col: make([]int32, 0, 2*g.m),
+		N:   n,
+		M:   g.m,
+	}
+	for u := 0; u < n; u++ {
+		c.Col = append(c.Col, g.adj[u]...)
+		c.Ptr[u+1] = int32(len(c.Col))
+	}
+	return c
+}
+
+// Degree returns the degree of node u in the snapshot.
+func (c *CSR) Degree(u int) int { return int(c.Ptr[u+1] - c.Ptr[u]) }
+
+// Neighbors returns the neighbour slice of u (shared storage; do not modify).
+func (c *CSR) Neighbors(u int) []int32 { return c.Col[c.Ptr[u]:c.Ptr[u+1]] }
+
+// LapMul computes y = L·x where L = D − A is the graph Laplacian.
+// len(x) and len(y) must equal N; y is fully overwritten.
+func (c *CSR) LapMul(x, y []float64) {
+	for u := 0; u < c.N; u++ {
+		s := 0.0
+		row := c.Col[c.Ptr[u]:c.Ptr[u+1]]
+		for _, v := range row {
+			s += x[v]
+		}
+		y[u] = float64(len(row))*x[u] - s
+	}
+}
+
+// AdjMul computes y = A·x where A is the adjacency matrix.
+func (c *CSR) AdjMul(x, y []float64) {
+	for u := 0; u < c.N; u++ {
+		s := 0.0
+		for _, v := range c.Col[c.Ptr[u]:c.Ptr[u+1]] {
+			s += x[v]
+		}
+		y[u] = s
+	}
+}
+
+// IncidenceTMul computes y = Bᵀ·q, where B ∈ R^{m×n} is the signed
+// edge–node incidence matrix (§III-B) with the arbitrary edge orientation
+// u→v for u < v, and q ∈ R^m is indexed in the canonical edge order produced
+// by EdgeOrder. y must have length N and is fully overwritten.
+//
+// This is the kernel of APPROXER: a random projection row q is pushed through
+// Bᵀ before the Laplacian solve, avoiding materializing B.
+func (c *CSR) IncidenceTMul(q, y []float64) {
+	for i := range y {
+		y[i] = 0
+	}
+	e := 0
+	for u := 0; u < c.N; u++ {
+		for _, v := range c.Col[c.Ptr[u]:c.Ptr[u+1]] {
+			if int32(u) < v {
+				// b_e = e_u − e_v
+				y[u] += q[e]
+				y[v] -= q[e]
+				e++
+			}
+		}
+	}
+}
+
+// EdgeOrder returns the canonical (u < v, sorted by u then v) edge list that
+// IncidenceTMul's q vector is indexed against.
+func (c *CSR) EdgeOrder() []Edge {
+	edges := make([]Edge, 0, c.M)
+	for u := 0; u < c.N; u++ {
+		for _, v := range c.Col[c.Ptr[u]:c.Ptr[u+1]] {
+			if int32(u) < v {
+				edges = append(edges, Edge{u, int(v)})
+			}
+		}
+	}
+	return edges
+}

@@ -1,0 +1,343 @@
+package graph
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// This file hosts the deterministic generators used for (a) the closed-form
+// example graphs of §IV-A (Figure 1) and the worked examples of §VI
+// (Figures 3-6), and (b) the scale-free small-world synthetic proxies that
+// stand in for the paper's KONECT/NetworkRepository datasets (see DESIGN.md,
+// "Substitutions").
+
+// Path returns the path (line) graph with n nodes: 0-1-2-...-(n-1).
+// Figure 1(a) uses this family with 2n nodes.
+func Path(n int) *Graph {
+	g := New(n)
+	for i := 0; i+1 < n; i++ {
+		mustAdd(g, i, i+1)
+	}
+	return g
+}
+
+// Cycle returns the cycle graph with n >= 3 nodes (Figure 1(b)).
+func Cycle(n int) *Graph {
+	if n < 3 {
+		panic("graph: cycle needs n >= 3")
+	}
+	g := Path(n)
+	mustAdd(g, n-1, 0)
+	return g
+}
+
+// Star returns the star graph with n nodes: node 0 is the hub (Figure 1(c)).
+func Star(n int) *Graph {
+	g := New(n)
+	for i := 1; i < n; i++ {
+		mustAdd(g, 0, i)
+	}
+	return g
+}
+
+// Complete returns the complete graph K_n.
+func Complete(n int) *Graph {
+	g := New(n)
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			mustAdd(g, u, v)
+		}
+	}
+	return g
+}
+
+// Grid returns the rows×cols 2-D lattice.
+func Grid(rows, cols int) *Graph {
+	g := New(rows * cols)
+	id := func(r, c int) int { return r*cols + c }
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			if c+1 < cols {
+				mustAdd(g, id(r, c), id(r, c+1))
+			}
+			if r+1 < rows {
+				mustAdd(g, id(r, c), id(r+1, c))
+			}
+		}
+	}
+	return g
+}
+
+// Lollipop returns a complete graph K_k with a path of t extra nodes attached
+// to node 0. A classic high-resistance-eccentricity shape: the path tip is
+// the resistance-peripheral node.
+func Lollipop(k, t int) *Graph {
+	g := New(k + t)
+	for u := 0; u < k; u++ {
+		for v := u + 1; v < k; v++ {
+			mustAdd(g, u, v)
+		}
+	}
+	prev := 0
+	for i := 0; i < t; i++ {
+		mustAdd(g, prev, k+i)
+		prev = k + i
+	}
+	return g
+}
+
+// Barbell returns two K_k cliques joined by a path of t intermediate nodes.
+func Barbell(k, t int) *Graph {
+	g := New(2*k + t)
+	for u := 0; u < k; u++ {
+		for v := u + 1; v < k; v++ {
+			mustAdd(g, u, v)
+			mustAdd(g, k+t+u, k+t+v)
+		}
+	}
+	prev := 0
+	for i := 0; i < t; i++ {
+		mustAdd(g, prev, k+i)
+		prev = k + i
+	}
+	mustAdd(g, prev, k+t)
+	return g
+}
+
+// ErdosRenyi samples G(n, p) with the given seed and returns its largest
+// connected component (the paper always works on LCCs).
+func ErdosRenyi(n int, p float64, seed int64) *Graph {
+	rng := rand.New(rand.NewSource(seed))
+	g := New(n)
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			if rng.Float64() < p {
+				mustAdd(g, u, v)
+			}
+		}
+	}
+	lcc, _ := g.LargestComponent()
+	return lcc
+}
+
+// BarabasiAlbert grows a scale-free graph by preferential attachment: it
+// starts from a small seed clique and attaches each new node to k distinct
+// existing nodes chosen proportionally to degree. The result is connected by
+// construction and has a power-law degree tail with exponent ≈ 3, matching
+// the datasets of Table I.
+func BarabasiAlbert(n, k int, seed int64) *Graph {
+	if k < 1 {
+		panic("graph: BarabasiAlbert needs k >= 1")
+	}
+	if n < k+1 {
+		panic(fmt.Sprintf("graph: BarabasiAlbert needs n > k (n=%d, k=%d)", n, k))
+	}
+	rng := rand.New(rand.NewSource(seed))
+	g := New(n)
+	// Seed clique on k+1 nodes keeps early attachment well-defined.
+	for u := 0; u <= k; u++ {
+		for v := u + 1; v <= k; v++ {
+			mustAdd(g, u, v)
+		}
+	}
+	// targets is a degree-weighted multiset: node u appears deg(u) times.
+	targets := make([]int32, 0, 2*k*n)
+	for u := 0; u <= k; u++ {
+		for i := 0; i < k; i++ {
+			targets = append(targets, int32(u))
+		}
+	}
+	chosen := make([]int32, 0, k)
+	for u := k + 1; u < n; u++ {
+		chosen = chosen[:0]
+		for len(chosen) < k {
+			t := targets[rng.Intn(len(targets))]
+			dup := false
+			for _, c := range chosen {
+				if c == t {
+					dup = true
+					break
+				}
+			}
+			if !dup {
+				chosen = append(chosen, t)
+			}
+		}
+		for _, t := range chosen {
+			mustAdd(g, u, int(t))
+			targets = append(targets, t, int32(u))
+		}
+	}
+	return g
+}
+
+// PowerlawCluster is the Holme–Kim variant of preferential attachment: after
+// each preferential link, with probability tri a triangle-closing link to a
+// random neighbour of the previous target is attempted. It produces
+// scale-free graphs with tunable clustering, closer to the social networks
+// (Politician, Government, ...) in Table I than plain BA.
+func PowerlawCluster(n, k int, tri float64, seed int64) *Graph {
+	if k < 1 || n < k+1 {
+		panic("graph: PowerlawCluster needs n > k >= 1")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	g := New(n)
+	for u := 0; u <= k; u++ {
+		for v := u + 1; v <= k; v++ {
+			mustAdd(g, u, v)
+		}
+	}
+	targets := make([]int32, 0, 2*k*n)
+	for u := 0; u <= k; u++ {
+		for i := 0; i < k; i++ {
+			targets = append(targets, int32(u))
+		}
+	}
+	for u := k + 1; u < n; u++ {
+		added := 0
+		last := int32(-1)
+		for added < k {
+			var t int32
+			if last >= 0 && tri > 0 && rng.Float64() < tri && g.Degree(int(last)) > 0 {
+				// Triangle step: link to a random neighbour of the last target.
+				nbrs := g.adj[last]
+				t = nbrs[rng.Intn(len(nbrs))]
+			} else {
+				t = targets[rng.Intn(len(targets))]
+			}
+			if int(t) == u || g.HasEdge(u, int(t)) {
+				// Fall back to a fresh preferential draw next round.
+				last = -1
+				t = targets[rng.Intn(len(targets))]
+				if int(t) == u || g.HasEdge(u, int(t)) {
+					continue
+				}
+			}
+			mustAdd(g, u, int(t))
+			targets = append(targets, t, int32(u))
+			last = t
+			added++
+		}
+	}
+	return g
+}
+
+// ScaleFreeMixed grows a preferential-attachment graph where each new node
+// attaches with a per-node random edge count drawn uniformly from
+// [kmin, kmax] (expected (kmin+kmax)/2), with Holme–Kim triangle closure at
+// probability tri. Unlike BarabasiAlbert/PowerlawCluster, whose minimum
+// degree equals the attachment parameter, kmin = 1 yields the degree-1
+// pendant periphery real networks have — the nodes responsible for the
+// heavy right tail of the resistance eccentricity distribution (§IV-B).
+func ScaleFreeMixed(n, kmin, kmax int, tri float64, seed int64) *Graph {
+	if kmin < 1 || kmax < kmin {
+		panic("graph: ScaleFreeMixed needs 1 <= kmin <= kmax")
+	}
+	if n < kmax+2 {
+		panic(fmt.Sprintf("graph: ScaleFreeMixed needs n > kmax+1 (n=%d, kmax=%d)", n, kmax))
+	}
+	rng := rand.New(rand.NewSource(seed))
+	g := New(n)
+	seedN := kmax + 1
+	for u := 0; u < seedN; u++ {
+		for v := u + 1; v < seedN; v++ {
+			mustAdd(g, u, v)
+		}
+	}
+	targets := make([]int32, 0, (kmin+kmax)*n)
+	for u := 0; u < seedN; u++ {
+		for i := 0; i < kmax; i++ {
+			targets = append(targets, int32(u))
+		}
+	}
+	for u := seedN; u < n; u++ {
+		k := kmin + rng.Intn(kmax-kmin+1)
+		added := 0
+		last := int32(-1)
+		for added < k {
+			var t int32
+			if last >= 0 && tri > 0 && rng.Float64() < tri {
+				nbrs := g.adj[last]
+				t = nbrs[rng.Intn(len(nbrs))]
+			} else {
+				t = targets[rng.Intn(len(targets))]
+			}
+			if int(t) == u || g.HasEdge(u, int(t)) {
+				last = -1
+				t = targets[rng.Intn(len(targets))]
+				if int(t) == u || g.HasEdge(u, int(t)) {
+					continue
+				}
+			}
+			mustAdd(g, u, int(t))
+			targets = append(targets, t, int32(u))
+			last = t
+			added++
+		}
+	}
+	return g
+}
+
+// WattsStrogatz builds the small-world model: a ring lattice where each node
+// connects to its k nearest neighbours (k even), with each edge rewired to a
+// random endpoint with probability beta. The LCC is returned.
+func WattsStrogatz(n, k int, beta float64, seed int64) *Graph {
+	if k%2 != 0 || k < 2 || k >= n {
+		panic("graph: WattsStrogatz needs even 2 <= k < n")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	g := New(n)
+	for u := 0; u < n; u++ {
+		for j := 1; j <= k/2; j++ {
+			v := (u + j) % n
+			if !g.HasEdge(u, v) {
+				mustAdd(g, u, v)
+			}
+		}
+	}
+	for _, e := range g.Edges() {
+		if rng.Float64() < beta {
+			w := rng.Intn(n)
+			if w != e.U && !g.HasEdge(e.U, w) {
+				if err := g.RemoveEdge(e.U, e.V); err == nil {
+					mustAdd(g, e.U, w)
+				}
+			}
+		}
+	}
+	lcc, _ := g.LargestComponent()
+	return lcc
+}
+
+// RandomConnected returns a connected G(n,p)-style graph by first threading a
+// random spanning path (guaranteeing connectivity on exactly n nodes) and
+// then sprinkling extra random edges until the requested edge count m is
+// reached. Useful when experiments need an exact (n, m).
+func RandomConnected(n, m int, seed int64) *Graph {
+	if m < n-1 {
+		panic("graph: RandomConnected needs m >= n-1")
+	}
+	maxM := n * (n - 1) / 2
+	if m > maxM {
+		panic("graph: RandomConnected m exceeds complete graph")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	perm := rng.Perm(n)
+	g := New(n)
+	for i := 0; i+1 < n; i++ {
+		mustAdd(g, perm[i], perm[i+1])
+	}
+	for g.m < m {
+		u, v := rng.Intn(n), rng.Intn(n)
+		if u != v && !g.HasEdge(u, v) {
+			mustAdd(g, u, v)
+		}
+	}
+	return g
+}
+
+func mustAdd(g *Graph, u, v int) {
+	if err := g.AddEdge(u, v); err != nil {
+		panic(err)
+	}
+}

@@ -1,0 +1,212 @@
+package graph
+
+import (
+	"testing"
+)
+
+func TestPathShape(t *testing.T) {
+	g := Path(6)
+	if g.N() != 6 || g.M() != 5 {
+		t.Fatalf("n=%d m=%d", g.N(), g.M())
+	}
+	if g.Degree(0) != 1 || g.Degree(5) != 1 || g.Degree(2) != 2 {
+		t.Fatal("path degrees wrong")
+	}
+}
+
+func TestCycleShape(t *testing.T) {
+	g := Cycle(8)
+	if g.N() != 8 || g.M() != 8 {
+		t.Fatalf("n=%d m=%d", g.N(), g.M())
+	}
+	for u := 0; u < 8; u++ {
+		if g.Degree(u) != 2 {
+			t.Fatalf("degree(%d)=%d", u, g.Degree(u))
+		}
+	}
+}
+
+func TestStarShape(t *testing.T) {
+	g := Star(7)
+	if g.N() != 7 || g.M() != 6 || g.Degree(0) != 6 {
+		t.Fatal("star shape wrong")
+	}
+}
+
+func TestCompleteShape(t *testing.T) {
+	g := Complete(6)
+	if g.M() != 15 {
+		t.Fatalf("K6 m=%d, want 15", g.M())
+	}
+}
+
+func TestGridShape(t *testing.T) {
+	g := Grid(3, 4)
+	if g.N() != 12 {
+		t.Fatalf("n=%d", g.N())
+	}
+	// Edges: 3*3 horizontal + 2*4 vertical = 17.
+	if g.M() != 17 {
+		t.Fatalf("m=%d, want 17", g.M())
+	}
+	if !g.Connected() {
+		t.Fatal("grid must be connected")
+	}
+}
+
+func TestLollipopBarbell(t *testing.T) {
+	l := Lollipop(5, 3)
+	if l.N() != 8 || l.M() != 10+3 {
+		t.Fatalf("lollipop n=%d m=%d", l.N(), l.M())
+	}
+	if !l.Connected() {
+		t.Fatal("lollipop connected")
+	}
+	b := Barbell(4, 2)
+	if b.N() != 10 || b.M() != 6+6+3 {
+		t.Fatalf("barbell n=%d m=%d", b.N(), b.M())
+	}
+	if !b.Connected() {
+		t.Fatal("barbell connected")
+	}
+}
+
+func TestBarabasiAlbert(t *testing.T) {
+	g := BarabasiAlbert(500, 3, 42)
+	if g.N() != 500 {
+		t.Fatalf("n=%d", g.N())
+	}
+	if !g.Connected() {
+		t.Fatal("BA graphs are connected by construction")
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// m = C(4,2) + 3*(n-4) = 6 + 3*496.
+	want := 6 + 3*496
+	if g.M() != want {
+		t.Fatalf("m=%d, want %d", g.M(), want)
+	}
+	// Determinism.
+	h := BarabasiAlbert(500, 3, 42)
+	eg, eh := g.Edges(), h.Edges()
+	for i := range eg {
+		if eg[i] != eh[i] {
+			t.Fatal("BA not deterministic for a fixed seed")
+		}
+	}
+	// Heavy tail: the max degree should far exceed the mean.
+	stats := g.SummarizeFast()
+	if float64(stats.MaxDegree) < 3*stats.AvgDegree {
+		t.Fatalf("max degree %d vs avg %.1f: no hub structure", stats.MaxDegree, stats.AvgDegree)
+	}
+}
+
+func TestPowerlawCluster(t *testing.T) {
+	g := PowerlawCluster(400, 4, 0.5, 7)
+	if g.N() != 400 || !g.Connected() {
+		t.Fatal("powerlaw-cluster should be connected with n nodes")
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	plain := BarabasiAlbert(400, 4, 7)
+	if g.MeanClustering() <= plain.MeanClustering() {
+		t.Fatalf("triangle closure should raise clustering: HK=%.3f BA=%.3f",
+			g.MeanClustering(), plain.MeanClustering())
+	}
+}
+
+func TestWattsStrogatz(t *testing.T) {
+	g := WattsStrogatz(300, 6, 0.1, 3)
+	if !g.Connected() {
+		t.Fatal("WS LCC must be connected")
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if g.N() < 250 {
+		t.Fatalf("rewiring destroyed too much: n=%d", g.N())
+	}
+}
+
+func TestErdosRenyi(t *testing.T) {
+	g := ErdosRenyi(300, 0.02, 11)
+	if !g.Connected() {
+		t.Fatal("ER LCC must be connected")
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRandomConnected(t *testing.T) {
+	g := RandomConnected(50, 120, 5)
+	if g.N() != 50 || g.M() != 120 || !g.Connected() {
+		t.Fatalf("n=%d m=%d connected=%v", g.N(), g.M(), g.Connected())
+	}
+	// Exact m at the complete-graph bound.
+	h := RandomConnected(6, 15, 1)
+	if h.M() != 15 {
+		t.Fatalf("complete bound m=%d", h.M())
+	}
+}
+
+func TestGeneratorPanics(t *testing.T) {
+	cases := []func(){
+		func() { Cycle(2) },
+		func() { BarabasiAlbert(3, 3, 1) },
+		func() { BarabasiAlbert(10, 0, 1) },
+		func() { WattsStrogatz(10, 3, 0.1, 1) },
+		func() { RandomConnected(5, 2, 1) },
+		func() { RandomConnected(5, 11, 1) },
+	}
+	for i, fn := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: expected panic", i)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestScaleFreeMixed(t *testing.T) {
+	g := ScaleFreeMixed(600, 1, 7, 0.3, 13)
+	if g.N() != 600 || !g.Connected() {
+		t.Fatal("mixed scale-free must be connected with n nodes")
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Pendant periphery must exist (the point of the generator).
+	degOne := 0
+	for u := 0; u < g.N(); u++ {
+		if g.Degree(u) == 1 {
+			degOne++
+		}
+	}
+	if degOne == 0 {
+		t.Fatal("no degree-1 nodes")
+	}
+	// Mean degree ≈ 2·(kmin+kmax)/2 = kmin+kmax.
+	avg := g.AverageDegree()
+	if avg < 5 || avg > 11 {
+		t.Fatalf("average degree %.2f outside [5,11]", avg)
+	}
+	// Determinism.
+	h := ScaleFreeMixed(600, 1, 7, 0.3, 13)
+	if h.M() != g.M() {
+		t.Fatal("not deterministic")
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("expected panic for kmin=0")
+			}
+		}()
+		ScaleFreeMixed(10, 0, 3, 0, 1)
+	}()
+}

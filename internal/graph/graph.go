@@ -1,0 +1,262 @@
+// Package graph provides the graph substrate used throughout resistecc:
+// a compact undirected simple-graph representation with adjacency lists,
+// traversal, connectivity and largest-connected-component extraction,
+// deterministic generators for the synthetic networks used in the paper's
+// experiments, edge-list I/O and structural statistics (degree distribution,
+// clustering coefficient, power-law exponent).
+//
+// Graphs are connected, undirected and unweighted, matching §III-B of the
+// paper. Nodes are labelled 0..n-1 (the paper uses 1..n; we follow Go
+// convention and shift by one).
+package graph
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// Graph is an undirected simple graph stored as adjacency lists.
+//
+// The zero value is an empty graph with no nodes; use New or a generator to
+// construct a usable instance. Graph is not safe for concurrent mutation;
+// concurrent reads are safe.
+type Graph struct {
+	adj [][]int32 // adj[u] lists the neighbours of u, sorted ascending
+	m   int       // number of undirected edges
+}
+
+// Edge is an undirected edge between nodes U and V.
+// Canonical form has U < V; Canon returns it.
+type Edge struct {
+	U, V int
+}
+
+// Canon returns e with endpoints ordered so that U <= V.
+func (e Edge) Canon() Edge {
+	if e.U > e.V {
+		return Edge{e.V, e.U}
+	}
+	return e
+}
+
+// String implements fmt.Stringer.
+func (e Edge) String() string { return fmt.Sprintf("(%d,%d)", e.U, e.V) }
+
+// New returns an empty graph with n isolated nodes.
+func New(n int) *Graph {
+	if n < 0 {
+		panic("graph: negative node count")
+	}
+	return &Graph{adj: make([][]int32, n)}
+}
+
+// FromEdges builds a graph with n nodes and the given edges.
+// Self-loops and duplicate edges are rejected with an error, as the paper
+// studies simple graphs only.
+func FromEdges(n int, edges []Edge) (*Graph, error) {
+	g := New(n)
+	for _, e := range edges {
+		if err := g.AddEdge(e.U, e.V); err != nil {
+			return nil, err
+		}
+	}
+	return g, nil
+}
+
+// MustFromEdges is FromEdges that panics on error; intended for tests,
+// examples and generators with statically known-valid input.
+func MustFromEdges(n int, edges []Edge) *Graph {
+	g, err := FromEdges(n, edges)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// N returns the number of nodes.
+func (g *Graph) N() int { return len(g.adj) }
+
+// M returns the number of undirected edges.
+func (g *Graph) M() int { return g.m }
+
+// Degree returns the degree of node u.
+func (g *Graph) Degree(u int) int { return len(g.adj[u]) }
+
+// Neighbors returns the sorted neighbour list of u. The returned slice is
+// owned by the graph and must not be modified.
+func (g *Graph) Neighbors(u int) []int32 { return g.adj[u] }
+
+// HasEdge reports whether the undirected edge (u,v) is present.
+func (g *Graph) HasEdge(u, v int) bool {
+	if u < 0 || v < 0 || u >= len(g.adj) || v >= len(g.adj) {
+		return false
+	}
+	list := g.adj[u]
+	if len(g.adj[v]) < len(list) {
+		list, u, v = g.adj[v], v, u
+	}
+	i := sort.Search(len(list), func(i int) bool { return list[i] >= int32(v) })
+	return i < len(list) && list[i] == int32(v)
+}
+
+var (
+	// ErrSelfLoop is returned when adding an edge (u,u).
+	ErrSelfLoop = errors.New("graph: self-loop not allowed in a simple graph")
+	// ErrDuplicateEdge is returned when adding an edge that already exists.
+	ErrDuplicateEdge = errors.New("graph: edge already present")
+	// ErrNodeRange is returned for out-of-range node indices.
+	ErrNodeRange = errors.New("graph: node index out of range")
+)
+
+// AddEdge inserts the undirected edge (u,v).
+func (g *Graph) AddEdge(u, v int) error {
+	if u < 0 || v < 0 || u >= len(g.adj) || v >= len(g.adj) {
+		return fmt.Errorf("%w: (%d,%d) with n=%d", ErrNodeRange, u, v, len(g.adj))
+	}
+	if u == v {
+		return fmt.Errorf("%w: node %d", ErrSelfLoop, u)
+	}
+	if g.HasEdge(u, v) {
+		return fmt.Errorf("%w: (%d,%d)", ErrDuplicateEdge, u, v)
+	}
+	g.insertArc(u, v)
+	g.insertArc(v, u)
+	g.m++
+	return nil
+}
+
+func (g *Graph) insertArc(u, v int) {
+	list := g.adj[u]
+	i := sort.Search(len(list), func(i int) bool { return list[i] >= int32(v) })
+	list = append(list, 0)
+	copy(list[i+1:], list[i:])
+	list[i] = int32(v)
+	g.adj[u] = list
+}
+
+// RemoveEdge deletes the undirected edge (u,v) if present.
+func (g *Graph) RemoveEdge(u, v int) error {
+	if !g.HasEdge(u, v) {
+		return fmt.Errorf("graph: edge (%d,%d) not present", u, v)
+	}
+	g.removeArc(u, v)
+	g.removeArc(v, u)
+	g.m--
+	return nil
+}
+
+func (g *Graph) removeArc(u, v int) {
+	list := g.adj[u]
+	i := sort.Search(len(list), func(i int) bool { return list[i] >= int32(v) })
+	copy(list[i:], list[i+1:])
+	g.adj[u] = list[:len(list)-1]
+}
+
+// Clone returns a deep copy of the graph.
+func (g *Graph) Clone() *Graph {
+	c := &Graph{adj: make([][]int32, len(g.adj)), m: g.m}
+	for u, list := range g.adj {
+		c.adj[u] = append([]int32(nil), list...)
+	}
+	return c
+}
+
+// Edges returns all undirected edges in canonical (U < V) order, sorted.
+func (g *Graph) Edges() []Edge {
+	edges := make([]Edge, 0, g.m)
+	for u, list := range g.adj {
+		for _, v := range list {
+			if int32(u) < v {
+				edges = append(edges, Edge{u, int(v)})
+			}
+		}
+	}
+	return edges
+}
+
+// EachEdge calls fn once per undirected edge with u < v.
+// Iteration stops early if fn returns false.
+func (g *Graph) EachEdge(fn func(u, v int) bool) {
+	for u, list := range g.adj {
+		for _, v := range list {
+			if int32(u) < v {
+				if !fn(u, int(v)) {
+					return
+				}
+			}
+		}
+	}
+}
+
+// Degrees returns the degree sequence d[0..n-1].
+func (g *Graph) Degrees() []int {
+	d := make([]int, len(g.adj))
+	for u := range g.adj {
+		d[u] = len(g.adj[u])
+	}
+	return d
+}
+
+// AverageDegree returns 2m/n, the mean degree.
+func (g *Graph) AverageDegree() float64 {
+	if len(g.adj) == 0 {
+		return 0
+	}
+	return 2 * float64(g.m) / float64(len(g.adj))
+}
+
+// Validate checks internal invariants (sorted adjacency, symmetry, no
+// self-loops, edge count). Used by tests and after deserialization.
+func (g *Graph) Validate() error {
+	arcs := 0
+	for u, list := range g.adj {
+		for i, v := range list {
+			if int(v) < 0 || int(v) >= len(g.adj) {
+				return fmt.Errorf("graph: node %d has out-of-range neighbour %d", u, v)
+			}
+			if int(v) == u {
+				return fmt.Errorf("graph: self-loop at node %d", u)
+			}
+			if i > 0 && list[i-1] >= v {
+				return fmt.Errorf("graph: adjacency of node %d not strictly sorted", u)
+			}
+			if !g.HasEdge(int(v), u) {
+				return fmt.Errorf("graph: asymmetric arc %d->%d", u, v)
+			}
+		}
+		arcs += len(list)
+	}
+	if arcs != 2*g.m {
+		return fmt.Errorf("graph: edge count mismatch: %d arcs, m=%d", arcs, g.m)
+	}
+	return nil
+}
+
+// ComplementCandidates returns the candidate set Q2 = (V×V)\E of Problem 2:
+// all node pairs (u,v), u < v, that are not edges. Quadratic; intended for
+// small graphs (exhaustive search, tests).
+func (g *Graph) ComplementCandidates() []Edge {
+	var out []Edge
+	n := len(g.adj)
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			if !g.HasEdge(u, v) {
+				out = append(out, Edge{u, v})
+			}
+		}
+	}
+	return out
+}
+
+// SourceCandidates returns the candidate set Q1 = {(s,u) : (s,u) ∉ E} of
+// Problem 1 for the given source node.
+func (g *Graph) SourceCandidates(s int) []Edge {
+	var out []Edge
+	for u := 0; u < len(g.adj); u++ {
+		if u != s && !g.HasEdge(s, u) {
+			out = append(out, Edge{s, u}.Canon())
+		}
+	}
+	return out
+}

@@ -1,0 +1,236 @@
+package graph
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewEmpty(t *testing.T) {
+	g := New(5)
+	if g.N() != 5 || g.M() != 0 {
+		t.Fatalf("got n=%d m=%d, want 5, 0", g.N(), g.M())
+	}
+	for u := 0; u < 5; u++ {
+		if g.Degree(u) != 0 {
+			t.Fatalf("node %d degree %d, want 0", u, g.Degree(u))
+		}
+	}
+}
+
+func TestAddEdgeBasics(t *testing.T) {
+	g := New(4)
+	if err := g.AddEdge(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AddEdge(1, 2); err != nil {
+		t.Fatal(err)
+	}
+	if g.M() != 2 {
+		t.Fatalf("m=%d, want 2", g.M())
+	}
+	if !g.HasEdge(0, 1) || !g.HasEdge(1, 0) {
+		t.Fatal("edge (0,1) should be present both ways")
+	}
+	if g.HasEdge(0, 2) {
+		t.Fatal("edge (0,2) should be absent")
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAddEdgeErrors(t *testing.T) {
+	g := New(3)
+	if err := g.AddEdge(0, 0); !errors.Is(err, ErrSelfLoop) {
+		t.Fatalf("self-loop: got %v, want ErrSelfLoop", err)
+	}
+	if err := g.AddEdge(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AddEdge(1, 0); !errors.Is(err, ErrDuplicateEdge) {
+		t.Fatalf("duplicate: got %v, want ErrDuplicateEdge", err)
+	}
+	if err := g.AddEdge(0, 7); !errors.Is(err, ErrNodeRange) {
+		t.Fatalf("range: got %v, want ErrNodeRange", err)
+	}
+	if err := g.AddEdge(-1, 0); !errors.Is(err, ErrNodeRange) {
+		t.Fatalf("negative: got %v, want ErrNodeRange", err)
+	}
+}
+
+func TestRemoveEdge(t *testing.T) {
+	g := Path(4)
+	if err := g.RemoveEdge(1, 2); err != nil {
+		t.Fatal(err)
+	}
+	if g.HasEdge(1, 2) || g.M() != 2 {
+		t.Fatal("edge (1,2) should be gone")
+	}
+	if err := g.RemoveEdge(1, 2); err == nil {
+		t.Fatal("removing absent edge should fail")
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEdgesCanonical(t *testing.T) {
+	g := MustFromEdges(4, []Edge{{2, 1}, {3, 0}, {0, 1}})
+	edges := g.Edges()
+	want := []Edge{{0, 1}, {0, 3}, {1, 2}}
+	if len(edges) != len(want) {
+		t.Fatalf("got %v", edges)
+	}
+	for i, e := range want {
+		if edges[i] != e {
+			t.Fatalf("edges[%d]=%v, want %v", i, edges[i], e)
+		}
+	}
+}
+
+func TestEdgeCanon(t *testing.T) {
+	if (Edge{3, 1}).Canon() != (Edge{1, 3}) {
+		t.Fatal("Canon should order endpoints")
+	}
+	if (Edge{1, 3}).Canon() != (Edge{1, 3}) {
+		t.Fatal("Canon should keep ordered endpoints")
+	}
+}
+
+func TestClone(t *testing.T) {
+	g := Cycle(5)
+	c := g.Clone()
+	if err := c.AddEdge(0, 2); err != nil {
+		t.Fatal(err)
+	}
+	if g.HasEdge(0, 2) {
+		t.Fatal("mutation of clone leaked into original")
+	}
+	if g.M() != 5 || c.M() != 6 {
+		t.Fatalf("m: g=%d c=%d", g.M(), c.M())
+	}
+}
+
+func TestEachEdgeEarlyStop(t *testing.T) {
+	g := Complete(6)
+	count := 0
+	g.EachEdge(func(u, v int) bool {
+		count++
+		return count < 3
+	})
+	if count != 3 {
+		t.Fatalf("early stop: visited %d, want 3", count)
+	}
+}
+
+func TestCandidateSets(t *testing.T) {
+	g := Path(4) // 0-1-2-3
+	q1 := g.SourceCandidates(0)
+	want1 := []Edge{{0, 2}, {0, 3}}
+	if len(q1) != 2 || q1[0] != want1[0] || q1[1] != want1[1] {
+		t.Fatalf("Q1=%v, want %v", q1, want1)
+	}
+	q2 := g.ComplementCandidates()
+	// Path(4) misses (0,2),(0,3),(1,3): |Q2| = C(4,2) − 3 = 3.
+	if len(q2) != 3 {
+		t.Fatalf("|Q2|=%d, want 3 (%v)", len(q2), q2)
+	}
+	for _, e := range q2 {
+		if g.HasEdge(e.U, e.V) {
+			t.Fatalf("candidate %v already an edge", e)
+		}
+	}
+}
+
+func TestDegreesAndAverage(t *testing.T) {
+	g := Star(5)
+	d := g.Degrees()
+	if d[0] != 4 {
+		t.Fatalf("hub degree %d, want 4", d[0])
+	}
+	for i := 1; i < 5; i++ {
+		if d[i] != 1 {
+			t.Fatalf("leaf %d degree %d, want 1", i, d[i])
+		}
+	}
+	if got := g.AverageDegree(); got != 8.0/5.0 {
+		t.Fatalf("avg degree %g, want %g", got, 8.0/5.0)
+	}
+}
+
+// Property: after any sequence of valid insertions, Validate passes and
+// HasEdge is consistent with the inserted set.
+func TestQuickInsertConsistency(t *testing.T) {
+	f := func(pairs [][2]uint8) bool {
+		const n = 24
+		g := New(n)
+		inserted := map[Edge]bool{}
+		for _, p := range pairs {
+			u, v := int(p[0])%n, int(p[1])%n
+			e := Edge{u, v}.Canon()
+			err := g.AddEdge(u, v)
+			switch {
+			case u == v:
+				if err == nil {
+					return false
+				}
+			case inserted[e]:
+				if err == nil {
+					return false
+				}
+			default:
+				if err != nil {
+					return false
+				}
+				inserted[e] = true
+			}
+		}
+		if g.Validate() != nil {
+			return false
+		}
+		if g.M() != len(inserted) {
+			return false
+		}
+		for e := range inserted {
+			if !g.HasEdge(e.U, e.V) || !g.HasEdge(e.V, e.U) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: RemoveEdge(AddEdge(g)) restores exact structure.
+func TestQuickAddRemoveRoundTrip(t *testing.T) {
+	f := func(seed int64, u8, v8 uint8) bool {
+		g := BarabasiAlbert(30, 2, seed%1000)
+		u, v := int(u8)%30, int(v8)%30
+		if u == v || g.HasEdge(u, v) {
+			return true // vacuous
+		}
+		before := g.Edges()
+		if g.AddEdge(u, v) != nil {
+			return false
+		}
+		if g.RemoveEdge(u, v) != nil {
+			return false
+		}
+		after := g.Edges()
+		if len(before) != len(after) {
+			return false
+		}
+		for i := range before {
+			if before[i] != after[i] {
+				return false
+			}
+		}
+		return g.Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,107 @@
+package graph
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// ReadEdgeList parses a whitespace-separated edge-list stream, the common
+// interchange format of KONECT and NetworkRepository. Lines starting with
+// '#' or '%' are comments. Node labels may be arbitrary non-negative
+// integers; they are compacted to 0..n-1 in first-seen order. Duplicate
+// edges, reversed duplicates and self-loops are silently dropped — the same
+// preprocessing the paper applies (§IV-B) before taking the LCC.
+//
+// It returns the graph plus the original labels indexed by compact id.
+func ReadEdgeList(r io.Reader) (*Graph, []int64, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	ids := make(map[int64]int)
+	var labels []int64
+	intern := func(raw int64) int {
+		if id, ok := ids[raw]; ok {
+			return id
+		}
+		id := len(labels)
+		ids[raw] = id
+		labels = append(labels, raw)
+		return id
+	}
+	type pair struct{ u, v int }
+	var pairs []pair
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || text[0] == '#' || text[0] == '%' {
+			continue
+		}
+		fields := strings.Fields(text)
+		if len(fields) < 2 {
+			return nil, nil, fmt.Errorf("graph: edge list line %d: need two fields, got %q", line, text)
+		}
+		a, err := strconv.ParseInt(fields[0], 10, 64)
+		if err != nil {
+			return nil, nil, fmt.Errorf("graph: edge list line %d: %v", line, err)
+		}
+		b, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			return nil, nil, fmt.Errorf("graph: edge list line %d: %v", line, err)
+		}
+		// Extra fields (weights, timestamps) are ignored: the paper converts
+		// weighted/directed networks to simple undirected ones.
+		pairs = append(pairs, pair{intern(a), intern(b)})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, nil, fmt.Errorf("graph: reading edge list: %w", err)
+	}
+	g := New(len(labels))
+	for _, p := range pairs {
+		if p.u == p.v || g.HasEdge(p.u, p.v) {
+			continue
+		}
+		mustAdd(g, p.u, p.v)
+	}
+	return g, labels, nil
+}
+
+// LoadEdgeList reads an edge-list file from disk; see ReadEdgeList.
+func LoadEdgeList(path string) (*Graph, []int64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer f.Close()
+	return ReadEdgeList(f)
+}
+
+// WriteEdgeList emits the graph as "u v" lines in canonical edge order.
+func (g *Graph) WriteEdgeList(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	var err error
+	g.EachEdge(func(u, v int) bool {
+		_, err = fmt.Fprintf(bw, "%d %d\n", u, v)
+		return err == nil
+	})
+	if err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// SaveEdgeList writes the graph to a file; see WriteEdgeList.
+func (g *Graph) SaveEdgeList(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := g.WriteEdgeList(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -1,0 +1,123 @@
+package graph
+
+// BFS runs a breadth-first search from src and returns the hop distance to
+// every node. Unreachable nodes get distance -1.
+func (g *Graph) BFS(src int) []int {
+	dist := make([]int, len(g.adj))
+	for i := range dist {
+		dist[i] = -1
+	}
+	if src < 0 || src >= len(g.adj) {
+		return dist
+	}
+	dist[src] = 0
+	queue := make([]int32, 0, len(g.adj))
+	queue = append(queue, int32(src))
+	for head := 0; head < len(queue); head++ {
+		u := queue[head]
+		du := dist[u]
+		for _, v := range g.adj[u] {
+			if dist[v] < 0 {
+				dist[v] = du + 1
+				queue = append(queue, v)
+			}
+		}
+	}
+	return dist
+}
+
+// Eccentricity returns the classical (shortest-path) eccentricity of src:
+// the maximum hop distance from src to any reachable node, along with the
+// index of a farthest node. Used by the PATH-* baselines of §VIII-C.
+func (g *Graph) Eccentricity(src int) (ecc, farthest int) {
+	dist := g.BFS(src)
+	ecc, farthest = 0, src
+	for v, d := range dist {
+		if d > ecc {
+			ecc, farthest = d, v
+		}
+	}
+	return ecc, farthest
+}
+
+// Connected reports whether the graph is connected (true for n <= 1).
+func (g *Graph) Connected() bool {
+	if len(g.adj) <= 1 {
+		return true
+	}
+	dist := g.BFS(0)
+	for _, d := range dist {
+		if d < 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Components returns the connected components as slices of node indices.
+func (g *Graph) Components() [][]int {
+	n := len(g.adj)
+	comp := make([]int, n)
+	for i := range comp {
+		comp[i] = -1
+	}
+	var comps [][]int
+	queue := make([]int32, 0, n)
+	for s := 0; s < n; s++ {
+		if comp[s] >= 0 {
+			continue
+		}
+		id := len(comps)
+		comp[s] = id
+		queue = queue[:0]
+		queue = append(queue, int32(s))
+		members := []int{s}
+		for head := 0; head < len(queue); head++ {
+			u := queue[head]
+			for _, v := range g.adj[u] {
+				if comp[v] < 0 {
+					comp[v] = id
+					queue = append(queue, v)
+					members = append(members, int(v))
+				}
+			}
+		}
+		comps = append(comps, members)
+	}
+	return comps
+}
+
+// LargestComponent extracts the largest connected component as a new graph
+// with nodes relabelled 0..k-1. It returns the new graph and a mapping
+// newToOld from new node index to the index in g. This mirrors the paper's
+// preprocessing (§IV-B): only the LCC of each network is studied.
+func (g *Graph) LargestComponent() (*Graph, []int) {
+	comps := g.Components()
+	if len(comps) == 0 {
+		return New(0), nil
+	}
+	best := 0
+	for i, c := range comps {
+		if len(c) > len(comps[best]) {
+			best = i
+		}
+	}
+	members := comps[best]
+	newToOld := append([]int(nil), members...)
+	oldToNew := make(map[int]int32, len(members))
+	for i, v := range members {
+		oldToNew[v] = int32(i)
+	}
+	sub := New(len(members))
+	for i, v := range members {
+		for _, w := range g.adj[v] {
+			j, ok := oldToNew[int(w)]
+			if ok && int32(i) < j {
+				sub.insertArc(i, int(j))
+				sub.insertArc(int(j), i)
+				sub.m++
+			}
+		}
+	}
+	return sub, newToOld
+}

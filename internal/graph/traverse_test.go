@@ -1,0 +1,115 @@
+package graph
+
+import (
+	"testing"
+)
+
+func TestBFSPath(t *testing.T) {
+	g := Path(5)
+	dist := g.BFS(0)
+	for i, d := range dist {
+		if d != i {
+			t.Fatalf("dist[%d]=%d, want %d", i, d, i)
+		}
+	}
+}
+
+func TestBFSUnreachable(t *testing.T) {
+	g := New(4)
+	if err := g.AddEdge(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	dist := g.BFS(0)
+	if dist[2] != -1 || dist[3] != -1 {
+		t.Fatalf("unreachable nodes should be -1, got %v", dist)
+	}
+}
+
+func TestEccentricityHops(t *testing.T) {
+	g := Path(7)
+	ecc, far := g.Eccentricity(3)
+	if ecc != 3 {
+		t.Fatalf("ecc=%d, want 3", ecc)
+	}
+	if far != 0 && far != 6 {
+		t.Fatalf("farthest=%d, want an endpoint", far)
+	}
+	ecc, far = g.Eccentricity(0)
+	if ecc != 6 || far != 6 {
+		t.Fatalf("from end: ecc=%d far=%d", ecc, far)
+	}
+}
+
+func TestConnected(t *testing.T) {
+	if !Path(10).Connected() {
+		t.Fatal("path should be connected")
+	}
+	if !New(1).Connected() || !New(0).Connected() {
+		t.Fatal("trivial graphs are connected")
+	}
+	g := New(3)
+	if err := g.AddEdge(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if g.Connected() {
+		t.Fatal("disconnected graph reported connected")
+	}
+}
+
+func TestComponents(t *testing.T) {
+	g := New(7)
+	for _, e := range [][2]int{{0, 1}, {1, 2}, {3, 4}} {
+		if err := g.AddEdge(e[0], e[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	comps := g.Components()
+	if len(comps) != 4 { // {0,1,2}, {3,4}, {5}, {6}
+		t.Fatalf("got %d components (%v), want 4", len(comps), comps)
+	}
+	sizes := map[int]int{}
+	for _, c := range comps {
+		sizes[len(c)]++
+	}
+	if sizes[3] != 1 || sizes[2] != 1 || sizes[1] != 2 {
+		t.Fatalf("component sizes wrong: %v", comps)
+	}
+}
+
+func TestLargestComponent(t *testing.T) {
+	g := New(8)
+	// Component A: 0-1-2-3 path; component B: 4-5; isolated: 6, 7.
+	for _, e := range [][2]int{{0, 1}, {1, 2}, {2, 3}, {4, 5}} {
+		if err := g.AddEdge(e[0], e[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	lcc, mapping := g.LargestComponent()
+	if lcc.N() != 4 || lcc.M() != 3 {
+		t.Fatalf("LCC n=%d m=%d, want 4, 3", lcc.N(), lcc.M())
+	}
+	if err := lcc.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if !lcc.Connected() {
+		t.Fatal("LCC must be connected")
+	}
+	if len(mapping) != 4 {
+		t.Fatalf("mapping %v", mapping)
+	}
+	// The mapping must preserve adjacency.
+	for u := 0; u < lcc.N(); u++ {
+		for _, v := range lcc.Neighbors(u) {
+			if !g.HasEdge(mapping[u], mapping[int(v)]) {
+				t.Fatalf("edge (%d,%d) in LCC missing in original", mapping[u], mapping[int(v)])
+			}
+		}
+	}
+}
+
+func TestLargestComponentEmpty(t *testing.T) {
+	lcc, mapping := New(0).LargestComponent()
+	if lcc.N() != 0 || mapping != nil {
+		t.Fatal("empty graph LCC should be empty")
+	}
+}

@@ -1,0 +1,145 @@
+package hitting
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"resistecc/internal/graph"
+	"resistecc/internal/linalg"
+	"resistecc/internal/solver"
+)
+
+func TestPathEndpointHitting(t *testing.T) {
+	// On the path 0-…-(n−1), H(0, n−1) = (n−1)².
+	for _, n := range []int{2, 5, 12} {
+		g := graph.Path(n)
+		h, err := Between(g, 0, n-1, solver.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := float64((n - 1) * (n - 1))
+		if math.Abs(h-want) > 1e-6*want+1e-8 {
+			t.Fatalf("H(0,%d) on P%d = %g, want %g", n-1, n, h, want)
+		}
+	}
+}
+
+func TestCompleteGraphHitting(t *testing.T) {
+	// On K_n, H(u,v) = n−1 for u ≠ v.
+	g := graph.Complete(9)
+	h, err := ToTarget(g, 3, solver.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for u := 0; u < 9; u++ {
+		want := 8.0
+		if u == 3 {
+			want = 0
+		}
+		if math.Abs(h[u]-want) > 1e-7 {
+			t.Fatalf("H(%d,3)=%g, want %g", u, h[u], want)
+		}
+	}
+}
+
+func TestStarHitting(t *testing.T) {
+	// Star with hub 0, n−1 leaves: H(leaf, hub) = 1 + (stays 0 after...)
+	// From a leaf, one step reaches the hub: H(leaf, hub) = 1.
+	// H(hub, leaf) = 2(n−1) − 1.
+	n := 8
+	g := graph.Star(n)
+	toHub, err := ToTarget(g, 0, solver.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for leaf := 1; leaf < n; leaf++ {
+		if math.Abs(toHub[leaf]-1) > 1e-8 {
+			t.Fatalf("H(leaf,hub)=%g, want 1", toHub[leaf])
+		}
+	}
+	toLeaf, err := ToTarget(g, 1, solver.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := float64(2*(n-1) - 1)
+	if math.Abs(toLeaf[0]-want) > 1e-7 {
+		t.Fatalf("H(hub,leaf)=%g, want %g", toLeaf[0], want)
+	}
+}
+
+// The commute identity H(u,v) + H(v,u) = 2m·r(u,v) on random graphs.
+func TestQuickCommuteIdentity(t *testing.T) {
+	f := func(seed int64, a, b uint8) bool {
+		g := graph.BarabasiAlbert(30, 2, seed)
+		u, v := int(a)%30, int(b)%30
+		if u == v {
+			return true
+		}
+		huv, err := Between(g, u, v, solver.Options{})
+		if err != nil {
+			return false
+		}
+		hvu, err := Between(g, v, u, solver.Options{})
+		if err != nil {
+			return false
+		}
+		lp, err := linalg.Pseudoinverse(g)
+		if err != nil {
+			return false
+		}
+		want := 2 * float64(g.M()) * linalg.Resistance(lp, u, v)
+		return math.Abs(huv+hvu-want) < 1e-5*want+1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMonteCarloAgreesWithSolve(t *testing.T) {
+	g := graph.Lollipop(5, 3)
+	exact, err := Between(g, 7, 0, solver.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mc, err := MonteCarlo(g, 7, 0, 4000, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel := math.Abs(mc-exact) / exact; rel > 0.1 {
+		t.Fatalf("MC %g vs exact %g (rel %.3f)", mc, exact, rel)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	g := graph.Path(4)
+	if _, err := ToTarget(g, 9, solver.Options{}); err == nil {
+		t.Fatal("target range")
+	}
+	if _, err := Between(g, -1, 0, solver.Options{}); err == nil {
+		t.Fatal("source range")
+	}
+	d := graph.New(3)
+	if err := d.AddEdge(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ToTarget(d, 0, solver.Options{}); err == nil {
+		t.Fatal("disconnected")
+	}
+	if _, err := MonteCarlo(d, 0, 1, 10, 1); err == nil {
+		t.Fatal("disconnected MC")
+	}
+	if _, err := MonteCarlo(g, 0, 1, 0, 1); err == nil {
+		t.Fatal("zero walks")
+	}
+	if _, err := MonteCarlo(g, 0, 9, 10, 1); err == nil {
+		t.Fatal("MC range")
+	}
+	if h, err := MonteCarlo(g, 2, 2, 10, 1); err != nil || h != 0 {
+		t.Fatal("self hitting")
+	}
+	single, err := ToTarget(graph.New(1), 0, solver.Options{})
+	if err != nil || single[0] != 0 {
+		t.Fatal("single node")
+	}
+}

@@ -1,0 +1,60 @@
+package hull
+
+import "sort"
+
+// Exact2D computes the exact convex hull vertex indices of a 2-D point set
+// with Andrew's monotone chain (O(n log n)). It exists as ground truth for
+// validating Approx in low dimension: every certified APPROXCH output in 2-D
+// must (a) contain only points of S and (b) cover the true hull vertices
+// within θ·D. Collinear boundary points are excluded (strict turns only).
+//
+// Points must all have dimension ≥ 2; only the first two coordinates are
+// used. Returns indices in counter-clockwise order starting from the
+// lexicographically smallest point. Degenerate inputs (n < 3 or all
+// collinear) return all distinct extreme indices.
+func Exact2D(pts [][]float64) []int {
+	n := len(pts)
+	if n == 0 {
+		return nil
+	}
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool {
+		pa, pb := pts[idx[a]], pts[idx[b]]
+		if pa[0] != pb[0] {
+			return pa[0] < pb[0]
+		}
+		return pa[1] < pb[1]
+	})
+	if n == 1 {
+		return []int{idx[0]}
+	}
+	cross := func(o, a, b []float64) float64 {
+		return (a[0]-o[0])*(b[1]-o[1]) - (a[1]-o[1])*(b[0]-o[0])
+	}
+	// Lower hull.
+	var lower []int
+	for _, i := range idx {
+		for len(lower) >= 2 && cross(pts[lower[len(lower)-2]], pts[lower[len(lower)-1]], pts[i]) <= 0 {
+			lower = lower[:len(lower)-1]
+		}
+		lower = append(lower, i)
+	}
+	// Upper hull.
+	var upper []int
+	for k := n - 1; k >= 0; k-- {
+		i := idx[k]
+		for len(upper) >= 2 && cross(pts[upper[len(upper)-2]], pts[upper[len(upper)-1]], pts[i]) <= 0 {
+			upper = upper[:len(upper)-1]
+		}
+		upper = append(upper, i)
+	}
+	// Concatenate, dropping each chain's last point (it repeats).
+	out := append(lower[:len(lower)-1], upper[:len(upper)-1]...)
+	if len(out) == 0 {
+		return []int{idx[0]}
+	}
+	return out
+}

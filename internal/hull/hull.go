@@ -1,0 +1,339 @@
+// Package hull implements APPROXCH (Lemma 5.3 of the paper, after
+// Awasthi–Kalantari–Zhang's robust vertex enumeration): given n points in
+// R^d and an error parameter θ ∈ (0,1), it returns a small subset Ŝ such
+// that every input point lies within θ·D(S) of conv(Ŝ), where D(S) is the
+// point-set diameter.
+//
+// The construction is AVTA-style:
+//
+//  1. Seeding — extreme points along the approximate-diameter axis and a
+//     batch of random directions. The argmax of a linear functional is
+//     always a true hull vertex, so seeds are exact extreme points.
+//  2. Greedy refinement — repeatedly find the point farthest from the
+//     current conv(Ŝ) (distance computed by Frank–Wolfe, a.k.a. the
+//     triangle algorithm, with certified upper/lower bounds) and insert it,
+//     until every point is certified within θ·D̂.
+//
+// Distances to a growing hull are non-increasing, so once a point is
+// certified covered it is never re-examined; the total work matches the
+// O(n·l·(d + θ⁻²)) of Lemma 5.3 with l = |Ŝ|.
+//
+// FASTQUERY uses Ŝ to restrict farthest-point queries: the node farthest
+// from any query point lies on the hull boundary, so scanning Ŝ (size l ≪ n)
+// replaces scanning all n embeddings (Lemma 5.4/5.5).
+package hull
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// Options configures APPROXCH.
+type Options struct {
+	// Theta is the coverage parameter θ ∈ (0,1); FASTQUERY passes ε/12.
+	Theta float64
+	// Seed drives the random seeding directions.
+	Seed int64
+	// Directions is the number of random seeding directions; zero means
+	// min(2d+8, 64). More directions trade seeding time for fewer (more
+	// expensive) refinement rounds.
+	Directions int
+	// MaxVertices caps |Ŝ|; zero means no cap. When the cap binds, the
+	// θ-coverage guarantee may be violated; Result.Certified reports it.
+	MaxVertices int
+	// MaxFWIters caps Frank–Wolfe iterations per distance query; zero means
+	// ⌈1/θ²⌉ clamped to [16, 4096], matching the θ⁻² term of Lemma 5.3.
+	MaxFWIters int
+	// BatchInsert caps how many uncovered vertices a refinement round may
+	// insert at once (mutually separated by > 2θ·D̂, so none could have
+	// covered another). Zero means 16; 1 recovers the textbook one-at-a-time
+	// greedy. Batching only ever grows Ŝ ⊆ S, never weakens coverage.
+	BatchInsert int
+	// SkipRefine disables stage 2 (pure directional sampling). Used by the
+	// hull ablation bench; leaves Certified false.
+	SkipRefine bool
+}
+
+// Result is the output of Approx.
+type Result struct {
+	// Vertices lists the indices (into the input point set) of Ŝ.
+	Vertices []int
+	// Diameter is the estimated point-set diameter D̂ ≤ D(S) used for the
+	// coverage threshold (a lower bound makes the threshold conservative).
+	Diameter float64
+	// Certified reports whether every point was certified within θ·D̂ of
+	// conv(Ŝ) when refinement finished (false if MaxVertices bound first or
+	// SkipRefine was set).
+	Certified bool
+	// Rounds is the number of greedy refinement insertions performed.
+	Rounds int
+}
+
+// Approx runs APPROXCH(S, θ) on pts, where pts[i] is the i-th point in R^d.
+// All points must share one dimension d >= 1.
+func Approx(pts [][]float64, opt Options) (*Result, error) {
+	n := len(pts)
+	if n == 0 {
+		return &Result{Certified: true}, nil
+	}
+	d := len(pts[0])
+	if d == 0 {
+		return nil, fmt.Errorf("hull: zero-dimensional points")
+	}
+	if opt.Theta <= 0 || opt.Theta >= 1 {
+		return nil, fmt.Errorf("hull: theta must be in (0,1), got %g", opt.Theta)
+	}
+	for i, p := range pts {
+		if len(p) != d {
+			return nil, fmt.Errorf("hull: point %d has dim %d, want %d", i, len(p), d)
+		}
+	}
+
+	res := &Result{}
+	in := make([]bool, n) // membership of Ŝ
+	var hullIdx []int
+	addVertex := func(i int) {
+		if !in[i] {
+			in[i] = true
+			hullIdx = append(hullIdx, i)
+		}
+	}
+
+	// --- Stage 0: approximate diameter by double sweep. ---
+	a := argmaxDist(pts, pts[0])
+	b := argmaxDist(pts, pts[a])
+	res.Diameter = math.Sqrt(distSq(pts[a], pts[b]))
+	addVertex(a)
+	addVertex(b)
+	if res.Diameter == 0 {
+		// All points coincide; a single representative covers everything.
+		res.Vertices = hullIdx[:1]
+		res.Certified = true
+		return res, nil
+	}
+
+	// --- Stage 1: directional extreme seeding. ---
+	dirs := opt.Directions
+	if dirs <= 0 {
+		dirs = 2*d + 8
+		if dirs > 64 {
+			dirs = 64
+		}
+	}
+	rng := rand.New(rand.NewSource(opt.Seed))
+	dir := make([]float64, d)
+	for t := 0; t < dirs; t++ {
+		for j := range dir {
+			dir[j] = rng.NormFloat64()
+		}
+		addVertex(argmaxDot(pts, dir))
+		if opt.MaxVertices > 0 && len(hullIdx) >= opt.MaxVertices {
+			break
+		}
+	}
+
+	if opt.SkipRefine {
+		res.Vertices = hullIdx
+		return res, nil
+	}
+
+	// --- Stage 2: certified greedy refinement. ---
+	threshold := opt.Theta * res.Diameter
+	maxFW := opt.MaxFWIters
+	if maxFW <= 0 {
+		maxFW = int(math.Ceil(1 / (opt.Theta * opt.Theta)))
+		if maxFW < 16 {
+			maxFW = 16
+		}
+		if maxFW > 4096 {
+			maxFW = 4096
+		}
+	}
+	fw := newFW(d)
+	covered := make([]bool, n)
+	batchCap := opt.BatchInsert
+	if batchCap <= 0 {
+		batchCap = 16
+	}
+	type scored struct {
+		idx int
+		ub  float64
+	}
+	var uncovered []scored
+	for opt.MaxVertices <= 0 || len(hullIdx) < opt.MaxVertices {
+		uncovered = uncovered[:0]
+		for i := 0; i < n; i++ {
+			if covered[i] || in[i] {
+				continue
+			}
+			ub, _ := fw.distToHull(pts, hullIdx, pts[i], threshold, maxFW)
+			if ub <= threshold {
+				covered[i] = true
+				continue
+			}
+			uncovered = append(uncovered, scored{i, ub})
+		}
+		if len(uncovered) == 0 {
+			res.Certified = true
+			break
+		}
+		// Insert a spaced batch: points within 2θ·D̂ of an accepted one may
+		// become covered by it, so only mutually distant candidates go in
+		// together. Candidates are taken in decreasing distance-to-hull.
+		sort.Slice(uncovered, func(a, b int) bool { return uncovered[a].ub > uncovered[b].ub })
+		var accepted []int
+		for _, cand := range uncovered {
+			if len(accepted) >= batchCap {
+				break
+			}
+			if opt.MaxVertices > 0 && len(hullIdx)+len(accepted) >= opt.MaxVertices {
+				break
+			}
+			ok := true
+			for _, a := range accepted {
+				if distSq(pts[cand.idx], pts[a]) <= 4*threshold*threshold {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				accepted = append(accepted, cand.idx)
+			}
+		}
+		for _, a := range accepted {
+			addVertex(a)
+		}
+		res.Rounds++
+	}
+	res.Vertices = hullIdx
+	return res, nil
+}
+
+func argmaxDist(pts [][]float64, from []float64) int {
+	best, arg := -1.0, 0
+	for i, p := range pts {
+		if d := distSq(p, from); d > best {
+			best, arg = d, i
+		}
+	}
+	return arg
+}
+
+func argmaxDot(pts [][]float64, dir []float64) int {
+	best, arg := math.Inf(-1), 0
+	for i, p := range pts {
+		s := 0.0
+		for j, v := range dir {
+			s += v * p[j]
+		}
+		if s > best {
+			best, arg = s, i
+		}
+	}
+	return arg
+}
+
+func distSq(x, y []float64) float64 {
+	s := 0.0
+	for i, v := range x {
+		d := v - y[i]
+		s += d * d
+	}
+	return s
+}
+
+// fw holds Frank–Wolfe scratch buffers.
+type fw struct {
+	y    []float64
+	grad []float64
+}
+
+func newFW(d int) *fw {
+	return &fw{y: make([]float64, d), grad: make([]float64, d)}
+}
+
+// distToHull estimates dist(p, conv({pts[i] : i ∈ hullIdx})) by Frank–Wolfe
+// on f(y) = ‖y − p‖². It returns a certified upper bound (distance from p to
+// the final feasible iterate) and a lower bound from the Frank–Wolfe duality
+// gap. Early exit: as soon as the upper bound drops to earlyStop (the point
+// is covered) or the lower bound exceeds earlyStop (certified uncovered; the
+// upper bound then still orders candidates usefully).
+func (f *fw) distToHull(pts [][]float64, hullIdx []int, p []float64, earlyStop float64, maxIters int) (ub, lb float64) {
+	d := len(p)
+	// Start at the hull vertex closest to p.
+	bestD, bestI := math.Inf(1), hullIdx[0]
+	for _, i := range hullIdx {
+		if dd := distSq(pts[i], p); dd < bestD {
+			bestD, bestI = dd, i
+		}
+	}
+	copy(f.y, pts[bestI])
+	fy := bestD
+	ub = math.Sqrt(fy)
+	if ub <= earlyStop {
+		return ub, 0
+	}
+	for it := 0; it < maxIters; it++ {
+		// grad = 2(y − p); linear minimization over vertices.
+		for j := 0; j < d; j++ {
+			f.grad[j] = f.y[j] - p[j]
+		}
+		bestDot, bestS := math.Inf(1), -1
+		for _, i := range hullIdx {
+			s := 0.0
+			q := pts[i]
+			for j := 0; j < d; j++ {
+				s += f.grad[j] * q[j]
+			}
+			if s < bestDot {
+				bestDot, bestS = s, i
+			}
+		}
+		// Duality gap g = ⟨grad, y − s⟩ bounds f(y) − f*; with grad halved
+		// above the true gap is 2·(⟨grad,y⟩ − bestDot).
+		gy := 0.0
+		for j := 0; j < d; j++ {
+			gy += f.grad[j] * f.y[j]
+		}
+		gap := 2 * (gy - bestDot)
+		if fLow := fy - gap; fLow > 0 {
+			lb = math.Sqrt(fLow)
+		} else {
+			lb = 0
+		}
+		if lb > earlyStop || gap <= 1e-15 {
+			return ub, lb
+		}
+		// Exact line search toward vertex bestS: γ* = ⟨p−y, s−y⟩/‖s−y‖².
+		s := pts[bestS]
+		num, den := 0.0, 0.0
+		for j := 0; j < d; j++ {
+			sy := s[j] - f.y[j]
+			num += (p[j] - f.y[j]) * sy
+			den += sy * sy
+		}
+		if den == 0 {
+			return ub, lb
+		}
+		gamma := num / den
+		if gamma <= 0 {
+			return ub, lb // stationary: s does not improve
+		}
+		if gamma > 1 {
+			gamma = 1
+		}
+		for j := 0; j < d; j++ {
+			f.y[j] += gamma * (s[j] - f.y[j])
+		}
+		fy = distSq(f.y, p)
+		if u := math.Sqrt(fy); u < ub {
+			ub = u
+		}
+		if ub <= earlyStop {
+			return ub, lb
+		}
+	}
+	return ub, lb
+}

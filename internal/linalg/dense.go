@@ -1,0 +1,165 @@
+// Package linalg provides the small dense linear-algebra substrate needed by
+// the exact algorithms of the paper: dense symmetric matrices, Gauss–Jordan
+// inversion, Cholesky factorization, the Laplacian pseudoinverse
+// L† = (L + J/n)⁻¹ − J/n (§III-B), and Sherman–Morrison rank-1 updates of L†
+// under edge insertion (used to make the SIMPLE greedy and the exhaustive
+// OPT baselines tractable).
+//
+// Everything here is O(n²) memory and O(n³) time by design — it is the
+// paper's EXACTQUERY substrate and the ground truth against which the
+// near-linear algorithms are validated.
+package linalg
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Dense is a dense row-major n×n real matrix.
+type Dense struct {
+	N    int
+	Data []float64 // row-major, len N*N
+}
+
+// NewDense allocates a zero n×n matrix.
+func NewDense(n int) *Dense {
+	return &Dense{N: n, Data: make([]float64, n*n)}
+}
+
+// At returns element (i, j).
+func (d *Dense) At(i, j int) float64 { return d.Data[i*d.N+j] }
+
+// Set assigns element (i, j).
+func (d *Dense) Set(i, j int, v float64) { d.Data[i*d.N+j] = v }
+
+// Add increments element (i, j) by v.
+func (d *Dense) Add(i, j int, v float64) { d.Data[i*d.N+j] += v }
+
+// Clone returns a deep copy.
+func (d *Dense) Clone() *Dense {
+	return &Dense{N: d.N, Data: append([]float64(nil), d.Data...)}
+}
+
+// Row returns row i as a shared slice.
+func (d *Dense) Row(i int) []float64 { return d.Data[i*d.N : (i+1)*d.N] }
+
+// MulVec computes y = D·x.
+func (d *Dense) MulVec(x, y []float64) {
+	for i := 0; i < d.N; i++ {
+		row := d.Row(i)
+		s := 0.0
+		for j, v := range row {
+			s += v * x[j]
+		}
+		y[i] = s
+	}
+}
+
+// ErrSingular reports a numerically singular matrix.
+var ErrSingular = errors.New("linalg: matrix is singular to working precision")
+
+// Invert replaces d with its inverse via Gauss–Jordan elimination with
+// partial pivoting. O(n³).
+func (d *Dense) Invert() error {
+	n := d.N
+	// Augment with identity, eliminate in place.
+	inv := NewDense(n)
+	for i := 0; i < n; i++ {
+		inv.Set(i, i, 1)
+	}
+	a := d.Data
+	for col := 0; col < n; col++ {
+		// Partial pivot.
+		pivot, best := col, math.Abs(a[col*n+col])
+		for r := col + 1; r < n; r++ {
+			if v := math.Abs(a[r*n+col]); v > best {
+				pivot, best = r, v
+			}
+		}
+		if best < 1e-14 {
+			return fmt.Errorf("%w: pivot %d", ErrSingular, col)
+		}
+		if pivot != col {
+			swapRows(a, n, pivot, col)
+			swapRows(inv.Data, n, pivot, col)
+		}
+		p := a[col*n+col]
+		invP := 1 / p
+		for j := 0; j < n; j++ {
+			a[col*n+j] *= invP
+			inv.Data[col*n+j] *= invP
+		}
+		for r := 0; r < n; r++ {
+			if r == col {
+				continue
+			}
+			f := a[r*n+col]
+			if f == 0 {
+				continue
+			}
+			for j := 0; j < n; j++ {
+				a[r*n+j] -= f * a[col*n+j]
+				inv.Data[r*n+j] -= f * inv.Data[col*n+j]
+			}
+		}
+	}
+	copy(d.Data, inv.Data)
+	return nil
+}
+
+func swapRows(a []float64, n, r1, r2 int) {
+	row1 := a[r1*n : (r1+1)*n]
+	row2 := a[r2*n : (r2+1)*n]
+	for j := range row1 {
+		row1[j], row2[j] = row2[j], row1[j]
+	}
+}
+
+// Cholesky computes the lower-triangular factor L with d = L·Lᵀ, for
+// symmetric positive-definite d. Returns ErrSingular when a pivot is
+// non-positive.
+func (d *Dense) Cholesky() (*Dense, error) {
+	n := d.N
+	l := NewDense(n)
+	for i := 0; i < n; i++ {
+		for j := 0; j <= i; j++ {
+			sum := d.At(i, j)
+			for k := 0; k < j; k++ {
+				sum -= l.At(i, k) * l.At(j, k)
+			}
+			if i == j {
+				if sum <= 0 {
+					return nil, fmt.Errorf("%w: non-positive pivot at %d (%g)", ErrSingular, i, sum)
+				}
+				l.Set(i, i, math.Sqrt(sum))
+			} else {
+				l.Set(i, j, sum/l.At(j, j))
+			}
+		}
+	}
+	return l, nil
+}
+
+// SolveCholesky solves (L·Lᵀ)x = b given the lower factor L, writing x.
+func SolveCholesky(l *Dense, b, x []float64) {
+	n := l.N
+	// Forward: L y = b.
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		s := b[i]
+		row := l.Row(i)
+		for k := 0; k < i; k++ {
+			s -= row[k] * y[k]
+		}
+		y[i] = s / row[i]
+	}
+	// Backward: Lᵀ x = y.
+	for i := n - 1; i >= 0; i-- {
+		s := y[i]
+		for k := i + 1; k < n; k++ {
+			s -= l.At(k, i) * x[k]
+		}
+		x[i] = s / l.At(i, i)
+	}
+}

@@ -1,0 +1,275 @@
+package optimize
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"resistecc/internal/graph"
+	"resistecc/internal/pagerank"
+)
+
+// This file implements the baseline edge-addition strategies of §VIII-C-1:
+// DE-{REMD,REM} (lowest degree), PK-{REMD,REM} (lowest PageRank),
+// PATH-{REMD,REM} (longest shortest-path distance), plus a RAND- pair used
+// as an additional sanity baseline. Each repeats its local rule k times on
+// the updated graph.
+
+// Degree is DE-REMD / DE-REM: connect the lowest-degree node(s). For REMD
+// the edge is (s, argmin degree); for REM it joins the two lowest-degree
+// non-adjacent nodes.
+func Degree(g *graph.Graph, p Problem, s, k int) (*Result, error) {
+	if err := validate(g, s, k); err != nil {
+		return nil, err
+	}
+	work := g.Clone()
+	name := "DE-REMD"
+	if p == REM {
+		name = "DE-REM"
+	}
+	res := &Result{Algorithm: name, Problem: p, Source: s}
+	for i := 0; i < k; i++ {
+		e, ok := pickByScore(work, p, s, func(u int) float64 { return float64(work.Degree(u)) })
+		if !ok {
+			break
+		}
+		if err := work.AddEdge(e.U, e.V); err != nil {
+			return nil, fmt.Errorf("optimize: %s: %w", name, err)
+		}
+		res.Edges = append(res.Edges, e)
+	}
+	return res, nil
+}
+
+// PageRank is PK-REMD / PK-REM: connect the lowest-PageRank node(s),
+// recomputing PageRank on the updated graph each round.
+func PageRank(g *graph.Graph, p Problem, s, k int, opt pagerank.Options) (*Result, error) {
+	if err := validate(g, s, k); err != nil {
+		return nil, err
+	}
+	work := g.Clone()
+	name := "PK-REMD"
+	if p == REM {
+		name = "PK-REM"
+	}
+	res := &Result{Algorithm: name, Problem: p, Source: s}
+	for i := 0; i < k; i++ {
+		pr := pagerank.Compute(work, opt)
+		e, ok := pickByScore(work, p, s, func(u int) float64 { return pr[u] })
+		if !ok {
+			break
+		}
+		if err := work.AddEdge(e.U, e.V); err != nil {
+			return nil, fmt.Errorf("optimize: %s: %w", name, err)
+		}
+		res.Edges = append(res.Edges, e)
+	}
+	return res, nil
+}
+
+// pickByScore returns the admissible edge minimizing the node score:
+// REMD: (s, argmin score(u)) over non-neighbours of s;
+// REM: the pair (u, v) with the two smallest scores among pairs not in E
+// (ties broken by scanning order; if the two global minima are adjacent,
+// the next-best admissible combination is found by bounded search).
+func pickByScore(g *graph.Graph, p Problem, s int, score func(int) float64) (graph.Edge, bool) {
+	n := g.N()
+	if p == REMD {
+		best, arg := math.Inf(1), -1
+		for u := 0; u < n; u++ {
+			if u == s || g.HasEdge(s, u) {
+				continue
+			}
+			if sc := score(u); sc < best {
+				best, arg = sc, u
+			}
+		}
+		if arg < 0 {
+			return graph.Edge{}, false
+		}
+		return graph.Edge{U: s, V: arg}.Canon(), true
+	}
+	// REM: order nodes by score and take the first admissible pair among the
+	// lowest-scored prefix (grown geometrically until a pair is found).
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	// Partial selection sort over the prefix we actually need.
+	limit := 8
+	sorted := 0
+	ensureSorted := func(upto int) {
+		for ; sorted < upto && sorted < n; sorted++ {
+			min := sorted
+			for j := sorted + 1; j < n; j++ {
+				if score(order[j]) < score(order[min]) {
+					min = j
+				}
+			}
+			order[sorted], order[min] = order[min], order[sorted]
+		}
+	}
+	for {
+		if limit > n {
+			limit = n
+		}
+		ensureSorted(limit)
+		for i := 0; i < sorted; i++ {
+			for j := i + 1; j < sorted; j++ {
+				u, v := order[i], order[j]
+				if !g.HasEdge(u, v) {
+					return graph.Edge{U: u, V: v}.Canon(), true
+				}
+			}
+		}
+		if limit == n {
+			return graph.Edge{}, false
+		}
+		limit *= 2
+	}
+}
+
+// PathOptions configures the PATH baselines.
+type PathOptions struct {
+	// ExactDiameter forces exact all-pairs BFS when searching the longest
+	// shortest path for PATH-REM. Below ExactThreshold nodes exact search is
+	// used regardless; above it a double-sweep heuristic approximates the
+	// diameter pair (standard practice on large graphs).
+	ExactDiameter bool
+	// ExactThreshold defaults to 2048.
+	ExactThreshold int
+}
+
+func (o PathOptions) exact(n int) bool {
+	t := o.ExactThreshold
+	if t <= 0 {
+		t = 2048
+	}
+	return o.ExactDiameter || n <= t
+}
+
+// Path is PATH-REMD / PATH-REM: connect the endpoints of the longest
+// shortest path. For REMD one endpoint is pinned to s (so the rule is
+// "connect s to the hop-farthest node"); for REM the rule picks a
+// (approximate) diameter pair of the updated graph.
+func Path(g *graph.Graph, p Problem, s, k int, opt PathOptions) (*Result, error) {
+	if err := validate(g, s, k); err != nil {
+		return nil, err
+	}
+	work := g.Clone()
+	name := "PATH-REMD"
+	if p == REM {
+		name = "PATH-REM"
+	}
+	res := &Result{Algorithm: name, Problem: p, Source: s}
+	for i := 0; i < k; i++ {
+		var e graph.Edge
+		ok := false
+		if p == REMD {
+			// Farthest-by-hops node not yet adjacent to s.
+			dist := work.BFS(s)
+			best := -1
+			for u, d := range dist {
+				if u == s || work.HasEdge(s, u) {
+					continue
+				}
+				if d > best {
+					best = d
+					e = graph.Edge{U: s, V: u}.Canon()
+					ok = true
+				}
+			}
+		} else {
+			e, ok = longestPathPair(work, opt)
+		}
+		if !ok {
+			break
+		}
+		if err := work.AddEdge(e.U, e.V); err != nil {
+			return nil, fmt.Errorf("optimize: %s: %w", name, err)
+		}
+		res.Edges = append(res.Edges, e)
+	}
+	return res, nil
+}
+
+// longestPathPair finds a non-adjacent node pair of maximum hop distance:
+// exactly (all-pairs BFS) on small graphs, by double sweep otherwise.
+func longestPathPair(g *graph.Graph, opt PathOptions) (graph.Edge, bool) {
+	n := g.N()
+	if opt.exact(n) {
+		best, ok := graph.Edge{}, false
+		bestD := 0
+		for u := 0; u < n; u++ {
+			dist := g.BFS(u)
+			for v := u + 1; v < n; v++ {
+				if dist[v] > bestD && !g.HasEdge(u, v) {
+					bestD, best, ok = dist[v], graph.Edge{U: u, V: v}, true
+				}
+			}
+		}
+		return best, ok
+	}
+	// Double sweep: BFS from an arbitrary node to its farthest a, then from
+	// a to its farthest b; (a,b) approximates the diameter pair.
+	_, a := g.Eccentricity(0)
+	distA := g.BFS(a)
+	bestD, b := -1, -1
+	for v, d := range distA {
+		if v != a && d > bestD && !g.HasEdge(a, v) {
+			bestD, b = d, v
+		}
+	}
+	if b < 0 {
+		return graph.Edge{}, false
+	}
+	return graph.Edge{U: a, V: b}.Canon(), true
+}
+
+// Random adds k uniformly random admissible edges — the weakest baseline.
+func Random(g *graph.Graph, p Problem, s, k int, seed int64) (*Result, error) {
+	if err := validate(g, s, k); err != nil {
+		return nil, err
+	}
+	work := g.Clone()
+	name := "RAND-REMD"
+	if p == REM {
+		name = "RAND-REM"
+	}
+	res := &Result{Algorithm: name, Problem: p, Source: s}
+	rng := rand.New(rand.NewSource(seed))
+	n := work.N()
+	for i := 0; i < k; i++ {
+		found := false
+		for attempt := 0; attempt < 50*n; attempt++ {
+			var u, v int
+			if p == REMD {
+				u, v = s, rng.Intn(n)
+			} else {
+				u, v = rng.Intn(n), rng.Intn(n)
+			}
+			if u == v || work.HasEdge(u, v) {
+				continue
+			}
+			e := graph.Edge{U: u, V: v}.Canon()
+			if err := work.AddEdge(e.U, e.V); err != nil {
+				return nil, fmt.Errorf("optimize: %s: %w", name, err)
+			}
+			res.Edges = append(res.Edges, e)
+			found = true
+			break
+		}
+		if !found {
+			// Fall back to deterministic scan; graph may be nearly complete.
+			e, ok := pickByScore(work, p, s, func(int) float64 { return 0 })
+			if !ok {
+				break
+			}
+			if err := work.AddEdge(e.U, e.V); err != nil {
+				return nil, fmt.Errorf("optimize: %s: %w", name, err)
+			}
+			res.Edges = append(res.Edges, e)
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,180 @@
+package optimize
+
+import (
+	"testing"
+
+	"resistecc/internal/graph"
+	"resistecc/internal/pagerank"
+)
+
+func TestDegreeBaselineREMD(t *testing.T) {
+	// Lollipop: the path tip has the lowest degree; DE-REMD from a clique
+	// node should wire it first.
+	g := graph.Lollipop(5, 4)
+	s := 0
+	plan, err := Degree(g, REMD, s, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Edges) != 2 || plan.Algorithm != "DE-REMD" {
+		t.Fatalf("plan %+v", plan)
+	}
+	tip := 8 // last path node, degree 1
+	first := plan.Edges[0]
+	if first != (graph.Edge{U: 0, V: 8}) {
+		t.Fatalf("first DE-REMD pick %v, want (0,%d)", first, tip)
+	}
+}
+
+func TestDegreeBaselineREM(t *testing.T) {
+	g := graph.Lollipop(5, 4)
+	plan, err := Degree(g, REM, 0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Edges) != 3 || plan.Algorithm != "DE-REM" {
+		t.Fatalf("plan %+v", plan)
+	}
+	// Picks must be valid (new, distinct) when replayed.
+	if _, err := plan.Apply(g, -1); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPageRankBaseline(t *testing.T) {
+	g := graph.Lollipop(6, 5)
+	for _, p := range []Problem{REMD, REM} {
+		plan, err := PageRank(g, p, 1, 2, pagerank.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(plan.Edges) != 2 {
+			t.Fatalf("%v plan %+v", p, plan)
+		}
+		if _, err := plan.Apply(g, -1); err != nil {
+			t.Fatal(err)
+		}
+		if p == REMD {
+			for _, e := range plan.Edges {
+				if e.U != 1 && e.V != 1 {
+					t.Fatalf("REMD edge %v off-source", e)
+				}
+			}
+		}
+	}
+}
+
+func TestPathBaselineREMD(t *testing.T) {
+	g := graph.Path(10)
+	s := 0
+	plan, err := Path(g, REMD, s, 1, PathOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Hop-farthest from 0 is node 9.
+	if plan.Edges[0] != (graph.Edge{U: 0, V: 9}) {
+		t.Fatalf("PATH-REMD pick %v", plan.Edges[0])
+	}
+}
+
+func TestPathBaselineREMExact(t *testing.T) {
+	g := graph.Path(10)
+	plan, err := Path(g, REM, 3, 1, PathOptions{ExactDiameter: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Diameter pair of a path is (0,9).
+	if plan.Edges[0] != (graph.Edge{U: 0, V: 9}) {
+		t.Fatalf("PATH-REM pick %v", plan.Edges[0])
+	}
+}
+
+func TestPathBaselineDoubleSweep(t *testing.T) {
+	g := graph.BarabasiAlbert(120, 2, 4)
+	plan, err := Path(g, REM, 0, 3, PathOptions{ExactThreshold: 10}) // force heuristic
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Edges) == 0 {
+		t.Fatal("no picks")
+	}
+	if _, err := plan.Apply(g, -1); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRandomBaseline(t *testing.T) {
+	g := graph.BarabasiAlbert(40, 2, 5)
+	for _, p := range []Problem{REMD, REM} {
+		plan, err := Random(g, p, 3, 4, 77)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(plan.Edges) != 4 {
+			t.Fatalf("%v edges %v", p, plan.Edges)
+		}
+		if _, err := plan.Apply(g, -1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Determinism in the seed.
+	a, _ := Random(g, REM, 3, 4, 9)
+	b, _ := Random(g, REM, 3, 4, 9)
+	for i := range a.Edges {
+		if a.Edges[i] != b.Edges[i] {
+			t.Fatal("Random not deterministic per seed")
+		}
+	}
+}
+
+func TestRandomBaselineNearComplete(t *testing.T) {
+	g := graph.Complete(6)
+	if err := g.RemoveEdge(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.RemoveEdge(2, 3); err != nil {
+		t.Fatal(err)
+	}
+	plan, err := Random(g, REM, 0, 5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Edges) != 2 {
+		t.Fatalf("should add exactly the 2 missing edges, got %v", plan.Edges)
+	}
+}
+
+// All baselines must never *increase* c(s) (monotonicity of edge addition).
+func TestBaselinesMonotone(t *testing.T) {
+	g := graph.BarabasiAlbert(50, 2, 8)
+	s := 20
+	plans := []*Result{}
+	for _, p := range []Problem{REMD, REM} {
+		if pl, err := Degree(g, p, s, 3); err == nil {
+			plans = append(plans, pl)
+		} else {
+			t.Fatal(err)
+		}
+		if pl, err := PageRank(g, p, s, 3, pagerank.Options{}); err == nil {
+			plans = append(plans, pl)
+		} else {
+			t.Fatal(err)
+		}
+		if pl, err := Path(g, p, s, 3, PathOptions{}); err == nil {
+			plans = append(plans, pl)
+		} else {
+			t.Fatal(err)
+		}
+	}
+	for _, pl := range plans {
+		traj, err := ExactTrajectory(g, s, pl.Edges)
+		if err != nil {
+			t.Fatalf("%s: %v", pl.Algorithm, err)
+		}
+		for i := 1; i < len(traj); i++ {
+			if traj[i] > traj[i-1]+1e-10 {
+				t.Fatalf("%s increased c(s) at step %d", pl.Algorithm, i)
+			}
+		}
+	}
+}

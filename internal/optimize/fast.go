@@ -1,0 +1,245 @@
+package optimize
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"resistecc/internal/graph"
+	"resistecc/internal/hull"
+	"resistecc/internal/sketch"
+)
+
+// FastOptions configures the sketch-based heuristics of §VII.
+type FastOptions struct {
+	// Sketch configures APPROXER; Sketch.Epsilon is the ε of Algorithms 5-9.
+	Sketch sketch.Options
+	// Hull configures APPROXCH for ChMinRecc/MinRecc. Zero Theta means ε/12
+	// (Algorithms 8-9, line 3).
+	Hull hull.Options
+	// MaxCandidates caps how many hull-pair candidates ChMinRecc/MinRecc
+	// score with ApproxRecc per round, keeping the top pairs by sketched
+	// distance. Zero means no cap (the paper's literal O(k·l²·m/ε²) loop).
+	MaxCandidates int
+}
+
+func (o FastOptions) hullOptions(round int) hull.Options {
+	h := o.Hull
+	if h.Theta <= 0 {
+		h.Theta = o.Sketch.Epsilon / 12
+	}
+	if h.Seed == 0 {
+		h.Seed = o.Sketch.Seed + 7919
+	}
+	h.Seed += int64(round)
+	return h
+}
+
+func (o FastOptions) sketchOptions(round int) sketch.Options {
+	s := o.Sketch
+	s.Seed += int64(round) * 1000003
+	return s
+}
+
+// FarMinRecc is Algorithm 5 (REMD): each round re-sketches the current graph
+// and connects s to the node with the largest sketched resistance distance
+// from s — the farthest-first heuristic. Õ(k·m/ε²).
+func FarMinRecc(g *graph.Graph, s, k int, opt FastOptions) (*Result, error) {
+	if err := validate(g, s, k); err != nil {
+		return nil, err
+	}
+	work := g.Clone()
+	res := &Result{Algorithm: "FarMinRecc", Problem: REMD, Source: s}
+	for i := 0; i < k; i++ {
+		sk, err := sketch.New(work.ToCSR(), opt.sketchOptions(i))
+		if err != nil {
+			return nil, fmt.Errorf("optimize: FarMinRecc round %d: %w", i, err)
+		}
+		best, arg := -1.0, -1
+		for u := 0; u < work.N(); u++ {
+			if u == s || work.HasEdge(s, u) {
+				continue
+			}
+			if r := sk.Resistance(s, u); r > best {
+				best, arg = r, u
+			}
+		}
+		if arg < 0 {
+			break // s is adjacent to everything
+		}
+		if err := work.AddEdge(s, arg); err != nil {
+			return nil, fmt.Errorf("optimize: FarMinRecc commit: %w", err)
+		}
+		res.Edges = append(res.Edges, graph.Edge{U: s, V: arg}.Canon())
+	}
+	return res, nil
+}
+
+// CenMinRecc is Algorithm 6 (REMD): a single sketch of the input graph,
+// then a k-center (farthest-first traversal) seeded at s in the embedded
+// metric; each selected center u_i is wired to s. Avoids re-sketching, so it
+// runs in Õ(m/ε² + k·n/ε²) — the fastest of the four heuristics (Table III)
+// at some cost in effectiveness (Figure 9).
+//
+// Algorithm 6's line 6 literally reads "argmax over u∉T, v∈T of distance";
+// per its prose description ("find the node farthest from all nodes in set
+// T") we implement the standard farthest-first rule
+// argmax_{u∉T} min_{v∈T} d(u,v).
+func CenMinRecc(g *graph.Graph, s, k int, opt FastOptions) (*Result, error) {
+	if err := validate(g, s, k); err != nil {
+		return nil, err
+	}
+	work := g.Clone()
+	res := &Result{Algorithm: "CenMinRecc", Problem: REMD, Source: s}
+	sk, err := sketch.New(work.ToCSR(), opt.sketchOptions(0))
+	if err != nil {
+		return nil, fmt.Errorf("optimize: CenMinRecc: %w", err)
+	}
+	n := work.N()
+	inT := make([]bool, n)
+	inT[s] = true
+	// minDist[u] = min over v ∈ T of r̃(u,v); T starts as {s}.
+	minDist := make([]float64, n)
+	for u := 0; u < n; u++ {
+		if u != s {
+			minDist[u] = sk.Resistance(s, u)
+		}
+	}
+	for i := 0; i < k; i++ {
+		best, arg := -1.0, -1
+		for u := 0; u < n; u++ {
+			if inT[u] || u == s || work.HasEdge(s, u) {
+				continue
+			}
+			if minDist[u] > best {
+				best, arg = minDist[u], u
+			}
+		}
+		if arg < 0 {
+			break
+		}
+		inT[arg] = true
+		if err := work.AddEdge(s, arg); err != nil {
+			return nil, fmt.Errorf("optimize: CenMinRecc commit: %w", err)
+		}
+		res.Edges = append(res.Edges, graph.Edge{U: s, V: arg}.Canon())
+		for u := 0; u < n; u++ {
+			if !inT[u] {
+				if r := sk.Resistance(arg, u); r < minDist[u] {
+					minDist[u] = r
+				}
+			}
+		}
+	}
+	return res, nil
+}
+
+// ChMinRecc is Algorithm 8 (REM): each round sketches the current graph,
+// extracts the hull boundary Ŝ, forms candidate edges between boundary
+// nodes, scores each candidate with APPROXRECC on the augmented graph, and
+// commits the best. Õ(k·l²·m/ε²) with l = |Ŝ|.
+func ChMinRecc(g *graph.Graph, s, k int, opt FastOptions) (*Result, error) {
+	return hullGreedy(g, s, k, opt, false, "ChMinRecc")
+}
+
+// MinRecc is Algorithm 9 (REM): ChMinRecc's hull-pair candidates plus the
+// direct edge from s to the farthest hull node (the FarMinRecc move), taking
+// whichever scores best each round. Strictly dominates ChMinRecc's candidate
+// set, at the cost of one extra APPROXRECC evaluation per round.
+func MinRecc(g *graph.Graph, s, k int, opt FastOptions) (*Result, error) {
+	return hullGreedy(g, s, k, opt, true, "MinRecc")
+}
+
+func hullGreedy(g *graph.Graph, s, k int, opt FastOptions, includeDirect bool, name string) (*Result, error) {
+	if err := validate(g, s, k); err != nil {
+		return nil, err
+	}
+	work := g.Clone()
+	res := &Result{Algorithm: name, Problem: REM, Source: s}
+	for i := 0; i < k; i++ {
+		skOpt := opt.sketchOptions(i)
+		sk, err := sketch.New(work.ToCSR(), skOpt)
+		if err != nil {
+			return nil, fmt.Errorf("optimize: %s round %d: %w", name, i, err)
+		}
+		hres, err := hull.Approx(sk.Points(), opt.hullOptions(i))
+		if err != nil {
+			return nil, fmt.Errorf("optimize: %s round %d hull: %w", name, i, err)
+		}
+		cands := hullPairs(work, hres.Vertices, opt.MaxCandidates, sk)
+		if includeDirect {
+			// e' = (s, argmax_{u ∈ Ŝ, (s,u) ∉ E} r̃(s,u))  (Algorithm 9, line 9).
+			best, arg := -1.0, -1
+			for _, u := range hres.Vertices {
+				if u == s || work.HasEdge(s, u) {
+					continue
+				}
+				if r := sk.Resistance(s, u); r > best {
+					best, arg = r, u
+				}
+			}
+			if arg >= 0 {
+				cands = append(cands, graph.Edge{U: s, V: arg}.Canon())
+			}
+		}
+		if len(cands) == 0 {
+			break
+		}
+		bestEcc, bestIdx := math.Inf(1), -1
+		for ci, e := range cands {
+			// Score c(s) on the augmented graph with a fresh APPROXRECC
+			// sketch (Algorithm 7). Mutate-and-undo avoids copying the graph.
+			if err := work.AddEdge(e.U, e.V); err != nil {
+				return nil, fmt.Errorf("optimize: %s scoring %v: %w", name, e, err)
+			}
+			cSk, err := sketch.New(work.ToCSR(), skOpt)
+			if err2 := work.RemoveEdge(e.U, e.V); err2 != nil {
+				return nil, fmt.Errorf("optimize: %s undo %v: %w", name, e, err2)
+			}
+			if err != nil {
+				return nil, fmt.Errorf("optimize: %s APPROXRECC %v: %w", name, e, err)
+			}
+			c, _ := cSk.Eccentricity(s)
+			if c < bestEcc {
+				bestEcc, bestIdx = c, ci
+			}
+		}
+		e := cands[bestIdx]
+		if err := work.AddEdge(e.U, e.V); err != nil {
+			return nil, fmt.Errorf("optimize: %s commit %v: %w", name, e, err)
+		}
+		res.Edges = append(res.Edges, e)
+	}
+	return res, nil
+}
+
+// hullPairs returns the candidate edges {(u,v) : u,v ∈ Ŝ, (u,v) ∉ E}. When
+// cap > 0 and more pairs exist, the pairs with the largest sketched distance
+// are kept — bypassing the longest residual "resistance circuits" first,
+// per the electrical argument of §VII-B.
+func hullPairs(g *graph.Graph, boundary []int, maxPairs int, sk *sketch.Sketch) []graph.Edge {
+	type scored struct {
+		e graph.Edge
+		r float64
+	}
+	var pairs []scored
+	for i := 0; i < len(boundary); i++ {
+		for j := i + 1; j < len(boundary); j++ {
+			u, v := boundary[i], boundary[j]
+			if u == v || g.HasEdge(u, v) {
+				continue
+			}
+			e := graph.Edge{U: u, V: v}.Canon()
+			pairs = append(pairs, scored{e, sk.Resistance(u, v)})
+		}
+	}
+	if maxPairs > 0 && len(pairs) > maxPairs {
+		sort.Slice(pairs, func(a, b int) bool { return pairs[a].r > pairs[b].r })
+		pairs = pairs[:maxPairs]
+	}
+	out := make([]graph.Edge, len(pairs))
+	for i, p := range pairs {
+		out[i] = p.e
+	}
+	return out
+}

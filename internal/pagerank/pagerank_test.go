@@ -1,0 +1,84 @@
+package pagerank
+
+import (
+	"math"
+	"testing"
+
+	"resistecc/internal/graph"
+)
+
+func TestSumsToOne(t *testing.T) {
+	g := graph.BarabasiAlbert(200, 3, 2)
+	pr := Compute(g, Options{})
+	sum := 0.0
+	for _, v := range pr {
+		sum += v
+	}
+	if math.Abs(sum-1) > 1e-8 {
+		t.Fatalf("sum %g", sum)
+	}
+}
+
+func TestSymmetricGraphUniform(t *testing.T) {
+	// On a vertex-transitive graph (cycle) all ranks are equal.
+	g := graph.Cycle(10)
+	pr := Compute(g, Options{})
+	for i := 1; i < 10; i++ {
+		if math.Abs(pr[i]-pr[0]) > 1e-10 {
+			t.Fatalf("cycle pagerank not uniform: %v", pr)
+		}
+	}
+}
+
+func TestHubOutranksLeaves(t *testing.T) {
+	g := graph.Star(20)
+	pr := Compute(g, Options{})
+	for i := 1; i < 20; i++ {
+		if pr[0] <= pr[i] {
+			t.Fatalf("hub %g <= leaf %g", pr[0], pr[i])
+		}
+	}
+}
+
+func TestDanglingNodes(t *testing.T) {
+	// Isolated node: rank mass must still sum to 1 without NaNs.
+	g := graph.New(3)
+	if err := g.AddEdge(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	pr := Compute(g, Options{})
+	sum := 0.0
+	for _, v := range pr {
+		if math.IsNaN(v) {
+			t.Fatal("NaN rank")
+		}
+		sum += v
+	}
+	if math.Abs(sum-1) > 1e-8 {
+		t.Fatalf("sum %g", sum)
+	}
+}
+
+func TestEmptyGraph(t *testing.T) {
+	if pr := Compute(graph.New(0), Options{}); pr != nil {
+		t.Fatal("empty graph should return nil")
+	}
+}
+
+func TestOptionDefaults(t *testing.T) {
+	g := graph.Path(5)
+	a := Compute(g, Options{})
+	b := Compute(g, Options{Damping: 0.85, Tol: 1e-10, MaxIter: 200})
+	for i := range a {
+		if math.Abs(a[i]-b[i]) > 1e-12 {
+			t.Fatal("defaults mismatch")
+		}
+	}
+	// Invalid damping falls back to default.
+	c := Compute(g, Options{Damping: 1.5})
+	for i := range a {
+		if math.Abs(a[i]-c[i]) > 1e-12 {
+			t.Fatal("invalid damping not defaulted")
+		}
+	}
+}

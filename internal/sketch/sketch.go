@@ -1,0 +1,213 @@
+// Package sketch implements APPROXER, the Spielman–Srivastava
+// Johnson–Lindenstrauss sketch of effective resistances (Lemma 5.1 of the
+// paper, following reference [1]).
+//
+// The sketch is the d×n matrix X̃ = Q·B·L†, where B is the m×n signed
+// edge–node incidence matrix, L† the Laplacian pseudoinverse and Q a d×m
+// random ±1/√d projection with d = ⌈24 ln n / ε²⌉. With probability at least
+// 1 − 1/n it holds simultaneously for all pairs u, v that
+//
+//	(1−ε) r(u,v) ≤ ‖X̃(e_u − e_v)‖² ≤ (1+ε) r(u,v).
+//
+// Each of the d rows costs one O(m) projection push (Bᵀqᵢ) plus one
+// Laplacian solve, so the total cost is Õ(m/ε²) with a near-linear solver.
+//
+// Columns of X̃ embed the nodes as points in R^d whose squared Euclidean
+// distances approximate resistance distances — the geometric view that
+// FASTQUERY's convex-hull pruning (package hull) builds on.
+package sketch
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"runtime"
+	"sync"
+
+	"resistecc/internal/graph"
+	"resistecc/internal/solver"
+)
+
+// Options configures APPROXER.
+type Options struct {
+	// Epsilon is the multiplicative error target ε ∈ (0,1). Required.
+	Epsilon float64
+	// Dim overrides the sketch dimension d. Zero uses the theoretical
+	// ⌈24 ln n / ε²⌉ of Lemma 5.1 — extremely conservative in practice; the
+	// experiments harness uses overrides (ablation 2 in DESIGN.md measures
+	// the dimension/accuracy trade-off).
+	Dim int
+	// Seed drives the random projection. The same seed yields the same
+	// sketch for the same graph, keeping experiments reproducible.
+	Seed int64
+	// Solver configures the underlying Laplacian solves.
+	Solver solver.Options
+	// Workers caps the solve parallelism; zero means GOMAXPROCS.
+	// The paper's timing runs pin a single thread; pass 1 to match.
+	Workers int
+}
+
+// TheoreticalDim returns ⌈24 ln n / ε²⌉, the JL dimension of Lemma 5.1.
+func TheoreticalDim(n int, epsilon float64) int {
+	if n < 2 {
+		return 1
+	}
+	return int(math.Ceil(24 * math.Log(float64(n)) / (epsilon * epsilon)))
+}
+
+// Sketch is the computed X̃ with columns as node embeddings.
+type Sketch struct {
+	// Dim is the sketch dimension d.
+	Dim int
+	// N is the number of nodes.
+	N int
+	// Epsilon echoes the error parameter the sketch was built for.
+	Epsilon float64
+	// pts holds the node embeddings: pts[v] is the d-vector X̃[:,v].
+	pts [][]float64
+}
+
+// New runs APPROXER(G, ε) on the CSR snapshot and returns the sketch.
+func New(csr *graph.CSR, opt Options) (*Sketch, error) {
+	if opt.Epsilon <= 0 || opt.Epsilon >= 1 {
+		return nil, fmt.Errorf("sketch: epsilon must be in (0,1), got %g", opt.Epsilon)
+	}
+	n := csr.N
+	d := opt.Dim
+	if d <= 0 {
+		d = TheoreticalDim(n, opt.Epsilon)
+	}
+	sk := &Sketch{Dim: d, N: n, Epsilon: opt.Epsilon}
+	sk.pts = make([][]float64, n)
+	flat := make([]float64, n*d)
+	for v := 0; v < n; v++ {
+		sk.pts[v] = flat[v*d : (v+1)*d]
+	}
+	if n == 0 {
+		return sk, nil
+	}
+
+	workers := opt.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > d {
+		workers = d
+	}
+	if workers < 1 {
+		workers = 1
+	}
+
+	// Row i of X̃ is the solution of L x = Bᵀ qᵢ with qᵢ a random ±1/√d
+	// m-vector. Rows are independent; distribute them over workers, each
+	// with its own solver scratch and its own deterministic RNG stream.
+	scale := 1 / math.Sqrt(float64(d))
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+	)
+	rowCh := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			lap, err := solver.NewLap(csr, opt.Solver)
+			if err != nil {
+				mu.Lock()
+				if firstErr == nil {
+					firstErr = err
+				}
+				mu.Unlock()
+				return
+			}
+			q := make([]float64, csr.M)
+			b := make([]float64, n)
+			x := make([]float64, n)
+			for i := range rowCh {
+				rng := rand.New(rand.NewSource(opt.Seed + int64(i)*0x9E3779B9))
+				for e := range q {
+					if rng.Int63()&1 == 0 {
+						q[e] = scale
+					} else {
+						q[e] = -scale
+					}
+				}
+				csr.IncidenceTMul(q, b)
+				for j := range x {
+					x[j] = 0
+				}
+				if _, err := lap.Solve(b, x); err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = fmt.Errorf("sketch: row %d: %w", i, err)
+					}
+					mu.Unlock()
+					return
+				}
+				for v := 0; v < n; v++ {
+					sk.pts[v][i] = x[v]
+				}
+			}
+		}()
+	}
+	for i := 0; i < d; i++ {
+		rowCh <- i
+	}
+	close(rowCh)
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return sk, nil
+}
+
+// Point returns the embedding X̃[:,v] of node v. Shared storage; read-only.
+func (s *Sketch) Point(v int) []float64 { return s.pts[v] }
+
+// Points returns all node embeddings indexed by node. Shared storage.
+func (s *Sketch) Points() [][]float64 { return s.pts }
+
+// Resistance returns r̃(u,v) = ‖X̃(e_u − e_v)‖², the sketched resistance
+// distance between u and v (Algorithm 2, line 4).
+func (s *Sketch) Resistance(u, v int) float64 {
+	pu, pv := s.pts[u], s.pts[v]
+	r := 0.0
+	for i, x := range pu {
+		dx := x - pv[i]
+		r += dx * dx
+	}
+	return r
+}
+
+// Eccentricity scans all nodes and returns
+// c̄(s) = max_{j != src} r̃(src, j) together with the farthest node — the
+// query step of APPROXQUERY and the whole of APPROXRECC (Algorithm 7).
+func (s *Sketch) Eccentricity(src int) (float64, int) {
+	best, arg := 0.0, src
+	for v := 0; v < s.N; v++ {
+		if v == src {
+			continue
+		}
+		if r := s.Resistance(src, v); r > best {
+			best, arg = r, v
+		}
+	}
+	return best, arg
+}
+
+// EccentricityOver scans only the candidate node set (FASTQUERY's hull
+// boundary Ŝ) and returns ĉ(src) = max_{j ∈ cand} r̃(src, j) with the
+// argmax. Nodes equal to src are skipped.
+func (s *Sketch) EccentricityOver(src int, cand []int) (float64, int) {
+	best, arg := 0.0, src
+	for _, v := range cand {
+		if v == src {
+			continue
+		}
+		if r := s.Resistance(src, v); r > best {
+			best, arg = r, v
+		}
+	}
+	return best, arg
+}

@@ -1,0 +1,141 @@
+package sketch
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"resistecc/internal/graph"
+	"resistecc/internal/linalg"
+)
+
+func TestTheoreticalDim(t *testing.T) {
+	// d = ⌈24 ln n / ε²⌉.
+	if d := TheoreticalDim(1000, 0.3); d != int(math.Ceil(24*math.Log(1000)/0.09)) {
+		t.Fatalf("d=%d", d)
+	}
+	if TheoreticalDim(1, 0.5) != 1 {
+		t.Fatal("tiny n should clamp to 1")
+	}
+}
+
+func TestOptionsValidation(t *testing.T) {
+	g := graph.Path(4).ToCSR()
+	if _, err := New(g, Options{Epsilon: 0}); err == nil {
+		t.Fatal("epsilon 0 must fail")
+	}
+	if _, err := New(g, Options{Epsilon: 1.5}); err == nil {
+		t.Fatal("epsilon >= 1 must fail")
+	}
+}
+
+func TestSketchPathResistance(t *testing.T) {
+	// On the 16-node path, sketched resistances should track |i−j| within a
+	// modest relative error at d=256.
+	g := graph.Path(16)
+	sk, err := New(g.ToCSR(), Options{Epsilon: 0.3, Dim: 256, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sk.Dim != 256 || sk.N != 16 {
+		t.Fatalf("dims %d/%d", sk.Dim, sk.N)
+	}
+	for i := 0; i < 16; i += 3 {
+		for j := i + 1; j < 16; j += 2 {
+			want := float64(j - i)
+			got := sk.Resistance(i, j)
+			if math.Abs(got-want)/want > 0.35 {
+				t.Fatalf("r̃(%d,%d)=%g, want ≈%g", i, j, got, want)
+			}
+		}
+	}
+}
+
+func TestSketchSelfResistanceZero(t *testing.T) {
+	g := graph.Cycle(8)
+	sk, err := New(g.ToCSR(), Options{Epsilon: 0.3, Dim: 32, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r := sk.Resistance(3, 3); r != 0 {
+		t.Fatalf("r̃(3,3)=%g", r)
+	}
+}
+
+func TestSketchDeterministic(t *testing.T) {
+	g := graph.BarabasiAlbert(50, 2, 4)
+	a, err := New(g.ToCSR(), Options{Epsilon: 0.2, Dim: 40, Seed: 99, Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := New(g.ToCSR(), Options{Epsilon: 0.2, Dim: 40, Seed: 99, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := 0; v < 50; v++ {
+		pa, pb := a.Point(v), b.Point(v)
+		for i := range pa {
+			if math.Abs(pa[i]-pb[i]) > 1e-9 {
+				t.Fatalf("sketch differs across worker counts at node %d dim %d", v, i)
+			}
+		}
+	}
+}
+
+func TestEccentricityMatchesScan(t *testing.T) {
+	g := graph.Lollipop(6, 4)
+	sk, err := New(g.ToCSR(), Options{Epsilon: 0.25, Dim: 128, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, far := sk.Eccentricity(0)
+	// From inside the clique, the farthest node is the path tip (node 9).
+	if far != 9 {
+		t.Fatalf("farthest from clique should be path tip, got %d", far)
+	}
+	// Candidate-restricted scan that includes the true argmax must agree.
+	c2, far2 := sk.EccentricityOver(0, []int{0, 3, 9, 5})
+	if far2 != 9 || math.Abs(c-c2) > 1e-12 {
+		t.Fatalf("EccentricityOver mismatch: %g/%d vs %g/%d", c, far, c2, far2)
+	}
+}
+
+// Property: with the theoretical dimension, sketched resistances are within
+// ε of exact with margin, on random graphs (spot-checked pairs).
+func TestQuickSketchEpsilonBound(t *testing.T) {
+	f := func(seed int64) bool {
+		g := graph.BarabasiAlbert(30, 2, seed)
+		const eps = 0.5
+		sk, err := New(g.ToCSR(), Options{Epsilon: eps, Seed: seed})
+		if err != nil {
+			return false
+		}
+		lp, err := linalg.Pseudoinverse(g)
+		if err != nil {
+			return false
+		}
+		for u := 0; u < 30; u += 5 {
+			for v := u + 1; v < 30; v += 7 {
+				exact := linalg.Resistance(lp, u, v)
+				got := sk.Resistance(u, v)
+				if got < (1-eps)*exact || got > (1+eps)*exact {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 8}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSketchEmptyGraph(t *testing.T) {
+	sk, err := New(graph.New(0).ToCSR(), Options{Epsilon: 0.3, Dim: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sk.N != 0 {
+		t.Fatal("empty sketch")
+	}
+}

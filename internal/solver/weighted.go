@@ -1,0 +1,228 @@
+package solver
+
+import (
+	"fmt"
+	"sort"
+
+	"resistecc/internal/graph"
+	"resistecc/internal/linalg"
+)
+
+// WeightedCSR is a CSR snapshot of a weighted undirected graph, the output
+// form of the spectral sparsifier. Row u's neighbours are
+// Col[Ptr[u]:Ptr[u+1]] with positive weights W in the same positions.
+type WeightedCSR struct {
+	Ptr []int32
+	Col []int32
+	W   []float64
+	N   int
+	M   int // number of undirected weighted edges
+}
+
+// NewWeightedCSR assembles a weighted CSR from canonical (u < v) edges and
+// weights. Duplicate edges are merged by summing their weights.
+func NewWeightedCSR(n int, edges []graph.Edge, weights []float64) (*WeightedCSR, error) {
+	if len(edges) != len(weights) {
+		return nil, fmt.Errorf("solver: %d edges but %d weights", len(edges), len(weights))
+	}
+	merged := make(map[graph.Edge]float64, len(edges))
+	for i, e := range edges {
+		if e.U == e.V {
+			return nil, fmt.Errorf("solver: self-loop %v", e)
+		}
+		if e.U < 0 || e.V < 0 || e.U >= n || e.V >= n {
+			return nil, fmt.Errorf("solver: edge %v out of range (n=%d)", e, n)
+		}
+		if weights[i] <= 0 {
+			return nil, fmt.Errorf("solver: non-positive weight %g on %v", weights[i], e)
+		}
+		merged[e.Canon()] += weights[i]
+	}
+	keys := make([]graph.Edge, 0, len(merged))
+	for e := range merged {
+		keys = append(keys, e)
+	}
+	sort.Slice(keys, func(a, b int) bool {
+		if keys[a].U != keys[b].U {
+			return keys[a].U < keys[b].U
+		}
+		return keys[a].V < keys[b].V
+	})
+	deg := make([]int32, n+1)
+	for _, e := range keys {
+		deg[e.U+1]++
+		deg[e.V+1]++
+	}
+	for i := 0; i < n; i++ {
+		deg[i+1] += deg[i]
+	}
+	w := &WeightedCSR{
+		Ptr: deg,
+		Col: make([]int32, 2*len(keys)),
+		W:   make([]float64, 2*len(keys)),
+		N:   n,
+		M:   len(keys),
+	}
+	fill := make([]int32, n)
+	copy(fill, w.Ptr[:n])
+	for _, e := range keys {
+		we := merged[e]
+		w.Col[fill[e.U]] = int32(e.V)
+		w.W[fill[e.U]] = we
+		fill[e.U]++
+		w.Col[fill[e.V]] = int32(e.U)
+		w.W[fill[e.V]] = we
+		fill[e.V]++
+	}
+	return w, nil
+}
+
+// Edges returns the canonical edge list and weights.
+func (w *WeightedCSR) Edges() ([]graph.Edge, []float64) {
+	edges := make([]graph.Edge, 0, w.M)
+	weights := make([]float64, 0, w.M)
+	for u := 0; u < w.N; u++ {
+		for i := w.Ptr[u]; i < w.Ptr[u+1]; i++ {
+			if int32(u) < w.Col[i] {
+				edges = append(edges, graph.Edge{U: u, V: int(w.Col[i])})
+				weights = append(weights, w.W[i])
+			}
+		}
+	}
+	return edges, weights
+}
+
+// LapMul computes y = L_w·x for the weighted Laplacian.
+func (w *WeightedCSR) LapMul(x, y []float64) {
+	for u := 0; u < w.N; u++ {
+		s, d := 0.0, 0.0
+		for i := w.Ptr[u]; i < w.Ptr[u+1]; i++ {
+			s += w.W[i] * x[w.Col[i]]
+			d += w.W[i]
+		}
+		y[u] = d*x[u] - s
+	}
+}
+
+// WeightedLap is a preconditioned-CG solver for weighted Laplacians,
+// mirroring Lap for the sparsifier outputs. Jacobi preconditioning with the
+// weighted degrees. Not safe for concurrent use.
+type WeightedLap struct {
+	csr         *WeightedCSR
+	opt         Options
+	invD        []float64
+	r, p, ap, z []float64
+}
+
+// NewWeightedLap builds the solver; isolated (zero-weighted-degree) nodes
+// are rejected.
+func NewWeightedLap(csr *WeightedCSR, opt Options) (*WeightedLap, error) {
+	n := csr.N
+	s := &WeightedLap{
+		csr:  csr,
+		opt:  opt.withDefaults(n),
+		invD: make([]float64, n),
+		r:    make([]float64, n),
+		p:    make([]float64, n),
+		ap:   make([]float64, n),
+		z:    make([]float64, n),
+	}
+	for u := 0; u < n; u++ {
+		d := 0.0
+		for i := csr.Ptr[u]; i < csr.Ptr[u+1]; i++ {
+			d += csr.W[i]
+		}
+		if d <= 0 && n > 1 {
+			return nil, fmt.Errorf("solver: node %d isolated in weighted graph", u)
+		}
+		if d > 0 {
+			s.invD[u] = 1 / d
+		}
+	}
+	return s, nil
+}
+
+// Solve computes x = L_w† b; semantics match Lap.Solve.
+func (s *WeightedLap) Solve(b, x []float64) (int, error) {
+	n := s.csr.N
+	if len(b) != n || len(x) != n {
+		return 0, fmt.Errorf("solver: dimension mismatch")
+	}
+	if n == 0 {
+		return 0, nil
+	}
+	rhs := append([]float64(nil), b...)
+	linalg.ProjectOutOnes(rhs)
+	bnorm := linalg.Norm2(rhs)
+	if bnorm == 0 {
+		for i := range x {
+			x[i] = 0
+		}
+		return 0, nil
+	}
+	linalg.ProjectOutOnes(x)
+	r, p, ap, z := s.r, s.p, s.ap, s.z
+	s.csr.LapMul(x, ap)
+	for i := range r {
+		r[i] = rhs[i] - ap[i]
+	}
+	for i := range z {
+		z[i] = r[i] * s.invD[i]
+	}
+	copy(p, z)
+	rz := linalg.Dot(r, z)
+	tol := s.opt.Tol * bnorm
+	iter := 0
+	for ; iter < s.opt.MaxIter; iter++ {
+		if linalg.Norm2(r) <= tol {
+			break
+		}
+		s.csr.LapMul(p, ap)
+		pap := linalg.Dot(p, ap)
+		if pap <= 0 {
+			linalg.ProjectOutOnes(p)
+			s.csr.LapMul(p, ap)
+			pap = linalg.Dot(p, ap)
+			if pap <= 0 {
+				break
+			}
+		}
+		alpha := rz / pap
+		linalg.Axpy(alpha, p, x)
+		linalg.Axpy(-alpha, ap, r)
+		if iter%64 == 63 {
+			linalg.ProjectOutOnes(x)
+			linalg.ProjectOutOnes(r)
+		}
+		for i := range z {
+			z[i] = r[i] * s.invD[i]
+		}
+		rzNew := linalg.Dot(r, z)
+		beta := rzNew / rz
+		rz = rzNew
+		for i := range p {
+			p[i] = z[i] + beta*p[i]
+		}
+	}
+	linalg.ProjectOutOnes(x)
+	if linalg.Norm2(r) > tol*4 && iter >= s.opt.MaxIter {
+		return iter, fmt.Errorf("%w: weighted solve, %d iterations", ErrNoConvergence, iter)
+	}
+	return iter, nil
+}
+
+// Resistance returns the weighted effective resistance between u and v.
+func (s *WeightedLap) Resistance(u, v int) (float64, error) {
+	n := s.csr.N
+	b := make([]float64, n)
+	b[u], b[v] = 1, -1
+	x := make([]float64, n)
+	if _, err := s.Solve(b, x); err != nil {
+		return 0, err
+	}
+	r := x[u] - x[v]
+	if r < 0 {
+		r = 0
+	}
+	return r, nil
+}

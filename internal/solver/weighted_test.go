@@ -1,0 +1,194 @@
+package solver
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"resistecc/internal/graph"
+	"resistecc/internal/linalg"
+)
+
+func unitWeighted(t *testing.T, g *graph.Graph) *WeightedCSR {
+	t.Helper()
+	edges := g.Edges()
+	ws := make([]float64, len(edges))
+	for i := range ws {
+		ws[i] = 1
+	}
+	h, err := NewWeightedCSR(g.N(), edges, ws)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return h
+}
+
+func TestWeightedCSRShape(t *testing.T) {
+	g := graph.Star(5)
+	h := unitWeighted(t, g)
+	if h.N != 5 || h.M != 4 {
+		t.Fatalf("shape %d/%d", h.N, h.M)
+	}
+	edges, ws := h.Edges()
+	if len(edges) != 4 || len(ws) != 4 {
+		t.Fatal("edge export")
+	}
+	// Weighted LapMul equals unweighted LapMul at unit weights.
+	x := []float64{1, 2, 3, 4, 5}
+	yw := make([]float64, 5)
+	yu := make([]float64, 5)
+	h.LapMul(x, yw)
+	g.ToCSR().LapMul(x, yu)
+	for i := range yw {
+		if math.Abs(yw[i]-yu[i]) > 1e-15 {
+			t.Fatalf("LapMul mismatch at %d: %g vs %g", i, yw[i], yu[i])
+		}
+	}
+}
+
+func TestWeightedSolveAgainstDense(t *testing.T) {
+	g := graph.BarabasiAlbert(40, 2, 6)
+	h := unitWeighted(t, g)
+	wl, err := NewWeightedLap(h, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lp, err := linalg.Pseudoinverse(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := make([]float64, 40)
+	b[2], b[30] = 1, -1
+	x := make([]float64, 40)
+	if _, err := wl.Solve(b, x); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 40; i++ {
+		want := lp.At(i, 2) - lp.At(i, 30)
+		if math.Abs(x[i]-want) > 1e-7 {
+			t.Fatalf("x[%d]=%g want %g", i, x[i], want)
+		}
+	}
+}
+
+func TestWeightedSolveEdgeCases(t *testing.T) {
+	g := graph.Cycle(6)
+	h := unitWeighted(t, g)
+	wl, err := NewWeightedLap(h, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Zero RHS.
+	x := make([]float64, 6)
+	x[0] = 42
+	iters, err := wl.Solve(make([]float64, 6), x)
+	if err != nil || iters != 0 || x[0] != 0 {
+		t.Fatalf("zero rhs: iters=%d x=%v err=%v", iters, x, err)
+	}
+	// Dimension mismatch.
+	if _, err := wl.Solve(make([]float64, 3), x); err == nil {
+		t.Fatal("dimension mismatch")
+	}
+	// Weighted resistance on a weighted triangle: edge (0,1) weight 2 in
+	// parallel with path 0-2-1 (weights 1,1 → resistance 2):
+	// r = (1/2 series? no): conductances: direct branch conductance 2,
+	// path branch resistance 2 → total conductance 2 + 1/2 → r = 0.4.
+	tri, err := NewWeightedCSR(3,
+		[]graph.Edge{{U: 0, V: 1}, {U: 0, V: 2}, {U: 1, V: 2}},
+		[]float64{2, 1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	twl, err := NewWeightedLap(tri, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := twl.Resistance(0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(r-0.4) > 1e-9 {
+		t.Fatalf("weighted triangle r=%g, want 0.4", r)
+	}
+}
+
+// Property: unit-weight WeightedLap matches Lap on random graphs and pairs.
+func TestQuickWeightedMatchesUnweighted(t *testing.T) {
+	f := func(seed int64, a, b uint8) bool {
+		g := graph.BarabasiAlbert(25, 2, seed)
+		u, v := int(a)%25, int(b)%25
+		if u == v {
+			return true
+		}
+		edges := g.Edges()
+		ws := make([]float64, len(edges))
+		for i := range ws {
+			ws[i] = 1
+		}
+		h, err := NewWeightedCSR(25, edges, ws)
+		if err != nil {
+			return false
+		}
+		wl, err := NewWeightedLap(h, Options{})
+		if err != nil {
+			return false
+		}
+		ul, err := NewLap(g.ToCSR(), Options{})
+		if err != nil {
+			return false
+		}
+		rw, err := wl.Resistance(u, v)
+		if err != nil {
+			return false
+		}
+		ru, err := ul.Resistance(u, v)
+		if err != nil {
+			return false
+		}
+		return math.Abs(rw-ru) < 1e-7
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Scaling property: multiplying all weights by c divides resistances by c.
+func TestQuickWeightScaling(t *testing.T) {
+	f := func(seed int64) bool {
+		g := graph.BarabasiAlbert(20, 2, seed)
+		edges := g.Edges()
+		w1 := make([]float64, len(edges))
+		w3 := make([]float64, len(edges))
+		for i := range w1 {
+			w1[i], w3[i] = 1, 3
+		}
+		h1, err := NewWeightedCSR(20, edges, w1)
+		if err != nil {
+			return false
+		}
+		h3, err := NewWeightedCSR(20, edges, w3)
+		if err != nil {
+			return false
+		}
+		l1, err := NewWeightedLap(h1, Options{})
+		if err != nil {
+			return false
+		}
+		l3, err := NewWeightedLap(h3, Options{})
+		if err != nil {
+			return false
+		}
+		r1, err := l1.Resistance(0, 10)
+		if err != nil {
+			return false
+		}
+		r3, err := l3.Resistance(0, 10)
+		if err != nil {
+			return false
+		}
+		return math.Abs(r3-r1/3) < 1e-8
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,157 @@
+// Package sparsify implements Spielman–Srivastava spectral sparsification by
+// effective resistances (the paper's reference [1], and its conclusion's
+// "graph sparsification methods could enhance the speed of our algorithms"
+// future-work pointer): sample q edges with probabilities proportional to
+// their effective resistances and reweight, producing a weighted graph H
+// with
+//
+//	(1−ε)·xᵀL_G x ≤ xᵀL_H x ≤ (1+ε)·xᵀL_G x   for all x, w.h.p.,
+//
+// when q = O(n log n / ε²). Spectral closeness preserves all effective
+// resistances (and hence resistance eccentricities) within (1±ε), so
+// downstream solves can run on H's ~q edges instead of G's m.
+package sparsify
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"resistecc/internal/graph"
+	"resistecc/internal/sketch"
+	"resistecc/internal/solver"
+)
+
+// Options configures Sparsify.
+type Options struct {
+	// Epsilon is the spectral-approximation target ∈ (0,1).
+	Epsilon float64
+	// Samples overrides the number q of edge samples; zero uses
+	// ⌈9 n ln n / ε²⌉ (the SS bound with a practical constant).
+	Samples int
+	// Seed drives both the resistance sketch and the sampling.
+	Seed int64
+	// Sketch configures the effective-resistance estimates; zero Dim uses
+	// 64 (leverage scores only steer sampling, so low precision suffices —
+	// oversampling absorbs the estimation error).
+	Sketch sketch.Options
+}
+
+// Result is the sparsifier output.
+type Result struct {
+	// H is the weighted sparsifier.
+	H *solver.WeightedCSR
+	// SampledEdges is the number of distinct edges in H.
+	SampledEdges int
+	// Samples is the number q of draws taken.
+	Samples int
+}
+
+// Sparsify builds a spectral sparsifier of the connected unweighted graph g.
+func Sparsify(g *graph.Graph, opt Options) (*Result, error) {
+	if opt.Epsilon <= 0 || opt.Epsilon >= 1 {
+		return nil, fmt.Errorf("sparsify: epsilon must be in (0,1), got %g", opt.Epsilon)
+	}
+	n, m := g.N(), g.M()
+	if n == 0 {
+		return nil, fmt.Errorf("sparsify: empty graph")
+	}
+	if !g.Connected() {
+		return nil, fmt.Errorf("sparsify: graph must be connected")
+	}
+	q := opt.Samples
+	if q <= 0 {
+		q = int(math.Ceil(9 * float64(n) * math.Log(float64(n)) / (opt.Epsilon * opt.Epsilon)))
+	}
+
+	// Effective-resistance (leverage-score) estimates from the JL sketch.
+	skOpt := opt.Sketch
+	if skOpt.Epsilon <= 0 {
+		skOpt.Epsilon = 0.5
+	}
+	if skOpt.Dim <= 0 {
+		skOpt.Dim = 64
+	}
+	if skOpt.Seed == 0 {
+		skOpt.Seed = opt.Seed
+	}
+	csr := g.ToCSR()
+	sk, err := sketch.New(csr, skOpt)
+	if err != nil {
+		return nil, fmt.Errorf("sparsify: resistance sketch: %w", err)
+	}
+	edges := csr.EdgeOrder()
+	probs := make([]float64, m)
+	total := 0.0
+	for i, e := range edges {
+		// Leverage score of an unweighted edge is r(e) ∈ (0,1]; clamp the
+		// sketch noise into that range.
+		r := sk.Resistance(e.U, e.V)
+		if r < 1e-9 {
+			r = 1e-9
+		}
+		if r > 1 {
+			r = 1
+		}
+		probs[i] = r
+		total += r
+	}
+	// Cumulative distribution for O(log m) sampling.
+	cum := make([]float64, m)
+	acc := 0.0
+	for i, p := range probs {
+		acc += p
+		cum[i] = acc
+	}
+
+	rng := rand.New(rand.NewSource(opt.Seed + 12345))
+	weights := make(map[int]float64, q)
+	for s := 0; s < q; s++ {
+		x := rng.Float64() * total
+		// Binary search the cumulative array.
+		lo, hi := 0, m-1
+		for lo < hi {
+			mid := (lo + hi) / 2
+			if cum[mid] < x {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		p := probs[lo] / total
+		weights[lo] += 1 / (float64(q) * p)
+	}
+	outEdges := make([]graph.Edge, 0, len(weights))
+	outW := make([]float64, 0, len(weights))
+	for i, w := range weights {
+		outEdges = append(outEdges, edges[i])
+		outW = append(outW, w)
+	}
+	h, err := solver.NewWeightedCSR(n, outEdges, outW)
+	if err != nil {
+		return nil, fmt.Errorf("sparsify: assembling H: %w", err)
+	}
+	return &Result{H: h, SampledEdges: h.M, Samples: q}, nil
+}
+
+// QuadraticForm computes xᵀL_H x for diagnostics and tests.
+func QuadraticForm(h *solver.WeightedCSR, x []float64) float64 {
+	edges, ws := h.Edges()
+	s := 0.0
+	for i, e := range edges {
+		d := x[e.U] - x[e.V]
+		s += ws[i] * d * d
+	}
+	return s
+}
+
+// QuadraticFormUnweighted computes xᵀL_G x for the original graph.
+func QuadraticFormUnweighted(g *graph.Graph, x []float64) float64 {
+	s := 0.0
+	g.EachEdge(func(u, v int) bool {
+		d := x[u] - x[v]
+		s += d * d
+		return true
+	})
+	return s
+}

@@ -1,0 +1,184 @@
+package sparsify
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"resistecc/internal/graph"
+	"resistecc/internal/linalg"
+	"resistecc/internal/solver"
+)
+
+func TestOptionsValidation(t *testing.T) {
+	g := graph.Complete(5)
+	if _, err := Sparsify(g, Options{Epsilon: 0}); err == nil {
+		t.Fatal("epsilon 0")
+	}
+	if _, err := Sparsify(graph.New(0), Options{Epsilon: 0.5}); err == nil {
+		t.Fatal("empty graph")
+	}
+	d := graph.New(3)
+	if err := d.AddEdge(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Sparsify(d, Options{Epsilon: 0.5}); err == nil {
+		t.Fatal("disconnected graph")
+	}
+}
+
+func TestSparsifierReducesEdges(t *testing.T) {
+	// A dense graph: K_80 has 3160 edges; the sparsifier keeps far fewer
+	// distinct ones at ε = 0.5 with a modest sample budget.
+	g := graph.Complete(80)
+	res, err := Sparsify(g, Options{Epsilon: 0.5, Samples: 4000, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SampledEdges >= g.M() {
+		t.Fatalf("no sparsification: %d of %d edges", res.SampledEdges, g.M())
+	}
+	if res.Samples != 4000 {
+		t.Fatalf("samples %d", res.Samples)
+	}
+}
+
+func TestQuadraticFormPreserved(t *testing.T) {
+	g := graph.BarabasiAlbert(150, 6, 3)
+	res, err := Sparsify(g, Options{Epsilon: 0.3, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 30; trial++ {
+		x := make([]float64, g.N())
+		for i := range x {
+			x[i] = rng.NormFloat64()
+		}
+		qg := QuadraticFormUnweighted(g, x)
+		qh := QuadraticForm(res.H, x)
+		if qh < (1-0.45)*qg || qh > (1+0.45)*qg {
+			t.Fatalf("trial %d: xᵀL_Hx=%g vs xᵀL_Gx=%g", trial, qh, qg)
+		}
+	}
+}
+
+func TestSparsifierPreservesResistances(t *testing.T) {
+	g := graph.BarabasiAlbert(120, 5, 9)
+	res, err := Sparsify(g, Options{Epsilon: 0.3, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lp, err := linalg.Pseudoinverse(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wl, err := solver.NewWeightedLap(res.H, solver.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pair := range [][2]int{{0, 60}, {10, 110}, {3, 77}, {50, 51}} {
+		want := linalg.Resistance(lp, pair[0], pair[1])
+		got, err := wl.Resistance(pair[0], pair[1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got < (1-0.45)*want || got > (1+0.45)*want {
+			t.Fatalf("r(%d,%d): sparsifier %g vs exact %g", pair[0], pair[1], got, want)
+		}
+	}
+}
+
+func TestWeightedCSRAssembly(t *testing.T) {
+	edges := []graph.Edge{{U: 0, V: 1}, {U: 1, V: 0}, {U: 1, V: 2}}
+	ws := []float64{1, 2, 3}
+	h, err := solver.NewWeightedCSR(3, edges, ws)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.M != 2 {
+		t.Fatalf("duplicate edges should merge: M=%d", h.M)
+	}
+	es, wout := h.Edges()
+	if len(es) != 2 || es[0] != (graph.Edge{U: 0, V: 1}) || wout[0] != 3 {
+		t.Fatalf("edges %v weights %v", es, wout)
+	}
+	// Validation errors.
+	if _, err := solver.NewWeightedCSR(3, []graph.Edge{{U: 0, V: 0}}, []float64{1}); err == nil {
+		t.Fatal("self loop")
+	}
+	if _, err := solver.NewWeightedCSR(3, []graph.Edge{{U: 0, V: 9}}, []float64{1}); err == nil {
+		t.Fatal("range")
+	}
+	if _, err := solver.NewWeightedCSR(3, []graph.Edge{{U: 0, V: 1}}, []float64{-1}); err == nil {
+		t.Fatal("negative weight")
+	}
+	if _, err := solver.NewWeightedCSR(3, []graph.Edge{{U: 0, V: 1}}, nil); err == nil {
+		t.Fatal("length mismatch")
+	}
+}
+
+func TestWeightedLapMatchesUnweighted(t *testing.T) {
+	// With all weights 1 the weighted solver must agree with the dense
+	// pseudoinverse of the unweighted graph.
+	g := graph.Cycle(10)
+	edges := g.Edges()
+	ws := make([]float64, len(edges))
+	for i := range ws {
+		ws[i] = 1
+	}
+	h, err := solver.NewWeightedCSR(10, edges, ws)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wl, err := solver.NewWeightedLap(h, solver.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lp, err := linalg.Pseudoinverse(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := wl.Resistance(0, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := linalg.Resistance(lp, 0, 5)
+	if math.Abs(got-want) > 1e-7 {
+		t.Fatalf("weighted %g vs unweighted %g", got, want)
+	}
+}
+
+func TestWeightedLapSeriesParallel(t *testing.T) {
+	// Two parallel weighted paths between 0 and 3:
+	// 0-1-3 with weights (2, 2) → branch resistance 1/2+1/2 = 1
+	// 0-2-3 with weights (1, 1) → branch resistance 2
+	// Parallel: (1·2)/(1+2) = 2/3.
+	h, err := solver.NewWeightedCSR(4,
+		[]graph.Edge{{U: 0, V: 1}, {U: 1, V: 3}, {U: 0, V: 2}, {U: 2, V: 3}},
+		[]float64{2, 2, 1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wl, err := solver.NewWeightedLap(h, solver.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := wl.Resistance(0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-2.0/3) > 1e-8 {
+		t.Fatalf("series-parallel r=%g, want 2/3", got)
+	}
+}
+
+func TestWeightedLapIsolated(t *testing.T) {
+	h, err := solver.NewWeightedCSR(3, []graph.Edge{{U: 0, V: 1}}, []float64{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := solver.NewWeightedLap(h, solver.Options{}); err == nil {
+		t.Fatal("isolated node must be rejected")
+	}
+}

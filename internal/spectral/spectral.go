@@ -1,0 +1,173 @@
+// Package spectral implements the resistance-based graph invariants adjacent
+// to resistance eccentricity: the Kirchhoff index (the aggregate of
+// resistance distances across all node pairs, §II) and Kemeny's constant
+// (the paper's closing future-work pointer). Both come in an exact dense
+// form (via the Laplacian pseudoinverse) and a near-linear randomized
+// estimator built from the same Laplacian-solver substrate the sketches use.
+//
+// Identities used:
+//
+//	Kf(G) = Σ_{u<v} r(u,v)              = n · tr(L†)
+//	K(G)  = Σ_{u<v} π_u π_v C(u,v)      = tr(D L†) − dᵀL†d / (2m)
+//
+// where C(u,v) = 2m·r(u,v) is the commute time, d the degree vector and
+// π = d/2m the stationary distribution. The estimators replace the traces
+// with Hutchinson's Rademacher estimator, each probe costing one Laplacian
+// solve.
+package spectral
+
+import (
+	"fmt"
+	"math/rand"
+
+	"resistecc/internal/graph"
+	"resistecc/internal/linalg"
+	"resistecc/internal/solver"
+)
+
+// KirchhoffExact computes Kf(G) = n·tr(L†) from a precomputed pseudoinverse.
+func KirchhoffExact(lp *linalg.Dense) float64 {
+	tr := 0.0
+	for i := 0; i < lp.N; i++ {
+		tr += lp.At(i, i)
+	}
+	return float64(lp.N) * tr
+}
+
+// KemenyExact computes Kemeny's constant K(G) = tr(DL†) − dᵀL†d/(2m) from a
+// precomputed pseudoinverse and the graph's degree sequence.
+func KemenyExact(g *graph.Graph, lp *linalg.Dense) float64 {
+	n := g.N()
+	if n != lp.N {
+		panic("spectral: graph/pseudoinverse size mismatch")
+	}
+	trDL := 0.0
+	d := make([]float64, n)
+	for u := 0; u < n; u++ {
+		d[u] = float64(g.Degree(u))
+		trDL += d[u] * lp.At(u, u)
+	}
+	// dᵀ L† d.
+	quad := 0.0
+	for i := 0; i < n; i++ {
+		row := lp.Row(i)
+		s := 0.0
+		for j := 0; j < n; j++ {
+			s += row[j] * d[j]
+		}
+		quad += d[i] * s
+	}
+	return trDL - quad/(2*float64(g.M()))
+}
+
+// EstimateOptions configures the randomized estimators.
+type EstimateOptions struct {
+	// Probes is the number of Hutchinson probes (default 64). The standard
+	// error decreases as O(1/√Probes).
+	Probes int
+	// Seed fixes the Rademacher probes.
+	Seed int64
+	// Solver configures the underlying Laplacian solves.
+	Solver solver.Options
+}
+
+func (o EstimateOptions) withDefaults() EstimateOptions {
+	if o.Probes <= 0 {
+		o.Probes = 64
+	}
+	return o
+}
+
+// KirchhoffEstimate estimates Kf(G) = n·tr(L†) with Hutchinson probes:
+// tr(L†) ≈ mean_z zᵀL†z over Rademacher z (projected onto 1⊥, which leaves
+// the trace over the range of L† unchanged). Each probe is one solve, so the
+// total cost is Õ(Probes · m).
+func KirchhoffEstimate(g *graph.Graph, opt EstimateOptions) (float64, error) {
+	opt = opt.withDefaults()
+	n := g.N()
+	if n == 0 {
+		return 0, nil
+	}
+	lap, err := solver.NewLap(g.ToCSR(), opt.Solver)
+	if err != nil {
+		return 0, fmt.Errorf("spectral: kirchhoff estimate: %w", err)
+	}
+	rng := rand.New(rand.NewSource(opt.Seed))
+	z := make([]float64, n)
+	x := make([]float64, n)
+	sum := 0.0
+	for p := 0; p < opt.Probes; p++ {
+		for i := range z {
+			if rng.Int63()&1 == 0 {
+				z[i] = 1
+			} else {
+				z[i] = -1
+			}
+		}
+		// Solve projects z internally; zᵀL†z = zᵀL†(proj z) since L†1 = 0,
+		// but the quadratic form needs the projected z on the left too:
+		// zᵀL†z = (proj z)ᵀ L† (proj z) because L†'s range ⊥ 1.
+		for i := range x {
+			x[i] = 0
+		}
+		if _, err := lap.Solve(z, x); err != nil {
+			return 0, fmt.Errorf("spectral: kirchhoff probe %d: %w", p, err)
+		}
+		sum += linalg.Dot(z, x)
+	}
+	return float64(n) * sum / float64(opt.Probes), nil
+}
+
+// KemenyEstimate estimates K(G) = tr(DL†) − dᵀL†d/(2m). The trace term uses
+// Hutchinson probes of tr(L†D) = E[zᵀ L† D z]; the quadratic term costs one
+// extra solve.
+func KemenyEstimate(g *graph.Graph, opt EstimateOptions) (float64, error) {
+	opt = opt.withDefaults()
+	n := g.N()
+	if n == 0 {
+		return 0, nil
+	}
+	lap, err := solver.NewLap(g.ToCSR(), opt.Solver)
+	if err != nil {
+		return 0, fmt.Errorf("spectral: kemeny estimate: %w", err)
+	}
+	deg := make([]float64, n)
+	for u := 0; u < n; u++ {
+		deg[u] = float64(g.Degree(u))
+	}
+	rng := rand.New(rand.NewSource(opt.Seed))
+	z := make([]float64, n)
+	w := make([]float64, n)
+	x := make([]float64, n)
+	trace := 0.0
+	for p := 0; p < opt.Probes; p++ {
+		for i := range z {
+			if rng.Int63()&1 == 0 {
+				z[i] = 1
+			} else {
+				z[i] = -1
+			}
+		}
+		// w = D z; probe zᵀ L† D z.
+		for i := range w {
+			w[i] = deg[i] * z[i]
+		}
+		for i := range x {
+			x[i] = 0
+		}
+		if _, err := lap.Solve(w, x); err != nil {
+			return 0, fmt.Errorf("spectral: kemeny probe %d: %w", p, err)
+		}
+		trace += linalg.Dot(z, x)
+	}
+	trace /= float64(opt.Probes)
+	// Quadratic term dᵀL†d with a single solve.
+	for i := range x {
+		x[i] = 0
+	}
+	if _, err := lap.Solve(deg, x); err != nil {
+		return 0, fmt.Errorf("spectral: kemeny quadratic term: %w", err)
+	}
+	quad := linalg.Dot(deg, x)
+	return trace - quad/(2*float64(g.M())), nil
+}

@@ -1,0 +1,155 @@
+package spectral
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"resistecc/internal/graph"
+	"resistecc/internal/linalg"
+)
+
+func pinv(t *testing.T, g *graph.Graph) *linalg.Dense {
+	t.Helper()
+	lp, err := linalg.Pseudoinverse(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return lp
+}
+
+func TestKirchhoffClosedForms(t *testing.T) {
+	// Complete graph: Kf = Σ_{u<v} 2/n = (n−1).
+	kn := graph.Complete(9)
+	if got := KirchhoffExact(pinv(t, kn)); math.Abs(got-8) > 1e-8 {
+		t.Fatalf("Kf(K9)=%g, want 8", got)
+	}
+	// Path: Kf = Σ_{i<j}(j−i) = n(n²−1)/6.
+	p := graph.Path(10)
+	want := 10.0 * (100 - 1) / 6
+	if got := KirchhoffExact(pinv(t, p)); math.Abs(got-want) > 1e-7 {
+		t.Fatalf("Kf(P10)=%g, want %g", got, want)
+	}
+	// Star: hub-leaf pairs contribute (n−1)·1, leaf-leaf pairs C(n−1,2)·2.
+	s := graph.Star(8)
+	wantStar := 7.0 + 2*float64(7*6/2)
+	if got := KirchhoffExact(pinv(t, s)); math.Abs(got-wantStar) > 1e-8 {
+		t.Fatalf("Kf(S8)=%g, want %g", got, wantStar)
+	}
+}
+
+// KirchhoffExact must equal the brute-force pairwise sum.
+func TestQuickKirchhoffPairwise(t *testing.T) {
+	f := func(seed int64) bool {
+		g := graph.BarabasiAlbert(25, 2, seed)
+		lp, err := linalg.Pseudoinverse(g)
+		if err != nil {
+			return false
+		}
+		sum := 0.0
+		for u := 0; u < 25; u++ {
+			for v := u + 1; v < 25; v++ {
+				sum += linalg.Resistance(lp, u, v)
+			}
+		}
+		return math.Abs(sum-KirchhoffExact(lp)) < 1e-7
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestKemenyExactClosedForm(t *testing.T) {
+	// Complete graph: Kemeny's constant is (n−1)²/n.
+	n := 8
+	kn := graph.Complete(n)
+	got := KemenyExact(kn, pinv(t, kn))
+	want := float64((n-1)*(n-1)) / float64(n)
+	if math.Abs(got-want) > 1e-8 {
+		t.Fatalf("K(K%d)=%g, want %g", n, got, want)
+	}
+}
+
+// KemenyExact must match the commute-time definition
+// K = Σ_{u<v} π_u π_v C(u,v) with C(u,v) = 2m·r(u,v).
+func TestQuickKemenyPairwise(t *testing.T) {
+	f := func(seed int64) bool {
+		g := graph.BarabasiAlbert(20, 2, seed)
+		lp, err := linalg.Pseudoinverse(g)
+		if err != nil {
+			return false
+		}
+		m2 := 2 * float64(g.M())
+		sum := 0.0
+		for u := 0; u < 20; u++ {
+			for v := u + 1; v < 20; v++ {
+				pu := float64(g.Degree(u)) / m2
+				pv := float64(g.Degree(v)) / m2
+				sum += pu * pv * m2 * linalg.Resistance(lp, u, v)
+			}
+		}
+		return math.Abs(sum-KemenyExact(g, lp)) < 1e-7
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestKirchhoffEstimate(t *testing.T) {
+	g := graph.BarabasiAlbert(150, 3, 7)
+	exact := KirchhoffExact(pinv(t, g))
+	est, err := KirchhoffEstimate(g, EstimateOptions{Probes: 400, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel := math.Abs(est-exact) / exact; rel > 0.12 {
+		t.Fatalf("Kf estimate %g vs exact %g (rel %.3f)", est, exact, rel)
+	}
+	if v, err := KirchhoffEstimate(graph.New(0), EstimateOptions{}); err != nil || v != 0 {
+		t.Fatal("empty graph")
+	}
+	// Disconnected rejected via the solver.
+	d := graph.New(3)
+	if err := d.AddEdge(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := KirchhoffEstimate(d, EstimateOptions{}); err == nil {
+		t.Fatal("isolated node should fail")
+	}
+}
+
+func TestKemenyEstimate(t *testing.T) {
+	g := graph.BarabasiAlbert(150, 3, 9)
+	exact := KemenyExact(g, pinv(t, g))
+	est, err := KemenyEstimate(g, EstimateOptions{Probes: 400, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel := math.Abs(est-exact) / exact; rel > 0.12 {
+		t.Fatalf("Kemeny estimate %g vs exact %g (rel %.3f)", est, exact, rel)
+	}
+	if v, err := KemenyEstimate(graph.New(0), EstimateOptions{}); err != nil || v != 0 {
+		t.Fatal("empty graph")
+	}
+}
+
+// Rayleigh: adding edges cannot increase the Kirchhoff index.
+func TestQuickKirchhoffMonotone(t *testing.T) {
+	f := func(seed int64, a, b uint8) bool {
+		g := graph.BarabasiAlbert(18, 2, seed)
+		u, v := int(a)%18, int(b)%18
+		if u == v || g.HasEdge(u, v) {
+			return true
+		}
+		lp, err := linalg.Pseudoinverse(g)
+		if err != nil {
+			return false
+		}
+		before := KirchhoffExact(lp)
+		linalg.AddEdgePinv(lp, u, v)
+		return KirchhoffExact(lp) <= before+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

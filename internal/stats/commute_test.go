@@ -1,0 +1,59 @@
+package stats
+
+import (
+	"math"
+	"testing"
+
+	"resistecc/internal/graph"
+	"resistecc/internal/linalg"
+)
+
+func TestCommuteTimeErrors(t *testing.T) {
+	g := graph.New(4)
+	if err := g.AddEdge(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := CommuteTimeMC(g, 0, 1, 10, 1); err == nil {
+		t.Fatal("disconnected graph")
+	}
+	c := graph.Cycle(4)
+	if _, err := CommuteTimeMC(c, 0, 9, 10, 1); err == nil {
+		t.Fatal("out of range")
+	}
+	if _, err := CommuteTimeMC(c, 0, 1, 0, 1); err == nil {
+		t.Fatal("zero walks")
+	}
+	ct, err := CommuteTimeMC(c, 2, 2, 10, 1)
+	if err != nil || ct != 0 {
+		t.Fatalf("self commute %g err %v", ct, err)
+	}
+}
+
+// The electrical identity C(u,v) = 2m·r(u,v) cross-checks the Monte-Carlo
+// walker against the pseudoinverse on several topologies.
+func TestCommuteMatchesResistance(t *testing.T) {
+	cases := []struct {
+		name string
+		g    *graph.Graph
+		u, v int
+	}{
+		{"path", graph.Path(8), 0, 5},
+		{"cycle", graph.Cycle(9), 0, 4},
+		{"star", graph.Star(10), 1, 7},
+		{"ba", graph.BarabasiAlbert(30, 2, 6), 3, 17},
+	}
+	for _, tc := range cases {
+		lp, err := linalg.Pseudoinverse(tc.g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := linalg.Resistance(lp, tc.u, tc.v)
+		got, err := ResistanceMC(tc.g, tc.u, tc.v, 3000, 99)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rel := math.Abs(got-want) / want; rel > 0.12 {
+			t.Fatalf("%s: MC r=%g vs exact %g (rel %g)", tc.name, got, want, rel)
+		}
+	}
+}

@@ -1,0 +1,54 @@
+package resistecc
+
+import (
+	"resistecc/internal/linalg"
+	"resistecc/internal/spectral"
+	"resistecc/internal/stats"
+)
+
+// KirchhoffIndex returns Kf(G) = Σ_{u<v} r(u,v) exactly, via n·tr(L†).
+// O(n³) — use EstimateKirchhoffIndex for large graphs.
+func (gr *Graph) KirchhoffIndex() (float64, error) {
+	lp, err := linalg.Pseudoinverse(gr.g)
+	if err != nil {
+		return 0, err
+	}
+	return spectral.KirchhoffExact(lp), nil
+}
+
+// KemenyConstant returns Kemeny's constant — the expected hitting time of a
+// stationary-distributed target from any start, the quantity the paper's
+// conclusion names as the next optimization target. Exact, O(n³).
+func (gr *Graph) KemenyConstant() (float64, error) {
+	lp, err := linalg.Pseudoinverse(gr.g)
+	if err != nil {
+		return 0, err
+	}
+	return spectral.KemenyExact(gr.g, lp), nil
+}
+
+// SpectralEstimateOptions configures the randomized invariant estimators.
+type SpectralEstimateOptions struct {
+	// Probes is the Hutchinson probe count (default 64); error ~ 1/√Probes.
+	Probes int
+	// Seed fixes the probes.
+	Seed int64
+}
+
+// EstimateKirchhoffIndex estimates Kf(G) with Hutchinson trace probes, one
+// Laplacian solve per probe — Õ(Probes·m) total.
+func (gr *Graph) EstimateKirchhoffIndex(opt SpectralEstimateOptions) (float64, error) {
+	return spectral.KirchhoffEstimate(gr.g, spectral.EstimateOptions{Probes: opt.Probes, Seed: opt.Seed})
+}
+
+// EstimateKemenyConstant estimates Kemeny's constant in Õ(Probes·m).
+func (gr *Graph) EstimateKemenyConstant(opt SpectralEstimateOptions) (float64, error) {
+	return spectral.KemenyEstimate(gr.g, spectral.EstimateOptions{Probes: opt.Probes, Seed: opt.Seed})
+}
+
+// ResistanceMC estimates r(u,v) by Monte-Carlo random-walk commute times
+// (C(u,v) = 2m·r(u,v)) — an implementation-independent cross-check of the
+// algebraic code paths. Standard error decreases as O(1/√walks).
+func (gr *Graph) ResistanceMC(u, v, walks int, seed int64) (float64, error) {
+	return stats.ResistanceMC(gr.g, u, v, walks, seed)
+}
