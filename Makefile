@@ -1,0 +1,24 @@
+# Developer / CI entry points. `make check` is the gate: vet plus the full
+# test suite under the race detector (the reccd server paths are
+# deliberately concurrent).
+
+GO ?= go
+
+.PHONY: check build vet test race bench
+
+check: vet race
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem -run=^$$ .

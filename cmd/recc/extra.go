@@ -147,10 +147,3 @@ func cmdHitting(args []string) error {
 	}
 	return nil
 }
-
-func min(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
-}

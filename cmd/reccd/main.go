@@ -1,29 +1,40 @@
 // Command reccd serves resistance-eccentricity queries over HTTP: it loads
-// an edge-list network, builds a FASTQUERY index once, and answers
-// JSON queries — the deployment shape of the paper's "fast query of a node
-// subset Q" use case (a service fronting a large static network).
+// an edge-list network, reduces it to its largest connected component,
+// builds a FASTQUERY index once, and answers JSON queries — the deployment
+// shape of the paper's "fast query of a node subset Q" use case (a service
+// fronting a large static network).
 //
 //	reccd -in graph.txt -listen :8080 -eps 0.2 -dim 128
 //
+// Node ids in requests and responses are always the original ids from the
+// edge-list file. Ids that fall outside the largest connected component
+// (the index covers only the LCC, the paper's standard preprocessing) are
+// answered with 404.
+//
 // Endpoints:
 //
-//	GET /healthz                  → {"status":"ok", ...index metadata}
-//	GET /eccentricity?node=17     → {"node":17,"eccentricity":…,"farthest":…}
-//	GET /eccentricity?node=1,2,3  → [{…},{…},{…}]
+//	GET /healthz                  → {"status":"ok", ...index + build stats}
+//	GET /eccentricity?node=1,2,3  → [{"node":…,"eccentricity":…,"farthest":…}, …]
+//	                                (always an array, also for a single id)
 //	GET /resistance?u=3&v=9       → {"u":3,"v":9,"resistance":…}
 //	GET /summary                  → {"radius":…,"diameter":…,"center":[…]}
+//	GET /metrics                  → Prometheus text exposition
+//	GET /debug/pprof/...          → net/http/pprof (only with -pprof)
+//
+// See README.md, "Operating reccd", for flags, timeouts and shedding
+// behavior.
 package main
 
 import (
-	"encoding/json"
+	"context"
+	"errors"
 	"flag"
-	"fmt"
 	"log"
 	"net/http"
-	"strconv"
-	"strings"
-	"sync"
-	"time"
+	"net/http/pprof"
+	"os"
+	"os/signal"
+	"syscall"
 
 	"resistecc"
 )
@@ -35,147 +46,88 @@ func main() {
 	dim := flag.Int("dim", 128, "sketch dimension override")
 	hullCap := flag.Int("hullcap", 64, "max hull vertices")
 	seed := flag.Int64("seed", 1, "sketch seed")
+
+	cfg := defaultConfig()
+	flag.IntVar(&cfg.MaxBatch, "max-batch", cfg.MaxBatch,
+		"max node ids per /eccentricity request, 0 = unlimited (oversize → 413)")
+	flag.IntVar(&cfg.MaxInFlight, "max-inflight", cfg.MaxInFlight,
+		"max concurrently executing requests, 0 = unlimited (excess → 503)")
+	flag.DurationVar(&cfg.ReadTimeout, "read-timeout", cfg.ReadTimeout, "HTTP read timeout")
+	flag.DurationVar(&cfg.WriteTimeout, "write-timeout", cfg.WriteTimeout, "HTTP write timeout")
+	flag.DurationVar(&cfg.IdleTimeout, "idle-timeout", cfg.IdleTimeout, "HTTP idle timeout")
+	flag.DurationVar(&cfg.ShutdownGrace, "shutdown-grace", cfg.ShutdownGrace,
+		"max wait for in-flight requests on SIGINT/SIGTERM")
+	flag.BoolVar(&cfg.Pprof, "pprof", false, "mount net/http/pprof under /debug/pprof/")
 	flag.Parse()
+
 	if *in == "" {
 		log.Fatal("reccd: -in is required")
 	}
-	g, _, err := resistecc.LoadEdgeList(*in)
+	g, labels, err := resistecc.LoadEdgeList(*in)
 	if err != nil {
 		log.Fatalf("reccd: loading %s: %v", *in, err)
 	}
-	lcc, _ := g.LargestComponent()
-	log.Printf("reccd: loaded %s: LCC %d nodes, %d edges", *in, lcc.N(), lcc.M())
-	srv, err := newServer(lcc, resistecc.SketchOptions{
+	inputNodes, inputEdges := g.N(), g.M()
+	// Keep the LCC relabelling: queries arrive with original edge-list ids
+	// and must be translated, not trusted as internal indices.
+	lcc, mapping := g.LargestComponent()
+	ids := newIDMap(lcc.N(), labels, mapping)
+	log.Printf("reccd: loaded %s: %d nodes, %d edges; LCC %d nodes, %d edges",
+		*in, inputNodes, inputEdges, lcc.N(), lcc.M())
+
+	srv, err := newServer(lcc, ids, inputNodes, inputEdges, resistecc.SketchOptions{
 		Epsilon: *eps, Dim: *dim, Seed: *seed, MaxHullVertices: *hullCap,
-	})
+	}, cfg)
 	if err != nil {
 		log.Fatalf("reccd: building index: %v", err)
 	}
-	log.Printf("reccd: index ready (d=%d, l=%d) in %s; listening on %s",
-		srv.idx.SketchDim(), srv.idx.BoundarySize(), srv.buildTime, *listen)
-	log.Fatal(http.ListenAndServe(*listen, srv.mux()))
-}
+	st := srv.idx.BuildStats()
+	log.Printf("reccd: index ready (d=%d, l=%d, cg-iters=%d, max-residual=%.2e) in %s; listening on %s",
+		st.SketchDim, st.HullSize, st.SolverTotalIters, st.SolverMaxResidual,
+		srv.buildTime, *listen)
 
-// server holds the immutable graph and index; queries are read-only and safe
-// for concurrent use, with the lazily-computed summary guarded by a Once.
-type server struct {
-	g         *resistecc.Graph
-	idx       *resistecc.FastIndex
-	buildTime time.Duration
-
-	summaryOnce sync.Once
-	summary     resistecc.DistributionSummary
-}
-
-func newServer(g *resistecc.Graph, opt resistecc.SketchOptions) (*server, error) {
-	start := time.Now()
-	idx, err := g.NewFastIndex(opt)
-	if err != nil {
-		return nil, err
-	}
-	return &server{g: g, idx: idx, buildTime: time.Since(start)}, nil
-}
-
-func (s *server) mux() *http.ServeMux {
-	mux := http.NewServeMux()
-	mux.HandleFunc("GET /healthz", s.handleHealth)
-	mux.HandleFunc("GET /eccentricity", s.handleEccentricity)
-	mux.HandleFunc("GET /resistance", s.handleResistance)
-	mux.HandleFunc("GET /summary", s.handleSummary)
-	return mux
-}
-
-func writeJSON(w http.ResponseWriter, status int, v any) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(status)
-	if err := json.NewEncoder(w).Encode(v); err != nil {
-		// Headers are already out; nothing more to do than log.
-		log.Printf("reccd: encoding response: %v", err)
+	if err := run(*listen, srv, log.Default()); err != nil {
+		log.Fatalf("reccd: %v", err)
 	}
 }
 
-func writeError(w http.ResponseWriter, status int, format string, args ...any) {
-	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
+// run serves until SIGINT/SIGTERM, then shuts down gracefully: the
+// listener closes immediately while in-flight requests get ShutdownGrace
+// to drain.
+func run(addr string, srv *server, logger *log.Logger) error {
+	hs := httpServer(addr, srv.handler(logger), srv.cfg)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- hs.ListenAndServe() }()
+
+	select {
+	case err := <-errCh:
+		return err
+	case <-ctx.Done():
+	}
+	stop() // restore default signal handling: a second signal kills hard
+	logger.Printf("reccd: shutdown signal received; draining for up to %s", srv.cfg.ShutdownGrace)
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), srv.cfg.ShutdownGrace)
+	defer cancel()
+	if err := hs.Shutdown(shutdownCtx); err != nil {
+		return err
+	}
+	if err := <-errCh; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	logger.Printf("reccd: drained; bye")
+	return nil
 }
 
-func (s *server) handleHealth(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]any{
-		"status":        "ok",
-		"nodes":         s.g.N(),
-		"edges":         s.g.M(),
-		"sketchDim":     s.idx.SketchDim(),
-		"hullBoundary":  s.idx.BoundarySize(),
-		"indexBuildSec": s.buildTime.Seconds(),
-	})
-}
-
-type eccResponse struct {
-	Node         int     `json:"node"`
-	Eccentricity float64 `json:"eccentricity"`
-	Farthest     int     `json:"farthest"`
-}
-
-func (s *server) handleEccentricity(w http.ResponseWriter, r *http.Request) {
-	raw := r.URL.Query().Get("node")
-	if raw == "" {
-		writeError(w, http.StatusBadRequest, "missing ?node= (comma-separated ids)")
-		return
-	}
-	parts := strings.Split(raw, ",")
-	nodes := make([]int, 0, len(parts))
-	for _, p := range parts {
-		v, err := strconv.Atoi(strings.TrimSpace(p))
-		if err != nil {
-			writeError(w, http.StatusBadRequest, "bad node id %q", p)
-			return
-		}
-		if v < 0 || v >= s.g.N() {
-			writeError(w, http.StatusBadRequest, "node %d out of range (n=%d)", v, s.g.N())
-			return
-		}
-		nodes = append(nodes, v)
-	}
-	vals := s.idx.Query(nodes)
-	out := make([]eccResponse, len(vals))
-	for i, v := range vals {
-		out[i] = eccResponse{Node: v.Node, Eccentricity: v.Value, Farthest: v.Farthest}
-	}
-	if len(out) == 1 {
-		writeJSON(w, http.StatusOK, out[0])
-		return
-	}
-	writeJSON(w, http.StatusOK, out)
-}
-
-func (s *server) handleResistance(w http.ResponseWriter, r *http.Request) {
-	q := r.URL.Query()
-	u, err1 := strconv.Atoi(q.Get("u"))
-	v, err2 := strconv.Atoi(q.Get("v"))
-	if err1 != nil || err2 != nil {
-		writeError(w, http.StatusBadRequest, "need integer ?u= and ?v=")
-		return
-	}
-	if u < 0 || v < 0 || u >= s.g.N() || v >= s.g.N() {
-		writeError(w, http.StatusBadRequest, "node out of range (n=%d)", s.g.N())
-		return
-	}
-	writeJSON(w, http.StatusOK, map[string]any{
-		"u": u, "v": v, "resistance": s.idx.Resistance(u, v),
-	})
-}
-
-func (s *server) handleSummary(w http.ResponseWriter, _ *http.Request) {
-	s.summaryOnce.Do(func() {
-		s.summary = resistecc.Summarize(s.idx.Distribution())
-	})
-	diam, pair := s.idx.ResistanceDiameter()
-	writeJSON(w, http.StatusOK, map[string]any{
-		"radius":       s.summary.Radius,
-		"diameter":     s.summary.Diameter,
-		"diameterPair": pair,
-		"hullDiameter": diam,
-		"mean":         s.summary.Mean,
-		"skewness":     s.summary.Skewness,
-		"center":       s.summary.Center,
-	})
+// mountPprof wires the net/http/pprof handlers explicitly (the package's
+// init-time DefaultServeMux registration doesn't reach our mux).
+func mountPprof(mux *http.ServeMux) {
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 }

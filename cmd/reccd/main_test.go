@@ -2,6 +2,8 @@ package main
 
 import (
 	"encoding/json"
+	"io"
+	"log"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -10,100 +12,171 @@ import (
 	"resistecc"
 )
 
+// testServer builds a server over a connected generated graph (identity id
+// mapping) with a small batch cap so limits are testable.
 func testServer(t *testing.T) *server {
 	t.Helper()
 	g, err := resistecc.ScaleFreeMixed(120, 1, 4, 0.3, 5)
 	if err != nil {
 		t.Fatal(err)
 	}
-	srv, err := newServer(g, resistecc.SketchOptions{
-		Epsilon: 0.3, Dim: 64, Seed: 5, MaxHullVertices: 24,
-	})
+	cfg := defaultConfig()
+	cfg.MaxBatch = 8
+	srv, err := newServer(g, newIDMap(g.N(), nil, nil), g.N(), g.M(),
+		resistecc.SketchOptions{Epsilon: 0.3, Dim: 64, Seed: 5, MaxHullVertices: 24}, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
 	return srv
 }
 
-func get(t *testing.T, h http.Handler, url string) (*httptest.ResponseRecorder, map[string]any) {
+func testHandler(t *testing.T, srv *server) http.Handler {
 	t.Helper()
-	req := httptest.NewRequest(http.MethodGet, url, nil)
+	return srv.handler(log.New(io.Discard, "", 0))
+}
+
+func get(t *testing.T, h http.Handler, url string) *httptest.ResponseRecorder {
+	t.Helper()
 	rec := httptest.NewRecorder()
-	h.ServeHTTP(rec, req)
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, url, nil))
+	return rec
+}
+
+func decodeObj(t *testing.T, rec *httptest.ResponseRecorder) map[string]any {
+	t.Helper()
 	var body map[string]any
-	if strings.HasPrefix(strings.TrimSpace(rec.Body.String()), "{") {
-		if err := json.Unmarshal(rec.Body.Bytes(), &body); err != nil {
-			t.Fatalf("bad JSON from %s: %v (%s)", url, err, rec.Body.String())
-		}
+	if err := json.Unmarshal(rec.Body.Bytes(), &body); err != nil {
+		t.Fatalf("bad JSON object: %v (%s)", err, rec.Body.String())
 	}
-	return rec, body
+	return body
+}
+
+func decodeArr(t *testing.T, rec *httptest.ResponseRecorder) []map[string]any {
+	t.Helper()
+	var body []map[string]any
+	if err := json.Unmarshal(rec.Body.Bytes(), &body); err != nil {
+		t.Fatalf("bad JSON array: %v (%s)", err, rec.Body.String())
+	}
+	return body
 }
 
 func TestHealthz(t *testing.T) {
 	srv := testServer(t)
-	rec, body := get(t, srv.mux(), "/healthz")
+	rec := get(t, testHandler(t, srv), "/healthz")
 	if rec.Code != http.StatusOK {
 		t.Fatalf("status %d", rec.Code)
 	}
+	body := decodeObj(t, rec)
 	if body["status"] != "ok" || body["nodes"].(float64) != 120 {
 		t.Fatalf("health %v", body)
 	}
 	if body["hullBoundary"].(float64) <= 0 {
 		t.Fatal("missing hull metadata")
 	}
+	// Build statistics from the solver/sketch/hull layers must be threaded
+	// through.
+	if body["solverIters"].(float64) <= 0 {
+		t.Fatalf("missing solver stats: %v", body)
+	}
+	if body["sketchDim"].(float64) != 64 || body["maxBatch"].(float64) != 8 {
+		t.Fatalf("config echo wrong: %v", body)
+	}
+	if rec.Header().Get("X-Request-Id") == "" {
+		t.Fatal("missing X-Request-Id")
+	}
 }
 
-func TestEccentricityEndpoint(t *testing.T) {
+func TestEccentricityAlwaysArray(t *testing.T) {
 	srv := testServer(t)
-	mux := srv.mux()
-	rec, body := get(t, mux, "/eccentricity?node=0")
+	h := testHandler(t, srv)
+	// Single id: still an array of one (documented contract; the seed
+	// returned a bare object here, forcing clients to shape-sniff).
+	rec := get(t, h, "/eccentricity?node=0")
 	if rec.Code != http.StatusOK {
 		t.Fatalf("status %d: %s", rec.Code, rec.Body.String())
 	}
-	if body["node"].(float64) != 0 || body["eccentricity"].(float64) <= 0 {
-		t.Fatalf("body %v", body)
+	arr := decodeArr(t, rec)
+	if len(arr) != 1 || arr[0]["node"].(float64) != 0 || arr[0]["eccentricity"].(float64) <= 0 {
+		t.Fatalf("single-node body %s", rec.Body.String())
 	}
-	// Batch query returns an array.
-	rec, _ = get(t, mux, "/eccentricity?node=0,5,10")
+	// Batch keeps request order.
+	rec = get(t, h, "/eccentricity?node=7,0,10")
 	if rec.Code != http.StatusOK {
 		t.Fatalf("batch status %d", rec.Code)
 	}
-	var arr []map[string]any
-	if err := json.Unmarshal(rec.Body.Bytes(), &arr); err != nil || len(arr) != 3 {
+	arr = decodeArr(t, rec)
+	if len(arr) != 3 || arr[0]["node"].(float64) != 7 || arr[1]["node"].(float64) != 0 || arr[2]["node"].(float64) != 10 {
 		t.Fatalf("batch body %s", rec.Body.String())
 	}
-	// Errors.
-	for _, bad := range []string{"/eccentricity", "/eccentricity?node=abc", "/eccentricity?node=99999"} {
-		rec, _ := get(t, mux, bad)
-		if rec.Code != http.StatusBadRequest {
-			t.Fatalf("%s: status %d", bad, rec.Code)
+}
+
+func TestEccentricityErrors(t *testing.T) {
+	srv := testServer(t)
+	h := testHandler(t, srv)
+	for url, want := range map[string]int{
+		"/eccentricity":             http.StatusBadRequest,
+		"/eccentricity?node=abc":    http.StatusBadRequest,
+		"/eccentricity?node=0,,1":   http.StatusBadRequest,
+		"/eccentricity?node=99999":  http.StatusNotFound, // well-formed but unknown
+		"/eccentricity?node=-3":     http.StatusNotFound,
+		"/eccentricity?node=0,7777": http.StatusNotFound, // bad id anywhere in the batch
+	} {
+		rec := get(t, h, url)
+		if rec.Code != want {
+			t.Errorf("%s: status %d, want %d", url, rec.Code, want)
 		}
+		if body := decodeObj(t, rec); body["error"] == "" {
+			t.Errorf("%s: missing error message", url)
+		}
+	}
+}
+
+func TestEccentricityBatchCap(t *testing.T) {
+	srv := testServer(t) // MaxBatch = 8
+	h := testHandler(t, srv)
+	ids := make([]string, 9)
+	for i := range ids {
+		ids[i] = "1"
+	}
+	rec := get(t, h, "/eccentricity?node="+strings.Join(ids, ","))
+	if rec.Code != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversize batch: status %d, want 413", rec.Code)
+	}
+	// At the cap it still works.
+	rec = get(t, h, "/eccentricity?node="+strings.Join(ids[:8], ","))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("at-cap batch: status %d", rec.Code)
 	}
 }
 
 func TestResistanceEndpoint(t *testing.T) {
 	srv := testServer(t)
-	mux := srv.mux()
-	rec, body := get(t, mux, "/resistance?u=0&v=10")
-	if rec.Code != http.StatusOK || body["resistance"].(float64) <= 0 {
+	h := testHandler(t, srv)
+	rec := get(t, h, "/resistance?u=0&v=10")
+	if body := decodeObj(t, rec); rec.Code != http.StatusOK || body["resistance"].(float64) <= 0 {
 		t.Fatalf("status %d body %v", rec.Code, body)
 	}
-	rec, _ = get(t, mux, "/resistance?u=0")
-	if rec.Code != http.StatusBadRequest {
-		t.Fatalf("missing v: %d", rec.Code)
-	}
-	rec, _ = get(t, mux, "/resistance?u=0&v=100000")
-	if rec.Code != http.StatusBadRequest {
-		t.Fatalf("range: %d", rec.Code)
+	for url, want := range map[string]int{
+		"/resistance?u=0":           http.StatusBadRequest,
+		"/resistance?u=0&v=x":       http.StatusBadRequest,
+		"/resistance?u=0&v=100000": http.StatusNotFound,
+		"/resistance?u=-1&v=5":     http.StatusNotFound,
+		"/resistance?u=zzz&v=0":    http.StatusBadRequest,
+	} {
+		if rec := get(t, h, url); rec.Code != want {
+			t.Errorf("%s: status %d, want %d", url, rec.Code, want)
+		}
 	}
 }
 
-func TestSummaryEndpoint(t *testing.T) {
+func TestSummaryEndpointCached(t *testing.T) {
 	srv := testServer(t)
-	rec, body := get(t, srv.mux(), "/summary")
+	h := testHandler(t, srv)
+	rec := get(t, h, "/summary")
 	if rec.Code != http.StatusOK {
 		t.Fatalf("status %d", rec.Code)
 	}
+	body := decodeObj(t, rec)
 	radius := body["radius"].(float64)
 	diameter := body["diameter"].(float64)
 	if radius <= 0 || diameter < radius {
@@ -113,5 +186,72 @@ func TestSummaryEndpoint(t *testing.T) {
 	hullDiam := body["hullDiameter"].(float64)
 	if hullDiam < 0.5*diameter || hullDiam > 1.5*diameter {
 		t.Fatalf("hull diameter %g vs %g", hullDiam, diameter)
+	}
+	if len(body["diameterPair"].([]any)) != 2 || len(body["center"].([]any)) == 0 {
+		t.Fatalf("pair/center missing: %v", body)
+	}
+	first := rec.Body.String()
+	// The whole payload — including the O(l²) hull diameter the seed
+	// recomputed per request — is cached: byte-identical on a second hit.
+	if again := get(t, h, "/summary"); again.Body.String() != first {
+		t.Fatalf("summary not cached:\n%s\nvs\n%s", first, again.Body.String())
+	}
+}
+
+func TestMethodNotAllowed(t *testing.T) {
+	srv := testServer(t)
+	h := testHandler(t, srv)
+	for _, url := range []string{"/eccentricity?node=0", "/summary", "/healthz", "/metrics"} {
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest(http.MethodPost, url, nil))
+		if rec.Code != http.StatusMethodNotAllowed {
+			t.Errorf("POST %s: status %d, want 405", url, rec.Code)
+		}
+	}
+}
+
+func TestMetricsEndpoint(t *testing.T) {
+	srv := testServer(t)
+	h := testHandler(t, srv)
+	get(t, h, "/eccentricity?node=0")
+	get(t, h, "/eccentricity?node=1,2")
+	get(t, h, "/eccentricity?node=nope")
+	get(t, h, "/summary")
+
+	rec := get(t, h, "/metrics")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d", rec.Code)
+	}
+	if ct := rec.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("content type %q", ct)
+	}
+	out := rec.Body.String()
+	for _, want := range []string{
+		`reccd_requests_total{endpoint="eccentricity",class="2xx"} 2`,
+		`reccd_requests_total{endpoint="eccentricity",class="4xx"} 1`,
+		`reccd_requests_total{endpoint="summary",class="2xx"} 1`,
+		`reccd_request_seconds_count{endpoint="eccentricity"} 3`,
+		`reccd_request_seconds_bucket{endpoint="summary",le="+Inf"} 1`,
+		"reccd_index_sketch_dim 64",
+		"reccd_index_hull_size",
+		"reccd_index_solver_total_iters",
+		"reccd_rejected_total 0",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("metrics missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestPprofGated(t *testing.T) {
+	srv := testServer(t) // Pprof false
+	h := testHandler(t, srv)
+	if rec := get(t, h, "/debug/pprof/"); rec.Code != http.StatusNotFound {
+		t.Fatalf("pprof should be off by default: %d", rec.Code)
+	}
+	srv.cfg.Pprof = true
+	h = testHandler(t, srv)
+	if rec := get(t, h, "/debug/pprof/"); rec.Code != http.StatusOK {
+		t.Fatalf("pprof flag should mount the index: %d", rec.Code)
 	}
 }

@@ -1,0 +1,331 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"log"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"resistecc"
+	"resistecc/internal/obs"
+)
+
+// idMap translates between external node ids (the labels clients use: the
+// original ids from the edge-list file) and the internal compact ids of the
+// largest-connected-component subgraph the index is built on.
+//
+// Two relabelling steps happen on load — edge-list label interning
+// (arbitrary int64 labels → 0..n−1 in order of appearance) and LCC
+// extraction (component nodes → 0..k−1) — and the seed server dropped both,
+// silently answering for whatever internal node happened to carry the
+// queried number. idMap composes the two so clients only ever see the ids
+// they put in the file.
+type idMap struct {
+	toExternal []int64       // internal (LCC) id → external id
+	toInternal map[int64]int // external id → internal (LCC) id
+}
+
+// newIDMap composes the edge-list label mapping (labels[compact] = external;
+// nil means external == compact) with the LCC relabelling
+// (lccToOrig[internal] = compact; nil means the identity over n nodes).
+func newIDMap(n int, labels []int64, lccToOrig []int) *idMap {
+	m := &idMap{
+		toExternal: make([]int64, n),
+		toInternal: make(map[int64]int, n),
+	}
+	for v := 0; v < n; v++ {
+		orig := v
+		if lccToOrig != nil {
+			orig = lccToOrig[v]
+		}
+		ext := int64(orig)
+		if labels != nil {
+			ext = labels[orig]
+		}
+		m.toExternal[v] = ext
+		m.toInternal[ext] = v
+	}
+	return m
+}
+
+// external translates an internal id; it tolerates out-of-range ids (which
+// cannot come from a mapped query) by echoing them, so diagnostics never
+// panic.
+func (m *idMap) external(v int) int64 {
+	if v < 0 || v >= len(m.toExternal) {
+		return int64(v)
+	}
+	return m.toExternal[v]
+}
+
+func (m *idMap) externals(vs []int) []int64 {
+	out := make([]int64, len(vs))
+	for i, v := range vs {
+		out[i] = m.external(v)
+	}
+	return out
+}
+
+// serverConfig holds the request-handling knobs of the service.
+type serverConfig struct {
+	// MaxBatch caps the number of ids one /eccentricity request may carry
+	// (0 = unlimited); oversize batches are rejected with 413 so a single
+	// request cannot do unbounded work.
+	MaxBatch int
+	// MaxInFlight caps concurrently executing requests (0 = unlimited);
+	// excess load is shed with 503.
+	MaxInFlight int
+	// ReadTimeout/WriteTimeout/IdleTimeout configure the http.Server.
+	ReadTimeout, WriteTimeout, IdleTimeout time.Duration
+	// ShutdownGrace bounds how long graceful shutdown waits for in-flight
+	// requests to drain.
+	ShutdownGrace time.Duration
+	// Pprof mounts net/http/pprof under /debug/pprof/ when set.
+	Pprof bool
+}
+
+func defaultConfig() serverConfig {
+	return serverConfig{
+		MaxBatch:      256,
+		MaxInFlight:   128,
+		ReadTimeout:   5 * time.Second,
+		WriteTimeout:  30 * time.Second,
+		IdleTimeout:   2 * time.Minute,
+		ShutdownGrace: 10 * time.Second,
+	}
+}
+
+// server answers resistance-eccentricity queries over an immutable
+// FASTQUERY index. All query state is read-only after construction, so
+// handlers are safe for concurrent use; the lazily computed summary is
+// guarded by a Once.
+type server struct {
+	g   *resistecc.Graph // the LCC the index is built on
+	idx *resistecc.FastIndex
+	ids *idMap
+	cfg serverConfig
+	reg *obs.Registry
+
+	// totalNodes/totalEdges describe the input graph before LCC extraction,
+	// reported by /healthz so operators can see how much was dropped.
+	totalNodes, totalEdges int
+	buildTime              time.Duration
+
+	summaryOnce sync.Once
+	summary     summaryResponse
+}
+
+// summaryResponse is the cached /summary payload. Everything — including
+// the hull-pair diameter the seed recomputed in O(l²) per request — is
+// computed once, with node ids already translated to external form.
+type summaryResponse struct {
+	Radius       float64 `json:"radius"`
+	Diameter     float64 `json:"diameter"`
+	DiameterPair []int64 `json:"diameterPair"`
+	HullDiameter float64 `json:"hullDiameter"`
+	Mean         float64 `json:"mean"`
+	Skewness     float64 `json:"skewness"`
+	Center       []int64 `json:"center"`
+}
+
+// newServer builds the index over g (already reduced to its LCC) and wires
+// the id translation. inputNodes/inputEdges describe the pre-LCC input
+// graph, for /healthz.
+func newServer(g *resistecc.Graph, ids *idMap, inputNodes, inputEdges int,
+	opt resistecc.SketchOptions, cfg serverConfig) (*server, error) {
+	start := time.Now()
+	idx, err := g.NewFastIndex(opt)
+	if err != nil {
+		return nil, err
+	}
+	s := &server{
+		g: g, idx: idx, ids: ids, cfg: cfg,
+		reg:        obs.NewRegistry("reccd"),
+		totalNodes: inputNodes, totalEdges: inputEdges,
+		buildTime: time.Since(start),
+	}
+	s.publishBuildGauges()
+	return s, nil
+}
+
+// publishBuildGauges exports index construction statistics as static
+// gauges on /metrics.
+func (s *server) publishBuildGauges() {
+	st := s.idx.BuildStats()
+	s.reg.SetGauge("index_nodes", float64(s.g.N()))
+	s.reg.SetGauge("index_edges", float64(s.g.M()))
+	s.reg.SetGauge("index_sketch_dim", float64(st.SketchDim))
+	s.reg.SetGauge("index_hull_size", float64(st.HullSize))
+	s.reg.SetGauge("index_solver_total_iters", float64(st.SolverTotalIters))
+	s.reg.SetGauge("index_solver_max_iters", float64(st.SolverMaxIters))
+	s.reg.SetGauge("index_solver_max_residual", st.SolverMaxResidual)
+	s.reg.SetGauge("index_build_seconds", s.buildTime.Seconds())
+}
+
+// handler assembles the full middleware stack: routing with per-endpoint
+// instrumentation inside, then the concurrency limiter, then access
+// logging outermost so even shed requests get a log line and request id.
+func (s *server) handler(logger *log.Logger) http.Handler {
+	mux := http.NewServeMux()
+	mux.Handle("GET /healthz", s.reg.InstrumentFunc("healthz", s.handleHealth))
+	mux.Handle("GET /eccentricity", s.reg.InstrumentFunc("eccentricity", s.handleEccentricity))
+	mux.Handle("GET /resistance", s.reg.InstrumentFunc("resistance", s.handleResistance))
+	mux.Handle("GET /summary", s.reg.InstrumentFunc("summary", s.handleSummary))
+	mux.Handle("GET /metrics", s.reg.Instrument("metrics", s.reg))
+	if s.cfg.Pprof {
+		mountPprof(mux)
+	}
+	var h http.Handler = mux
+	h = s.reg.LimitInFlight(s.cfg.MaxInFlight, h)
+	return obs.AccessLog(logger, h)
+}
+
+// httpServer wraps h in an http.Server with the configured timeouts; the
+// seed's bare ListenAndServe had none, leaving the service open to
+// slow-loris connections holding goroutines forever.
+func httpServer(addr string, h http.Handler, cfg serverConfig) *http.Server {
+	return &http.Server{
+		Addr:         addr,
+		Handler:      h,
+		ReadTimeout:  cfg.ReadTimeout,
+		WriteTimeout: cfg.WriteTimeout,
+		IdleTimeout:  cfg.IdleTimeout,
+	}
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		// Headers are already out; nothing more to do than log.
+		log.Printf("reccd: encoding response: %v", err)
+	}
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+// resolveNode parses one external node id and maps it to the internal LCC
+// id. Malformed ids are a 400; well-formed ids that don't name an LCC node
+// (dropped by preprocessing, or never in the input) are a 404 — the seed
+// instead answered for whichever internal node carried the number.
+func (s *server) resolveNode(w http.ResponseWriter, raw string) (int, bool) {
+	ext, err := strconv.ParseInt(strings.TrimSpace(raw), 10, 64)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad node id %q", raw)
+		return 0, false
+	}
+	v, ok := s.ids.toInternal[ext]
+	if !ok {
+		writeError(w, http.StatusNotFound, "node %d not in the largest connected component", ext)
+		return 0, false
+	}
+	return v, true
+}
+
+func (s *server) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	st := s.idx.BuildStats()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":        "ok",
+		"nodes":         s.g.N(),
+		"edges":         s.g.M(),
+		"inputNodes":    s.totalNodes,
+		"inputEdges":    s.totalEdges,
+		"sketchDim":     st.SketchDim,
+		"hullBoundary":  st.HullSize,
+		"hullCertified": st.HullCertified,
+		"hullRounds":    st.HullRounds,
+		"solverIters":   st.SolverTotalIters,
+		"solverMaxIter": st.SolverMaxIters,
+		"solverMaxRes":  st.SolverMaxResidual,
+		"indexBuildSec": s.buildTime.Seconds(),
+		"maxBatch":      s.cfg.MaxBatch,
+	})
+}
+
+type eccResponse struct {
+	Node         int64   `json:"node"`
+	Eccentricity float64 `json:"eccentricity"`
+	Farthest     int64   `json:"farthest"`
+}
+
+// handleEccentricity answers GET /eccentricity?node=a,b,c. The response is
+// always a JSON array, one element per requested id in request order —
+// including for a single id (the seed returned a bare object for one node
+// and an array for many, forcing clients to shape-sniff).
+func (s *server) handleEccentricity(w http.ResponseWriter, r *http.Request) {
+	raw := r.URL.Query().Get("node")
+	if raw == "" {
+		writeError(w, http.StatusBadRequest, "missing ?node= (comma-separated ids)")
+		return
+	}
+	parts := strings.Split(raw, ",")
+	if s.cfg.MaxBatch > 0 && len(parts) > s.cfg.MaxBatch {
+		writeError(w, http.StatusRequestEntityTooLarge,
+			"batch of %d ids exceeds the %d-id limit", len(parts), s.cfg.MaxBatch)
+		return
+	}
+	nodes := make([]int, 0, len(parts))
+	for _, p := range parts {
+		v, ok := s.resolveNode(w, p)
+		if !ok {
+			return
+		}
+		nodes = append(nodes, v)
+	}
+	vals := s.idx.Query(nodes)
+	out := make([]eccResponse, len(vals))
+	for i, v := range vals {
+		out[i] = eccResponse{
+			Node:         s.ids.external(v.Node),
+			Eccentricity: v.Value,
+			Farthest:     s.ids.external(v.Farthest),
+		}
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *server) handleResistance(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	if q.Get("u") == "" || q.Get("v") == "" {
+		writeError(w, http.StatusBadRequest, "need integer ?u= and ?v=")
+		return
+	}
+	u, ok := s.resolveNode(w, q.Get("u"))
+	if !ok {
+		return
+	}
+	v, ok := s.resolveNode(w, q.Get("v"))
+	if !ok {
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"u": s.ids.external(u), "v": s.ids.external(v),
+		"resistance": s.idx.Resistance(u, v),
+	})
+}
+
+// handleSummary serves the cached distribution summary. The full
+// distribution scan and the O(l²) hull-pair diameter both run exactly once,
+// on the first request; afterwards /summary is O(1).
+func (s *server) handleSummary(w http.ResponseWriter, _ *http.Request) {
+	s.summaryOnce.Do(func() {
+		sum := resistecc.Summarize(s.idx.Distribution())
+		diam, pair := s.idx.ResistanceDiameter()
+		s.summary = summaryResponse{
+			Radius:       sum.Radius,
+			Diameter:     sum.Diameter,
+			DiameterPair: s.ids.externals(pair[:]),
+			HullDiameter: diam,
+			Mean:         sum.Mean,
+			Skewness:     sum.Skewness,
+			Center:       s.ids.externals(sum.Center),
+		}
+	})
+	writeJSON(w, http.StatusOK, s.summary)
+}

@@ -1,0 +1,96 @@
+package obs
+
+import (
+	"context"
+	"log"
+	"math/rand"
+	"net/http"
+	"sync/atomic"
+	"time"
+)
+
+// requestIDKey is the context key under which RequestID stores the id.
+type requestIDKey struct{}
+
+// reqPrefix is a per-process random prefix so request ids from different
+// server instances don't collide in aggregated logs; reqSeq is the
+// monotonically increasing suffix.
+var (
+	reqPrefix = uint32(rand.Int63())
+	reqSeq    atomic.Uint64
+)
+
+// RequestIDFrom returns the request id assigned by AccessLog, or "".
+func RequestIDFrom(ctx context.Context) string {
+	id, _ := ctx.Value(requestIDKey{}).(string)
+	return id
+}
+
+// AccessLog wraps next with structured access logging: it assigns each
+// request an id (also set as the X-Request-Id response header and stored in
+// the request context), and logs one line per request with method, path,
+// status, response bytes, duration and remote address. A nil logger uses
+// the stdlib default.
+func AccessLog(logger *log.Logger, next http.Handler) http.Handler {
+	if logger == nil {
+		logger = log.Default()
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		id := nextRequestID()
+		w.Header().Set("X-Request-Id", id)
+		req = req.WithContext(context.WithValue(req.Context(), requestIDKey{}, id))
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		start := time.Now()
+		next.ServeHTTP(sw, req)
+		logger.Printf("access id=%s method=%s path=%q status=%d bytes=%d dur=%s remote=%s",
+			id, req.Method, req.URL.RequestURI(), sw.status, sw.bytes,
+			time.Since(start).Round(time.Microsecond), req.RemoteAddr)
+	})
+}
+
+func nextRequestID() string {
+	seq := reqSeq.Add(1)
+	const hexdig = "0123456789abcdef"
+	var b [16]byte
+	i := len(b)
+	for v := seq; ; v >>= 4 {
+		i--
+		b[i] = hexdig[v&0xf]
+		if v>>4 == 0 {
+			break
+		}
+	}
+	i--
+	b[i] = '-'
+	for v, k := reqPrefix, 0; k < 8; k++ {
+		i--
+		b[i] = hexdig[v&0xf]
+		v >>= 4
+	}
+	return string(b[i:])
+}
+
+// LimitInFlight bounds the number of concurrently executing requests to
+// limit; excess requests are shed immediately with 503 and a Retry-After
+// hint rather than queued, so a traffic spike degrades to fast rejections
+// instead of piling up goroutines. limit <= 0 disables the limiter.
+// Rejections are counted in the registry's <ns>_rejected_total.
+func (r *Registry) LimitInFlight(limit int, next http.Handler) http.Handler {
+	if limit <= 0 {
+		return next
+	}
+	sem := make(chan struct{}, limit)
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		select {
+		case sem <- struct{}{}:
+			defer func() { <-sem }()
+			next.ServeHTTP(w, req)
+		default:
+			r.rejected.Add(1)
+			w.Header().Set("Content-Type", "application/json")
+			w.Header().Set("Retry-After", "1")
+			w.WriteHeader(http.StatusServiceUnavailable)
+			w.Write([]byte(`{"error":"server overloaded; retry"}` + "\n"))
+		}
+	})
+}

@@ -1,0 +1,224 @@
+// Package obs is the observability substrate for the reccd query service:
+// per-endpoint request counters and latency histograms with lock-free hot
+// paths, a Prometheus-text-format exposition handler, structured access
+// logging with request ids, and an in-flight concurrency limiter. It is
+// stdlib-only by design — the service must not pull a metrics dependency
+// into a library repo — and generic enough for any net/http server.
+//
+// The hot path (one request) touches only atomics: a status-class counter,
+// a histogram bucket, and two accumulator adds. Registration and exposition
+// take a mutex, which only guards map shape, never counts.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// bucketBounds are the latency histogram upper bounds in seconds,
+// log-spaced from 100µs to 10s — resistance queries span sub-millisecond
+// hull scans to multi-second cold /summary distribution sweeps.
+var bucketBounds = []float64{
+	0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005,
+	0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+}
+
+// endpointMetrics holds one endpoint's counters. All fields are atomics so
+// concurrent requests never contend on a lock.
+type endpointMetrics struct {
+	// classes counts responses by status class; index = status/100 (1..5).
+	classes [6]atomic.Uint64
+	// buckets is the cumulative-style histogram storage (stored per-bucket,
+	// accumulated at exposition time); buckets[len(bucketBounds)] is +Inf.
+	buckets [17]atomic.Uint64
+	// count and sumNanos feed the histogram _count and _sum series.
+	count    atomic.Uint64
+	sumNanos atomic.Int64
+}
+
+func (e *endpointMetrics) observe(status int, d time.Duration) {
+	class := status / 100
+	if class < 1 || class > 5 {
+		class = 5
+	}
+	e.classes[class].Add(1)
+	sec := d.Seconds()
+	i := sort.SearchFloat64s(bucketBounds, sec)
+	e.buckets[i].Add(1)
+	e.count.Add(1)
+	e.sumNanos.Add(int64(d))
+}
+
+// Registry aggregates metrics for one server. The zero value is not usable;
+// call NewRegistry.
+type Registry struct {
+	namespace string
+
+	mu        sync.Mutex
+	endpoints map[string]*endpointMetrics
+	gauges    map[string]float64
+
+	// rejected counts requests shed by the in-flight limiter.
+	rejected atomic.Uint64
+	// inFlight tracks currently-executing instrumented requests.
+	inFlight atomic.Int64
+}
+
+// NewRegistry returns a registry whose metric names are prefixed
+// "<namespace>_" (e.g. namespace "reccd" → reccd_requests_total).
+func NewRegistry(namespace string) *Registry {
+	return &Registry{
+		namespace: namespace,
+		endpoints: make(map[string]*endpointMetrics),
+		gauges:    make(map[string]float64),
+	}
+}
+
+// SetGauge publishes a static gauge (index build statistics, config values).
+// Intended for startup-time facts; safe for concurrent use.
+func (r *Registry) SetGauge(name string, v float64) {
+	r.mu.Lock()
+	r.gauges[name] = v
+	r.mu.Unlock()
+}
+
+// endpoint returns (creating if needed) the metrics cell for name.
+func (r *Registry) endpoint(name string) *endpointMetrics {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	e, ok := r.endpoints[name]
+	if !ok {
+		e = &endpointMetrics{}
+		r.endpoints[name] = e
+	}
+	return e
+}
+
+// Instrument wraps h so that every request is counted under the endpoint
+// name with its status class and latency. The cell is resolved once at wrap
+// time, so the per-request cost is atomics only.
+func (r *Registry) Instrument(name string, h http.Handler) http.Handler {
+	cell := r.endpoint(name)
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		r.inFlight.Add(1)
+		start := time.Now()
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		h.ServeHTTP(sw, req)
+		cell.observe(sw.status, time.Since(start))
+		r.inFlight.Add(-1)
+	})
+}
+
+// InstrumentFunc is Instrument for a HandlerFunc.
+func (r *Registry) InstrumentFunc(name string, h http.HandlerFunc) http.Handler {
+	return r.Instrument(name, h)
+}
+
+// ServeHTTP implements GET /metrics in the Prometheus text exposition
+// format (version 0.0.4). Output order is deterministic.
+func (r *Registry) ServeHTTP(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	r.WriteMetrics(w)
+}
+
+// WriteMetrics writes the full exposition to w.
+func (r *Registry) WriteMetrics(w io.Writer) {
+	ns := r.namespace
+
+	r.mu.Lock()
+	names := make([]string, 0, len(r.endpoints))
+	for name := range r.endpoints {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	cells := make([]*endpointMetrics, len(names))
+	for i, name := range names {
+		cells[i] = r.endpoints[name]
+	}
+	gnames := make([]string, 0, len(r.gauges))
+	for name := range r.gauges {
+		gnames = append(gnames, name)
+	}
+	sort.Strings(gnames)
+	gvals := make([]float64, len(gnames))
+	for i, name := range gnames {
+		gvals[i] = r.gauges[name]
+	}
+	r.mu.Unlock()
+
+	fmt.Fprintf(w, "# HELP %s_requests_total Requests served, by endpoint and status class.\n", ns)
+	fmt.Fprintf(w, "# TYPE %s_requests_total counter\n", ns)
+	for i, name := range names {
+		for class := 1; class <= 5; class++ {
+			if n := cells[i].classes[class].Load(); n > 0 {
+				fmt.Fprintf(w, "%s_requests_total{endpoint=%q,class=\"%dxx\"} %d\n", ns, name, class, n)
+			}
+		}
+	}
+
+	fmt.Fprintf(w, "# HELP %s_request_seconds Request latency, by endpoint.\n", ns)
+	fmt.Fprintf(w, "# TYPE %s_request_seconds histogram\n", ns)
+	for i, name := range names {
+		cum := uint64(0)
+		for b, bound := range bucketBounds {
+			cum += cells[i].buckets[b].Load()
+			fmt.Fprintf(w, "%s_request_seconds_bucket{endpoint=%q,le=%q} %d\n",
+				ns, name, strconv.FormatFloat(bound, 'g', -1, 64), cum)
+		}
+		cum += cells[i].buckets[len(bucketBounds)].Load()
+		fmt.Fprintf(w, "%s_request_seconds_bucket{endpoint=%q,le=\"+Inf\"} %d\n", ns, name, cum)
+		fmt.Fprintf(w, "%s_request_seconds_sum{endpoint=%q} %g\n",
+			ns, name, time.Duration(cells[i].sumNanos.Load()).Seconds())
+		fmt.Fprintf(w, "%s_request_seconds_count{endpoint=%q} %d\n", ns, name, cells[i].count.Load())
+	}
+
+	fmt.Fprintf(w, "# HELP %s_rejected_total Requests shed by the in-flight limiter.\n", ns)
+	fmt.Fprintf(w, "# TYPE %s_rejected_total counter\n", ns)
+	fmt.Fprintf(w, "%s_rejected_total %d\n", ns, r.rejected.Load())
+
+	fmt.Fprintf(w, "# HELP %s_in_flight Requests currently being served.\n", ns)
+	fmt.Fprintf(w, "# TYPE %s_in_flight gauge\n", ns)
+	fmt.Fprintf(w, "%s_in_flight %d\n", ns, r.inFlight.Load())
+
+	for i, name := range gnames {
+		fmt.Fprintf(w, "# TYPE %s_%s gauge\n", ns, name)
+		fmt.Fprintf(w, "%s_%s %g\n", ns, name, gvals[i])
+	}
+}
+
+// statusWriter records the status code and byte count of a response.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+	bytes  int64
+	wrote  bool
+}
+
+func (sw *statusWriter) WriteHeader(status int) {
+	if !sw.wrote {
+		sw.status = status
+		sw.wrote = true
+	}
+	sw.ResponseWriter.WriteHeader(status)
+}
+
+func (sw *statusWriter) Write(p []byte) (int, error) {
+	sw.wrote = true
+	n, err := sw.ResponseWriter.Write(p)
+	sw.bytes += int64(n)
+	return n, err
+}
+
+// Flush forwards to the underlying writer when it supports flushing, so
+// instrumented handlers keep streaming semantics.
+func (sw *statusWriter) Flush() {
+	if f, ok := sw.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}

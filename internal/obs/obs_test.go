@@ -1,0 +1,193 @@
+package obs
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestInstrumentCountsAndClasses(t *testing.T) {
+	reg := NewRegistry("t")
+	ok := reg.InstrumentFunc("ok", func(w http.ResponseWriter, _ *http.Request) {
+		w.Write([]byte("hi"))
+	})
+	bad := reg.InstrumentFunc("bad", func(w http.ResponseWriter, _ *http.Request) {
+		http.Error(w, "nope", http.StatusBadRequest)
+	})
+	for i := 0; i < 3; i++ {
+		ok.ServeHTTP(httptest.NewRecorder(), httptest.NewRequest("GET", "/ok", nil))
+	}
+	bad.ServeHTTP(httptest.NewRecorder(), httptest.NewRequest("GET", "/bad", nil))
+
+	var buf bytes.Buffer
+	reg.WriteMetrics(&buf)
+	out := buf.String()
+	for _, want := range []string{
+		`t_requests_total{endpoint="ok",class="2xx"} 3`,
+		`t_requests_total{endpoint="bad",class="4xx"} 1`,
+		`t_request_seconds_count{endpoint="ok"} 3`,
+		`t_request_seconds_bucket{endpoint="ok",le="+Inf"} 3`,
+		"t_rejected_total 0",
+		"t_in_flight 0",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("metrics output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestHistogramBucketsAreCumulative(t *testing.T) {
+	reg := NewRegistry("t")
+	cell := reg.endpoint("e")
+	cell.observe(200, 50*time.Microsecond) // below first bound
+	cell.observe(200, 2*time.Millisecond)  // in the 2.5ms bucket
+	cell.observe(200, time.Minute)         // +Inf
+
+	var buf bytes.Buffer
+	reg.WriteMetrics(&buf)
+	out := buf.String()
+	// Cumulative counts must be monotone: first bucket 1, the 0.0025 bucket 2,
+	// +Inf 3.
+	for _, want := range []string{
+		`t_request_seconds_bucket{endpoint="e",le="0.0001"} 1`,
+		`t_request_seconds_bucket{endpoint="e",le="0.0025"} 2`,
+		`t_request_seconds_bucket{endpoint="e",le="10"} 2`,
+		`t_request_seconds_bucket{endpoint="e",le="+Inf"} 3`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q:\n%s", want, out)
+		}
+	}
+	var cum []uint64
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, `t_request_seconds_bucket{endpoint="e"`) {
+			var n uint64
+			fmt.Sscanf(line[strings.LastIndex(line, " ")+1:], "%d", &n)
+			cum = append(cum, n)
+		}
+	}
+	for i := 1; i < len(cum); i++ {
+		if cum[i] < cum[i-1] {
+			t.Fatalf("bucket counts not monotone: %v", cum)
+		}
+	}
+}
+
+func TestInstrumentConcurrent(t *testing.T) {
+	reg := NewRegistry("t")
+	h := reg.InstrumentFunc("e", func(w http.ResponseWriter, _ *http.Request) {
+		w.WriteHeader(http.StatusOK)
+	})
+	var wg sync.WaitGroup
+	const n = 64
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			h.ServeHTTP(httptest.NewRecorder(), httptest.NewRequest("GET", "/", nil))
+		}()
+	}
+	wg.Wait()
+	var buf bytes.Buffer
+	reg.WriteMetrics(&buf)
+	if !strings.Contains(buf.String(), fmt.Sprintf(`t_requests_total{endpoint="e",class="2xx"} %d`, n)) {
+		t.Fatalf("lost counts under concurrency:\n%s", buf.String())
+	}
+}
+
+func TestGauges(t *testing.T) {
+	reg := NewRegistry("t")
+	reg.SetGauge("index_sketch_dim", 64)
+	reg.SetGauge("index_hull_size", 17)
+	var buf bytes.Buffer
+	reg.WriteMetrics(&buf)
+	for _, want := range []string{"t_index_sketch_dim 64", "t_index_hull_size 17"} {
+		if !strings.Contains(buf.String(), want) {
+			t.Fatalf("missing gauge %q:\n%s", want, buf.String())
+		}
+	}
+}
+
+func TestAccessLog(t *testing.T) {
+	var buf bytes.Buffer
+	logger := log.New(&buf, "", 0)
+	h := AccessLog(logger, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if RequestIDFrom(r.Context()) == "" {
+			t.Error("request id missing from context")
+		}
+		http.Error(w, "gone", http.StatusNotFound)
+	}))
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/x?y=1", nil))
+	id := rec.Header().Get("X-Request-Id")
+	if id == "" {
+		t.Fatal("no X-Request-Id header")
+	}
+	line := buf.String()
+	for _, want := range []string{"id=" + id, "method=GET", `path="/x?y=1"`, "status=404"} {
+		if !strings.Contains(line, want) {
+			t.Fatalf("access line missing %q: %s", want, line)
+		}
+	}
+}
+
+func TestRequestIDsUnique(t *testing.T) {
+	seen := make(map[string]bool)
+	for i := 0; i < 1000; i++ {
+		id := nextRequestID()
+		if seen[id] {
+			t.Fatalf("duplicate request id %s", id)
+		}
+		seen[id] = true
+	}
+}
+
+func TestLimitInFlight(t *testing.T) {
+	reg := NewRegistry("t")
+	release := make(chan struct{})
+	started := make(chan struct{})
+	h := reg.LimitInFlight(1, http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		close(started)
+		<-release
+		w.WriteHeader(http.StatusOK)
+	}))
+	done := make(chan int)
+	go func() {
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest("GET", "/", nil))
+		done <- rec.Code
+	}()
+	<-started
+	// Second request while the first is in flight: shed with 503.
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/", nil))
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("expected 503, got %d", rec.Code)
+	}
+	if rec.Header().Get("Retry-After") == "" {
+		t.Fatal("missing Retry-After")
+	}
+	close(release)
+	if code := <-done; code != http.StatusOK {
+		t.Fatalf("in-flight request got %d", code)
+	}
+	var buf bytes.Buffer
+	reg.WriteMetrics(&buf)
+	if !strings.Contains(buf.String(), "t_rejected_total 1") {
+		t.Fatalf("rejection not counted:\n%s", buf.String())
+	}
+}
+
+func TestLimitDisabled(t *testing.T) {
+	reg := NewRegistry("t")
+	base := http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {})
+	if got := reg.LimitInFlight(0, base); fmt.Sprintf("%T", got) != fmt.Sprintf("%T", base) {
+		t.Fatalf("limit 0 should return the handler unchanged, got %T", got)
+	}
+}

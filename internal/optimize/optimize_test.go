@@ -260,9 +260,3 @@ func TestResultApply(t *testing.T) {
 	}
 }
 
-func min(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
-}

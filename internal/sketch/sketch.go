@@ -55,6 +55,34 @@ func TheoreticalDim(n int, epsilon float64) int {
 	return int(math.Ceil(24 * math.Log(float64(n)) / (epsilon * epsilon)))
 }
 
+// BuildStats aggregates the Laplacian-solver effort spent building a
+// sketch: one CG solve per sketch row. Serving layers surface these in
+// health and metrics endpoints, and they quantify the solver side of the
+// Õ(m/ε²) preprocessing bound.
+type BuildStats struct {
+	// Rows is the number of solves (= sketch dimension d).
+	Rows int
+	// TotalIters is the summed CG iteration count across rows.
+	TotalIters int
+	// MaxIters is the worst single row.
+	MaxIters int
+	// MaxResidual is the worst relative final residual ‖b − Lx‖/‖b‖.
+	MaxResidual float64
+	// Workers is the solve parallelism actually used.
+	Workers int
+}
+
+func (st *BuildStats) merge(o BuildStats) {
+	st.Rows += o.Rows
+	st.TotalIters += o.TotalIters
+	if o.MaxIters > st.MaxIters {
+		st.MaxIters = o.MaxIters
+	}
+	if o.MaxResidual > st.MaxResidual {
+		st.MaxResidual = o.MaxResidual
+	}
+}
+
 // Sketch is the computed X̃ with columns as node embeddings.
 type Sketch struct {
 	// Dim is the sketch dimension d.
@@ -63,6 +91,8 @@ type Sketch struct {
 	N int
 	// Epsilon echoes the error parameter the sketch was built for.
 	Epsilon float64
+	// Stats records the solver effort of the build.
+	Stats BuildStats
 	// pts holds the node embeddings: pts[v] is the d-vector X̃[:,v].
 	pts [][]float64
 }
@@ -107,6 +137,7 @@ func New(csr *graph.CSR, opt Options) (*Sketch, error) {
 		mu       sync.Mutex
 		firstErr error
 	)
+	sk.Stats.Workers = workers
 	rowCh := make(chan int)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
@@ -124,6 +155,12 @@ func New(csr *graph.CSR, opt Options) (*Sketch, error) {
 			q := make([]float64, csr.M)
 			b := make([]float64, n)
 			x := make([]float64, n)
+			var local BuildStats
+			defer func() {
+				mu.Lock()
+				sk.Stats.merge(local)
+				mu.Unlock()
+			}()
 			for i := range rowCh {
 				rng := rand.New(rand.NewSource(opt.Seed + int64(i)*0x9E3779B9))
 				for e := range q {
@@ -137,13 +174,23 @@ func New(csr *graph.CSR, opt Options) (*Sketch, error) {
 				for j := range x {
 					x[j] = 0
 				}
-				if _, err := lap.Solve(b, x); err != nil {
+				iters, err := lap.Solve(b, x)
+				if err != nil {
 					mu.Lock()
 					if firstErr == nil {
 						firstErr = fmt.Errorf("sketch: row %d: %w", i, err)
 					}
 					mu.Unlock()
 					return
+				}
+				_, res := lap.LastStats()
+				local.Rows++
+				local.TotalIters += iters
+				if iters > local.MaxIters {
+					local.MaxIters = iters
+				}
+				if res > local.MaxResidual {
+					local.MaxResidual = res
 				}
 				for v := 0; v < n; v++ {
 					sk.pts[v][i] = x[v]

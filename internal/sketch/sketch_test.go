@@ -139,3 +139,28 @@ func TestSketchEmptyGraph(t *testing.T) {
 		t.Fatal("empty sketch")
 	}
 }
+
+func TestBuildStats(t *testing.T) {
+	g := graph.BarabasiAlbert(120, 3, 5)
+	const dim = 48
+	sk, err := New(g.ToCSR(), Options{Epsilon: 0.3, Dim: dim, Seed: 2, Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := sk.Stats
+	if st.Rows != dim {
+		t.Fatalf("stats rows %d, want %d", st.Rows, dim)
+	}
+	if st.TotalIters < st.MaxIters || st.MaxIters <= 0 {
+		t.Fatalf("iteration stats inconsistent: total %d, max %d", st.TotalIters, st.MaxIters)
+	}
+	if st.TotalIters < dim {
+		t.Fatalf("total iters %d below one per row", st.TotalIters)
+	}
+	if st.MaxResidual <= 0 || st.MaxResidual > 1e-8 {
+		t.Fatalf("max relative residual %g implausible", st.MaxResidual)
+	}
+	if st.Workers != 4 {
+		t.Fatalf("workers %d, want 4", st.Workers)
+	}
+}

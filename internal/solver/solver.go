@@ -88,6 +88,9 @@ type Lap struct {
 	invD []float64 // 1/degree, Jacobi scaling
 	// scratch
 	r, p, ap, z []float64
+	// last-solve diagnostics (see LastStats); single-goroutine like scratch
+	lastIters    int
+	lastResidual float64
 }
 
 // NewLap builds a solver for the Laplacian of csr. Graphs with isolated
@@ -134,6 +137,7 @@ func (s *Lap) Solve(b, x []float64) (int, error) {
 		for i := range x {
 			x[i] = 0
 		}
+		s.lastIters, s.lastResidual = 0, 0
 		return 0, nil
 	}
 	linalg.ProjectOutOnes(x)
@@ -181,11 +185,20 @@ func (s *Lap) Solve(b, x []float64) (int, error) {
 		}
 	}
 	linalg.ProjectOutOnes(x)
-	if linalg.Norm2(r) > tol*4 && iter >= s.opt.MaxIter {
+	res := linalg.Norm2(r)
+	s.lastIters, s.lastResidual = iter, res/bnorm
+	if res > tol*4 && iter >= s.opt.MaxIter {
 		return iter, fmt.Errorf("%w: %d iterations, residual %.3e (target %.3e)",
-			ErrNoConvergence, iter, linalg.Norm2(r), tol)
+			ErrNoConvergence, iter, res, tol)
 	}
 	return iter, nil
+}
+
+// LastStats reports the iteration count and relative residual
+// ‖b − Lx‖/‖b‖ of the most recent Solve. Like the scratch buffers, these
+// are per-Lap state: read them from the goroutine that called Solve.
+func (s *Lap) LastStats() (iters int, relResidual float64) {
+	return s.lastIters, s.lastResidual
 }
 
 func (s *Lap) applyPrecond(r, z []float64) {

@@ -224,3 +224,36 @@ func TestPreconditionerString(t *testing.T) {
 		t.Fatal("unknown preconditioner should still print")
 	}
 }
+
+func TestLastStats(t *testing.T) {
+	g := graph.BarabasiAlbert(80, 3, 7)
+	lap, err := NewLap(g.ToCSR(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := make([]float64, g.N())
+	b[0], b[50] = 1, -1
+	x := make([]float64, g.N())
+	iters, err := lap.Solve(b, x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotIters, res := lap.LastStats()
+	if gotIters != iters {
+		t.Fatalf("LastStats iters %d, Solve returned %d", gotIters, iters)
+	}
+	if iters <= 0 {
+		t.Fatalf("expected positive iteration count, got %d", iters)
+	}
+	if res < 0 || res > DefaultTol*4 {
+		t.Fatalf("relative residual %g outside [0, 4·tol]", res)
+	}
+	// A zero RHS short-circuits and resets the stats.
+	zero := make([]float64, g.N())
+	if _, err := lap.Solve(zero, x); err != nil {
+		t.Fatal(err)
+	}
+	if gotIters, res = lap.LastStats(); gotIters != 0 || res != 0 {
+		t.Fatalf("zero-RHS stats = (%d, %g), want (0, 0)", gotIters, res)
+	}
+}

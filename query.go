@@ -170,6 +170,51 @@ func (ix *FastIndex) Boundary() []int { return append([]int(nil), ix.f.Boundary.
 // SketchDim reports the dimension d actually used.
 func (ix *FastIndex) SketchDim() int { return ix.f.Sk.Dim }
 
+// IndexBuildStats reports construction-time diagnostics of a FastIndex:
+// the solver effort behind the APPROXER sketch (one CG solve per sketch
+// row) and the APPROXCH hull outcome. Serving layers (cmd/reccd) surface
+// these through health and metrics endpoints.
+type IndexBuildStats struct {
+	// SketchDim is the sketch dimension d (= number of Laplacian solves).
+	SketchDim int
+	// SolverWorkers is the solve parallelism used during the build.
+	SolverWorkers int
+	// SolverTotalIters sums CG iterations across all sketch rows.
+	SolverTotalIters int
+	// SolverMaxIters is the worst single row.
+	SolverMaxIters int
+	// SolverMaxResidual is the worst relative final residual ‖b−Lx‖/‖b‖.
+	SolverMaxResidual float64
+	// HullSize is l = |Ŝ|, the boundary-node count each query scans.
+	HullSize int
+	// HullCertified reports whether the θ-coverage guarantee held (false
+	// when MaxHullVertices bound first).
+	HullCertified bool
+	// HullRounds is the number of greedy refinement insertions APPROXCH ran.
+	HullRounds int
+	// HullDiameter is the estimated embedded point-set diameter D̂.
+	HullDiameter float64
+}
+
+// BuildStats returns the construction diagnostics of the index.
+func (ix *FastIndex) BuildStats() IndexBuildStats {
+	st := ix.f.Sk.Stats
+	out := IndexBuildStats{
+		SketchDim:         ix.f.Sk.Dim,
+		SolverWorkers:     st.Workers,
+		SolverTotalIters:  st.TotalIters,
+		SolverMaxIters:    st.MaxIters,
+		SolverMaxResidual: st.MaxResidual,
+		HullSize:          len(ix.f.Boundary),
+	}
+	if h := ix.f.HullInfo; h != nil {
+		out.HullCertified = h.Certified
+		out.HullRounds = h.Rounds
+		out.HullDiameter = h.Diameter
+	}
+	return out
+}
+
 // DistributionSummary aggregates an eccentricity distribution into the
 // graph-level metrics of §III-C: resistance radius φ(G), resistance diameter
 // R(G), the resistance center, and shape statistics.
