@@ -1,6 +1,7 @@
 package resistecc
 
 import (
+	"context"
 	"math"
 	"testing"
 )
@@ -173,7 +174,7 @@ func TestCentralityPublic(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	fi, err := ba.NewFastIndex(SketchOptions{Epsilon: 0.3, Dim: 192, Seed: 2, MaxHullVertices: 32})
+	fi, err := NewFastIndex(context.Background(), ba, WithEpsilon(0.3), WithDim(192), WithSeed(2), WithMaxHullVertices(32))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package resistecc
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -136,7 +137,7 @@ func BenchmarkDiffusionSI(b *testing.B) {
 
 func BenchmarkFastDistributionParallel(b *testing.B) {
 	g := benchProxy(b, "Politician", 0.1)
-	fi, err := wrapGraph(g).NewFastIndex(SketchOptions{Epsilon: 0.3, Dim: 96, Seed: 1, MaxHullVertices: 48})
+	fi, err := NewFastIndex(context.Background(), wrapGraph(g), WithEpsilon(0.3), WithDim(96), WithSeed(1), WithMaxHullVertices(48))
 	if err != nil {
 		b.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 
@@ -36,7 +37,8 @@ func cmdCentrality(args []string) error {
 			return err
 		}
 	case "cf-approx":
-		idx, err := g.NewApproxIndex(resistecc.SketchOptions{Epsilon: *eps, Dim: *dim, Seed: *seed})
+		idx, err := resistecc.NewApproxIndex(context.Background(), g,
+			resistecc.WithEpsilon(*eps), resistecc.WithDim(*dim), resistecc.WithSeed(*seed))
 		if err != nil {
 			return err
 		}

@@ -16,6 +16,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -218,20 +219,26 @@ func cmdQuery(args []string) error {
 	}
 	var vals []resistecc.Eccentricity
 	if *exact {
-		idx, err := g.NewExactIndex()
+		idx, err := resistecc.NewExactIndex(context.Background(), g)
 		if err != nil {
 			return err
 		}
-		vals = idx.Query(nodes)
+		vals, err = idx.Query(nodes)
+		if err != nil {
+			return err
+		}
 	} else {
-		idx, err := g.NewFastIndex(resistecc.SketchOptions{
-			Epsilon: *eps, Dim: *dim, Seed: *seed, MaxHullVertices: *hullCap,
-		})
+		idx, err := resistecc.NewFastIndex(context.Background(), g,
+			resistecc.WithEpsilon(*eps), resistecc.WithDim(*dim),
+			resistecc.WithSeed(*seed), resistecc.WithMaxHullVertices(*hullCap))
 		if err != nil {
 			return err
 		}
 		fmt.Fprintf(os.Stderr, "recc: FASTQUERY d=%d l=%d\n", idx.SketchDim(), idx.BoundarySize())
-		vals = idx.Query(nodes)
+		vals, err = idx.Query(nodes)
+		if err != nil {
+			return err
+		}
 	}
 	for _, v := range vals {
 		fmt.Printf("c(%d) = %.6f  (farthest node %d)\n", v.Node, v.Value, v.Farthest)
@@ -258,15 +265,15 @@ func cmdDist(args []string) error {
 	}
 	var dist []float64
 	if *exact {
-		idx, err := g.NewExactIndex()
+		idx, err := resistecc.NewExactIndex(context.Background(), g)
 		if err != nil {
 			return err
 		}
 		dist = idx.Distribution()
 	} else {
-		idx, err := g.NewFastIndex(resistecc.SketchOptions{
-			Epsilon: *eps, Dim: *dim, Seed: *seed, MaxHullVertices: *hullCap,
-		})
+		idx, err := resistecc.NewFastIndex(context.Background(), g,
+			resistecc.WithEpsilon(*eps), resistecc.WithDim(*dim),
+			resistecc.WithSeed(*seed), resistecc.WithMaxHullVertices(*hullCap))
 		if err != nil {
 			return err
 		}
@@ -339,7 +346,8 @@ func cmdOptimize(args []string) error {
 		return fmt.Errorf("source %d out of range (n=%d)", *source, g.N())
 	}
 	opt := resistecc.OptimizeOptions{
-		Sketch:        resistecc.SketchOptions{Epsilon: *eps, Dim: *dim, Seed: *seed, MaxHullVertices: *hullCap},
+		Sketch:        resistecc.SketchOptions{Epsilon: *eps, Dim: *dim, Seed: *seed},
+		Hull:          resistecc.HullOptions{MaxVertices: *hullCap},
 		MaxCandidates: 128,
 	}
 	prob := resistecc.REM

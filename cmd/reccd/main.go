@@ -1,8 +1,11 @@
 // Command reccd serves resistance-eccentricity queries over HTTP: it loads
 // an edge-list network, reduces it to its largest connected component,
-// builds a FASTQUERY index once, and answers JSON queries — the deployment
-// shape of the paper's "fast query of a node subset Q" use case (a service
-// fronting a large static network).
+// builds a FASTQUERY index, and keeps it live across online edge mutations
+// — a generation-numbered DynamicIndex absorbs adds and removals with
+// incremental sketch updates and rebuilds in the background when the
+// accumulated drift crosses its threshold. Queries never block on
+// mutations; every response carries the X-Index-Generation header of the
+// snapshot that answered it.
 //
 //	reccd -in graph.txt -listen :8080 -eps 0.2 -dim 128
 //
@@ -11,18 +14,25 @@
 // (the index covers only the LCC, the paper's standard preprocessing) are
 // answered with 404.
 //
-// Endpoints:
+// Endpoints (each GET is also served at its legacy unversioned path):
 //
-//	GET /healthz                  → {"status":"ok", ...index + build stats}
-//	GET /eccentricity?node=1,2,3  → [{"node":…,"eccentricity":…,"farthest":…}, …]
-//	                                (always an array, also for a single id)
-//	GET /resistance?u=3&v=9       → {"u":3,"v":9,"resistance":…}
-//	GET /summary                  → {"radius":…,"diameter":…,"center":[…]}
-//	GET /metrics                  → Prometheus text exposition
-//	GET /debug/pprof/...          → net/http/pprof (only with -pprof)
+//	GET    /v1/healthz                  → {"status":"ok", ...index + lifecycle stats}
+//	GET    /v1/eccentricity?node=1,2,3  → [{"node":…,"eccentricity":…,"farthest":…}, …]
+//	                                      (always an array, also for a single id)
+//	GET    /v1/resistance?u=3&v=9       → {"u":3,"v":9,"resistance":…}
+//	GET    /v1/summary                  → {"radius":…,"diameter":…,"center":[…]}
+//	GET    /v1/metrics                  → Prometheus text exposition
+//	POST   /v1/edges  {"u":3,"v":9}     → add an edge between existing nodes
+//	DELETE /v1/edges?u=3&v=9            → remove an edge (refused if it would
+//	                                      disconnect the graph)
+//	POST   /v1/rebuild                  → force a background index rebuild
+//	GET    /debug/pprof/...             → net/http/pprof (only with -pprof)
 //
-// See README.md, "Operating reccd", for flags, timeouts and shedding
-// behavior.
+// Every non-2xx response is a structured envelope
+// {"error":{"code":…,"message":…}} with a stable machine-readable code.
+//
+// See README.md, "Operating reccd" and "Mutating the graph", for flags,
+// timeouts, shedding and the mutation consistency model.
 package main
 
 import (
@@ -58,6 +68,12 @@ func main() {
 	flag.DurationVar(&cfg.ShutdownGrace, "shutdown-grace", cfg.ShutdownGrace,
 		"max wait for in-flight requests on SIGINT/SIGTERM")
 	flag.BoolVar(&cfg.Pprof, "pprof", false, "mount net/http/pprof under /debug/pprof/")
+	flag.Float64Var(&cfg.DriftThreshold, "drift-threshold", 0,
+		"accumulated incremental-update drift that triggers a background rebuild (0 = library default)")
+	flag.IntVar(&cfg.MaxDeletions, "max-deletions", 0,
+		"edge removals absorbed before forcing a rebuild (0 = library default)")
+	flag.IntVar(&cfg.MutationQueue, "mutation-queue", 0,
+		"mutation queue capacity (0 = library default)")
 	flag.Parse()
 
 	if *in == "" {
@@ -75,13 +91,14 @@ func main() {
 	log.Printf("reccd: loaded %s: %d nodes, %d edges; LCC %d nodes, %d edges",
 		*in, inputNodes, inputEdges, lcc.N(), lcc.M())
 
-	srv, err := newServer(lcc, ids, inputNodes, inputEdges, resistecc.SketchOptions{
-		Epsilon: *eps, Dim: *dim, Seed: *seed, MaxHullVertices: *hullCap,
+	srv, err := newServer(lcc, ids, inputNodes, inputEdges, []resistecc.Option{
+		resistecc.WithEpsilon(*eps), resistecc.WithDim(*dim),
+		resistecc.WithSeed(*seed), resistecc.WithMaxHullVertices(*hullCap),
 	}, cfg)
 	if err != nil {
 		log.Fatalf("reccd: building index: %v", err)
 	}
-	st := srv.idx.BuildStats()
+	st := srv.idx().BuildStats()
 	log.Printf("reccd: index ready (d=%d, l=%d, cg-iters=%d, max-residual=%.2e) in %s; listening on %s",
 		st.SketchDim, st.HullSize, st.SolverTotalIters, st.SolverMaxResidual,
 		srv.buildTime, *listen)

@@ -23,10 +23,14 @@ func testServer(t *testing.T) *server {
 	cfg := defaultConfig()
 	cfg.MaxBatch = 8
 	srv, err := newServer(g, newIDMap(g.N(), nil, nil), g.N(), g.M(),
-		resistecc.SketchOptions{Epsilon: 0.3, Dim: 64, Seed: 5, MaxHullVertices: 24}, cfg)
+		[]resistecc.Option{
+			resistecc.WithEpsilon(0.3), resistecc.WithDim(64),
+			resistecc.WithSeed(5), resistecc.WithMaxHullVertices(24),
+		}, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
+	t.Cleanup(srv.close)
 	return srv
 }
 
@@ -60,6 +64,20 @@ func decodeArr(t *testing.T, rec *httptest.ResponseRecorder) []map[string]any {
 	return body
 }
 
+// decodeErrEnvelope asserts the structured error contract: every non-2xx
+// body is {"error":{"code":…,"message":…}} with both fields non-empty.
+func decodeErrEnvelope(t *testing.T, rec *httptest.ResponseRecorder) (code, msg string) {
+	t.Helper()
+	var body errorResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &body); err != nil {
+		t.Fatalf("bad error envelope: %v (%s)", err, rec.Body.String())
+	}
+	if body.Error.Code == "" || body.Error.Message == "" {
+		t.Fatalf("error envelope missing code/message: %s", rec.Body.String())
+	}
+	return body.Error.Code, body.Error.Message
+}
+
 func TestHealthz(t *testing.T) {
 	srv := testServer(t)
 	rec := get(t, testHandler(t, srv), "/healthz")
@@ -83,6 +101,56 @@ func TestHealthz(t *testing.T) {
 	}
 	if rec.Header().Get("X-Request-Id") == "" {
 		t.Fatal("missing X-Request-Id")
+	}
+	if rec.Header().Get("X-Index-Generation") != "1" {
+		t.Fatalf("generation header %q, want 1", rec.Header().Get("X-Index-Generation"))
+	}
+	if body["generation"].(float64) != 1 {
+		t.Fatalf("lifecycle fields missing from healthz: %v", body)
+	}
+}
+
+// Every endpoint answers identically under /v1/ and at its legacy
+// unversioned alias.
+func TestV1RouteAliases(t *testing.T) {
+	srv := testServer(t)
+	h := testHandler(t, srv)
+	for _, path := range []string{
+		"/healthz", "/eccentricity?node=0,7", "/resistance?u=0&v=5", "/summary",
+	} {
+		legacy, v1 := get(t, h, path), get(t, h, "/v1"+path)
+		if legacy.Code != http.StatusOK || v1.Code != http.StatusOK {
+			t.Fatalf("%s: legacy %d, v1 %d", path, legacy.Code, v1.Code)
+		}
+		if legacy.Body.String() != v1.Body.String() {
+			t.Fatalf("%s: body differs between route families:\n%s\nvs\n%s",
+				path, legacy.Body.String(), v1.Body.String())
+		}
+		if g := v1.Header().Get("X-Index-Generation"); g != legacy.Header().Get("X-Index-Generation") {
+			t.Fatalf("%s: generation header differs (%q)", path, g)
+		}
+	}
+	// Metrics is also aliased (exposition text is time-dependent, so just
+	// check both answer).
+	if rec := get(t, h, "/v1/metrics"); rec.Code != http.StatusOK {
+		t.Fatalf("/v1/metrics: %d", rec.Code)
+	}
+}
+
+// Requests that match no route at all get the structured envelope too, not
+// the mux's plain-text page.
+func TestUnknownRouteEnvelope(t *testing.T) {
+	srv := testServer(t)
+	h := testHandler(t, srv)
+	rec := get(t, h, "/nope")
+	if rec.Code != http.StatusNotFound {
+		t.Fatalf("status %d", rec.Code)
+	}
+	if code, _ := decodeErrEnvelope(t, rec); code != "not_found" {
+		t.Fatalf("code %q", code)
+	}
+	if ct := rec.Header().Get("Content-Type"); !strings.HasPrefix(ct, "application/json") {
+		t.Fatalf("content type %q", ct)
 	}
 }
 
@@ -125,8 +193,16 @@ func TestEccentricityErrors(t *testing.T) {
 		if rec.Code != want {
 			t.Errorf("%s: status %d, want %d", url, rec.Code, want)
 		}
-		if body := decodeObj(t, rec); body["error"] == "" {
-			t.Errorf("%s: missing error message", url)
+		code, _ := decodeErrEnvelope(t, rec)
+		switch want {
+		case http.StatusBadRequest:
+			if code != "bad_node_id" && code != "missing_parameter" {
+				t.Errorf("%s: code %q", url, code)
+			}
+		case http.StatusNotFound:
+			if code != "node_not_found" {
+				t.Errorf("%s: code %q", url, code)
+			}
 		}
 	}
 }
@@ -201,12 +277,20 @@ func TestSummaryEndpointCached(t *testing.T) {
 func TestMethodNotAllowed(t *testing.T) {
 	srv := testServer(t)
 	h := testHandler(t, srv)
-	for _, url := range []string{"/eccentricity?node=0", "/summary", "/healthz", "/metrics"} {
+	for _, url := range []string{"/eccentricity?node=0", "/summary", "/healthz", "/metrics", "/v1/summary"} {
 		rec := httptest.NewRecorder()
 		h.ServeHTTP(rec, httptest.NewRequest(http.MethodPost, url, nil))
 		if rec.Code != http.StatusMethodNotAllowed {
 			t.Errorf("POST %s: status %d, want 405", url, rec.Code)
 		}
+		if code, _ := decodeErrEnvelope(t, rec); code != "method_not_allowed" {
+			t.Errorf("POST %s: code %q", url, code)
+		}
+	}
+	// Mutations are POST/DELETE-only.
+	rec := get(t, h, "/v1/edges")
+	if rec.Code != http.StatusMethodNotAllowed {
+		t.Errorf("GET /v1/edges: status %d, want 405", rec.Code)
 	}
 }
 
@@ -236,6 +320,14 @@ func TestMetricsEndpoint(t *testing.T) {
 		"reccd_index_hull_size",
 		"reccd_index_solver_total_iters",
 		"reccd_rejected_total 0",
+		// Lifecycle gauges, sampled live at exposition time.
+		"reccd_index_generation 1",
+		"reccd_index_nodes 120",
+		"reccd_mutation_queue_depth 0",
+		"reccd_index_drift 0",
+		"reccd_index_rebuilds 0",
+		"reccd_index_rebuild_failures 0",
+		"reccd_index_rebuild_in_progress 0",
 	} {
 		if !strings.Contains(out, want) {
 			t.Fatalf("metrics missing %q:\n%s", want, out)

@@ -1,7 +1,9 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"log"
 	"net/http"
@@ -86,6 +88,13 @@ type serverConfig struct {
 	ShutdownGrace time.Duration
 	// Pprof mounts net/http/pprof under /debug/pprof/ when set.
 	Pprof bool
+	// DriftThreshold is the lifecycle ε_drift: accumulated incremental-update
+	// error that triggers a background rebuild (0 = library default 0.5).
+	DriftThreshold float64
+	// MaxDeletions forces a rebuild after this many removals (0 = default 16).
+	MaxDeletions int
+	// MutationQueue is the mutation queue capacity (0 = default 64).
+	MutationQueue int
 }
 
 func defaultConfig() serverConfig {
@@ -99,13 +108,15 @@ func defaultConfig() serverConfig {
 	}
 }
 
-// server answers resistance-eccentricity queries over an immutable
-// FASTQUERY index. All query state is read-only after construction, so
-// handlers are safe for concurrent use; the lazily computed summary is
-// guarded by a Once.
+// server answers resistance-eccentricity queries over a DynamicIndex: a
+// generation-numbered FASTQUERY index that absorbs edge mutations without
+// downtime. Every handler pins one immutable snapshot for the whole request
+// (so batches are internally consistent) and stamps its generation on the
+// response as X-Index-Generation. The distribution summary is cached per
+// generation.
 type server struct {
-	g   *resistecc.Graph // the LCC the index is built on
-	idx *resistecc.FastIndex
+	g   *resistecc.Graph // the LCC generation 1 was built on
+	dyn *resistecc.DynamicIndex
 	ids *idMap
 	cfg serverConfig
 	reg *obs.Registry
@@ -115,13 +126,15 @@ type server struct {
 	totalNodes, totalEdges int
 	buildTime              time.Duration
 
-	summaryOnce sync.Once
-	summary     summaryResponse
+	sumMu  sync.Mutex
+	sumGen uint64
+	sum    summaryResponse
 }
 
 // summaryResponse is the cached /summary payload. Everything — including
 // the hull-pair diameter the seed recomputed in O(l²) per request — is
-// computed once, with node ids already translated to external form.
+// computed once per index generation, with node ids already translated to
+// external form.
 type summaryResponse struct {
 	Radius       float64 `json:"radius"`
 	Diameter     float64 `json:"diameter"`
@@ -132,55 +145,111 @@ type summaryResponse struct {
 	Center       []int64 `json:"center"`
 }
 
-// newServer builds the index over g (already reduced to its LCC) and wires
-// the id translation. inputNodes/inputEdges describe the pre-LCC input
-// graph, for /healthz.
+// newServer builds the dynamic index over g (already reduced to its LCC)
+// and wires the id translation. inputNodes/inputEdges describe the pre-LCC
+// input graph, for /healthz.
 func newServer(g *resistecc.Graph, ids *idMap, inputNodes, inputEdges int,
-	opt resistecc.SketchOptions, cfg serverConfig) (*server, error) {
+	opts []resistecc.Option, cfg serverConfig) (*server, error) {
 	start := time.Now()
-	idx, err := g.NewFastIndex(opt)
+	opts = append(opts,
+		resistecc.WithDriftThreshold(cfg.DriftThreshold),
+		resistecc.WithMaxDeletions(cfg.MaxDeletions),
+		resistecc.WithMutationQueue(cfg.MutationQueue),
+	)
+	dyn, err := resistecc.NewDynamicIndex(context.Background(), g, opts...)
 	if err != nil {
 		return nil, err
 	}
 	s := &server{
-		g: g, idx: idx, ids: ids, cfg: cfg,
+		g: g, dyn: dyn, ids: ids, cfg: cfg,
 		reg:        obs.NewRegistry("reccd"),
 		totalNodes: inputNodes, totalEdges: inputEdges,
 		buildTime: time.Since(start),
 	}
 	s.publishBuildGauges()
+	s.publishLifecycleGauges()
 	return s, nil
 }
 
-// publishBuildGauges exports index construction statistics as static
+// close releases the lifecycle workers (used by tests; the process otherwise
+// ends with the server).
+func (s *server) close() { s.dyn.Close() }
+
+// idx returns the FastIndex of the current generation.
+func (s *server) idx() *resistecc.FastIndex { return s.dyn.Snapshot().Index }
+
+// publishBuildGauges exports generation-1 construction statistics as static
 // gauges on /metrics.
 func (s *server) publishBuildGauges() {
-	st := s.idx.BuildStats()
-	s.reg.SetGauge("index_nodes", float64(s.g.N()))
-	s.reg.SetGauge("index_edges", float64(s.g.M()))
+	st := s.idx().BuildStats()
 	s.reg.SetGauge("index_sketch_dim", float64(st.SketchDim))
-	s.reg.SetGauge("index_hull_size", float64(st.HullSize))
 	s.reg.SetGauge("index_solver_total_iters", float64(st.SolverTotalIters))
 	s.reg.SetGauge("index_solver_max_iters", float64(st.SolverMaxIters))
 	s.reg.SetGauge("index_solver_max_residual", st.SolverMaxResidual)
 	s.reg.SetGauge("index_build_seconds", s.buildTime.Seconds())
 }
 
+// publishLifecycleGauges exports the moving lifecycle state as live gauges,
+// sampled at every /metrics scrape.
+func (s *server) publishLifecycleGauges() {
+	stat := func(f func(resistecc.DynamicStats) float64) func() float64 {
+		return func() float64 { return f(s.dyn.Stats()) }
+	}
+	s.reg.SetGaugeFunc("index_generation", stat(func(st resistecc.DynamicStats) float64 { return float64(st.Generation) }))
+	s.reg.SetGaugeFunc("index_nodes", stat(func(st resistecc.DynamicStats) float64 { return float64(st.IndexN) }))
+	s.reg.SetGaugeFunc("index_edges", stat(func(st resistecc.DynamicStats) float64 { return float64(st.IndexM) }))
+	s.reg.SetGaugeFunc("index_hull_size", func() float64 { return float64(s.idx().BoundarySize()) })
+	s.reg.SetGaugeFunc("mutation_queue_depth", stat(func(st resistecc.DynamicStats) float64 { return float64(st.QueueDepth) }))
+	s.reg.SetGaugeFunc("index_drift", stat(func(st resistecc.DynamicStats) float64 { return st.Drift }))
+	s.reg.SetGaugeFunc("index_updates", stat(func(st resistecc.DynamicStats) float64 { return float64(st.Updates) }))
+	s.reg.SetGaugeFunc("index_deletions", stat(func(st resistecc.DynamicStats) float64 { return float64(st.Deletions) }))
+	s.reg.SetGaugeFunc("index_rebuilds", stat(func(st resistecc.DynamicStats) float64 { return float64(st.Rebuilds) }))
+	s.reg.SetGaugeFunc("index_rebuild_failures", stat(func(st resistecc.DynamicStats) float64 { return float64(st.RebuildFailures) }))
+	s.reg.SetGaugeFunc("index_rebuild_in_progress", stat(func(st resistecc.DynamicStats) float64 {
+		if st.RebuildInProgress {
+			return 1
+		}
+		return 0
+	}))
+	s.reg.SetGaugeFunc("index_last_rebuild_seconds", stat(func(st resistecc.DynamicStats) float64 { return st.LastRebuildSeconds }))
+}
+
 // handler assembles the full middleware stack: routing with per-endpoint
-// instrumentation inside, then the concurrency limiter, then access
-// logging outermost so even shed requests get a log line and request id.
+// instrumentation inside, then the error-envelope interceptor (so the mux's
+// own plain-text 404/405 pages come out as the structured envelope), then
+// the concurrency limiter, then access logging outermost so even shed
+// requests get a log line and request id.
+//
+// Every endpoint is mounted twice: under /v1/ (the versioned API) and at the
+// legacy unversioned path, which remains a permanent alias.
 func (s *server) handler(logger *log.Logger) http.Handler {
 	mux := http.NewServeMux()
-	mux.Handle("GET /healthz", s.reg.InstrumentFunc("healthz", s.handleHealth))
-	mux.Handle("GET /eccentricity", s.reg.InstrumentFunc("eccentricity", s.handleEccentricity))
-	mux.Handle("GET /resistance", s.reg.InstrumentFunc("resistance", s.handleResistance))
-	mux.Handle("GET /summary", s.reg.InstrumentFunc("summary", s.handleSummary))
-	mux.Handle("GET /metrics", s.reg.Instrument("metrics", s.reg))
+	get := func(path, name string, h http.HandlerFunc) {
+		wrapped := s.reg.InstrumentFunc(name, h)
+		mux.Handle("GET /v1"+path, wrapped)
+		mux.Handle("GET "+path, wrapped)
+	}
+	get("/healthz", "healthz", s.handleHealth)
+	get("/eccentricity", "eccentricity", s.handleEccentricity)
+	get("/resistance", "resistance", s.handleResistance)
+	get("/summary", "summary", s.handleSummary)
+	metrics := s.reg.Instrument("metrics", s.reg)
+	mux.Handle("GET /v1/metrics", metrics)
+	mux.Handle("GET /metrics", metrics)
+
+	// Mutations exist only under /v1/ — the legacy surface stays read-only.
+	mux.Handle("POST /v1/edges", s.reg.InstrumentFunc("edges_add", s.handleAddEdge))
+	mux.Handle("DELETE /v1/edges", s.reg.InstrumentFunc("edges_remove", s.handleRemoveEdge))
+	mux.Handle("POST /v1/rebuild", s.reg.InstrumentFunc("rebuild", s.handleRebuild))
+
 	if s.cfg.Pprof {
 		mountPprof(mux)
 	}
-	var h http.Handler = mux
-	h = s.reg.LimitInFlight(s.cfg.MaxInFlight, h)
+	var h http.Handler = withEnvelope(mux)
+	h = s.reg.LimitInFlightWith(s.cfg.MaxInFlight, h, http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusServiceUnavailable, "overloaded", "server overloaded; retry")
+	}))
 	return obs.AccessLog(logger, h)
 }
 
@@ -197,6 +266,18 @@ func httpServer(addr string, h http.Handler, cfg serverConfig) *http.Server {
 	}
 }
 
+// errorResponse is the structured error envelope of the API: every non-2xx
+// response carries {"error":{"code":…,"message":…}} with a stable,
+// machine-readable code.
+type errorResponse struct {
+	Error errorBody `json:"error"`
+}
+
+type errorBody struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+}
+
 func writeJSON(w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
@@ -206,8 +287,61 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	}
 }
 
-func writeError(w http.ResponseWriter, status int, format string, args ...any) {
-	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
+func writeError(w http.ResponseWriter, status int, code, format string, args ...any) {
+	writeJSON(w, status, errorResponse{errorBody{Code: code, Message: fmt.Sprintf(format, args...)}})
+}
+
+// envelopeWriter rewrites the mux's own plain-text 404/405 pages into the
+// structured error envelope. Handler-produced errors pass through untouched
+// (they set Content-Type: application/json before writing the header).
+type envelopeWriter struct {
+	http.ResponseWriter
+	wroteHeader bool
+	intercepted bool
+}
+
+func (ew *envelopeWriter) WriteHeader(status int) {
+	if !ew.wroteHeader {
+		ew.wroteHeader = true
+		ct := ew.Header().Get("Content-Type")
+		if (status == http.StatusNotFound || status == http.StatusMethodNotAllowed) &&
+			!strings.HasPrefix(ct, "application/json") {
+			ew.intercepted = true
+			code, msg := "not_found", "no such endpoint"
+			if status == http.StatusMethodNotAllowed {
+				code, msg = "method_not_allowed", "method not allowed for this endpoint"
+			}
+			ew.Header().Set("Content-Type", "application/json")
+			ew.ResponseWriter.WriteHeader(status)
+			if err := json.NewEncoder(ew.ResponseWriter).Encode(errorResponse{errorBody{Code: code, Message: msg}}); err != nil {
+				log.Printf("reccd: encoding error envelope: %v", err)
+			}
+			return
+		}
+	}
+	ew.ResponseWriter.WriteHeader(status)
+}
+
+func (ew *envelopeWriter) Write(p []byte) (int, error) {
+	if !ew.wroteHeader {
+		ew.WriteHeader(http.StatusOK)
+	}
+	if ew.intercepted {
+		return len(p), nil // swallow the plain-text body being replaced
+	}
+	return ew.ResponseWriter.Write(p)
+}
+
+func withEnvelope(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		next.ServeHTTP(&envelopeWriter{ResponseWriter: w}, r)
+	})
+}
+
+// setGeneration stamps the served index generation on the response, so
+// clients can correlate answers with mutations they issued.
+func setGeneration(w http.ResponseWriter, gen uint64) {
+	w.Header().Set("X-Index-Generation", strconv.FormatUint(gen, 10))
 }
 
 // resolveNode parses one external node id and maps it to the internal LCC
@@ -217,34 +351,43 @@ func writeError(w http.ResponseWriter, status int, format string, args ...any) {
 func (s *server) resolveNode(w http.ResponseWriter, raw string) (int, bool) {
 	ext, err := strconv.ParseInt(strings.TrimSpace(raw), 10, 64)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, "bad node id %q", raw)
+		writeError(w, http.StatusBadRequest, "bad_node_id", "bad node id %q", raw)
 		return 0, false
 	}
 	v, ok := s.ids.toInternal[ext]
 	if !ok {
-		writeError(w, http.StatusNotFound, "node %d not in the largest connected component", ext)
+		writeError(w, http.StatusNotFound, "node_not_found",
+			"node %d not in the largest connected component", ext)
 		return 0, false
 	}
 	return v, true
 }
 
 func (s *server) handleHealth(w http.ResponseWriter, _ *http.Request) {
-	st := s.idx.BuildStats()
+	snap := s.dyn.Snapshot()
+	st := snap.Index.BuildStats()
+	dst := s.dyn.Stats()
+	setGeneration(w, snap.Generation)
 	writeJSON(w, http.StatusOK, map[string]any{
-		"status":        "ok",
-		"nodes":         s.g.N(),
-		"edges":         s.g.M(),
-		"inputNodes":    s.totalNodes,
-		"inputEdges":    s.totalEdges,
-		"sketchDim":     st.SketchDim,
-		"hullBoundary":  st.HullSize,
-		"hullCertified": st.HullCertified,
-		"hullRounds":    st.HullRounds,
-		"solverIters":   st.SolverTotalIters,
-		"solverMaxIter": st.SolverMaxIters,
-		"solverMaxRes":  st.SolverMaxResidual,
-		"indexBuildSec": s.buildTime.Seconds(),
-		"maxBatch":      s.cfg.MaxBatch,
+		"status":            "ok",
+		"nodes":             snap.N,
+		"edges":             snap.M,
+		"inputNodes":        s.totalNodes,
+		"inputEdges":        s.totalEdges,
+		"sketchDim":         st.SketchDim,
+		"hullBoundary":      st.HullSize,
+		"hullCertified":     st.HullCertified,
+		"hullRounds":        st.HullRounds,
+		"solverIters":       st.SolverTotalIters,
+		"solverMaxIter":     st.SolverMaxIters,
+		"solverMaxRes":      st.SolverMaxResidual,
+		"indexBuildSec":     s.buildTime.Seconds(),
+		"maxBatch":          s.cfg.MaxBatch,
+		"generation":        snap.Generation,
+		"drift":             dst.Drift,
+		"queueDepth":        dst.QueueDepth,
+		"rebuilds":          dst.Rebuilds,
+		"rebuildInProgress": dst.RebuildInProgress,
 	})
 }
 
@@ -257,16 +400,17 @@ type eccResponse struct {
 // handleEccentricity answers GET /eccentricity?node=a,b,c. The response is
 // always a JSON array, one element per requested id in request order —
 // including for a single id (the seed returned a bare object for one node
-// and an array for many, forcing clients to shape-sniff).
+// and an array for many, forcing clients to shape-sniff). The whole batch
+// is answered from one pinned snapshot.
 func (s *server) handleEccentricity(w http.ResponseWriter, r *http.Request) {
 	raw := r.URL.Query().Get("node")
 	if raw == "" {
-		writeError(w, http.StatusBadRequest, "missing ?node= (comma-separated ids)")
+		writeError(w, http.StatusBadRequest, "missing_parameter", "missing ?node= (comma-separated ids)")
 		return
 	}
 	parts := strings.Split(raw, ",")
 	if s.cfg.MaxBatch > 0 && len(parts) > s.cfg.MaxBatch {
-		writeError(w, http.StatusRequestEntityTooLarge,
+		writeError(w, http.StatusRequestEntityTooLarge, "batch_too_large",
 			"batch of %d ids exceeds the %d-id limit", len(parts), s.cfg.MaxBatch)
 		return
 	}
@@ -278,7 +422,13 @@ func (s *server) handleEccentricity(w http.ResponseWriter, r *http.Request) {
 		}
 		nodes = append(nodes, v)
 	}
-	vals := s.idx.Query(nodes)
+	snap := s.dyn.Snapshot()
+	vals, err := snap.Index.Query(nodes)
+	if err != nil {
+		// Unreachable through resolveNode, but surface it cleanly.
+		writeError(w, http.StatusBadRequest, "bad_node_id", "%v", err)
+		return
+	}
 	out := make([]eccResponse, len(vals))
 	for i, v := range vals {
 		out[i] = eccResponse{
@@ -287,13 +437,14 @@ func (s *server) handleEccentricity(w http.ResponseWriter, r *http.Request) {
 			Farthest:     s.ids.external(v.Farthest),
 		}
 	}
+	setGeneration(w, snap.Generation)
 	writeJSON(w, http.StatusOK, out)
 }
 
 func (s *server) handleResistance(w http.ResponseWriter, r *http.Request) {
 	q := r.URL.Query()
 	if q.Get("u") == "" || q.Get("v") == "" {
-		writeError(w, http.StatusBadRequest, "need integer ?u= and ?v=")
+		writeError(w, http.StatusBadRequest, "missing_parameter", "need integer ?u= and ?v=")
 		return
 	}
 	u, ok := s.resolveNode(w, q.Get("u"))
@@ -304,20 +455,24 @@ func (s *server) handleResistance(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
+	snap := s.dyn.Snapshot()
+	setGeneration(w, snap.Generation)
 	writeJSON(w, http.StatusOK, map[string]any{
 		"u": s.ids.external(u), "v": s.ids.external(v),
-		"resistance": s.idx.Resistance(u, v),
+		"resistance": snap.Index.Resistance(u, v),
 	})
 }
 
-// handleSummary serves the cached distribution summary. The full
-// distribution scan and the O(l²) hull-pair diameter both run exactly once,
-// on the first request; afterwards /summary is O(1).
+// handleSummary serves the distribution summary, cached per index
+// generation: the full distribution scan and the O(l²) hull-pair diameter
+// run once after each generation swap; within a generation /summary is O(1).
 func (s *server) handleSummary(w http.ResponseWriter, _ *http.Request) {
-	s.summaryOnce.Do(func() {
-		sum := resistecc.Summarize(s.idx.Distribution())
-		diam, pair := s.idx.ResistanceDiameter()
-		s.summary = summaryResponse{
+	snap := s.dyn.Snapshot()
+	s.sumMu.Lock()
+	if s.sumGen != snap.Generation {
+		sum := resistecc.Summarize(snap.Index.Distribution())
+		diam, pair := snap.Index.ResistanceDiameter()
+		s.sum = summaryResponse{
 			Radius:       sum.Radius,
 			Diameter:     sum.Diameter,
 			DiameterPair: s.ids.externals(pair[:]),
@@ -326,6 +481,151 @@ func (s *server) handleSummary(w http.ResponseWriter, _ *http.Request) {
 			Skewness:     sum.Skewness,
 			Center:       s.ids.externals(sum.Center),
 		}
+		s.sumGen = snap.Generation
+	}
+	out := s.sum
+	s.sumMu.Unlock()
+	setGeneration(w, snap.Generation)
+	writeJSON(w, http.StatusOK, out)
+}
+
+// edgeRequest is the POST /v1/edges body: one undirected edge in external
+// node ids.
+type edgeRequest struct {
+	U *int64 `json:"u"`
+	V *int64 `json:"v"`
+}
+
+// mutationResponse reports an accepted mutation: the generation now serving
+// it, whether it was absorbed incrementally or awaits a rebuild, and the
+// accumulated drift bound.
+type mutationResponse struct {
+	U                int64   `json:"u"`
+	V                int64   `json:"v"`
+	Generation       uint64  `json:"generation"`
+	Mode             string  `json:"mode"`
+	Drift            float64 `json:"drift"`
+	RebuildScheduled bool    `json:"rebuildScheduled"`
+}
+
+// resolveMutationNodes maps the external endpoints of a mutation to internal
+// ids. Mutations are confined to the served component: ids outside it are a
+// 404, exactly like queries.
+func (s *server) resolveMutationNodes(w http.ResponseWriter, uExt, vExt int64) (int, int, bool) {
+	u, ok := s.ids.toInternal[uExt]
+	if !ok {
+		writeError(w, http.StatusNotFound, "node_not_found",
+			"node %d not in the largest connected component", uExt)
+		return 0, 0, false
+	}
+	v, ok := s.ids.toInternal[vExt]
+	if !ok {
+		writeError(w, http.StatusNotFound, "node_not_found",
+			"node %d not in the largest connected component", vExt)
+		return 0, 0, false
+	}
+	return u, v, true
+}
+
+// writeMutationError maps library sentinels to HTTP codes. Messages are
+// phrased with the client's external ids — the wrapped library error names
+// internal LCC indices, which mean nothing to callers.
+func writeMutationError(w http.ResponseWriter, uExt, vExt int64, err error) {
+	switch {
+	case errors.Is(err, resistecc.ErrDuplicateEdge):
+		writeError(w, http.StatusConflict, "duplicate_edge",
+			"edge (%d,%d) is already present", uExt, vExt)
+	case errors.Is(err, resistecc.ErrEdgeNotFound):
+		writeError(w, http.StatusNotFound, "edge_not_found",
+			"edge (%d,%d) is not present", uExt, vExt)
+	case errors.Is(err, resistecc.ErrDisconnected):
+		writeError(w, http.StatusConflict, "would_disconnect",
+			"removing edge (%d,%d) would disconnect the graph", uExt, vExt)
+	case errors.Is(err, resistecc.ErrSelfLoop):
+		writeError(w, http.StatusBadRequest, "self_loop",
+			"self loop (%d,%d) is not allowed", uExt, vExt)
+	case errors.Is(err, resistecc.ErrNodeOutOfRange):
+		writeError(w, http.StatusNotFound, "node_not_found",
+			"edge (%d,%d) names a node outside the served component", uExt, vExt)
+	case errors.Is(err, resistecc.ErrIndexClosed):
+		writeError(w, http.StatusServiceUnavailable, "index_closed", "index is shut down")
+	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		writeError(w, http.StatusServiceUnavailable, "mutation_timeout", "%v", err)
+	default:
+		writeError(w, http.StatusInternalServerError, "internal", "%v", err)
+	}
+}
+
+func (s *server) writeMutation(w http.ResponseWriter, uExt, vExt int64, res resistecc.MutationResult) {
+	setGeneration(w, res.Generation)
+	writeJSON(w, http.StatusOK, mutationResponse{
+		U: uExt, V: vExt,
+		Generation:       res.Generation,
+		Mode:             string(res.Mode),
+		Drift:            res.Drift,
+		RebuildScheduled: res.RebuildScheduled,
 	})
-	writeJSON(w, http.StatusOK, s.summary)
+}
+
+// handleAddEdge implements POST /v1/edges with body {"u":…,"v":…}.
+func (s *server) handleAddEdge(w http.ResponseWriter, r *http.Request) {
+	var req edgeRequest
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil || req.U == nil || req.V == nil {
+		writeError(w, http.StatusBadRequest, "bad_request",
+			`body must be JSON {"u":<id>,"v":<id>}`)
+		return
+	}
+	u, v, ok := s.resolveMutationNodes(w, *req.U, *req.V)
+	if !ok {
+		return
+	}
+	res, err := s.dyn.AddEdge(r.Context(), u, v)
+	if err != nil {
+		writeMutationError(w, *req.U, *req.V, err)
+		return
+	}
+	s.writeMutation(w, *req.U, *req.V, res)
+}
+
+// handleRemoveEdge implements DELETE /v1/edges?u=…&v=….
+func (s *server) handleRemoveEdge(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	if q.Get("u") == "" || q.Get("v") == "" {
+		writeError(w, http.StatusBadRequest, "missing_parameter", "need integer ?u= and ?v=")
+		return
+	}
+	uExt, err := strconv.ParseInt(strings.TrimSpace(q.Get("u")), 10, 64)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad_node_id", "bad node id %q", q.Get("u"))
+		return
+	}
+	vExt, err := strconv.ParseInt(strings.TrimSpace(q.Get("v")), 10, 64)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad_node_id", "bad node id %q", q.Get("v"))
+		return
+	}
+	u, v, ok := s.resolveMutationNodes(w, uExt, vExt)
+	if !ok {
+		return
+	}
+	res, err := s.dyn.RemoveEdge(r.Context(), u, v)
+	if err != nil {
+		writeMutationError(w, uExt, vExt, err)
+		return
+	}
+	s.writeMutation(w, uExt, vExt, res)
+}
+
+// handleRebuild implements POST /v1/rebuild: force a background rebuild
+// regardless of drift (e.g. after a burst of stale-mode mutations).
+func (s *server) handleRebuild(w http.ResponseWriter, _ *http.Request) {
+	s.dyn.TriggerRebuild()
+	snap := s.dyn.Snapshot()
+	setGeneration(w, snap.Generation)
+	writeJSON(w, http.StatusAccepted, map[string]any{
+		"scheduled":  true,
+		"generation": snap.Generation,
+	})
 }

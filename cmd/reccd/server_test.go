@@ -33,7 +33,7 @@ func twoComponentFile(t *testing.T) string {
 
 // loadServer mirrors main()'s load path: read, reduce to LCC, keep the
 // composed id mapping.
-func loadServer(t *testing.T, path string, opt resistecc.SketchOptions) (*server, *resistecc.Graph, *idMap) {
+func loadServer(t *testing.T, path string, opts []resistecc.Option) (*server, *resistecc.Graph, *idMap) {
 	t.Helper()
 	g, labels, err := resistecc.LoadEdgeList(path)
 	if err != nil {
@@ -41,10 +41,11 @@ func loadServer(t *testing.T, path string, opt resistecc.SketchOptions) (*server
 	}
 	lcc, mapping := g.LargestComponent()
 	ids := newIDMap(lcc.N(), labels, mapping)
-	srv, err := newServer(lcc, ids, g.N(), g.M(), opt, defaultConfig())
+	srv, err := newServer(lcc, ids, g.N(), g.M(), opts, defaultConfig())
 	if err != nil {
 		t.Fatal(err)
 	}
+	t.Cleanup(srv.close)
 	return srv, lcc, ids
 }
 
@@ -55,8 +56,9 @@ func loadServer(t *testing.T, path string, opt resistecc.SketchOptions) (*server
 // eccentricity of internal node 1 (= label 11). Now external ids round-trip
 // and ids outside the LCC are a 404.
 func TestDisconnectedInputIDMapping(t *testing.T) {
-	opt := resistecc.SketchOptions{Epsilon: 0.3, Dim: 64, Seed: 3}
-	srv, lcc, ids := loadServer(t, twoComponentFile(t), opt)
+	srv, lcc, ids := loadServer(t, twoComponentFile(t), []resistecc.Option{
+		resistecc.WithEpsilon(0.3), resistecc.WithDim(64), resistecc.WithSeed(3),
+	})
 	h := testHandler(t, srv)
 
 	if lcc.N() != 5 || lcc.M() != 5 {
@@ -64,7 +66,8 @@ func TestDisconnectedInputIDMapping(t *testing.T) {
 	}
 
 	// Ground truth: query the index directly by internal id.
-	ref, err := lcc.NewFastIndex(opt)
+	ref, err := resistecc.NewFastIndex(context.Background(), lcc,
+		resistecc.WithEpsilon(0.3), resistecc.WithDim(64), resistecc.WithSeed(3))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -18,13 +18,22 @@
 //     regime (arbitrary edges), with the paper's greedy heuristics
 //     (Simple, FarMinRecc, CenMinRecc, ChMinRecc, MinRecc), exhaustive
 //     optima for small instances, and the DE/PK/PATH/RAND baselines.
+//   - Dynamic serving: DynamicIndex keeps a FastIndex live across online
+//     edge mutations with generation-numbered immutable snapshots, rank-1
+//     incremental sketch updates, and cancellable background rebuilds.
 //
 // # Quick start
 //
 //	g, _ := resistecc.BarabasiAlbert(2000, 4, 1)
-//	idx, _ := g.NewFastIndex(resistecc.SketchOptions{Epsilon: 0.2, Dim: 64, Seed: 1})
+//	idx, _ := resistecc.NewFastIndex(context.Background(), g,
+//		resistecc.WithEpsilon(0.2), resistecc.WithDim(64), resistecc.WithSeed(1))
 //	v := idx.Eccentricity(0)
 //	fmt.Printf("c(0) ≈ %.3f (farthest node %d)\n", v.Value, v.Farthest)
+//
+// Index constructors take functional options (WithEpsilon, WithDim,
+// WithSeed, WithWorkers, WithMaxHullVertices, ...) and a context that
+// cancels the build. The former struct-based methods on *Graph remain as
+// deprecated shims.
 //
 // See the examples/ directory for runnable programs and DESIGN.md for the
 // mapping between paper sections and packages.

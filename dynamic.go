@@ -1,0 +1,173 @@
+package resistecc
+
+import (
+	"context"
+
+	"resistecc/internal/lifecycle"
+)
+
+// ErrIndexClosed is returned by DynamicIndex mutations issued after Close.
+var ErrIndexClosed = lifecycle.ErrClosed
+
+// MutationMode reports how a DynamicIndex mutation reached the served index.
+type MutationMode string
+
+const (
+	// MutationIncremental: the sketch embedding was patched by a rank-1
+	// Sherman–Morrison update and a new generation published immediately.
+	MutationIncremental MutationMode = MutationMode(lifecycle.ModeIncremental)
+	// MutationStale: the mutation landed on the master graph but the served
+	// index could not absorb it incrementally; answers lag until the
+	// scheduled background rebuild swaps in.
+	MutationStale MutationMode = MutationMode(lifecycle.ModeStale)
+)
+
+// MutationResult describes the outcome of one accepted mutation.
+type MutationResult struct {
+	// Generation serving the mutation (unchanged for MutationStale).
+	Generation uint64
+	// Mode is MutationIncremental or MutationStale.
+	Mode MutationMode
+	// Drift is the accumulated incremental-error bound after this mutation;
+	// serving error stays within ε + Drift until the next rebuild resets it.
+	Drift float64
+	// RebuildScheduled reports whether a background rebuild is now pending.
+	RebuildScheduled bool
+}
+
+// IndexSnapshot is one immutable generation of a DynamicIndex: a FastIndex
+// plus the generation number and the graph shape it reflects. Snapshots
+// remain valid (and answer queries) forever, even after newer generations
+// swap in or the DynamicIndex is closed.
+type IndexSnapshot struct {
+	// Generation is the monotonically increasing index version.
+	Generation uint64
+	// Index answers queries for this generation.
+	Index *FastIndex
+	// N and M are the node and edge counts this generation reflects.
+	N, M int
+}
+
+// DynamicStats is a point-in-time view of a DynamicIndex for health checks
+// and metrics.
+type DynamicStats struct {
+	Generation         uint64
+	QueueDepth         int
+	Drift              float64
+	Updates            int
+	Deletions          int
+	Stale              bool
+	Rebuilds           uint64
+	RebuildFailures    uint64
+	RebuildScheduled   bool
+	RebuildInProgress  bool
+	LastRebuildSeconds float64
+	GraphN, GraphM     int
+	IndexN, IndexM     int
+}
+
+// DynamicIndex is a FastIndex that accepts online edge mutations. Queries
+// always hit a complete immutable snapshot (RCU: no locks on the read path);
+// AddEdge/RemoveEdge apply cheap incremental sketch updates when safe and
+// fall back to a cancellable background rebuild once the accumulated drift,
+// or the deletion count, crosses its threshold. A quiesced index (WaitIdle)
+// serves exactly what a cold NewFastIndex of the current graph would.
+//
+// Build one with NewDynamicIndex; WithEpsilon is required, and
+// WithDriftThreshold / WithMaxDeletions / WithMutationQueue tune the
+// rebuild policy.
+type DynamicIndex struct {
+	m *lifecycle.Manager
+}
+
+// NewDynamicIndex builds the initial index (generation 1) from g and starts
+// the mutation and rebuild workers. The graph must be connected
+// (ErrDisconnected otherwise); g is cloned, so later changes to it do not
+// affect the index. ctx cancels the initial build and, after it, all
+// background rebuilds; Close releases the workers.
+func NewDynamicIndex(ctx context.Context, g *Graph, opts ...Option) (*DynamicIndex, error) {
+	c := applyOptions(opts)
+	m, err := lifecycle.New(ctx, g.inner(), lifecycle.Config{
+		Sketch:         c.sk.internal(),
+		Hull:           c.hull.internal(),
+		DriftThreshold: c.driftThreshold,
+		MaxDeletions:   c.maxDeletions,
+		QueueSize:      c.queueSize,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &DynamicIndex{m: m}, nil
+}
+
+// Snapshot returns the current served generation. The result is immutable;
+// hold it across related queries for a consistent view.
+func (d *DynamicIndex) Snapshot() *IndexSnapshot {
+	s := d.m.Current()
+	return &IndexSnapshot{
+		Generation: s.Gen,
+		Index:      &FastIndex{f: s.Fast},
+		N:          s.N,
+		M:          s.M,
+	}
+}
+
+// AddEdge inserts the undirected edge (u, v). Rejected inputs surface as
+// ErrNodeOutOfRange, ErrSelfLoop or ErrDuplicateEdge; ctx bounds the time
+// spent waiting on the mutation queue.
+func (d *DynamicIndex) AddEdge(ctx context.Context, u, v int) (MutationResult, error) {
+	return convMutation(d.m.AddEdge(ctx, u, v))
+}
+
+// RemoveEdge deletes the undirected edge (u, v). A removal that would
+// disconnect the graph is rejected with ErrDisconnected (resistance
+// eccentricity is undefined across components); a missing edge is
+// ErrEdgeNotFound.
+func (d *DynamicIndex) RemoveEdge(ctx context.Context, u, v int) (MutationResult, error) {
+	return convMutation(d.m.RemoveEdge(ctx, u, v))
+}
+
+func convMutation(r lifecycle.ApplyResult, err error) (MutationResult, error) {
+	if err != nil {
+		return MutationResult{}, err
+	}
+	return MutationResult{
+		Generation:       r.Gen,
+		Mode:             MutationMode(r.Mode),
+		Drift:            r.Drift,
+		RebuildScheduled: r.RebuildScheduled,
+	}, nil
+}
+
+// TriggerRebuild schedules a background rebuild regardless of drift.
+func (d *DynamicIndex) TriggerRebuild() { d.m.TriggerRebuild() }
+
+// WaitIdle blocks until no mutation is queued and no rebuild is pending or
+// running — the point at which served answers match a cold rebuild.
+func (d *DynamicIndex) WaitIdle(ctx context.Context) error { return d.m.WaitIdle(ctx) }
+
+// Stats reports the lifecycle state for health and metrics endpoints.
+func (d *DynamicIndex) Stats() DynamicStats {
+	s := d.m.Stats()
+	return DynamicStats{
+		Generation:         s.Generation,
+		QueueDepth:         s.QueueDepth,
+		Drift:              s.Drift,
+		Updates:            s.Updates,
+		Deletions:          s.Deletions,
+		Stale:              s.Stale,
+		Rebuilds:           s.Rebuilds,
+		RebuildFailures:    s.RebuildFailures,
+		RebuildScheduled:   s.RebuildScheduled,
+		RebuildInProgress:  s.RebuildInProgress,
+		LastRebuildSeconds: s.LastRebuildSeconds,
+		GraphN:             s.GraphN,
+		GraphM:             s.GraphM,
+		IndexN:             s.IndexN,
+		IndexM:             s.IndexM,
+	}
+}
+
+// Close stops the workers and rejects further mutations with ErrIndexClosed.
+// Existing snapshots keep answering queries.
+func (d *DynamicIndex) Close() { d.m.Close() }

@@ -1,0 +1,39 @@
+package resistecc
+
+import (
+	"resistecc/internal/graph"
+	"resistecc/internal/sketch"
+)
+
+// Sentinel errors of the public API. All constructors, index queries, plan
+// application and DynamicIndex mutations wrap one of these, so callers can
+// branch with errors.Is regardless of which layer produced the failure:
+//
+//	if errors.Is(err, resistecc.ErrDisconnected) { ... }
+//
+// The sentinels alias the internal ones, so errors returned by deeper layers
+// (graph mutation, sketch construction, the lifecycle manager) match without
+// re-wrapping.
+var (
+	// ErrDisconnected reports an operation that requires a connected graph:
+	// effective resistance is infinite across components, so indexes refuse
+	// disconnected inputs and DynamicIndex refuses bridge removals.
+	ErrDisconnected = graph.ErrDisconnected
+
+	// ErrNodeOutOfRange reports a node id outside [0, n).
+	ErrNodeOutOfRange = graph.ErrNodeRange
+
+	// ErrDuplicateEdge reports an AddEdge of an edge already present.
+	ErrDuplicateEdge = graph.ErrDuplicateEdge
+
+	// ErrEdgeNotFound reports a RemoveEdge of an edge not present.
+	ErrEdgeNotFound = graph.ErrEdgeNotFound
+
+	// ErrSelfLoop reports an edge (v, v).
+	ErrSelfLoop = graph.ErrSelfLoop
+
+	// ErrBadEpsilon reports an approximation target ε outside (0,1).
+	// Approximate constructors require an explicit epsilon (WithEpsilon or
+	// SketchOptions.Epsilon); a zero value is an error, not a default.
+	ErrBadEpsilon = sketch.ErrBadEpsilon
+)

@@ -1,6 +1,7 @@
 package resistecc_test
 
 import (
+	"context"
 	"fmt"
 
 	"resistecc"
@@ -27,11 +28,11 @@ func ExampleGraph_NewExactIndex() {
 
 // Resistance distances on the path graph equal hop distances, so the
 // eccentricity of an endpoint is n−1.
-func ExampleGraph_NewFastIndex() {
+func ExampleNewFastIndex() {
 	g := resistecc.PathGraph(64)
-	idx, err := g.NewFastIndex(resistecc.SketchOptions{
-		Epsilon: 0.3, Dim: 512, Seed: 1, MaxHullVertices: 16,
-	})
+	idx, err := resistecc.NewFastIndex(context.Background(), g,
+		resistecc.WithEpsilon(0.3), resistecc.WithDim(512),
+		resistecc.WithSeed(1), resistecc.WithMaxHullVertices(16))
 	if err != nil {
 		panic(err)
 	}

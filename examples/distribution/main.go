@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"strings"
@@ -23,7 +24,7 @@ func main() {
 	}
 	fmt.Printf("network: n=%d m=%d\n", g.N(), g.M())
 
-	idx, err := g.NewExactIndex()
+	idx, err := resistecc.NewExactIndex(context.Background(), g)
 	if err != nil {
 		log.Fatal(err)
 	}

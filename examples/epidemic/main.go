@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"sort"
@@ -24,9 +25,9 @@ func main() {
 	}
 	fmt.Printf("contact network: n=%d m=%d\n", g.N(), g.M())
 
-	idx, err := g.NewFastIndex(resistecc.SketchOptions{
-		Epsilon: 0.3, Dim: 128, Seed: 17, MaxHullVertices: 48,
-	})
+	idx, err := resistecc.NewFastIndex(context.Background(), g,
+		resistecc.WithEpsilon(0.3), resistecc.WithDim(128),
+		resistecc.WithSeed(17), resistecc.WithMaxHullVertices(48))
 	if err != nil {
 		log.Fatal(err)
 	}

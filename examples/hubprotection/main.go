@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -23,7 +24,7 @@ func main() {
 		log.Fatal(err)
 	}
 	// The protected service: a peripheral placement (worst case).
-	exact, err := g.NewExactIndex()
+	exact, err := resistecc.NewExactIndex(context.Background(), g)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -39,7 +40,8 @@ func main() {
 
 	const k = 8
 	opt := resistecc.OptimizeOptions{
-		Sketch: resistecc.SketchOptions{Epsilon: 0.3, Dim: 96, Seed: 3, MaxHullVertices: 24},
+		Sketch: resistecc.SketchOptions{Epsilon: 0.3, Dim: 96, Seed: 3},
+		Hull:   resistecc.HullOptions{MaxVertices: 24},
 	}
 
 	type entry struct {

@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -20,7 +21,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	exact, err := g.NewExactIndex()
+	exact, err := resistecc.NewExactIndex(context.Background(), g)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -37,7 +38,8 @@ func main() {
 
 	const k = 6
 	opt := resistecc.OptimizeOptions{
-		Sketch:        resistecc.SketchOptions{Epsilon: 0.3, Dim: 96, Seed: 5, MaxHullVertices: 20},
+		Sketch:        resistecc.SketchOptions{Epsilon: 0.3, Dim: 96, Seed: 5},
+		Hull:          resistecc.HullOptions{MaxVertices: 20},
 		MaxCandidates: 48,
 	}
 

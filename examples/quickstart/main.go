@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -25,18 +26,18 @@ func main() {
 		st.N, st.M, st.AvgDegree, st.MaxDegree)
 
 	// EXACTQUERY: O(n^3) preprocessing, exact answers.
-	exact, err := g.NewExactIndex()
+	exact, err := resistecc.NewExactIndex(context.Background(), g)
 	if err != nil {
 		log.Fatal(err)
 	}
 
 	// FASTQUERY: near-linear preprocessing, (1±ε) answers.
-	fast, err := g.NewFastIndex(resistecc.SketchOptions{
-		Epsilon:         0.2, // error target
-		Dim:             256, // sketch dimension (0 = the conservative theoretical bound)
-		Seed:            1,
-		MaxHullVertices: 64, // practical hull cap; 0 keeps the certified hull
-	})
+	fast, err := resistecc.NewFastIndex(context.Background(), g,
+		resistecc.WithEpsilon(0.2),        // error target
+		resistecc.WithDim(256),            // sketch dimension (0 = the conservative theoretical bound)
+		resistecc.WithSeed(1),
+		resistecc.WithMaxHullVertices(64), // practical hull cap; 0 keeps the certified hull
+	)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -48,7 +49,9 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	idx, err := g.NewFastIndex(resistecc.SketchOptions{Epsilon: 0.3, Dim: 128, Seed: 1, MaxHullVertices: 48})
+	idx, err := resistecc.NewFastIndex(context.Background(), g,
+		resistecc.WithEpsilon(0.3), resistecc.WithDim(128),
+		resistecc.WithSeed(1), resistecc.WithMaxHullVertices(48))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -80,7 +83,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	exactDense, err := dense.NewExactIndex()
+	exactDense, err := resistecc.NewExactIndex(context.Background(), dense)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package resistecc
 
 import (
+	"context"
 	"math"
 	"os"
 	"path/filepath"
@@ -50,7 +51,7 @@ func TestIntegrationPipeline(t *testing.T) {
 	}
 
 	// 4. FASTQUERY agrees within the sketch tolerance.
-	fast, err := lcc.NewFastIndex(SketchOptions{Epsilon: 0.3, Dim: 192, Seed: 42, MaxHullVertices: 48})
+	fast, err := NewFastIndex(context.Background(), lcc, WithEpsilon(0.3), WithDim(192), WithSeed(42), WithMaxHullVertices(48))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -71,7 +72,8 @@ func TestIntegrationPipeline(t *testing.T) {
 		}
 	}
 	plan, err := MinRecc(lcc, s, 4, OptimizeOptions{
-		Sketch:        SketchOptions{Epsilon: 0.3, Dim: 96, Seed: 42, MaxHullVertices: 16},
+		Sketch:        SketchOptions{Epsilon: 0.3, Dim: 96, Seed: 42},
+		Hull:          HullOptions{MaxVertices: 16},
 		MaxCandidates: 24,
 	})
 	if err != nil {

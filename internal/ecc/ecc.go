@@ -17,6 +17,7 @@
 package ecc
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"runtime"
@@ -50,6 +51,15 @@ func NewExact(g *graph.Graph) (*Exact, error) {
 		return nil, fmt.Errorf("ecc: exact preprocessing: %w", err)
 	}
 	return &Exact{lp: lp}, nil
+}
+
+// NewExactContext is NewExact gated on ctx: the dense O(n³) inversion is
+// not interruptible, so cancellation is honoured only before it starts.
+func NewExactContext(ctx context.Context, g *graph.Graph) (*Exact, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("ecc: exact preprocessing cancelled: %w", err)
+	}
+	return NewExact(g)
 }
 
 // Pinv exposes the pseudoinverse for callers (the optimizer's exact greedy).
@@ -89,7 +99,12 @@ type Approx struct {
 
 // NewApprox runs APPROXER (Algorithm 2, lines 1-2).
 func NewApprox(g *graph.Graph, opt sketch.Options) (*Approx, error) {
-	sk, err := sketch.New(g.ToCSR(), opt)
+	return NewApproxContext(context.Background(), g, opt)
+}
+
+// NewApproxContext is NewApprox with build cancellation.
+func NewApproxContext(ctx context.Context, g *graph.Graph, opt sketch.Options) (*Approx, error) {
+	sk, err := sketch.NewContext(ctx, g.ToCSR(), opt)
 	if err != nil {
 		return nil, fmt.Errorf("ecc: approx preprocessing: %w", err)
 	}
@@ -142,10 +157,24 @@ type Fast struct {
 // NewFast runs the preprocessing of FASTQUERY (Algorithm 3, lines 1-4):
 // the APPROXER sketch followed by APPROXCH on the embedded points.
 func NewFast(g *graph.Graph, opt FastOptions) (*Fast, error) {
-	sk, err := sketch.New(g.ToCSR(), opt.Sketch)
+	return NewFastContext(context.Background(), g, opt)
+}
+
+// NewFastContext is NewFast with build cancellation: the dominant sketch
+// stage aborts between solver rows when ctx is cancelled, so background
+// rebuilds (the lifecycle manager) can be torn down mid-flight.
+func NewFastContext(ctx context.Context, g *graph.Graph, opt FastOptions) (*Fast, error) {
+	sk, err := sketch.NewContext(ctx, g.ToCSR(), opt.Sketch)
 	if err != nil {
 		return nil, fmt.Errorf("ecc: fast preprocessing (sketch): %w", err)
 	}
+	return NewFastFromSketch(sk, hullOptions(opt))
+}
+
+// hullOptions resolves the APPROXCH parameters from FastOptions, applying
+// the paper's θ = ε/12 default and a seed derived from the sketch seed so a
+// rebuild of the same graph with the same options is bit-identical.
+func hullOptions(opt FastOptions) hull.Options {
 	hopt := opt.Hull
 	if hopt.Theta <= 0 {
 		hopt.Theta = opt.Sketch.Epsilon / 12
@@ -153,12 +182,25 @@ func NewFast(g *graph.Graph, opt FastOptions) (*Fast, error) {
 	if hopt.Seed == 0 {
 		hopt.Seed = opt.Sketch.Seed + 1
 	}
+	return hopt
+}
+
+// NewFastFromSketch assembles FASTQUERY state from an existing sketch by
+// running APPROXCH on its embedded points. The lifecycle manager uses it to
+// re-derive the hull boundary after an incremental embedding update without
+// re-sketching. hopt must already be fully resolved (no zero Theta).
+func NewFastFromSketch(sk *sketch.Sketch, hopt hull.Options) (*Fast, error) {
 	hres, err := hull.Approx(sk.Points(), hopt)
 	if err != nil {
 		return nil, fmt.Errorf("ecc: fast preprocessing (hull): %w", err)
 	}
 	return &Fast{Sk: sk, Boundary: hres.Vertices, HullInfo: hres}, nil
 }
+
+// HullOptionsFor exposes the resolved hull options for a FastOptions, so
+// callers rebuilding the hull incrementally use the exact parameters a full
+// build would.
+func HullOptionsFor(opt FastOptions) hull.Options { return hullOptions(opt) }
 
 // L returns l = |Ŝ|, the number of hull-boundary nodes each query scans.
 func (f *Fast) L() int { return len(f.Boundary) }

@@ -107,6 +107,12 @@ var (
 	ErrDuplicateEdge = errors.New("graph: edge already present")
 	// ErrNodeRange is returned for out-of-range node indices.
 	ErrNodeRange = errors.New("graph: node index out of range")
+	// ErrEdgeNotFound is returned when removing an edge that is not present.
+	ErrEdgeNotFound = errors.New("graph: edge not present")
+	// ErrDisconnected is returned by operations that require a connected
+	// graph (Laplacian solves, index builds) or would disconnect one
+	// (lifecycle edge removal).
+	ErrDisconnected = errors.New("graph: graph is (or would become) disconnected")
 )
 
 // AddEdge inserts the undirected edge (u,v).
@@ -138,7 +144,7 @@ func (g *Graph) insertArc(u, v int) {
 // RemoveEdge deletes the undirected edge (u,v) if present.
 func (g *Graph) RemoveEdge(u, v int) error {
 	if !g.HasEdge(u, v) {
-		return fmt.Errorf("graph: edge (%d,%d) not present", u, v)
+		return fmt.Errorf("%w: (%d,%d)", ErrEdgeNotFound, u, v)
 	}
 	g.removeArc(u, v)
 	g.removeArc(v, u)

@@ -1,0 +1,497 @@
+// Package lifecycle owns the dynamic-serving core of the repository: a
+// generation-numbered FASTQUERY index behind an RCU-style atomic pointer, a
+// serialized mutation queue (AddEdge/RemoveEdge) that applies cheap
+// Sherman–Morrison embedding updates in place of full rebuilds, and a
+// cancellable background rebuild that re-sketches from scratch once the
+// accumulated drift or the deletion count crosses a threshold.
+//
+// The paper's optimization half (§VI–VII) is all about changing the graph —
+// FARMINRECC/MINRECC add edges and re-score — while FASTQUERY's index is a
+// build-once artifact. This package closes that gap for serving: mutations
+// land without downtime, queries always hit a complete immutable snapshot
+// (never a half-updated one), and the generation number lets clients observe
+// index progression (reccd surfaces it as X-Index-Generation).
+//
+// Consistency model:
+//
+//   - Readers call Current() and query the returned Snapshot; snapshots are
+//     immutable after publication, so no locks are taken on the query path.
+//   - Mutations are serialized through one worker goroutine. Each successful
+//     incremental mutation publishes a new snapshot with Gen+1. A mutation
+//     whose embedding update is unsafe (bridge-like removal, solver failure)
+//     is still applied to the master graph but leaves the served index
+//     stale and forces a rebuild ("stale" mode).
+//   - The background rebuild re-sketches the master graph with the original
+//     options (same seeds), so a quiesced manager serves exactly what a cold
+//     build of the current graph would. Rebuilds that lose a race with new
+//     mutations are discarded and rerun (coalescing), never swapped in over
+//     fresher data.
+//   - Accumulated drift is the sum of per-update relative-error bounds (see
+//     internal/sketch/update.go); serving error is bounded by ε + drift
+//     between rebuilds.
+package lifecycle
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"resistecc/internal/ecc"
+	"resistecc/internal/graph"
+	"resistecc/internal/hull"
+	"resistecc/internal/sketch"
+)
+
+// ErrClosed is returned by mutations issued after Close.
+var ErrClosed = errors.New("lifecycle: manager closed")
+
+// Config configures a Manager. Sketch.Epsilon is required.
+type Config struct {
+	// Sketch configures APPROXER for the initial build, every full rebuild,
+	// and the per-update Laplacian solves.
+	Sketch sketch.Options
+	// Hull configures APPROXCH; zero Theta means ε/12 as in FASTQUERY.
+	Hull hull.Options
+	// DriftThreshold is ε_drift: a full rebuild is scheduled once the sum of
+	// incremental-update error contributions exceeds it. Zero means 0.5.
+	DriftThreshold float64
+	// MaxDeletions schedules a rebuild after this many edge removals since
+	// the last full build, regardless of drift. Zero means 16.
+	MaxDeletions int
+	// QueueSize is the mutation queue capacity; enqueueing blocks (with the
+	// caller's context as the way out) when full. Zero means 64.
+	QueueSize int
+}
+
+func (c Config) withDefaults() Config {
+	if c.DriftThreshold <= 0 {
+		c.DriftThreshold = 0.5
+	}
+	if c.MaxDeletions <= 0 {
+		c.MaxDeletions = 16
+	}
+	if c.QueueSize <= 0 {
+		c.QueueSize = 64
+	}
+	return c
+}
+
+// Snapshot is one immutable generation of the served index. N and M describe
+// the graph this index reflects (for stale generations they lag the master
+// graph until the rebuild lands).
+type Snapshot struct {
+	Gen  uint64
+	Fast *ecc.Fast
+	N, M int
+}
+
+// Mode reports how a mutation reached the served index.
+type Mode string
+
+const (
+	// ModeIncremental: the embedding was updated in O(solve + n·d) and a new
+	// generation was published immediately.
+	ModeIncremental Mode = "incremental"
+	// ModeStale: the mutation was applied to the master graph but could not
+	// be reflected incrementally; the served index is stale until the
+	// scheduled rebuild swaps in.
+	ModeStale Mode = "stale"
+)
+
+// ApplyResult describes the outcome of one accepted mutation.
+type ApplyResult struct {
+	// Gen is the generation serving the mutation (unchanged for ModeStale).
+	Gen uint64
+	// Mode is ModeIncremental or ModeStale.
+	Mode Mode
+	// Drift is the accumulated drift bound after this mutation.
+	Drift float64
+	// RebuildScheduled reports whether this mutation tripped (or found
+	// already tripped) the rebuild trigger.
+	RebuildScheduled bool
+}
+
+// Stats is a point-in-time view of the manager for health and metrics.
+type Stats struct {
+	Generation         uint64
+	QueueDepth         int
+	Drift              float64
+	Updates            int
+	Deletions          int
+	Stale              bool
+	Rebuilds           uint64
+	RebuildFailures    uint64
+	RebuildScheduled   bool
+	RebuildInProgress  bool
+	LastRebuildSeconds float64
+	// GraphN/GraphM describe the master graph (including not-yet-rebuilt
+	// stale mutations); IndexN/IndexM the graph the served index reflects.
+	GraphN, GraphM int
+	IndexN, IndexM int
+}
+
+type mutation struct {
+	add  bool
+	u, v int
+	resp chan mutResult
+}
+
+type mutResult struct {
+	res ApplyResult
+	err error
+}
+
+// Manager owns the index lifecycle. Construct with New; callers may query
+// (Current) from any goroutine and mutate (AddEdge/RemoveEdge) from any
+// goroutine; mutations are serialized internally.
+type Manager struct {
+	cfg  Config
+	fopt ecc.FastOptions
+	hopt hull.Options
+
+	cur     atomic.Pointer[Snapshot]
+	queue   chan mutation
+	pending atomic.Int64 // enqueued but unanswered mutations
+
+	mu                sync.Mutex
+	latest            *graph.Graph // master graph; mutation worker + rebuild clone
+	mutSeq            uint64       // bumps on every applied mutation
+	deletions         int
+	stale             bool
+	rebuildScheduled  bool
+	rebuildInProgress bool
+	rebuilds          uint64
+	rebuildFailures   uint64
+	lastRebuildDur    time.Duration
+
+	trigger chan struct{}
+	ctx     context.Context
+	cancel  context.CancelFunc
+	wg      sync.WaitGroup
+}
+
+// New builds the generation-1 index over g (which must be connected — serve
+// the largest connected component, the paper's standard preprocessing) and
+// starts the mutation and rebuild workers. The manager keeps its own copy of
+// g. ctx bounds only the initial build; use Close to stop the manager.
+func New(ctx context.Context, g *graph.Graph, cfg Config) (*Manager, error) {
+	if !g.Connected() {
+		return nil, fmt.Errorf("lifecycle: index requires a connected graph: %w", graph.ErrDisconnected)
+	}
+	cfg = cfg.withDefaults()
+	fopt := ecc.FastOptions{Sketch: cfg.Sketch, Hull: cfg.Hull}
+	fast, err := ecc.NewFastContext(ctx, g, fopt)
+	if err != nil {
+		return nil, fmt.Errorf("lifecycle: initial build: %w", err)
+	}
+	bctx, cancel := context.WithCancel(context.Background())
+	m := &Manager{
+		cfg:     cfg,
+		fopt:    fopt,
+		hopt:    ecc.HullOptionsFor(fopt),
+		queue:   make(chan mutation, cfg.QueueSize),
+		latest:  g.Clone(),
+		trigger: make(chan struct{}, 1),
+		ctx:     bctx,
+		cancel:  cancel,
+	}
+	m.cur.Store(&Snapshot{Gen: 1, Fast: fast, N: g.N(), M: g.M()})
+	m.wg.Add(2)
+	go m.mutationWorker()
+	go m.rebuildWorker()
+	return m, nil
+}
+
+// Current returns the snapshot queries should use. Never nil.
+func (m *Manager) Current() *Snapshot { return m.cur.Load() }
+
+// AddEdge inserts (u,v), updating the served index incrementally when safe.
+func (m *Manager) AddEdge(ctx context.Context, u, v int) (ApplyResult, error) {
+	return m.mutate(ctx, mutation{add: true, u: u, v: v})
+}
+
+// RemoveEdge deletes (u,v). Removals that would disconnect the graph are
+// rejected with ErrDisconnected (the index only serves connected graphs).
+func (m *Manager) RemoveEdge(ctx context.Context, u, v int) (ApplyResult, error) {
+	return m.mutate(ctx, mutation{add: false, u: u, v: v})
+}
+
+// mutate enqueues and waits. If ctx expires after enqueueing, the mutation
+// may still be applied by the worker — callers observing a ctx error should
+// treat the outcome as unknown, not as a rollback.
+func (m *Manager) mutate(ctx context.Context, mut mutation) (ApplyResult, error) {
+	mut.resp = make(chan mutResult, 1)
+	m.pending.Add(1)
+	select {
+	case m.queue <- mut:
+	case <-ctx.Done():
+		m.pending.Add(-1)
+		return ApplyResult{}, ctx.Err()
+	case <-m.ctx.Done():
+		m.pending.Add(-1)
+		return ApplyResult{}, ErrClosed
+	}
+	select {
+	case r := <-mut.resp:
+		return r.res, r.err
+	case <-ctx.Done():
+		return ApplyResult{}, ctx.Err()
+	case <-m.ctx.Done():
+		return ApplyResult{}, ErrClosed
+	}
+}
+
+// TriggerRebuild schedules a background full rebuild regardless of drift.
+func (m *Manager) TriggerRebuild() {
+	m.mu.Lock()
+	m.scheduleRebuildLocked()
+	m.mu.Unlock()
+}
+
+// WaitIdle blocks until the mutation queue is drained and no rebuild is
+// scheduled or running — the point at which Current() serves exactly a cold
+// build of the master graph (unless drift-free incremental generations are
+// still within threshold, which is also a settled state).
+func (m *Manager) WaitIdle(ctx context.Context) error {
+	tick := time.NewTicker(2 * time.Millisecond)
+	defer tick.Stop()
+	for {
+		m.mu.Lock()
+		idle := m.pending.Load() == 0 && !m.rebuildScheduled && !m.rebuildInProgress
+		m.mu.Unlock()
+		if idle {
+			return nil
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-m.ctx.Done():
+			return ErrClosed
+		case <-tick.C:
+		}
+	}
+}
+
+// Stats reports lifecycle gauges for /healthz and /metrics.
+func (m *Manager) Stats() Stats {
+	snap := m.cur.Load()
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return Stats{
+		Generation:         snap.Gen,
+		QueueDepth:         int(m.pending.Load()),
+		Drift:              snap.Fast.Sk.Drift,
+		Updates:            snap.Fast.Sk.Updates,
+		Deletions:          m.deletions,
+		Stale:              m.stale,
+		Rebuilds:           m.rebuilds,
+		RebuildFailures:    m.rebuildFailures,
+		RebuildScheduled:   m.rebuildScheduled,
+		RebuildInProgress:  m.rebuildInProgress,
+		LastRebuildSeconds: m.lastRebuildDur.Seconds(),
+		GraphN:             m.latest.N(),
+		GraphM:             m.latest.M(),
+		IndexN:             snap.N,
+		IndexM:             snap.M,
+	}
+}
+
+// Close stops both workers and cancels any in-flight rebuild. Queries
+// against already-obtained snapshots keep working; mutations fail with
+// ErrClosed.
+func (m *Manager) Close() {
+	m.cancel()
+	m.wg.Wait()
+}
+
+func (m *Manager) mutationWorker() {
+	defer m.wg.Done()
+	for {
+		select {
+		case <-m.ctx.Done():
+			return
+		case mut := <-m.queue:
+			res, err := m.apply(mut)
+			mut.resp <- mutResult{res, err}
+			m.pending.Add(-1)
+		}
+	}
+}
+
+// apply validates and executes one mutation. The worker is the sole mutator
+// of m.latest; the lock is dropped during the expensive solve + hull pass
+// and retaken to commit, which is safe because no other mutation can
+// interleave.
+func (m *Manager) apply(mut mutation) (ApplyResult, error) {
+	u, v := mut.u, mut.v
+
+	m.mu.Lock()
+	n := m.latest.N()
+	if u < 0 || v < 0 || u >= n || v >= n {
+		m.mu.Unlock()
+		return ApplyResult{}, fmt.Errorf("%w: (%d,%d) with n=%d", graph.ErrNodeRange, u, v, n)
+	}
+	if u == v {
+		m.mu.Unlock()
+		return ApplyResult{}, fmt.Errorf("%w: node %d", graph.ErrSelfLoop, u)
+	}
+	if mut.add {
+		if m.latest.HasEdge(u, v) {
+			m.mu.Unlock()
+			return ApplyResult{}, fmt.Errorf("%w: (%d,%d)", graph.ErrDuplicateEdge, u, v)
+		}
+	} else {
+		if !m.latest.HasEdge(u, v) {
+			m.mu.Unlock()
+			return ApplyResult{}, fmt.Errorf("%w: (%d,%d)", graph.ErrEdgeNotFound, u, v)
+		}
+		// Structural safety: removing a bridge would disconnect the graph,
+		// which the index cannot serve. Check exactly with a BFS on the
+		// temporarily-removed edge (O(n+m), cheap next to the solve).
+		if err := m.latest.RemoveEdge(u, v); err != nil {
+			m.mu.Unlock()
+			return ApplyResult{}, err
+		}
+		connected := m.latest.Connected()
+		if err := m.latest.AddEdge(u, v); err != nil {
+			m.mu.Unlock()
+			return ApplyResult{}, fmt.Errorf("lifecycle: restoring probed edge (%d,%d): %w", u, v, err)
+		}
+		if !connected {
+			m.mu.Unlock()
+			return ApplyResult{}, fmt.Errorf("lifecycle: removing (%d,%d) would disconnect the graph: %w",
+				u, v, graph.ErrDisconnected)
+		}
+	}
+	// Pre-mutation CSR snapshot for the Sherman–Morrison solve.
+	csr := m.latest.ToCSR()
+	base := m.cur.Load()
+	m.mu.Unlock()
+
+	// Expensive part, outside the lock: one Laplacian solve, an O(n·d)
+	// embedding pass, and an APPROXCH re-derivation of the hull boundary.
+	var newFast *ecc.Fast
+	var newSk *sketch.Sketch
+	var err error
+	if mut.add {
+		newSk, _, err = base.Fast.Sk.AddEdgeUpdate(csr, u, v, m.cfg.Sketch.Solver)
+	} else {
+		newSk, _, err = base.Fast.Sk.RemoveEdgeUpdate(csr, u, v, m.cfg.Sketch.Solver)
+	}
+	if err == nil {
+		newFast, err = ecc.NewFastFromSketch(newSk, m.hopt)
+	}
+	// err != nil here means the incremental path is unavailable (bridge-like
+	// removal, solver trouble); the mutation still lands on the master graph
+	// and the rebuild repairs the index ("stale" mode).
+
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var commitErr error
+	if mut.add {
+		commitErr = m.latest.AddEdge(u, v)
+	} else {
+		commitErr = m.latest.RemoveEdge(u, v)
+	}
+	if commitErr != nil {
+		return ApplyResult{}, fmt.Errorf("lifecycle: committing (%d,%d): %w", u, v, commitErr)
+	}
+	m.mutSeq++
+	if !mut.add {
+		m.deletions++
+	}
+	res := ApplyResult{}
+	if newFast != nil {
+		next := &Snapshot{
+			Gen:  m.cur.Load().Gen + 1,
+			Fast: newFast,
+			N:    m.latest.N(),
+			M:    m.latest.M(),
+		}
+		m.cur.Store(next)
+		res.Gen = next.Gen
+		res.Mode = ModeIncremental
+		res.Drift = newFast.Sk.Drift
+	} else {
+		m.stale = true
+		res.Gen = m.cur.Load().Gen
+		res.Mode = ModeStale
+		res.Drift = m.cur.Load().Fast.Sk.Drift
+	}
+	if m.stale || m.deletions > m.cfg.MaxDeletions || res.Drift > m.cfg.DriftThreshold {
+		m.scheduleRebuildLocked()
+	}
+	res.RebuildScheduled = m.rebuildScheduled
+	return res, nil
+}
+
+// scheduleRebuildLocked arms the rebuild trigger (idempotent). Callers hold mu.
+func (m *Manager) scheduleRebuildLocked() {
+	if m.rebuildScheduled {
+		return
+	}
+	m.rebuildScheduled = true
+	select {
+	case m.trigger <- struct{}{}:
+	default:
+	}
+}
+
+func (m *Manager) rebuildWorker() {
+	defer m.wg.Done()
+	for {
+		select {
+		case <-m.ctx.Done():
+			return
+		case <-m.trigger:
+		}
+		// Rebuild until the result reflects the latest graph: a rebuild that
+		// loses a race with concurrent mutations is discarded and rerun, so
+		// a full build is never swapped in over fresher incremental data.
+		for {
+			m.mu.Lock()
+			seq := m.mutSeq
+			gclone := m.latest.Clone()
+			m.rebuildInProgress = true
+			m.mu.Unlock()
+
+			start := time.Now()
+			fast, err := ecc.NewFastContext(m.ctx, gclone, m.fopt)
+			dur := time.Since(start)
+
+			m.mu.Lock()
+			m.rebuildInProgress = false
+			if err != nil {
+				if m.ctx.Err() != nil {
+					m.mu.Unlock()
+					return
+				}
+				m.rebuildFailures++
+				m.rebuildScheduled = false
+				m.mu.Unlock()
+				break
+			}
+			if m.mutSeq != seq {
+				m.mu.Unlock()
+				continue
+			}
+			next := &Snapshot{
+				Gen:  m.cur.Load().Gen + 1,
+				Fast: fast,
+				N:    gclone.N(),
+				M:    gclone.M(),
+			}
+			m.cur.Store(next)
+			m.rebuilds++
+			m.lastRebuildDur = dur
+			m.deletions = 0
+			m.stale = false
+			m.rebuildScheduled = false
+			m.mu.Unlock()
+			break
+		}
+	}
+}

@@ -1,0 +1,311 @@
+package lifecycle
+
+import (
+	"context"
+	"errors"
+	"math"
+	"sync"
+	"testing"
+	"time"
+
+	"resistecc/internal/ecc"
+	"resistecc/internal/graph"
+	"resistecc/internal/sketch"
+)
+
+func testConfig() Config {
+	return Config{
+		Sketch: sketch.Options{Epsilon: 0.3, Dim: 64, Seed: 21},
+	}
+}
+
+func newManager(t *testing.T, g *graph.Graph, cfg Config) *Manager {
+	t.Helper()
+	m, err := New(context.Background(), g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(m.Close)
+	return m
+}
+
+// sameIndex asserts two Fast indexes are bit-identical: same boundary and
+// same sketched resistances on a pair sample.
+func sameIndex(t *testing.T, got, want *ecc.Fast, n int) {
+	t.Helper()
+	if len(got.Boundary) != len(want.Boundary) {
+		t.Fatalf("boundary size %d, want %d", len(got.Boundary), len(want.Boundary))
+	}
+	for i, v := range want.Boundary {
+		if got.Boundary[i] != v {
+			t.Fatalf("boundary[%d] = %d, want %d", i, got.Boundary[i], v)
+		}
+	}
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v += 3 {
+			if g, w := got.Sk.Resistance(u, v), want.Sk.Resistance(u, v); g != w {
+				t.Fatalf("resistance(%d,%d) = %g, want %g (not bit-identical)", u, v, g, w)
+			}
+		}
+	}
+}
+
+func TestIncrementalAddPublishesNewGeneration(t *testing.T) {
+	g := graph.Cycle(24)
+	m := newManager(t, g, testConfig())
+	s0 := m.Current()
+	if s0.Gen != 1 {
+		t.Fatalf("initial generation %d, want 1", s0.Gen)
+	}
+	res, err := m.AddEdge(context.Background(), 0, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Mode != ModeIncremental {
+		t.Fatalf("mode %q, want incremental", res.Mode)
+	}
+	if res.Gen != 2 {
+		t.Fatalf("generation %d, want 2", res.Gen)
+	}
+	if res.Drift <= 0 {
+		t.Fatalf("drift %g, want > 0", res.Drift)
+	}
+	s1 := m.Current()
+	if s1.Gen != 2 || s1.M != g.M()+1 {
+		t.Fatalf("snapshot gen=%d m=%d, want 2, %d", s1.Gen, s1.M, g.M()+1)
+	}
+	// The old snapshot is untouched (RCU): still answers with the old edge
+	// count and its own sketch.
+	if s0.M != g.M() {
+		t.Fatalf("old snapshot mutated: m=%d", s0.M)
+	}
+}
+
+func TestMutationValidation(t *testing.T) {
+	g := graph.Path(10)
+	m := newManager(t, g, testConfig())
+	ctx := context.Background()
+	if _, err := m.AddEdge(ctx, 0, 99); !errors.Is(err, graph.ErrNodeRange) {
+		t.Fatalf("out of range: %v", err)
+	}
+	if _, err := m.AddEdge(ctx, 3, 3); !errors.Is(err, graph.ErrSelfLoop) {
+		t.Fatalf("self loop: %v", err)
+	}
+	if _, err := m.AddEdge(ctx, 0, 1); !errors.Is(err, graph.ErrDuplicateEdge) {
+		t.Fatalf("duplicate: %v", err)
+	}
+	if _, err := m.RemoveEdge(ctx, 0, 5); !errors.Is(err, graph.ErrEdgeNotFound) {
+		t.Fatalf("missing edge: %v", err)
+	}
+	// Every path edge is a bridge: removal must be refused structurally.
+	if _, err := m.RemoveEdge(ctx, 4, 5); !errors.Is(err, graph.ErrDisconnected) {
+		t.Fatalf("bridge removal: %v", err)
+	}
+	// Nothing above may have changed the graph or generation.
+	if st := m.Stats(); st.Generation != 1 || st.GraphM != g.M() {
+		t.Fatalf("stats after rejected mutations: gen=%d m=%d", st.Generation, st.GraphM)
+	}
+}
+
+// TestStaleRemovalSchedulesRebuild: removing a cycle edge keeps the graph
+// connected but its resistance (n-1)/n ≈ 0.975 is past the Sherman–Morrison
+// safety limit, so the mutation lands in stale mode and the background
+// rebuild repairs the index to exactly a cold build.
+func TestStaleRemovalSchedulesRebuild(t *testing.T) {
+	g := graph.Cycle(40)
+	cfg := testConfig()
+	m := newManager(t, g, cfg)
+	res, err := m.RemoveEdge(context.Background(), 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Mode != ModeStale || !res.RebuildScheduled {
+		t.Fatalf("mode=%q scheduled=%v, want stale + scheduled", res.Mode, res.RebuildScheduled)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := m.WaitIdle(ctx); err != nil {
+		t.Fatal(err)
+	}
+	st := m.Stats()
+	if st.Rebuilds < 1 || st.Stale || st.Drift != 0 || st.Deletions != 0 {
+		t.Fatalf("post-rebuild stats: %+v", st)
+	}
+	want := g.Clone()
+	if err := want.RemoveEdge(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	cold, err := ecc.NewFast(want, ecc.FastOptions{Sketch: cfg.Sketch, Hull: cfg.Hull})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameIndex(t, m.Current().Fast, cold, want.N())
+}
+
+// TestDriftThresholdTriggersRebuild: with a tiny ε_drift every incremental
+// update trips the rebuild, and the settled index matches a cold build of
+// the final graph bit for bit.
+func TestDriftThresholdTriggersRebuild(t *testing.T) {
+	g := graph.Cycle(24)
+	cfg := testConfig()
+	cfg.DriftThreshold = 1e-9
+	m := newManager(t, g, cfg)
+	res, err := m.AddEdge(context.Background(), 0, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Mode != ModeIncremental || !res.RebuildScheduled {
+		t.Fatalf("mode=%q scheduled=%v, want incremental + scheduled", res.Mode, res.RebuildScheduled)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := m.WaitIdle(ctx); err != nil {
+		t.Fatal(err)
+	}
+	st := m.Stats()
+	if st.Rebuilds < 1 || st.Drift != 0 {
+		t.Fatalf("post-rebuild stats: %+v", st)
+	}
+	want := g.Clone()
+	if err := want.AddEdge(0, 12); err != nil {
+		t.Fatal(err)
+	}
+	cold, err := ecc.NewFast(want, ecc.FastOptions{Sketch: cfg.Sketch, Hull: cfg.Hull})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameIndex(t, m.Current().Fast, cold, want.N())
+	if gen := m.Current().Gen; gen < 3 {
+		t.Fatalf("generation %d after incremental + rebuild, want >= 3", gen)
+	}
+}
+
+// TestIncrementalAccuracy: without any rebuild, the served eccentricities
+// stay within ε + drift of the exact values of the mutated graph.
+func TestIncrementalAccuracy(t *testing.T) {
+	g := graph.BarabasiAlbert(48, 3, 17)
+	cfg := Config{Sketch: sketch.Options{Epsilon: 0.3, Dim: 512, Seed: 31}, DriftThreshold: 100}
+	m := newManager(t, g, cfg)
+	ctx := context.Background()
+	work := g.Clone()
+	added := 0
+	for u := 0; u < work.N() && added < 4; u++ {
+		v := (u + work.N()/2) % work.N()
+		if u == v || work.HasEdge(u, v) {
+			continue
+		}
+		if _, err := m.AddEdge(ctx, u, v); err != nil {
+			t.Fatal(err)
+		}
+		if err := work.AddEdge(u, v); err != nil {
+			t.Fatal(err)
+		}
+		added++
+	}
+	st := m.Stats()
+	if st.Updates != added || st.Rebuilds != 0 {
+		t.Fatalf("updates=%d rebuilds=%d, want %d, 0", st.Updates, st.Rebuilds, added)
+	}
+	exact, err := ecc.NewExact(work)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := m.Current()
+	// Use the sketch's full scan (no hull pruning) to isolate update error.
+	for v := 0; v < work.N(); v += 5 {
+		want := exact.Eccentricity(v).Ecc
+		got, _ := snap.Fast.Sk.Eccentricity(v)
+		tol := (0.25 + st.Drift) * want // ε_emp at d=512 is well under 0.25
+		if math.Abs(got-want) > tol {
+			t.Fatalf("node %d: |%g-%g| > %g (drift=%g)", v, got, want, tol, st.Drift)
+		}
+	}
+}
+
+// TestConcurrentQueriesDuringSwaps hammers Current()+query from many
+// goroutines while mutations and rebuilds churn generations. Run under
+// -race this is the swap-safety test; in any mode it asserts per-reader
+// generation monotonicity and that every snapshot is internally consistent.
+func TestConcurrentQueriesDuringSwaps(t *testing.T) {
+	g := graph.Cycle(32)
+	cfg := testConfig()
+	cfg.DriftThreshold = 0.05 // force frequent background rebuilds
+	m := newManager(t, g, cfg)
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	errCh := make(chan error, 8)
+	for r := 0; r < 8; r++ {
+		wg.Add(1)
+		go func(seed int) {
+			defer wg.Done()
+			lastGen := uint64(0)
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				snap := m.Current()
+				if snap.Gen < lastGen {
+					errCh <- errors.New("generation went backwards")
+					return
+				}
+				lastGen = snap.Gen
+				val := snap.Fast.Eccentricity((seed + i) % snap.N)
+				if val.Ecc <= 0 || val.Farthest < 0 || val.Farthest >= snap.N {
+					errCh <- errors.New("inconsistent snapshot answer")
+					return
+				}
+			}
+		}(r)
+	}
+
+	ctx := context.Background()
+	for i := 0; i < 12; i++ {
+		u := i % 32
+		v := (u + 16) % 32
+		if _, err := m.AddEdge(ctx, u, v); err != nil && !errors.Is(err, graph.ErrDuplicateEdge) {
+			t.Fatal(err)
+		}
+	}
+	wctx, cancel := context.WithTimeout(ctx, 60*time.Second)
+	defer cancel()
+	if err := m.WaitIdle(wctx); err != nil {
+		t.Fatal(err)
+	}
+	close(stop)
+	wg.Wait()
+	select {
+	case err := <-errCh:
+		t.Fatal(err)
+	default:
+	}
+}
+
+func TestClosedManagerRejectsMutations(t *testing.T) {
+	g := graph.Cycle(12)
+	m, err := New(context.Background(), g, testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := m.Current()
+	m.Close()
+	if _, err := m.AddEdge(context.Background(), 0, 6); !errors.Is(err, ErrClosed) {
+		t.Fatalf("mutation after close: %v", err)
+	}
+	// Snapshots outlive the manager.
+	if v := snap.Fast.Eccentricity(0); v.Ecc <= 0 {
+		t.Fatal("snapshot unusable after close")
+	}
+}
+
+func TestNewRejectsDisconnected(t *testing.T) {
+	g := graph.New(4)
+	if err := g.AddEdge(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := New(context.Background(), g, testConfig()); !errors.Is(err, graph.ErrDisconnected) {
+		t.Fatalf("disconnected input: %v", err)
+	}
+}

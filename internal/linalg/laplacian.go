@@ -32,7 +32,7 @@ func Pseudoinverse(g *graph.Graph) (*Dense, error) {
 		return NewDense(0), nil
 	}
 	if !g.Connected() {
-		return nil, fmt.Errorf("linalg: pseudoinverse requires a connected graph")
+		return nil, fmt.Errorf("linalg: pseudoinverse requires a connected graph: %w", graph.ErrDisconnected)
 	}
 	l := LaplacianDense(g)
 	inv := 1 / float64(n)

@@ -76,8 +76,24 @@ func nextRequestID() string {
 // instead of piling up goroutines. limit <= 0 disables the limiter.
 // Rejections are counted in the registry's <ns>_rejected_total.
 func (r *Registry) LimitInFlight(limit int, next http.Handler) http.Handler {
+	return r.LimitInFlightWith(limit, next, nil)
+}
+
+// LimitInFlightWith is LimitInFlight with a caller-supplied rejection
+// handler, so servers with a structured error envelope can shed load in
+// their own wire format. A nil reject falls back to the default flat JSON
+// 503 body.
+func (r *Registry) LimitInFlightWith(limit int, next http.Handler, reject http.Handler) http.Handler {
 	if limit <= 0 {
 		return next
+	}
+	if reject == nil {
+		reject = http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+			w.Header().Set("Content-Type", "application/json")
+			w.Header().Set("Retry-After", "1")
+			w.WriteHeader(http.StatusServiceUnavailable)
+			w.Write([]byte(`{"error":"server overloaded; retry"}` + "\n"))
+		})
 	}
 	sem := make(chan struct{}, limit)
 	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
@@ -87,10 +103,7 @@ func (r *Registry) LimitInFlight(limit int, next http.Handler) http.Handler {
 			next.ServeHTTP(w, req)
 		default:
 			r.rejected.Add(1)
-			w.Header().Set("Content-Type", "application/json")
-			w.Header().Set("Retry-After", "1")
-			w.WriteHeader(http.StatusServiceUnavailable)
-			w.Write([]byte(`{"error":"server overloaded; retry"}` + "\n"))
+			reject.ServeHTTP(w, req)
 		}
 	})
 }

@@ -63,6 +63,7 @@ type Registry struct {
 	mu        sync.Mutex
 	endpoints map[string]*endpointMetrics
 	gauges    map[string]float64
+	gaugeFns  map[string]func() float64
 
 	// rejected counts requests shed by the in-flight limiter.
 	rejected atomic.Uint64
@@ -77,6 +78,7 @@ func NewRegistry(namespace string) *Registry {
 		namespace: namespace,
 		endpoints: make(map[string]*endpointMetrics),
 		gauges:    make(map[string]float64),
+		gaugeFns:  make(map[string]func() float64),
 	}
 }
 
@@ -85,6 +87,21 @@ func NewRegistry(namespace string) *Registry {
 func (r *Registry) SetGauge(name string, v float64) {
 	r.mu.Lock()
 	r.gauges[name] = v
+	r.mu.Unlock()
+}
+
+// SetGaugeFunc registers a live gauge: fn is called at every exposition, so
+// the scraped value tracks moving state (index generation, queue depth,
+// drift) without the producer pushing updates. fn must be safe for
+// concurrent use and must not block; it is invoked outside the registry
+// lock. A nil fn unregisters the gauge.
+func (r *Registry) SetGaugeFunc(name string, fn func() float64) {
+	r.mu.Lock()
+	if fn == nil {
+		delete(r.gaugeFns, name)
+	} else {
+		r.gaugeFns[name] = fn
+	}
 	r.mu.Unlock()
 }
 
@@ -141,9 +158,16 @@ func (r *Registry) WriteMetrics(w io.Writer) {
 	for i, name := range names {
 		cells[i] = r.endpoints[name]
 	}
-	gnames := make([]string, 0, len(r.gauges))
+	gnames := make([]string, 0, len(r.gauges)+len(r.gaugeFns))
 	for name := range r.gauges {
 		gnames = append(gnames, name)
+	}
+	fns := make(map[string]func() float64, len(r.gaugeFns))
+	for name, fn := range r.gaugeFns {
+		fns[name] = fn
+		if _, static := r.gauges[name]; !static {
+			gnames = append(gnames, name)
+		}
 	}
 	sort.Strings(gnames)
 	gvals := make([]float64, len(gnames))
@@ -151,6 +175,14 @@ func (r *Registry) WriteMetrics(w io.Writer) {
 		gvals[i] = r.gauges[name]
 	}
 	r.mu.Unlock()
+
+	// Live gauges are sampled outside the lock (the fn may itself take locks)
+	// and shadow any static gauge of the same name.
+	for i, name := range gnames {
+		if fn, ok := fns[name]; ok {
+			gvals[i] = fn()
+		}
+	}
 
 	fmt.Fprintf(w, "# HELP %s_requests_total Requests served, by endpoint and status class.\n", ns)
 	fmt.Fprintf(w, "# TYPE %s_requests_total counter\n", ns)

@@ -191,3 +191,68 @@ func TestLimitDisabled(t *testing.T) {
 		t.Fatalf("limit 0 should return the handler unchanged, got %T", got)
 	}
 }
+
+func TestGaugeFuncLiveAndShadowing(t *testing.T) {
+	reg := NewRegistry("t")
+	reg.SetGauge("index_generation", 1)
+	val := 0.0
+	reg.SetGaugeFunc("index_generation", func() float64 { return val })
+	reg.SetGaugeFunc("queue_depth", func() float64 { return 3 })
+
+	val = 7
+	var buf bytes.Buffer
+	reg.WriteMetrics(&buf)
+	out := buf.String()
+	// The live fn shadows the static gauge of the same name and is
+	// re-evaluated at every exposition.
+	for _, want := range []string{"t_index_generation 7", "t_queue_depth 3"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q:\n%s", want, out)
+		}
+	}
+	val = 9
+	buf.Reset()
+	reg.WriteMetrics(&buf)
+	if !strings.Contains(buf.String(), "t_index_generation 9") {
+		t.Fatalf("gauge fn not re-evaluated:\n%s", buf.String())
+	}
+	// Unregister: static value becomes visible again.
+	reg.SetGaugeFunc("index_generation", nil)
+	buf.Reset()
+	reg.WriteMetrics(&buf)
+	if !strings.Contains(buf.String(), "t_index_generation 1") {
+		t.Fatalf("static gauge not restored after unregister:\n%s", buf.String())
+	}
+}
+
+func TestLimitInFlightWithCustomReject(t *testing.T) {
+	reg := NewRegistry("t")
+	release := make(chan struct{})
+	started := make(chan struct{})
+	reject := http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		w.Write([]byte(`{"error":{"code":"overloaded","message":"busy"}}`))
+	})
+	h := reg.LimitInFlightWith(1, http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		close(started)
+		<-release
+	}), reject)
+	go func() {
+		h.ServeHTTP(httptest.NewRecorder(), httptest.NewRequest("GET", "/", nil))
+	}()
+	<-started
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/", nil))
+	close(release)
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("expected 503, got %d", rec.Code)
+	}
+	if !strings.Contains(rec.Body.String(), `"code":"overloaded"`) {
+		t.Fatalf("custom reject body not used: %s", rec.Body.String())
+	}
+	var buf bytes.Buffer
+	reg.WriteMetrics(&buf)
+	if !strings.Contains(buf.String(), "t_rejected_total 1") {
+		t.Fatalf("rejection not counted:\n%s", buf.String())
+	}
+}

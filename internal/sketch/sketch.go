@@ -18,6 +18,8 @@
 package sketch
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"math"
 	"math/rand"
@@ -27,6 +29,9 @@ import (
 	"resistecc/internal/graph"
 	"resistecc/internal/solver"
 )
+
+// ErrBadEpsilon is returned when the error target ε lies outside (0,1).
+var ErrBadEpsilon = errors.New("sketch: epsilon must be in (0,1)")
 
 // Options configures APPROXER.
 type Options struct {
@@ -93,14 +98,31 @@ type Sketch struct {
 	Epsilon float64
 	// Stats records the solver effort of the build.
 	Stats BuildStats
+	// Drift is the accumulated staleness bound of incremental edge updates
+	// (see update.go): the sum over applied updates of the relative-error
+	// contribution each one may add on top of the JL error ε. A freshly
+	// built sketch has Drift 0; the lifecycle manager schedules a full
+	// rebuild once Drift crosses its threshold.
+	Drift float64
+	// Updates counts the incremental edge updates applied since the last
+	// full build.
+	Updates int
 	// pts holds the node embeddings: pts[v] is the d-vector X̃[:,v].
 	pts [][]float64
 }
 
 // New runs APPROXER(G, ε) on the CSR snapshot and returns the sketch.
 func New(csr *graph.CSR, opt Options) (*Sketch, error) {
+	return NewContext(context.Background(), csr, opt)
+}
+
+// NewContext is New with cancellation: the build checks ctx between solver
+// rows and aborts with ctx.Err(), so background index rebuilds (the
+// lifecycle manager) can be torn down mid-flight without finishing the
+// remaining Õ(m/ε²) work.
+func NewContext(ctx context.Context, csr *graph.CSR, opt Options) (*Sketch, error) {
 	if opt.Epsilon <= 0 || opt.Epsilon >= 1 {
-		return nil, fmt.Errorf("sketch: epsilon must be in (0,1), got %g", opt.Epsilon)
+		return nil, fmt.Errorf("%w, got %g", ErrBadEpsilon, opt.Epsilon)
 	}
 	n := csr.N
 	d := opt.Dim
@@ -133,10 +155,23 @@ func New(csr *graph.CSR, opt Options) (*Sketch, error) {
 	// with its own solver scratch and its own deterministic RNG stream.
 	scale := 1 / math.Sqrt(float64(d))
 	var (
-		wg       sync.WaitGroup
-		mu       sync.Mutex
-		firstErr error
+		wg        sync.WaitGroup
+		mu        sync.Mutex
+		firstErr  error
+		abort     = make(chan struct{})
+		abortOnce sync.Once
 	)
+	// fail records the first error and unblocks the feeder, so a build whose
+	// workers all die early (e.g. a disconnected graph failing NewLap) does
+	// not deadlock the row feed.
+	fail := func(err error) {
+		mu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		mu.Unlock()
+		abortOnce.Do(func() { close(abort) })
+	}
 	sk.Stats.Workers = workers
 	rowCh := make(chan int)
 	for w := 0; w < workers; w++ {
@@ -145,11 +180,7 @@ func New(csr *graph.CSR, opt Options) (*Sketch, error) {
 			defer wg.Done()
 			lap, err := solver.NewLap(csr, opt.Solver)
 			if err != nil {
-				mu.Lock()
-				if firstErr == nil {
-					firstErr = err
-				}
-				mu.Unlock()
+				fail(err)
 				return
 			}
 			q := make([]float64, csr.M)
@@ -176,11 +207,7 @@ func New(csr *graph.CSR, opt Options) (*Sketch, error) {
 				}
 				iters, err := lap.Solve(b, x)
 				if err != nil {
-					mu.Lock()
-					if firstErr == nil {
-						firstErr = fmt.Errorf("sketch: row %d: %w", i, err)
-					}
-					mu.Unlock()
+					fail(fmt.Errorf("sketch: row %d: %w", i, err))
 					return
 				}
 				_, res := lap.LastStats()
@@ -198,8 +225,20 @@ func New(csr *graph.CSR, opt Options) (*Sketch, error) {
 			}
 		}()
 	}
+feed:
 	for i := 0; i < d; i++ {
-		rowCh <- i
+		select {
+		case rowCh <- i:
+		case <-abort:
+			break feed
+		case <-ctx.Done():
+			mu.Lock()
+			if firstErr == nil {
+				firstErr = fmt.Errorf("sketch: build cancelled: %w", ctx.Err())
+			}
+			mu.Unlock()
+			break feed
+		}
 	}
 	close(rowCh)
 	wg.Wait()

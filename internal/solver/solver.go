@@ -109,7 +109,8 @@ func NewLap(csr *graph.CSR, opt Options) (*Lap, error) {
 	for u := 0; u < n; u++ {
 		d := csr.Degree(u)
 		if d == 0 && n > 1 {
-			return nil, fmt.Errorf("solver: node %d is isolated; Laplacian solve requires a connected graph", u)
+			return nil, fmt.Errorf("solver: node %d is isolated; Laplacian solve requires a connected graph: %w",
+				u, graph.ErrDisconnected)
 		}
 		if d > 0 {
 			s.invD[u] = 1 / float64(d)

@@ -4,7 +4,6 @@ import (
 	"fmt"
 
 	"resistecc/internal/graph"
-	"resistecc/internal/hull"
 	"resistecc/internal/optimize"
 	"resistecc/internal/pagerank"
 )
@@ -89,6 +88,10 @@ func (p *Plan) ExactTrajectory(g *Graph) ([]float64, error) {
 type OptimizeOptions struct {
 	// Sketch configures APPROXER (Epsilon required).
 	Sketch SketchOptions
+	// Hull configures the APPROXCH boundary the REM heuristics score
+	// candidates on. The zero value derives θ and the seed from Sketch, the
+	// same resolution FastIndex uses.
+	Hull HullOptions
 	// MaxCandidates caps the hull-pair candidates ChMinRecc/MinRecc score
 	// per round (0 = the paper's uncapped O(l²) set).
 	MaxCandidates int
@@ -97,7 +100,7 @@ type OptimizeOptions struct {
 func (o OptimizeOptions) internal() optimize.FastOptions {
 	return optimize.FastOptions{
 		Sketch:        o.Sketch.internal(),
-		Hull:          hull.Options{MaxVertices: o.Sketch.MaxHullVertices},
+		Hull:          o.Hull.internal(),
 		MaxCandidates: o.MaxCandidates,
 	}
 }

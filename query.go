@@ -1,8 +1,10 @@
 package resistecc
 
 import (
+	"context"
+	"fmt"
+
 	"resistecc/internal/ecc"
-	"resistecc/internal/hull"
 	"resistecc/internal/sketch"
 	"resistecc/internal/solver"
 	"resistecc/internal/stats"
@@ -45,8 +47,6 @@ type SketchOptions struct {
 	Workers int
 	// SolverTol overrides the Laplacian-solver relative residual (0 = 1e-10).
 	SolverTol float64
-	// MaxHullVertices caps the hull boundary size l in FastIndex (0 = none).
-	MaxHullVertices int
 }
 
 func (o SketchOptions) internal() sketch.Options {
@@ -64,6 +64,17 @@ func TheoreticalSketchDim(n int, epsilon float64) int {
 	return sketch.TheoreticalDim(n, epsilon)
 }
 
+// validateNodes rejects batch queries naming nodes outside [0, n), so a bad
+// id surfaces as ErrNodeOutOfRange instead of an index panic.
+func validateNodes(nodes []int, n int) error {
+	for _, v := range nodes {
+		if v < 0 || v >= n {
+			return fmt.Errorf("resistecc: query node %d with n=%d: %w", v, n, ErrNodeOutOfRange)
+		}
+	}
+	return nil
+}
+
 // ExactIndex answers exact resistance-eccentricity queries (EXACTQUERY,
 // Algorithm 1). Construction costs O(n³) time and O(n²) memory; suitable up
 // to a few tens of thousands of nodes.
@@ -72,13 +83,15 @@ type ExactIndex struct {
 }
 
 // NewExactIndex builds the exact index (dense Laplacian pseudoinverse).
+//
+// Deprecated: use the package-level NewExactIndex(ctx, g), which supports
+// build cancellation. This shim remains for source compatibility.
 func (gr *Graph) NewExactIndex() (*ExactIndex, error) {
-	ex, err := ecc.NewExact(gr.g)
-	if err != nil {
-		return nil, err
-	}
-	return &ExactIndex{ex: ex}, nil
+	return NewExactIndex(context.Background(), gr)
 }
+
+// N returns the node count of the indexed graph.
+func (ix *ExactIndex) N() int { return ix.ex.Pinv().N }
 
 // Resistance returns the exact effective resistance r(u, v).
 func (ix *ExactIndex) Resistance(u, v int) float64 { return ix.ex.Resistance(u, v) }
@@ -86,8 +99,14 @@ func (ix *ExactIndex) Resistance(u, v int) float64 { return ix.ex.Resistance(u, 
 // Eccentricity returns the exact c(v).
 func (ix *ExactIndex) Eccentricity(v int) Eccentricity { return convValue(ix.ex.Eccentricity(v)) }
 
-// Query answers a batch of eccentricity queries.
-func (ix *ExactIndex) Query(nodes []int) []Eccentricity { return convValues(ix.ex.Query(nodes)) }
+// Query answers a batch of eccentricity queries. Any node outside [0, n)
+// fails the whole batch with ErrNodeOutOfRange.
+func (ix *ExactIndex) Query(nodes []int) ([]Eccentricity, error) {
+	if err := validateNodes(nodes, ix.N()); err != nil {
+		return nil, err
+	}
+	return convValues(ix.ex.Query(nodes)), nil
+}
 
 // Distribution returns the exact E(G) indexed by node.
 func (ix *ExactIndex) Distribution() []float64 { return ix.ex.Distribution() }
@@ -99,13 +118,16 @@ type ApproxIndex struct {
 }
 
 // NewApproxIndex builds the APPROXER sketch.
+//
+// Deprecated: use the package-level NewApproxIndex(ctx, g, opts...), which
+// supports build cancellation and functional options. This shim remains for
+// source compatibility.
 func (gr *Graph) NewApproxIndex(opt SketchOptions) (*ApproxIndex, error) {
-	ap, err := ecc.NewApprox(gr.g, opt.internal())
-	if err != nil {
-		return nil, err
-	}
-	return &ApproxIndex{ap: ap}, nil
+	return NewApproxIndex(context.Background(), gr, WithSketchOptions(opt))
 }
+
+// N returns the node count of the indexed graph.
+func (ix *ApproxIndex) N() int { return ix.ap.Sk.N }
 
 // Resistance returns the sketched r̃(u, v).
 func (ix *ApproxIndex) Resistance(u, v int) float64 { return ix.ap.Sk.Resistance(u, v) }
@@ -113,8 +135,14 @@ func (ix *ApproxIndex) Resistance(u, v int) float64 { return ix.ap.Sk.Resistance
 // Eccentricity returns c̄(v) by a full scan.
 func (ix *ApproxIndex) Eccentricity(v int) Eccentricity { return convValue(ix.ap.Eccentricity(v)) }
 
-// Query answers a batch of eccentricity queries.
-func (ix *ApproxIndex) Query(nodes []int) []Eccentricity { return convValues(ix.ap.Query(nodes)) }
+// Query answers a batch of eccentricity queries. Any node outside [0, n)
+// fails the whole batch with ErrNodeOutOfRange.
+func (ix *ApproxIndex) Query(nodes []int) ([]Eccentricity, error) {
+	if err := validateNodes(nodes, ix.N()); err != nil {
+		return nil, err
+	}
+	return convValues(ix.ap.Query(nodes)), nil
+}
 
 // Distribution returns the approximate E(G).
 func (ix *ApproxIndex) Distribution() []float64 { return ix.ap.Distribution() }
@@ -131,16 +159,17 @@ type FastIndex struct {
 }
 
 // NewFastIndex builds the FASTQUERY index.
+//
+// Deprecated: use the package-level NewFastIndex(ctx, g, opts...), which
+// supports build cancellation, functional options, and a hull configuration
+// (WithMaxHullVertices / WithHullOptions) no longer folded into
+// SketchOptions. This shim remains for source compatibility.
 func (gr *Graph) NewFastIndex(opt SketchOptions) (*FastIndex, error) {
-	f, err := ecc.NewFast(gr.g, ecc.FastOptions{
-		Sketch: opt.internal(),
-		Hull:   hull.Options{MaxVertices: opt.MaxHullVertices},
-	})
-	if err != nil {
-		return nil, err
-	}
-	return &FastIndex{f: f}, nil
+	return NewFastIndex(context.Background(), gr, WithSketchOptions(opt))
 }
+
+// N returns the node count of the indexed graph.
+func (ix *FastIndex) N() int { return ix.f.Sk.N }
 
 // Resistance returns the sketched r̃(u, v).
 func (ix *FastIndex) Resistance(u, v int) float64 { return ix.f.Sk.Resistance(u, v) }
@@ -148,8 +177,14 @@ func (ix *FastIndex) Resistance(u, v int) float64 { return ix.f.Sk.Resistance(u,
 // Eccentricity returns ĉ(v) by scanning the hull boundary.
 func (ix *FastIndex) Eccentricity(v int) Eccentricity { return convValue(ix.f.Eccentricity(v)) }
 
-// Query answers a batch of eccentricity queries.
-func (ix *FastIndex) Query(nodes []int) []Eccentricity { return convValues(ix.f.Query(nodes)) }
+// Query answers a batch of eccentricity queries. Any node outside [0, n)
+// fails the whole batch with ErrNodeOutOfRange.
+func (ix *FastIndex) Query(nodes []int) ([]Eccentricity, error) {
+	if err := validateNodes(nodes, ix.N()); err != nil {
+		return nil, err
+	}
+	return convValues(ix.f.Query(nodes)), nil
+}
 
 // Distribution returns the approximate E(G) in Õ((m+nl)/ε²) total time.
 func (ix *FastIndex) Distribution() []float64 { return ix.f.Distribution() }

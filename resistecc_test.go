@@ -2,6 +2,8 @@ package resistecc
 
 import (
 	"bytes"
+	"context"
+	"errors"
 	"math"
 	"path/filepath"
 	"testing"
@@ -164,9 +166,12 @@ func TestExactIndexPublic(t *testing.T) {
 	if math.Abs(v.Value-1) > 1e-9 || v.Node != 0 {
 		t.Fatalf("hub ecc %+v", v)
 	}
-	vals := idx.Query([]int{0, 1})
-	if len(vals) != 2 {
-		t.Fatal("batch")
+	vals, err := idx.Query([]int{0, 1})
+	if err != nil || len(vals) != 2 {
+		t.Fatalf("batch: %v %v", vals, err)
+	}
+	if _, err := idx.Query([]int{0, 99}); !errors.Is(err, ErrNodeOutOfRange) {
+		t.Fatalf("out-of-range batch: %v", err)
 	}
 	dist := idx.Distribution()
 	sum := Summarize(dist)
@@ -232,11 +237,11 @@ func TestApproxAndFastIndexPublic(t *testing.T) {
 	if rr := fast.Resistance(0, 1); rr <= 0 {
 		t.Fatal("fast sketched resistance")
 	}
-	if got := ap.Query([]int{1, 2}); len(got) != 2 {
-		t.Fatal("approx batch")
+	if got, err := ap.Query([]int{1, 2}); err != nil || len(got) != 2 {
+		t.Fatalf("approx batch: %v %v", got, err)
 	}
-	if got := fast.Query([]int{1, 2}); len(got) != 2 {
-		t.Fatal("fast batch")
+	if got, err := fast.Query([]int{1, 2}); err != nil || len(got) != 2 {
+		t.Fatalf("fast batch: %v %v", got, err)
 	}
 	if len(ap.Distribution()) != g.N() {
 		t.Fatal("approx distribution")
@@ -293,7 +298,7 @@ func TestOptimizePublic(t *testing.T) {
 		t.Fatalf("greedy k=1 %g vs OPT %g", t1[1], optVal)
 	}
 
-	opt := OptimizeOptions{Sketch: SketchOptions{Epsilon: 0.3, Dim: 96, Seed: 2, MaxHullVertices: 10}}
+	opt := OptimizeOptions{Sketch: SketchOptions{Epsilon: 0.3, Dim: 96, Seed: 2}, Hull: HullOptions{MaxVertices: 10}}
 	for name, run := range map[string]func(*Graph, int, int, OptimizeOptions) (*Plan, error){
 		"FarMinRecc": FarMinRecc,
 		"CenMinRecc": CenMinRecc,
@@ -378,7 +383,7 @@ func TestDistributionParallelPublic(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	fi, err := g.NewFastIndex(SketchOptions{Epsilon: 0.3, Dim: 64, Seed: 8, MaxHullVertices: 16})
+	fi, err := NewFastIndex(context.Background(), g, WithEpsilon(0.3), WithDim(64), WithSeed(8), WithMaxHullVertices(16))
 	if err != nil {
 		t.Fatal(err)
 	}
