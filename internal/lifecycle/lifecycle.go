@@ -95,9 +95,12 @@ const (
 	// ModeIncremental: the embedding was updated in O(solve + n·d) and a new
 	// generation was published immediately.
 	ModeIncremental Mode = "incremental"
-	// ModeStale: the mutation was applied to the master graph but could not
-	// be reflected incrementally; the served index is stale until the
-	// scheduled rebuild swaps in.
+	// ModeStale: the mutation was applied to the master graph but the served
+	// index does not reflect it — the incremental update was unavailable
+	// (bridge-like removal, solver failure), skipped because the index was
+	// already stale, or discarded after a concurrent rebuild superseded its
+	// base snapshot. The index stays stale until the scheduled rebuild
+	// swaps in.
 	ModeStale Mode = "stale"
 )
 
@@ -159,6 +162,7 @@ type Manager struct {
 	mu                sync.Mutex
 	latest            *graph.Graph // master graph; mutation worker + rebuild clone
 	mutSeq            uint64       // bumps on every applied mutation
+	rebuildEpoch      uint64       // bumps every time a rebuild swaps a snapshot in
 	deletions         int
 	stale             bool
 	rebuildScheduled  bool
@@ -171,6 +175,11 @@ type Manager struct {
 	ctx     context.Context
 	cancel  context.CancelFunc
 	wg      sync.WaitGroup
+
+	// testHookAfterSolve, when set, runs on the mutation worker between the
+	// unlocked solve and the commit — the window a concurrent rebuild can
+	// swap a snapshot into. Tests use it to exercise that race.
+	testHookAfterSolve func()
 }
 
 // New builds the generation-1 index over g (which must be connected — serve
@@ -260,7 +269,7 @@ func (m *Manager) WaitIdle(ctx context.Context) error {
 	defer tick.Stop()
 	for {
 		m.mu.Lock()
-		idle := m.pending.Load() == 0 && !m.rebuildScheduled && !m.rebuildInProgress
+		idle := m.pending.Load() == 0 && !m.rebuildScheduled && !m.rebuildInProgress && !m.stale
 		m.mu.Unlock()
 		if idle {
 			return nil
@@ -366,27 +375,42 @@ func (m *Manager) apply(mut mutation) (ApplyResult, error) {
 				u, v, graph.ErrDisconnected)
 		}
 	}
-	// Pre-mutation CSR snapshot for the Sherman–Morrison solve.
-	csr := m.latest.ToCSR()
-	base := m.cur.Load()
+	// While the index is stale the master graph is already ahead of the
+	// served sketch, so the incremental precondition ("csr is the graph the
+	// sketch was built on") cannot hold — skip the solve and apply the
+	// mutation graph-only; the pending rebuild picks it up.
+	stale := m.stale
+	epoch := m.rebuildEpoch
+	var csr *graph.CSR
+	var base *Snapshot
+	if !stale {
+		// Pre-mutation CSR snapshot for the Sherman–Morrison solve.
+		csr = m.latest.ToCSR()
+		base = m.cur.Load()
+	}
 	m.mu.Unlock()
 
 	// Expensive part, outside the lock: one Laplacian solve, an O(n·d)
 	// embedding pass, and an APPROXCH re-derivation of the hull boundary.
 	var newFast *ecc.Fast
-	var newSk *sketch.Sketch
-	var err error
-	if mut.add {
-		newSk, _, err = base.Fast.Sk.AddEdgeUpdate(csr, u, v, m.cfg.Sketch.Solver)
-	} else {
-		newSk, _, err = base.Fast.Sk.RemoveEdgeUpdate(csr, u, v, m.cfg.Sketch.Solver)
+	if !stale {
+		var newSk *sketch.Sketch
+		var err error
+		if mut.add {
+			newSk, _, err = base.Fast.Sk.AddEdgeUpdate(csr, u, v, m.cfg.Sketch.Solver)
+		} else {
+			newSk, _, err = base.Fast.Sk.RemoveEdgeUpdate(csr, u, v, m.cfg.Sketch.Solver)
+		}
+		if err == nil {
+			newFast, err = ecc.NewFastFromSketch(newSk, m.hopt)
+		}
+		// err != nil here means the incremental path is unavailable
+		// (bridge-like removal, solver trouble); the mutation still lands on
+		// the master graph and the rebuild repairs the index ("stale" mode).
 	}
-	if err == nil {
-		newFast, err = ecc.NewFastFromSketch(newSk, m.hopt)
+	if m.testHookAfterSolve != nil {
+		m.testHookAfterSolve()
 	}
-	// err != nil here means the incremental path is unavailable (bridge-like
-	// removal, solver trouble); the mutation still lands on the master graph
-	// and the rebuild repairs the index ("stale" mode).
 
 	m.mu.Lock()
 	defer m.mu.Unlock()
@@ -402,6 +426,16 @@ func (m *Manager) apply(mut mutation) (ApplyResult, error) {
 	m.mutSeq++
 	if !mut.add {
 		m.deletions++
+	}
+	if newFast != nil && m.rebuildEpoch != epoch {
+		// A rebuild swapped a snapshot in while the solve ran (its mutSeq
+		// check passed because this mutation had not committed yet). The
+		// rank-1 result builds on the snapshot that rebuild replaced;
+		// publishing it would overwrite the fresh index with superseded data
+		// — and silently reinstate any staleness the rebuild just repaired.
+		// Discard it and fall back to stale mode; the rebuild scheduled
+		// below picks this mutation up.
+		newFast = nil
 	}
 	res := ApplyResult{}
 	if newFast != nil {
@@ -421,7 +455,7 @@ func (m *Manager) apply(mut mutation) (ApplyResult, error) {
 		res.Mode = ModeStale
 		res.Drift = m.cur.Load().Fast.Sk.Drift
 	}
-	if m.stale || m.deletions > m.cfg.MaxDeletions || res.Drift > m.cfg.DriftThreshold {
+	if m.stale || m.deletions >= m.cfg.MaxDeletions || res.Drift > m.cfg.DriftThreshold {
 		m.scheduleRebuildLocked()
 	}
 	res.RebuildScheduled = m.rebuildScheduled
@@ -442,6 +476,7 @@ func (m *Manager) scheduleRebuildLocked() {
 
 func (m *Manager) rebuildWorker() {
 	defer m.wg.Done()
+	failStreak := 0
 	for {
 		select {
 		case <-m.ctx.Done():
@@ -470,10 +505,19 @@ func (m *Manager) rebuildWorker() {
 					return
 				}
 				m.rebuildFailures++
-				m.rebuildScheduled = false
+				failStreak++
+				// Leave rebuildScheduled armed and retry with backoff:
+				// clearing it would strand a stale index (and a lying
+				// WaitIdle) until some future mutation re-trips the trigger.
 				m.mu.Unlock()
-				break
+				select {
+				case <-m.ctx.Done():
+					return
+				case <-time.After(rebuildBackoff(failStreak)):
+				}
+				continue
 			}
+			failStreak = 0
 			if m.mutSeq != seq {
 				m.mu.Unlock()
 				continue
@@ -485,6 +529,7 @@ func (m *Manager) rebuildWorker() {
 				M:    gclone.M(),
 			}
 			m.cur.Store(next)
+			m.rebuildEpoch++
 			m.rebuilds++
 			m.lastRebuildDur = dur
 			m.deletions = 0
@@ -494,4 +539,13 @@ func (m *Manager) rebuildWorker() {
 			break
 		}
 	}
+}
+
+// rebuildBackoff is the delay before the streak-th consecutive retry of a
+// failed rebuild: 10ms doubling to a 1.28s cap.
+func rebuildBackoff(streak int) time.Duration {
+	if streak > 8 {
+		streak = 8
+	}
+	return time.Duration(1<<uint(streak-1)) * 10 * time.Millisecond
 }

@@ -283,6 +283,122 @@ func TestConcurrentQueriesDuringSwaps(t *testing.T) {
 	}
 }
 
+// TestStaleSkipsIncremental: once the index is stale the master graph is
+// ahead of the served sketch, so further mutations must not run the
+// incremental update (its precondition is violated); they land graph-only in
+// ModeStale and the rebuild reflects all of them.
+func TestStaleSkipsIncremental(t *testing.T) {
+	g := graph.Cycle(24)
+	cfg := testConfig()
+	m := newManager(t, g, cfg)
+	// Force the state a failed incremental update leaves behind, without
+	// arming the rebuild yet, so the next mutation deterministically sees
+	// stale=true.
+	m.mu.Lock()
+	m.stale = true
+	m.mu.Unlock()
+	res, err := m.AddEdge(context.Background(), 0, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Mode != ModeStale || !res.RebuildScheduled {
+		t.Fatalf("mode=%q scheduled=%v, want stale + scheduled", res.Mode, res.RebuildScheduled)
+	}
+	if res.Gen != 1 {
+		t.Fatalf("stale mutation published generation %d, want 1 (unchanged)", res.Gen)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := m.WaitIdle(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if st := m.Stats(); st.Stale || st.Rebuilds < 1 {
+		t.Fatalf("post-rebuild stats: %+v", st)
+	}
+	want := g.Clone()
+	if err := want.AddEdge(0, 12); err != nil {
+		t.Fatal(err)
+	}
+	cold, err := ecc.NewFast(want, ecc.FastOptions{Sketch: cfg.Sketch, Hull: cfg.Hull})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameIndex(t, m.Current().Fast, cold, want.N())
+}
+
+// TestRebuildWinsCommitRace: a rebuild that swaps in while a mutation's
+// solve is running (possible because apply drops the lock for the solve)
+// must not be overwritten by that mutation's rank-1 result — the rank-1
+// snapshot builds on the superseded base. The mutation falls back to
+// ModeStale and the rescheduled rebuild picks it up.
+func TestRebuildWinsCommitRace(t *testing.T) {
+	g := graph.Cycle(24)
+	cfg := testConfig()
+	m := newManager(t, g, cfg)
+	m.testHookAfterSolve = func() {
+		m.TriggerRebuild()
+		deadline := time.Now().Add(30 * time.Second)
+		for m.Stats().Rebuilds < 1 {
+			if time.Now().After(deadline) {
+				t.Error("rebuild did not commit inside the solve window")
+				return
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+	res, err := m.AddEdge(context.Background(), 0, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Mode != ModeStale || !res.RebuildScheduled {
+		t.Fatalf("mode=%q scheduled=%v, want stale + scheduled after losing the race", res.Mode, res.RebuildScheduled)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := m.WaitIdle(ctx); err != nil {
+		t.Fatal(err)
+	}
+	st := m.Stats()
+	if st.Stale || st.Rebuilds < 2 {
+		t.Fatalf("post-race stats: %+v", st)
+	}
+	want := g.Clone()
+	if err := want.AddEdge(0, 12); err != nil {
+		t.Fatal(err)
+	}
+	cold, err := ecc.NewFast(want, ecc.FastOptions{Sketch: cfg.Sketch, Hull: cfg.Hull})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameIndex(t, m.Current().Fast, cold, want.N())
+}
+
+// TestMaxDeletionsTriggersAtThreshold: the rebuild fires once the deletion
+// count reaches MaxDeletions, matching the documented "after this many edge
+// removals" (not MaxDeletions+1).
+func TestMaxDeletionsTriggersAtThreshold(t *testing.T) {
+	g := graph.Complete(8)
+	cfg := testConfig()
+	cfg.MaxDeletions = 2
+	cfg.DriftThreshold = 100 // keep drift out of the trigger
+	m := newManager(t, g, cfg)
+	ctx := context.Background()
+	res, err := m.RemoveEdge(ctx, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Mode != ModeIncremental || res.RebuildScheduled {
+		t.Fatalf("first removal: mode=%q scheduled=%v, want incremental + unscheduled", res.Mode, res.RebuildScheduled)
+	}
+	res, err = m.RemoveEdge(ctx, 2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.RebuildScheduled {
+		t.Fatalf("second removal with MaxDeletions=2 did not schedule a rebuild: %+v", res)
+	}
+}
+
 func TestClosedManagerRejectsMutations(t *testing.T) {
 	g := graph.Cycle(12)
 	m, err := New(context.Background(), g, testConfig())

@@ -98,9 +98,15 @@ type OptimizeOptions struct {
 }
 
 func (o OptimizeOptions) internal() optimize.FastOptions {
+	h := o.Hull
+	if h.MaxVertices == 0 {
+		// Deprecated SketchOptions.MaxHullVertices still caps the hull for
+		// callers predating the HullOptions split.
+		h.MaxVertices = o.Sketch.MaxHullVertices
+	}
 	return optimize.FastOptions{
 		Sketch:        o.Sketch.internal(),
-		Hull:          o.Hull.internal(),
+		Hull:          h.internal(),
 		MaxCandidates: o.MaxCandidates,
 	}
 }

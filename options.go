@@ -92,9 +92,16 @@ func WithHullOptions(h HullOptions) Option {
 }
 
 // WithSketchOptions replaces the full APPROXER configuration at once, for
-// callers migrating from the struct-based constructors.
+// callers migrating from the struct-based constructors. The deprecated
+// SketchOptions.MaxHullVertices, when set, still caps the hull boundary
+// unless hull options already set MaxVertices.
 func WithSketchOptions(o SketchOptions) Option {
-	return func(c *buildConfig) { c.sk = o }
+	return func(c *buildConfig) {
+		c.sk = o
+		if o.MaxHullVertices != 0 && c.hull.MaxVertices == 0 {
+			c.hull.MaxVertices = o.MaxHullVertices
+		}
+	}
 }
 
 // WithDriftThreshold sets the ε_drift rebuild trigger of a DynamicIndex:

@@ -47,6 +47,14 @@ type SketchOptions struct {
 	Workers int
 	// SolverTol overrides the Laplacian-solver relative residual (0 = 1e-10).
 	SolverTol float64
+	// MaxHullVertices caps the hull boundary size l (0 = no cap).
+	//
+	// Deprecated: hull configuration moved to HullOptions (use
+	// WithMaxHullVertices or WithHullOptions). The field remains so
+	// struct-based callers keep compiling; WithSketchOptions, the deprecated
+	// Graph.New*Index shims, and OptimizeOptions still honor it when the
+	// hull options leave MaxVertices unset.
+	MaxHullVertices int
 }
 
 func (o SketchOptions) internal() sketch.Options {
