@@ -10,6 +10,8 @@
 //	recc query    -in graph.txt -nodes 0,5,9 [-exact] [-eps 0.2] [-dim 128]
 //	recc dist     -in graph.txt [-exact] [-eps 0.2] [-burr] [-bins 30]
 //	recc optimize -in graph.txt -source 0 -k 10 -algo minrecc [-eps 0.3]
+//	recc snapshot -in graph.txt -data-dir ./idx   (or -out index.snap)
+//	recc inspect  -path ./idx                     (or a .snap file)
 //
 // Graphs are whitespace edge lists (KONECT style); only the largest
 // connected component is analyzed, mirroring the paper's preprocessing.
@@ -55,6 +57,10 @@ func run(args []string) error {
 		return cmdSpectral(args[1:])
 	case "hitting":
 		return cmdHitting(args[1:])
+	case "snapshot":
+		return cmdSnapshot(args[1:])
+	case "inspect":
+		return cmdInspect(args[1:])
 	case "-h", "--help", "help":
 		usage()
 		return nil
@@ -65,7 +71,7 @@ func run(args []string) error {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: recc <gen|stats|query|dist|optimize|centrality|spectral|hitting> [flags]
+	fmt.Fprintln(os.Stderr, `usage: recc <gen|stats|query|dist|optimize|centrality|spectral|hitting|snapshot|inspect> [flags]
   gen         generate a synthetic network and write an edge list
   stats       structural statistics of a network's LCC
   query       resistance eccentricity of given nodes
@@ -74,6 +80,8 @@ func usage() {
   centrality  rank nodes by closeness / harmonic / current-flow centrality
   spectral    λ₂, λmax, Kirchhoff index, Kemeny constant
   hitting     expected random-walk hitting times to a target
+  snapshot    build an index offline and persist it (warm reccd starts)
+  inspect     examine a snapshot file or durable store directory
 run 'recc <subcommand> -h' for flags`)
 }
 

@@ -155,3 +155,48 @@ func TestHittingCommand(t *testing.T) {
 		t.Fatal("bad sources should fail")
 	}
 }
+
+func TestSnapshotAndInspectCommands(t *testing.T) {
+	path := writeTestGraph(t)
+	dir := filepath.Join(t.TempDir(), "store")
+	file := filepath.Join(t.TempDir(), "index.snap")
+
+	if err := run([]string{"snapshot", "-in", path}); err == nil {
+		t.Fatal("snapshot without a destination should fail")
+	}
+	if err := run([]string{"snapshot", "-in", path, "-data-dir", dir, "-out", file}); err == nil {
+		t.Fatal("snapshot with both destinations should fail")
+	}
+	if err := run([]string{"snapshot", "-in", path, "-data-dir", dir, "-dim", "48", "-eps", "0.3"}); err != nil {
+		t.Fatal(err)
+	}
+	// Second run finds the store warm and refreshes it.
+	if err := run([]string{"snapshot", "-in", path, "-data-dir", dir, "-dim", "48", "-eps", "0.3"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"snapshot", "-in", path, "-out", file, "-dim", "48", "-eps", "0.3"}); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := run([]string{"inspect", "-path", dir}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"inspect", file}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"inspect"}); err == nil {
+		t.Fatal("inspect without a path should fail")
+	}
+	if err := run([]string{"inspect", "-path", filepath.Join(dir, "missing")}); err == nil {
+		t.Fatal("inspect of a missing path should fail")
+	}
+	// A snapshot saved with -out loads back into a usable index.
+	d, err := resistecc.LoadSnapshot(file)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	if d.Snapshot().N == 0 {
+		t.Fatal("loaded snapshot is empty")
+	}
+}

@@ -1,0 +1,162 @@
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+
+	"resistecc"
+	"resistecc/internal/persist"
+)
+
+// cmdSnapshot builds a FASTQUERY index offline and persists it, so a reccd
+// started over the same input and flags comes up warm without solver work.
+// With -data-dir the snapshot lands in a durable store directory (the form
+// reccd -data-dir consumes); with -out it is one self-contained file for
+// resistecc.LoadSnapshot. Flag defaults match reccd's.
+func cmdSnapshot(args []string) error {
+	fs := flag.NewFlagSet("snapshot", flag.ContinueOnError)
+	in := fs.String("in", "", "input edge list")
+	dataDir := fs.String("data-dir", "", "durable store directory to checkpoint into")
+	out := fs.String("out", "", "write one snapshot file instead of a store directory")
+	eps := fs.Float64("eps", 0.2, "approximation parameter")
+	dim := fs.Int("dim", 128, "sketch dimension override")
+	hullCap := fs.Int("hullcap", 64, "max hull vertices")
+	seed := fs.Int64("seed", 1, "sketch seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if (*dataDir == "") == (*out == "") {
+		return fmt.Errorf("need exactly one of -data-dir or -out")
+	}
+	g, err := loadLCC(*in)
+	if err != nil {
+		return err
+	}
+	opts := []resistecc.Option{
+		resistecc.WithEpsilon(*eps), resistecc.WithDim(*dim),
+		resistecc.WithSeed(*seed), resistecc.WithMaxHullVertices(*hullCap),
+	}
+	ctx := context.Background()
+	if *dataDir != "" {
+		d, info, err := resistecc.OpenDynamicIndex(ctx, *dataDir, g, opts...)
+		if err != nil {
+			return err
+		}
+		defer d.Close()
+		if info.Warm {
+			// The store already held this exact state; refresh the snapshot
+			// anyway so its WAL is absorbed and the age gauge resets.
+			if err := d.Checkpoint(); err != nil {
+				return err
+			}
+			fmt.Fprintf(os.Stderr, "recc: store %s was already warm; snapshot refreshed\n", *dataDir)
+		} else {
+			fmt.Fprintf(os.Stderr, "recc: cold build (%s) checkpointed into %s\n", info.Reason, *dataDir)
+		}
+		ps := d.PersistStats()
+		fmt.Printf("snapshot seq %d, generation %d, %d nodes, %d edges\n",
+			ps.SnapshotSeq, ps.SnapshotGeneration, g.N(), g.M())
+		return nil
+	}
+	d, err := resistecc.NewDynamicIndex(ctx, g, opts...)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	if err := d.SaveSnapshot(*out); err != nil {
+		return err
+	}
+	fi, err := os.Stat(*out)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s: %d bytes, %d nodes, %d edges\n", *out, fi.Size(), g.N(), g.M())
+	return nil
+}
+
+// cmdInspect prints what recovery would see in a snapshot file or a durable
+// store directory: per-section sizes and checksums, build parameters, and the
+// WAL's valid prefix — without loading the index.
+func cmdInspect(args []string) error {
+	fs := flag.NewFlagSet("inspect", flag.ContinueOnError)
+	path := fs.String("path", "", "snapshot file or durable store directory")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	p := *path
+	if p == "" {
+		if fs.NArg() == 1 {
+			p = fs.Arg(0)
+		} else {
+			return fmt.Errorf("-path is required (snapshot file or store directory)")
+		}
+	}
+	fi, err := os.Stat(p)
+	if err != nil {
+		return err
+	}
+	if !fi.IsDir() {
+		rep, err := persist.InspectSnapshot(p)
+		if err != nil {
+			return err
+		}
+		printReport(rep)
+		return nil
+	}
+	reps, wal, err := persist.InspectDir(p)
+	if err != nil {
+		return err
+	}
+	if len(reps) == 0 {
+		fmt.Println("no snapshots")
+	}
+	for i, rep := range reps {
+		if i > 0 {
+			fmt.Println()
+		}
+		printReport(rep)
+	}
+	if wal != nil {
+		fmt.Printf("\nwal %s\n", wal.Path)
+		fmt.Printf("  size        %d bytes\n", wal.Size)
+		fmt.Printf("  records     %d", wal.Records)
+		if wal.Records > 0 {
+			fmt.Printf(" (seq %d..%d)", wal.FirstSeq, wal.LastSeq)
+		}
+		fmt.Println()
+		if wal.TornBytes > 0 {
+			fmt.Printf("  torn tail   %d bytes (recovery discards them)\n", wal.TornBytes)
+		}
+	}
+	return nil
+}
+
+func printReport(rep *persist.Report) {
+	fmt.Printf("snapshot %s\n", rep.Path)
+	fmt.Printf("  size        %d bytes, format v%d\n", rep.Size, rep.Version)
+	if rep.Valid {
+		fmt.Printf("  status      valid\n")
+	} else {
+		fmt.Printf("  status      INVALID: %s\n", rep.Err)
+	}
+	if !rep.SavedAt.IsZero() {
+		fmt.Printf("  saved       %s\n", rep.SavedAt.Format("2006-01-02 15:04:05 MST"))
+	}
+	fmt.Printf("  state       seq=%d gen=%d n=%d m=%d fingerprint=%016x\n",
+		rep.Seq, rep.Gen, rep.N, rep.M, rep.BaseFP)
+	fmt.Printf("  build       eps=%g dim=%d seed=%d boundary=%d ecc-cache=%v\n",
+		rep.Params.Epsilon, rep.Dim, rep.Params.Seed, rep.BoundaryL, rep.HasEcc)
+	for _, sec := range rep.Sections {
+		crc := "ok"
+		if !sec.CRCOK {
+			crc = "CORRUPT"
+		}
+		fmt.Printf("  section %-9s %9d bytes  crc %s", sec.Name, sec.Bytes, crc)
+		if sec.Details != "" {
+			fmt.Printf("  (%s)", sec.Details)
+		}
+		fmt.Println()
+	}
+}

@@ -9,6 +9,13 @@
 //
 //	reccd -in graph.txt -listen :8080 -eps 0.2 -dim 128
 //
+// With -data-dir the index is durable: every committed mutation is logged to
+// a write-ahead log before it is acknowledged, rebuilds (and the optional
+// -checkpoint-interval ticker, and POST /v1/checkpoint) write checksummed
+// snapshots, and restarts warm-restore from snapshot + WAL replay instead of
+// re-running the solver — falling back to a cold build on any corruption or
+// configuration change, never to wrong answers.
+//
 // Node ids in requests and responses are always the original ids from the
 // edge-list file. Ids that fall outside the largest connected component
 // (the index covers only the LCC, the paper's standard preprocessing) are
@@ -26,6 +33,7 @@
 //	DELETE /v1/edges?u=3&v=9            → remove an edge (refused if it would
 //	                                      disconnect the graph)
 //	POST   /v1/rebuild                  → force a background index rebuild
+//	POST   /v1/checkpoint               → persist a snapshot now (-data-dir only)
 //	GET    /debug/pprof/...             → net/http/pprof (only with -pprof)
 //
 // Every non-2xx response is a structured envelope
@@ -74,6 +82,10 @@ func main() {
 		"edge removals absorbed before forcing a rebuild (0 = library default)")
 	flag.IntVar(&cfg.MutationQueue, "mutation-queue", 0,
 		"mutation queue capacity (0 = library default)")
+	flag.StringVar(&cfg.DataDir, "data-dir", "",
+		"durable index directory: snapshot + mutation WAL, warm restarts (empty = in-memory only)")
+	flag.DurationVar(&cfg.CheckpointInterval, "checkpoint-interval", 0,
+		"time-based checkpoint period on top of after-rebuild checkpoints (0 = off; needs -data-dir)")
 	flag.Parse()
 
 	if *in == "" {
@@ -97,6 +109,14 @@ func main() {
 	}, cfg)
 	if err != nil {
 		log.Fatalf("reccd: building index: %v", err)
+	}
+	if cfg.DataDir != "" {
+		if srv.recovery.Warm {
+			log.Printf("reccd: warm start from %s: generation %d, %d WAL mutations replayed",
+				cfg.DataDir, srv.recovery.Generation, srv.recovery.ReplayedMutations)
+		} else {
+			log.Printf("reccd: cold start (%s); persisting to %s", srv.recovery.Reason, cfg.DataDir)
+		}
 	}
 	st := srv.idx().BuildStats()
 	log.Printf("reccd: index ready (d=%d, l=%d, cg-iters=%d, max-residual=%.2e) in %s; listening on %s",

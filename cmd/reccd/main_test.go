@@ -233,8 +233,8 @@ func TestResistanceEndpoint(t *testing.T) {
 		t.Fatalf("status %d body %v", rec.Code, body)
 	}
 	for url, want := range map[string]int{
-		"/resistance?u=0":           http.StatusBadRequest,
-		"/resistance?u=0&v=x":       http.StatusBadRequest,
+		"/resistance?u=0":          http.StatusBadRequest,
+		"/resistance?u=0&v=x":      http.StatusBadRequest,
 		"/resistance?u=0&v=100000": http.StatusNotFound,
 		"/resistance?u=-1&v=5":     http.StatusNotFound,
 		"/resistance?u=zzz&v=0":    http.StatusBadRequest,

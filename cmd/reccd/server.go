@@ -95,6 +95,14 @@ type serverConfig struct {
 	MaxDeletions int
 	// MutationQueue is the mutation queue capacity (0 = default 64).
 	MutationQueue int
+	// DataDir enables durability: index state lives there as a checksummed
+	// snapshot plus a mutation WAL, and startup warm-restores from it
+	// (resistecc.OpenDynamicIndex). Empty = in-memory only.
+	DataDir string
+	// CheckpointInterval adds time-based checkpoints on top of the automatic
+	// after-every-rebuild ones, bounding WAL growth (and replay time) during
+	// long stretches of incremental-only mutations. 0 disables the ticker.
+	CheckpointInterval time.Duration
 }
 
 func defaultConfig() serverConfig {
@@ -126,6 +134,13 @@ type server struct {
 	totalNodes, totalEdges int
 	buildTime              time.Duration
 
+	// recovery reports how a durable index started (warm vs cold and why);
+	// zero when DataDir is unset. stopCheckpoint ends the interval ticker.
+	recovery       resistecc.RecoveryInfo
+	durable        bool
+	stopCheckpoint chan struct{}
+	checkpointWG   sync.WaitGroup
+
 	sumMu  sync.Mutex
 	sumGen uint64
 	sum    summaryResponse
@@ -156,7 +171,14 @@ func newServer(g *resistecc.Graph, ids *idMap, inputNodes, inputEdges int,
 		resistecc.WithMaxDeletions(cfg.MaxDeletions),
 		resistecc.WithMutationQueue(cfg.MutationQueue),
 	)
-	dyn, err := resistecc.NewDynamicIndex(context.Background(), g, opts...)
+	var dyn *resistecc.DynamicIndex
+	var rec resistecc.RecoveryInfo
+	var err error
+	if cfg.DataDir != "" {
+		dyn, rec, err = resistecc.OpenDynamicIndex(context.Background(), cfg.DataDir, g, opts...)
+	} else {
+		dyn, err = resistecc.NewDynamicIndex(context.Background(), g, opts...)
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -165,15 +187,54 @@ func newServer(g *resistecc.Graph, ids *idMap, inputNodes, inputEdges int,
 		reg:        obs.NewRegistry("reccd"),
 		totalNodes: inputNodes, totalEdges: inputEdges,
 		buildTime: time.Since(start),
+		recovery:  rec,
+		durable:   cfg.DataDir != "",
 	}
 	s.publishBuildGauges()
 	s.publishLifecycleGauges()
+	if s.durable {
+		s.publishPersistMetrics()
+		s.startCheckpointTicker()
+	}
 	return s, nil
 }
 
-// close releases the lifecycle workers (used by tests; the process otherwise
-// ends with the server).
-func (s *server) close() { s.dyn.Close() }
+// close stops the checkpoint ticker and releases the lifecycle workers (used
+// by tests and graceful shutdown; the process otherwise ends with the server).
+func (s *server) close() {
+	if s.stopCheckpoint != nil {
+		close(s.stopCheckpoint)
+		s.checkpointWG.Wait()
+		s.stopCheckpoint = nil
+	}
+	s.dyn.Close()
+}
+
+// startCheckpointTicker checkpoints every CheckpointInterval so the WAL (and
+// restart replay time) stays bounded even when no rebuild ever triggers. A
+// stale or already-current index makes the call a cheap no-op.
+func (s *server) startCheckpointTicker() {
+	if s.cfg.CheckpointInterval <= 0 {
+		return
+	}
+	s.stopCheckpoint = make(chan struct{})
+	s.checkpointWG.Add(1)
+	go func() {
+		defer s.checkpointWG.Done()
+		t := time.NewTicker(s.cfg.CheckpointInterval)
+		defer t.Stop()
+		for {
+			select {
+			case <-t.C:
+				if err := s.dyn.Checkpoint(); err != nil && !errors.Is(err, resistecc.ErrIndexStale) {
+					log.Printf("reccd: interval checkpoint: %v", err)
+				}
+			case <-s.stopCheckpoint:
+				return
+			}
+		}
+	}()
+}
 
 // idx returns the FastIndex of the current generation.
 func (s *server) idx() *resistecc.FastIndex { return s.dyn.Snapshot().Index }
@@ -214,6 +275,21 @@ func (s *server) publishLifecycleGauges() {
 	s.reg.SetGaugeFunc("index_last_rebuild_seconds", stat(func(st resistecc.DynamicStats) float64 { return st.LastRebuildSeconds }))
 }
 
+// publishPersistMetrics exports the durability state: snapshot freshness and
+// WAL depth as live gauges, checkpoint/journal activity as counters. Only
+// registered when a data directory is configured.
+func (s *server) publishPersistMetrics() {
+	pstat := func(f func(resistecc.PersistStats) float64) func() float64 {
+		return func() float64 { return f(s.dyn.PersistStats()) }
+	}
+	s.reg.SetGaugeFunc("persist_snapshot_age_seconds", pstat(func(ps resistecc.PersistStats) float64 { return ps.SnapshotAgeSeconds }))
+	s.reg.SetGaugeFunc("persist_wal_records", pstat(func(ps resistecc.PersistStats) float64 { return float64(ps.WALRecords) }))
+	s.reg.SetGaugeFunc("persist_last_checkpoint_seconds", pstat(func(ps resistecc.PersistStats) float64 { return ps.LastCheckpointSeconds }))
+	s.reg.SetCounterFunc("persist_checkpoints_total", pstat(func(ps resistecc.PersistStats) float64 { return float64(ps.Checkpoints) }))
+	s.reg.SetCounterFunc("persist_checkpoint_failures_total", pstat(func(ps resistecc.PersistStats) float64 { return float64(ps.CheckpointFailures) }))
+	s.reg.SetCounterFunc("persist_journal_failures_total", pstat(func(ps resistecc.PersistStats) float64 { return float64(ps.JournalFailures) }))
+}
+
 // handler assembles the full middleware stack: routing with per-endpoint
 // instrumentation inside, then the error-envelope interceptor (so the mux's
 // own plain-text 404/405 pages come out as the structured envelope), then
@@ -241,6 +317,7 @@ func (s *server) handler(logger *log.Logger) http.Handler {
 	mux.Handle("POST /v1/edges", s.reg.InstrumentFunc("edges_add", s.handleAddEdge))
 	mux.Handle("DELETE /v1/edges", s.reg.InstrumentFunc("edges_remove", s.handleRemoveEdge))
 	mux.Handle("POST /v1/rebuild", s.reg.InstrumentFunc("rebuild", s.handleRebuild))
+	mux.Handle("POST /v1/checkpoint", s.reg.InstrumentFunc("checkpoint", s.handleCheckpoint))
 
 	if s.cfg.Pprof {
 		mountPprof(mux)
@@ -368,7 +445,7 @@ func (s *server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 	st := snap.Index.BuildStats()
 	dst := s.dyn.Stats()
 	setGeneration(w, snap.Generation)
-	writeJSON(w, http.StatusOK, map[string]any{
+	body := map[string]any{
 		"status":            "ok",
 		"nodes":             snap.N,
 		"edges":             snap.M,
@@ -388,7 +465,22 @@ func (s *server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 		"queueDepth":        dst.QueueDepth,
 		"rebuilds":          dst.Rebuilds,
 		"rebuildInProgress": dst.RebuildInProgress,
-	})
+	}
+	if s.durable {
+		ps := s.dyn.PersistStats()
+		body["persist"] = map[string]any{
+			"warmStart":          s.recovery.Warm,
+			"coldStartReason":    s.recovery.Reason,
+			"replayedMutations":  s.recovery.ReplayedMutations,
+			"snapshotSeq":        ps.SnapshotSeq,
+			"snapshotAgeSec":     ps.SnapshotAgeSeconds,
+			"walRecords":         ps.WALRecords,
+			"checkpoints":        ps.Checkpoints,
+			"checkpointFailures": ps.CheckpointFailures,
+			"journalFailures":    ps.JournalFailures,
+		}
+	}
+	writeJSON(w, http.StatusOK, body)
 }
 
 type eccResponse struct {
@@ -616,6 +708,38 @@ func (s *server) handleRemoveEdge(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.writeMutation(w, uExt, vExt, res)
+}
+
+// handleCheckpoint implements POST /v1/checkpoint: force an immediate
+// snapshot into the data directory, absorbing the WAL (e.g. before a planned
+// restart, so it comes up warm with nothing to replay). Requires -data-dir;
+// while a rebuild is pending the state is inconsistent and the request is
+// answered 409 — the rebuild's own checkpoint will cover the backlog.
+func (s *server) handleCheckpoint(w http.ResponseWriter, _ *http.Request) {
+	if !s.durable {
+		writeError(w, http.StatusConflict, "not_durable",
+			"server has no data directory (start reccd with -data-dir)")
+		return
+	}
+	if err := s.dyn.Checkpoint(); err != nil {
+		if errors.Is(err, resistecc.ErrIndexStale) {
+			writeError(w, http.StatusConflict, "index_stale",
+				"a rebuild is pending; its checkpoint will persist the backlog")
+			return
+		}
+		writeError(w, http.StatusInternalServerError, "checkpoint_failed", "%v", err)
+		return
+	}
+	ps := s.dyn.PersistStats()
+	snap := s.dyn.Snapshot()
+	setGeneration(w, snap.Generation)
+	writeJSON(w, http.StatusOK, map[string]any{
+		"checkpointed":    true,
+		"snapshotSeq":     ps.SnapshotSeq,
+		"generation":      ps.SnapshotGeneration,
+		"walRecords":      ps.WALRecords,
+		"durationSeconds": ps.LastCheckpointSeconds,
+	})
 }
 
 // handleRebuild implements POST /v1/rebuild: force a background rebuild

@@ -1,0 +1,280 @@
+package resistecc
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"resistecc/internal/graph"
+	"resistecc/internal/lifecycle"
+	"resistecc/internal/persist"
+)
+
+// ErrIndexStale is returned by SaveSnapshot and Checkpoint while the served
+// index lags the master graph (a background rebuild is pending): persisting
+// then would pair a graph with an index that does not reflect it. Trigger or
+// await the rebuild (WaitIdle) and retry.
+var ErrIndexStale = lifecycle.ErrStale
+
+// ErrSnapshotMismatch is returned by LoadSnapshot when explicitly supplied
+// build options conflict with the parameters stored in the snapshot.
+var ErrSnapshotMismatch = persist.ErrMismatch
+
+// ErrNotDurable is returned by Checkpoint and PersistStats accessors on an
+// index that was built without a data directory (NewDynamicIndex or
+// LoadSnapshot instead of OpenDynamicIndex).
+var ErrNotDurable = errors.New("resistecc: index has no data directory (use OpenDynamicIndex)")
+
+// paramsOf extracts the content-determining build parameters from an
+// applied option set. Workers and queue/rebuild tuning are excluded: they
+// change speed and policy, never index content.
+func paramsOf(c buildConfig) persist.Params {
+	return persist.Params{
+		Epsilon:         c.sk.Epsilon,
+		Dim:             c.sk.Dim,
+		Seed:            c.sk.Seed,
+		SolverTol:       c.sk.SolverTol,
+		HullTheta:       c.hull.Theta,
+		HullSeed:        c.hull.Seed,
+		HullDirections:  c.hull.Directions,
+		HullMaxVertices: c.hull.MaxVertices,
+		HullMaxFWIters:  c.hull.MaxFWIters,
+	}
+}
+
+// lifecycleConfig assembles the manager config from stored build params
+// plus the caller's dynamic-only knobs.
+func lifecycleConfig(p persist.Params, c buildConfig) lifecycle.Config {
+	return lifecycle.Config{
+		Sketch:         p.SketchOptions(),
+		Hull:           p.HullOptions(),
+		DriftThreshold: c.driftThreshold,
+		MaxDeletions:   c.maxDeletions,
+		QueueSize:      c.queueSize,
+	}
+}
+
+// SaveSnapshot writes the current index state — graph, sketch matrix, hull
+// boundary and eccentricity cache, each section checksummed — to a single
+// file, atomically (temp file + fsync + rename). The saved index answers
+// bit-identically after LoadSnapshot. Fails with ErrIndexStale while a
+// rebuild is pending, since graph and index would disagree.
+func (d *DynamicIndex) SaveSnapshot(path string) error {
+	cs, err := d.m.CheckpointState()
+	if err != nil {
+		return err
+	}
+	return persist.WriteSnapshotFile(path, persist.Capture(cs, d.params, d.baseFP, true))
+}
+
+// LoadSnapshot rebuilds a DynamicIndex from a SaveSnapshot file without any
+// solver work: the stored sketch matrix is restored bit-exactly, so queries
+// answer identically to the index that was saved. Build parameters come
+// from the snapshot itself; opts may add dynamic knobs (WithDriftThreshold,
+// WithMaxDeletions, WithMutationQueue). Build-parameter options, when
+// given, must match the stored ones (ErrSnapshotMismatch otherwise).
+// Corrupt or version-mismatched files fail with persist errors — callers
+// wanting automatic cold-build fallback use OpenDynamicIndex.
+func LoadSnapshot(path string, opts ...Option) (*DynamicIndex, error) {
+	snap, err := persist.ReadSnapshotFile(path)
+	if err != nil {
+		return nil, err
+	}
+	c := applyOptions(opts)
+	if (c.sk != (SketchOptions{}) || c.hull != (HullOptions{})) && paramsOf(c) != snap.Params {
+		return nil, fmt.Errorf("%w: stored eps=%g dim=%d seed=%d",
+			ErrSnapshotMismatch, snap.Params.Epsilon, snap.Params.Dim, snap.Params.Seed)
+	}
+	fast, err := snap.Index()
+	if err != nil {
+		return nil, err
+	}
+	m, err := lifecycle.NewFromState(snap.Graph, fast,
+		lifecycle.Restored{Gen: snap.Gen, Seq: snap.Seq}, lifecycleConfig(snap.Params, c))
+	if err != nil {
+		return nil, err
+	}
+	return &DynamicIndex{m: m, params: snap.Params, baseFP: snap.BaseFP}, nil
+}
+
+// RecoveryInfo reports how OpenDynamicIndex started.
+type RecoveryInfo struct {
+	// Warm is true when the index was restored from a snapshot; false means
+	// a cold build ran (first start, or fallback — see Reason).
+	Warm bool
+	// Reason explains a cold start ("no snapshot", "snapshot mismatch: …",
+	// "replay failed: …"); empty for a warm start.
+	Reason string
+	// Generation is the served generation after recovery.
+	Generation uint64
+	// ReplayedMutations counts WAL records applied on top of the snapshot.
+	ReplayedMutations int
+}
+
+// OpenDynamicIndex is NewDynamicIndex with durability: index state lives in
+// dataDir as a checksummed snapshot plus a mutation WAL.
+//
+// On startup it loads the newest valid snapshot, verifies it matches g and
+// the build options (fingerprint + parameters), restores the index without
+// solver work, and replays WAL records through the ordinary mutation path —
+// landing exactly where a live server that ran those mutations would,
+// including the incremental-vs-rebuild decisions. Any corruption, torn
+// write, version or parameter mismatch falls back to a cold build (never to
+// wrong answers) and resets the store. From then on every committed
+// mutation is appended to the WAL before it is acknowledged, and every
+// rebuild swap checkpoints a fresh snapshot and truncates the log; pair
+// with (*DynamicIndex).Checkpoint for time-based checkpoints.
+//
+// g must be the same input graph across restarts (reccd passes the LCC of
+// its -in file); if it changes, the stale persisted state is discarded.
+func OpenDynamicIndex(ctx context.Context, dataDir string, g *Graph, opts ...Option) (*DynamicIndex, RecoveryInfo, error) {
+	c := applyOptions(opts)
+	params := paramsOf(c)
+	baseFP := persist.Fingerprint(g.inner())
+	cfg := lifecycleConfig(params, c)
+
+	st, err := persist.Open(dataDir)
+	if err != nil {
+		return nil, RecoveryInfo{}, err
+	}
+	d, info, err := openRecover(ctx, st, g.inner(), params, baseFP, cfg)
+	if err != nil {
+		st.Close()
+		return nil, RecoveryInfo{}, err
+	}
+	d.hook = &persist.Hook{Store: st, Params: params, BaseFP: baseFP}
+	d.m.AttachJournal(d.hook)
+	info.Generation = d.m.Current().Gen
+	return d, info, nil
+}
+
+// openRecover attempts the warm path and falls back to a cold build. The
+// journal is NOT yet attached: replayed mutations must not be re-logged.
+func openRecover(ctx context.Context, st *persist.Store, g *graph.Graph, params persist.Params, baseFP uint64, cfg lifecycle.Config) (*DynamicIndex, RecoveryInfo, error) {
+	cold := func(reason string) (*DynamicIndex, RecoveryInfo, error) {
+		m, err := lifecycle.New(ctx, g, cfg)
+		if err != nil {
+			return nil, RecoveryInfo{}, err
+		}
+		d := &DynamicIndex{m: m, params: params, baseFP: baseFP, store: st}
+		// New lineage: wipe whatever the fallback rejected, then persist the
+		// cold build immediately so the next restart is already warm. A
+		// failed initial checkpoint only degrades durability (it is counted
+		// in PersistStats.CheckpointFailures and retried at the next
+		// rebuild/interval checkpoint).
+		if err := st.Reset(); err == nil {
+			if cs, cerr := m.CheckpointState(); cerr == nil {
+				_ = st.Checkpoint(persist.Capture(cs, params, baseFP, true))
+			}
+		}
+		return d, RecoveryInfo{Warm: false, Reason: reason}, nil
+	}
+
+	snap, recs, err := st.Recover()
+	if err != nil {
+		return cold(fmt.Sprintf("store unreadable: %v", err))
+	}
+	if snap == nil {
+		return cold("no snapshot")
+	}
+	if snap.Params != params {
+		return cold("snapshot mismatch: build parameters differ")
+	}
+	if snap.BaseFP != baseFP {
+		return cold("snapshot mismatch: input graph changed")
+	}
+	fast, err := snap.Index()
+	if err != nil {
+		return cold(fmt.Sprintf("snapshot unusable: %v", err))
+	}
+	m, err := lifecycle.NewFromState(snap.Graph, fast,
+		lifecycle.Restored{Gen: snap.Gen, Seq: snap.Seq}, cfg)
+	if err != nil {
+		return cold(fmt.Sprintf("snapshot unusable: %v", err))
+	}
+	// Replay the log through the live mutation path: each record takes the
+	// same incremental/stale route it took originally, and structural
+	// surprises (a record that no longer applies) abandon the warm start.
+	for i, r := range recs {
+		var merr error
+		if r.Add {
+			_, merr = m.AddEdge(ctx, r.U, r.V)
+		} else {
+			_, merr = m.RemoveEdge(ctx, r.U, r.V)
+		}
+		if merr != nil {
+			m.Close()
+			if ctx.Err() != nil {
+				return nil, RecoveryInfo{}, ctx.Err()
+			}
+			return cold(fmt.Sprintf("replay failed at record %d/%d: %v", i+1, len(recs), merr))
+		}
+	}
+	d := &DynamicIndex{m: m, params: params, baseFP: baseFP, store: st}
+	return d, RecoveryInfo{Warm: true, ReplayedMutations: len(recs)}, nil
+}
+
+// Checkpoint forces a snapshot of the current state into the data
+// directory, absorbing and truncating the WAL. A no-op when the on-disk
+// snapshot is already current. Fails with ErrNotDurable on a non-durable
+// index and with ErrIndexStale while a rebuild is pending (the rebuild's
+// own checkpoint will cover the backlog; callers may retry after WaitIdle).
+func (d *DynamicIndex) Checkpoint() error {
+	if d.store == nil {
+		return ErrNotDurable
+	}
+	cs, err := d.m.CheckpointState()
+	if err != nil {
+		return err
+	}
+	if st := d.store.Stats(); st.HasSnapshot && st.SnapshotSeq == cs.Seq {
+		return nil
+	}
+	return d.store.Checkpoint(persist.Capture(cs, d.params, d.baseFP, true))
+}
+
+// PersistStats is a point-in-time view of the durability subsystem.
+type PersistStats struct {
+	// Durable reports whether the index has a data directory at all; every
+	// other field is zero when it does not.
+	Durable bool
+	// HasSnapshot / SnapshotSeq / SnapshotGeneration / SnapshotAgeSeconds
+	// describe the newest on-disk snapshot.
+	HasSnapshot        bool
+	SnapshotSeq        uint64
+	SnapshotGeneration uint64
+	SnapshotAgeSeconds float64
+	// WALRecords counts mutations logged since that snapshot.
+	WALRecords int
+	// Checkpoints / CheckpointFailures count snapshot writes; JournalFailures
+	// counts WAL appends or checkpoints the lifecycle journal could not
+	// complete (non-zero means durability is degraded, serving is not).
+	Checkpoints           uint64
+	CheckpointFailures    uint64
+	JournalFailures       uint64
+	LastCheckpointSeconds float64
+}
+
+// PersistStats reports durability gauges for health and metrics endpoints.
+func (d *DynamicIndex) PersistStats() PersistStats {
+	if d.store == nil {
+		return PersistStats{}
+	}
+	st := d.store.Stats()
+	ps := PersistStats{
+		Durable:               true,
+		HasSnapshot:           st.HasSnapshot,
+		SnapshotSeq:           st.SnapshotSeq,
+		SnapshotGeneration:    st.SnapshotGen,
+		WALRecords:            st.WALRecords,
+		Checkpoints:           st.Checkpoints,
+		CheckpointFailures:    st.CheckpointFailures,
+		JournalFailures:       d.m.Stats().JournalFailures,
+		LastCheckpointSeconds: st.LastCheckpointDur.Seconds(),
+	}
+	if st.HasSnapshot {
+		ps.SnapshotAgeSeconds = time.Since(st.SnapshotTime).Seconds()
+	}
+	return ps
+}

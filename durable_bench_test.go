@@ -1,0 +1,58 @@
+package resistecc
+
+import (
+	"context"
+	"path/filepath"
+	"testing"
+)
+
+// The warm-start benchmarks quantify what the durable store buys: a cold
+// build pays the full sketch solve (d Laplacian solves), a warm start only
+// decodes the snapshot and rebuilds sketch row views over the stored bits.
+// EXPERIMENTS.md records the measured ratio.
+
+func warmBenchGraph(b *testing.B) *Graph {
+	b.Helper()
+	g, err := ScaleFreeMixed(800, 1, 5, 0.3, 11)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return g
+}
+
+func warmBenchOpts() []Option {
+	return []Option{WithEpsilon(0.3), WithDim(64), WithSeed(11)}
+}
+
+func BenchmarkColdBuild(b *testing.B) {
+	g := warmBenchGraph(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d, err := NewDynamicIndex(context.Background(), g, warmBenchOpts()...)
+		if err != nil {
+			b.Fatal(err)
+		}
+		d.Close()
+	}
+}
+
+func BenchmarkWarmStart(b *testing.B) {
+	g := warmBenchGraph(b)
+	path := filepath.Join(b.TempDir(), "index.snap")
+	d, err := NewDynamicIndex(context.Background(), g, warmBenchOpts()...)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := d.SaveSnapshot(path); err != nil {
+		b.Fatal(err)
+	}
+	d.Close()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w, err := LoadSnapshot(path)
+		if err != nil {
+			b.Fatal(err)
+		}
+		w.Close()
+	}
+}

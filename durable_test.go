@@ -1,0 +1,332 @@
+package resistecc
+
+import (
+	"context"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func durableOpts() []Option {
+	return []Option{WithEpsilon(0.3), WithDim(64), WithSeed(21)}
+}
+
+func durableGraph(t *testing.T) *Graph {
+	t.Helper()
+	g, err := RandomConnected(60, 150, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// coldDistribution is the ground truth a recovered index must match
+// bit-for-bit: a cold FastIndex of the same graph with the same options.
+func coldDistribution(t *testing.T, g *Graph) []float64 {
+	t.Helper()
+	f, err := NewFastIndex(context.Background(), g, durableOpts()...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f.Distribution()
+}
+
+func dynDistribution(d *DynamicIndex) []float64 {
+	return d.Snapshot().Index.Distribution()
+}
+
+func sameDistribution(t *testing.T, got, want []float64, what string) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: length %d vs %d", what, len(got), len(want))
+	}
+	for v := range want {
+		if got[v] != want[v] {
+			t.Fatalf("%s: eccentricity of node %d differs: %g vs %g", what, v, got[v], want[v])
+		}
+	}
+}
+
+func TestOpenDynamicIndexColdThenWarm(t *testing.T) {
+	dir := t.TempDir()
+	g := durableGraph(t)
+	ctx := context.Background()
+
+	d, info, err := OpenDynamicIndex(ctx, dir, g, durableOpts()...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Warm || info.Reason != "no snapshot" {
+		t.Fatalf("first open: %+v", info)
+	}
+	want := dynDistribution(d)
+	sameDistribution(t, want, coldDistribution(t, g), "cold open vs cold build")
+	gen := d.Snapshot().Generation
+	d.Close()
+
+	d2, info, err := OpenDynamicIndex(ctx, dir, g, durableOpts()...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d2.Close()
+	if !info.Warm || info.ReplayedMutations != 0 {
+		t.Fatalf("second open not warm: %+v", info)
+	}
+	if got := d2.Snapshot().Generation; got != gen {
+		t.Fatalf("generation not preserved: %d vs %d", got, gen)
+	}
+	sameDistribution(t, dynDistribution(d2), want, "warm restart")
+
+	ps := d2.PersistStats()
+	if !ps.Durable || !ps.HasSnapshot || ps.WALRecords != 0 {
+		t.Fatalf("persist stats after warm start: %+v", ps)
+	}
+}
+
+// TestCrashRecoveryReplaysWAL is the kill-after-WAL-append case: mutations
+// are acknowledged (and logged) but the process dies before any checkpoint.
+// Recovery must replay them and, once quiesced, answer exactly like a cold
+// build of the final edge set.
+func TestCrashRecoveryReplaysWAL(t *testing.T) {
+	dir := t.TempDir()
+	g := durableGraph(t)
+	ctx := context.Background()
+
+	// High rebuild thresholds keep every mutation on the incremental path, so
+	// no rebuild checkpoint absorbs the WAL before the "crash".
+	opts := append(durableOpts(), WithDriftThreshold(100), WithMaxDeletions(1000))
+	d, _, err := OpenDynamicIndex(ctx, dir, g, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	muts := []struct {
+		add  bool
+		u, v int
+	}{
+		{true, 0, 30}, {true, 5, 45}, {false, 0, 30}, {true, 7, 52},
+	}
+	final := g.Clone()
+	for _, mu := range muts {
+		if mu.add {
+			if _, err := d.AddEdge(ctx, mu.u, mu.v); err != nil {
+				t.Fatalf("AddEdge(%d,%d): %v", mu.u, mu.v, err)
+			}
+			if err := final.AddEdge(mu.u, mu.v); err != nil {
+				t.Fatal(err)
+			}
+		} else {
+			if _, err := d.RemoveEdge(ctx, mu.u, mu.v); err != nil {
+				t.Fatalf("RemoveEdge(%d,%d): %v", mu.u, mu.v, err)
+			}
+			if err := final.RemoveEdge(mu.u, mu.v); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if ps := d.PersistStats(); ps.JournalFailures != 0 || ps.WALRecords != len(muts) {
+		t.Fatalf("pre-crash persist state: %+v", ps)
+	}
+	d.Close() // crash: no checkpoint call
+
+	d2, info, err := OpenDynamicIndex(ctx, dir, g, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d2.Close()
+	if !info.Warm {
+		t.Fatalf("recovery fell back to cold build: %+v", info)
+	}
+	if info.ReplayedMutations != len(muts) {
+		t.Fatalf("replayed %d WAL records, want %d: %+v", info.ReplayedMutations, len(muts), info)
+	}
+	if got := d2.Stats().GraphM; got != final.M() {
+		t.Fatalf("recovered graph has %d edges, want %d", got, final.M())
+	}
+
+	// Quiesce to the canonical state and compare against a cold build of
+	// the final edge set — bit-identical, not approximately equal.
+	d2.TriggerRebuild()
+	wctx, cancel := context.WithTimeout(ctx, 30*time.Second)
+	defer cancel()
+	if err := d2.WaitIdle(wctx); err != nil {
+		t.Fatal(err)
+	}
+	sameDistribution(t, dynDistribution(d2), coldDistribution(t, final), "recovered vs cold build")
+}
+
+func TestRecoveryCorruptSnapshotFallsBackToColdBuild(t *testing.T) {
+	dir := t.TempDir()
+	g := durableGraph(t)
+	ctx := context.Background()
+
+	d, _, err := OpenDynamicIndex(ctx, dir, g, durableOpts()...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.Close()
+
+	// Flip a bit in every snapshot file in the store.
+	snaps, err := filepath.Glob(filepath.Join(dir, "snapshot-*.snap"))
+	if err != nil || len(snaps) == 0 {
+		t.Fatalf("no snapshot written: %v", err)
+	}
+	for _, p := range snaps {
+		b, err := os.ReadFile(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b[len(b)/2] ^= 0x20
+		if err := os.WriteFile(p, b, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	d2, info, err := OpenDynamicIndex(ctx, dir, g, durableOpts()...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d2.Close()
+	if info.Warm {
+		t.Fatal("corrupt snapshot served warm")
+	}
+	// Degraded to a cold build — and the answers are the cold build's.
+	sameDistribution(t, dynDistribution(d2), coldDistribution(t, g), "fallback vs cold build")
+	// The store healed: a fresh snapshot exists again.
+	if ps := d2.PersistStats(); !ps.HasSnapshot {
+		t.Fatalf("store not re-seeded after fallback: %+v", ps)
+	}
+}
+
+func TestRecoveryRejectsChangedParamsOrGraph(t *testing.T) {
+	dir := t.TempDir()
+	g := durableGraph(t)
+	ctx := context.Background()
+
+	d, _, err := OpenDynamicIndex(ctx, dir, g, durableOpts()...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.Close()
+
+	// Different sketch dimension: the stored artifact answers a different
+	// quality contract; recovery must not serve it.
+	d2, info, err := OpenDynamicIndex(ctx, dir, g, WithEpsilon(0.3), WithDim(32), WithSeed(21))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Warm {
+		t.Fatal("warm start across a parameter change")
+	}
+	d2.Close()
+
+	// Different input graph (simulates a changed -in file).
+	g2, err := RandomConnected(60, 150, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d3, info, err := OpenDynamicIndex(ctx, dir, g2, WithEpsilon(0.3), WithDim(32), WithSeed(21))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d3.Close()
+	if info.Warm {
+		t.Fatal("warm start across an input-graph change")
+	}
+	sameDistribution(t, dynDistribution(d3),
+		func() []float64 {
+			f, ferr := NewFastIndex(ctx, g2, WithEpsilon(0.3), WithDim(32), WithSeed(21))
+			if ferr != nil {
+				t.Fatal(ferr)
+			}
+			return f.Distribution()
+		}(), "post-change cold build")
+}
+
+func TestSaveAndLoadSnapshot(t *testing.T) {
+	g := durableGraph(t)
+	ctx := context.Background()
+	d, err := NewDynamicIndex(ctx, g, durableOpts()...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.AddEdge(ctx, 2, 40); err != nil {
+		t.Fatal(err)
+	}
+	wctx, cancel := context.WithTimeout(ctx, 30*time.Second)
+	defer cancel()
+	if err := d.WaitIdle(wctx); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "index.snap")
+	if err := d.SaveSnapshot(path); err != nil {
+		t.Fatalf("SaveSnapshot: %v", err)
+	}
+	want := dynDistribution(d)
+	gen := d.Snapshot().Generation
+	d.Close()
+
+	// Checkpoint on a non-durable index is an error, not a silent no-op.
+	if err := d.Checkpoint(); !errors.Is(err, ErrNotDurable) {
+		t.Fatalf("Checkpoint without data dir: %v", err)
+	}
+
+	d2, err := LoadSnapshot(path)
+	if err != nil {
+		t.Fatalf("LoadSnapshot: %v", err)
+	}
+	defer d2.Close()
+	if got := d2.Snapshot().Generation; got != gen {
+		t.Fatalf("generation not preserved: %d vs %d", got, gen)
+	}
+	sameDistribution(t, dynDistribution(d2), want, "loaded snapshot")
+
+	// The loaded index keeps serving mutations.
+	if _, err := d2.AddEdge(ctx, 1, 33); err != nil {
+		t.Fatalf("mutation on loaded index: %v", err)
+	}
+
+	// Conflicting build options are rejected.
+	if _, err := LoadSnapshot(path, WithEpsilon(0.2)); !errors.Is(err, ErrSnapshotMismatch) {
+		t.Fatalf("want ErrSnapshotMismatch, got %v", err)
+	}
+	// Matching build options are fine.
+	d3, err := LoadSnapshot(path, durableOpts()...)
+	if err != nil {
+		t.Fatalf("LoadSnapshot with matching options: %v", err)
+	}
+	d3.Close()
+}
+
+func TestDurableCheckpointOnDemand(t *testing.T) {
+	dir := t.TempDir()
+	g := durableGraph(t)
+	ctx := context.Background()
+
+	d, _, err := OpenDynamicIndex(ctx, dir, g, durableOpts()...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	if _, err := d.AddEdge(ctx, 3, 41); err != nil {
+		t.Fatal(err)
+	}
+	if ps := d.PersistStats(); ps.WALRecords != 1 {
+		t.Fatalf("wal records before checkpoint: %+v", ps)
+	}
+	if err := d.Checkpoint(); err != nil {
+		t.Fatalf("Checkpoint: %v", err)
+	}
+	ps := d.PersistStats()
+	if ps.WALRecords != 0 || !ps.HasSnapshot || ps.SnapshotSeq != 1 {
+		t.Fatalf("post-checkpoint stats: %+v", ps)
+	}
+	// Idempotent while nothing changed.
+	if err := d.Checkpoint(); err != nil {
+		t.Fatalf("no-op checkpoint: %v", err)
+	}
+	if got := d.PersistStats().Checkpoints; got != ps.Checkpoints {
+		t.Fatalf("no-op checkpoint wrote a snapshot: %d vs %d", got, ps.Checkpoints)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"context"
 
 	"resistecc/internal/lifecycle"
+	"resistecc/internal/persist"
 )
 
 // ErrIndexClosed is returned by DynamicIndex mutations issued after Close.
@@ -78,6 +79,13 @@ type DynamicStats struct {
 // rebuild policy.
 type DynamicIndex struct {
 	m *lifecycle.Manager
+
+	// Persistence state (see durable.go). params/baseFP identify what this
+	// index serves; store is non-nil only for OpenDynamicIndex indexes.
+	params persist.Params
+	baseFP uint64
+	store  *persist.Store
+	hook   *persist.Hook
 }
 
 // NewDynamicIndex builds the initial index (generation 1) from g and starts
@@ -97,7 +105,7 @@ func NewDynamicIndex(ctx context.Context, g *Graph, opts ...Option) (*DynamicInd
 	if err != nil {
 		return nil, err
 	}
-	return &DynamicIndex{m: m}, nil
+	return &DynamicIndex{m: m, params: paramsOf(c), baseFP: persist.Fingerprint(g.inner())}, nil
 }
 
 // Snapshot returns the current served generation. The result is immutable;
@@ -169,5 +177,12 @@ func (d *DynamicIndex) Stats() DynamicStats {
 }
 
 // Close stops the workers and rejects further mutations with ErrIndexClosed.
-// Existing snapshots keep answering queries.
-func (d *DynamicIndex) Close() { d.m.Close() }
+// Existing snapshots keep answering queries. For a durable index
+// (OpenDynamicIndex) the store is closed too; Close does not checkpoint —
+// unsnapshotted mutations are already safe in the WAL.
+func (d *DynamicIndex) Close() {
+	d.m.Close()
+	if d.store != nil {
+		d.store.Close()
+	}
+}

@@ -3,6 +3,8 @@ package resistecc_test
 import (
 	"context"
 	"fmt"
+	"os"
+	"path/filepath"
 
 	"resistecc"
 )
@@ -10,9 +12,9 @@ import (
 // The star graph of Figure 1(c): the hub has resistance eccentricity 1,
 // every leaf 2; the resistance radius is 1, the diameter 2, and the hub is
 // the unique resistance-central node.
-func ExampleGraph_NewExactIndex() {
+func ExampleNewExactIndex() {
 	g := resistecc.StarGraph(6)
-	idx, err := g.NewExactIndex()
+	idx, err := resistecc.NewExactIndex(context.Background(), g)
 	if err != nil {
 		panic(err)
 	}
@@ -61,6 +63,41 @@ func ExampleGreedyExact() {
 	fmt.Printf("picked %v: c(s) %.1f -> %.1f\n", plan.Edges, traj[0], traj[1])
 	// Output:
 	// picked [[0 5]]: c(s) 3.0 -> 1.5
+}
+
+// A DynamicIndex round-trips through a snapshot file: SaveSnapshot captures
+// the graph, sketch matrix and hull boundary with per-section checksums, and
+// LoadSnapshot restores an index that answers bit-identically — no solver
+// work on the way back.
+func ExampleDynamicIndex_SaveSnapshot() {
+	g := resistecc.PathGraph(32)
+	d, err := resistecc.NewDynamicIndex(context.Background(), g,
+		resistecc.WithEpsilon(0.3), resistecc.WithDim(256), resistecc.WithSeed(1))
+	if err != nil {
+		panic(err)
+	}
+	defer d.Close()
+
+	dir, err := os.MkdirTemp("", "resistecc-example")
+	if err != nil {
+		panic(err)
+	}
+	defer os.RemoveAll(dir)
+	path := filepath.Join(dir, "index.snap")
+	if err := d.SaveSnapshot(path); err != nil {
+		panic(err)
+	}
+
+	restored, err := resistecc.LoadSnapshot(path)
+	if err != nil {
+		panic(err)
+	}
+	defer restored.Close()
+	before := d.Snapshot().Index.Eccentricity(0)
+	after := restored.Snapshot().Index.Eccentricity(0)
+	fmt.Printf("bit-identical after restore: %v\n", before.Value == after.Value)
+	// Output:
+	// bit-identical after restore: true
 }
 
 // Kirchhoff's matrix-tree theorem: the complete graph K5 has 5³ = 125

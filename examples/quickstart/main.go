@@ -33,8 +33,8 @@ func main() {
 
 	// FASTQUERY: near-linear preprocessing, (1±ε) answers.
 	fast, err := resistecc.NewFastIndex(context.Background(), g,
-		resistecc.WithEpsilon(0.2),        // error target
-		resistecc.WithDim(256),            // sketch dimension (0 = the conservative theoretical bound)
+		resistecc.WithEpsilon(0.2), // error target
+		resistecc.WithDim(256),     // sketch dimension (0 = the conservative theoretical bound)
 		resistecc.WithSeed(1),
 		resistecc.WithMaxHullVertices(64), // practical hull cap; 0 keeps the certified hull
 	)

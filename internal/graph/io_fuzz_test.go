@@ -1,0 +1,64 @@
+package graph
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadEdgeList throws arbitrary byte streams at the edge-list parser and
+// checks its contract: it either errors or returns a simple graph whose
+// labels are consistent — never a panic, never a malformed graph.
+func FuzzReadEdgeList(f *testing.F) {
+	f.Add("0 1\n1 2\n2 0\n")
+	f.Add("# comment\n% also comment\n\n10 20 0.5 extra\n20 30\n")
+	f.Add("5 5\n0 1\n1 0\n0 1\n") // self-loop + duplicate + reversed duplicate
+	f.Add("0 1\r\n1 2\r\n")       // CRLF
+	f.Add("9223372036854775807 0\n-3 7\n")
+	f.Add("1\n")                      // too few fields
+	f.Add("a b\n")                    // non-numeric
+	f.Add("0 99999999999999999999\n") // overflows int64
+	f.Add(strings.Repeat("#", 4096) + "\n0 1\n")
+
+	f.Fuzz(func(t *testing.T, data string) {
+		g, labels, err := ReadEdgeList(strings.NewReader(data))
+		if err != nil {
+			return
+		}
+		if len(labels) != g.N() {
+			t.Fatalf("labels length %d vs %d nodes", len(labels), g.N())
+		}
+		seen := make(map[int64]bool, len(labels))
+		for _, l := range labels {
+			if seen[l] {
+				t.Fatalf("duplicate label %d", l)
+			}
+			seen[l] = true
+		}
+		for v := 0; v < g.N(); v++ {
+			for _, nb := range g.Neighbors(v) {
+				w := int(nb)
+				if w == v {
+					t.Fatalf("self-loop at node %d survived parsing", v)
+				}
+				if w < 0 || w >= g.N() {
+					t.Fatalf("edge (%d,%d) out of range n=%d", v, w, g.N())
+				}
+			}
+		}
+		// A parsed graph must round-trip: write, re-read, same edge set size.
+		// (Isolated nodes — labels seen only on dropped lines — are not
+		// written, so only M is preserved.)
+		var buf bytes.Buffer
+		if err := g.WriteEdgeList(&buf); err != nil {
+			t.Fatalf("writing parsed graph: %v", err)
+		}
+		g2, _, err := ReadEdgeList(&buf)
+		if err != nil {
+			t.Fatalf("re-reading written graph: %v", err)
+		}
+		if g2.M() != g.M() {
+			t.Fatalf("round trip changed edge count: %d vs %d", g2.M(), g.M())
+		}
+	})
+}

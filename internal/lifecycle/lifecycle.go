@@ -48,6 +48,36 @@ import (
 // ErrClosed is returned by mutations issued after Close.
 var ErrClosed = errors.New("lifecycle: manager closed")
 
+// ErrStale is returned by CheckpointState while the served index lags the
+// master graph (a rebuild is pending): checkpointing then would persist an
+// index inconsistent with its graph. Wait for the rebuild and retry.
+var ErrStale = errors.New("lifecycle: index is stale; rebuild pending")
+
+// Journal observes committed state for durability (internal/persist wires a
+// WAL + snapshot store through it). AppendMutation runs on the mutation
+// worker after each commit with the post-mutation sequence number;
+// Checkpoint runs after every rebuild swap with a state that exactly
+// reflects Seq. Neither touches the lock-free query path, but both run on
+// the serialized workers, so implementations should not dawdle (an appended
+// WAL record, one snapshot write). Errors are counted in
+// Stats.JournalFailures and otherwise ignored — durability trouble must not
+// take down serving.
+type Journal interface {
+	AppendMutation(seq uint64, add bool, u, v int) error
+	Checkpoint(cs CheckpointState) error
+}
+
+// CheckpointState is a consistent cut of a manager: Graph is the master
+// graph after exactly Seq mutations and Fast is the index reflecting that
+// same graph. Graph ownership transfers to the receiver (the manager hands
+// over a private clone); Fast is the usual immutable published index.
+type CheckpointState struct {
+	Seq   uint64
+	Gen   uint64
+	Graph *graph.Graph
+	Fast  *ecc.Fast
+}
+
 // Config configures a Manager. Sketch.Epsilon is required.
 type Config struct {
 	// Sketch configures APPROXER for the initial build, every full rebuild,
@@ -130,6 +160,10 @@ type Stats struct {
 	RebuildScheduled   bool
 	RebuildInProgress  bool
 	LastRebuildSeconds float64
+	// JournalFailures counts attached-journal calls (AppendMutation or
+	// Checkpoint) that returned an error. Serving continues regardless; a
+	// non-zero value means durability is degraded.
+	JournalFailures uint64
 	// GraphN/GraphM describe the master graph (including not-yet-rebuilt
 	// stale mutations); IndexN/IndexM the graph the served index reflects.
 	GraphN, GraphM int
@@ -170,6 +204,8 @@ type Manager struct {
 	rebuilds          uint64
 	rebuildFailures   uint64
 	lastRebuildDur    time.Duration
+	journal           Journal
+	journalFailures   uint64
 
 	trigger chan struct{}
 	ctx     context.Context
@@ -196,22 +232,88 @@ func New(ctx context.Context, g *graph.Graph, cfg Config) (*Manager, error) {
 	if err != nil {
 		return nil, fmt.Errorf("lifecycle: initial build: %w", err)
 	}
+	return start(g.Clone(), fast, 1, 0, cfg, fopt), nil
+}
+
+// Restored names the persisted position a manager resumes from.
+type Restored struct {
+	// Gen is the generation the restored index is published as; zero means 1.
+	Gen uint64
+	// Seq is the mutation sequence the restored state reflects. New
+	// mutations continue the numbering from here, so a WAL that was cut at
+	// Seq stays contiguous across the restart.
+	Seq uint64
+}
+
+// NewFromState starts a manager directly from previously built state — a
+// graph plus the FASTQUERY index reflecting it — skipping the cold build
+// entirely. internal/persist uses it for warm restarts from a snapshot; the
+// caller owns proving that fast was built from g with cfg's options (the
+// persist layer checks stored build params and graph fingerprints before
+// calling this). The manager clones g.
+func NewFromState(g *graph.Graph, fast *ecc.Fast, rs Restored, cfg Config) (*Manager, error) {
+	if !g.Connected() {
+		return nil, fmt.Errorf("lifecycle: index requires a connected graph: %w", graph.ErrDisconnected)
+	}
+	if fast == nil || fast.Sk == nil || fast.Sk.N != g.N() {
+		return nil, fmt.Errorf("lifecycle: restored index does not match graph (n=%d)", g.N())
+	}
+	cfg = cfg.withDefaults()
+	fopt := ecc.FastOptions{Sketch: cfg.Sketch, Hull: cfg.Hull}
+	gen := rs.Gen
+	if gen == 0 {
+		gen = 1
+	}
+	return start(g.Clone(), fast, gen, rs.Seq, cfg, fopt), nil
+}
+
+// start takes ownership of g, publishes the initial snapshot and launches
+// the workers. Common tail of New and NewFromState.
+func start(g *graph.Graph, fast *ecc.Fast, gen, seq uint64, cfg Config, fopt ecc.FastOptions) *Manager {
 	bctx, cancel := context.WithCancel(context.Background())
 	m := &Manager{
 		cfg:     cfg,
 		fopt:    fopt,
 		hopt:    ecc.HullOptionsFor(fopt),
 		queue:   make(chan mutation, cfg.QueueSize),
-		latest:  g.Clone(),
+		latest:  g,
+		mutSeq:  seq,
 		trigger: make(chan struct{}, 1),
 		ctx:     bctx,
 		cancel:  cancel,
 	}
-	m.cur.Store(&Snapshot{Gen: 1, Fast: fast, N: g.N(), M: g.M()})
+	m.cur.Store(&Snapshot{Gen: gen, Fast: fast, N: g.N(), M: g.M()})
 	m.wg.Add(2)
 	go m.mutationWorker()
 	go m.rebuildWorker()
-	return m, nil
+	return m
+}
+
+// AttachJournal registers j to observe committed mutations and rebuild
+// swaps from now on. Attach only after any WAL replay has drained
+// (WaitIdle), so replayed mutations are not logged twice. A nil j detaches.
+func (m *Manager) AttachJournal(j Journal) {
+	m.mu.Lock()
+	m.journal = j
+	m.mu.Unlock()
+}
+
+// CheckpointState returns a consistent cut for an on-demand checkpoint: a
+// clone of the master graph plus the served index, valid only while the two
+// agree (ErrStale otherwise — trigger or await the rebuild and retry).
+func (m *Manager) CheckpointState() (CheckpointState, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.stale {
+		return CheckpointState{}, ErrStale
+	}
+	snap := m.cur.Load()
+	return CheckpointState{
+		Seq:   m.mutSeq,
+		Gen:   snap.Gen,
+		Graph: m.latest.Clone(),
+		Fast:  snap.Fast,
+	}, nil
 }
 
 // Current returns the snapshot queries should use. Never nil.
@@ -301,6 +403,7 @@ func (m *Manager) Stats() Stats {
 		RebuildScheduled:   m.rebuildScheduled,
 		RebuildInProgress:  m.rebuildInProgress,
 		LastRebuildSeconds: m.lastRebuildDur.Seconds(),
+		JournalFailures:    m.journalFailures,
 		GraphN:             m.latest.N(),
 		GraphM:             m.latest.M(),
 		IndexN:             snap.N,
@@ -424,6 +527,14 @@ func (m *Manager) apply(mut mutation) (ApplyResult, error) {
 		return ApplyResult{}, fmt.Errorf("lifecycle: committing (%d,%d): %w", u, v, commitErr)
 	}
 	m.mutSeq++
+	if m.journal != nil {
+		// Log the committed mutation before publishing: once the caller sees
+		// the result, the record is on its way to disk. Failures only degrade
+		// durability (counted; recovery's gap check refuses a holed WAL).
+		if jerr := m.journal.AppendMutation(m.mutSeq, mut.add, u, v); jerr != nil {
+			m.journalFailures++
+		}
+	}
 	if !mut.add {
 		m.deletions++
 	}
@@ -535,7 +646,21 @@ func (m *Manager) rebuildWorker() {
 			m.deletions = 0
 			m.stale = false
 			m.rebuildScheduled = false
+			j := m.journal
 			m.mu.Unlock()
+			if j != nil {
+				// Checkpoint the freshly swapped index outside the lock:
+				// gclone is the exact graph fast was built from (the mutSeq
+				// race check above proved nothing moved), and after the swap
+				// nothing else references it, so the journal takes ownership.
+				// The snapshot write may fsync megabytes; queries and
+				// mutations must not wait on it.
+				if jerr := j.Checkpoint(CheckpointState{Seq: seq, Gen: next.Gen, Graph: gclone, Fast: fast}); jerr != nil {
+					m.mu.Lock()
+					m.journalFailures++
+					m.mu.Unlock()
+				}
+			}
 			break
 		}
 	}

@@ -60,10 +60,11 @@ func (e *endpointMetrics) observe(status int, d time.Duration) {
 type Registry struct {
 	namespace string
 
-	mu        sync.Mutex
-	endpoints map[string]*endpointMetrics
-	gauges    map[string]float64
-	gaugeFns  map[string]func() float64
+	mu         sync.Mutex
+	endpoints  map[string]*endpointMetrics
+	gauges     map[string]float64
+	gaugeFns   map[string]func() float64
+	counterFns map[string]func() float64
 
 	// rejected counts requests shed by the in-flight limiter.
 	rejected atomic.Uint64
@@ -75,10 +76,11 @@ type Registry struct {
 // "<namespace>_" (e.g. namespace "reccd" → reccd_requests_total).
 func NewRegistry(namespace string) *Registry {
 	return &Registry{
-		namespace: namespace,
-		endpoints: make(map[string]*endpointMetrics),
-		gauges:    make(map[string]float64),
-		gaugeFns:  make(map[string]func() float64),
+		namespace:  namespace,
+		endpoints:  make(map[string]*endpointMetrics),
+		gauges:     make(map[string]float64),
+		gaugeFns:   make(map[string]func() float64),
+		counterFns: make(map[string]func() float64),
 	}
 }
 
@@ -101,6 +103,20 @@ func (r *Registry) SetGaugeFunc(name string, fn func() float64) {
 		delete(r.gaugeFns, name)
 	} else {
 		r.gaugeFns[name] = fn
+	}
+	r.mu.Unlock()
+}
+
+// SetCounterFunc registers a live counter: like SetGaugeFunc, but the series
+// is exposed with TYPE counter. fn must report a monotonically non-decreasing
+// value (checkpoints completed, WAL records written); the producer owns the
+// monotonicity, the registry only samples. A nil fn unregisters the counter.
+func (r *Registry) SetCounterFunc(name string, fn func() float64) {
+	r.mu.Lock()
+	if fn == nil {
+		delete(r.counterFns, name)
+	} else {
+		r.counterFns[name] = fn
 	}
 	r.mu.Unlock()
 }
@@ -174,6 +190,15 @@ func (r *Registry) WriteMetrics(w io.Writer) {
 	for i, name := range gnames {
 		gvals[i] = r.gauges[name]
 	}
+	cnames := make([]string, 0, len(r.counterFns))
+	cfns := make([]func() float64, 0, len(r.counterFns))
+	for name := range r.counterFns {
+		cnames = append(cnames, name)
+	}
+	sort.Strings(cnames)
+	for _, name := range cnames {
+		cfns = append(cfns, r.counterFns[name])
+	}
 	r.mu.Unlock()
 
 	// Live gauges are sampled outside the lock (the fn may itself take locks)
@@ -221,6 +246,11 @@ func (r *Registry) WriteMetrics(w io.Writer) {
 	for i, name := range gnames {
 		fmt.Fprintf(w, "# TYPE %s_%s gauge\n", ns, name)
 		fmt.Fprintf(w, "%s_%s %g\n", ns, name, gvals[i])
+	}
+
+	for i, name := range cnames {
+		fmt.Fprintf(w, "# TYPE %s_%s counter\n", ns, name)
+		fmt.Fprintf(w, "%s_%s %g\n", ns, name, cfns[i]())
 	}
 }
 

@@ -256,3 +256,35 @@ func TestLimitInFlightWithCustomReject(t *testing.T) {
 		t.Fatalf("rejection not counted:\n%s", buf.String())
 	}
 }
+
+func TestCounterFunc(t *testing.T) {
+	reg := NewRegistry("t")
+	val := 2.0
+	reg.SetCounterFunc("checkpoints_total", func() float64 { return val })
+
+	var buf bytes.Buffer
+	reg.WriteMetrics(&buf)
+	out := buf.String()
+	if !strings.Contains(out, "# TYPE t_checkpoints_total counter") {
+		t.Fatalf("counter not typed as counter:\n%s", out)
+	}
+	if !strings.Contains(out, "t_checkpoints_total 2") {
+		t.Fatalf("counter value missing:\n%s", out)
+	}
+
+	// Re-sampled at every exposition.
+	val = 5
+	buf.Reset()
+	reg.WriteMetrics(&buf)
+	if !strings.Contains(buf.String(), "t_checkpoints_total 5") {
+		t.Fatalf("counter fn not re-evaluated:\n%s", buf.String())
+	}
+
+	// Unregister removes the series.
+	reg.SetCounterFunc("checkpoints_total", nil)
+	buf.Reset()
+	reg.WriteMetrics(&buf)
+	if strings.Contains(buf.String(), "checkpoints_total") {
+		t.Fatalf("counter still exposed after unregister:\n%s", buf.String())
+	}
+}

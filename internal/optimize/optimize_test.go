@@ -259,4 +259,3 @@ func TestResultApply(t *testing.T) {
 		t.Fatal("duplicate apply should fail")
 	}
 }
-

@@ -1,0 +1,70 @@
+package sketch
+
+import "fmt"
+
+// Meta mirrors the scalar state of a Sketch for serialization: everything a
+// snapshot must round-trip besides the embedding matrix itself. The zero
+// Drift/Updates of a freshly built sketch survive the round trip, so a
+// restored index reports the same staleness budget the saved one had.
+type Meta struct {
+	Dim     int
+	N       int
+	Epsilon float64
+	Drift   float64
+	Updates int
+	Stats   BuildStats
+}
+
+// Meta returns the serializable scalar state of the sketch.
+func (s *Sketch) Meta() Meta {
+	return Meta{
+		Dim:     s.Dim,
+		N:       s.N,
+		Epsilon: s.Epsilon,
+		Drift:   s.Drift,
+		Updates: s.Updates,
+		Stats:   s.Stats,
+	}
+}
+
+// AppendPoints appends the embedding matrix to dst in node-major order
+// (n rows of d float64s) and returns the extended slice. Together with Meta
+// this is the full sketch state; Restore inverts it bit-exactly.
+func (s *Sketch) AppendPoints(dst []float64) []float64 {
+	for _, p := range s.pts {
+		dst = append(dst, p...)
+	}
+	return dst
+}
+
+// Restore rebuilds a Sketch from serialized state. flat must hold exactly
+// n*d float64s in the node-major layout produced by AppendPoints; Restore
+// takes ownership of it (the returned sketch aliases flat). The result is
+// bit-identical to the sketch Meta/AppendPoints were called on, so sketched
+// resistances — and therefore eccentricity answers — match exactly.
+func Restore(meta Meta, flat []float64) (*Sketch, error) {
+	if meta.Dim <= 0 || meta.N < 0 {
+		return nil, fmt.Errorf("sketch: restore: invalid shape d=%d n=%d", meta.Dim, meta.N)
+	}
+	if len(flat) != meta.N*meta.Dim {
+		return nil, fmt.Errorf("sketch: restore: matrix has %d values, want n*d = %d",
+			len(flat), meta.N*meta.Dim)
+	}
+	if meta.Epsilon <= 0 || meta.Epsilon >= 1 {
+		return nil, fmt.Errorf("%w, got %g", ErrBadEpsilon, meta.Epsilon)
+	}
+	sk := &Sketch{
+		Dim:     meta.Dim,
+		N:       meta.N,
+		Epsilon: meta.Epsilon,
+		Drift:   meta.Drift,
+		Updates: meta.Updates,
+		Stats:   meta.Stats,
+	}
+	sk.pts = make([][]float64, meta.N)
+	d := meta.Dim
+	for v := 0; v < meta.N; v++ {
+		sk.pts[v] = flat[v*d : (v+1)*d]
+	}
+	return sk, nil
+}
