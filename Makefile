@@ -1,18 +1,23 @@
-# Developer / CI entry points. `make check` is the gate: vet plus the full
-# test suite under the race detector (the reccd server paths are
-# deliberately concurrent).
+# Developer / CI entry points. `make check` is the gate: vet, the recclint
+# static-analysis suite, and the full test suite under the race detector
+# (the reccd server paths are deliberately concurrent).
 
 GO ?= go
 
-.PHONY: check build vet test race bench
+.PHONY: check build vet lint test race bench
 
-check: vet race
+check: vet lint race
 
 build:
 	$(GO) build ./...
 
 vet:
 	$(GO) vet ./...
+
+# The repo-specific invariant checkers: lockguard, syncerr, floateq,
+# determinism (see internal/analysis and DESIGN.md §9).
+lint:
+	$(GO) run ./cmd/recclint ./...
 
 test:
 	$(GO) test ./...

@@ -142,16 +142,21 @@ func cmdGen(args []string) error {
 	if err != nil {
 		return err
 	}
-	w := os.Stdout
 	if *out != "" {
 		f, err := os.Create(*out)
 		if err != nil {
 			return err
 		}
-		defer f.Close()
-		w = f
-	}
-	if err := g.WriteEdgeList(w); err != nil {
+		if err := g.WriteEdgeList(f); err != nil {
+			f.Close()
+			return err
+		}
+		// Close is where delayed write-back errors surface; a deferred
+		// unchecked Close could report success for a torn file.
+		if err := f.Close(); err != nil {
+			return err
+		}
+	} else if err := g.WriteEdgeList(os.Stdout); err != nil {
 		return err
 	}
 	fmt.Fprintf(os.Stderr, "recc: wrote %d nodes, %d edges\n", g.N(), g.M())
@@ -303,7 +308,7 @@ func cmdDist(args []string) error {
 	}
 	if *bins > 0 {
 		lo, hi := sum.Radius, sum.Diameter
-		if hi == lo {
+		if hi <= lo { // degenerate distribution: avoid a zero bin width
 			hi = lo + 1
 		}
 		counts := make([]int, *bins)

@@ -1,0 +1,15 @@
+package main
+
+import (
+	"os"
+	"testing"
+
+	"resistecc/internal/testutil"
+)
+
+// TestMain fails the suite if any test leaks a goroutine: HTTP test servers
+// must be Closed, response bodies drained, and the lifecycle manager behind
+// each server shut down.
+func TestMain(m *testing.M) {
+	os.Exit(testutil.VerifyNoLeaksMain(m))
+}

@@ -142,8 +142,8 @@ type server struct {
 	checkpointWG   sync.WaitGroup
 
 	sumMu  sync.Mutex
-	sumGen uint64
-	sum    summaryResponse
+	sumGen uint64          // guarded by sumMu
+	sum    summaryResponse // guarded by sumMu
 }
 
 // summaryResponse is the cached /summary payload. Everything — including

@@ -1,0 +1,71 @@
+// Command recclint runs the repository's custom static-analysis suite (see
+// internal/analysis) over a set of package patterns:
+//
+//	go run ./cmd/recclint ./...
+//
+// It exits 0 when the tree is clean, 1 when any analyzer reports a finding,
+// and 2 on operational errors (unbuildable packages, bad flags). Findings
+// print one per line as file:line:col: [analyzer] message, so editors and CI
+// annotate them like compiler errors.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"resistecc/internal/analysis"
+	"resistecc/internal/analysis/framework"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("recclint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	list := fs.Bool("list", false, "list the registered analyzers and exit")
+	fs.Usage = func() {
+		fmt.Fprintf(stderr, "usage: recclint [-list] [packages]\n")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	analyzers := analysis.All()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Fprintf(stdout, "%-12s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	cwd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintf(stderr, "recclint: %v\n", err)
+		return 2
+	}
+	pkgs, err := framework.Load(cwd, patterns...)
+	if err != nil {
+		fmt.Fprintf(stderr, "recclint: %v\n", err)
+		return 2
+	}
+	findings, err := framework.RunAnalyzers(pkgs, analyzers)
+	if err != nil {
+		fmt.Fprintf(stderr, "recclint: %v\n", err)
+		return 2
+	}
+	for _, f := range findings {
+		fmt.Fprintln(stdout, f)
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(stderr, "recclint: %d finding(s) across %d package(s)\n", len(findings), len(pkgs))
+		return 1
+	}
+	return 0
+}

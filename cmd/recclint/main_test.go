@@ -1,0 +1,41 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestListFlag(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-list"}, &out, &errb); code != 0 {
+		t.Fatalf("run(-list) = %d, stderr: %s", code, errb.String())
+	}
+	for _, name := range []string{"determinism", "floateq", "lockguard", "syncerr"} {
+		if !strings.Contains(out.String(), name) {
+			t.Errorf("-list output is missing %q:\n%s", name, out.String())
+		}
+	}
+}
+
+func TestBadFlag(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-nonsense"}, &out, &errb); code != 2 {
+		t.Fatalf("run(-nonsense) = %d, want 2", code)
+	}
+}
+
+// TestCleanPackage runs the real loader and suite over one small clean
+// package; the full-module sweep lives in internal/analysis's meta-test.
+func TestCleanPackage(t *testing.T) {
+	if testing.Short() {
+		t.Skip("invokes go list")
+	}
+	var out, errb bytes.Buffer
+	if code := run([]string{"./../../internal/graph"}, &out, &errb); code != 0 {
+		t.Fatalf("run over internal/graph = %d\nstdout: %s\nstderr: %s", code, out.String(), errb.String())
+	}
+	if out.Len() != 0 {
+		t.Errorf("clean package produced findings:\n%s", out.String())
+	}
+}

@@ -1,0 +1,25 @@
+// Package analysis is the recclint registry: the repo-specific static
+// checks that machine-enforce invariants which otherwise live only in
+// comments — mutex guards on lifecycle state, fsync-before-ack durability in
+// the persist layer, bit-identity float comparisons, and deterministic
+// build/serialize paths. cmd/recclint runs the full suite; `make lint` and
+// the CI lint job gate every change on it.
+package analysis
+
+import (
+	"resistecc/internal/analysis/determinism"
+	"resistecc/internal/analysis/floateq"
+	"resistecc/internal/analysis/framework"
+	"resistecc/internal/analysis/lockguard"
+	"resistecc/internal/analysis/syncerr"
+)
+
+// All returns every registered analyzer, in stable order.
+func All() []*framework.Analyzer {
+	return []*framework.Analyzer{
+		determinism.Analyzer,
+		floateq.Analyzer,
+		lockguard.Analyzer,
+		syncerr.Analyzer,
+	}
+}

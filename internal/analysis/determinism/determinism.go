@@ -1,0 +1,96 @@
+// Package determinism polices the build/serialize paths whose outputs must
+// be reproducible: a rebuild must be bit-identical to a cold build with the
+// same seeds, and a snapshot encoding must be byte-identical for the same
+// state. Files opt in with a standalone
+//
+//	//recclint:deterministic
+//
+// comment (internal/sketch and the persist snapshot/WAL encoders carry it).
+// Inside a marked file the analyzer forbids the three stdlib trapdoors
+// through which nondeterminism sneaks into serialized output:
+//
+//   - wall-clock reads (time.Now / time.Since / time.Until);
+//   - the global math/rand source (rand.Intn and friends on the package);
+//     explicitly seeded generators via rand.New(rand.NewSource(seed)) stay
+//     legal — seeded randomness is how the sketch is *supposed* to work;
+//   - ranging over a map, whose iteration order reshuffles per run.
+//
+// Violations that are genuinely harmless must say why with a
+// //recclint:ignore determinism <reason> directive.
+package determinism
+
+import (
+	"go/ast"
+	"go/types"
+
+	"resistecc/internal/analysis/framework"
+)
+
+var Analyzer = &framework.Analyzer{
+	Name: "determinism",
+	Doc:  "forbid wall-clock, global math/rand and map iteration in //recclint:deterministic files",
+	Run:  run,
+}
+
+const directive = "//recclint:deterministic"
+
+// globalRandFuncs are the math/rand (and math/rand/v2) package-level
+// functions that draw from the shared, non-reproducible source.
+var globalRandFuncs = map[string]bool{
+	"Int": true, "Intn": true, "Int31": true, "Int31n": true,
+	"Int32": true, "Int32N": true, "Int64": true, "Int64N": true, "IntN": true,
+	"Int63": true, "Int63n": true, "Uint32": true, "Uint64": true,
+	"Uint": true, "UintN": true, "Uint32N": true, "Uint64N": true, "N": true,
+	"Float32": true, "Float64": true, "ExpFloat64": true, "NormFloat64": true,
+	"Perm": true, "Shuffle": true, "Seed": true, "Read": true,
+}
+
+var bannedTimeFuncs = map[string]bool{"Now": true, "Since": true, "Until": true}
+
+func run(pass *framework.Pass) error {
+	for _, f := range pass.Files {
+		if !framework.HasFileDirective(f, directive) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.SelectorExpr:
+				pkgPath, ok := packageQualifier(pass, x)
+				if !ok {
+					return true
+				}
+				switch {
+				case pkgPath == "time" && bannedTimeFuncs[x.Sel.Name]:
+					pass.Reportf(x.Pos(),
+						"time.%s in a deterministic path: wall-clock values must not feed serialized or rebuilt state", x.Sel.Name)
+				case (pkgPath == "math/rand" || pkgPath == "math/rand/v2") && globalRandFuncs[x.Sel.Name]:
+					pass.Reportf(x.Pos(),
+						"rand.%s uses the global math/rand source: deterministic paths must use rand.New(rand.NewSource(seed))", x.Sel.Name)
+				}
+			case *ast.RangeStmt:
+				if tv, ok := pass.TypesInfo.Types[x.X]; ok && tv.Type != nil {
+					if _, isMap := tv.Type.Underlying().(*types.Map); isMap {
+						pass.Reportf(x.For,
+							"map iteration in a deterministic path reorders per run: collect and sort the keys first")
+					}
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// packageQualifier resolves sel's X to an imported package path when the
+// selector is a package-qualified reference.
+func packageQualifier(pass *framework.Pass, sel *ast.SelectorExpr) (string, bool) {
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return "", false
+	}
+	pn, ok := pass.TypesInfo.Uses[id].(*types.PkgName)
+	if !ok {
+		return "", false
+	}
+	return pn.Imported().Path(), true
+}

@@ -1,0 +1,11 @@
+package determinism
+
+import (
+	"testing"
+
+	"resistecc/internal/analysis/framework"
+)
+
+func TestDeterminism(t *testing.T) {
+	framework.TestAnalyzer(t, Analyzer, framework.FixturePath("determinism"))
+}

@@ -1,0 +1,63 @@
+//recclint:deterministic — fixture: this file opts in to the determinism check.
+
+// Package fixture exercises determinism inside a marked file.
+package fixture
+
+import (
+	"math/rand"
+	"time"
+)
+
+func badNow() int64 {
+	return time.Now().UnixNano() // want "time.Now in a deterministic path"
+}
+
+func badSince(t0 time.Time) time.Duration {
+	return time.Since(t0) // want "time.Since in a deterministic path"
+}
+
+func badGlobalRand() int {
+	return rand.Intn(10) // want "rand.Intn uses the global math/rand source"
+}
+
+func badGlobalShuffle(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] }) // want "rand.Shuffle uses the global math/rand source"
+}
+
+// goodSeededRand is how the sketch actually draws randomness: an explicit
+// seed makes the stream reproducible, so it stays legal.
+func goodSeededRand(seed int64) int {
+	r := rand.New(rand.NewSource(seed))
+	return r.Intn(10)
+}
+
+// goodExplicitInstant: constructing a time from given components reads no
+// clock.
+func goodExplicitInstant(ns int64) time.Time {
+	return time.Unix(0, ns)
+}
+
+func badMapRange(m map[string]int) int {
+	s := 0
+	for _, v := range m { // want "map iteration in a deterministic path"
+		s += v
+	}
+	return s
+}
+
+func goodSliceRange(xs []int) int {
+	s := 0
+	for _, v := range xs {
+		s += v
+	}
+	return s
+}
+
+func suppressedMapRange(m map[string]bool) int {
+	n := 0
+	//recclint:ignore determinism cardinality only: the iteration order cannot reach the output
+	for range m {
+		n++
+	}
+	return n
+}

@@ -1,0 +1,22 @@
+package fixture
+
+import (
+	"math/rand"
+	"time"
+)
+
+// unmarkedClock shows the analyzer is strictly opt-in: this file carries no
+// //recclint:deterministic comment (the reference in this sentence is inside
+// a doc comment, not standalone, and deliberately does not count), so the
+// wall clock, the global rand source and map iteration all pass unflagged.
+func unmarkedClock() int64 {
+	return time.Now().UnixNano() + int64(rand.Intn(3))
+}
+
+func unmarkedMapRange(m map[int]int) int {
+	s := 0
+	for k := range m {
+		s += k
+	}
+	return s
+}

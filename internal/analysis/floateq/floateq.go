@@ -1,0 +1,70 @@
+// Package floateq forbids == and != between floating-point expressions, and
+// switch statements over floating-point values. The repository's durability
+// contract says a warm restore answers *bit-identically* to the index that
+// was checkpointed; tests and invariants that compare floats with == are
+// ambiguous about -0 vs 0 and NaN and rot silently when a computation is
+// reordered. Bit-identity comparisons must go through math.Float64bits (as
+// the snapshot encoder does) and tolerance comparisons through an explicit
+// epsilon.
+//
+// Comparisons where either operand is a compile-time constant are allowed:
+// `if opt.Theta == 0` is the idiomatic "option unset" sentinel check, not a
+// numeric comparison of two computed values. Everything else needs a
+// //recclint:ignore floateq <reason> justification.
+package floateq
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"resistecc/internal/analysis/framework"
+)
+
+var Analyzer = &framework.Analyzer{
+	Name: "floateq",
+	Doc:  "forbid ==/!= between computed floating-point values (use math.Float64bits or an epsilon)",
+	Run:  run,
+}
+
+func run(pass *framework.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.BinaryExpr:
+				if x.Op != token.EQL && x.Op != token.NEQ {
+					return true
+				}
+				if !isFloat(pass, x.X) && !isFloat(pass, x.Y) {
+					return true
+				}
+				if isConst(pass, x.X) || isConst(pass, x.Y) {
+					return true
+				}
+				pass.Reportf(x.OpPos,
+					"floating-point %s between computed values: compare math.Float64bits for bit identity or use an explicit epsilon", x.Op)
+			case *ast.SwitchStmt:
+				if x.Tag != nil && isFloat(pass, x.Tag) && !isConst(pass, x.Tag) {
+					pass.Reportf(x.Switch,
+						"switch on a floating-point value compares with ==: use explicit comparisons instead")
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func isFloat(pass *framework.Pass, e ast.Expr) bool {
+	tv, ok := pass.TypesInfo.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	b, ok := tv.Type.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+func isConst(pass *framework.Pass, e ast.Expr) bool {
+	tv, ok := pass.TypesInfo.Types[e]
+	return ok && tv.Value != nil
+}

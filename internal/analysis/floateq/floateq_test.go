@@ -1,0 +1,11 @@
+package floateq
+
+import (
+	"testing"
+
+	"resistecc/internal/analysis/framework"
+)
+
+func TestFloateq(t *testing.T) {
+	framework.TestAnalyzer(t, Analyzer, framework.FixturePath("floateq"))
+}

@@ -1,0 +1,64 @@
+// Package fixture exercises floateq: computed-value comparisons are flagged,
+// constant-sentinel checks and bit/epsilon comparisons are not.
+package fixture
+
+import "math"
+
+const tol = 1e-9
+
+func badEq(a, b float64) bool {
+	return a == b // want "floating-point == between computed values"
+}
+
+func badNeq(a, b float64) bool {
+	return a != b // want "floating-point != between computed values"
+}
+
+func badFloat32(a, b float32) bool {
+	return a == b // want "floating-point == between computed values"
+}
+
+// sentinel checks against a compile-time constant are the idiomatic
+// "option unset" shape and stay legal.
+func sentinel(theta float64) bool {
+	return theta == 0
+}
+
+func namedConstSentinel(x float64) bool {
+	return x != tol
+}
+
+// bits is the sanctioned bit-identity comparison: uint64 operands.
+func bits(a, b float64) bool {
+	return math.Float64bits(a) == math.Float64bits(b)
+}
+
+// epsilon is the sanctioned tolerance comparison.
+func epsilon(a, b float64) bool {
+	return math.Abs(a-b) < tol
+}
+
+func ints(a, b int) bool { return a == b }
+
+func badSwitch(x float64) int {
+	switch x { // want "switch on a floating-point value"
+	case 1:
+		return 1
+	default:
+		return 0
+	}
+}
+
+func goodSwitch(x float64) int {
+	switch {
+	case x < 0:
+		return -1
+	default:
+		return 1
+	}
+}
+
+func suppressed(a, b float64) bool {
+	//recclint:ignore floateq the operands are copies of one bit pattern; equality is exact by construction
+	return a == b
+}

@@ -1,0 +1,137 @@
+// Package framework is a minimal, dependency-free reimplementation of the
+// golang.org/x/tools/go/analysis surface that recclint's analyzers build on.
+// The repository is deliberately stdlib-only (see DESIGN.md), so instead of
+// importing x/tools we provide the same three concepts — Analyzer, Pass,
+// Diagnostic — plus a package loader driven by `go list -export` and a tiny
+// analysistest-style fixture harness. Analyzers written against this package
+// look exactly like ordinary go/analysis passes and could be ported to the
+// real framework by changing one import.
+package framework
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// An Analyzer describes one static check. Mirrors analysis.Analyzer.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in
+	// //recclint:ignore <name> suppression directives.
+	Name string
+	// Doc is the one-paragraph description shown by `recclint -list`.
+	Doc string
+	// Run applies the analyzer to one package.
+	Run func(*Pass) error
+}
+
+// A Pass presents one type-checked package to an Analyzer. Mirrors
+// analysis.Pass.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	// Report records one finding.
+	Report func(Diagnostic)
+}
+
+// Reportf is the printf-shaped Report helper every analyzer uses.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// A Diagnostic is one finding at a position.
+type Diagnostic struct {
+	Pos      token.Pos
+	Message  string
+	Analyzer string // filled by the runner
+}
+
+// Finding is a resolved diagnostic ready for printing or comparison.
+type Finding struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s: [%s] %s", f.Pos, f.Analyzer, f.Message)
+}
+
+// RunAnalyzers applies every analyzer to every package, resolves positions,
+// applies //recclint:ignore suppressions (see suppress.go) and returns the
+// surviving findings sorted by position. Malformed or unknown-analyzer
+// suppression directives are themselves reported, so a suppression without a
+// justification can never silence a finding.
+func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) ([]Finding, error) {
+	known := make(map[string]bool, len(analyzers))
+	for _, a := range analyzers {
+		known[a.Name] = true
+	}
+	var findings []Finding
+	for _, pkg := range pkgs {
+		supp, bad := collectSuppressions(pkg.Fset, pkg.Files, known)
+		for _, b := range bad {
+			findings = append(findings, Finding{Pos: pkg.Fset.Position(b.Pos), Analyzer: "suppression", Message: b.Message})
+		}
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer:  a,
+				Fset:      pkg.Fset,
+				Files:     pkg.Files,
+				Pkg:       pkg.Types,
+				TypesInfo: pkg.TypesInfo,
+			}
+			var diags []Diagnostic
+			pass.Report = func(d Diagnostic) {
+				d.Analyzer = a.Name
+				diags = append(diags, d)
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("%s: running %s: %w", pkg.PkgPath, a.Name, err)
+			}
+			for _, d := range diags {
+				pos := pkg.Fset.Position(d.Pos)
+				if supp.suppressed(a.Name, pos) {
+					continue
+				}
+				findings = append(findings, Finding{Pos: pos, Analyzer: a.Name, Message: d.Message})
+			}
+		}
+	}
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i], findings[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return findings, nil
+}
+
+// WalkStack walks every node of f in source order, invoking fn with the node
+// and the stack of its ancestors (outermost first, not including n itself).
+// Analyzers use it where plain ast.Inspect loses the parent context.
+func WalkStack(f *ast.File, fn func(n ast.Node, stack []ast.Node)) {
+	var stack []ast.Node
+	ast.Inspect(f, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		fn(n, stack)
+		stack = append(stack, n)
+		return true
+	})
+}

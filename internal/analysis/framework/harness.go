@@ -1,0 +1,111 @@
+package framework
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// The fixture harness mirrors x/tools' analysistest: a testdata package is
+// loaded and analyzed, and findings are matched against `// want "regexp"`
+// comments. Every finding must be expected by a want comment on its line and
+// every want comment must be matched by a finding — so fixtures pin both the
+// flagging and the non-flagging behavior of an analyzer.
+
+var wantRe = regexp.MustCompile(`// want "((?:[^"\\]|\\.)*)"`)
+
+// TestAnalyzer runs a over the fixture package in dir (relative to the
+// calling test's directory, conventionally "testdata/src/<name>").
+func TestAnalyzer(t *testing.T, a *Analyzer, dir string) {
+	t.Helper()
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	root, err := ModuleRoot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := LoadDir(root, abs)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", dir, err)
+	}
+	findings, err := RunAnalyzers([]*Package{pkg}, []*Analyzer{a})
+	if err != nil {
+		t.Fatalf("running %s: %v", a.Name, err)
+	}
+
+	type wantKey struct {
+		file string
+		line int
+	}
+	type want struct {
+		re      *regexp.Regexp
+		raw     string
+		matched bool
+	}
+	wants := make(map[wantKey][]*want)
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				for _, m := range wantRe.FindAllStringSubmatch(c.Text, -1) {
+					re, err := regexp.Compile(m[1])
+					if err != nil {
+						t.Fatalf("bad want pattern %q: %v", m[1], err)
+					}
+					pos := pkg.Fset.Position(c.Pos())
+					k := wantKey{pos.Filename, pos.Line}
+					wants[k] = append(wants[k], &want{re: re, raw: m[1]})
+				}
+			}
+		}
+	}
+
+	for _, f := range findings {
+		k := wantKey{f.Pos.Filename, f.Pos.Line}
+		matched := false
+		for _, w := range wants[k] {
+			if !w.matched && w.re.MatchString(f.Message) {
+				w.matched = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected finding: %s", f)
+		}
+	}
+	for k, ws := range wants {
+		for _, w := range ws {
+			if !w.matched {
+				t.Errorf("%s:%d: no finding matched want %q", k.file, k.line, w.raw)
+			}
+		}
+	}
+}
+
+// ModuleRoot walks up from the working directory to the enclosing go.mod.
+func ModuleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("no go.mod above %s", dir)
+		}
+		dir = parent
+	}
+}
+
+// FixturePath returns testdata/src/<name> for the conventional layout.
+func FixturePath(name string) string {
+	return filepath.Join("testdata", "src", strings.TrimSpace(name))
+}

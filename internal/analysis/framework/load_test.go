@@ -1,0 +1,68 @@
+package framework
+
+import (
+	"go/ast"
+	"path/filepath"
+	"testing"
+)
+
+// TestLoadDirFixture proves the export-data import path works end to end:
+// parse a testdata package, resolve its stdlib imports through `go list
+// -export`, and type-check it with full types.Info.
+func TestLoadDirFixture(t *testing.T) {
+	root, err := ModuleRoot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir, err := filepath.Abs(FixturePath("loadcheck"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := LoadDir(root, dir)
+	if err != nil {
+		t.Fatalf("LoadDir: %v", err)
+	}
+	if pkg.Types.Name() != "loadcheck" {
+		t.Fatalf("package name = %q, want loadcheck", pkg.Types.Name())
+	}
+	if len(pkg.TypesInfo.Defs) == 0 || len(pkg.TypesInfo.Selections) == 0 {
+		t.Fatalf("types.Info not populated: %d defs, %d selections",
+			len(pkg.TypesInfo.Defs), len(pkg.TypesInfo.Selections))
+	}
+	// The selection g.mu.Lock() must resolve to sync.Mutex's method.
+	found := false
+	for sel, s := range pkg.TypesInfo.Selections {
+		if sel.Sel.Name == "Lock" && s.Obj().Pkg() != nil && s.Obj().Pkg().Path() == "sync" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("sync.Mutex.Lock selection not resolved through export data")
+	}
+}
+
+// TestLoadModulePackages loads real in-module packages (with in-module
+// dependencies resolved from export data) the way cmd/recclint does.
+func TestLoadModulePackages(t *testing.T) {
+	root, err := ModuleRoot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := Load(root, "./internal/sketch", "./internal/persist")
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if len(pkgs) != 2 {
+		t.Fatalf("loaded %d packages, want 2", len(pkgs))
+	}
+	for _, p := range pkgs {
+		if len(p.Files) == 0 {
+			t.Errorf("%s: no files", p.PkgPath)
+		}
+		for _, f := range p.Files {
+			if f.Name == nil || !ast.IsExported(f.Name.Name) && f.Name.Name == "" {
+				t.Errorf("%s: file without package name", p.PkgPath)
+			}
+		}
+	}
+}

@@ -1,0 +1,103 @@
+package framework
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// Suppression directives
+//
+//	//recclint:ignore <analyzer> <reason>
+//
+// silence one analyzer on the directive's own line or the line directly
+// below it (so the directive can sit above the flagged statement or trail
+// it). The reason is mandatory: a suppression exists to record *why* the
+// invariant may be broken here, and the runner reports directives that omit
+// it or name an analyzer that does not exist.
+const ignorePrefix = "//recclint:ignore"
+
+type suppression struct {
+	analyzer string
+	file     string
+	line     int
+}
+
+type suppressions struct {
+	byKey map[suppression]bool
+}
+
+func (s suppressions) suppressed(analyzer string, pos token.Position) bool {
+	if s.byKey[suppression{analyzer, pos.Filename, pos.Line}] {
+		return true
+	}
+	// Directive on the line above the finding.
+	return s.byKey[suppression{analyzer, pos.Filename, pos.Line - 1}]
+}
+
+// collectSuppressions scans every comment for ignore directives. Malformed
+// directives come back as diagnostics under the "suppression" pseudo-analyzer.
+func collectSuppressions(fset *token.FileSet, files []*ast.File, known map[string]bool) (suppressions, []Diagnostic) {
+	s := suppressions{byKey: make(map[suppression]bool)}
+	var bad []Diagnostic
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, ignorePrefix) {
+					continue
+				}
+				rest := strings.TrimPrefix(c.Text, ignorePrefix)
+				fields := strings.Fields(rest)
+				switch {
+				case len(fields) == 0:
+					bad = append(bad, Diagnostic{Pos: c.Pos(),
+						Message: "recclint:ignore needs an analyzer name and a reason"})
+				case len(fields) == 1:
+					bad = append(bad, Diagnostic{Pos: c.Pos(),
+						Message: "recclint:ignore " + fields[0] + " needs a reason: the directive must justify the exemption"})
+				case !known[fields[0]]:
+					bad = append(bad, Diagnostic{Pos: c.Pos(),
+						Message: "recclint:ignore names unknown analyzer " + fields[0]})
+				default:
+					pos := fset.Position(c.Pos())
+					s.byKey[suppression{fields[0], pos.Filename, pos.Line}] = true
+				}
+			}
+		}
+	}
+	return s, bad
+}
+
+// HasFileDirective reports whether any comment in f is exactly the given
+// standalone directive (e.g. "//recclint:deterministic"). Used for file-scope
+// opt-ins.
+func HasFileDirective(f *ast.File, directive string) bool {
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			if text := strings.TrimSpace(c.Text); text == directive ||
+				strings.HasPrefix(text, directive+" ") {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// FuncDirectiveArg scans a function's doc comment for a directive of the form
+// "//<directive> <arg> ..." and returns the first argument. Empty when absent.
+func FuncDirectiveArg(doc *ast.CommentGroup, directive string) string {
+	if doc == nil {
+		return ""
+	}
+	for _, c := range doc.List {
+		text := strings.TrimSpace(c.Text)
+		if !strings.HasPrefix(text, directive) {
+			continue
+		}
+		fields := strings.Fields(strings.TrimPrefix(text, directive))
+		if len(fields) > 0 {
+			return fields[0]
+		}
+	}
+	return ""
+}

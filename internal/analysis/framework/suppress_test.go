@@ -1,0 +1,110 @@
+package framework
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+func parseSrc(t *testing.T, src string) (*token.FileSet, *ast.File) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "p.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fset, f
+}
+
+func TestCollectSuppressions(t *testing.T) {
+	src := `package p
+
+func f() {
+	//recclint:ignore known the reason lives here
+	_ = 1
+	_ = 2
+}
+`
+	fset, f := parseSrc(t, src)
+	s, bad := collectSuppressions(fset, []*ast.File{f}, map[string]bool{"known": true})
+	if len(bad) != 0 {
+		t.Fatalf("unexpected bad directives: %v", bad)
+	}
+	pos := func(line int) token.Position { return token.Position{Filename: "p.go", Line: line} }
+	if !s.suppressed("known", pos(4)) {
+		t.Error("directive should suppress its own line")
+	}
+	if !s.suppressed("known", pos(5)) {
+		t.Error("directive should suppress the line below")
+	}
+	if s.suppressed("known", pos(6)) {
+		t.Error("directive must not reach two lines down")
+	}
+	if s.suppressed("other", pos(5)) {
+		t.Error("directive must only suppress the named analyzer")
+	}
+}
+
+func TestCollectSuppressionsMalformed(t *testing.T) {
+	src := `package p
+
+//recclint:ignore
+var a = 1
+
+//recclint:ignore known
+var b = 2
+
+//recclint:ignore nosuch because reasons
+var c = 3
+`
+	fset, f := parseSrc(t, src)
+	s, bad := collectSuppressions(fset, []*ast.File{f}, map[string]bool{"known": true})
+	if len(s.byKey) != 0 {
+		t.Errorf("malformed directives must not suppress anything, got %v", s.byKey)
+	}
+	if len(bad) != 3 {
+		t.Fatalf("want 3 diagnostics, got %d: %v", len(bad), bad)
+	}
+	for _, want := range []string{
+		"needs an analyzer name and a reason",
+		"needs a reason",
+		"unknown analyzer nosuch",
+	} {
+		found := false
+		for _, d := range bad {
+			if strings.Contains(d.Message, want) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("no diagnostic mentions %q in %v", want, bad)
+		}
+	}
+}
+
+func TestHasFileDirective(t *testing.T) {
+	src := `//recclint:deterministic — encoders must be byte-stable.
+
+package p
+`
+	_, f := parseSrc(t, src)
+	if !HasFileDirective(f, "//recclint:deterministic") {
+		t.Error("directive with trailing prose should match")
+	}
+	if HasFileDirective(f, "//recclint:other") {
+		t.Error("unrelated directive must not match")
+	}
+
+	src2 := `package p
+
+// The //recclint:deterministic directive is only mentioned in prose here.
+var x = 1
+`
+	_, f2 := parseSrc(t, src2)
+	if HasFileDirective(f2, "//recclint:deterministic") {
+		t.Error("a prose mention inside a longer comment must not count as the directive")
+	}
+}

@@ -1,0 +1,31 @@
+// Package loadcheck is a loader smoke-test fixture: it imports the stdlib
+// packages recclint fixtures lean on, so a regression in export-data
+// resolution fails here with a clear message rather than inside an analyzer
+// suite.
+package loadcheck
+
+import (
+	"os"
+	"sync"
+	"time"
+)
+
+type guarded struct {
+	mu sync.Mutex
+	n  int
+}
+
+func (g *guarded) bump() time.Time {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.n++
+	return time.Now()
+}
+
+func open(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	return f.Close()
+}

@@ -1,0 +1,229 @@
+// Package lockguard enforces the repository's mutex annotations: a struct
+// field whose comment says "guarded by <mu>" may only be read or written in
+// functions that demonstrably hold that mutex.
+//
+// A function counts as holding <mu> for an access base.field when any of:
+//
+//   - its body contains base.<mu>.Lock() or base.<mu>.RLock() on the same
+//     base object chain (the common m.mu.Lock(); defer m.mu.Unlock() shape;
+//     the check is function-scoped, not flow-sensitive — the race detector
+//     and code review own the ordering, lockguard owns "did you even try");
+//   - its name ends in "Locked", the repository's convention for helpers
+//     whose callers hold the lock;
+//   - its doc comment carries a //recclint:holds <mu> directive, for
+//     constructors that own the only reference and for callers-hold helpers
+//     whose names predate the Locked convention.
+//
+// This is the machine-checked form of the invariant the lifecycle manager,
+// the observability registry and the persist store rely on: every comment of
+// the form "guarded by mu" used to be prose, now it is load-bearing.
+package lockguard
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"regexp"
+	"strings"
+
+	"resistecc/internal/analysis/framework"
+)
+
+var Analyzer = &framework.Analyzer{
+	Name: "lockguard",
+	Doc:  "check that fields annotated 'guarded by <mu>' are only accessed with the mutex held",
+	Run:  run,
+}
+
+var guardedRe = regexp.MustCompile(`guarded by ([A-Za-z_]\w*)`)
+
+// guardedField records one annotated struct field.
+type guardedField struct {
+	structName string
+	fieldName  string
+	mu         string
+}
+
+const holdsDirective = "//recclint:holds"
+
+func run(pass *framework.Pass) error {
+	guarded := collectGuarded(pass)
+	if len(guarded) == 0 {
+		return nil
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkFunc(pass, fd, guarded)
+		}
+	}
+	return nil
+}
+
+// collectGuarded finds every "guarded by <mu>" field annotation and verifies
+// the named mutex is a sibling field.
+func collectGuarded(pass *framework.Pass) map[types.Object]guardedField {
+	guarded := make(map[types.Object]guardedField)
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			ts, ok := n.(*ast.TypeSpec)
+			if !ok {
+				return true
+			}
+			st, ok := ts.Type.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			fieldNames := make(map[string]bool)
+			for _, field := range st.Fields.List {
+				for _, name := range field.Names {
+					fieldNames[name.Name] = true
+				}
+			}
+			for _, field := range st.Fields.List {
+				mu := annotationMutex(field)
+				if mu == "" {
+					continue
+				}
+				if !fieldNames[mu] {
+					pass.Reportf(field.Pos(),
+						"guarded-by annotation names %q, which is not a field of %s", mu, ts.Name.Name)
+					continue
+				}
+				for _, name := range field.Names {
+					if obj := pass.TypesInfo.Defs[name]; obj != nil {
+						guarded[obj] = guardedField{structName: ts.Name.Name, fieldName: name.Name, mu: mu}
+					}
+				}
+			}
+			return true
+		})
+	}
+	return guarded
+}
+
+// annotationMutex extracts the mutex name from a field's trailing or doc
+// comment, if annotated.
+func annotationMutex(field *ast.Field) string {
+	for _, cg := range []*ast.CommentGroup{field.Comment, field.Doc} {
+		if cg == nil {
+			continue
+		}
+		if m := guardedRe.FindStringSubmatch(cg.Text()); m != nil {
+			return m[1]
+		}
+	}
+	return ""
+}
+
+// lockSite is one <base>.<mu>.Lock()/RLock() call found in a function body.
+type lockSite struct {
+	mu   string
+	root types.Object
+	path string // rendered field path of the base, "" for a bare root
+	ok   bool   // base chain resolved
+}
+
+func checkFunc(pass *framework.Pass, fd *ast.FuncDecl, guarded map[types.Object]guardedField) {
+	holdsAll := strings.HasSuffix(fd.Name.Name, "Locked")
+	holds := docHolds(fd.Doc)
+
+	var locks []lockSite
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || (sel.Sel.Name != "Lock" && sel.Sel.Name != "RLock") {
+			return true
+		}
+		switch x := sel.X.(type) {
+		case *ast.SelectorExpr: // base.mu.Lock()
+			root, path, resolved := chain(pass.TypesInfo, x.X)
+			locks = append(locks, lockSite{mu: x.Sel.Name, root: root, path: path, ok: resolved})
+		case *ast.Ident: // mu.Lock() on a local or package-level mutex
+			locks = append(locks, lockSite{mu: x.Name, root: pass.TypesInfo.Uses[x], ok: true})
+		}
+		return true
+	})
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		s := pass.TypesInfo.Selections[sel]
+		if s == nil || s.Kind() != types.FieldVal {
+			return true
+		}
+		g, isGuarded := guarded[s.Obj()]
+		if !isGuarded || holdsAll || holds[g.mu] {
+			return true
+		}
+		root, path, resolved := chain(pass.TypesInfo, sel.X)
+		for _, l := range locks {
+			if l.mu != g.mu {
+				continue
+			}
+			// Unresolvable chains on either side are treated as matching:
+			// lockguard must never cry wolf on exotic bases, only on the
+			// plain field accesses that make up the real code.
+			if !resolved || !l.ok || (l.root == root && l.path == path) {
+				return true
+			}
+		}
+		pass.Reportf(sel.Sel.Pos(),
+			"%s.%s is guarded by %s but the access does not hold it (lock %s, rename with a Locked suffix, or annotate %s)",
+			g.structName, g.fieldName, g.mu, g.mu, holdsDirective+" "+g.mu)
+		return true
+	})
+}
+
+// docHolds collects every //recclint:holds <mu> directive in a doc comment.
+func docHolds(doc *ast.CommentGroup) map[string]bool {
+	holds := make(map[string]bool)
+	if doc == nil {
+		return holds
+	}
+	for _, c := range doc.List {
+		text := strings.TrimSpace(c.Text)
+		if !strings.HasPrefix(text, holdsDirective) {
+			continue
+		}
+		fields := strings.Fields(strings.TrimPrefix(text, holdsDirective))
+		if len(fields) > 0 {
+			holds[fields[0]] = true
+		}
+	}
+	return holds
+}
+
+// chain resolves an expression to (root object, dotted field path). It
+// unwraps parens, derefs and address-ofs; anything else (calls, indexing) is
+// unresolvable and reported as ok=false.
+func chain(info *types.Info, e ast.Expr) (types.Object, string, bool) {
+	switch x := e.(type) {
+	case *ast.Ident:
+		return info.Uses[x], "", true
+	case *ast.SelectorExpr:
+		root, path, ok := chain(info, x.X)
+		if !ok {
+			return nil, "", false
+		}
+		if path == "" {
+			return root, x.Sel.Name, true
+		}
+		return root, fmt.Sprintf("%s.%s", path, x.Sel.Name), true
+	case *ast.ParenExpr:
+		return chain(info, x.X)
+	case *ast.StarExpr:
+		return chain(info, x.X)
+	case *ast.UnaryExpr:
+		return chain(info, x.X)
+	}
+	return nil, "", false
+}

@@ -1,0 +1,11 @@
+package lockguard
+
+import (
+	"testing"
+
+	"resistecc/internal/analysis/framework"
+)
+
+func TestLockguard(t *testing.T) {
+	framework.TestAnalyzer(t, Analyzer, framework.FixturePath("lockguard"))
+}

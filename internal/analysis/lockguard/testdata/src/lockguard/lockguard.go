@@ -1,0 +1,64 @@
+// Package fixture exercises lockguard: annotated fields, the three ways a
+// function may hold the lock, and the diagnostics for unheld access and for
+// annotations naming a mutex that does not exist.
+package fixture
+
+import "sync"
+
+type counter struct {
+	mu sync.RWMutex
+	n  int            // guarded by mu
+	m  map[string]int // guarded by mu
+}
+
+// locked takes the mutex before touching n: no finding.
+func (c *counter) locked() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.n
+}
+
+// rlocked: a read lock also counts as holding.
+func (c *counter) rlocked() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.n + len(c.m)
+}
+
+// unlocked reads n with no lock anywhere in the body.
+func (c *counter) unlocked() int {
+	return c.n // want "counter.n is guarded by mu but the access does not hold it"
+}
+
+// bumpLocked relies on the Locked naming convention: callers hold mu.
+func (c *counter) bumpLocked() {
+	c.n++
+}
+
+// fresh owns the only reference, so no lock is needed yet.
+//
+//recclint:holds mu — the counter is not shared until fresh returns.
+func fresh() *counter {
+	c := &counter{m: make(map[string]int)}
+	c.n = 1
+	return c
+}
+
+// wrongInstance locks a's mutex but reads b's field: the base chains differ.
+func wrongInstance(a, b *counter) int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return b.n // want "counter.n is guarded by mu but the access does not hold it"
+}
+
+// suppressed records why this unlocked read is safe.
+func (c *counter) suppressed() int {
+	//recclint:ignore lockguard single-goroutine test helper constructed and read on the same stack
+	return c.n
+}
+
+type mislabeled struct {
+	n int // guarded by lock // want "annotation names \"lock\", which is not a field of mislabeled"
+}
+
+func (m *mislabeled) get() int { return m.n }

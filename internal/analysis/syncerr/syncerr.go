@@ -1,0 +1,283 @@
+// Package syncerr guards the durability contract of the persist layer: an
+// acknowledged write is only durable if every fsync/rename/close error on the
+// write path was observed. A discarded (*os.File).Sync or os.Rename error is
+// a silent durability hole — the WAL append or snapshot checkpoint reports
+// success while the bytes may never reach the platter — so those are flagged
+// unconditionally. (*os.File).Close is flagged when the handle was opened
+// writable (os.Create, os.CreateTemp, os.OpenFile with a write flag, or an
+// origin the analyzer cannot see), because close is where delayed write-back
+// errors surface; two shapes are exempt:
+//
+//   - cleanup on a failure path — a Close inside an `if err != nil` block
+//     whose operation already failed cannot lose acknowledged data;
+//   - handles opened read-only in the same function via os.Open, where the
+//     conventional `defer f.Close()` is harmless.
+//
+// Anything else needs a //recclint:ignore syncerr <reason> justification.
+package syncerr
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+
+	"resistecc/internal/analysis/framework"
+)
+
+var Analyzer = &framework.Analyzer{
+	Name: "syncerr",
+	Doc:  "check that Sync/Rename/write-path-Close errors are never discarded (crash durability)",
+	Run:  run,
+}
+
+type openMode int
+
+const (
+	modeUnknown openMode = iota // not opened here: treated as writable
+	modeRead
+	modeWrite
+)
+
+func run(pass *framework.Pass) error {
+	osPkg := importedPackage(pass.Pkg, "os")
+	if osPkg == nil {
+		return nil // no os usage, nothing to check
+	}
+	writeFlags := osFlagMask(osPkg)
+	for _, f := range pass.Files {
+		modes := collectOpenModes(pass, f, writeFlags)
+		framework.WalkStack(f, func(n ast.Node, stack []ast.Node) {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return
+			}
+			kind, recv := classify(pass, call)
+			if kind == "" {
+				return
+			}
+			if !discarded(call, stack) {
+				return
+			}
+			switch kind {
+			case "Sync":
+				pass.Reportf(call.Pos(),
+					"error from (*os.File).Sync is discarded: an unchecked fsync is a silent durability hole")
+			case "Rename":
+				pass.Reportf(call.Pos(),
+					"error from os.Rename is discarded: the atomic-replace step of a checkpoint must be checked")
+			case "Close":
+				if onFailurePath(pass, stack) {
+					return
+				}
+				if recv != nil && modes[recv] == modeRead {
+					return
+				}
+				pass.Reportf(call.Pos(),
+					"error from (*os.File).Close is discarded on a write path: delayed write-back errors surface at close")
+			}
+		})
+	}
+	return nil
+}
+
+// classify identifies the durability-relevant call: "Sync"/"Close" on an
+// *os.File receiver (recv is the root object of the receiver chain, nil if
+// unresolvable) or a plain "Rename" for os.Rename.
+func classify(pass *framework.Pass, call *ast.CallExpr) (kind string, recv types.Object) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", nil
+	}
+	if s := pass.TypesInfo.Selections[sel]; s != nil && s.Kind() == types.MethodVal {
+		if (sel.Sel.Name == "Sync" || sel.Sel.Name == "Close") && isOSFile(s.Recv()) {
+			if id, ok := rootIdent(sel.X); ok {
+				recv = pass.TypesInfo.Uses[id]
+			}
+			return sel.Sel.Name, recv
+		}
+		return "", nil
+	}
+	if x, ok := sel.X.(*ast.Ident); ok && sel.Sel.Name == "Rename" {
+		if pn, ok := pass.TypesInfo.Uses[x].(*types.PkgName); ok && pn.Imported().Path() == "os" {
+			return "Rename", nil
+		}
+	}
+	return "", nil
+}
+
+func isOSFile(t types.Type) bool {
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "File" && obj.Pkg() != nil && obj.Pkg().Path() == "os"
+}
+
+// discarded reports whether the call's error result is thrown away: an
+// expression statement, a defer/go statement, or an assignment to blank.
+func discarded(call *ast.CallExpr, stack []ast.Node) bool {
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch p := stack[i].(type) {
+		case *ast.ParenExpr:
+			continue
+		case *ast.ExprStmt, *ast.DeferStmt, *ast.GoStmt:
+			return true
+		case *ast.AssignStmt:
+			for j, rhs := range p.Rhs {
+				if rhs == ast.Expr(call) && j < len(p.Lhs) {
+					if id, ok := p.Lhs[j].(*ast.Ident); ok && id.Name == "_" {
+						return true
+					}
+				}
+			}
+			return false
+		default:
+			return false
+		}
+	}
+	return false
+}
+
+// onFailurePath reports whether the node sits in the body of an
+// `if <err> != nil` block — cleanup after an operation that already failed.
+func onFailurePath(pass *framework.Pass, stack []ast.Node) bool {
+	for i := 0; i < len(stack)-1; i++ {
+		ifStmt, ok := stack[i].(*ast.IfStmt)
+		if !ok || stack[i+1] != ast.Node(ifStmt.Body) {
+			continue
+		}
+		cond, ok := ifStmt.Cond.(*ast.BinaryExpr)
+		if !ok || cond.Op != token.NEQ {
+			continue
+		}
+		for _, side := range []ast.Expr{cond.X, cond.Y} {
+			if t, ok := pass.TypesInfo.Types[side]; ok && t.Type != nil {
+				if named, ok := t.Type.(*types.Named); ok && named.Obj().Name() == "error" {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+// collectOpenModes maps local *os.File variables to how they were opened in
+// this file: os.Open is read-only; os.Create/os.CreateTemp are writable;
+// os.OpenFile follows its flag argument when it is constant.
+func collectOpenModes(pass *framework.Pass, f *ast.File, writeFlags int64) map[types.Object]openMode {
+	modes := make(map[types.Object]openMode)
+	ast.Inspect(f, func(n ast.Node) bool {
+		assign, ok := n.(*ast.AssignStmt)
+		if !ok || len(assign.Rhs) != 1 || len(assign.Lhs) == 0 {
+			return true
+		}
+		call, ok := assign.Rhs[0].(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		x, ok := sel.X.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		if pn, ok := pass.TypesInfo.Uses[x].(*types.PkgName); !ok || pn.Imported().Path() != "os" {
+			return true
+		}
+		var mode openMode
+		switch sel.Sel.Name {
+		case "Open":
+			mode = modeRead
+		case "Create", "CreateTemp":
+			mode = modeWrite
+		case "OpenFile":
+			mode = modeWrite
+			if len(call.Args) >= 2 {
+				if tv, ok := pass.TypesInfo.Types[call.Args[1]]; ok && tv.Value != nil {
+					if v, exact := constant.Int64Val(tv.Value); exact && v&writeFlags == 0 {
+						mode = modeRead
+					}
+				}
+			}
+		default:
+			return true
+		}
+		if id, ok := assign.Lhs[0].(*ast.Ident); ok {
+			var obj types.Object
+			if assign.Tok == token.DEFINE {
+				obj = pass.TypesInfo.Defs[id]
+			} else {
+				obj = pass.TypesInfo.Uses[id]
+			}
+			if obj != nil {
+				modes[obj] = mode
+			}
+		}
+		return true
+	})
+	return modes
+}
+
+// osFlagMask reads O_WRONLY|O_RDWR|O_APPEND|O_CREATE|O_TRUNC from the
+// type-checked os package, so the mask matches the target platform.
+func osFlagMask(osPkg *types.Package) int64 {
+	var mask int64
+	for _, name := range []string{"O_WRONLY", "O_RDWR", "O_APPEND", "O_CREATE", "O_TRUNC"} {
+		if c, ok := osPkg.Scope().Lookup(name).(*types.Const); ok {
+			if v, exact := constant.Int64Val(c.Val()); exact {
+				mask |= v
+			}
+		}
+	}
+	return mask
+}
+
+// importedPackage finds a direct or transitive import by path.
+func importedPackage(pkg *types.Package, path string) *types.Package {
+	if pkg.Path() == path {
+		return pkg
+	}
+	seen := make(map[*types.Package]bool)
+	var find func(p *types.Package) *types.Package
+	find = func(p *types.Package) *types.Package {
+		if seen[p] {
+			return nil
+		}
+		seen[p] = true
+		for _, imp := range p.Imports() {
+			if imp.Path() == path {
+				return imp
+			}
+			if found := find(imp); found != nil {
+				return found
+			}
+		}
+		return nil
+	}
+	return find(pkg)
+}
+
+// rootIdent unwraps an expression to its root identifier.
+func rootIdent(e ast.Expr) (*ast.Ident, bool) {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			return x, true
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.SelectorExpr:
+			return nil, false // field receiver: origin unknown
+		default:
+			return nil, false
+		}
+	}
+}

@@ -1,0 +1,11 @@
+package syncerr
+
+import (
+	"testing"
+
+	"resistecc/internal/analysis/framework"
+)
+
+func TestSyncerr(t *testing.T) {
+	framework.TestAnalyzer(t, Analyzer, framework.FixturePath("syncerr"))
+}

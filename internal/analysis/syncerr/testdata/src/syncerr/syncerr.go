@@ -1,0 +1,100 @@
+// Package fixture exercises syncerr: discarded Sync/Rename/Close errors in
+// every discard shape, the read-only and failure-path exemptions, and the
+// OpenFile flag analysis.
+package fixture
+
+import (
+	"fmt"
+	"os"
+)
+
+func badSync(f *os.File) {
+	f.Sync()       // want "Sync is discarded"
+	_ = f.Sync()   // want "Sync is discarded"
+	defer f.Sync() // want "Sync is discarded"
+	go func() { _ = f }()
+}
+
+func goodSync(f *os.File) error {
+	if err := f.Sync(); err != nil {
+		return err
+	}
+	err := f.Sync()
+	return err
+}
+
+func badRename(a, b string) {
+	os.Rename(a, b) // want "Rename is discarded"
+}
+
+func goodRename(a, b string) error {
+	if err := os.Rename(a, b); err != nil {
+		return fmt.Errorf("rename: %w", err)
+	}
+	return os.Rename(b, a)
+}
+
+func badCreateDeferClose(p string) error {
+	f, err := os.Create(p)
+	if err != nil {
+		return err
+	}
+	defer f.Close() // want "Close is discarded on a write path"
+	_, err = fmt.Fprintln(f, "x")
+	return err
+}
+
+func goodCreateClose(p string) error {
+	f, err := os.Create(p)
+	if err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintln(f, "x"); err != nil {
+		f.Close() // cleanup after a failed write: exempt
+		return err
+	}
+	return f.Close()
+}
+
+func goodReadOnlyClose(p string) error {
+	f, err := os.Open(p)
+	if err != nil {
+		return err
+	}
+	defer f.Close() // read-only handle: exempt
+	var b [8]byte
+	_, err = f.Read(b[:])
+	return err
+}
+
+func badOpenFileWrite(p string) error {
+	f, err := os.OpenFile(p, os.O_WRONLY|os.O_CREATE, 0o644)
+	if err != nil {
+		return err
+	}
+	defer f.Close() // want "Close is discarded on a write path"
+	_, err = f.WriteString("x")
+	return err
+}
+
+func goodOpenFileRead(p string) error {
+	f, err := os.OpenFile(p, os.O_RDONLY, 0)
+	if err != nil {
+		return err
+	}
+	defer f.Close() // read flags only: exempt
+	var b [4]byte
+	_, err = f.Read(b[:])
+	return err
+}
+
+// badUnknownOrigin: a handle whose origin the analyzer cannot see is treated
+// as writable.
+func badUnknownOrigin(f *os.File) {
+	f.Close() // want "Close is discarded on a write path"
+}
+
+func suppressedClose(f *os.File) {
+	//recclint:ignore syncerr scratch file for a test; its contents are never read back
+	f.Close()
+}

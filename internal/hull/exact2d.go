@@ -23,8 +23,11 @@ func Exact2D(pts [][]float64) []int {
 	}
 	sort.Slice(idx, func(a, b int) bool {
 		pa, pb := pts[idx[a]], pts[idx[b]]
-		if pa[0] != pb[0] {
-			return pa[0] < pb[0]
+		if pa[0] < pb[0] {
+			return true
+		}
+		if pb[0] < pa[0] {
+			return false
 		}
 		return pa[1] < pb[1]
 	})

@@ -194,18 +194,18 @@ type Manager struct {
 	pending atomic.Int64 // enqueued but unanswered mutations
 
 	mu                sync.Mutex
-	latest            *graph.Graph // master graph; mutation worker + rebuild clone
-	mutSeq            uint64       // bumps on every applied mutation
-	rebuildEpoch      uint64       // bumps every time a rebuild swaps a snapshot in
-	deletions         int
-	stale             bool
-	rebuildScheduled  bool
-	rebuildInProgress bool
-	rebuilds          uint64
-	rebuildFailures   uint64
-	lastRebuildDur    time.Duration
-	journal           Journal
-	journalFailures   uint64
+	latest            *graph.Graph  // guarded by mu; master graph: mutation worker + rebuild clone
+	mutSeq            uint64        // guarded by mu; bumps on every applied mutation
+	rebuildEpoch      uint64        // guarded by mu; bumps every time a rebuild swaps a snapshot in
+	deletions         int           // guarded by mu
+	stale             bool          // guarded by mu
+	rebuildScheduled  bool          // guarded by mu
+	rebuildInProgress bool          // guarded by mu
+	rebuilds          uint64        // guarded by mu
+	rebuildFailures   uint64        // guarded by mu
+	lastRebuildDur    time.Duration // guarded by mu
+	journal           Journal       // guarded by mu
+	journalFailures   uint64        // guarded by mu
 
 	trigger chan struct{}
 	ctx     context.Context

@@ -61,10 +61,10 @@ type Registry struct {
 	namespace string
 
 	mu         sync.Mutex
-	endpoints  map[string]*endpointMetrics
-	gauges     map[string]float64
-	gaugeFns   map[string]func() float64
-	counterFns map[string]func() float64
+	endpoints  map[string]*endpointMetrics // guarded by mu
+	gauges     map[string]float64          // guarded by mu
+	gaugeFns   map[string]func() float64   // guarded by mu
+	counterFns map[string]func() float64   // guarded by mu
 
 	// rejected counts requests shed by the in-flight limiter.
 	rejected atomic.Uint64

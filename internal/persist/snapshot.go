@@ -1,13 +1,17 @@
+//recclint:deterministic — snapshot encodings must be byte-identical for identical state.
+
 package persist
 
 import (
 	"bufio"
+	"errors"
 	"fmt"
 	"hash/crc32"
 	"io"
 	"math"
 	"os"
 	"path/filepath"
+	"syscall"
 
 	"resistecc/internal/graph"
 	"resistecc/internal/sketch"
@@ -383,15 +387,19 @@ func WriteSnapshotFile(path string, s *Snapshot) (err error) {
 // tmpPrefix marks in-progress writes; Open sweeps leftovers from crashes.
 const tmpPrefix = ".persist-tmp-"
 
-// syncDir fsyncs a directory so a just-renamed file is durable. Best-effort
-// on filesystems that reject directory fsync.
+// syncDir fsyncs a directory so a just-renamed file is durable. Filesystems
+// that do not support directory fsync (EINVAL/ENOTSUP) are tolerated — there
+// is nothing more to do there — but a real I/O error is surfaced: swallowing
+// it would acknowledge a checkpoint whose rename may not survive a crash.
 func syncDir(dir string) error {
 	df, err := os.Open(dir)
 	if err != nil {
 		return nil
 	}
 	defer df.Close()
-	_ = df.Sync()
+	if err := df.Sync(); err != nil && !errors.Is(err, syscall.EINVAL) && !errors.Is(err, syscall.ENOTSUP) {
+		return fmt.Errorf("persist: fsync %s: %w", dir, err)
+	}
 	return nil
 }
 

@@ -1,3 +1,5 @@
+//recclint:deterministic — WAL records must encode byte-identically for identical mutations.
+
 package persist
 
 import (

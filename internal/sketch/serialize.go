@@ -1,3 +1,5 @@
+//recclint:deterministic — serialization must round-trip the sketch bit-exactly.
+
 package sketch
 
 import "fmt"

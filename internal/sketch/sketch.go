@@ -1,3 +1,5 @@
+//recclint:deterministic — the build must be bit-identical for identical options (rebuild == cold build).
+
 // Package sketch implements APPROXER, the Spielman–Srivastava
 // Johnson–Lindenstrauss sketch of effective resistances (Lemma 5.1 of the
 // paper, following reference [1]).

@@ -1,3 +1,5 @@
+//recclint:deterministic — incremental updates feed the served sketch; no wall clock or unseeded randomness.
+
 // Incremental sketch maintenance under single-edge graph mutations.
 //
 // The sketch is X̃ = M·L† with M = Q·B fixed at build time. Adding the edge

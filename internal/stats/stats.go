@@ -38,7 +38,7 @@ func NewHistogram(samples []float64, nbins int) (*Histogram, error) {
 			hi = s
 		}
 	}
-	if hi == lo {
+	if hi <= lo {
 		hi = lo + 1 // degenerate: everything lands in bin 0
 	}
 	h := &Histogram{Min: lo, Max: hi, Width: (hi - lo) / float64(nbins), Counts: make([]int, nbins), N: len(samples)}
@@ -182,6 +182,9 @@ func ranks(v []float64) []float64 {
 	out := make([]float64, n)
 	for i := 0; i < n; {
 		j := i
+		// Rank ties are defined by semantic float equality over the sorted
+		// values; a bit-level comparison would split ±0 into separate ranks.
+		//recclint:ignore floateq rank ties use semantic equality by definition; Float64bits would split ±0
 		for j+1 < n && v[idx[j+1]] == v[idx[i]] {
 			j++
 		}

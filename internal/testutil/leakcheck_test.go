@@ -1,0 +1,42 @@
+// An external test package, so the deliberately leaked goroutine's frames
+// read internal/testutil_test.* and cannot collide with the checker's own
+// benign marks.
+package testutil_test
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"resistecc/internal/testutil"
+)
+
+func TestVerifyNoLeaksDetectsABlockedGoroutine(t *testing.T) {
+	release := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		<-release
+	}()
+
+	err := testutil.VerifyNoLeaks(50 * time.Millisecond)
+	if err == nil {
+		close(release)
+		t.Fatal("expected the blocked goroutine to be reported as a leak")
+	}
+	if !strings.Contains(err.Error(), "leaked goroutine") {
+		t.Errorf("error does not describe the leak: %v", err)
+	}
+
+	close(release)
+	<-done
+	if err := testutil.VerifyNoLeaks(2 * time.Second); err != nil {
+		t.Errorf("leak persisted after the goroutine exited: %v", err)
+	}
+}
+
+func TestVerifyNoLeaksCleanByDefault(t *testing.T) {
+	if err := testutil.VerifyNoLeaks(2 * time.Second); err != nil {
+		t.Errorf("clean suite reported a leak: %v", err)
+	}
+}
