@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: check build vet lint test race bench
+.PHONY: check build vet lint lint-fix lint-sarif test race bench
 
 check: vet lint race
 
@@ -14,10 +14,20 @@ build:
 vet:
 	$(GO) vet ./...
 
-# The repo-specific invariant checkers: lockguard, syncerr, floateq,
-# determinism (see internal/analysis and DESIGN.md §9).
+# The repo-specific invariant checkers, all eight: ctxflow, determinism,
+# floateq, hotpath, lockguard, lockorder, mustclose, syncerr (see
+# internal/analysis and DESIGN.md §9).
 lint:
 	$(GO) run ./cmd/recclint ./...
+
+# Apply every suggested fix (mustclose deferred Closes, ctxflow rewrites),
+# gofmt-formatting the touched files in place.
+lint-fix:
+	$(GO) run ./cmd/recclint -fix ./...
+
+# SARIF 2.1.0 on stdout, for CI code-scanning upload.
+lint-sarif:
+	$(GO) run ./cmd/recclint -format=sarif ./...
 
 test:
 	$(GO) test ./...

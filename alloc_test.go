@@ -1,0 +1,54 @@
+package resistecc
+
+import (
+	"context"
+	"testing"
+)
+
+// queryAllocIndex builds one small FastIndex for the allocation guards.
+func queryAllocIndex(tb testing.TB) *FastIndex {
+	tb.Helper()
+	g, err := BarabasiAlbert(400, 3, 7)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	ix, err := NewFastIndex(context.Background(), g,
+		WithEpsilon(0.3), WithDim(32), WithSeed(7), WithMaxHullVertices(24))
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return ix
+}
+
+// TestQueryZeroAllocs guards the //recclint:hotpath contract dynamically:
+// the per-query hull scan (FastIndex.Eccentricity → sketch.EccentricityOver
+// → sketch.Resistance) must not allocate. The hotpath analyzer rejects
+// allocation syntax statically; this test catches what slips past it, such
+// as compiler-inserted escapes.
+func TestQueryZeroAllocs(t *testing.T) {
+	ix := queryAllocIndex(t)
+	n := ix.N()
+	var sink Eccentricity
+	avg := testing.AllocsPerRun(200, func() {
+		sink = ix.Eccentricity(11 % n)
+		sink = ix.Eccentricity(123 % n)
+	})
+	if avg != 0 {
+		t.Errorf("FastIndex.Eccentricity allocates %.1f times per run, want 0", avg)
+	}
+	_ = sink
+}
+
+// BenchmarkQueryAllocs reports per-query time and allocations for the hull
+// scan; run with -benchmem and expect 0 allocs/op.
+func BenchmarkQueryAllocs(b *testing.B) {
+	ix := queryAllocIndex(b)
+	n := ix.N()
+	b.ReportAllocs()
+	b.ResetTimer()
+	var sink Eccentricity
+	for i := 0; i < b.N; i++ {
+		sink = ix.Eccentricity(i % n)
+	}
+	_ = sink
+}

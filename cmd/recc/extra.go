@@ -10,7 +10,7 @@ import (
 
 // cmdCentrality handles `recc centrality`: rank nodes by one of the
 // centrality measures related to resistance eccentricity.
-func cmdCentrality(args []string) error {
+func cmdCentrality(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("centrality", flag.ContinueOnError)
 	in := fs.String("in", "", "input edge list")
 	measure := fs.String("measure", "currentflow", "closeness|harmonic|currentflow|pagerank-free approx: cf-approx")
@@ -37,7 +37,7 @@ func cmdCentrality(args []string) error {
 			return err
 		}
 	case "cf-approx":
-		idx, err := resistecc.NewApproxIndex(context.Background(), g,
+		idx, err := resistecc.NewApproxIndex(ctx, g,
 			resistecc.WithEpsilon(*eps), resistecc.WithDim(*dim), resistecc.WithSeed(*seed))
 		if err != nil {
 			return err

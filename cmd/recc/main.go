@@ -22,6 +22,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
 
@@ -29,13 +30,17 @@ import (
 )
 
 func main() {
-	if err := run(os.Args[1:]); err != nil {
+	// The root context is minted once, here; ^C cancels the index build
+	// instead of leaving it to run to completion.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if err := run(ctx, os.Args[1:]); err != nil {
 		fmt.Fprintln(os.Stderr, "recc:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string) error {
+func run(ctx context.Context, args []string) error {
 	if len(args) == 0 {
 		usage()
 		return fmt.Errorf("missing subcommand")
@@ -46,19 +51,19 @@ func run(args []string) error {
 	case "stats":
 		return cmdStats(args[1:])
 	case "query":
-		return cmdQuery(args[1:])
+		return cmdQuery(ctx, args[1:])
 	case "dist":
-		return cmdDist(args[1:])
+		return cmdDist(ctx, args[1:])
 	case "optimize":
 		return cmdOptimize(args[1:])
 	case "centrality":
-		return cmdCentrality(args[1:])
+		return cmdCentrality(ctx, args[1:])
 	case "spectral":
 		return cmdSpectral(args[1:])
 	case "hitting":
 		return cmdHitting(args[1:])
 	case "snapshot":
-		return cmdSnapshot(args[1:])
+		return cmdSnapshot(ctx, args[1:])
 	case "inspect":
 		return cmdInspect(args[1:])
 	case "-h", "--help", "help":
@@ -210,7 +215,7 @@ func parseNodes(s string, n int) ([]int, error) {
 	return out, nil
 }
 
-func cmdQuery(args []string) error {
+func cmdQuery(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("query", flag.ContinueOnError)
 	in := fs.String("in", "", "input edge list")
 	nodesArg := fs.String("nodes", "", "comma-separated node ids")
@@ -232,7 +237,7 @@ func cmdQuery(args []string) error {
 	}
 	var vals []resistecc.Eccentricity
 	if *exact {
-		idx, err := resistecc.NewExactIndex(context.Background(), g)
+		idx, err := resistecc.NewExactIndex(ctx, g)
 		if err != nil {
 			return err
 		}
@@ -241,7 +246,7 @@ func cmdQuery(args []string) error {
 			return err
 		}
 	} else {
-		idx, err := resistecc.NewFastIndex(context.Background(), g,
+		idx, err := resistecc.NewFastIndex(ctx, g,
 			resistecc.WithEpsilon(*eps), resistecc.WithDim(*dim),
 			resistecc.WithSeed(*seed), resistecc.WithMaxHullVertices(*hullCap))
 		if err != nil {
@@ -259,7 +264,7 @@ func cmdQuery(args []string) error {
 	return nil
 }
 
-func cmdDist(args []string) error {
+func cmdDist(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("dist", flag.ContinueOnError)
 	in := fs.String("in", "", "input edge list")
 	exact := fs.Bool("exact", false, "use EXACTQUERY")
@@ -278,13 +283,13 @@ func cmdDist(args []string) error {
 	}
 	var dist []float64
 	if *exact {
-		idx, err := resistecc.NewExactIndex(context.Background(), g)
+		idx, err := resistecc.NewExactIndex(ctx, g)
 		if err != nil {
 			return err
 		}
 		dist = idx.Distribution()
 	} else {
-		idx, err := resistecc.NewFastIndex(context.Background(), g,
+		idx, err := resistecc.NewFastIndex(ctx, g,
 			resistecc.WithEpsilon(*eps), resistecc.WithDim(*dim),
 			resistecc.WithSeed(*seed), resistecc.WithMaxHullVertices(*hullCap))
 		if err != nil {

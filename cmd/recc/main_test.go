@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"os"
 	"path/filepath"
 	"testing"
@@ -29,72 +30,72 @@ func writeTestGraph(t *testing.T) string {
 }
 
 func TestRunErrors(t *testing.T) {
-	if err := run(nil); err == nil {
+	if err := run(context.Background(), nil); err == nil {
 		t.Fatal("missing subcommand should fail")
 	}
-	if err := run([]string{"bogus"}); err == nil {
+	if err := run(context.Background(), []string{"bogus"}); err == nil {
 		t.Fatal("unknown subcommand should fail")
 	}
-	if err := run([]string{"help"}); err != nil {
+	if err := run(context.Background(), []string{"help"}); err != nil {
 		t.Fatal("help should succeed")
 	}
-	if err := run([]string{"stats"}); err == nil {
+	if err := run(context.Background(), []string{"stats"}); err == nil {
 		t.Fatal("stats without -in should fail")
 	}
-	if err := run([]string{"query", "-in", "/nonexistent"}); err == nil {
+	if err := run(context.Background(), []string{"query", "-in", "/nonexistent"}); err == nil {
 		t.Fatal("missing file should fail")
 	}
 }
 
 func TestGenStatsRoundTrip(t *testing.T) {
 	out := filepath.Join(t.TempDir(), "gen.txt")
-	if err := run([]string{"gen", "-type", "ba", "-n", "80", "-deg", "2", "-seed", "5", "-out", out}); err != nil {
+	if err := run(context.Background(), []string{"gen", "-type", "ba", "-n", "80", "-deg", "2", "-seed", "5", "-out", out}); err != nil {
 		t.Fatal(err)
 	}
-	if err := run([]string{"stats", "-in", out, "-fast"}); err != nil {
+	if err := run(context.Background(), []string{"stats", "-in", out, "-fast"}); err != nil {
 		t.Fatal(err)
 	}
-	if err := run([]string{"stats", "-in", out}); err != nil {
+	if err := run(context.Background(), []string{"stats", "-in", out}); err != nil {
 		t.Fatal(err)
 	}
 	// Every generator type parses.
 	for _, typ := range []string{"plc", "ws", "er", "path", "cycle", "star", "complete"} {
 		out := filepath.Join(t.TempDir(), typ+".txt")
 		args := []string{"gen", "-type", typ, "-n", "40", "-deg", "4", "-out", out}
-		if err := run(args); err != nil {
+		if err := run(context.Background(), args); err != nil {
 			t.Fatalf("gen %s: %v", typ, err)
 		}
 	}
-	if err := run([]string{"gen", "-type", "nope"}); err == nil {
+	if err := run(context.Background(), []string{"gen", "-type", "nope"}); err == nil {
 		t.Fatal("unknown generator should fail")
 	}
 }
 
 func TestQueryCommands(t *testing.T) {
 	path := writeTestGraph(t)
-	if err := run([]string{"query", "-in", path, "-nodes", "0,5", "-exact"}); err != nil {
+	if err := run(context.Background(), []string{"query", "-in", path, "-nodes", "0,5", "-exact"}); err != nil {
 		t.Fatal(err)
 	}
-	if err := run([]string{"query", "-in", path, "-nodes", "0,5", "-eps", "0.3", "-dim", "64"}); err != nil {
+	if err := run(context.Background(), []string{"query", "-in", path, "-nodes", "0,5", "-eps", "0.3", "-dim", "64"}); err != nil {
 		t.Fatal(err)
 	}
-	if err := run([]string{"query", "-in", path, "-nodes", "0,999"}); err == nil {
+	if err := run(context.Background(), []string{"query", "-in", path, "-nodes", "0,999"}); err == nil {
 		t.Fatal("out-of-range node should fail")
 	}
-	if err := run([]string{"query", "-in", path, "-nodes", "zero"}); err == nil {
+	if err := run(context.Background(), []string{"query", "-in", path, "-nodes", "zero"}); err == nil {
 		t.Fatal("non-numeric node should fail")
 	}
-	if err := run([]string{"query", "-in", path}); err == nil {
+	if err := run(context.Background(), []string{"query", "-in", path}); err == nil {
 		t.Fatal("missing -nodes should fail")
 	}
 }
 
 func TestDistCommand(t *testing.T) {
 	path := writeTestGraph(t)
-	if err := run([]string{"dist", "-in", path, "-exact", "-burr", "-bins", "10"}); err != nil {
+	if err := run(context.Background(), []string{"dist", "-in", path, "-exact", "-burr", "-bins", "10"}); err != nil {
 		t.Fatal(err)
 	}
-	if err := run([]string{"dist", "-in", path, "-eps", "0.3", "-dim", "64"}); err != nil {
+	if err := run(context.Background(), []string{"dist", "-in", path, "-eps", "0.3", "-dim", "64"}); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -103,17 +104,17 @@ func TestOptimizeCommand(t *testing.T) {
 	path := writeTestGraph(t)
 	for _, algo := range []string{"greedy", "far", "cen", "ch", "minrecc", "de", "pk", "path", "rand"} {
 		args := []string{"optimize", "-in", path, "-source", "3", "-k", "2", "-algo", algo, "-dim", "48"}
-		if err := run(args); err != nil {
+		if err := run(context.Background(), args); err != nil {
 			t.Fatalf("optimize %s: %v", algo, err)
 		}
 	}
-	if err := run([]string{"optimize", "-in", path, "-source", "3", "-k", "1", "-algo", "greedy", "-problem", "remd", "-traj"}); err != nil {
+	if err := run(context.Background(), []string{"optimize", "-in", path, "-source", "3", "-k", "1", "-algo", "greedy", "-problem", "remd", "-traj"}); err != nil {
 		t.Fatal(err)
 	}
-	if err := run([]string{"optimize", "-in", path, "-algo", "nope"}); err == nil {
+	if err := run(context.Background(), []string{"optimize", "-in", path, "-algo", "nope"}); err == nil {
 		t.Fatal("unknown algorithm should fail")
 	}
-	if err := run([]string{"optimize", "-in", path, "-source", "-5"}); err == nil {
+	if err := run(context.Background(), []string{"optimize", "-in", path, "-source", "-5"}); err == nil {
 		t.Fatal("bad source should fail")
 	}
 }
@@ -121,37 +122,37 @@ func TestOptimizeCommand(t *testing.T) {
 func TestCentralityCommand(t *testing.T) {
 	path := writeTestGraph(t)
 	for _, m := range []string{"closeness", "harmonic", "currentflow", "cf-approx"} {
-		if err := run([]string{"centrality", "-in", path, "-measure", m, "-top", "3", "-dim", "48"}); err != nil {
+		if err := run(context.Background(), []string{"centrality", "-in", path, "-measure", m, "-top", "3", "-dim", "48"}); err != nil {
 			t.Fatalf("centrality %s: %v", m, err)
 		}
 	}
-	if err := run([]string{"centrality", "-in", path, "-measure", "nope"}); err == nil {
+	if err := run(context.Background(), []string{"centrality", "-in", path, "-measure", "nope"}); err == nil {
 		t.Fatal("unknown measure should fail")
 	}
 }
 
 func TestSpectralCommand(t *testing.T) {
 	path := writeTestGraph(t)
-	if err := run([]string{"spectral", "-in", path, "-probes", "32"}); err != nil {
+	if err := run(context.Background(), []string{"spectral", "-in", path, "-probes", "32"}); err != nil {
 		t.Fatal(err)
 	}
-	if err := run([]string{"spectral", "-in", path, "-exact"}); err != nil {
+	if err := run(context.Background(), []string{"spectral", "-in", path, "-exact"}); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestHittingCommand(t *testing.T) {
 	path := writeTestGraph(t)
-	if err := run([]string{"hitting", "-in", path, "-target", "0"}); err != nil {
+	if err := run(context.Background(), []string{"hitting", "-in", path, "-target", "0"}); err != nil {
 		t.Fatal(err)
 	}
-	if err := run([]string{"hitting", "-in", path, "-target", "0", "-sources", "1,2"}); err != nil {
+	if err := run(context.Background(), []string{"hitting", "-in", path, "-target", "0", "-sources", "1,2"}); err != nil {
 		t.Fatal(err)
 	}
-	if err := run([]string{"hitting", "-in", path, "-target", "-4"}); err == nil {
+	if err := run(context.Background(), []string{"hitting", "-in", path, "-target", "-4"}); err == nil {
 		t.Fatal("bad target should fail")
 	}
-	if err := run([]string{"hitting", "-in", path, "-target", "0", "-sources", "x"}); err == nil {
+	if err := run(context.Background(), []string{"hitting", "-in", path, "-target", "0", "-sources", "x"}); err == nil {
 		t.Fatal("bad sources should fail")
 	}
 }
@@ -161,33 +162,33 @@ func TestSnapshotAndInspectCommands(t *testing.T) {
 	dir := filepath.Join(t.TempDir(), "store")
 	file := filepath.Join(t.TempDir(), "index.snap")
 
-	if err := run([]string{"snapshot", "-in", path}); err == nil {
+	if err := run(context.Background(), []string{"snapshot", "-in", path}); err == nil {
 		t.Fatal("snapshot without a destination should fail")
 	}
-	if err := run([]string{"snapshot", "-in", path, "-data-dir", dir, "-out", file}); err == nil {
+	if err := run(context.Background(), []string{"snapshot", "-in", path, "-data-dir", dir, "-out", file}); err == nil {
 		t.Fatal("snapshot with both destinations should fail")
 	}
-	if err := run([]string{"snapshot", "-in", path, "-data-dir", dir, "-dim", "48", "-eps", "0.3"}); err != nil {
+	if err := run(context.Background(), []string{"snapshot", "-in", path, "-data-dir", dir, "-dim", "48", "-eps", "0.3"}); err != nil {
 		t.Fatal(err)
 	}
 	// Second run finds the store warm and refreshes it.
-	if err := run([]string{"snapshot", "-in", path, "-data-dir", dir, "-dim", "48", "-eps", "0.3"}); err != nil {
+	if err := run(context.Background(), []string{"snapshot", "-in", path, "-data-dir", dir, "-dim", "48", "-eps", "0.3"}); err != nil {
 		t.Fatal(err)
 	}
-	if err := run([]string{"snapshot", "-in", path, "-out", file, "-dim", "48", "-eps", "0.3"}); err != nil {
+	if err := run(context.Background(), []string{"snapshot", "-in", path, "-out", file, "-dim", "48", "-eps", "0.3"}); err != nil {
 		t.Fatal(err)
 	}
 
-	if err := run([]string{"inspect", "-path", dir}); err != nil {
+	if err := run(context.Background(), []string{"inspect", "-path", dir}); err != nil {
 		t.Fatal(err)
 	}
-	if err := run([]string{"inspect", file}); err != nil {
+	if err := run(context.Background(), []string{"inspect", file}); err != nil {
 		t.Fatal(err)
 	}
-	if err := run([]string{"inspect"}); err == nil {
+	if err := run(context.Background(), []string{"inspect"}); err == nil {
 		t.Fatal("inspect without a path should fail")
 	}
-	if err := run([]string{"inspect", "-path", filepath.Join(dir, "missing")}); err == nil {
+	if err := run(context.Background(), []string{"inspect", "-path", filepath.Join(dir, "missing")}); err == nil {
 		t.Fatal("inspect of a missing path should fail")
 	}
 	// A snapshot saved with -out loads back into a usable index.

@@ -15,7 +15,7 @@ import (
 // With -data-dir the snapshot lands in a durable store directory (the form
 // reccd -data-dir consumes); with -out it is one self-contained file for
 // resistecc.LoadSnapshot. Flag defaults match reccd's.
-func cmdSnapshot(args []string) error {
+func cmdSnapshot(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("snapshot", flag.ContinueOnError)
 	in := fs.String("in", "", "input edge list")
 	dataDir := fs.String("data-dir", "", "durable store directory to checkpoint into")
@@ -38,7 +38,6 @@ func cmdSnapshot(args []string) error {
 		resistecc.WithEpsilon(*eps), resistecc.WithDim(*dim),
 		resistecc.WithSeed(*seed), resistecc.WithMaxHullVertices(*hullCap),
 	}
-	ctx := context.Background()
 	if *dataDir != "" {
 		d, info, err := resistecc.OpenDynamicIndex(ctx, *dataDir, g, opts...)
 		if err != nil {

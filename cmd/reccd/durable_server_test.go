@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"net/http"
 	"strings"
 	"testing"
@@ -18,7 +19,7 @@ func durableServer(t *testing.T, dir string) *server {
 	}
 	cfg := defaultConfig()
 	cfg.DataDir = dir
-	srv, err := newServer(g, newIDMap(g.N(), nil, nil), g.N(), g.M(),
+	srv, err := newServer(context.Background(), g, newIDMap(g.N(), nil, nil), g.N(), g.M(),
 		[]resistecc.Option{
 			resistecc.WithEpsilon(0.3), resistecc.WithDim(64),
 			resistecc.WithSeed(5), resistecc.WithMaxHullVertices(24),

@@ -103,7 +103,12 @@ func main() {
 	log.Printf("reccd: loaded %s: %d nodes, %d edges; LCC %d nodes, %d edges",
 		*in, inputNodes, inputEdges, lcc.N(), lcc.M())
 
-	srv, err := newServer(lcc, ids, inputNodes, inputEdges, []resistecc.Option{
+	// The root context is minted once, here: it carries process shutdown
+	// (SIGINT/SIGTERM) into the index build and the serving loop alike.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	srv, err := newServer(ctx, lcc, ids, inputNodes, inputEdges, []resistecc.Option{
 		resistecc.WithEpsilon(*eps), resistecc.WithDim(*dim),
 		resistecc.WithSeed(*seed), resistecc.WithMaxHullVertices(*hullCap),
 	}, cfg)
@@ -123,19 +128,17 @@ func main() {
 		st.SketchDim, st.HullSize, st.SolverTotalIters, st.SolverMaxResidual,
 		srv.buildTime, *listen)
 
-	if err := run(*listen, srv, log.Default()); err != nil {
+	if err := run(ctx, stop, *listen, srv, log.Default()); err != nil {
 		log.Fatalf("reccd: %v", err)
 	}
 }
 
-// run serves until SIGINT/SIGTERM, then shuts down gracefully: the
-// listener closes immediately while in-flight requests get ShutdownGrace
-// to drain.
-func run(addr string, srv *server, logger *log.Logger) error {
+// run serves until ctx is cancelled (SIGINT/SIGTERM), then shuts down
+// gracefully: the listener closes immediately while in-flight requests get
+// ShutdownGrace to drain. stop restores default signal handling so a second
+// signal kills hard.
+func run(ctx context.Context, stop context.CancelFunc, addr string, srv *server, logger *log.Logger) error {
 	hs := httpServer(addr, srv.handler(logger), srv.cfg)
-
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
-	defer stop()
 
 	errCh := make(chan error, 1)
 	go func() { errCh <- hs.ListenAndServe() }()
@@ -147,6 +150,7 @@ func run(addr string, srv *server, logger *log.Logger) error {
 	}
 	stop() // restore default signal handling: a second signal kills hard
 	logger.Printf("reccd: shutdown signal received; draining for up to %s", srv.cfg.ShutdownGrace)
+	//recclint:ignore ctxflow the parent ctx is already cancelled here; the drain deadline needs a fresh root
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), srv.cfg.ShutdownGrace)
 	defer cancel()
 	if err := hs.Shutdown(shutdownCtx); err != nil {

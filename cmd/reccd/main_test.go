@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"io"
 	"log"
@@ -22,7 +23,7 @@ func testServer(t *testing.T) *server {
 	}
 	cfg := defaultConfig()
 	cfg.MaxBatch = 8
-	srv, err := newServer(g, newIDMap(g.N(), nil, nil), g.N(), g.M(),
+	srv, err := newServer(context.Background(), g, newIDMap(g.N(), nil, nil), g.N(), g.M(),
 		[]resistecc.Option{
 			resistecc.WithEpsilon(0.3), resistecc.WithDim(64),
 			resistecc.WithSeed(5), resistecc.WithMaxHullVertices(24),

@@ -170,7 +170,7 @@ func TestMixedWorkloadNoDowntime(t *testing.T) {
 	// Keep a pristine copy for the cold reference build (the server clones
 	// its input, so g itself also stays untouched — this is belt and braces).
 	final := g.Clone()
-	srv, err := newServer(g, newIDMap(g.N(), nil, nil), g.N(), g.M(), opts, cfg)
+	srv, err := newServer(context.Background(), g, newIDMap(g.N(), nil, nil), g.N(), g.M(), opts, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}

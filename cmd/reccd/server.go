@@ -162,8 +162,9 @@ type summaryResponse struct {
 
 // newServer builds the dynamic index over g (already reduced to its LCC)
 // and wires the id translation. inputNodes/inputEdges describe the pre-LCC
-// input graph, for /healthz.
-func newServer(g *resistecc.Graph, ids *idMap, inputNodes, inputEdges int,
+// input graph, for /healthz. ctx bounds the initial build: cancelling it
+// (e.g. a shutdown signal during a long cold start) abandons the build.
+func newServer(ctx context.Context, g *resistecc.Graph, ids *idMap, inputNodes, inputEdges int,
 	opts []resistecc.Option, cfg serverConfig) (*server, error) {
 	start := time.Now()
 	opts = append(opts,
@@ -175,9 +176,9 @@ func newServer(g *resistecc.Graph, ids *idMap, inputNodes, inputEdges int,
 	var rec resistecc.RecoveryInfo
 	var err error
 	if cfg.DataDir != "" {
-		dyn, rec, err = resistecc.OpenDynamicIndex(context.Background(), cfg.DataDir, g, opts...)
+		dyn, rec, err = resistecc.OpenDynamicIndex(ctx, cfg.DataDir, g, opts...)
 	} else {
-		dyn, err = resistecc.NewDynamicIndex(context.Background(), g, opts...)
+		dyn, err = resistecc.NewDynamicIndex(ctx, g, opts...)
 	}
 	if err != nil {
 		return nil, err

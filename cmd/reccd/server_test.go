@@ -41,7 +41,7 @@ func loadServer(t *testing.T, path string, opts []resistecc.Option) (*server, *r
 	}
 	lcc, mapping := g.LargestComponent()
 	ids := newIDMap(lcc.N(), labels, mapping)
-	srv, err := newServer(lcc, ids, g.N(), g.M(), opts, defaultConfig())
+	srv, err := newServer(context.Background(), lcc, ids, g.N(), g.M(), opts, defaultConfig())
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -6,7 +6,9 @@
 // It exits 0 when the tree is clean, 1 when any analyzer reports a finding,
 // and 2 on operational errors (unbuildable packages, bad flags). Findings
 // print one per line as file:line:col: [analyzer] message, so editors and CI
-// annotate them like compiler errors.
+// annotate them like compiler errors. -format=sarif emits a SARIF 2.1.0 log
+// on stdout instead (for CI code-scanning upload), and -fix applies every
+// suggested fix to the source tree, gofmt-formatting the rewritten files.
 package main
 
 import (
@@ -27,11 +29,17 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("recclint", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	list := fs.Bool("list", false, "list the registered analyzers and exit")
+	fix := fs.Bool("fix", false, "apply suggested fixes to the source tree")
+	format := fs.String("format", "text", "output format: text or sarif")
 	fs.Usage = func() {
-		fmt.Fprintf(stderr, "usage: recclint [-list] [packages]\n")
+		fmt.Fprintf(stderr, "usage: recclint [-list] [-fix] [-format=text|sarif] [packages]\n")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *format != "text" && *format != "sarif" {
+		fmt.Fprintf(stderr, "recclint: unknown -format %q (want text or sarif)\n", *format)
 		return 2
 	}
 	analyzers := analysis.All()
@@ -60,8 +68,34 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "recclint: %v\n", err)
 		return 2
 	}
-	for _, f := range findings {
-		fmt.Fprintln(stdout, f)
+	if *fix && len(findings) > 0 {
+		changed, ferr := framework.ApplyFixes(findings)
+		for _, file := range changed {
+			fmt.Fprintf(stderr, "recclint: fixed %s\n", file)
+		}
+		if ferr != nil {
+			fmt.Fprintf(stderr, "recclint: %v\n", ferr)
+			return 2
+		}
+		fixed := framework.FixableCount(findings)
+		remaining := findings[:0]
+		for _, f := range findings {
+			if len(f.Fixes) == 0 {
+				remaining = append(remaining, f)
+			}
+		}
+		findings = remaining
+		fmt.Fprintf(stderr, "recclint: applied %d fix(es), %d finding(s) remain\n", fixed, len(findings))
+	}
+	if *format == "sarif" {
+		if err := framework.WriteSARIF(stdout, cwd, analyzers, findings); err != nil {
+			fmt.Fprintf(stderr, "recclint: %v\n", err)
+			return 2
+		}
+	} else {
+		for _, f := range findings {
+			fmt.Fprintln(stdout, f)
+		}
 	}
 	if len(findings) > 0 {
 		fmt.Fprintf(stderr, "recclint: %d finding(s) across %d package(s)\n", len(findings), len(pkgs))

@@ -1,0 +1,3 @@
+module badpkg
+
+go 1.22

@@ -1,0 +1,7 @@
+// Package brokenpkg does not type-check: cmd/recclint must report a loader
+// error (exit 2), never pretend the package was analyzed.
+package brokenpkg
+
+func Broken() int {
+	return undefinedIdentifier
+}

@@ -1,0 +1,3 @@
+module brokenpkg
+
+go 1.22

@@ -1,0 +1,16 @@
+// Package fixpkg holds findings whose suggested fixes recclint -fix can
+// apply mechanically: the test copies this module to a temp dir, runs -fix,
+// and asserts the rewritten tree is gofmt-clean and lints clean.
+package fixpkg
+
+import "os"
+
+// Leak never closes f on any path; the autofix inserts a deferred Close
+// right after the error check.
+func Leak(path string) (string, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return "", err
+	}
+	return f.Name(), nil
+}

@@ -1,0 +1,3 @@
+module fixpkg
+
+go 1.22

@@ -2,24 +2,35 @@
 // checks that machine-enforce invariants which otherwise live only in
 // comments — mutex guards on lifecycle state, fsync-before-ack durability in
 // the persist layer, bit-identity float comparisons, and deterministic
-// build/serialize paths. cmd/recclint runs the full suite; `make lint` and
-// the CI lint job gate every change on it.
+// build/serialize paths. The v2 analyzers add dataflow-backed checks on top
+// (see internal/analysis/dataflow): deadlock-free lock acquisition order,
+// resources closed on every path, contexts threaded instead of minted, and
+// allocation-free hot paths. cmd/recclint runs the full suite; `make lint`
+// and the CI lint job gate every change on it.
 package analysis
 
 import (
+	"resistecc/internal/analysis/ctxflow"
 	"resistecc/internal/analysis/determinism"
 	"resistecc/internal/analysis/floateq"
 	"resistecc/internal/analysis/framework"
+	"resistecc/internal/analysis/hotpath"
 	"resistecc/internal/analysis/lockguard"
+	"resistecc/internal/analysis/lockorder"
+	"resistecc/internal/analysis/mustclose"
 	"resistecc/internal/analysis/syncerr"
 )
 
 // All returns every registered analyzer, in stable order.
 func All() []*framework.Analyzer {
 	return []*framework.Analyzer{
+		ctxflow.Analyzer,
 		determinism.Analyzer,
 		floateq.Analyzer,
+		hotpath.Analyzer,
 		lockguard.Analyzer,
+		lockorder.Analyzer,
+		mustclose.Analyzer,
 		syncerr.Analyzer,
 	}
 }

@@ -36,17 +36,17 @@ func TestRepoIsClean(t *testing.T) {
 	}
 }
 
-// TestRegistry pins the shape of the analyzer registry: the four checkers
+// TestRegistry pins the shape of the analyzer registry: all eight checkers
 // exist, names are unique (suppression directives key on them), and every
-// analyzer documents itself.
+// analyzer documents itself and is runnable per-package or program-wide.
 func TestRegistry(t *testing.T) {
 	all := All()
-	if len(all) < 4 {
-		t.Fatalf("expected at least 4 analyzers, got %d", len(all))
+	if len(all) < 8 {
+		t.Fatalf("expected at least 8 analyzers, got %d", len(all))
 	}
 	seen := make(map[string]bool)
 	for _, a := range all {
-		if a.Name == "" || a.Doc == "" || a.Run == nil {
+		if a.Name == "" || a.Doc == "" || (a.Run == nil && a.RunProgram == nil) {
 			t.Errorf("analyzer %q is missing a name, doc, or run function", a.Name)
 		}
 		if seen[a.Name] {
@@ -54,7 +54,10 @@ func TestRegistry(t *testing.T) {
 		}
 		seen[a.Name] = true
 	}
-	for _, want := range []string{"determinism", "floateq", "lockguard", "syncerr"} {
+	for _, want := range []string{
+		"ctxflow", "determinism", "floateq", "hotpath",
+		"lockguard", "lockorder", "mustclose", "syncerr",
+	} {
 		if !seen[want] {
 			t.Errorf("registry is missing %q", want)
 		}

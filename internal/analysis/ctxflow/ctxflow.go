@@ -1,0 +1,182 @@
+// Package ctxflow implements the recclint check that cancellation reaches
+// blocking work: below the server layer, no function may mint a fresh root
+// context with context.Background() or context.TODO(). HTTP handlers have
+// r.Context(); lifecycle entry points receive a ctx from the caller; library
+// code must thread the parameter through. The only legitimate roots are
+// main() itself and functions that declare one with a justified
+// //recclint:ctxroot <reason> directive — a detached worker whose lifetime
+// deliberately outlives the request that spawned it, a ctx-less compatibility
+// shim, a shutdown deadline that must outlive the already-cancelled parent.
+package ctxflow
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"resistecc/internal/analysis/framework"
+)
+
+const ctxrootDirective = "//recclint:ctxroot"
+
+// Analyzer is the ctxflow check.
+var Analyzer = &framework.Analyzer{
+	Name: "ctxflow",
+	Doc:  "no context.Background()/TODO() below the server layer; thread ctx or declare //recclint:ctxroot <reason>",
+	Run:  run,
+}
+
+func run(pass *framework.Pass) error {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			checkFunc(pass, fd)
+		}
+	}
+	return nil
+}
+
+func checkFunc(pass *framework.Pass, fd *ast.FuncDecl) {
+	root, hasReason := ctxroot(fd.Doc)
+	if root && !hasReason {
+		pass.Reportf(fd.Doc.Pos(), "recclint:ctxroot needs a reason: the directive must justify why %s may mint a root context", fd.Name.Name)
+	}
+	if fd.Body == nil {
+		return
+	}
+	exempt := (root && hasReason) || isMainFunc(pass, fd)
+
+	// scopes is the lexical stack of enclosing function signatures (the
+	// declaration plus any literals), innermost last; ctx/request parameters
+	// are searched innermost-first so the fix names the closest one in scope.
+	scopes := []*ast.FuncType{fd.Type}
+	var walk func(n ast.Node) bool
+	walk = func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			scopes = append(scopes, n.Type)
+			ast.Inspect(n.Body, walk)
+			scopes = scopes[:len(scopes)-1]
+			return false
+		case *ast.CallExpr:
+			name := contextRootCall(pass.TypesInfo, n)
+			if name == "" {
+				return true
+			}
+			if exempt && name == "Background" {
+				return true
+			}
+			call := "context." + name + "()"
+			if ctxName := paramOfType(pass.TypesInfo, scopes, isContextContext); ctxName != "" {
+				pass.Report(framework.Diagnostic{
+					Pos:     n.Pos(),
+					Message: call + " ignores the " + ctxName + " parameter already in scope; thread it instead",
+					Fixes: []framework.SuggestedFix{{
+						Message: "use the in-scope " + ctxName,
+						Edits:   []framework.TextEdit{{Pos: n.Pos(), End: n.End(), NewText: ctxName}},
+					}},
+				})
+				return true
+			}
+			if reqName := paramOfType(pass.TypesInfo, scopes, isHTTPRequestPtr); reqName != "" {
+				pass.Reportf(n.Pos(), "%s in an HTTP handler; use %s.Context() so client disconnects cancel the work", call, reqName)
+				return true
+			}
+			pass.Reportf(n.Pos(), "%s below the server layer: accept a context.Context parameter or declare //recclint:ctxroot <reason> on %s", call, fd.Name.Name)
+			return true
+		}
+		return true
+	}
+	ast.Inspect(fd.Body, walk)
+}
+
+// ctxroot reports whether doc carries the ctxroot directive, and whether it
+// has the mandatory reason.
+func ctxroot(doc *ast.CommentGroup) (present, hasReason bool) {
+	if doc == nil {
+		return false, false
+	}
+	for _, c := range doc.List {
+		text := strings.TrimSpace(c.Text)
+		if text == ctxrootDirective {
+			return true, false
+		}
+		if strings.HasPrefix(text, ctxrootDirective+" ") {
+			return true, strings.TrimSpace(strings.TrimPrefix(text, ctxrootDirective)) != ""
+		}
+	}
+	return false, false
+}
+
+func isMainFunc(pass *framework.Pass, fd *ast.FuncDecl) bool {
+	return pass.Pkg.Name() == "main" && fd.Name.Name == "main" && fd.Recv == nil
+}
+
+// contextRootCall returns "Background" or "TODO" when call is
+// context.Background() / context.TODO(), else "".
+func contextRootCall(info *types.Info, call *ast.CallExpr) string {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	if sel.Sel.Name != "Background" && sel.Sel.Name != "TODO" {
+		return ""
+	}
+	pkgIdent, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return ""
+	}
+	pn, ok := info.Uses[pkgIdent].(*types.PkgName)
+	if !ok || pn.Imported().Path() != "context" {
+		return ""
+	}
+	return sel.Sel.Name
+}
+
+// paramOfType returns the name of the innermost enclosing function parameter
+// whose type satisfies match, skipping blank identifiers.
+func paramOfType(info *types.Info, scopes []*ast.FuncType, match func(types.Type) bool) string {
+	for i := len(scopes) - 1; i >= 0; i-- {
+		ft := scopes[i]
+		if ft.Params == nil {
+			continue
+		}
+		for _, field := range ft.Params.List {
+			for _, name := range field.Names {
+				if name.Name == "_" {
+					continue
+				}
+				obj := info.Defs[name]
+				if obj != nil && match(obj.Type()) {
+					return name.Name
+				}
+			}
+		}
+	}
+	return ""
+}
+
+func isContextContext(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}
+
+func isHTTPRequestPtr(t types.Type) bool {
+	ptr, ok := t.(*types.Pointer)
+	if !ok {
+		return false
+	}
+	named, ok := ptr.Elem().(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "net/http" && obj.Name() == "Request"
+}

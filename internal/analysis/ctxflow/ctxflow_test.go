@@ -1,0 +1,15 @@
+package ctxflow_test
+
+import (
+	"testing"
+
+	"resistecc/internal/analysis/ctxflow"
+	"resistecc/internal/analysis/framework"
+)
+
+func TestCtxflow(t *testing.T) {
+	if testing.Short() {
+		t.Skip("invokes go list")
+	}
+	framework.TestAnalyzer(t, ctxflow.Analyzer, framework.FixturePath("ctxflow"))
+}

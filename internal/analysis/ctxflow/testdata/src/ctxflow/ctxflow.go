@@ -1,0 +1,83 @@
+// Fixture for the ctxflow analyzer: context.Background()/TODO() may appear
+// only in main or under a justified //recclint:ctxroot directive; everything
+// else must thread a caller's ctx.
+package main
+
+import (
+	"context"
+	"net/http"
+)
+
+// main is the process root: minting the root context here is the whole point.
+func main() {
+	ctx := context.Background() // no finding: main is the server layer
+	_ = ctx
+	todo := context.TODO() // want "context\.TODO\(\) below the server layer"
+	_ = todo
+	helperNoCtx()
+}
+
+// helperNoCtx has no way to receive cancellation; it must either grow a ctx
+// parameter or declare itself a root.
+func helperNoCtx() {
+	ctx := context.Background() // want "context\.Background\(\) below the server layer: accept a context\.Context parameter or declare //recclint:ctxroot"
+	_ = ctx
+}
+
+// threaded already receives ctx but ignores it.
+func threaded(ctx context.Context) error {
+	other := context.Background() // want "context\.Background\(\) ignores the ctx parameter already in scope"
+	_ = other
+	return ctx.Err()
+}
+
+// renamedParam uses a non-conventional name; the analyzer names it.
+func renamedParam(reqCtx context.Context) {
+	_ = context.Background() // want "ignores the reqCtx parameter already in scope"
+}
+
+// handler is an HTTP handler: r.Context() is the request-scoped root.
+func handler(w http.ResponseWriter, r *http.Request) {
+	ctx := context.Background() // want "in an HTTP handler; use r\.Context\(\)"
+	_ = ctx
+	w.WriteHeader(http.StatusOK)
+}
+
+// closureCapture: the literal inherits the enclosing function's ctx scope.
+func closureCapture(ctx context.Context) func() {
+	return func() {
+		_ = context.Background() // want "ignores the ctx parameter already in scope"
+	}
+}
+
+// detachedWorker runs for the process lifetime, independent of any request.
+//
+//recclint:ctxroot worker lifetime is the process lifetime, detached from the spawning request
+func detachedWorker() {
+	ctx := context.Background() // no finding: justified root
+	_ = ctx
+}
+
+// reasonless: directive without justification. // want "recclint:ctxroot needs a reason"
+// The directive itself is the finding, and it does not exempt the body.
+//
+//recclint:ctxroot
+func reasonless() {
+	_ = context.Background() // want "below the server layer"
+}
+
+// suppressed shows a v1-style //recclint:ignore composing with the v2
+// analyzer: the finding is silenced with a recorded justification.
+func suppressed() {
+	//recclint:ignore ctxflow one-shot migration tool; no caller can cancel it
+	_ = context.Background()
+}
+
+// ctxrootWithTODO: the directive exempts Background only; TODO is always a
+// placeholder and stays flagged.
+//
+//recclint:ctxroot detached maintenance loop
+func ctxrootWithTODO() {
+	_ = context.Background() // no finding
+	_ = context.TODO()       // want "context\.TODO\(\)"
+}

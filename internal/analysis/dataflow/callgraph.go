@@ -1,0 +1,91 @@
+package dataflow
+
+import (
+	"go/ast"
+	"go/types"
+
+	"resistecc/internal/analysis/framework"
+)
+
+// FuncInfo is one function or method with source available in the loaded
+// program: its declaration, the package it lives in, and its type object.
+type FuncInfo struct {
+	Obj  *types.Func
+	Decl *ast.FuncDecl
+	Pkg  *framework.Package
+}
+
+// A Program indexes every function declaration across the packages a load
+// produced, keyed by the types.Func full name (object identity does not
+// survive the source-vs-export-data boundary between packages, names do).
+type Program struct {
+	Pkgs  []*framework.Package
+	funcs map[string]*FuncInfo
+}
+
+// BuildProgram indexes pkgs. The framework loader shares one token.FileSet
+// across packages, so positions from any FuncInfo resolve consistently.
+func BuildProgram(pkgs []*framework.Package) *Program {
+	p := &Program{Pkgs: pkgs, funcs: make(map[string]*FuncInfo)}
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok {
+					continue
+				}
+				obj, ok := pkg.TypesInfo.Defs[fd.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				p.funcs[obj.FullName()] = &FuncInfo{Obj: obj, Decl: fd, Pkg: pkg}
+			}
+		}
+	}
+	return p
+}
+
+// Func returns the FuncInfo for a types.Func, or nil when its source is not
+// part of the program (stdlib, export-data-only dependencies).
+func (p *Program) Func(fn *types.Func) *FuncInfo {
+	if fn == nil {
+		return nil
+	}
+	return p.funcs[fn.FullName()]
+}
+
+// Callee statically resolves a call expression to the types.Func it invokes:
+// direct calls to package functions and methods on concrete receivers.
+// Interface dispatch, function values, and built-ins resolve to nil — the
+// engine never guesses dynamic targets.
+func Callee(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		fn, _ := info.Uses[fun].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[fun]; ok {
+			if sel.Kind() != types.MethodVal {
+				return nil
+			}
+			fn, _ := sel.Obj().(*types.Func)
+			if fn == nil {
+				return nil
+			}
+			if recv := fn.Type().(*types.Signature).Recv(); recv != nil && types.IsInterface(recv.Type()) {
+				return nil
+			}
+			return fn
+		}
+		// Package-qualified call: pkg.Func.
+		fn, _ := info.Uses[fun.Sel].(*types.Func)
+		return fn
+	}
+	return nil
+}
+
+// ResolvedCallee is Callee followed by a Program lookup: the callee's source,
+// when the program holds it.
+func (p *Program) ResolvedCallee(info *types.Info, call *ast.CallExpr) *FuncInfo {
+	return p.Func(Callee(info, call))
+}

@@ -1,0 +1,325 @@
+package dataflow
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+// buildFor parses src (a file body with one function f) and builds f's CFG.
+func buildFor(t *testing.T, src string) (*CFG, *token.FileSet) {
+	t.Helper()
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "x.go", "package p\n"+src, 0)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	for _, d := range file.Decls {
+		if fd, ok := d.(*ast.FuncDecl); ok && fd.Name.Name == "f" {
+			c := Build(fd)
+			if c == nil {
+				t.Fatal("Build returned nil for a function with a body")
+			}
+			return c, fset
+		}
+	}
+	t.Fatal("no func f in source")
+	return nil, nil
+}
+
+func checkGolden(t *testing.T, got, want string) {
+	t.Helper()
+	got = strings.TrimSpace(got)
+	want = strings.TrimSpace(want)
+	if got != want {
+		t.Errorf("CFG mismatch\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+}
+
+func TestCFGIf(t *testing.T) {
+	c, fset := buildFor(t, `
+func f(x int) int {
+	y := 0
+	if x > 0 {
+		y = 1
+	} else {
+		y = 2
+	}
+	return y
+}`)
+	checkGolden(t, c.String(fset), `
+b0: [y := 0; x > 0] -> b2 b3
+b1: [return y] -> b5
+b2: [y = 1] -> b1
+b3: [y = 2] -> b1
+b5: exit`)
+}
+
+func TestCFGForBreakContinue(t *testing.T) {
+	c, fset := buildFor(t, `
+func f(n int) {
+	for i := 0; i < n; i++ {
+		if i == 2 {
+			continue
+		}
+		if i == 7 {
+			break
+		}
+	}
+}`)
+	s := c.String(fset)
+	// The loop head tests the condition and branches to body or after.
+	if !strings.Contains(s, "i < n") {
+		t.Errorf("missing loop condition in:\n%s", s)
+	}
+	// continue must reach the post block (i++), break must skip it.
+	post := -1
+	for _, b := range c.Blocks {
+		for _, st := range b.Stmts {
+			if renderStmt(fset, st) == "i++" {
+				post = b.ID
+			}
+		}
+	}
+	if post < 0 {
+		t.Fatalf("no post block in:\n%s", s)
+	}
+	foundContinue := false
+	for _, b := range c.Blocks {
+		for _, st := range b.Stmts {
+			if renderStmt(fset, st) == "continue" {
+				foundContinue = true
+				ok := false
+				for _, succ := range b.Succs {
+					if succ.ID == post {
+						ok = true
+					}
+				}
+				if !ok {
+					t.Errorf("continue block b%d does not target post b%d:\n%s", b.ID, post, s)
+				}
+			}
+		}
+	}
+	if !foundContinue {
+		t.Errorf("continue statement not recorded in any block:\n%s", s)
+	}
+}
+
+func TestCFGSwitchFallthrough(t *testing.T) {
+	c, fset := buildFor(t, `
+func f(x int) int {
+	y := 0
+	switch x {
+	case 1:
+		y = 1
+		fallthrough
+	case 2:
+		y = 2
+	default:
+		y = 3
+	}
+	return y
+}`)
+	s := c.String(fset)
+	// Find the case-1 block and the case-2 block; fallthrough must link them.
+	var c1, c2 *Block
+	for _, b := range c.Blocks {
+		for _, st := range b.Stmts {
+			switch renderStmt(fset, st) {
+			case "y = 1":
+				c1 = b
+			case "y = 2":
+				c2 = b
+			}
+		}
+	}
+	if c1 == nil || c2 == nil {
+		t.Fatalf("case blocks not found in:\n%s", s)
+	}
+	linked := false
+	for _, succ := range c1.Succs {
+		if succ == c2 {
+			linked = true
+		}
+	}
+	if !linked {
+		t.Errorf("fallthrough does not link case 1 (b%d) to case 2 (b%d):\n%s", c1.ID, c2.ID, s)
+	}
+}
+
+func TestCFGSelect(t *testing.T) {
+	c, fset := buildFor(t, `
+func f(a, b chan int) int {
+	select {
+	case v := <-a:
+		return v
+	case <-b:
+	}
+	return 0
+}`)
+	s := c.String(fset)
+	if !strings.Contains(s, "v := <-a") || !strings.Contains(s, "<-b") {
+		t.Errorf("select comm statements missing from:\n%s", s)
+	}
+	// Entry must branch to both comm clauses.
+	if len(c.Blocks[0].Succs) != 2 {
+		t.Errorf("select head has %d successors, want 2:\n%s", len(c.Blocks[0].Succs), s)
+	}
+}
+
+func TestCFGDefer(t *testing.T) {
+	c, fset := buildFor(t, `
+func f() error {
+	x := open()
+	defer x.Close()
+	if bad() {
+		return errFail
+	}
+	return nil
+}`)
+	if len(c.Defers) != 1 {
+		t.Fatalf("recorded %d defers, want 1", len(c.Defers))
+	}
+	s := c.String(fset)
+	if !strings.Contains(s, "defer x.Close()") {
+		t.Errorf("defer statement missing from blocks:\n%s", s)
+	}
+	// Both returns reach exit.
+	exitPreds := 0
+	for _, b := range c.Blocks {
+		for _, succ := range b.Succs {
+			if succ == c.Exit {
+				exitPreds++
+			}
+		}
+	}
+	if exitPreds < 2 {
+		t.Errorf("exit has %d predecessors, want >= 2:\n%s", exitPreds, s)
+	}
+}
+
+func TestCFGGoto(t *testing.T) {
+	c, fset := buildFor(t, `
+func f(n int) int {
+	i := 0
+loop:
+	if i < n {
+		i++
+		goto loop
+	}
+	return i
+}`)
+	s := c.String(fset)
+	// The goto block must loop back to the labeled block (which holds the if
+	// condition), making the label block its own ancestor.
+	var labelBlk, gotoBlk *Block
+	for _, b := range c.Blocks {
+		for _, st := range b.Stmts {
+			r := renderStmt(fset, st)
+			if r == "i < n" {
+				labelBlk = b
+			}
+			if r == "goto loop" {
+				gotoBlk = b
+			}
+		}
+	}
+	if labelBlk == nil || gotoBlk == nil {
+		t.Fatalf("label or goto block missing in:\n%s", s)
+	}
+	found := false
+	for _, succ := range gotoBlk.Succs {
+		if succ == labelBlk {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("goto block b%d does not target label block b%d:\n%s", gotoBlk.ID, labelBlk.ID, s)
+	}
+}
+
+func TestCFGRange(t *testing.T) {
+	c, fset := buildFor(t, `
+func f(xs []int) int {
+	s := 0
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}`)
+	s := c.String(fset)
+	if !strings.Contains(s, "range xs") {
+		t.Errorf("range header missing from:\n%s", s)
+	}
+}
+
+func TestCFGPanicTerminates(t *testing.T) {
+	c, _ := buildFor(t, `
+func f(x int) {
+	if x < 0 {
+		panic("negative")
+	}
+	use(x)
+}`)
+	// The panic block must have no successors: crash paths do not reach exit.
+	for _, b := range c.Blocks {
+		for _, st := range b.Stmts {
+			if es, ok := st.(*ast.ExprStmt); ok {
+				if call, ok := es.X.(*ast.CallExpr); ok {
+					if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "panic" {
+						if len(b.Succs) != 0 {
+							t.Errorf("panic block b%d has successors %v", b.ID, b.Succs)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestForwardReachesFixedPoint(t *testing.T) {
+	// Count-insensitive "may be set" analysis over a loop: the fact is a
+	// set of assigned variable names; join is union. The loop body assigns y,
+	// so y must be in the fact at exit even though the entry fact is empty.
+	c, _ := buildFor(t, `
+func f(n int) {
+	x := 0
+	for i := 0; i < n; i++ {
+		y := i
+		use(y)
+	}
+	use(x)
+}`)
+	type fact = LockSet // reuse the set type
+	res := Forward(c, Flow[fact]{
+		Entry: fact{},
+		Join: func(a, b fact) fact { // union join for a may-analysis
+			out := make(fact, len(a)+len(b))
+			for k := range a {
+				out[k] = true
+			}
+			for k := range b {
+				out[k] = true
+			}
+			return out
+		},
+		Equal: EqualLockSets,
+		Transfer: func(f fact, s ast.Stmt) fact {
+			if as, ok := s.(*ast.AssignStmt); ok {
+				for _, lhs := range as.Lhs {
+					if id, ok := lhs.(*ast.Ident); ok {
+						f = f.With(id.Name)
+					}
+				}
+			}
+			return f
+		},
+	})
+	exit := res[c.Exit]
+	if !exit["x"] || !exit["y"] || !exit["i"] {
+		t.Errorf("exit fact = %v, want x, y, i all present", exit.Names())
+	}
+}

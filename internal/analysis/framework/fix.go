@@ -1,0 +1,122 @@
+package framework
+
+import (
+	"fmt"
+	"go/format"
+	"go/token"
+	"os"
+	"sort"
+)
+
+// resolveFixes turns position-based edits into file/offset edits.
+func resolveFixes(fset *token.FileSet, fixes []SuggestedFix) []ResolvedFix {
+	if len(fixes) == 0 {
+		return nil
+	}
+	out := make([]ResolvedFix, 0, len(fixes))
+	for _, fx := range fixes {
+		rf := ResolvedFix{Message: fx.Message}
+		ok := true
+		for _, e := range fx.Edits {
+			start := fset.Position(e.Pos)
+			end := start
+			if e.End.IsValid() {
+				end = fset.Position(e.End)
+			}
+			if start.Filename == "" || end.Filename != start.Filename || end.Offset < start.Offset {
+				ok = false
+				break
+			}
+			rf.Edits = append(rf.Edits, ResolvedEdit{
+				Filename: start.Filename,
+				Start:    start.Offset,
+				End:      end.Offset,
+				NewText:  e.NewText,
+			})
+		}
+		if ok && len(rf.Edits) > 0 {
+			out = append(out, rf)
+		}
+	}
+	return out
+}
+
+// ApplyFixes applies every suggested fix carried by findings to the source
+// files on disk, gofmt-formatting each rewritten file. Overlapping edits
+// within one file are rejected (the second fix is dropped with an error
+// describing it) rather than applied blindly. Returns the sorted list of
+// files changed.
+func ApplyFixes(findings []Finding) (changed []string, err error) {
+	type edit struct {
+		ResolvedEdit
+		from string // finding description, for conflict errors
+	}
+	byFile := make(map[string][]edit)
+	for _, f := range findings {
+		for _, fx := range f.Fixes {
+			for _, e := range fx.Edits {
+				byFile[e.Filename] = append(byFile[e.Filename], edit{e, f.String()})
+			}
+		}
+	}
+	files := make([]string, 0, len(byFile))
+	for f := range byFile {
+		files = append(files, f)
+	}
+	sort.Strings(files)
+	for _, file := range files {
+		edits := byFile[file]
+		sort.Slice(edits, func(i, j int) bool {
+			if edits[i].Start != edits[j].Start {
+				return edits[i].Start < edits[j].Start
+			}
+			return edits[i].End < edits[j].End
+		})
+		for i := 1; i < len(edits); i++ {
+			if edits[i].Start < edits[i-1].End {
+				return changed, fmt.Errorf("conflicting fixes in %s (from %s and %s); apply one and re-run",
+					file, edits[i-1].from, edits[i].from)
+			}
+		}
+		src, rerr := os.ReadFile(file)
+		if rerr != nil {
+			return changed, rerr
+		}
+		var out []byte
+		last := 0
+		for _, e := range edits {
+			if e.Start < last || e.End > len(src) {
+				return changed, fmt.Errorf("fix edit out of range in %s [%d:%d)", file, e.Start, e.End)
+			}
+			out = append(out, src[last:e.Start]...)
+			out = append(out, e.NewText...)
+			last = e.End
+		}
+		out = append(out, src[last:]...)
+		formatted, ferr := format.Source(out)
+		if ferr != nil {
+			return changed, fmt.Errorf("fix result for %s does not parse: %w", file, ferr)
+		}
+		info, serr := os.Stat(file)
+		mode := os.FileMode(0o644)
+		if serr == nil {
+			mode = info.Mode().Perm()
+		}
+		if werr := os.WriteFile(file, formatted, mode); werr != nil {
+			return changed, werr
+		}
+		changed = append(changed, file)
+	}
+	return changed, nil
+}
+
+// FixableCount reports how many findings carry at least one suggested fix.
+func FixableCount(findings []Finding) int {
+	n := 0
+	for _, f := range findings {
+		if len(f.Fixes) > 0 {
+			n++
+		}
+	}
+	return n
+}

@@ -23,8 +23,13 @@ type Analyzer struct {
 	Name string
 	// Doc is the one-paragraph description shown by `recclint -list`.
 	Doc string
-	// Run applies the analyzer to one package.
+	// Run applies the analyzer to one package. May be nil for whole-program
+	// analyzers that only set RunProgram.
 	Run func(*Pass) error
+	// RunProgram, when set, runs once over every loaded package together.
+	// Cross-package analyses (the lock-acquisition-order graph, call-graph
+	// summaries) need the whole load unit; per-package Run cannot see it.
+	RunProgram func(*ProgramPass) error
 }
 
 // A Pass presents one type-checked package to an Analyzer. Mirrors
@@ -45,11 +50,60 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
 }
 
+// A ProgramPass presents every loaded package to a whole-program analyzer.
+// The loader shares one token.FileSet across packages, so positions from any
+// package resolve through Fset.
+type ProgramPass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Pkgs     []*Package
+
+	// Report records one finding (in whichever package it belongs to).
+	Report func(Diagnostic)
+}
+
+// Reportf is the printf-shaped Report helper.
+func (p *ProgramPass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// A TextEdit replaces the source range [Pos, End) with NewText. End == Pos
+// inserts. Mirrors analysis.TextEdit.
+type TextEdit struct {
+	Pos     token.Pos
+	End     token.Pos
+	NewText string
+}
+
+// A SuggestedFix is a conservative, machine-applicable resolution for one
+// diagnostic. Analyzers attach fixes only when the edit is trivially safe —
+// semantics-preserving or strictly tightening (a missing defer Close, a
+// context.Background() where ctx is in scope). `recclint -fix` applies them.
+type SuggestedFix struct {
+	Message string
+	Edits   []TextEdit
+}
+
 // A Diagnostic is one finding at a position.
 type Diagnostic struct {
 	Pos      token.Pos
 	Message  string
 	Analyzer string // filled by the runner
+	Fixes    []SuggestedFix
+}
+
+// A ResolvedEdit is a TextEdit resolved to a file and byte offsets.
+type ResolvedEdit struct {
+	Filename string
+	Start    int
+	End      int
+	NewText  string
+}
+
+// A ResolvedFix is a SuggestedFix with position-resolved edits.
+type ResolvedFix struct {
+	Message string
+	Edits   []ResolvedEdit
 }
 
 // Finding is a resolved diagnostic ready for printing or comparison.
@@ -57,6 +111,7 @@ type Finding struct {
 	Pos      token.Position
 	Analyzer string
 	Message  string
+	Fixes    []ResolvedFix
 }
 
 func (f Finding) String() string {
@@ -73,13 +128,39 @@ func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) ([]Finding, error) {
 	for _, a := range analyzers {
 		known[a.Name] = true
 	}
+	// Suppressions key on file and line, so the per-package tables merge into
+	// one global table that filters per-package and whole-program findings
+	// alike.
 	var findings []Finding
+	supp := suppressions{byKey: make(map[suppression]bool)}
 	for _, pkg := range pkgs {
-		supp, bad := collectSuppressions(pkg.Fset, pkg.Files, known)
+		s, bad := collectSuppressions(pkg.Fset, pkg.Files, known)
+		for k := range s.byKey {
+			supp.byKey[k] = true
+		}
 		for _, b := range bad {
 			findings = append(findings, Finding{Pos: pkg.Fset.Position(b.Pos), Analyzer: "suppression", Message: b.Message})
 		}
+	}
+	resolve := func(fset *token.FileSet, a *Analyzer, diags []Diagnostic) {
+		for _, d := range diags {
+			pos := fset.Position(d.Pos)
+			if supp.suppressed(a.Name, pos) {
+				continue
+			}
+			findings = append(findings, Finding{
+				Pos:      pos,
+				Analyzer: a.Name,
+				Message:  d.Message,
+				Fixes:    resolveFixes(fset, d.Fixes),
+			})
+		}
+	}
+	for _, pkg := range pkgs {
 		for _, a := range analyzers {
+			if a.Run == nil {
+				continue
+			}
 			pass := &Pass{
 				Analyzer:  a,
 				Fset:      pkg.Fset,
@@ -95,13 +176,25 @@ func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) ([]Finding, error) {
 			if err := a.Run(pass); err != nil {
 				return nil, fmt.Errorf("%s: running %s: %w", pkg.PkgPath, a.Name, err)
 			}
-			for _, d := range diags {
-				pos := pkg.Fset.Position(d.Pos)
-				if supp.suppressed(a.Name, pos) {
-					continue
-				}
-				findings = append(findings, Finding{Pos: pos, Analyzer: a.Name, Message: d.Message})
+			resolve(pkg.Fset, a, diags)
+		}
+	}
+	if len(pkgs) > 0 {
+		fset := pkgs[0].Fset
+		for _, a := range analyzers {
+			if a.RunProgram == nil {
+				continue
 			}
+			pass := &ProgramPass{Analyzer: a, Fset: fset, Pkgs: pkgs}
+			var diags []Diagnostic
+			pass.Report = func(d Diagnostic) {
+				d.Analyzer = a.Name
+				diags = append(diags, d)
+			}
+			if err := a.RunProgram(pass); err != nil {
+				return nil, fmt.Errorf("running %s over the program: %w", a.Name, err)
+			}
+			resolve(fset, a, diags)
 		}
 	}
 	sort.Slice(findings, func(i, j int) bool {

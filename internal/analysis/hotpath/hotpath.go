@@ -1,0 +1,253 @@
+// Package hotpath implements the recclint check that functions marked
+// //recclint:hotpath stay allocation-free: no make/new/append, no slice, map
+// or taken-address composite literals, no closures, no map iteration, no
+// interface boxing, no string concatenation, no defer/go. These are the
+// per-query code paths §V of the paper keeps at O(l) — the FASTQUERY hull
+// scan, the sketch row distance, the solver preconditioner sweeps — where a
+// single allocation per call turns into GC pressure at serving rates. The
+// claim is empirically enforced too (TestQueryZeroAllocs); the analyzer
+// catches the regression at review time, on every path, not just the one the
+// benchmark drives.
+package hotpath
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"resistecc/internal/analysis/framework"
+)
+
+const directive = "//recclint:hotpath"
+
+// Analyzer is the hotpath check.
+var Analyzer = &framework.Analyzer{
+	Name: "hotpath",
+	Doc:  "no heap allocation, map iteration, or interface conversion in //recclint:hotpath functions",
+	Run:  run,
+}
+
+func run(pass *framework.Pass) error {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !isHot(fd.Doc) {
+				continue
+			}
+			checkFunc(pass, fd)
+		}
+	}
+	return nil
+}
+
+func isHot(doc *ast.CommentGroup) bool {
+	if doc == nil {
+		return false
+	}
+	for _, c := range doc.List {
+		text := strings.TrimSpace(c.Text)
+		if text == directive || strings.HasPrefix(text, directive+" ") {
+			return true
+		}
+	}
+	return false
+}
+
+func checkFunc(pass *framework.Pass, fd *ast.FuncDecl) {
+	info := pass.TypesInfo
+	results := fd.Type.Results
+	var walk func(n ast.Node) bool
+	walk = func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			pass.Reportf(n.Pos(), "closure allocation in hot path")
+			return false // the literal's body runs elsewhere; one finding is enough
+
+		case *ast.GoStmt:
+			pass.Reportf(n.Pos(), "goroutine spawn in hot path")
+
+		case *ast.DeferStmt:
+			pass.Reportf(n.Pos(), "defer in hot path (frame and scheduling cost per call)")
+
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				if _, ok := ast.Unparen(n.X).(*ast.CompositeLit); ok {
+					pass.Reportf(n.Pos(), "heap allocation in hot path: address-taken composite literal")
+					return false
+				}
+			}
+
+		case *ast.CompositeLit:
+			switch info.Types[n].Type.Underlying().(type) {
+			case *types.Slice, *types.Map:
+				pass.Reportf(n.Pos(), "heap allocation in hot path: %s literal", typeKind(info.Types[n].Type))
+			}
+
+		case *ast.RangeStmt:
+			if n.Body == nil {
+				break
+			}
+			if tv, ok := info.Types[n.X]; ok {
+				if _, isMap := tv.Type.Underlying().(*types.Map); isMap {
+					pass.Reportf(n.Pos(), "map iteration in hot path (hash-order walk, per-iteration overhead)")
+				}
+			}
+
+		case *ast.BinaryExpr:
+			if n.Op == token.ADD && isNonConstString(info, n) {
+				pass.Reportf(n.Pos(), "heap allocation in hot path: string concatenation")
+			}
+
+		case *ast.AssignStmt:
+			if n.Tok == token.ADD_ASSIGN && len(n.Lhs) == 1 && isStringType(info.Types[n.Lhs[0]].Type) {
+				pass.Reportf(n.Pos(), "heap allocation in hot path: string concatenation")
+			}
+			if n.Tok == token.ASSIGN {
+				for i, lhs := range n.Lhs {
+					if i >= len(n.Rhs) {
+						break
+					}
+					lt := info.Types[lhs].Type
+					if lt != nil && types.IsInterface(lt) && boxes(info, n.Rhs[i]) {
+						pass.Reportf(n.Rhs[i].Pos(), "interface conversion in hot path: %s stored into %s", typeName(info, n.Rhs[i]), lt)
+					}
+				}
+			}
+
+		case *ast.ReturnStmt:
+			if results == nil {
+				break
+			}
+			rts := resultTypes(info, results)
+			if len(n.Results) != len(rts) {
+				break // naked return or multi-value call passthrough
+			}
+			for i, e := range n.Results {
+				if types.IsInterface(rts[i]) && !isErrorType(rts[i]) && boxes(info, e) {
+					pass.Reportf(e.Pos(), "interface conversion in hot path: %s returned as %s", typeName(info, e), rts[i])
+				}
+			}
+
+		case *ast.CallExpr:
+			checkCall(pass, n)
+		}
+		return true
+	}
+	ast.Inspect(fd.Body, walk)
+}
+
+func checkCall(pass *framework.Pass, call *ast.CallExpr) {
+	info := pass.TypesInfo
+	fun := ast.Unparen(call.Fun)
+
+	// Built-in allocators.
+	if id, ok := fun.(*ast.Ident); ok {
+		if b, ok := info.Uses[id].(*types.Builtin); ok {
+			switch b.Name() {
+			case "make", "new", "append":
+				pass.Reportf(call.Pos(), "heap allocation in hot path: %s", b.Name())
+			}
+			return
+		}
+	}
+
+	// Conversions: T(x) where T is an interface type boxes x.
+	if tv, ok := info.Types[fun]; ok && tv.IsType() {
+		if types.IsInterface(tv.Type) && len(call.Args) == 1 && boxes(info, call.Args[0]) {
+			pass.Reportf(call.Pos(), "interface conversion in hot path: %s converted to %s", typeName(info, call.Args[0]), tv.Type)
+		}
+		return
+	}
+
+	// Ordinary calls: concrete arguments boxed into interface parameters
+	// (including variadic ...any, the fmt trap).
+	sig, ok := info.Types[fun].Type.(*types.Signature)
+	if !ok {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			last := params.At(params.Len() - 1).Type()
+			if sl, ok := last.(*types.Slice); ok {
+				pt = sl.Elem()
+			}
+			if call.Ellipsis.IsValid() {
+				pt = last // x... passes the slice through; no boxing
+			}
+		case i < params.Len():
+			pt = params.At(i).Type()
+		}
+		if pt != nil && types.IsInterface(pt) && boxes(info, arg) {
+			pass.Reportf(arg.Pos(), "interface conversion in hot path: %s passed as %s", typeName(info, arg), pt)
+		}
+	}
+}
+
+// boxes reports whether passing e into an interface slot performs a boxing
+// conversion: its static type is concrete and it is not a nil literal.
+func boxes(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	if !ok || tv.Type == nil || tv.IsNil() {
+		return false
+	}
+	if types.IsInterface(tv.Type) {
+		return false // already an interface value; no new allocation here
+	}
+	return true
+}
+
+func isNonConstString(info *types.Info, e *ast.BinaryExpr) bool {
+	tv, ok := info.Types[e]
+	if !ok || tv.Value != nil {
+		return false
+	}
+	return isStringType(tv.Type)
+}
+
+func isStringType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func isErrorType(t types.Type) bool {
+	return t != nil && t.String() == "error"
+}
+
+func typeKind(t types.Type) string {
+	switch t.Underlying().(type) {
+	case *types.Slice:
+		return "slice"
+	case *types.Map:
+		return "map"
+	}
+	return t.String()
+}
+
+func typeName(info *types.Info, e ast.Expr) string {
+	if tv, ok := info.Types[e]; ok && tv.Type != nil {
+		return tv.Type.String()
+	}
+	return "value"
+}
+
+func resultTypes(info *types.Info, results *ast.FieldList) []types.Type {
+	var out []types.Type
+	for _, f := range results.List {
+		t := info.Types[f.Type].Type
+		reps := len(f.Names)
+		if reps == 0 {
+			reps = 1
+		}
+		for i := 0; i < reps; i++ {
+			out = append(out, t)
+		}
+	}
+	return out
+}

@@ -1,0 +1,15 @@
+package hotpath_test
+
+import (
+	"testing"
+
+	"resistecc/internal/analysis/framework"
+	"resistecc/internal/analysis/hotpath"
+)
+
+func TestHotpath(t *testing.T) {
+	if testing.Short() {
+		t.Skip("invokes go list")
+	}
+	framework.TestAnalyzer(t, hotpath.Analyzer, framework.FixturePath("hotpath"))
+}

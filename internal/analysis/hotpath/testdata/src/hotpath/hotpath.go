@@ -1,0 +1,128 @@
+// Fixture for the hotpath analyzer: //recclint:hotpath functions must not
+// allocate, iterate maps, or box into interfaces. Unmarked functions are
+// never flagged.
+package hotpath
+
+import "fmt"
+
+// Stat is a value type; value literals and field reads stay on the stack.
+type Stat struct {
+	Max float64
+	Arg int
+}
+
+// distance is the shape of the real sketch row op: pure index arithmetic.
+//
+//recclint:hotpath
+func distance(pu, pv []float64) float64 {
+	r := 0.0
+	for i, x := range pu {
+		dx := x - pv[i]
+		r += dx * dx
+	}
+	return r
+}
+
+// scan is the shape of the real hull scan: calls and struct value returns
+// are fine.
+//
+//recclint:hotpath
+func scan(pts [][]float64, cand []int) Stat {
+	best := Stat{Arg: -1}
+	for _, v := range cand {
+		if r := distance(pts[0], pts[v]); r > best.Max {
+			best = Stat{Max: r, Arg: v}
+		}
+	}
+	return best
+}
+
+//recclint:hotpath
+func allocators(n int) []int {
+	xs := make([]int, n) // want "heap allocation in hot path: make"
+	p := new(int)        // want "heap allocation in hot path: new"
+	_ = p
+	xs = append(xs, 1) // want "heap allocation in hot path: append"
+	ys := []int{1, 2}  // want "heap allocation in hot path: slice literal"
+	_ = ys
+	m := map[int]int{} // want "heap allocation in hot path: map literal"
+	_ = m
+	s := &Stat{} // want "heap allocation in hot path: address-taken composite literal"
+	_ = s
+	return xs
+}
+
+//recclint:hotpath
+func mapIter(m map[int]float64) float64 {
+	s := 0.0
+	for _, v := range m { // want "map iteration in hot path"
+		s += v
+	}
+	return s
+}
+
+//recclint:hotpath
+func boxing(x int, s Stat) {
+	fmt.Println(x) // want "interface conversion in hot path: int passed as any"
+	var i interface{}
+	i = s // want "interface conversion in hot path: .*Stat stored into"
+	_ = i
+	_ = interface{}(x) // want "interface conversion in hot path: int converted to"
+}
+
+//recclint:hotpath
+func strCat(a, b string) string {
+	return a + b // want "heap allocation in hot path: string concatenation"
+}
+
+//recclint:hotpath
+func closureAndDefer() {
+	defer distance(nil, nil) // want "defer in hot path"
+	f := func() {}           // want "closure allocation in hot path"
+	f()
+	go distance(nil, nil) // want "goroutine spawn in hot path"
+}
+
+// constStrings: constant folding means no runtime concatenation.
+//
+//recclint:hotpath
+func constStrings() string {
+	const a = "x" + "y" // no finding: folded at compile time
+	return a
+}
+
+// interfacePassthrough: an interface value forwarded as an interface does
+// not re-box, and nil never boxes.
+//
+//recclint:hotpath
+func interfacePassthrough(err error) error {
+	if err != nil {
+		return err // no finding
+	}
+	return nil // no finding
+}
+
+// variadicForward: forwarding an existing []any with ... does not box.
+//
+//recclint:hotpath
+func variadicForward(args []any) {
+	fmt.Println(args...) // no finding
+}
+
+// unmarked allocates freely: the analyzer only constrains marked functions.
+func unmarked(n int) []int {
+	xs := make([]int, n)
+	m := map[int]int{1: 2}
+	for k := range m {
+		xs = append(xs, k)
+	}
+	return xs
+}
+
+// suppressedAlloc: a justified //recclint:ignore composes with hotpath.
+//
+//recclint:hotpath
+func suppressedAlloc(n int) []int {
+	//recclint:ignore hotpath one-time warm-up allocation amortized across the scan
+	return make([]int, n)
+}

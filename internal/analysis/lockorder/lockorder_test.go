@@ -1,0 +1,15 @@
+package lockorder_test
+
+import (
+	"testing"
+
+	"resistecc/internal/analysis/framework"
+	"resistecc/internal/analysis/lockorder"
+)
+
+func TestLockorder(t *testing.T) {
+	if testing.Short() {
+		t.Skip("invokes go list")
+	}
+	framework.TestAnalyzer(t, lockorder.Analyzer, framework.FixturePath("lockorder"))
+}

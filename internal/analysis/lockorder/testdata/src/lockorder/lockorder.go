@@ -1,0 +1,154 @@
+// Fixture for the lockorder analyzer: the global acquisition-order graph
+// must stay acyclic. Edges come from direct nesting, //recclint:holds entry
+// sets, and one-level callee summaries; intended order is declared with
+// //recclint:lockrank.
+package lockorder
+
+import "sync"
+
+// A and B form the basic observed cycle.
+type A struct{ mu sync.Mutex }
+type B struct{ mu sync.Mutex }
+
+// ab nests B under A; the deferred unlock keeps A held at the inner Lock.
+func ab(a *A, b *B) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	b.mu.Lock() // want "lock acquisition order cycle among lockorder\.A\.mu, lockorder\.B\.mu"
+	b.mu.Unlock()
+}
+
+// ba nests A under B: the opposite order closes the cycle reported above.
+func ba(a *A, b *B) {
+	b.mu.Lock()
+	a.mu.Lock()
+	a.mu.Unlock()
+	b.mu.Unlock()
+}
+
+// C and D have a declared order the code respects: no finding.
+//
+//recclint:lockrank lockorder.C.mu < lockorder.D.mu
+type C struct{ mu sync.Mutex }
+type D struct{ mu sync.RWMutex }
+
+func cd(c *C, d *D) {
+	c.mu.Lock()
+	d.mu.RLock()
+	d.mu.RUnlock()
+	c.mu.Unlock()
+}
+
+// E and F have a declared order the code inverts.
+//
+//recclint:lockrank lockorder.E.mu < lockorder.F.mu
+type E struct{ mu sync.Mutex }
+type F struct{ mu sync.Mutex }
+
+func fe(e *E, f *F) {
+	f.mu.Lock()
+	e.mu.Lock() // want "acquiring lockorder\.E\.mu while holding lockorder\.F\.mu contradicts the declared lock order"
+	e.mu.Unlock()
+	f.mu.Unlock()
+}
+
+// H and I cycle through a //recclint:holds entry set: pokeI runs under
+// h.mu by contract, so its inner Lock is a nested acquisition.
+type H struct{ mu sync.Mutex }
+type I struct{ mu sync.Mutex }
+
+// pokeI is called with h.mu held.
+//
+//recclint:holds mu
+func (h *H) pokeI(i *I) {
+	i.mu.Lock() // want "lock acquisition order cycle among lockorder\.H\.mu, lockorder\.I\.mu"
+	i.mu.Unlock()
+}
+
+func iThenH(h *H, i *I) {
+	i.mu.Lock()
+	h.mu.Lock()
+	h.mu.Unlock()
+	i.mu.Unlock()
+}
+
+// J and K cycle through a one-level callee summary: lockK acquires K.mu, so
+// calling it with J.mu held is a nested acquisition at the call site.
+type J struct{ mu sync.Mutex }
+type K struct{ mu sync.Mutex }
+
+func lockK(k *K) {
+	k.mu.Lock()
+	k.mu.Unlock()
+}
+
+func jThenK(j *J, k *K) {
+	j.mu.Lock()
+	lockK(k) // want "lock acquisition order cycle among lockorder\.J\.mu, lockorder\.K\.mu"
+	j.mu.Unlock()
+}
+
+func kThenJ(j *J, k *K) {
+	k.mu.Lock()
+	j.mu.Lock()
+	j.mu.Unlock()
+	k.mu.Unlock()
+}
+
+// M and N: the must-hold set is an intersection, so a lock taken on only one
+// branch is not held after the join and records no edge — no false cycle
+// with the N-before-M order below.
+type M struct{ mu sync.Mutex }
+type N struct{ mu sync.Mutex }
+
+func maybeM(m *M, n *N, cond bool) {
+	if cond {
+		m.mu.Lock()
+	}
+	n.mu.Lock() // no finding: M.mu is not held on every path here
+	n.mu.Unlock()
+	if cond {
+		m.mu.Unlock()
+	}
+}
+
+func nThenM(m *M, n *N) {
+	n.mu.Lock()
+	m.mu.Lock()
+	m.mu.Unlock()
+	n.mu.Unlock()
+}
+
+// Embedded mutexes and package-level mutexes are nameable too; this single
+// consistent order produces no finding.
+var global sync.Mutex
+
+type Embeds struct{ sync.Mutex }
+
+func embedded(e *Embeds) {
+	e.Lock()
+	global.Lock()
+	global.Unlock()
+	e.Unlock()
+}
+
+// P and Q cycle, but the report site carries a justified suppression.
+type P struct{ mu sync.Mutex }
+type Q struct{ mu sync.Mutex }
+
+func pq(p *P, q *Q) {
+	p.mu.Lock()
+	//recclint:ignore lockorder boot sequence runs single-threaded before serving starts
+	q.mu.Lock()
+	q.mu.Unlock()
+	p.mu.Unlock()
+}
+
+func qp(p *P, q *Q) {
+	q.mu.Lock()
+	p.mu.Lock()
+	p.mu.Unlock()
+	q.mu.Unlock()
+}
+
+//recclint:lockrank solo // want "recclint:lockrank needs at least two lock names"

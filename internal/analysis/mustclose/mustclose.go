@@ -1,0 +1,901 @@
+// Package mustclose implements the recclint check that owned resources reach
+// Close on every path. A value is tracked when a call assigns it to a local
+// and its type owns an OS resource: *os.File, or any module type with a Close
+// method (the WAL-backed persist.Store, resistecc.DynamicIndex, fixture
+// types). The check is a forward dataflow over the function's CFG: each
+// tracked local is open, closed, or escaped per path, and a local still open
+// when the function can return is a leak — the error-path variants (open
+// succeeds, the next step fails, the early return skips Close) are exactly
+// the ones reviewers miss and goroutine-leak checkers cannot see.
+//
+// Ownership transfer ends tracking without a finding: returning the value,
+// storing it into a field, sending it away, capturing it in a closure, or
+// passing it to a function that keeps it. Direct callees in the loaded
+// program get a one-level summary (closes / borrows / escapes its parameter);
+// unresolvable callees are assumed to take ownership, so dynamic dispatch
+// degrades to silence, not noise. A //recclint:transfers directive on a
+// function declares "this sink owns its argument" explicitly.
+//
+// When a tracked value is provably never closed and never escapes anywhere
+// in the function, the finding carries an autofix inserting `defer x.Close()`
+// after the creation's error check — the one edit that is always safe.
+package mustclose
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"resistecc/internal/analysis/dataflow"
+	"resistecc/internal/analysis/framework"
+)
+
+const transfersDirective = "//recclint:transfers"
+
+// Analyzer is the mustclose check. It runs over the whole program so callee
+// summaries resolve across package boundaries.
+var Analyzer = &framework.Analyzer{
+	Name:       "mustclose",
+	Doc:        "os.File/Store/DynamicIndex values must reach Close or a //recclint:transfers sink on every path",
+	RunProgram: runProgram,
+}
+
+// resState is the per-variable lattice, joined with max so a value open on
+// any incoming path stays open at the join. A creation paired with an error
+// result starts pending: the resource only provably exists once control takes
+// the err == nil edge of the error check (or the value is used), which is
+// what keeps the ubiquitous `if err != nil { return err }` shape clean.
+// Pending at exit is not a finding — that is the failure path.
+type resState uint8
+
+const (
+	stClosed resState = iota
+	stEscaped
+	stPending
+	stOpen
+)
+
+// fact maps tracked locals to their state. Treated as immutable.
+type fact map[*types.Var]resState
+
+func (f fact) with(v *types.Var, s resState) fact {
+	if cur, ok := f[v]; ok && cur == s {
+		return f
+	}
+	out := make(fact, len(f)+1)
+	for k, st := range f {
+		out[k] = st
+	}
+	out[v] = s
+	return out
+}
+
+func joinFacts(a, b fact) fact {
+	out := make(fact, len(a)+len(b))
+	for k, s := range a {
+		out[k] = s
+	}
+	for k, s := range b {
+		if cur, ok := out[k]; !ok || s > cur {
+			out[k] = s
+		}
+	}
+	return out
+}
+
+func equalFacts(a, b fact) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k, s := range a {
+		if bs, ok := b[k]; !ok || bs != s {
+			return false
+		}
+	}
+	return true
+}
+
+type paramMode uint8
+
+const (
+	pmBorrows paramMode = iota // callee only uses the value
+	pmCloses                   // callee closes it on the paths that matter
+	pmEscapes                  // callee keeps it: ownership transferred
+)
+
+type checker struct {
+	pass      *framework.ProgramPass
+	prog      *dataflow.Program
+	summaries map[string]paramMode
+}
+
+func runProgram(pass *framework.ProgramPass) error {
+	c := &checker{
+		pass:      pass,
+		prog:      dataflow.BuildProgram(pass.Pkgs),
+		summaries: make(map[string]paramMode),
+	}
+	for _, pkg := range pass.Pkgs {
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+					c.checkFunc(pkg, fd)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// creation records where a tracked local was born, for reporting and fixes.
+type creation struct {
+	pos     token.Pos
+	typ     string
+	callee  string
+	assign  *ast.AssignStmt
+	withErr bool // an error result accompanies the resource
+}
+
+type funcState struct {
+	c    *checker
+	pkg  *framework.Package
+	fd   *ast.FuncDecl
+	info *types.Info
+
+	created     map[*types.Var]*creation
+	companions  map[types.Object]map[*types.Var]bool // err var -> resources it gates
+	everClosed  map[*types.Var]bool
+	everEscaped map[*types.Var]bool
+	discards    map[token.Pos]string
+}
+
+func (c *checker) checkFunc(pkg *framework.Package, fd *ast.FuncDecl) {
+	cfg := dataflow.Build(fd)
+	if cfg == nil {
+		return
+	}
+	fs := &funcState{
+		c:           c,
+		pkg:         pkg,
+		fd:          fd,
+		info:        pkg.TypesInfo,
+		created:     make(map[*types.Var]*creation),
+		companions:  make(map[types.Object]map[*types.Var]bool),
+		everClosed:  make(map[*types.Var]bool),
+		everEscaped: make(map[*types.Var]bool),
+		discards:    make(map[token.Pos]string),
+	}
+	facts := dataflow.Forward(cfg, dataflow.Flow[fact]{
+		Entry:    fact{},
+		Join:     joinFacts,
+		Equal:    equalFacts,
+		Transfer: fs.transfer,
+		Branch:   fs.branch,
+	})
+	for pos, callee := range fs.discards {
+		c.pass.Reportf(pos, "result of %s has a Close method but is discarded; assign and close it", callee)
+	}
+	exit := facts[cfg.Exit]
+	for v, st := range exit {
+		if st != stOpen {
+			continue
+		}
+		cr := fs.created[v]
+		if cr == nil {
+			continue
+		}
+		d := framework.Diagnostic{
+			Pos: cr.pos,
+			Message: fmt.Sprintf("%s returned by %s is not closed on every path; close it, defer the Close, or transfer ownership",
+				cr.typ, cr.callee),
+		}
+		if !fs.everClosed[v] && !fs.everEscaped[v] {
+			if fix := fs.deferCloseFix(v, cr); fix != nil {
+				d.Fixes = []framework.SuggestedFix{*fix}
+			}
+		}
+		c.pass.Report(d)
+	}
+}
+
+// transfer applies one CFG statement to the fact. It also records events
+// (creations, closes, escapes, discards) in the side tables; these are
+// monotone booleans, so re-running during the fixed point is harmless.
+func (fs *funcState) transfer(f fact, s ast.Stmt) fact {
+	switch s := s.(type) {
+	case *ast.AssignStmt:
+		// Uses on the RHS first (y = x aliases; s.f = x escapes).
+		for _, rhs := range s.Rhs {
+			if id, ok := ast.Unparen(rhs).(*ast.Ident); ok {
+				if v := fs.trackedVar(id); v != nil {
+					// Copying to another local aliases it; storing anywhere
+					// else publishes it. Both end tracking conservatively.
+					f = fs.escape(f, v)
+					continue
+				}
+			}
+			f = fs.scanExpr(f, rhs)
+		}
+		// Then creations on the LHS.
+		if len(s.Rhs) == 1 {
+			if call, ok := ast.Unparen(s.Rhs[0]).(*ast.CallExpr); ok {
+				f = fs.handleCreation(f, s, call)
+			}
+		}
+		return f
+
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for _, val := range vs.Values {
+					f = fs.scanExpr(f, val)
+				}
+				if len(vs.Values) == 1 {
+					if call, ok := ast.Unparen(vs.Values[0]).(*ast.CallExpr); ok {
+						f = fs.handleSpecCreation(f, vs, call)
+					}
+				}
+			}
+		}
+		return f
+
+	case *ast.ExprStmt:
+		if call, ok := ast.Unparen(s.X).(*ast.CallExpr); ok {
+			// A discarded closeable result is an immediate leak.
+			if name := fs.closeableResult(call); name != "" && fs.closeCallVar(call) == nil {
+				fs.discards[call.Pos()] = name
+			}
+		}
+		return fs.scanExpr(f, s.X)
+
+	case *ast.DeferStmt:
+		if v := fs.closeCallVar(s.Call); v != nil {
+			fs.everClosed[v] = true
+			return f.with(v, stClosed)
+		}
+		return fs.scanExpr(f, s.Call)
+
+	case *ast.ReturnStmt:
+		for _, e := range s.Results {
+			if id, ok := ast.Unparen(e).(*ast.Ident); ok {
+				if v := fs.trackedVar(id); v != nil {
+					f = fs.escape(f, v)
+					continue
+				}
+			}
+			f = fs.scanExpr(f, e)
+		}
+		return f
+
+	case *ast.SendStmt:
+		if id, ok := ast.Unparen(s.Value).(*ast.Ident); ok {
+			if v := fs.trackedVar(id); v != nil {
+				return fs.escape(f, v)
+			}
+		}
+		return fs.scanExpr(f, s.Value)
+
+	case *ast.GoStmt:
+		// Anything reachable from a spawned goroutine escapes.
+		return fs.scanExpr(f, s.Call)
+
+	case *ast.RangeStmt:
+		if s.X != nil {
+			return fs.scanExpr(f, s.X)
+		}
+		return f
+
+	case *ast.IncDecStmt:
+		return fs.scanExpr(f, s.X)
+
+	default:
+		return f
+	}
+}
+
+// branch refines the fact on each edge of a two-way branch whose condition
+// compares a creation's companion error variable against nil: on the failure
+// edge the resource was never created (drop to closed, silently); on the
+// success edge it provably exists (pending becomes open).
+func (fs *funcState) branch(f fact, last ast.Stmt, succ, nsuccs int) fact {
+	if nsuccs != 2 {
+		return f
+	}
+	es, ok := last.(*ast.ExprStmt)
+	if !ok {
+		return f
+	}
+	be, ok := ast.Unparen(es.X).(*ast.BinaryExpr)
+	if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+		return f
+	}
+	var errID *ast.Ident
+	switch {
+	case fs.isNil(be.Y):
+		errID, _ = ast.Unparen(be.X).(*ast.Ident)
+	case fs.isNil(be.X):
+		errID, _ = ast.Unparen(be.Y).(*ast.Ident)
+	}
+	if errID == nil {
+		return f
+	}
+	comp := fs.companions[fs.info.ObjectOf(errID)]
+	if comp == nil {
+		return f
+	}
+	errEdge := 0 // err != nil: the condition-true edge is the failure path
+	if be.Op == token.EQL {
+		errEdge = 1
+	}
+	for v := range comp {
+		if st, ok := f[v]; ok && st == stPending {
+			if succ == errEdge {
+				f = f.with(v, stClosed)
+			} else {
+				f = f.with(v, stOpen)
+			}
+		}
+	}
+	return f
+}
+
+func (fs *funcState) isNil(e ast.Expr) bool {
+	tv, ok := fs.info.Types[e]
+	return ok && tv.IsNil()
+}
+
+// promote moves a pending resource to open: any real use means the creation
+// succeeded on this path.
+func (fs *funcState) promote(f fact, v *types.Var) fact {
+	if st, ok := f[v]; ok && st == stPending {
+		return f.with(v, stOpen)
+	}
+	return f
+}
+
+// scanExpr walks one expression, applying closes, callee summaries, and
+// escape rules to every tracked variable it mentions.
+func (fs *funcState) scanExpr(f fact, e ast.Expr) fact {
+	if e == nil {
+		return f
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			// Captured resources escape into the closure.
+			ast.Inspect(n.Body, func(inner ast.Node) bool {
+				if id, ok := inner.(*ast.Ident); ok {
+					if v := fs.trackedVar(id); v != nil {
+						f = fs.escape(f, v)
+					}
+				}
+				return true
+			})
+			return false
+
+		case *ast.CallExpr:
+			if v := fs.closeCallVar(n); v != nil {
+				fs.everClosed[v] = true
+				f = f.with(v, stClosed)
+				// Still scan arguments of Close (there are none normally).
+				return false
+			}
+			// Receiver position borrows: x.Read(buf) does not move x.
+			if sel, ok := ast.Unparen(n.Fun).(*ast.SelectorExpr); ok {
+				if id, ok := ast.Unparen(sel.X).(*ast.Ident); ok {
+					if v := fs.trackedVar(id); v != nil {
+						f = fs.promote(f, v)
+						for _, arg := range n.Args {
+							f = fs.scanExpr(f, arg)
+						}
+						return false
+					}
+				}
+			}
+			switch ast.Unparen(n.Fun).(type) {
+			case *ast.Ident, *ast.SelectorExpr:
+			default:
+				// e.g. an immediately-invoked func literal capturing resources
+				f = fs.scanExpr(f, n.Fun)
+			}
+			f = fs.applyCallArgs(f, n)
+			return false
+
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				if id, ok := ast.Unparen(n.X).(*ast.Ident); ok {
+					if v := fs.trackedVar(id); v != nil {
+						f = fs.escape(f, v)
+						return false
+					}
+				}
+			}
+
+		case *ast.CompositeLit:
+			for _, el := range n.Elts {
+				val := el
+				if kv, ok := el.(*ast.KeyValueExpr); ok {
+					val = kv.Value
+				}
+				if id, ok := ast.Unparen(val).(*ast.Ident); ok {
+					if v := fs.trackedVar(id); v != nil {
+						f = fs.escape(f, v)
+					}
+				}
+			}
+
+		case *ast.BinaryExpr:
+			// Nil comparisons observe without using; do not promote through
+			// them (f != nil guards are not evidence the resource is live).
+			if (n.Op == token.EQL || n.Op == token.NEQ) && (fs.isNil(n.X) || fs.isNil(n.Y)) {
+				return false
+			}
+
+		case *ast.Ident:
+			if v := fs.trackedVar(n); v != nil {
+				f = fs.promote(f, v)
+			}
+		}
+		return true
+	})
+	return f
+}
+
+// applyCallArgs resolves the callee and applies per-argument summaries.
+func (fs *funcState) applyCallArgs(f fact, call *ast.CallExpr) fact {
+	callee := fs.c.prog.ResolvedCallee(fs.info, call)
+	for i, arg := range call.Args {
+		id, ok := ast.Unparen(arg).(*ast.Ident)
+		if !ok {
+			f = fs.scanExpr(f, arg)
+			continue
+		}
+		v := fs.trackedVar(id)
+		if v == nil {
+			continue
+		}
+		mode := pmEscapes // unknown callee: assume it keeps the value
+		if callee != nil {
+			mode = fs.c.paramSummary(callee, i)
+		}
+		switch mode {
+		case pmCloses:
+			fs.everClosed[v] = true
+			f = f.with(v, stClosed)
+		case pmBorrows:
+			f = fs.promote(f, v)
+		default:
+			f = fs.escape(f, v)
+		}
+	}
+	return f
+}
+
+func (fs *funcState) escape(f fact, v *types.Var) fact {
+	fs.everEscaped[v] = true
+	if st, ok := f[v]; !ok || st == stOpen || st == stPending {
+		return f.with(v, stEscaped)
+	}
+	return f // already closed or escaped; nothing changes
+}
+
+// trackedVar resolves an ident to a tracked local created in this function.
+func (fs *funcState) trackedVar(id *ast.Ident) *types.Var {
+	obj := fs.info.ObjectOf(id)
+	v, ok := obj.(*types.Var)
+	if !ok {
+		return nil
+	}
+	if _, tracked := fs.created[v]; !tracked {
+		return nil
+	}
+	return v
+}
+
+// closeCallVar returns the tracked variable x for a call of the form
+// x.Close(), else nil.
+func (fs *funcState) closeCallVar(call *ast.CallExpr) *types.Var {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Close" {
+		return nil
+	}
+	id, ok := ast.Unparen(sel.X).(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	return fs.trackedVar(id)
+}
+
+// handleCreation tracks closeable results of call assigned to plain idents.
+func (fs *funcState) handleCreation(f fact, s *ast.AssignStmt, call *ast.CallExpr) fact {
+	comps := fs.resultComponents(call)
+	if comps == nil {
+		return f
+	}
+	// A named error companion gates the creation: until control passes its
+	// nil check (or the value is used), the resource is only pending.
+	var errObj types.Object
+	for i, t := range comps {
+		if t != nil && t.String() == "error" && i < len(s.Lhs) {
+			if id, ok := s.Lhs[i].(*ast.Ident); ok && id.Name != "_" {
+				errObj = fs.info.ObjectOf(id)
+			}
+		}
+	}
+	for i, t := range comps {
+		if i >= len(s.Lhs) || !fs.isCloseable(t) {
+			continue
+		}
+		id, ok := s.Lhs[i].(*ast.Ident)
+		if !ok {
+			continue
+		}
+		if id.Name == "_" {
+			fs.discards[call.Pos()] = calleeDesc(fs.info, call)
+			continue
+		}
+		v, ok := fs.info.ObjectOf(id).(*types.Var)
+		if !ok {
+			continue
+		}
+		fs.created[v] = &creation{
+			pos:     call.Pos(),
+			typ:     typeDesc(t),
+			callee:  calleeDesc(fs.info, call),
+			assign:  s,
+			withErr: errObj != nil,
+		}
+		state := stOpen
+		if errObj != nil {
+			state = stPending
+			if fs.companions[errObj] == nil {
+				fs.companions[errObj] = make(map[*types.Var]bool)
+			}
+			fs.companions[errObj][v] = true
+		}
+		f = f.with(v, state)
+	}
+	return f
+}
+
+func (fs *funcState) handleSpecCreation(f fact, vs *ast.ValueSpec, call *ast.CallExpr) fact {
+	comps := fs.resultComponents(call)
+	if comps == nil {
+		return f
+	}
+	var errObj types.Object
+	for i, t := range comps {
+		if t != nil && t.String() == "error" && i < len(vs.Names) && vs.Names[i].Name != "_" {
+			errObj = fs.info.ObjectOf(vs.Names[i])
+		}
+	}
+	for i, t := range comps {
+		if i >= len(vs.Names) || !fs.isCloseable(t) {
+			continue
+		}
+		id := vs.Names[i]
+		if id.Name == "_" {
+			fs.discards[call.Pos()] = calleeDesc(fs.info, call)
+			continue
+		}
+		v, ok := fs.info.ObjectOf(id).(*types.Var)
+		if !ok {
+			continue
+		}
+		fs.created[v] = &creation{
+			pos:    call.Pos(),
+			typ:    typeDesc(t),
+			callee: calleeDesc(fs.info, call),
+		}
+		state := stOpen
+		if errObj != nil {
+			state = stPending
+			if fs.companions[errObj] == nil {
+				fs.companions[errObj] = make(map[*types.Var]bool)
+			}
+			fs.companions[errObj][v] = true
+		}
+		f = f.with(v, state)
+	}
+	return f
+}
+
+// resultComponents returns the call's result types when at least one of them
+// is closeable, else nil.
+func (fs *funcState) resultComponents(call *ast.CallExpr) []types.Type {
+	tv, ok := fs.info.Types[call]
+	if !ok || tv.Type == nil {
+		return nil
+	}
+	var comps []types.Type
+	if tuple, ok := tv.Type.(*types.Tuple); ok {
+		for i := 0; i < tuple.Len(); i++ {
+			comps = append(comps, tuple.At(i).Type())
+		}
+	} else {
+		comps = []types.Type{tv.Type}
+	}
+	for _, t := range comps {
+		if fs.isCloseable(t) {
+			return comps
+		}
+	}
+	return nil
+}
+
+// closeableResult describes the callee when the call's (sole or first)
+// closeable result would be dropped.
+func (fs *funcState) closeableResult(call *ast.CallExpr) string {
+	if fs.resultComponents(call) == nil {
+		return ""
+	}
+	return calleeDesc(fs.info, call)
+}
+
+// isCloseable reports whether t owns a resource the analyzer tracks:
+// *os.File, or a named module/package-local type with a Close method.
+func (fs *funcState) isCloseable(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil {
+		return false
+	}
+	path := obj.Pkg().Path()
+	if path == "os" {
+		return obj.Name() == "File"
+	}
+	inModule := strings.HasPrefix(path, "resistecc") || obj.Pkg() == fs.pkg.Types
+	if !inModule {
+		return false
+	}
+	m, _, _ := types.LookupFieldOrMethod(types.NewPointer(named), true, obj.Pkg(), "Close")
+	fn, ok := m.(*types.Func)
+	return ok && fn != nil
+}
+
+// paramSummary computes (and caches) how callee treats its i-th argument.
+func (c *checker) paramSummary(callee *dataflow.FuncInfo, idx int) paramMode {
+	key := fmt.Sprintf("%s#%d", callee.Obj.FullName(), idx)
+	if m, ok := c.summaries[key]; ok {
+		return m
+	}
+	mode := c.computeParamSummary(callee, idx)
+	c.summaries[key] = mode
+	return mode
+}
+
+func (c *checker) computeParamSummary(callee *dataflow.FuncInfo, idx int) paramMode {
+	if hasTransfersDirective(callee.Decl.Doc, paramName(callee.Decl, idx)) {
+		return pmEscapes
+	}
+	if callee.Decl.Body == nil {
+		return pmEscapes
+	}
+	name := paramName(callee.Decl, idx)
+	if name == "" || name == "_" {
+		return pmBorrows // unnamed parameters cannot be used at all
+	}
+	var obj types.Object
+	flat := 0
+	for _, field := range callee.Decl.Type.Params.List {
+		for _, n := range field.Names {
+			if flat == idx {
+				obj = callee.Pkg.TypesInfo.Defs[n]
+			}
+			flat++
+		}
+		if len(field.Names) == 0 {
+			flat++
+		}
+	}
+	if obj == nil {
+		return pmEscapes
+	}
+	closes, escapes := false, false
+	info := callee.Pkg.TypesInfo
+	ast.Inspect(callee.Decl.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			ast.Inspect(n.Body, func(inner ast.Node) bool {
+				if id, ok := inner.(*ast.Ident); ok && info.ObjectOf(id) == obj {
+					escapes = true
+				}
+				return true
+			})
+			return false
+		case *ast.CallExpr:
+			if sel, ok := ast.Unparen(n.Fun).(*ast.SelectorExpr); ok {
+				if id, ok := ast.Unparen(sel.X).(*ast.Ident); ok && info.ObjectOf(id) == obj {
+					if sel.Sel.Name == "Close" {
+						closes = true
+					}
+					return false // receiver position otherwise borrows
+				}
+			}
+			for _, arg := range n.Args {
+				if id, ok := ast.Unparen(arg).(*ast.Ident); ok && info.ObjectOf(id) == obj {
+					escapes = true // passed on: beyond the one-level horizon
+				}
+			}
+		case *ast.ReturnStmt:
+			for _, e := range n.Results {
+				if id, ok := ast.Unparen(e).(*ast.Ident); ok && info.ObjectOf(id) == obj {
+					escapes = true
+				}
+			}
+		case *ast.AssignStmt:
+			for i, rhs := range n.Rhs {
+				id, ok := ast.Unparen(rhs).(*ast.Ident)
+				if !ok || info.ObjectOf(id) != obj {
+					continue
+				}
+				if i < len(n.Lhs) {
+					if _, plain := n.Lhs[i].(*ast.Ident); !plain {
+						escapes = true // stored into a field/slot
+					} else {
+						escapes = true // aliased; conservative
+					}
+				}
+			}
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				if id, ok := ast.Unparen(n.X).(*ast.Ident); ok && info.ObjectOf(id) == obj {
+					escapes = true
+				}
+			}
+		case *ast.CompositeLit:
+			for _, el := range n.Elts {
+				val := el
+				if kv, ok := el.(*ast.KeyValueExpr); ok {
+					val = kv.Value
+				}
+				if id, ok := ast.Unparen(val).(*ast.Ident); ok && info.ObjectOf(id) == obj {
+					escapes = true
+				}
+			}
+		case *ast.SendStmt:
+			if id, ok := ast.Unparen(n.Value).(*ast.Ident); ok && info.ObjectOf(id) == obj {
+				escapes = true
+			}
+		}
+		return true
+	})
+	if escapes {
+		return pmEscapes
+	}
+	if closes {
+		return pmCloses
+	}
+	return pmBorrows
+}
+
+func paramName(fd *ast.FuncDecl, idx int) string {
+	flat := 0
+	for _, field := range fd.Type.Params.List {
+		if len(field.Names) == 0 {
+			if flat == idx {
+				return ""
+			}
+			flat++
+			continue
+		}
+		for _, n := range field.Names {
+			if flat == idx {
+				return n.Name
+			}
+			flat++
+		}
+	}
+	return ""
+}
+
+// hasTransfersDirective reports a //recclint:transfers directive on doc,
+// either bare (all parameters) or naming the given parameter.
+func hasTransfersDirective(doc *ast.CommentGroup, param string) bool {
+	if doc == nil {
+		return false
+	}
+	for _, cmt := range doc.List {
+		text := strings.TrimSpace(cmt.Text)
+		if !strings.HasPrefix(text, transfersDirective) {
+			continue
+		}
+		rest := strings.Fields(strings.TrimPrefix(text, transfersDirective))
+		if len(rest) == 0 {
+			return true
+		}
+		for _, r := range rest {
+			if r == param {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// deferCloseFix builds the `defer x.Close()` insertion for a pure leak. The
+// edit lands after the creation's error check when one follows immediately,
+// else right after the creation statement — and only when the creation sits
+// directly in a statement list, so the insertion point is unambiguous.
+func (fs *funcState) deferCloseFix(v *types.Var, cr *creation) *framework.SuggestedFix {
+	if cr.assign == nil {
+		return nil
+	}
+	var insertAfter ast.Stmt
+	ast.Inspect(fs.fd.Body, func(n ast.Node) bool {
+		blk, ok := n.(*ast.BlockStmt)
+		if !ok {
+			return true
+		}
+		for i, s := range blk.List {
+			if s != ast.Stmt(cr.assign) {
+				continue
+			}
+			insertAfter = s
+			if cr.withErr && i+1 < len(blk.List) {
+				if ifs, ok := blk.List[i+1].(*ast.IfStmt); ok && ifs.Else == nil {
+					insertAfter = ifs
+				}
+			}
+			return false
+		}
+		return true
+	})
+	if insertAfter == nil {
+		return nil
+	}
+	if cr.withErr {
+		if _, ok := insertAfter.(*ast.IfStmt); !ok {
+			// The error is checked somewhere non-adjacent; inserting a defer
+			// before the check could Close an invalid handle. Not safe.
+			return nil
+		}
+	}
+	return &framework.SuggestedFix{
+		Message: "defer " + v.Name() + ".Close() after the creation",
+		Edits: []framework.TextEdit{{
+			Pos:     insertAfter.End(),
+			End:     insertAfter.End(),
+			NewText: "\ndefer " + v.Name() + ".Close()",
+		}},
+	}
+}
+
+func calleeDesc(info *types.Info, call *ast.CallExpr) string {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return fun.Name
+	case *ast.SelectorExpr:
+		if id, ok := fun.X.(*ast.Ident); ok {
+			return id.Name + "." + fun.Sel.Name
+		}
+		return fun.Sel.Name
+	}
+	return "call"
+}
+
+func typeDesc(t types.Type) string {
+	s := t.String()
+	if i := strings.LastIndex(s, "/"); i >= 0 {
+		if j := strings.LastIndex(s[:i], "*"); j >= 0 {
+			return s[:j+1] + s[i+1:]
+		}
+		return s[i+1:]
+	}
+	return s
+}

@@ -1,0 +1,15 @@
+package mustclose_test
+
+import (
+	"testing"
+
+	"resistecc/internal/analysis/framework"
+	"resistecc/internal/analysis/mustclose"
+)
+
+func TestMustclose(t *testing.T) {
+	if testing.Short() {
+		t.Skip("invokes go list")
+	}
+	framework.TestAnalyzer(t, mustclose.Analyzer, framework.FixturePath("mustclose"))
+}

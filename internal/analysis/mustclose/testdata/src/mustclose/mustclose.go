@@ -1,0 +1,204 @@
+// Fixture for the mustclose analyzer: resources created by calls must reach
+// Close (or a transfer of ownership) on every path out of the function.
+package mustclose
+
+import "os"
+
+// WAL is a package-local resource type: having a Close method makes call
+// results of this type tracked, mirroring persist.Store and the real WAL.
+type WAL struct{ f *os.File }
+
+// Close releases the underlying handle.
+func (w *WAL) Close() error { return w.f.Close() }
+
+// Append borrows the receiver.
+func (w *WAL) Append(rec []byte) error { return nil }
+
+// NewWAL opens a WAL; the caller owns the result.
+func NewWAL(path string) (*WAL, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	return &WAL{f: f}, nil
+}
+
+// holder keeps a file alive beyond the function that opened it.
+type holder struct{ f *os.File }
+
+// sink takes ownership of its argument by contract; the body intentionally
+// hides the retention behind an interface the analyzer cannot see through.
+//
+//recclint:transfers f
+func sink(f *os.File) {
+	var keep interface{ store(*os.File) }
+	if keep != nil {
+		keep.store(f)
+	}
+}
+
+// closeIt closes its argument: callers passing a file here are done with it.
+func closeIt(f *os.File) error { return f.Close() }
+
+// readAll only borrows its argument.
+func readAll(f *os.File) int {
+	buf := make([]byte, 16)
+	n, _ := f.Read(buf)
+	return n
+}
+
+// deferClose is the canonical clean shape.
+func deferClose(path string) (int, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, err
+	}
+	defer f.Close()
+	return readAll(f), nil
+}
+
+// closeAllPaths closes explicitly on every branch.
+func closeAllPaths(path string, fast bool) int {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0
+	}
+	if fast {
+		n := readAll(f)
+		f.Close()
+		return n
+	}
+	f.Close()
+	return 0
+}
+
+// returned transfers ownership to the caller.
+func returned(path string) (*os.File, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// stored publishes the file into a struct that outlives the call.
+func stored(path string) *holder {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil
+	}
+	return &holder{f: f}
+}
+
+// transferred hands the file to a declared ownership sink.
+func transferred(path string) {
+	f, err := os.Open(path)
+	if err != nil {
+		return
+	}
+	sink(f)
+}
+
+// closedByHelper relies on the one-level callee summary seeing the Close.
+func closedByHelper(path string) {
+	f, err := os.Open(path)
+	if err != nil {
+		return
+	}
+	closeIt(f)
+}
+
+// sentAway ships the file over a channel; the receiver owns it now.
+func sentAway(path string, ch chan *os.File) {
+	f, err := os.Open(path)
+	if err != nil {
+		return
+	}
+	ch <- f
+}
+
+// spawned captures the file in a goroutine that closes it.
+func spawned(path string) {
+	f, err := os.Open(path)
+	if err != nil {
+		return
+	}
+	go func() {
+		readAll(f)
+		f.Close()
+	}()
+}
+
+// errPathLeak closes on success but leaks when the second step fails: the
+// early return skips the Close. This is the bug class the analyzer exists for.
+func errPathLeak(path string) ([]byte, error) {
+	f, err := os.Open(path) // want "os\.File returned by os\.Open is not closed on every path"
+	if err != nil {
+		return nil, err
+	}
+	buf := make([]byte, 64)
+	if _, err := f.Read(buf); err != nil {
+		return nil, err // leak: f is still open here
+	}
+	f.Close()
+	return buf, nil
+}
+
+// pureLeak never closes at all; this finding carries the defer-Close autofix.
+func pureLeak(path string) int {
+	f, err := os.Open(path) // want "os\.File returned by os\.Open is not closed on every path"
+	if err != nil {
+		return 0
+	}
+	return readAll(f)
+}
+
+// walLeak shows package-local resource types are tracked like os.File.
+func walLeak(path string) error {
+	w, err := NewWAL(path) // want "WAL returned by NewWAL is not closed on every path"
+	if err != nil {
+		return err
+	}
+	return w.Append(nil)
+}
+
+// branchOnlyClose closes on one arm only.
+func branchOnlyClose(path string, cond bool) {
+	f, err := os.Open(path) // want "os\.File returned by os\.Open is not closed on every path"
+	if err != nil {
+		return
+	}
+	if cond {
+		f.Close()
+	}
+}
+
+// discarded drops a closeable result on the floor.
+func discarded(path string) {
+	os.Create(path) // want "result of os\.Create has a Close method but is discarded"
+}
+
+// blanked is the same leak spelled with a blank identifier.
+func blanked(path string) {
+	f, _ := os.Open(path)              // no finding for f: tracked and closed below
+	_, err := os.Create(path + ".bak") // want "result of os\.Create has a Close method but is discarded"
+	_ = err
+	f.Close()
+}
+
+// declLeak creates via a var declaration instead of :=.
+func declLeak(path string) {
+	var f, err = os.Open(path) // want "os\.File returned by os\.Open is not closed on every path"
+	if err != nil {
+		return
+	}
+	readAll(f)
+}
+
+// suppressedLeak records a justified exception via the v1 ignore directive.
+func suppressedLeak(path string) *os.File {
+	//recclint:ignore mustclose handle intentionally kept open for the process lifetime
+	f, _ := os.Open(path)
+	readAll(f)
+	return nil
+}

@@ -1,0 +1,72 @@
+// Package compose proves the v1 directive surface still composes with the
+// v2 dataflow analyzers: one //recclint:holds annotation satisfies both
+// lockguard (v1, field guarding) and lockorder (v2, entry lock set); one
+// //recclint:ignore line silences a v2 finding exactly like a v1 finding;
+// //recclint:lockrank, ctxroot and hotpath coexist in one file. The whole
+// suite must report zero findings here.
+package compose
+
+import (
+	"context"
+	"os"
+	"sync"
+)
+
+// The intended global order: the outer pair lock before the inner one.
+//
+//recclint:lockrank compose.pair.mu < compose.pair.inner
+
+type pair struct {
+	mu    sync.Mutex
+	inner sync.Mutex
+	n     int // guarded by mu
+}
+
+// bump takes both locks in the declared order: clean for lockguard (mu held
+// around the n access) and for lockorder (edge mu < inner matches the rank).
+func (p *pair) bump() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.inner.Lock()
+	p.n++
+	p.inner.Unlock()
+}
+
+// bumpHeld documents that callers already hold mu. The single v1 holds
+// directive does double duty: lockguard accepts the unlocked n access, and
+// lockorder seeds its entry set with compose.pair.mu, so acquiring inner
+// here is checked against (and satisfies) the declared rank.
+//
+//recclint:holds mu
+func (p *pair) bumpHeld() {
+	p.inner.Lock()
+	p.n++
+	p.inner.Unlock()
+}
+
+// leaky demonstrates a v1-style suppression silencing a v2 analyzer: the
+// file handle is deliberately leaked and the ignore line carries the why.
+func leaky(path string) *os.File {
+	//recclint:ignore mustclose fixture: the process-lifetime handle is closed by exit
+	f, _ := os.Open(path)
+	return f
+}
+
+// worker shows ctxroot composing in the same file: a detached root context
+// below the server layer, justified in place.
+//
+//recclint:ctxroot fixture: the worker owns its lifetime, no caller to inherit from
+func worker() context.Context {
+	return context.Background()
+}
+
+// dot is hotpath-annotated and allocation-free, so hotpath stays silent.
+//
+//recclint:hotpath
+func dot(a, b []float64) float64 {
+	s := 0.0
+	for i, x := range a {
+		s += x * b[i]
+	}
+	return s
+}

@@ -98,6 +98,8 @@ type Approx struct {
 }
 
 // NewApprox runs APPROXER (Algorithm 2, lines 1-2).
+//
+//recclint:ctxroot compatibility shim over NewApproxContext; callers that need cancellation use the Context variant
 func NewApprox(g *graph.Graph, opt sketch.Options) (*Approx, error) {
 	return NewApproxContext(context.Background(), g, opt)
 }
@@ -156,6 +158,8 @@ type Fast struct {
 
 // NewFast runs the preprocessing of FASTQUERY (Algorithm 3, lines 1-4):
 // the APPROXER sketch followed by APPROXCH on the embedded points.
+//
+//recclint:ctxroot compatibility shim over NewFastContext; callers that need cancellation use the Context variant
 func NewFast(g *graph.Graph, opt FastOptions) (*Fast, error) {
 	return NewFastContext(context.Background(), g, opt)
 }
@@ -206,6 +210,8 @@ func HullOptionsFor(opt FastOptions) hull.Options { return hullOptions(opt) }
 func (f *Fast) L() int { return len(f.Boundary) }
 
 // Eccentricity returns ĉ(v) = max_{u ∈ Ŝ} r̃(v, u) (Algorithm 3, lines 6-7).
+//
+//recclint:hotpath
 func (f *Fast) Eccentricity(v int) Value {
 	c, far := f.Sk.EccentricityOver(v, f.Boundary)
 	return Value{Node: v, Ecc: c, Farthest: far}

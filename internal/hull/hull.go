@@ -211,6 +211,7 @@ func Approx(pts [][]float64, opt Options) (*Result, error) {
 	return res, nil
 }
 
+//recclint:hotpath
 func argmaxDist(pts [][]float64, from []float64) int {
 	best, arg := -1.0, 0
 	for i, p := range pts {
@@ -221,6 +222,7 @@ func argmaxDist(pts [][]float64, from []float64) int {
 	return arg
 }
 
+//recclint:hotpath
 func argmaxDot(pts [][]float64, dir []float64) int {
 	best, arg := math.Inf(-1), 0
 	for i, p := range pts {
@@ -235,6 +237,7 @@ func argmaxDot(pts [][]float64, dir []float64) int {
 	return arg
 }
 
+//recclint:hotpath
 func distSq(x, y []float64) float64 {
 	s := 0.0
 	for i, v := range x {

@@ -193,6 +193,10 @@ type Manager struct {
 	queue   chan mutation
 	pending atomic.Int64 // enqueued but unanswered mutations
 
+	// The durable layer's store lock nests strictly inside the manager
+	// lock: persistence hooks run from worker goroutines that already
+	// hold (or have released) mu, and the store never calls back up.
+	//recclint:lockrank lifecycle.Manager.mu < persist.Store.mu
 	mu                sync.Mutex
 	latest            *graph.Graph  // guarded by mu; master graph: mutation worker + rebuild clone
 	mutSeq            uint64        // guarded by mu; bumps on every applied mutation
@@ -269,6 +273,8 @@ func NewFromState(g *graph.Graph, fast *ecc.Fast, rs Restored, cfg Config) (*Man
 
 // start takes ownership of g, publishes the initial snapshot and launches
 // the workers. Common tail of New and NewFromState.
+//
+//recclint:ctxroot the workers outlive every caller; their lifetime is bounded by Manager.Close, not a request context
 func start(g *graph.Graph, fast *ecc.Fast, gen, seq uint64, cfg Config, fopt ecc.FastOptions) *Manager {
 	bctx, cancel := context.WithCancel(context.Background())
 	m := &Manager{

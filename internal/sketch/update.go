@@ -136,15 +136,21 @@ func (s *Sketch) applyRank1(x []float64, u, v int, scale, contrib float64) *Sket
 		delta[i] = pu[i] - pv[i]
 	}
 	for w := 0; w < n; w++ {
-		src, dst := s.pts[w], out.pts[w]
-		c := scale * x[w]
-		if c == 0 {
-			copy(dst, src)
-			continue
-		}
-		for i := 0; i < d; i++ {
-			dst[i] = src[i] + c*delta[i]
-		}
+		addScaledRow(out.pts[w], s.pts[w], delta, scale*x[w])
 	}
 	return out
+}
+
+// addScaledRow writes dst = src + c·delta elementwise: the O(d) inner kernel
+// of the rank-1 embedding correction, run once per node per update.
+//
+//recclint:hotpath
+func addScaledRow(dst, src, delta []float64, c float64) {
+	if c == 0 {
+		copy(dst, src)
+		return
+	}
+	for i := range dst {
+		dst[i] = src[i] + c*delta[i]
+	}
 }

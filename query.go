@@ -94,6 +94,8 @@ type ExactIndex struct {
 //
 // Deprecated: use the package-level NewExactIndex(ctx, g), which supports
 // build cancellation. This shim remains for source compatibility.
+//
+//recclint:ctxroot deprecated context-free shim; its documented replacement threads ctx
 func (gr *Graph) NewExactIndex() (*ExactIndex, error) {
 	return NewExactIndex(context.Background(), gr)
 }
@@ -130,6 +132,8 @@ type ApproxIndex struct {
 // Deprecated: use the package-level NewApproxIndex(ctx, g, opts...), which
 // supports build cancellation and functional options. This shim remains for
 // source compatibility.
+//
+//recclint:ctxroot deprecated context-free shim; its documented replacement threads ctx
 func (gr *Graph) NewApproxIndex(opt SketchOptions) (*ApproxIndex, error) {
 	return NewApproxIndex(context.Background(), gr, WithSketchOptions(opt))
 }
@@ -172,6 +176,8 @@ type FastIndex struct {
 // supports build cancellation, functional options, and a hull configuration
 // (WithMaxHullVertices / WithHullOptions) no longer folded into
 // SketchOptions. This shim remains for source compatibility.
+//
+//recclint:ctxroot deprecated context-free shim; its documented replacement threads ctx
 func (gr *Graph) NewFastIndex(opt SketchOptions) (*FastIndex, error) {
 	return NewFastIndex(context.Background(), gr, WithSketchOptions(opt))
 }
