@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: check build vet lint lint-fix lint-sarif test race bench
+.PHONY: check build vet lint lint-fix lint-sarif test race bench bench-json
 
 check: vet lint race
 
@@ -40,3 +40,13 @@ race:
 
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ ./...
+
+# Machine-readable bench trajectory (BENCH_6.json): the batch-engine
+# benchmarks at batch sizes 1/16/256 against the serial per-node baseline,
+# plus the ColdBuild/WarmStart durability carry-overs. The durable pair runs
+# at -benchtime=1x because a cold build is a full sketch solve (~15 s/op);
+# cmd/benchjson merges both runs into one JSON record list.
+bench-json:
+	{ $(GO) test -run='^$$' -bench='^BenchmarkBatch' -benchmem . ; \
+	  $(GO) test -run='^$$' -bench='^Benchmark(ColdBuild|WarmStart)$$' -benchtime=1x -benchmem . ; } \
+	| $(GO) run ./cmd/benchjson -o BENCH_6.json

@@ -1,6 +1,7 @@
 package resistecc
 
 import (
+	"context"
 	"math/rand"
 
 	"resistecc/internal/eigen"
@@ -90,8 +91,9 @@ type Sparsifier struct {
 }
 
 // Sparsify builds a Spielman–Srivastava effective-resistance sparsifier.
-func (gr *Graph) Sparsify(opt SparsifyOptions) (*Sparsifier, error) {
-	res, err := sparsify.Sparsify(gr.g, sparsify.Options{
+// ctx cancels the leverage-score sketch build.
+func (gr *Graph) Sparsify(ctx context.Context, opt SparsifyOptions) (*Sparsifier, error) {
+	res, err := sparsify.Sparsify(ctx, gr.g, sparsify.Options{
 		Epsilon: opt.Epsilon, Samples: opt.Samples, Seed: opt.Seed,
 	})
 	if err != nil {

@@ -84,7 +84,7 @@ func TestUSTPublic(t *testing.T) {
 
 func TestSparsifyPublic(t *testing.T) {
 	g := CompleteGraph(60)
-	sp, err := g.Sparsify(SparsifyOptions{Epsilon: 0.5, Samples: 3000, Seed: 1})
+	sp, err := g.Sparsify(context.Background(), SparsifyOptions{Epsilon: 0.5, Samples: 3000, Seed: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -107,7 +107,7 @@ func TestSparsifyPublic(t *testing.T) {
 	if r < want/2 || r > want*2 {
 		t.Fatalf("sparsified r=%g, want ≈%g", r, want)
 	}
-	if _, err := g.Sparsify(SparsifyOptions{Epsilon: 2}); err == nil {
+	if _, err := g.Sparsify(context.Background(), SparsifyOptions{Epsilon: 2}); err == nil {
 		t.Fatal("bad epsilon")
 	}
 }
@@ -186,7 +186,10 @@ func TestCentralityPublic(t *testing.T) {
 		}
 	}
 	// Fast diameter is close to the distribution maximum.
-	diam, pair := fi.ResistanceDiameter()
+	diam, pair, err := fi.ResistanceDiameter()
+	if err != nil {
+		t.Fatal(err)
+	}
 	sum := Summarize(fi.Distribution())
 	if diam < 0.7*sum.Diameter || diam > 1.3*sum.Diameter {
 		t.Fatalf("hull diameter %g vs %g (pair %v)", diam, sum.Diameter, pair)

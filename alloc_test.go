@@ -39,6 +39,54 @@ func TestQueryZeroAllocs(t *testing.T) {
 	_ = sink
 }
 
+// TestBatchQueryZeroAllocs extends the hotpath contract to the batch engine:
+// after warm-up (pool population + scratch high-water mark), QueryBatch with
+// a reused buffer — dedup, blocked kernel, fan-out, conversion — must not
+// allocate at all.
+func TestBatchQueryZeroAllocs(t *testing.T) {
+	ix := queryAllocIndex(t)
+	n := ix.N()
+	nodes := []int{11 % n, 123 % n, 11 % n, 57 % n, 201 % n, 33 % n, 57 % n, 9 % n}
+	buf := GetBatchBuf()
+	defer buf.Release()
+	var sink []Eccentricity
+	var err error
+	// Warm-up establishes the buffer's high-water mark.
+	if sink, err = ix.QueryBatch(nodes, buf); err != nil {
+		t.Fatal(err)
+	}
+	avg := testing.AllocsPerRun(200, func() {
+		sink, err = ix.QueryBatch(nodes, buf)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if avg != 0 {
+		t.Errorf("FastIndex.QueryBatch allocates %.1f times per run, want 0", avg)
+	}
+
+	// A large batch spills onto the shared worker pool; after warm-up the
+	// sharded path (jobs, join point, channel handoff) must also be free of
+	// heap allocations.
+	large := make([]int, 256)
+	for i := range large {
+		large[i] = (i * 3) % n
+	}
+	if sink, err = ix.QueryBatch(large, buf); err != nil {
+		t.Fatal(err)
+	}
+	avg = testing.AllocsPerRun(200, func() {
+		sink, err = ix.QueryBatch(large, buf)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if avg != 0 {
+		t.Errorf("sharded QueryBatch allocates %.1f times per run, want 0", avg)
+	}
+	_ = sink
+}
+
 // BenchmarkQueryAllocs reports per-query time and allocations for the hull
 // scan; run with -benchmem and expect 0 allocs/op.
 func BenchmarkQueryAllocs(b *testing.B) {

@@ -1,0 +1,189 @@
+package resistecc
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+)
+
+// batchTestGraph is shared by the batch equivalence tests: small enough for
+// the exact index, large enough for remainder lanes and duplicates.
+func batchTestGraph(tb testing.TB) *Graph {
+	tb.Helper()
+	g, err := BarabasiAlbert(200, 3, 21)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return g
+}
+
+type batchIndex interface {
+	Query(nodes []int) ([]Eccentricity, error)
+	QueryBatch(nodes []int, buf *BatchBuf) ([]Eccentricity, error)
+	Eccentricity(v int) Eccentricity
+	N() int
+}
+
+// TestQueryBatchEquivalence pins, for all three index kinds, that QueryBatch
+// equals Query equals per-node Eccentricity — bit-identical, in request
+// order, with duplicates answered identically — and that out-of-range ids
+// fail the whole batch with ErrNodeOutOfRange.
+func TestQueryBatchEquivalence(t *testing.T) {
+	g := batchTestGraph(t)
+	ctx := context.Background()
+	exact, err := NewExactIndex(ctx, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx, err := NewApproxIndex(ctx, g, WithEpsilon(0.3), WithDim(32), WithSeed(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fast, err := NewFastIndex(ctx, g, WithEpsilon(0.3), WithDim(32), WithSeed(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	batches := [][]int{
+		{},
+		{42},
+		{0, 1, 2, 3, 4, 5, 6},
+		{13, 13, 13, 13},
+		{199, 0, 73, 13, 73, 199, 5},
+	}
+	for name, ix := range map[string]batchIndex{"exact": exact, "approx": approx, "fast": fast} {
+		buf := GetBatchBuf()
+		for _, q := range batches {
+			serial, err := ix.Query(q)
+			if err != nil {
+				t.Fatalf("%s Query(%v): %v", name, q, err)
+			}
+			batched, err := ix.QueryBatch(q, buf)
+			if err != nil {
+				t.Fatalf("%s QueryBatch(%v): %v", name, q, err)
+			}
+			if len(serial) != len(q) || len(batched) != len(q) {
+				t.Fatalf("%s %v: lengths %d / %d", name, q, len(serial), len(batched))
+			}
+			for i := range q {
+				if serial[i] != batched[i] || batched[i] != ix.Eccentricity(q[i]) {
+					t.Fatalf("%s %v position %d: serial %+v batched %+v single %+v",
+						name, q, i, serial[i], batched[i], ix.Eccentricity(q[i]))
+				}
+			}
+		}
+		for _, bad := range [][]int{{-1}, {ix.N()}, {0, 5, ix.N() + 3}} {
+			if _, err := ix.QueryBatch(bad, buf); !errors.Is(err, ErrNodeOutOfRange) {
+				t.Fatalf("%s QueryBatch(%v): err=%v, want ErrNodeOutOfRange", name, bad, err)
+			}
+			if _, err := ix.Query(bad); !errors.Is(err, ErrNodeOutOfRange) {
+				t.Fatalf("%s Query(%v): err=%v, want ErrNodeOutOfRange", name, bad, err)
+			}
+		}
+		buf.Release()
+	}
+}
+
+// TestQueryBatchConcurrent hammers one FastIndex from several goroutines,
+// each with its own pooled buffer; run under -race this pins that buffers
+// are goroutine-local and the index read path is safe to share.
+func TestQueryBatchConcurrent(t *testing.T) {
+	g := batchTestGraph(t)
+	ix, err := NewFastIndex(context.Background(), g, WithEpsilon(0.3), WithDim(32), WithSeed(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := ix.Query([]int{7, 7, 191, 0, 44})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, 8)
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			buf := GetBatchBuf()
+			defer buf.Release()
+			for iter := 0; iter < 50; iter++ {
+				got, err := ix.QueryBatch([]int{7, 7, 191, 0, 44}, buf)
+				if err != nil {
+					errs <- err
+					return
+				}
+				for i := range want {
+					if got[i] != want[i] {
+						errs <- errors.New("concurrent batch diverged from serial answer")
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+// TestDynamicQueryBatch pins DynamicIndex.Query/QueryBatch against the
+// pinned-snapshot path on a quiesced index.
+func TestDynamicQueryBatch(t *testing.T) {
+	g := batchTestGraph(t)
+	ctx := context.Background()
+	d, err := NewDynamicIndex(ctx, g, WithEpsilon(0.3), WithDim(32), WithSeed(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	if err := d.WaitIdle(ctx); err != nil {
+		t.Fatal(err)
+	}
+	q := []int{3, 150, 3, 0, 99}
+	want, err := d.Snapshot().Index.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := d.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := GetBatchBuf()
+	defer buf.Release()
+	gotB, err := d.QueryBatch(q, buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range q {
+		if got[i] != want[i] || gotB[i] != want[i] {
+			t.Fatalf("position %d: Query %+v QueryBatch %+v snapshot %+v", i, got[i], gotB[i], want[i])
+		}
+	}
+	if _, err := d.QueryBatch([]int{d.Snapshot().N}, buf); !errors.Is(err, ErrNodeOutOfRange) {
+		t.Fatalf("out-of-range: err=%v, want ErrNodeOutOfRange", err)
+	}
+}
+
+// TestResistanceDiameterDegenerate pins the public surface of the Diameter
+// satellite fix: ErrDegenerateHull, not a fake zero answer.
+func TestResistanceDiameterDegenerate(t *testing.T) {
+	// A single-node graph is the smallest index whose hull collapses to one
+	// representative, leaving no boundary pair to scan.
+	ix, err := NewFastIndex(context.Background(), PathGraph(1),
+		WithEpsilon(0.3), WithDim(8), WithSeed(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := ix.ResistanceDiameter(); !errors.Is(err, ErrDegenerateHull) {
+		t.Fatalf("1-vertex hull: err=%v, want ErrDegenerateHull", err)
+	}
+	ok, err := NewFastIndex(context.Background(), batchTestGraph(t),
+		WithEpsilon(0.3), WithDim(32), WithSeed(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d, pair, err := ok.ResistanceDiameter(); err != nil || d <= 0 || pair[0] == pair[1] {
+		t.Fatalf("real hull: d=%v pair=%v err=%v", d, pair, err)
+	}
+}

@@ -88,7 +88,7 @@ func BenchmarkSparsifyDense(b *testing.B) {
 	g := graph.BarabasiAlbert(300, 30, 2)
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		if _, err := sparsify.Sparsify(g, sparsify.Options{Epsilon: 0.5, Samples: 6000, Seed: 1}); err != nil {
+		if _, err := sparsify.Sparsify(context.Background(), g, sparsify.Options{Epsilon: 0.5, Samples: 6000, Seed: 1}); err != nil {
 			b.Fatal(err)
 		}
 	}

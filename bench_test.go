@@ -10,6 +10,7 @@
 package resistecc
 
 import (
+	"context"
 	"sync"
 	"testing"
 
@@ -176,7 +177,7 @@ func BenchmarkFig8_SimpleGreedy(b *testing.B) {
 // mid-size proxy (relative ordering is the paper's reported shape:
 // CenMinRecc fastest, MinRecc slowest and most effective).
 
-func benchOptimizer(b *testing.B, run func(*graph.Graph, int, int, optimize.FastOptions) (*optimize.Result, error)) {
+func benchOptimizer(b *testing.B, run func(context.Context, *graph.Graph, int, int, optimize.FastOptions) (*optimize.Result, error)) {
 	g := benchProxy(b, "EmailUN", 0.3)
 	s := 0
 	fopt := optimize.FastOptions{
@@ -186,7 +187,7 @@ func benchOptimizer(b *testing.B, run func(*graph.Graph, int, int, optimize.Fast
 	}
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		if _, err := run(g, s, 5, fopt); err != nil {
+		if _, err := run(context.Background(), g, s, 5, fopt); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -251,7 +252,7 @@ func benchSketchDim(b *testing.B, dim int) {
 	csr := g.ToCSR()
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		if _, err := sketch.New(csr, benchSketchOpts(dim)); err != nil {
+		if _, err := sketch.NewContext(context.Background(), csr, benchSketchOpts(dim)); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -338,7 +339,7 @@ func BenchmarkKernelLapMul(b *testing.B) {
 
 func BenchmarkKernelSketchResistance(b *testing.B) {
 	g := benchProxy(b, "EmailUN", 0.3)
-	sk, err := sketch.New(g.ToCSR(), benchSketchOpts(128))
+	sk, err := sketch.NewContext(context.Background(), g.ToCSR(), benchSketchOpts(128))
 	if err != nil {
 		b.Fatal(err)
 	}

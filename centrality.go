@@ -1,6 +1,8 @@
 package resistecc
 
 import (
+	"fmt"
+
 	"resistecc/internal/centrality"
 	"resistecc/internal/linalg"
 )
@@ -39,8 +41,15 @@ func TopCentral(scores []float64, k int) ([]int, error) { return centrality.Top(
 
 // ResistanceDiameter approximates R(G) = max_{u,v} r(u,v) by scanning only
 // hull-boundary pairs (O(l²) sketched distances) and returns the value with
-// a witness pair.
-func (ix *FastIndex) ResistanceDiameter() (float64, [2]int) {
-	r, e := ix.f.Diameter()
-	return r, [2]int{e.U, e.V}
+// a witness pair. A hull boundary with fewer than two nodes has no pair to
+// scan and fails with ErrDegenerateHull — previously that case silently
+// returned (0, [0 0]), indistinguishable from a genuine answer naming nodes
+// 0 and 0.
+func (ix *FastIndex) ResistanceDiameter() (float64, [2]int, error) {
+	r, e, ok := ix.f.Diameter()
+	if !ok {
+		return 0, [2]int{}, fmt.Errorf("resistecc: resistance diameter over %d boundary nodes: %w",
+			ix.f.L(), ErrDegenerateHull)
+	}
+	return r, [2]int{e.U, e.V}, nil
 }

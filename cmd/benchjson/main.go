@@ -1,0 +1,124 @@
+// Command benchjson converts `go test -bench` output into the machine-readable
+// bench-trajectory schema checked in as BENCH_<n>.json: one record per
+// benchmark with its name, ns/op, allocs/op (when -benchmem was passed), and
+// the batch size parsed from a `batch=<n>` sub-benchmark suffix.
+//
+// It reads one or more concatenated `go test -bench` runs on stdin — header
+// (goos/goarch/cpu), PASS, and ok lines are skipped — so a Makefile target
+// can pipe several invocations with different -benchtime settings through a
+// single call:
+//
+//	{ go test -bench='BenchmarkBatch' -benchmem -run='^$' . ; \
+//	  go test -bench='BenchmarkColdBuild' -benchtime=1x -benchmem -run='^$' . ; } \
+//	| go run ./cmd/benchjson -o BENCH_6.json
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"strconv"
+)
+
+type record struct {
+	// Name is the benchmark name with the -<GOMAXPROCS> suffix stripped.
+	Name string `json:"name"`
+	// Batch is the query batch size for BenchmarkBatch*/batch=<n> entries,
+	// 0 for benchmarks without one (ColdBuild, WarmStart).
+	Batch int `json:"batch"`
+	// Iterations is b.N for the reported run.
+	Iterations int64   `json:"iterations"`
+	NsPerOp    float64 `json:"ns_per_op"`
+	// AllocsPerOp is nil when the run was not executed with -benchmem.
+	AllocsPerOp *int64 `json:"allocs_per_op,omitempty"`
+}
+
+// benchLine matches testing's benchmark result format:
+//
+//	BenchmarkName-8   123   4567 ns/op   89 B/op   1 allocs/op
+//
+// with the memory columns optional.
+var benchLine = regexp.MustCompile(
+	`^(Benchmark\S+?)(-\d+)?\s+(\d+)\s+([0-9.]+(?:e[+-]?\d+)?) ns/op(?:\s+[0-9.]+ B/op\s+(\d+) allocs/op)?`)
+
+var batchSuffix = regexp.MustCompile(`(?:^|[/_])batch=(\d+)`)
+
+func parse(r io.Reader) ([]record, error) {
+	var recs []record
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(sc.Text())
+		if m == nil {
+			continue
+		}
+		iters, err := strconv.ParseInt(m[3], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("benchjson: iterations in %q: %w", sc.Text(), err)
+		}
+		ns, err := strconv.ParseFloat(m[4], 64)
+		if err != nil {
+			return nil, fmt.Errorf("benchjson: ns/op in %q: %w", sc.Text(), err)
+		}
+		rec := record{Name: m[1], Iterations: iters, NsPerOp: ns}
+		if m[5] != "" {
+			allocs, err := strconv.ParseInt(m[5], 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("benchjson: allocs/op in %q: %w", sc.Text(), err)
+			}
+			rec.AllocsPerOp = &allocs
+		}
+		if bm := batchSuffix.FindStringSubmatch(rec.Name); bm != nil {
+			n, err := strconv.Atoi(bm[1])
+			if err != nil {
+				return nil, fmt.Errorf("benchjson: batch size in %q: %w", rec.Name, err)
+			}
+			rec.Batch = n
+		}
+		recs = append(recs, rec)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return recs, nil
+}
+
+func run(in io.Reader, out io.Writer) error {
+	recs, err := parse(in)
+	if err != nil {
+		return err
+	}
+	if len(recs) == 0 {
+		return fmt.Errorf("benchjson: no benchmark result lines on input")
+	}
+	enc := json.NewEncoder(out)
+	enc.SetIndent("", "  ")
+	return enc.Encode(recs)
+}
+
+func main() {
+	outPath := flag.String("o", "", "write JSON to this file instead of stdout")
+	flag.Parse()
+	// Render into memory first so the output file is written (and its close
+	// error checked) in one step, never left half-filled on a parse error.
+	var buf bytes.Buffer
+	if err := run(os.Stdin, &buf); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if *outPath == "" {
+		if _, err := os.Stdout.Write(buf.Bytes()); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
+	if err := os.WriteFile(*outPath, buf.Bytes(), 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}

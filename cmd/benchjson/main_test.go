@@ -1,0 +1,60 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sampleBench = `goos: linux
+goarch: amd64
+pkg: resistecc
+cpu: AMD EPYC 7B13
+BenchmarkBatchQuery/batch=1-8         	  501868	      2304 ns/op	       0 B/op	       0 allocs/op
+BenchmarkBatchQuery/batch=256-8       	    4096	    281455 ns/op	       0 B/op	       0 allocs/op
+BenchmarkBatchSerial/batch=256-8      	    1875	    641002 ns/op	       0 B/op	       0 allocs/op
+PASS
+ok  	resistecc	12.345s
+goos: linux
+BenchmarkColdBuild-8   	       1	14713553898 ns/op	275312640 B/op	  513042 allocs/op
+BenchmarkWarmStart-8   	       1	  52034110 ns/op
+PASS
+ok  	resistecc	15.001s
+`
+
+func TestParse(t *testing.T) {
+	recs, err := parse(strings.NewReader(sampleBench))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 5 {
+		t.Fatalf("parsed %d records, want 5", len(recs))
+	}
+	q1 := recs[0]
+	if q1.Name != "BenchmarkBatchQuery/batch=1" || q1.Batch != 1 ||
+		q1.Iterations != 501868 || q1.NsPerOp != 2304 {
+		t.Fatalf("record 0 = %+v", q1)
+	}
+	if q1.AllocsPerOp == nil || *q1.AllocsPerOp != 0 {
+		t.Fatalf("record 0 allocs = %v, want 0", q1.AllocsPerOp)
+	}
+	if recs[2].Batch != 256 || recs[2].Name != "BenchmarkBatchSerial/batch=256" {
+		t.Fatalf("record 2 = %+v", recs[2])
+	}
+	cold := recs[3]
+	if cold.Name != "BenchmarkColdBuild" || cold.Batch != 0 ||
+		cold.AllocsPerOp == nil || *cold.AllocsPerOp != 513042 {
+		t.Fatalf("record 3 = %+v", cold)
+	}
+	// WarmStart line carries no -benchmem columns: allocs must stay absent,
+	// not zero.
+	if warm := recs[4]; warm.AllocsPerOp != nil || warm.NsPerOp != 52034110 {
+		t.Fatalf("record 4 = %+v", warm)
+	}
+}
+
+func TestParseRejectsEmptyViaRun(t *testing.T) {
+	var out strings.Builder
+	if err := run(strings.NewReader("PASS\nok resistecc 0.1s\n"), &out); err == nil {
+		t.Fatal("run on input with no benchmark lines: want error, got nil")
+	}
+}

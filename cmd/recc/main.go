@@ -55,7 +55,7 @@ func run(ctx context.Context, args []string) error {
 	case "dist":
 		return cmdDist(ctx, args[1:])
 	case "optimize":
-		return cmdOptimize(args[1:])
+		return cmdOptimize(ctx, args[1:])
 	case "centrality":
 		return cmdCentrality(ctx, args[1:])
 	case "spectral":
@@ -341,7 +341,7 @@ func cmdDist(ctx context.Context, args []string) error {
 	return nil
 }
 
-func cmdOptimize(args []string) error {
+func cmdOptimize(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("optimize", flag.ContinueOnError)
 	in := fs.String("in", "", "input edge list")
 	source := fs.Int("source", 0, "source node s")
@@ -377,13 +377,13 @@ func cmdOptimize(args []string) error {
 	case "greedy":
 		plan, err = resistecc.GreedyExact(g, prob, *source, *k)
 	case "far":
-		plan, err = resistecc.FarMinRecc(g, *source, *k, opt)
+		plan, err = resistecc.FarMinRecc(ctx, g, *source, *k, opt)
 	case "cen":
-		plan, err = resistecc.CenMinRecc(g, *source, *k, opt)
+		plan, err = resistecc.CenMinRecc(ctx, g, *source, *k, opt)
 	case "ch":
-		plan, err = resistecc.ChMinRecc(g, *source, *k, opt)
+		plan, err = resistecc.ChMinRecc(ctx, g, *source, *k, opt)
 	case "minrecc":
-		plan, err = resistecc.MinRecc(g, *source, *k, opt)
+		plan, err = resistecc.MinRecc(ctx, g, *source, *k, opt)
 	case "de":
 		plan, err = resistecc.RunBaseline(g, resistecc.BaselineDegree, prob, *source, *k, *seed)
 	case "pk":

@@ -516,8 +516,12 @@ func (s *server) handleEccentricity(w http.ResponseWriter, r *http.Request) {
 		nodes = append(nodes, v)
 	}
 	snap := s.dyn.Snapshot()
-	vals, err := snap.Index.Query(nodes)
+	// The batched path dedups repeated ids and amortizes one hull scan over
+	// the batch; the pooled buffer keeps the query itself allocation-free.
+	buf := resistecc.GetBatchBuf()
+	vals, err := snap.Index.QueryBatch(nodes, buf)
 	if err != nil {
+		buf.Release()
 		// Unreachable through resolveNode, but surface it cleanly.
 		writeError(w, http.StatusBadRequest, "bad_node_id", "%v", err)
 		return
@@ -530,6 +534,7 @@ func (s *server) handleEccentricity(w http.ResponseWriter, r *http.Request) {
 			Farthest:     s.ids.external(v.Farthest),
 		}
 	}
+	buf.Release()
 	setGeneration(w, snap.Generation)
 	writeJSON(w, http.StatusOK, out)
 }
@@ -564,15 +569,19 @@ func (s *server) handleSummary(w http.ResponseWriter, _ *http.Request) {
 	s.sumMu.Lock()
 	if s.sumGen != snap.Generation {
 		sum := resistecc.Summarize(snap.Index.Distribution())
-		diam, pair := snap.Index.ResistanceDiameter()
 		s.sum = summaryResponse{
-			Radius:       sum.Radius,
-			Diameter:     sum.Diameter,
-			DiameterPair: s.ids.externals(pair[:]),
-			HullDiameter: diam,
-			Mean:         sum.Mean,
-			Skewness:     sum.Skewness,
-			Center:       s.ids.externals(sum.Center),
+			Radius:   sum.Radius,
+			Diameter: sum.Diameter,
+			Mean:     sum.Mean,
+			Skewness: sum.Skewness,
+			Center:   s.ids.externals(sum.Center),
+		}
+		// A hull boundary under two nodes has no pair to scan; the summary
+		// then omits the hull-pair diameter instead of reporting a fake
+		// (0, [0 0]) answer.
+		if diam, pair, err := snap.Index.ResistanceDiameter(); err == nil {
+			s.sum.HullDiameter = diam
+			s.sum.DiameterPair = s.ids.externals(pair[:])
 		}
 		s.sumGen = snap.Generation
 	}

@@ -21,23 +21,28 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 
 	"resistecc/internal/experiments"
 )
 
 func main() {
-	if err := run(os.Args[1:], os.Stdout); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "reccexp:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string, w io.Writer) error {
+func run(ctx context.Context, args []string, w io.Writer) error {
 	fs := flag.NewFlagSet("reccexp", flag.ContinueOnError)
 	exp := fs.String("exp", "all", "experiment: table1|fig2|table2|fig7|fig8|fig9|table3|ablation|all")
 	scale := fs.Float64("scale", 0.05, "proxy scale for small/mid networks")
@@ -96,24 +101,24 @@ func run(args []string, w io.Writer) error {
 	}
 	if want("fig8") {
 		matched = true
-		if _, err := experiments.Fig8(w, opt); err != nil {
+		if _, err := experiments.Fig8(ctx, w, opt); err != nil {
 			return fmt.Errorf("fig8: %w", err)
 		}
 	}
 	if want("fig9") {
 		matched = true
-		if _, err := experiments.Fig9(w, opt, nil, 5); err != nil {
+		if _, err := experiments.Fig9(ctx, w, opt, nil, 5); err != nil {
 			return fmt.Errorf("fig9: %w", err)
 		}
 		if *large {
-			if _, err := experiments.Fig9Large(w, opt, 5); err != nil {
+			if _, err := experiments.Fig9Large(ctx, w, opt, 5); err != nil {
 				return fmt.Errorf("fig9-large: %w", err)
 			}
 		}
 	}
 	if want("table3") {
 		matched = true
-		if _, err := experiments.Table3(w, opt); err != nil {
+		if _, err := experiments.Table3(ctx, w, opt); err != nil {
 			return fmt.Errorf("table3: %w", err)
 		}
 	}
@@ -125,7 +130,7 @@ func run(args []string, w io.Writer) error {
 		if err := experiments.AblationSketchDim(w, opt, "", nil); err != nil {
 			return fmt.Errorf("ablation-dim: %w", err)
 		}
-		if err := experiments.AblationSolver(w, opt, ""); err != nil {
+		if err := experiments.AblationSolver(ctx, w, opt, ""); err != nil {
 			return fmt.Errorf("ablation-solver: %w", err)
 		}
 		if err := experiments.AblationShermanMorrison(w, opt, 0); err != nil {

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"strings"
 	"testing"
 )
@@ -21,10 +22,10 @@ func tinyArgs(exp string) []string {
 
 func TestRunUnknownExperiment(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run([]string{"-exp", "nope"}, &buf); err == nil {
+	if err := run(context.Background(), []string{"-exp", "nope"}, &buf); err == nil {
 		t.Fatal("unknown experiment should fail")
 	}
-	if err := run([]string{"-badflag"}, &buf); err == nil {
+	if err := run(context.Background(), []string{"-badflag"}, &buf); err == nil {
 		t.Fatal("bad flag should fail")
 	}
 }
@@ -37,7 +38,7 @@ func TestRunSingleExperiments(t *testing.T) {
 		"ablation": "Ablation 4",
 	} {
 		var buf bytes.Buffer
-		if err := run(tinyArgs(exp), &buf); err != nil {
+		if err := run(context.Background(), tinyArgs(exp), &buf); err != nil {
 			t.Fatalf("%s: %v", exp, err)
 		}
 		if !strings.Contains(buf.String(), banner) {
@@ -49,7 +50,7 @@ func TestRunSingleExperiments(t *testing.T) {
 func TestRunTable2SmallCorpus(t *testing.T) {
 	var buf bytes.Buffer
 	args := append(tinyArgs("table2"), "-scale", "0.01")
-	if err := run(args, &buf); err != nil {
+	if err := run(context.Background(), args, &buf); err != nil {
 		t.Fatal(err)
 	}
 	out := buf.String()

@@ -1,6 +1,8 @@
 package resistecc
 
 import (
+	"errors"
+
 	"resistecc/internal/graph"
 	"resistecc/internal/sketch"
 )
@@ -36,4 +38,8 @@ var (
 	// Approximate constructors require an explicit epsilon (WithEpsilon or
 	// SketchOptions.Epsilon); a zero value is an error, not a default.
 	ErrBadEpsilon = sketch.ErrBadEpsilon
+
+	// ErrDegenerateHull reports a hull boundary too small for a boundary-pair
+	// scan: ResistanceDiameter needs at least two boundary nodes.
+	ErrDegenerateHull = errors.New("resistecc: hull boundary has fewer than two nodes")
 )

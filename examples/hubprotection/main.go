@@ -54,12 +54,12 @@ func main() {
 	} else {
 		log.Fatal(err)
 	}
-	if p, err := resistecc.FarMinRecc(g, s, k, opt); err == nil {
+	if p, err := resistecc.FarMinRecc(context.Background(), g, s, k, opt); err == nil {
 		entries = append(entries, entry{"FarMinRecc", p})
 	} else {
 		log.Fatal(err)
 	}
-	if p, err := resistecc.CenMinRecc(g, s, k, opt); err == nil {
+	if p, err := resistecc.CenMinRecc(context.Background(), g, s, k, opt); err == nil {
 		entries = append(entries, entry{"CenMinRecc", p})
 	} else {
 		log.Fatal(err)

@@ -55,17 +55,17 @@ func main() {
 		fmt.Println()
 	}
 
-	if p, err := resistecc.ChMinRecc(g, s, k, opt); err == nil {
+	if p, err := resistecc.ChMinRecc(context.Background(), g, s, k, opt); err == nil {
 		show("ChMinRecc", p)
 	} else {
 		log.Fatal(err)
 	}
-	if p, err := resistecc.MinRecc(g, s, k, opt); err == nil {
+	if p, err := resistecc.MinRecc(context.Background(), g, s, k, opt); err == nil {
 		show("MinRecc", p)
 	} else {
 		log.Fatal(err)
 	}
-	if p, err := resistecc.FarMinRecc(g, s, k, opt); err == nil {
+	if p, err := resistecc.FarMinRecc(context.Background(), g, s, k, opt); err == nil {
 		show("FarMinRecc (REMD)", p)
 	} else {
 		log.Fatal(err)

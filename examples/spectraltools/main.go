@@ -55,7 +55,10 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	diam, pair := idx.ResistanceDiameter()
+	diam, pair, err := idx.ResistanceDiameter()
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Printf("algebraic connectivity λ₂ = %.5f → upper bound R(G) ≤ 2/λ₂ = %.2f\n", l2, 2/l2)
 	fmt.Printf("hull-pair resistance diameter R ≈ %.3f (pair %v)\n\n", diam, pair)
 
@@ -79,7 +82,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	sp, err := dense.Sparsify(resistecc.SparsifyOptions{Epsilon: 0.4, Samples: 8000, Seed: 3})
+	sp, err := dense.Sparsify(context.Background(), resistecc.SparsifyOptions{Epsilon: 0.4, Samples: 8000, Seed: 3})
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -71,7 +71,7 @@ func TestIntegrationPipeline(t *testing.T) {
 			s = v
 		}
 	}
-	plan, err := MinRecc(lcc, s, 4, OptimizeOptions{
+	plan, err := MinRecc(context.Background(), lcc, s, 4, OptimizeOptions{
 		Sketch:        SketchOptions{Epsilon: 0.3, Dim: 96, Seed: 42},
 		Hull:          HullOptions{MaxVertices: 16},
 		MaxCandidates: 24,

@@ -1,6 +1,7 @@
 package centrality
 
 import (
+	"context"
 	"math"
 	"testing"
 	"testing/quick"
@@ -103,7 +104,7 @@ func TestApproxCurrentFlowTracksExact(t *testing.T) {
 		t.Fatal(err)
 	}
 	exact := CurrentFlowCloseness(lp)
-	sk, err := sketch.New(g.ToCSR(), sketch.Options{Epsilon: 0.3, Dim: 256, Seed: 4})
+	sk, err := sketch.NewContext(context.Background(), g.ToCSR(), sketch.Options{Epsilon: 0.3, Dim: 256, Seed: 4})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -119,21 +119,23 @@ func (a *Approx) Eccentricity(v int) Value {
 	return Value{Node: v, Ecc: c, Farthest: far}
 }
 
-// Query answers APPROXQUERY(G, Q, ε).
+// Query answers APPROXQUERY(G, Q, ε). It runs on the batched kernel with a
+// pooled scratch buffer and returns a freshly allocated slice; results are
+// bit-identical to per-node Eccentricity calls.
 func (a *Approx) Query(q []int) []Value {
-	out := make([]Value, len(q))
-	for i, v := range q {
-		out[i] = a.Eccentricity(v)
-	}
+	buf := GetQueryBuf()
+	out := append([]Value(nil), a.QueryBatch(q, buf)...)
+	buf.Release()
 	return out
 }
 
-// Distribution returns the approximate E(G) by full scans (Õ(n²) total).
+// Distribution returns the approximate E(G) by full scans (Õ(n²) total),
+// blocked through the batch kernel.
 func (a *Approx) Distribution() []float64 {
-	out := make([]float64, a.Sk.N)
-	for v := 0; v < a.Sk.N; v++ {
-		out[v], _ = a.Sk.Eccentricity(v)
-	}
+	n := a.Sk.N
+	out := make([]float64, n)
+	arg := make([]int, n)
+	a.Sk.EccentricityBatchAll(identity(n), out, arg)
 	return out
 }
 
@@ -168,25 +170,36 @@ func NewFast(g *graph.Graph, opt FastOptions) (*Fast, error) {
 // stage aborts between solver rows when ctx is cancelled, so background
 // rebuilds (the lifecycle manager) can be torn down mid-flight.
 func NewFastContext(ctx context.Context, g *graph.Graph, opt FastOptions) (*Fast, error) {
+	hopt, err := hullOptions(opt)
+	if err != nil {
+		return nil, err
+	}
 	sk, err := sketch.NewContext(ctx, g.ToCSR(), opt.Sketch)
 	if err != nil {
 		return nil, fmt.Errorf("ecc: fast preprocessing (sketch): %w", err)
 	}
-	return NewFastFromSketch(sk, hullOptions(opt))
+	return NewFastFromSketch(sk, hopt)
 }
 
 // hullOptions resolves the APPROXCH parameters from FastOptions, applying
 // the paper's θ = ε/12 default and a seed derived from the sketch seed so a
-// rebuild of the same graph with the same options is bit-identical.
-func hullOptions(opt FastOptions) hull.Options {
+// rebuild of the same graph with the same options is bit-identical. When
+// neither an explicit Theta nor a positive Epsilon is available (the
+// WithDim-without-WithEpsilon misconfiguration), there is nothing sane to
+// derive θ from, so it fails with sketch.ErrBadEpsilon instead of handing
+// APPROXCH a degenerate θ = 0 hull.
+func hullOptions(opt FastOptions) (hull.Options, error) {
 	hopt := opt.Hull
 	if hopt.Theta <= 0 {
+		if opt.Sketch.Epsilon <= 0 {
+			return hull.Options{}, fmt.Errorf("ecc: cannot derive hull θ = ε/12: %w", sketch.ErrBadEpsilon)
+		}
 		hopt.Theta = opt.Sketch.Epsilon / 12
 	}
 	if hopt.Seed == 0 {
 		hopt.Seed = opt.Sketch.Seed + 1
 	}
-	return hopt
+	return hopt, nil
 }
 
 // NewFastFromSketch assembles FASTQUERY state from an existing sketch by
@@ -203,8 +216,8 @@ func NewFastFromSketch(sk *sketch.Sketch, hopt hull.Options) (*Fast, error) {
 
 // HullOptionsFor exposes the resolved hull options for a FastOptions, so
 // callers rebuilding the hull incrementally use the exact parameters a full
-// build would.
-func HullOptionsFor(opt FastOptions) hull.Options { return hullOptions(opt) }
+// build would. It fails with sketch.ErrBadEpsilon when θ cannot be derived.
+func HullOptionsFor(opt FastOptions) (hull.Options, error) { return hullOptions(opt) }
 
 // L returns l = |Ŝ|, the number of hull-boundary nodes each query scans.
 func (f *Fast) L() int { return len(f.Boundary) }
@@ -217,50 +230,53 @@ func (f *Fast) Eccentricity(v int) Value {
 	return Value{Node: v, Ecc: c, Farthest: far}
 }
 
-// Query answers FASTQUERY(G, Q, ε).
+// Query answers FASTQUERY(G, Q, ε). It runs on the batched kernel with a
+// pooled scratch buffer and returns a freshly allocated slice; results are
+// bit-identical to per-node Eccentricity calls. Callers that control buffer
+// lifetime (servers, tight loops) should use QueryBatch directly.
 func (f *Fast) Query(q []int) []Value {
-	out := make([]Value, len(q))
-	for i, v := range q {
-		out[i] = f.Eccentricity(v)
-	}
+	buf := GetQueryBuf()
+	out := append([]Value(nil), f.QueryBatch(q, buf)...)
+	buf.Release()
 	return out
 }
 
 // Diameter approximates the resistance diameter R(G) = max_{u,v} r(u,v)
 // (Eq. 3) by scanning only hull-boundary pairs: the maximizing pair lies on
 // the convex-hull boundary of the embedding, so O(l²) sketched distances
-// suffice instead of O(n²).
-func (f *Fast) Diameter() (float64, graph.Edge) {
-	best := 0.0
-	var pair graph.Edge
+// suffice instead of O(n²). ok is false when no pair exists (a boundary of
+// fewer than two nodes — single-node or otherwise degenerate hulls), which
+// would otherwise be indistinguishable from a genuine answer (0, {0,0}).
+func (f *Fast) Diameter() (diam float64, pair graph.Edge, ok bool) {
 	for i := 0; i < len(f.Boundary); i++ {
 		for j := i + 1; j < len(f.Boundary); j++ {
 			u, v := f.Boundary[i], f.Boundary[j]
-			if r := f.Sk.Resistance(u, v); r > best {
-				best = r
+			if r := f.Sk.Resistance(u, v); !ok || r > diam {
+				diam = r
 				pair = graph.Edge{U: u, V: v}.Canon()
+				ok = true
 			}
 		}
 	}
-	return best, pair
+	return diam, pair, ok
 }
 
-// Distribution returns the approximate E(G) in Õ((m+nl)/ε²) total time.
+// Distribution returns the approximate E(G) in Õ((m+nl)/ε²) total time,
+// blocked through the batch kernel.
 func (f *Fast) Distribution() []float64 {
-	out := make([]float64, f.Sk.N)
-	for v := 0; v < f.Sk.N; v++ {
-		c, _ := f.Sk.EccentricityOver(v, f.Boundary)
-		out[v] = c
-	}
+	n := f.Sk.N
+	out := make([]float64, n)
+	arg := make([]int, n)
+	f.Sk.EccentricityBatch(identity(n), f.Boundary, out, arg)
 	return out
 }
 
 // DistributionParallel computes Distribution with the given worker count
-// (0 = GOMAXPROCS). Per-node scans are independent, so the speedup is
-// near-linear; results are bit-identical to the serial path.
+// (0 = GOMAXPROCS). Each worker runs the batch kernel over a disjoint source
+// chunk, so the speedup is near-linear; results are bit-identical to the
+// serial path.
 func (f *Fast) DistributionParallel(workers int) []float64 {
 	n := f.Sk.N
-	out := make([]float64, n)
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -270,6 +286,9 @@ func (f *Fast) DistributionParallel(workers int) []float64 {
 	if workers <= 1 {
 		return f.Distribution()
 	}
+	out := make([]float64, n)
+	arg := make([]int, n)
+	srcs := identity(n)
 	var wg sync.WaitGroup
 	chunk := (n + workers - 1) / workers
 	for w := 0; w < workers; w++ {
@@ -284,21 +303,30 @@ func (f *Fast) DistributionParallel(workers int) []float64 {
 		wg.Add(1)
 		go func(lo, hi int) {
 			defer wg.Done()
-			for v := lo; v < hi; v++ {
-				c, _ := f.Sk.EccentricityOver(v, f.Boundary)
-				out[v] = c
-			}
+			f.Sk.EccentricityBatch(srcs[lo:hi], f.Boundary, out[lo:hi], arg[lo:hi])
 		}(lo, hi)
 	}
 	wg.Wait()
 	return out
 }
 
+// identity returns [0, 1, …, n-1]: the source list for whole-graph batch
+// scans.
+func identity(n int) []int {
+	srcs := make([]int, n)
+	for i := range srcs {
+		srcs[i] = i
+	}
+	return srcs
+}
+
 // ApproxRecc is Algorithm 7: a one-shot approximate resistance eccentricity
 // of a single source, via a fresh APPROXER sketch. The optimization
-// algorithms CHMINRECC/MINRECC call this on candidate-augmented graphs.
-func ApproxRecc(g *graph.Graph, s int, opt sketch.Options) (float64, error) {
-	sk, err := sketch.New(g.ToCSR(), opt)
+// algorithms CHMINRECC/MINRECC call this on candidate-augmented graphs, once
+// per candidate per round, so the ctx threads cancellation into each inner
+// rebuild.
+func ApproxRecc(ctx context.Context, g *graph.Graph, s int, opt sketch.Options) (float64, error) {
+	sk, err := sketch.NewContext(ctx, g.ToCSR(), opt)
 	if err != nil {
 		return 0, fmt.Errorf("ecc: ApproxRecc: %w", err)
 	}

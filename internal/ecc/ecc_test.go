@@ -1,6 +1,7 @@
 package ecc
 
 import (
+	"context"
 	"math"
 	"testing"
 	"testing/quick"
@@ -246,14 +247,14 @@ func TestFastQueryBatchAndDefaults(t *testing.T) {
 
 func TestApproxRecc(t *testing.T) {
 	g := graph.Path(20)
-	c, err := ApproxRecc(g, 0, sketch.Options{Epsilon: 0.3, Dim: 256, Seed: 9})
+	c, err := ApproxRecc(context.Background(), g, 0, sketch.Options{Epsilon: 0.3, Dim: 256, Seed: 9})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if math.Abs(c-19)/19 > 0.3 {
 		t.Fatalf("ApproxRecc(path end)=%g, want ≈19", c)
 	}
-	if _, err := ApproxRecc(g, 0, sketch.Options{}); err == nil {
+	if _, err := ApproxRecc(context.Background(), g, 0, sketch.Options{}); err == nil {
 		t.Fatal("invalid sketch options must fail")
 	}
 }
@@ -346,7 +347,10 @@ func TestFastDiameter(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	d, pair := f.Diameter()
+	d, pair, ok := f.Diameter()
+	if !ok {
+		t.Fatal("Diameter: no boundary pair on a 40-node path")
+	}
 	// True resistance diameter of P40 is 39, attained by the endpoints.
 	if math.Abs(d-39)/39 > 0.3 {
 		t.Fatalf("diameter %g, want ≈39", d)

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math"
@@ -101,7 +102,7 @@ func AblationSketchDim(w io.Writer, opt Options, name string, dims []int) error 
 
 // AblationSolver quantifies design choice 3: CG preconditioners on one
 // representative solve workload (a full sketch build).
-func AblationSolver(w io.Writer, opt Options, name string) error {
+func AblationSolver(ctx context.Context, w io.Writer, opt Options, name string) error {
 	opt = opt.withDefaults()
 	if name == "" {
 		name = "EmailUN"
@@ -116,7 +117,7 @@ func AblationSolver(w io.Writer, opt Options, name string) error {
 	csr := g.ToCSR()
 	b := make([]float64, g.N())
 	// A representative hard RHS: unit dipole between two peripheral nodes.
-	s, err := peripheralSource(g, opt.Seed)
+	s, err := peripheralSource(ctx, g, opt.Seed)
 	if err != nil {
 		return err
 	}

@@ -10,6 +10,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"text/tabwriter"
@@ -144,8 +145,8 @@ func header(w io.Writer, title string) {
 // the largest approximate resistance eccentricity. The paper optimizes "a
 // given node s"; a peripheral source leaves room for improvement, matching
 // the Figure 8/9 setting where c(s) drops substantially.
-func peripheralSource(g *graph.Graph, seed int64) (int, error) {
-	sk, err := sketch.New(g.ToCSR(), sketch.Options{Epsilon: 0.5, Dim: 32, Seed: seed})
+func peripheralSource(ctx context.Context, g *graph.Graph, seed int64) (int, error) {
+	sk, err := sketch.NewContext(ctx, g.ToCSR(), sketch.Options{Epsilon: 0.5, Dim: 32, Seed: seed})
 	if err != nil {
 		return 0, err
 	}

@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"bytes"
+	"context"
 	"strings"
 	"testing"
 )
@@ -138,7 +139,7 @@ func TestFig8Smoke(t *testing.T) {
 	var buf bytes.Buffer
 	opt := tinyOpts()
 	opt.K = 2 // keep exhaustive search fast
-	rows, err := Fig8(&buf, opt)
+	rows, err := Fig8(context.Background(), &buf, opt)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -171,7 +172,7 @@ func TestFig9Smoke(t *testing.T) {
 	var buf bytes.Buffer
 	opt := tinyOpts()
 	opt.K = 5
-	rows, err := Fig9(&buf, opt, []string{"EmailUN"}, 1)
+	rows, err := Fig9(context.Background(), &buf, opt, []string{"EmailUN"}, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -210,7 +211,7 @@ func TestFig9LargeSmoke(t *testing.T) {
 	opt.LargeScale = 0.0002
 	opt.MaxCandidates = 6
 	opt.MaxHullVertices = 8
-	rows, err := Fig9Large(&buf, opt, 1)
+	rows, err := Fig9Large(context.Background(), &buf, opt, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -234,7 +235,7 @@ func TestTable3Smoke(t *testing.T) {
 	opt.LargeScale = 0.0002
 	opt.MaxCandidates = 6
 	opt.MaxHullVertices = 8
-	rows, err := Table3(&buf, opt)
+	rows, err := Table3(context.Background(), &buf, opt)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -259,7 +260,7 @@ func TestAblationsSmoke(t *testing.T) {
 	if err := AblationSketchDim(&buf, opt, "EmailUN", []int{16, 64}); err != nil {
 		t.Fatal(err)
 	}
-	if err := AblationSolver(&buf, opt, "EmailUN"); err != nil {
+	if err := AblationSolver(context.Background(), &buf, opt, "EmailUN"); err != nil {
 		t.Fatal(err)
 	}
 	if err := AblationShermanMorrison(&buf, opt, 60); err != nil {

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -21,8 +22,9 @@ type Fig8Row struct {
 // Fig8 reproduces Figure 8: on the four tiny sociograms (Kangaroo, Rhesus,
 // Cloister, Tribes) the greedy heuristics are compared against the true
 // optimum (exhaustive search) for k = 0..4, separately for REMD and REM.
-// The paper's claim: the heuristics are near-optimal on all four.
-func Fig8(w io.Writer, opt Options) ([]Fig8Row, error) {
+// The paper's claim: the heuristics are near-optimal on all four. ctx
+// cancels the sketch rebuilds inside the heuristics.
+func Fig8(ctx context.Context, w io.Writer, opt Options) ([]Fig8Row, error) {
 	opt = opt.withDefaults()
 	kMax := opt.K
 	if kMax > 4 {
@@ -35,7 +37,7 @@ func Fig8(w io.Writer, opt Options) ([]Fig8Row, error) {
 		if err != nil {
 			return nil, err
 		}
-		s, err := peripheralSource(g, opt.Seed)
+		s, err := peripheralSource(ctx, g, opt.Seed)
 		if err != nil {
 			return nil, err
 		}
@@ -64,10 +66,10 @@ func Fig8(w io.Writer, opt Options) ([]Fig8Row, error) {
 		}{
 			{"SIM-REMD", func() (*optimize.Result, error) { return optimize.Simple(g, optimize.REMD, s, kMax) }},
 			{"SIM-REM", func() (*optimize.Result, error) { return optimize.Simple(g, optimize.REM, s, kMax) }},
-			{"FarMinRecc", func() (*optimize.Result, error) { return optimize.FarMinRecc(g, s, kMax, fopt) }},
-			{"CenMinRecc", func() (*optimize.Result, error) { return optimize.CenMinRecc(g, s, kMax, fopt) }},
-			{"ChMinRecc", func() (*optimize.Result, error) { return optimize.ChMinRecc(g, s, kMax, fopt) }},
-			{"MinRecc", func() (*optimize.Result, error) { return optimize.MinRecc(g, s, kMax, fopt) }},
+			{"FarMinRecc", func() (*optimize.Result, error) { return optimize.FarMinRecc(ctx, g, s, kMax, fopt) }},
+			{"CenMinRecc", func() (*optimize.Result, error) { return optimize.CenMinRecc(ctx, g, s, kMax, fopt) }},
+			{"ChMinRecc", func() (*optimize.Result, error) { return optimize.ChMinRecc(ctx, g, s, kMax, fopt) }},
+			{"MinRecc", func() (*optimize.Result, error) { return optimize.MinRecc(ctx, g, s, kMax, fopt) }},
 		}
 		for _, a := range algos {
 			res, err := a.run()

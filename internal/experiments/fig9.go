@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -24,7 +25,7 @@ type Fig9Row struct {
 // On the paper's large networks only DE-REM remains feasible among the
 // baselines; the same degradation is reproduced via the `largeMode` flag in
 // Fig9Large.
-func Fig9(w io.Writer, opt Options, names []string, kStep int) ([]Fig9Row, error) {
+func Fig9(ctx context.Context, w io.Writer, opt Options, names []string, kStep int) ([]Fig9Row, error) {
 	opt = opt.withDefaults()
 	if names == nil {
 		names = dataset.Figure9Mid()
@@ -39,11 +40,11 @@ func Fig9(w io.Writer, opt Options, names []string, kStep int) ([]Fig9Row, error
 		if err != nil {
 			return nil, err
 		}
-		s, err := peripheralSource(g, opt.Seed)
+		s, err := peripheralSource(ctx, g, opt.Seed)
 		if err != nil {
 			return nil, err
 		}
-		row, err := fig9Panel(g, s, opt, false)
+		row, err := fig9Panel(ctx, g, s, opt, false)
 		if err != nil {
 			return nil, fmt.Errorf("experiments: fig9 %s: %w", name, err)
 		}
@@ -56,7 +57,7 @@ func Fig9(w io.Writer, opt Options, names []string, kStep int) ([]Fig9Row, error
 
 // Fig9Large reproduces the Figure 9 large-network panels (i)-(l): only the
 // DE-REM baseline is run against the four heuristics.
-func Fig9Large(w io.Writer, opt Options, kStep int) ([]Fig9Row, error) {
+func Fig9Large(ctx context.Context, w io.Writer, opt Options, kStep int) ([]Fig9Row, error) {
 	opt = opt.withDefaults()
 	if kStep <= 0 {
 		kStep = 10
@@ -68,11 +69,11 @@ func Fig9Large(w io.Writer, opt Options, kStep int) ([]Fig9Row, error) {
 		if err != nil {
 			return nil, err
 		}
-		s, err := peripheralSource(g, opt.Seed)
+		s, err := peripheralSource(ctx, g, opt.Seed)
 		if err != nil {
 			return nil, err
 		}
-		row, err := fig9Panel(g, s, opt, true)
+		row, err := fig9Panel(ctx, g, s, opt, true)
 		if err != nil {
 			return nil, fmt.Errorf("experiments: fig9large %s: %w", name, err)
 		}
@@ -83,7 +84,7 @@ func Fig9Large(w io.Writer, opt Options, kStep int) ([]Fig9Row, error) {
 	return rows, nil
 }
 
-func fig9Panel(g *graph.Graph, s int, opt Options, largeMode bool) (*Fig9Row, error) {
+func fig9Panel(ctx context.Context, g *graph.Graph, s int, opt Options, largeMode bool) (*Fig9Row, error) {
 	k := opt.K
 	fopt := optFast(opt)
 	row := &Fig9Row{Source: s, Curves: map[string][]float64{}}
@@ -96,10 +97,10 @@ func fig9Panel(g *graph.Graph, s int, opt Options, largeMode bool) (*Fig9Row, er
 		run   func() (*optimize.Result, error)
 	}
 	algos := []algo{
-		{"FarMinRecc", func() (*optimize.Result, error) { return optimize.FarMinRecc(g, s, k, fopt) }},
-		{"CenMinRecc", func() (*optimize.Result, error) { return optimize.CenMinRecc(g, s, k, fopt) }},
-		{"ChMinRecc", func() (*optimize.Result, error) { return optimize.ChMinRecc(g, s, k, fopt) }},
-		{"MinRecc", func() (*optimize.Result, error) { return optimize.MinRecc(g, s, k, fopt) }},
+		{"FarMinRecc", func() (*optimize.Result, error) { return optimize.FarMinRecc(ctx, g, s, k, fopt) }},
+		{"CenMinRecc", func() (*optimize.Result, error) { return optimize.CenMinRecc(ctx, g, s, k, fopt) }},
+		{"ChMinRecc", func() (*optimize.Result, error) { return optimize.ChMinRecc(ctx, g, s, k, fopt) }},
+		{"MinRecc", func() (*optimize.Result, error) { return optimize.MinRecc(ctx, g, s, k, fopt) }},
 		{"DE-REM", func() (*optimize.Result, error) { return optimize.Degree(g, optimize.REM, s, k) }},
 	}
 	if !largeMode {

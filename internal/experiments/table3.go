@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"time"
@@ -24,7 +25,7 @@ type Table3Row struct {
 // (proxied at Options.LargeScale). The paper's shape to preserve:
 // CenMinRecc fastest (sketches once), FarMinRecc ≈ ChMinRecc, MinRecc
 // slowest (superset candidate set).
-func Table3(w io.Writer, opt Options) ([]Table3Row, error) {
+func Table3(ctx context.Context, w io.Writer, opt Options) ([]Table3Row, error) {
 	opt = opt.withDefaults()
 	header(w, fmt.Sprintf("Table III — optimizer running time at k=%d", opt.K))
 	fmt.Fprintf(w, "large proxies at scale %.4g\n", opt.LargeScale)
@@ -36,7 +37,7 @@ func Table3(w io.Writer, opt Options) ([]Table3Row, error) {
 		if err != nil {
 			return nil, err
 		}
-		s, err := peripheralSource(g, opt.Seed)
+		s, err := peripheralSource(ctx, g, opt.Seed)
 		if err != nil {
 			return nil, err
 		}
@@ -44,7 +45,7 @@ func Table3(w io.Writer, opt Options) ([]Table3Row, error) {
 		fopt := optFast(opt)
 		for _, a := range []struct {
 			label string
-			run   func(*graph.Graph, int, int, optimize.FastOptions) (*optimize.Result, error)
+			run   func(context.Context, *graph.Graph, int, int, optimize.FastOptions) (*optimize.Result, error)
 		}{
 			{"FarMinRecc", optimize.FarMinRecc},
 			{"CenMinRecc", optimize.CenMinRecc},
@@ -52,7 +53,7 @@ func Table3(w io.Writer, opt Options) ([]Table3Row, error) {
 			{"MinRecc", optimize.MinRecc},
 		} {
 			start := time.Now()
-			if _, err := a.run(g, s, opt.K, fopt); err != nil {
+			if _, err := a.run(ctx, g, s, opt.K, fopt); err != nil {
 				return nil, fmt.Errorf("experiments: table3 %s %s: %w", name, a.label, err)
 			}
 			row.Seconds[a.label] = time.Since(start).Seconds()

@@ -232,11 +232,15 @@ func New(ctx context.Context, g *graph.Graph, cfg Config) (*Manager, error) {
 	}
 	cfg = cfg.withDefaults()
 	fopt := ecc.FastOptions{Sketch: cfg.Sketch, Hull: cfg.Hull}
+	hopt, err := ecc.HullOptionsFor(fopt)
+	if err != nil {
+		return nil, fmt.Errorf("lifecycle: initial build: %w", err)
+	}
 	fast, err := ecc.NewFastContext(ctx, g, fopt)
 	if err != nil {
 		return nil, fmt.Errorf("lifecycle: initial build: %w", err)
 	}
-	return start(g.Clone(), fast, 1, 0, cfg, fopt), nil
+	return start(g.Clone(), fast, 1, 0, cfg, fopt, hopt), nil
 }
 
 // Restored names the persisted position a manager resumes from.
@@ -264,23 +268,27 @@ func NewFromState(g *graph.Graph, fast *ecc.Fast, rs Restored, cfg Config) (*Man
 	}
 	cfg = cfg.withDefaults()
 	fopt := ecc.FastOptions{Sketch: cfg.Sketch, Hull: cfg.Hull}
+	hopt, err := ecc.HullOptionsFor(fopt)
+	if err != nil {
+		return nil, fmt.Errorf("lifecycle: restored build options: %w", err)
+	}
 	gen := rs.Gen
 	if gen == 0 {
 		gen = 1
 	}
-	return start(g.Clone(), fast, gen, rs.Seq, cfg, fopt), nil
+	return start(g.Clone(), fast, gen, rs.Seq, cfg, fopt, hopt), nil
 }
 
 // start takes ownership of g, publishes the initial snapshot and launches
 // the workers. Common tail of New and NewFromState.
 //
 //recclint:ctxroot the workers outlive every caller; their lifetime is bounded by Manager.Close, not a request context
-func start(g *graph.Graph, fast *ecc.Fast, gen, seq uint64, cfg Config, fopt ecc.FastOptions) *Manager {
+func start(g *graph.Graph, fast *ecc.Fast, gen, seq uint64, cfg Config, fopt ecc.FastOptions, hopt hull.Options) *Manager {
 	bctx, cancel := context.WithCancel(context.Background())
 	m := &Manager{
 		cfg:     cfg,
 		fopt:    fopt,
-		hopt:    ecc.HullOptionsFor(fopt),
+		hopt:    hopt,
 		queue:   make(chan mutation, cfg.QueueSize),
 		latest:  g,
 		mutSeq:  seq,

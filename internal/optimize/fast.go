@@ -1,10 +1,12 @@
 package optimize
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
 
+	"resistecc/internal/ecc"
 	"resistecc/internal/graph"
 	"resistecc/internal/hull"
 	"resistecc/internal/sketch"
@@ -23,16 +25,22 @@ type FastOptions struct {
 	MaxCandidates int
 }
 
-func (o FastOptions) hullOptions(round int) hull.Options {
+// hullOptions resolves APPROXCH parameters for one optimizer round. As in
+// ecc.HullOptionsFor, a zero Theta with no positive Epsilon to derive it from
+// is a configuration error, not a θ = 0 hull.
+func (o FastOptions) hullOptions(round int) (hull.Options, error) {
 	h := o.Hull
 	if h.Theta <= 0 {
+		if o.Sketch.Epsilon <= 0 {
+			return hull.Options{}, fmt.Errorf("optimize: cannot derive hull θ = ε/12: %w", sketch.ErrBadEpsilon)
+		}
 		h.Theta = o.Sketch.Epsilon / 12
 	}
 	if h.Seed == 0 {
 		h.Seed = o.Sketch.Seed + 7919
 	}
 	h.Seed += int64(round)
-	return h
+	return h, nil
 }
 
 func (o FastOptions) sketchOptions(round int) sketch.Options {
@@ -44,14 +52,14 @@ func (o FastOptions) sketchOptions(round int) sketch.Options {
 // FarMinRecc is Algorithm 5 (REMD): each round re-sketches the current graph
 // and connects s to the node with the largest sketched resistance distance
 // from s — the farthest-first heuristic. Õ(k·m/ε²).
-func FarMinRecc(g *graph.Graph, s, k int, opt FastOptions) (*Result, error) {
+func FarMinRecc(ctx context.Context, g *graph.Graph, s, k int, opt FastOptions) (*Result, error) {
 	if err := validate(g, s, k); err != nil {
 		return nil, err
 	}
 	work := g.Clone()
 	res := &Result{Algorithm: "FarMinRecc", Problem: REMD, Source: s}
 	for i := 0; i < k; i++ {
-		sk, err := sketch.New(work.ToCSR(), opt.sketchOptions(i))
+		sk, err := sketch.NewContext(ctx, work.ToCSR(), opt.sketchOptions(i))
 		if err != nil {
 			return nil, fmt.Errorf("optimize: FarMinRecc round %d: %w", i, err)
 		}
@@ -85,13 +93,13 @@ func FarMinRecc(g *graph.Graph, s, k int, opt FastOptions) (*Result, error) {
 // per its prose description ("find the node farthest from all nodes in set
 // T") we implement the standard farthest-first rule
 // argmax_{u∉T} min_{v∈T} d(u,v).
-func CenMinRecc(g *graph.Graph, s, k int, opt FastOptions) (*Result, error) {
+func CenMinRecc(ctx context.Context, g *graph.Graph, s, k int, opt FastOptions) (*Result, error) {
 	if err := validate(g, s, k); err != nil {
 		return nil, err
 	}
 	work := g.Clone()
 	res := &Result{Algorithm: "CenMinRecc", Problem: REMD, Source: s}
-	sk, err := sketch.New(work.ToCSR(), opt.sketchOptions(0))
+	sk, err := sketch.NewContext(ctx, work.ToCSR(), opt.sketchOptions(0))
 	if err != nil {
 		return nil, fmt.Errorf("optimize: CenMinRecc: %w", err)
 	}
@@ -138,19 +146,19 @@ func CenMinRecc(g *graph.Graph, s, k int, opt FastOptions) (*Result, error) {
 // extracts the hull boundary Ŝ, forms candidate edges between boundary
 // nodes, scores each candidate with APPROXRECC on the augmented graph, and
 // commits the best. Õ(k·l²·m/ε²) with l = |Ŝ|.
-func ChMinRecc(g *graph.Graph, s, k int, opt FastOptions) (*Result, error) {
-	return hullGreedy(g, s, k, opt, false, "ChMinRecc")
+func ChMinRecc(ctx context.Context, g *graph.Graph, s, k int, opt FastOptions) (*Result, error) {
+	return hullGreedy(ctx, g, s, k, opt, false, "ChMinRecc")
 }
 
 // MinRecc is Algorithm 9 (REM): ChMinRecc's hull-pair candidates plus the
 // direct edge from s to the farthest hull node (the FarMinRecc move), taking
 // whichever scores best each round. Strictly dominates ChMinRecc's candidate
 // set, at the cost of one extra APPROXRECC evaluation per round.
-func MinRecc(g *graph.Graph, s, k int, opt FastOptions) (*Result, error) {
-	return hullGreedy(g, s, k, opt, true, "MinRecc")
+func MinRecc(ctx context.Context, g *graph.Graph, s, k int, opt FastOptions) (*Result, error) {
+	return hullGreedy(ctx, g, s, k, opt, true, "MinRecc")
 }
 
-func hullGreedy(g *graph.Graph, s, k int, opt FastOptions, includeDirect bool, name string) (*Result, error) {
+func hullGreedy(ctx context.Context, g *graph.Graph, s, k int, opt FastOptions, includeDirect bool, name string) (*Result, error) {
 	if err := validate(g, s, k); err != nil {
 		return nil, err
 	}
@@ -158,11 +166,15 @@ func hullGreedy(g *graph.Graph, s, k int, opt FastOptions, includeDirect bool, n
 	res := &Result{Algorithm: name, Problem: REM, Source: s}
 	for i := 0; i < k; i++ {
 		skOpt := opt.sketchOptions(i)
-		sk, err := sketch.New(work.ToCSR(), skOpt)
+		hopt, err := opt.hullOptions(i)
 		if err != nil {
 			return nil, fmt.Errorf("optimize: %s round %d: %w", name, i, err)
 		}
-		hres, err := hull.Approx(sk.Points(), opt.hullOptions(i))
+		sk, err := sketch.NewContext(ctx, work.ToCSR(), skOpt)
+		if err != nil {
+			return nil, fmt.Errorf("optimize: %s round %d: %w", name, i, err)
+		}
+		hres, err := hull.Approx(sk.Points(), hopt)
 		if err != nil {
 			return nil, fmt.Errorf("optimize: %s round %d hull: %w", name, i, err)
 		}
@@ -192,14 +204,13 @@ func hullGreedy(g *graph.Graph, s, k int, opt FastOptions, includeDirect bool, n
 			if err := work.AddEdge(e.U, e.V); err != nil {
 				return nil, fmt.Errorf("optimize: %s scoring %v: %w", name, e, err)
 			}
-			cSk, err := sketch.New(work.ToCSR(), skOpt)
+			c, err := ecc.ApproxRecc(ctx, work, s, skOpt)
 			if err2 := work.RemoveEdge(e.U, e.V); err2 != nil {
 				return nil, fmt.Errorf("optimize: %s undo %v: %w", name, e, err2)
 			}
 			if err != nil {
 				return nil, fmt.Errorf("optimize: %s APPROXRECC %v: %w", name, e, err)
 			}
-			c, _ := cSk.Eccentricity(s)
 			if c < bestEcc {
 				bestEcc, bestIdx = c, ci
 			}

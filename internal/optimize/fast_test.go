@@ -1,6 +1,7 @@
 package optimize
 
 import (
+	"context"
 	"testing"
 
 	"resistecc/internal/graph"
@@ -54,7 +55,7 @@ func TestFarMinReccOnPath(t *testing.T) {
 	// From the left end of a path, the farthest node is the right end; the
 	// first FarMinRecc edge must be (0, n−1) (or extremely close to it).
 	g := graph.Path(12)
-	plan, err := FarMinRecc(g, 0, 1, fastOpts(2))
+	plan, err := FarMinRecc(context.Background(), g, 0, 1, fastOpts(2))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -73,7 +74,7 @@ func TestFarMinReccOnPath(t *testing.T) {
 func TestFarMinReccReducesEcc(t *testing.T) {
 	g := graph.BarabasiAlbert(80, 2, 6)
 	s := 50
-	plan, err := FarMinRecc(g, s, 5, fastOpts(3))
+	plan, err := FarMinRecc(context.Background(), g, s, 5, fastOpts(3))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -95,7 +96,7 @@ func TestFarMinReccReducesEcc(t *testing.T) {
 func TestCenMinReccBasics(t *testing.T) {
 	g := graph.BarabasiAlbert(80, 2, 7)
 	s := 10
-	plan, err := CenMinRecc(g, s, 6, fastOpts(4))
+	plan, err := CenMinRecc(context.Background(), g, s, 6, fastOpts(4))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -129,12 +130,12 @@ func TestChMinReccAndMinRecc(t *testing.T) {
 	s := 2                    // inside the clique
 	for _, algo := range []struct {
 		name string
-		run  func(*graph.Graph, int, int, FastOptions) (*Result, error)
+		run  func(context.Context, *graph.Graph, int, int, FastOptions) (*Result, error)
 	}{
 		{"ChMinRecc", ChMinRecc},
 		{"MinRecc", MinRecc},
 	} {
-		plan, err := algo.run(g, s, 3, fastOpts(5))
+		plan, err := algo.run(context.Background(), g, s, 3, fastOpts(5))
 		if err != nil {
 			t.Fatalf("%s: %v", algo.name, err)
 		}
@@ -162,11 +163,11 @@ func TestMinReccAtLeastChMinReccK1(t *testing.T) {
 		g := graph.BarabasiAlbert(60, 2, seed+10)
 		s := 30
 		opt := fastOpts(seed)
-		ch, err := ChMinRecc(g, s, 1, opt)
+		ch, err := ChMinRecc(context.Background(), g, s, 1, opt)
 		if err != nil {
 			t.Fatal(err)
 		}
-		mr, err := MinRecc(g, s, 1, opt)
+		mr, err := MinRecc(context.Background(), g, s, 1, opt)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -184,7 +185,7 @@ func TestFastOptionsCandidateCap(t *testing.T) {
 	g := graph.BarabasiAlbert(60, 2, 15)
 	opt := fastOpts(6)
 	opt.MaxCandidates = 3
-	plan, err := MinRecc(g, 5, 2, opt)
+	plan, err := MinRecc(context.Background(), g, 5, 2, opt)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -196,10 +197,10 @@ func TestFastOptionsCandidateCap(t *testing.T) {
 func TestFastValidation(t *testing.T) {
 	g := graph.Path(5)
 	bad := FastOptions{Sketch: sketch.Options{Epsilon: 0}}
-	if _, err := FarMinRecc(g, 0, 1, bad); err == nil {
+	if _, err := FarMinRecc(context.Background(), g, 0, 1, bad); err == nil {
 		t.Fatal("invalid epsilon must fail")
 	}
-	if _, err := CenMinRecc(g, 99, 1, fastOpts(1)); err == nil {
+	if _, err := CenMinRecc(context.Background(), g, 99, 1, fastOpts(1)); err == nil {
 		t.Fatal("bad source must fail")
 	}
 }
@@ -209,7 +210,7 @@ func TestFarMinReccExhaustsCandidates(t *testing.T) {
 	if err := g.RemoveEdge(0, 4); err != nil {
 		t.Fatal(err)
 	}
-	plan, err := FarMinRecc(g, 0, 3, fastOpts(8))
+	plan, err := FarMinRecc(context.Background(), g, 0, 3, fastOpts(8))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package persist
 
 import (
+	"context"
 	"errors"
 	"os"
 	"path/filepath"
@@ -402,7 +403,7 @@ func TestFingerprintSensitivity(t *testing.T) {
 func TestSketchRestoreBitIdentical(t *testing.T) {
 	g := graph.RandomConnected(25, 50, 3)
 	p := testParams()
-	sk, err := sketch.New(g.ToCSR(), p.SketchOptions())
+	sk, err := sketch.NewContext(context.Background(), g.ToCSR(), p.SketchOptions())
 	if err != nil {
 		t.Fatal(err)
 	}

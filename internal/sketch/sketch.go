@@ -113,17 +113,10 @@ type Sketch struct {
 	pts [][]float64
 }
 
-// New runs APPROXER(G, ε) on the CSR snapshot and returns the sketch.
-//
-//recclint:ctxroot compatibility shim over NewContext; callers that need cancellation use the Context variant
-func New(csr *graph.CSR, opt Options) (*Sketch, error) {
-	return NewContext(context.Background(), csr, opt)
-}
-
-// NewContext is New with cancellation: the build checks ctx between solver
-// rows and aborts with ctx.Err(), so background index rebuilds (the
-// lifecycle manager) can be torn down mid-flight without finishing the
-// remaining Õ(m/ε²) work.
+// NewContext runs APPROXER(G, ε) on the CSR snapshot and returns the sketch.
+// The build checks ctx between solver rows and aborts with ctx.Err(), so
+// background index rebuilds (the lifecycle manager) and optimizer loops can
+// be torn down mid-flight without finishing the remaining Õ(m/ε²) work.
 func NewContext(ctx context.Context, csr *graph.CSR, opt Options) (*Sketch, error) {
 	if opt.Epsilon <= 0 || opt.Epsilon >= 1 {
 		return nil, fmt.Errorf("%w, got %g", ErrBadEpsilon, opt.Epsilon)

@@ -1,6 +1,7 @@
 package sketch
 
 import (
+	"context"
 	"math"
 	"testing"
 	"testing/quick"
@@ -21,10 +22,10 @@ func TestTheoreticalDim(t *testing.T) {
 
 func TestOptionsValidation(t *testing.T) {
 	g := graph.Path(4).ToCSR()
-	if _, err := New(g, Options{Epsilon: 0}); err == nil {
+	if _, err := NewContext(context.Background(), g, Options{Epsilon: 0}); err == nil {
 		t.Fatal("epsilon 0 must fail")
 	}
-	if _, err := New(g, Options{Epsilon: 1.5}); err == nil {
+	if _, err := NewContext(context.Background(), g, Options{Epsilon: 1.5}); err == nil {
 		t.Fatal("epsilon >= 1 must fail")
 	}
 }
@@ -33,7 +34,7 @@ func TestSketchPathResistance(t *testing.T) {
 	// On the 16-node path, sketched resistances should track |i−j| within a
 	// modest relative error at d=256.
 	g := graph.Path(16)
-	sk, err := New(g.ToCSR(), Options{Epsilon: 0.3, Dim: 256, Seed: 1})
+	sk, err := NewContext(context.Background(), g.ToCSR(), Options{Epsilon: 0.3, Dim: 256, Seed: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -53,7 +54,7 @@ func TestSketchPathResistance(t *testing.T) {
 
 func TestSketchSelfResistanceZero(t *testing.T) {
 	g := graph.Cycle(8)
-	sk, err := New(g.ToCSR(), Options{Epsilon: 0.3, Dim: 32, Seed: 2})
+	sk, err := NewContext(context.Background(), g.ToCSR(), Options{Epsilon: 0.3, Dim: 32, Seed: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -64,11 +65,11 @@ func TestSketchSelfResistanceZero(t *testing.T) {
 
 func TestSketchDeterministic(t *testing.T) {
 	g := graph.BarabasiAlbert(50, 2, 4)
-	a, err := New(g.ToCSR(), Options{Epsilon: 0.2, Dim: 40, Seed: 99, Workers: 4})
+	a, err := NewContext(context.Background(), g.ToCSR(), Options{Epsilon: 0.2, Dim: 40, Seed: 99, Workers: 4})
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := New(g.ToCSR(), Options{Epsilon: 0.2, Dim: 40, Seed: 99, Workers: 1})
+	b, err := NewContext(context.Background(), g.ToCSR(), Options{Epsilon: 0.2, Dim: 40, Seed: 99, Workers: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -84,7 +85,7 @@ func TestSketchDeterministic(t *testing.T) {
 
 func TestEccentricityMatchesScan(t *testing.T) {
 	g := graph.Lollipop(6, 4)
-	sk, err := New(g.ToCSR(), Options{Epsilon: 0.25, Dim: 128, Seed: 3})
+	sk, err := NewContext(context.Background(), g.ToCSR(), Options{Epsilon: 0.25, Dim: 128, Seed: 3})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -106,7 +107,7 @@ func TestQuickSketchEpsilonBound(t *testing.T) {
 	f := func(seed int64) bool {
 		g := graph.BarabasiAlbert(30, 2, seed)
 		const eps = 0.5
-		sk, err := New(g.ToCSR(), Options{Epsilon: eps, Seed: seed})
+		sk, err := NewContext(context.Background(), g.ToCSR(), Options{Epsilon: eps, Seed: seed})
 		if err != nil {
 			return false
 		}
@@ -131,7 +132,7 @@ func TestQuickSketchEpsilonBound(t *testing.T) {
 }
 
 func TestSketchEmptyGraph(t *testing.T) {
-	sk, err := New(graph.New(0).ToCSR(), Options{Epsilon: 0.3, Dim: 8})
+	sk, err := NewContext(context.Background(), graph.New(0).ToCSR(), Options{Epsilon: 0.3, Dim: 8})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -143,7 +144,7 @@ func TestSketchEmptyGraph(t *testing.T) {
 func TestBuildStats(t *testing.T) {
 	g := graph.BarabasiAlbert(120, 3, 5)
 	const dim = 48
-	sk, err := New(g.ToCSR(), Options{Epsilon: 0.3, Dim: dim, Seed: 2, Workers: 4})
+	sk, err := NewContext(context.Background(), g.ToCSR(), Options{Epsilon: 0.3, Dim: dim, Seed: 2, Workers: 4})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -73,7 +73,7 @@ func TestAddEdgeUpdateWithinDriftBound(t *testing.T) {
 			g := tc.g
 			u, v := nonEdge(t, g)
 			opt := Options{Epsilon: 0.3, Dim: 512, Seed: 7}
-			sk, err := New(g.ToCSR(), opt)
+			sk, err := NewContext(context.Background(), g.ToCSR(), opt)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -107,7 +107,7 @@ func TestAddEdgeUpdateWithinDriftBound(t *testing.T) {
 
 			// Cross-check against a fresh rebuild: both approximate the same
 			// exact values, so they agree within the sum of their bounds.
-			fresh, err := New(g2.ToCSR(), opt)
+			fresh, err := NewContext(context.Background(), g2.ToCSR(), opt)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -131,7 +131,7 @@ func TestAddEdgeUpdateWithinDriftBound(t *testing.T) {
 func TestRemoveEdgeUpdateWithinDriftBound(t *testing.T) {
 	g := graph.Complete(8)
 	opt := Options{Epsilon: 0.3, Dim: 512, Seed: 9}
-	sk, err := New(g.ToCSR(), opt)
+	sk, err := NewContext(context.Background(), g.ToCSR(), opt)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -158,7 +158,7 @@ func TestRemoveEdgeUpdateWithinDriftBound(t *testing.T) {
 // so the downdate must refuse with ErrUnsafeUpdate rather than divide by ~0.
 func TestRemoveEdgeUpdateRefusesBridges(t *testing.T) {
 	g := graph.Path(16)
-	sk, err := New(g.ToCSR(), Options{Epsilon: 0.3, Dim: 64, Seed: 3})
+	sk, err := NewContext(context.Background(), g.ToCSR(), Options{Epsilon: 0.3, Dim: 64, Seed: 3})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -170,7 +170,7 @@ func TestRemoveEdgeUpdateRefusesBridges(t *testing.T) {
 // TestDriftAccumulates: consecutive updates sum their contributions.
 func TestDriftAccumulates(t *testing.T) {
 	g := graph.Cycle(12)
-	sk, err := New(g.ToCSR(), Options{Epsilon: 0.3, Dim: 64, Seed: 5})
+	sk, err := NewContext(context.Background(), g.ToCSR(), Options{Epsilon: 0.3, Dim: 64, Seed: 5})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -194,7 +194,7 @@ func TestDriftAccumulates(t *testing.T) {
 // TestUpdateValidation: range and self-loop errors surface as sentinels.
 func TestUpdateValidation(t *testing.T) {
 	g := graph.Path(8)
-	sk, err := New(g.ToCSR(), Options{Epsilon: 0.3, Dim: 16, Seed: 1})
+	sk, err := NewContext(context.Background(), g.ToCSR(), Options{Epsilon: 0.3, Dim: 16, Seed: 1})
 	if err != nil {
 		t.Fatal(err)
 	}

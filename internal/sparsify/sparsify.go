@@ -13,6 +13,7 @@
 package sparsify
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -48,7 +49,8 @@ type Result struct {
 }
 
 // Sparsify builds a spectral sparsifier of the connected unweighted graph g.
-func Sparsify(g *graph.Graph, opt Options) (*Result, error) {
+// ctx cancels the leverage-score sketch build.
+func Sparsify(ctx context.Context, g *graph.Graph, opt Options) (*Result, error) {
 	if opt.Epsilon <= 0 || opt.Epsilon >= 1 {
 		return nil, fmt.Errorf("sparsify: epsilon must be in (0,1), got %g", opt.Epsilon)
 	}
@@ -76,7 +78,7 @@ func Sparsify(g *graph.Graph, opt Options) (*Result, error) {
 		skOpt.Seed = opt.Seed
 	}
 	csr := g.ToCSR()
-	sk, err := sketch.New(csr, skOpt)
+	sk, err := sketch.NewContext(ctx, csr, skOpt)
 	if err != nil {
 		return nil, fmt.Errorf("sparsify: resistance sketch: %w", err)
 	}

@@ -1,6 +1,7 @@
 package sparsify
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
@@ -12,17 +13,17 @@ import (
 
 func TestOptionsValidation(t *testing.T) {
 	g := graph.Complete(5)
-	if _, err := Sparsify(g, Options{Epsilon: 0}); err == nil {
+	if _, err := Sparsify(context.Background(), g, Options{Epsilon: 0}); err == nil {
 		t.Fatal("epsilon 0")
 	}
-	if _, err := Sparsify(graph.New(0), Options{Epsilon: 0.5}); err == nil {
+	if _, err := Sparsify(context.Background(), graph.New(0), Options{Epsilon: 0.5}); err == nil {
 		t.Fatal("empty graph")
 	}
 	d := graph.New(3)
 	if err := d.AddEdge(0, 1); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := Sparsify(d, Options{Epsilon: 0.5}); err == nil {
+	if _, err := Sparsify(context.Background(), d, Options{Epsilon: 0.5}); err == nil {
 		t.Fatal("disconnected graph")
 	}
 }
@@ -31,7 +32,7 @@ func TestSparsifierReducesEdges(t *testing.T) {
 	// A dense graph: K_80 has 3160 edges; the sparsifier keeps far fewer
 	// distinct ones at ε = 0.5 with a modest sample budget.
 	g := graph.Complete(80)
-	res, err := Sparsify(g, Options{Epsilon: 0.5, Samples: 4000, Seed: 1})
+	res, err := Sparsify(context.Background(), g, Options{Epsilon: 0.5, Samples: 4000, Seed: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -45,7 +46,7 @@ func TestSparsifierReducesEdges(t *testing.T) {
 
 func TestQuadraticFormPreserved(t *testing.T) {
 	g := graph.BarabasiAlbert(150, 6, 3)
-	res, err := Sparsify(g, Options{Epsilon: 0.3, Seed: 2})
+	res, err := Sparsify(context.Background(), g, Options{Epsilon: 0.3, Seed: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -65,7 +66,7 @@ func TestQuadraticFormPreserved(t *testing.T) {
 
 func TestSparsifierPreservesResistances(t *testing.T) {
 	g := graph.BarabasiAlbert(120, 5, 9)
-	res, err := Sparsify(g, Options{Epsilon: 0.3, Seed: 5})
+	res, err := Sparsify(context.Background(), g, Options{Epsilon: 0.3, Seed: 5})
 	if err != nil {
 		t.Fatal(err)
 	}

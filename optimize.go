@@ -1,6 +1,7 @@
 package resistecc
 
 import (
+	"context"
 	"fmt"
 
 	"resistecc/internal/graph"
@@ -135,9 +136,10 @@ func Exhaustive(g *Graph, p Problem, s, k int) (*Plan, float64, error) {
 }
 
 // FarMinRecc (Algorithm 5, REMD) repeatedly connects s to its sketched-
-// farthest node. Õ(k·m/ε²).
-func FarMinRecc(g *Graph, s, k int, opt OptimizeOptions) (*Plan, error) {
-	r, err := optimize.FarMinRecc(g.inner(), s, k, opt.internal())
+// farthest node. Õ(k·m/ε²). ctx cancels the per-round sketch rebuilds; the
+// other sketch-based heuristics below thread it the same way.
+func FarMinRecc(ctx context.Context, g *Graph, s, k int, opt OptimizeOptions) (*Plan, error) {
+	r, err := optimize.FarMinRecc(ctx, g.inner(), s, k, opt.internal())
 	if err != nil {
 		return nil, err
 	}
@@ -147,8 +149,8 @@ func FarMinRecc(g *Graph, s, k int, opt OptimizeOptions) (*Plan, error) {
 // CenMinRecc (Algorithm 6, REMD) sketches once and wires s to k centers
 // chosen by farthest-first traversal. Õ(m/ε² + k·n/ε²) — the fastest
 // heuristic, somewhat less effective than FarMinRecc (Figure 9/Table III).
-func CenMinRecc(g *Graph, s, k int, opt OptimizeOptions) (*Plan, error) {
-	r, err := optimize.CenMinRecc(g.inner(), s, k, opt.internal())
+func CenMinRecc(ctx context.Context, g *Graph, s, k int, opt OptimizeOptions) (*Plan, error) {
+	r, err := optimize.CenMinRecc(ctx, g.inner(), s, k, opt.internal())
 	if err != nil {
 		return nil, err
 	}
@@ -157,8 +159,8 @@ func CenMinRecc(g *Graph, s, k int, opt OptimizeOptions) (*Plan, error) {
 
 // ChMinRecc (Algorithm 8, REM) adds edges between convex-hull boundary
 // nodes, scoring candidates with APPROXRECC. Õ(k·l²·m/ε²).
-func ChMinRecc(g *Graph, s, k int, opt OptimizeOptions) (*Plan, error) {
-	r, err := optimize.ChMinRecc(g.inner(), s, k, opt.internal())
+func ChMinRecc(ctx context.Context, g *Graph, s, k int, opt OptimizeOptions) (*Plan, error) {
+	r, err := optimize.ChMinRecc(ctx, g.inner(), s, k, opt.internal())
 	if err != nil {
 		return nil, err
 	}
@@ -168,8 +170,8 @@ func ChMinRecc(g *Graph, s, k int, opt OptimizeOptions) (*Plan, error) {
 // MinRecc (Algorithm 9, REM) unions ChMinRecc's hull-pair candidates with
 // the direct edge to the farthest hull node and picks the better each round
 // — the most effective heuristic in the paper's evaluation.
-func MinRecc(g *Graph, s, k int, opt OptimizeOptions) (*Plan, error) {
-	r, err := optimize.MinRecc(g.inner(), s, k, opt.internal())
+func MinRecc(ctx context.Context, g *Graph, s, k int, opt OptimizeOptions) (*Plan, error) {
+	r, err := optimize.MinRecc(ctx, g.inner(), s, k, opt.internal())
 	if err != nil {
 		return nil, err
 	}

@@ -299,13 +299,13 @@ func TestOptimizePublic(t *testing.T) {
 	}
 
 	opt := OptimizeOptions{Sketch: SketchOptions{Epsilon: 0.3, Dim: 96, Seed: 2}, Hull: HullOptions{MaxVertices: 10}}
-	for name, run := range map[string]func(*Graph, int, int, OptimizeOptions) (*Plan, error){
+	for name, run := range map[string]func(context.Context, *Graph, int, int, OptimizeOptions) (*Plan, error){
 		"FarMinRecc": FarMinRecc,
 		"CenMinRecc": CenMinRecc,
 		"ChMinRecc":  ChMinRecc,
 		"MinRecc":    MinRecc,
 	} {
-		p, err := run(g, s, 2, opt)
+		p, err := run(context.Background(), g, s, 2, opt)
 		if err != nil {
 			t.Fatalf("%s: %v", name, err)
 		}
