@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: check build vet lint lint-fix lint-sarif test race bench bench-json
+.PHONY: check build vet lint lint-fix lint-sarif test race repl-smoke bench bench-json
 
 check: vet lint race
 
@@ -37,6 +37,13 @@ test:
 # so give the suite explicit headroom.
 race:
 	$(GO) test -race -timeout 30m ./...
+
+# End-to-end replication smoke: boots a durable writer, two WAL-tailing
+# replicas and a consistent-hash router as real HTTP servers, then asserts
+# bit-identical replica answers, read-your-writes through the router,
+# resync-after-rebuild and zero 5xx across a replica kill/restart.
+repl-smoke:
+	$(GO) test -race -count=1 -run '^TestRepl' ./cmd/reccd/
 
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ ./...

@@ -31,7 +31,7 @@ func TestAlgebraicConnectivityPublic(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	idx, err := ba.NewExactIndex()
+	idx, err := NewExactIndex(context.Background(), ba)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -129,7 +129,7 @@ func TestHittingPublic(t *testing.T) {
 		t.Fatalf("HittingTime %g vs column %g", single, h[2])
 	}
 	// Commute identity against the exact index.
-	idx, err := g.NewExactIndex()
+	idx, err := NewExactIndex(context.Background(), g)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -170,7 +170,7 @@ func TestCentralityPublic(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	ap, err := ba.NewApproxIndex(SketchOptions{Epsilon: 0.3, Dim: 192, Seed: 2})
+	ap, err := NewApproxIndex(context.Background(), ba, WithEpsilon(0.3), WithDim(192), WithSeed(2))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -107,7 +107,7 @@ func BenchmarkEigenLambdaTwo(b *testing.B) {
 
 func BenchmarkCentralityCurrentFlowApprox(b *testing.B) {
 	g := benchProxy(b, "Politician", 0.1)
-	ap, err := wrapGraph(g).NewApproxIndex(SketchOptions{Epsilon: 0.3, Dim: 96, Seed: 1})
+	ap, err := NewApproxIndex(context.Background(), wrapGraph(g), WithEpsilon(0.3), WithDim(96), WithSeed(1))
 	if err != nil {
 		b.Fatal(err)
 	}

@@ -63,7 +63,7 @@ func TestDurableServerCheckpointAndWarmRestart(t *testing.T) {
 	if body["checkpointed"] != true || body["walRecords"].(float64) != 0 {
 		t.Fatalf("checkpoint response: %v", body)
 	}
-	wantGen := srv.dyn.Snapshot().Generation
+	wantGen := srv.current().dyn.Snapshot().Generation
 	srv.close()
 
 	// Restart over the same directory: warm, same generation, and the
@@ -74,7 +74,7 @@ func TestDurableServerCheckpointAndWarmRestart(t *testing.T) {
 	if !srv2.recovery.Warm {
 		t.Fatalf("restart was cold: %+v", srv2.recovery)
 	}
-	if got := srv2.dyn.Snapshot().Generation; got != wantGen {
+	if got := srv2.current().dyn.Snapshot().Generation; got != wantGen {
 		t.Fatalf("generation after warm restart: %d, want %d", got, wantGen)
 	}
 	health := decodeObj(t, get(t, h2, "/v1/healthz"))

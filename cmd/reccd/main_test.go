@@ -81,7 +81,7 @@ func decodeErrEnvelope(t *testing.T, rec *httptest.ResponseRecorder) (code, msg 
 
 func TestHealthz(t *testing.T) {
 	srv := testServer(t)
-	rec := get(t, testHandler(t, srv), "/healthz")
+	rec := get(t, testHandler(t, srv), "/v1/healthz")
 	if rec.Code != http.StatusOK {
 		t.Fatalf("status %d", rec.Code)
 	}
@@ -111,11 +111,24 @@ func TestHealthz(t *testing.T) {
 	}
 }
 
-// Every endpoint answers identically under /v1/ and at its legacy
-// unversioned alias.
-func TestV1RouteAliases(t *testing.T) {
+// The pre-v1 unversioned aliases are retired: by default they 404 with the
+// structured envelope; -legacy-routes re-mounts them answering identically
+// to /v1 but stamped with a Deprecation header naming the successor.
+func TestLegacyRoutesGated(t *testing.T) {
 	srv := testServer(t)
 	h := testHandler(t, srv)
+	for _, path := range []string{"/healthz", "/eccentricity?node=0", "/summary", "/metrics"} {
+		rec := get(t, h, path)
+		if rec.Code != http.StatusNotFound {
+			t.Fatalf("%s should be retired by default: status %d", path, rec.Code)
+		}
+		if code, _ := decodeErrEnvelope(t, rec); code != "not_found" {
+			t.Fatalf("%s: code %q", path, code)
+		}
+	}
+
+	srv.cfg.LegacyRoutes = true
+	h = testHandler(t, srv)
 	for _, path := range []string{
 		"/healthz", "/eccentricity?node=0,7", "/resistance?u=0&v=5", "/summary",
 	} {
@@ -127,14 +140,19 @@ func TestV1RouteAliases(t *testing.T) {
 			t.Fatalf("%s: body differs between route families:\n%s\nvs\n%s",
 				path, legacy.Body.String(), v1.Body.String())
 		}
-		if g := v1.Header().Get("X-Index-Generation"); g != legacy.Header().Get("X-Index-Generation") {
-			t.Fatalf("%s: generation header differs (%q)", path, g)
+		if legacy.Header().Get("Deprecation") != "true" {
+			t.Fatalf("%s: missing Deprecation header", path)
+		}
+		link := legacy.Header().Get("Link")
+		if !strings.Contains(link, "/v1/") || !strings.Contains(link, "successor-version") {
+			t.Fatalf("%s: bad successor link %q", path, link)
+		}
+		if v1.Header().Get("Deprecation") != "" {
+			t.Fatalf("/v1%s must not be marked deprecated", path)
 		}
 	}
-	// Metrics is also aliased (exposition text is time-dependent, so just
-	// check both answer).
-	if rec := get(t, h, "/v1/metrics"); rec.Code != http.StatusOK {
-		t.Fatalf("/v1/metrics: %d", rec.Code)
+	if rec := get(t, h, "/metrics"); rec.Code != http.StatusOK || rec.Header().Get("Deprecation") != "true" {
+		t.Fatalf("/metrics alias: status %d, deprecation %q", rec.Code, rec.Header().Get("Deprecation"))
 	}
 }
 
@@ -160,7 +178,7 @@ func TestEccentricityAlwaysArray(t *testing.T) {
 	h := testHandler(t, srv)
 	// Single id: still an array of one (documented contract; the seed
 	// returned a bare object here, forcing clients to shape-sniff).
-	rec := get(t, h, "/eccentricity?node=0")
+	rec := get(t, h, "/v1/eccentricity?node=0")
 	if rec.Code != http.StatusOK {
 		t.Fatalf("status %d: %s", rec.Code, rec.Body.String())
 	}
@@ -169,7 +187,7 @@ func TestEccentricityAlwaysArray(t *testing.T) {
 		t.Fatalf("single-node body %s", rec.Body.String())
 	}
 	// Batch keeps request order.
-	rec = get(t, h, "/eccentricity?node=7,0,10")
+	rec = get(t, h, "/v1/eccentricity?node=7,0,10")
 	if rec.Code != http.StatusOK {
 		t.Fatalf("batch status %d", rec.Code)
 	}
@@ -183,12 +201,12 @@ func TestEccentricityErrors(t *testing.T) {
 	srv := testServer(t)
 	h := testHandler(t, srv)
 	for url, want := range map[string]int{
-		"/eccentricity":             http.StatusBadRequest,
-		"/eccentricity?node=abc":    http.StatusBadRequest,
-		"/eccentricity?node=0,,1":   http.StatusBadRequest,
-		"/eccentricity?node=99999":  http.StatusNotFound, // well-formed but unknown
-		"/eccentricity?node=-3":     http.StatusNotFound,
-		"/eccentricity?node=0,7777": http.StatusNotFound, // bad id anywhere in the batch
+		"/v1/eccentricity":             http.StatusBadRequest,
+		"/v1/eccentricity?node=abc":    http.StatusBadRequest,
+		"/v1/eccentricity?node=0,,1":   http.StatusBadRequest,
+		"/v1/eccentricity?node=99999":  http.StatusNotFound, // well-formed but unknown
+		"/v1/eccentricity?node=-3":     http.StatusNotFound,
+		"/v1/eccentricity?node=0,7777": http.StatusNotFound, // bad id anywhere in the batch
 	} {
 		rec := get(t, h, url)
 		if rec.Code != want {
@@ -215,12 +233,12 @@ func TestEccentricityBatchCap(t *testing.T) {
 	for i := range ids {
 		ids[i] = "1"
 	}
-	rec := get(t, h, "/eccentricity?node="+strings.Join(ids, ","))
+	rec := get(t, h, "/v1/eccentricity?node="+strings.Join(ids, ","))
 	if rec.Code != http.StatusRequestEntityTooLarge {
 		t.Fatalf("oversize batch: status %d, want 413", rec.Code)
 	}
 	// At the cap it still works.
-	rec = get(t, h, "/eccentricity?node="+strings.Join(ids[:8], ","))
+	rec = get(t, h, "/v1/eccentricity?node="+strings.Join(ids[:8], ","))
 	if rec.Code != http.StatusOK {
 		t.Fatalf("at-cap batch: status %d", rec.Code)
 	}
@@ -229,16 +247,16 @@ func TestEccentricityBatchCap(t *testing.T) {
 func TestResistanceEndpoint(t *testing.T) {
 	srv := testServer(t)
 	h := testHandler(t, srv)
-	rec := get(t, h, "/resistance?u=0&v=10")
+	rec := get(t, h, "/v1/resistance?u=0&v=10")
 	if body := decodeObj(t, rec); rec.Code != http.StatusOK || body["resistance"].(float64) <= 0 {
 		t.Fatalf("status %d body %v", rec.Code, body)
 	}
 	for url, want := range map[string]int{
-		"/resistance?u=0":          http.StatusBadRequest,
-		"/resistance?u=0&v=x":      http.StatusBadRequest,
-		"/resistance?u=0&v=100000": http.StatusNotFound,
-		"/resistance?u=-1&v=5":     http.StatusNotFound,
-		"/resistance?u=zzz&v=0":    http.StatusBadRequest,
+		"/v1/resistance?u=0":          http.StatusBadRequest,
+		"/v1/resistance?u=0&v=x":      http.StatusBadRequest,
+		"/v1/resistance?u=0&v=100000": http.StatusNotFound,
+		"/v1/resistance?u=-1&v=5":     http.StatusNotFound,
+		"/v1/resistance?u=zzz&v=0":    http.StatusBadRequest,
 	} {
 		if rec := get(t, h, url); rec.Code != want {
 			t.Errorf("%s: status %d, want %d", url, rec.Code, want)
@@ -249,7 +267,7 @@ func TestResistanceEndpoint(t *testing.T) {
 func TestSummaryEndpointCached(t *testing.T) {
 	srv := testServer(t)
 	h := testHandler(t, srv)
-	rec := get(t, h, "/summary")
+	rec := get(t, h, "/v1/summary")
 	if rec.Code != http.StatusOK {
 		t.Fatalf("status %d", rec.Code)
 	}
@@ -270,7 +288,7 @@ func TestSummaryEndpointCached(t *testing.T) {
 	first := rec.Body.String()
 	// The whole payload — including the O(l²) hull diameter the seed
 	// recomputed per request — is cached: byte-identical on a second hit.
-	if again := get(t, h, "/summary"); again.Body.String() != first {
+	if again := get(t, h, "/v1/summary"); again.Body.String() != first {
 		t.Fatalf("summary not cached:\n%s\nvs\n%s", first, again.Body.String())
 	}
 }
@@ -278,7 +296,7 @@ func TestSummaryEndpointCached(t *testing.T) {
 func TestMethodNotAllowed(t *testing.T) {
 	srv := testServer(t)
 	h := testHandler(t, srv)
-	for _, url := range []string{"/eccentricity?node=0", "/summary", "/healthz", "/metrics", "/v1/summary"} {
+	for _, url := range []string{"/v1/eccentricity?node=0", "/v1/summary", "/v1/healthz", "/v1/metrics", "/v1/summary"} {
 		rec := httptest.NewRecorder()
 		h.ServeHTTP(rec, httptest.NewRequest(http.MethodPost, url, nil))
 		if rec.Code != http.StatusMethodNotAllowed {
@@ -298,12 +316,12 @@ func TestMethodNotAllowed(t *testing.T) {
 func TestMetricsEndpoint(t *testing.T) {
 	srv := testServer(t)
 	h := testHandler(t, srv)
-	get(t, h, "/eccentricity?node=0")
-	get(t, h, "/eccentricity?node=1,2")
-	get(t, h, "/eccentricity?node=nope")
-	get(t, h, "/summary")
+	get(t, h, "/v1/eccentricity?node=0")
+	get(t, h, "/v1/eccentricity?node=1,2")
+	get(t, h, "/v1/eccentricity?node=nope")
+	get(t, h, "/v1/summary")
 
-	rec := get(t, h, "/metrics")
+	rec := get(t, h, "/v1/metrics")
 	if rec.Code != http.StatusOK {
 		t.Fatalf("status %d", rec.Code)
 	}

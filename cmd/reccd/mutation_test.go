@@ -46,7 +46,7 @@ func TestMutationEndpoints(t *testing.T) {
 	if code, _ := decodeErrEnvelope(t, rec); code != "would_disconnect" {
 		t.Fatalf("bridge removal code %q", code)
 	}
-	if g := srv.dyn.Snapshot().Generation; g != 1 {
+	if g := srv.current().dyn.Snapshot().Generation; g != 1 {
 		t.Fatalf("failed mutation moved generation to %d", g)
 	}
 
@@ -111,7 +111,7 @@ func TestMutationEndpoints(t *testing.T) {
 	}
 	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 	defer cancel()
-	if err := srv.dyn.WaitIdle(ctx); err != nil {
+	if err := srv.current().dyn.WaitIdle(ctx); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -244,10 +244,10 @@ func TestMixedWorkloadNoDowntime(t *testing.T) {
 
 	ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
 	defer cancel()
-	if err := srv.dyn.WaitIdle(ctx); err != nil {
+	if err := srv.current().dyn.WaitIdle(ctx); err != nil {
 		t.Fatal(err)
 	}
-	st := srv.dyn.Stats()
+	st := srv.current().dyn.Stats()
 	if st.Rebuilds < 1 {
 		t.Fatalf("expected at least one background rebuild, stats %+v", st)
 	}
@@ -261,7 +261,7 @@ func TestMixedWorkloadNoDowntime(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	snap := srv.dyn.Snapshot()
+	snap := srv.current().dyn.Snapshot()
 	if snap.M != final.M() {
 		t.Fatalf("snapshot has %d edges, final graph %d", snap.M, final.M())
 	}

@@ -1,0 +1,131 @@
+package main
+
+import (
+	"context"
+	"log"
+	"net/http"
+	"strconv"
+	"time"
+
+	"resistecc/internal/obs"
+	"resistecc/internal/repl"
+)
+
+// routerServer is the thin routing tier: it holds no index, only a pool of
+// backends. Reads consistent-hash onto healthy replicas (honoring the
+// caller's X-Min-Generation read-your-writes floor, retrying the next
+// candidate when a replica dies mid-request, falling back to the writer);
+// mutations proxy straight to the writer, single-attempt.
+type routerServer struct {
+	pool *repl.Pool
+	cfg  serverConfig
+	reg  *obs.Registry
+}
+
+func newRouterServer(ctx context.Context, cfg Config) *routerServer {
+	client := &http.Client{Timeout: 2 * time.Minute}
+	pool := repl.NewPool(cfg.Upstream, cfg.Replicas, client, cfg.PollInterval)
+	rs := &routerServer{pool: pool, cfg: cfg.Server, reg: obs.NewRegistry("reccd")}
+	rs.publishRouterMetrics()
+	pool.Start(ctx)
+	return rs
+}
+
+func (rs *routerServer) close() { rs.pool.Stop() }
+
+func (rs *routerServer) publishRouterMetrics() {
+	rs.reg.SetCounterFunc("router_proxied_total", func() float64 { return float64(rs.pool.Stats().Proxied) })
+	rs.reg.SetCounterFunc("router_retries_total", func() float64 { return float64(rs.pool.Stats().Retries) })
+	rs.reg.SetCounterFunc("router_writer_fallbacks_total", func() float64 { return float64(rs.pool.Stats().WriterFallbacks) })
+	rs.reg.SetCounterFunc("router_no_backend_total", func() float64 { return float64(rs.pool.Stats().NoBackend) })
+	healthGauge := func(b *repl.Backend) func() float64 {
+		return func() float64 {
+			if b.Healthy() {
+				return 1
+			}
+			return 0
+		}
+	}
+	for i, b := range rs.pool.Replicas() {
+		b := b
+		rs.reg.SetGaugeFunc(nameIdx("router_backend_healthy", i), healthGauge(b))
+		rs.reg.SetGaugeFunc(nameIdx("router_backend_generation", i), func() float64 { return float64(b.Generation()) })
+	}
+	w := rs.pool.Writer()
+	rs.reg.SetGaugeFunc("router_writer_healthy", healthGauge(w))
+	rs.reg.SetGaugeFunc("router_writer_generation", func() float64 { return float64(w.Generation()) })
+}
+
+// nameIdx builds a per-backend metric name; the registry namespace prefixes
+// it with reccd_.
+func nameIdx(base string, i int) string {
+	return base + "_" + strconv.Itoa(i)
+}
+
+// handleHealth reports the router's own state: per-backend health and
+// generation plus routing counters. A router with zero healthy backends is
+// itself unhealthy (503) so load balancers eject it.
+func (rs *routerServer) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	type backendView struct {
+		URL        string `json:"url"`
+		Healthy    bool   `json:"healthy"`
+		Generation uint64 `json:"generation"`
+	}
+	wr := rs.pool.Writer()
+	body := map[string]any{
+		"role":   roleRouter,
+		"writer": backendView{URL: wr.URL, Healthy: wr.Healthy(), Generation: wr.Generation()},
+	}
+	replicas := make([]backendView, 0, len(rs.pool.Replicas()))
+	healthy := 0
+	if wr.Healthy() {
+		healthy++
+	}
+	for _, b := range rs.pool.Replicas() {
+		if b.Healthy() {
+			healthy++
+		}
+		replicas = append(replicas, backendView{URL: b.URL, Healthy: b.Healthy(), Generation: b.Generation()})
+	}
+	body["replicas"] = replicas
+	st := rs.pool.Stats()
+	body["routing"] = map[string]any{
+		"proxied":         st.Proxied,
+		"retries":         st.Retries,
+		"writerFallbacks": st.WriterFallbacks,
+		"noBackend":       st.NoBackend,
+	}
+	if healthy == 0 {
+		body["status"] = "degraded"
+		writeJSON(w, http.StatusServiceUnavailable, body)
+		return
+	}
+	body["status"] = "ok"
+	writeJSON(w, http.StatusOK, body)
+}
+
+// handler assembles the router's stack: reads fan out over the pool,
+// mutations go to the writer, health and metrics are answered locally.
+func (rs *routerServer) handler(logger *log.Logger) http.Handler {
+	mux := http.NewServeMux()
+	proxyRead := rs.reg.InstrumentFunc("proxy_read", rs.pool.ProxyQuery)
+	mux.Handle("GET /v1/eccentricity", proxyRead)
+	mux.Handle("GET /v1/resistance", proxyRead)
+	mux.Handle("GET /v1/summary", proxyRead)
+	proxyWrite := rs.reg.InstrumentFunc("proxy_write", rs.pool.ProxyWriter)
+	mux.Handle("POST /v1/edges", proxyWrite)
+	mux.Handle("DELETE /v1/edges", proxyWrite)
+	mux.Handle("POST /v1/rebuild", proxyWrite)
+	mux.Handle("POST /v1/checkpoint", proxyWrite)
+	mux.Handle("GET /v1/healthz", rs.reg.InstrumentFunc("healthz", rs.handleHealth))
+	mux.Handle("GET /v1/metrics", rs.reg.Instrument("metrics", rs.reg))
+	if rs.cfg.Pprof {
+		mountPprof(mux)
+	}
+	var h http.Handler = withEnvelope(mux)
+	h = rs.reg.LimitInFlightWith(rs.cfg.MaxInFlight, h, http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusServiceUnavailable, "overloaded", "router overloaded; retry")
+	}))
+	return obs.AccessLog(logger, h)
+}

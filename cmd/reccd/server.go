@@ -10,10 +10,12 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"resistecc"
 	"resistecc/internal/obs"
+	"resistecc/internal/repl"
 )
 
 // idMap translates between external node ids (the labels clients use: the
@@ -103,6 +105,10 @@ type serverConfig struct {
 	// after-every-rebuild ones, bounding WAL growth (and replay time) during
 	// long stretches of incremental-only mutations. 0 disables the ticker.
 	CheckpointInterval time.Duration
+	// LegacyRoutes re-mounts the retired unversioned GET aliases (/healthz,
+	// /eccentricity, …) next to their /v1 successors, stamped with a
+	// Deprecation header. Off by default; for clients mid-migration only.
+	LegacyRoutes bool
 }
 
 func defaultConfig() serverConfig {
@@ -123,11 +129,15 @@ func defaultConfig() serverConfig {
 // response as X-Index-Generation. The distribution summary is cached per
 // generation.
 type server struct {
-	g   *resistecc.Graph // the LCC generation 1 was built on
-	dyn *resistecc.DynamicIndex
-	ids *idMap
-	cfg serverConfig
-	reg *obs.Registry
+	// cur is the served engine: the index plus its id translation, swapped
+	// atomically as one unit. On a writer it is set once at construction; a
+	// replica replaces it on every snapshot re-base (the shipped graph — and
+	// with it the id mapping — may have changed). nil only on a replica that
+	// has not completed its first sync.
+	cur  atomic.Pointer[serving]
+	role string
+	cfg  serverConfig
+	reg  *obs.Registry
 
 	// totalNodes/totalEdges describe the input graph before LCC extraction,
 	// reported by /healthz so operators can see how much was dropped.
@@ -141,9 +151,34 @@ type server struct {
 	stopCheckpoint chan struct{}
 	checkpointWG   sync.WaitGroup
 
+	// source serves the replication feed (writer with a data directory);
+	// tailer pulls it (replica). Each nil on the roles that lack it.
+	source *repl.Source
+	tailer *repl.Tailer
+
 	sumMu  sync.Mutex
+	sumFor *serving        // guarded by sumMu; engine the cache was computed on
 	sumGen uint64          // guarded by sumMu
 	sum    summaryResponse // guarded by sumMu
+}
+
+// serving bundles one index with the id mapping describing it.
+type serving struct {
+	dyn *resistecc.DynamicIndex
+	ids *idMap
+}
+
+// current returns the served engine (nil on a replica before its first
+// sync). Handlers load it once and use that one view for the whole request.
+func (s *server) current() *serving { return s.cur.Load() }
+
+// stats reports lifecycle state, zero before the first sync so metric
+// closures registered early never panic.
+func (s *server) stats() resistecc.DynamicStats {
+	if sv := s.current(); sv != nil {
+		return sv.dyn.Stats()
+	}
+	return resistecc.DynamicStats{}
 }
 
 // summaryResponse is the cached /summary payload. Everything — including
@@ -184,18 +219,24 @@ func newServer(ctx context.Context, g *resistecc.Graph, ids *idMap, inputNodes, 
 		return nil, err
 	}
 	s := &server{
-		g: g, dyn: dyn, ids: ids, cfg: cfg,
+		role: roleWriter, cfg: cfg,
 		reg:        obs.NewRegistry("reccd"),
 		totalNodes: inputNodes, totalEdges: inputEdges,
 		buildTime: time.Since(start),
 		recovery:  rec,
 		durable:   cfg.DataDir != "",
 	}
+	s.cur.Store(&serving{dyn: dyn, ids: ids})
 	s.publishBuildGauges()
 	s.publishLifecycleGauges()
 	if s.durable {
 		s.publishPersistMetrics()
 		s.startCheckpointTicker()
+		s.source = &repl.Source{
+			Store:      dyn.ReplicationStore(),
+			Generation: func() uint64 { return dyn.Snapshot().Generation },
+		}
+		s.publishSourceMetrics()
 	}
 	return s, nil
 }
@@ -208,7 +249,12 @@ func (s *server) close() {
 		s.checkpointWG.Wait()
 		s.stopCheckpoint = nil
 	}
-	s.dyn.Close()
+	if s.tailer != nil {
+		s.tailer.Stop()
+	}
+	if sv := s.current(); sv != nil {
+		sv.dyn.Close()
+	}
 }
 
 // startCheckpointTicker checkpoints every CheckpointInterval so the WAL (and
@@ -227,7 +273,7 @@ func (s *server) startCheckpointTicker() {
 		for {
 			select {
 			case <-t.C:
-				if err := s.dyn.Checkpoint(); err != nil && !errors.Is(err, resistecc.ErrIndexStale) {
+				if err := s.current().dyn.Checkpoint(); err != nil && !errors.Is(err, resistecc.ErrIndexStale) {
 					log.Printf("reccd: interval checkpoint: %v", err)
 				}
 			case <-s.stopCheckpoint:
@@ -237,13 +283,24 @@ func (s *server) startCheckpointTicker() {
 	}()
 }
 
-// idx returns the FastIndex of the current generation.
-func (s *server) idx() *resistecc.FastIndex { return s.dyn.Snapshot().Index }
+// idx returns the FastIndex of the current generation (nil on a replica
+// before its first sync).
+func (s *server) idx() *resistecc.FastIndex {
+	sv := s.current()
+	if sv == nil {
+		return nil
+	}
+	return sv.dyn.Snapshot().Index
+}
 
 // publishBuildGauges exports generation-1 construction statistics as static
 // gauges on /metrics.
 func (s *server) publishBuildGauges() {
-	st := s.idx().BuildStats()
+	ix := s.idx()
+	if ix == nil {
+		return
+	}
+	st := ix.BuildStats()
 	s.reg.SetGauge("index_sketch_dim", float64(st.SketchDim))
 	s.reg.SetGauge("index_solver_total_iters", float64(st.SolverTotalIters))
 	s.reg.SetGauge("index_solver_max_iters", float64(st.SolverMaxIters))
@@ -255,12 +312,17 @@ func (s *server) publishBuildGauges() {
 // sampled at every /metrics scrape.
 func (s *server) publishLifecycleGauges() {
 	stat := func(f func(resistecc.DynamicStats) float64) func() float64 {
-		return func() float64 { return f(s.dyn.Stats()) }
+		return func() float64 { return f(s.stats()) }
 	}
 	s.reg.SetGaugeFunc("index_generation", stat(func(st resistecc.DynamicStats) float64 { return float64(st.Generation) }))
 	s.reg.SetGaugeFunc("index_nodes", stat(func(st resistecc.DynamicStats) float64 { return float64(st.IndexN) }))
 	s.reg.SetGaugeFunc("index_edges", stat(func(st resistecc.DynamicStats) float64 { return float64(st.IndexM) }))
-	s.reg.SetGaugeFunc("index_hull_size", func() float64 { return float64(s.idx().BoundarySize()) })
+	s.reg.SetGaugeFunc("index_hull_size", func() float64 {
+		if ix := s.idx(); ix != nil {
+			return float64(ix.BoundarySize())
+		}
+		return 0
+	})
 	s.reg.SetGaugeFunc("mutation_queue_depth", stat(func(st resistecc.DynamicStats) float64 { return float64(st.QueueDepth) }))
 	s.reg.SetGaugeFunc("index_drift", stat(func(st resistecc.DynamicStats) float64 { return st.Drift }))
 	s.reg.SetGaugeFunc("index_updates", stat(func(st resistecc.DynamicStats) float64 { return float64(st.Updates) }))
@@ -281,7 +343,7 @@ func (s *server) publishLifecycleGauges() {
 // registered when a data directory is configured.
 func (s *server) publishPersistMetrics() {
 	pstat := func(f func(resistecc.PersistStats) float64) func() float64 {
-		return func() float64 { return f(s.dyn.PersistStats()) }
+		return func() float64 { return f(s.current().dyn.PersistStats()) }
 	}
 	s.reg.SetGaugeFunc("persist_snapshot_age_seconds", pstat(func(ps resistecc.PersistStats) float64 { return ps.SnapshotAgeSeconds }))
 	s.reg.SetGaugeFunc("persist_wal_records", pstat(func(ps resistecc.PersistStats) float64 { return float64(ps.WALRecords) }))
@@ -291,20 +353,53 @@ func (s *server) publishPersistMetrics() {
 	s.reg.SetCounterFunc("persist_journal_failures_total", pstat(func(ps resistecc.PersistStats) float64 { return float64(ps.JournalFailures) }))
 }
 
+// publishSourceMetrics exports the writer-side replication feed counters.
+func (s *server) publishSourceMetrics() {
+	s.reg.SetCounterFunc("repl_snapshots_served_total", func() float64 { return float64(s.source.Stats().SnapshotsServed) })
+	s.reg.SetCounterFunc("repl_wal_frames_served_total", func() float64 { return float64(s.source.Stats().FramesServed) })
+	s.reg.SetCounterFunc("repl_wal_records_served_total", func() float64 { return float64(s.source.Stats().RecordsServed) })
+	s.reg.SetCounterFunc("repl_bytes_served_total", func() float64 { return float64(s.source.Stats().BytesServed) })
+}
+
+// publishReplicaMetrics exports the replica-side replication state: lag and
+// divergence gauges plus transfer counters, sampled from the tailer.
+func (s *server) publishReplicaMetrics() {
+	tstat := func(f func(repl.TailerStats) float64) func() float64 {
+		return func() float64 { return f(s.tailer.Stats()) }
+	}
+	s.reg.SetGaugeFunc("repl_applied_seq", tstat(func(ts repl.TailerStats) float64 { return float64(ts.AppliedSeq) }))
+	s.reg.SetGaugeFunc("repl_upstream_seq", tstat(func(ts repl.TailerStats) float64 { return float64(ts.UpstreamSeq) }))
+	s.reg.SetGaugeFunc("repl_lag", tstat(func(ts repl.TailerStats) float64 { return float64(ts.Lag) }))
+	s.reg.SetGaugeFunc("repl_last_contact_age_seconds", func() float64 {
+		ts := s.tailer.Stats()
+		if ts.LastContact.IsZero() {
+			return -1
+		}
+		return time.Since(ts.LastContact).Seconds()
+	})
+	s.reg.SetCounterFunc("repl_resyncs_total", tstat(func(ts repl.TailerStats) float64 { return float64(ts.Resyncs) }))
+	s.reg.SetCounterFunc("repl_fetches_total", tstat(func(ts repl.TailerStats) float64 { return float64(ts.Fetches) }))
+	s.reg.SetCounterFunc("repl_fetch_bytes_total", tstat(func(ts repl.TailerStats) float64 { return float64(ts.FetchBytes) }))
+	s.reg.SetCounterFunc("repl_fetch_failures_total", tstat(func(ts repl.TailerStats) float64 { return float64(ts.FetchFailures) }))
+}
+
 // handler assembles the full middleware stack: routing with per-endpoint
 // instrumentation inside, then the error-envelope interceptor (so the mux's
 // own plain-text 404/405 pages come out as the structured envelope), then
 // the concurrency limiter, then access logging outermost so even shed
 // requests get a log line and request id.
 //
-// Every endpoint is mounted twice: under /v1/ (the versioned API) and at the
-// legacy unversioned path, which remains a permanent alias.
+// The API lives under /v1/. The pre-v1 unversioned GET aliases are retired:
+// they 404 unless -legacy-routes re-mounts them, and then every response
+// carries a Deprecation header pointing at the /v1 successor.
 func (s *server) handler(logger *log.Logger) http.Handler {
 	mux := http.NewServeMux()
 	get := func(path, name string, h http.HandlerFunc) {
 		wrapped := s.reg.InstrumentFunc(name, h)
 		mux.Handle("GET /v1"+path, wrapped)
-		mux.Handle("GET "+path, wrapped)
+		if s.cfg.LegacyRoutes {
+			mux.Handle("GET "+path, deprecated(path, wrapped))
+		}
 	}
 	get("/healthz", "healthz", s.handleHealth)
 	get("/eccentricity", "eccentricity", s.handleEccentricity)
@@ -312,13 +407,26 @@ func (s *server) handler(logger *log.Logger) http.Handler {
 	get("/summary", "summary", s.handleSummary)
 	metrics := s.reg.Instrument("metrics", s.reg)
 	mux.Handle("GET /v1/metrics", metrics)
-	mux.Handle("GET /metrics", metrics)
+	if s.cfg.LegacyRoutes {
+		mux.Handle("GET /metrics", deprecated("/metrics", metrics))
+	}
 
-	// Mutations exist only under /v1/ — the legacy surface stays read-only.
-	mux.Handle("POST /v1/edges", s.reg.InstrumentFunc("edges_add", s.handleAddEdge))
-	mux.Handle("DELETE /v1/edges", s.reg.InstrumentFunc("edges_remove", s.handleRemoveEdge))
-	mux.Handle("POST /v1/rebuild", s.reg.InstrumentFunc("rebuild", s.handleRebuild))
-	mux.Handle("POST /v1/checkpoint", s.reg.InstrumentFunc("checkpoint", s.handleCheckpoint))
+	// Mutations exist only under /v1/. Replicas refuse them with a typed
+	// 403: accepting a write outside the writer's WAL would silently fork
+	// the replica's history from the writer's.
+	mux.Handle("POST /v1/edges", s.reg.InstrumentFunc("edges_add", s.writerOnly(s.handleAddEdge)))
+	mux.Handle("DELETE /v1/edges", s.reg.InstrumentFunc("edges_remove", s.writerOnly(s.handleRemoveEdge)))
+	mux.Handle("POST /v1/rebuild", s.reg.InstrumentFunc("rebuild", s.writerOnly(s.handleRebuild)))
+	mux.Handle("POST /v1/checkpoint", s.reg.InstrumentFunc("checkpoint", s.writerOnly(s.handleCheckpoint)))
+
+	// The replication feed: a durable writer ships snapshots, WAL tails and
+	// the id mapping to its replicas.
+	if s.source != nil {
+		mux.Handle("GET /v1/repl/snapshot", s.reg.InstrumentFunc("repl_snapshot", s.source.ServeSnapshot))
+		mux.Handle("GET /v1/repl/wal", s.reg.InstrumentFunc("repl_wal", s.source.ServeWAL))
+		mux.Handle("GET /v1/repl/ids", s.reg.InstrumentFunc("repl_ids", s.handleReplIDs))
+	}
+	mux.Handle("GET /v1/repl/status", s.reg.InstrumentFunc("repl_status", s.handleReplStatus))
 
 	if s.cfg.Pprof {
 		mountPprof(mux)
@@ -422,17 +530,99 @@ func setGeneration(w http.ResponseWriter, gen uint64) {
 	w.Header().Set("X-Index-Generation", strconv.FormatUint(gen, 10))
 }
 
+// deprecated wraps a retired unversioned alias: the response carries a
+// Deprecation header (RFC 9745) and a successor-version link so clients
+// still on the old path learn where to go.
+func deprecated(path string, next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Deprecation", "true")
+		w.Header().Set("Link", fmt.Sprintf("</v1%s>; rel=\"successor-version\"", path))
+		next.ServeHTTP(w, r)
+	})
+}
+
+// writerOnly guards a mutating handler: replicas answer 403 with a typed
+// error naming the upstream, instead of forking their history.
+func (s *server) writerOnly(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if s.role != roleWriter {
+			writeError(w, http.StatusForbidden, "not_writer",
+				"this %s serves reads only; send mutations to the writer", s.role)
+			return
+		}
+		h(w, r)
+	}
+}
+
+// engine loads the served engine, answering 503 when a replica has not
+// finished its first sync yet (the index does not exist).
+func (s *server) engine(w http.ResponseWriter) (*serving, bool) {
+	sv := s.current()
+	if sv == nil {
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusServiceUnavailable, "not_ready",
+			"replica has not completed its initial sync")
+		return nil, false
+	}
+	return sv, true
+}
+
+// handleReplIDs ships the writer's id mapping: element v is the external id
+// of internal LCC node v. Replicas fetch it alongside every snapshot — WAL
+// records speak internal ids, clients speak external ones.
+func (s *server) handleReplIDs(w http.ResponseWriter, _ *http.Request) {
+	sv, ok := s.engine(w)
+	if !ok {
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"toExternal": sv.ids.toExternal})
+}
+
+// handleReplStatus reports the replication view of this process: the feed
+// counters on a writer, tailing progress on a replica.
+func (s *server) handleReplStatus(w http.ResponseWriter, _ *http.Request) {
+	body := map[string]any{"role": s.role}
+	if sv := s.current(); sv != nil {
+		body["generation"] = sv.dyn.Snapshot().Generation
+		body["seq"] = sv.dyn.Seq()
+	}
+	if s.source != nil {
+		st := s.source.Stats()
+		body["source"] = map[string]any{
+			"snapshotsServed": st.SnapshotsServed,
+			"framesServed":    st.FramesServed,
+			"recordsServed":   st.RecordsServed,
+			"bytesServed":     st.BytesServed,
+		}
+	}
+	if s.tailer != nil {
+		ts := s.tailer.Stats()
+		body["tail"] = map[string]any{
+			"appliedSeq":    ts.AppliedSeq,
+			"upstreamSeq":   ts.UpstreamSeq,
+			"upstreamGen":   ts.UpstreamGen,
+			"lag":           ts.Lag,
+			"resyncs":       ts.Resyncs,
+			"fetches":       ts.Fetches,
+			"fetchBytes":    ts.FetchBytes,
+			"fetchFailures": ts.FetchFailures,
+			"lastError":     ts.LastError,
+		}
+	}
+	writeJSON(w, http.StatusOK, body)
+}
+
 // resolveNode parses one external node id and maps it to the internal LCC
 // id. Malformed ids are a 400; well-formed ids that don't name an LCC node
 // (dropped by preprocessing, or never in the input) are a 404 — the seed
 // instead answered for whichever internal node carried the number.
-func (s *server) resolveNode(w http.ResponseWriter, raw string) (int, bool) {
+func (sv *serving) resolveNode(w http.ResponseWriter, raw string) (int, bool) {
 	ext, err := strconv.ParseInt(strings.TrimSpace(raw), 10, 64)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "bad_node_id", "bad node id %q", raw)
 		return 0, false
 	}
-	v, ok := s.ids.toInternal[ext]
+	v, ok := sv.ids.toInternal[ext]
 	if !ok {
 		writeError(w, http.StatusNotFound, "node_not_found",
 			"node %d not in the largest connected component", ext)
@@ -442,12 +632,18 @@ func (s *server) resolveNode(w http.ResponseWriter, raw string) (int, bool) {
 }
 
 func (s *server) handleHealth(w http.ResponseWriter, _ *http.Request) {
-	snap := s.dyn.Snapshot()
+	sv, ok := s.engine(w)
+	if !ok {
+		return
+	}
+	snap := sv.dyn.Snapshot()
 	st := snap.Index.BuildStats()
-	dst := s.dyn.Stats()
+	dst := sv.dyn.Stats()
 	setGeneration(w, snap.Generation)
 	body := map[string]any{
 		"status":            "ok",
+		"role":              s.role,
+		"seq":               sv.dyn.Seq(),
 		"nodes":             snap.N,
 		"edges":             snap.M,
 		"inputNodes":        s.totalNodes,
@@ -468,7 +664,7 @@ func (s *server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 		"rebuildInProgress": dst.RebuildInProgress,
 	}
 	if s.durable {
-		ps := s.dyn.PersistStats()
+		ps := sv.dyn.PersistStats()
 		body["persist"] = map[string]any{
 			"warmStart":          s.recovery.Warm,
 			"coldStartReason":    s.recovery.Reason,
@@ -479,6 +675,16 @@ func (s *server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 			"checkpoints":        ps.Checkpoints,
 			"checkpointFailures": ps.CheckpointFailures,
 			"journalFailures":    ps.JournalFailures,
+		}
+	}
+	if s.tailer != nil {
+		ts := s.tailer.Stats()
+		body["replication"] = map[string]any{
+			"upstreamSeq": ts.UpstreamSeq,
+			"upstreamGen": ts.UpstreamGen,
+			"lag":         ts.Lag,
+			"resyncs":     ts.Resyncs,
+			"lastError":   ts.LastError,
 		}
 	}
 	writeJSON(w, http.StatusOK, body)
@@ -496,6 +702,10 @@ type eccResponse struct {
 // and an array for many, forcing clients to shape-sniff). The whole batch
 // is answered from one pinned snapshot.
 func (s *server) handleEccentricity(w http.ResponseWriter, r *http.Request) {
+	sv, ok := s.engine(w)
+	if !ok {
+		return
+	}
 	raw := r.URL.Query().Get("node")
 	if raw == "" {
 		writeError(w, http.StatusBadRequest, "missing_parameter", "missing ?node= (comma-separated ids)")
@@ -509,13 +719,13 @@ func (s *server) handleEccentricity(w http.ResponseWriter, r *http.Request) {
 	}
 	nodes := make([]int, 0, len(parts))
 	for _, p := range parts {
-		v, ok := s.resolveNode(w, p)
+		v, ok := sv.resolveNode(w, p)
 		if !ok {
 			return
 		}
 		nodes = append(nodes, v)
 	}
-	snap := s.dyn.Snapshot()
+	snap := sv.dyn.Snapshot()
 	// The batched path dedups repeated ids and amortizes one hull scan over
 	// the batch; the pooled buffer keeps the query itself allocation-free.
 	buf := resistecc.GetBatchBuf()
@@ -529,9 +739,9 @@ func (s *server) handleEccentricity(w http.ResponseWriter, r *http.Request) {
 	out := make([]eccResponse, len(vals))
 	for i, v := range vals {
 		out[i] = eccResponse{
-			Node:         s.ids.external(v.Node),
+			Node:         sv.ids.external(v.Node),
 			Eccentricity: v.Value,
-			Farthest:     s.ids.external(v.Farthest),
+			Farthest:     sv.ids.external(v.Farthest),
 		}
 	}
 	buf.Release()
@@ -540,23 +750,27 @@ func (s *server) handleEccentricity(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *server) handleResistance(w http.ResponseWriter, r *http.Request) {
+	sv, ok := s.engine(w)
+	if !ok {
+		return
+	}
 	q := r.URL.Query()
 	if q.Get("u") == "" || q.Get("v") == "" {
 		writeError(w, http.StatusBadRequest, "missing_parameter", "need integer ?u= and ?v=")
 		return
 	}
-	u, ok := s.resolveNode(w, q.Get("u"))
+	u, ok := sv.resolveNode(w, q.Get("u"))
 	if !ok {
 		return
 	}
-	v, ok := s.resolveNode(w, q.Get("v"))
+	v, ok := sv.resolveNode(w, q.Get("v"))
 	if !ok {
 		return
 	}
-	snap := s.dyn.Snapshot()
+	snap := sv.dyn.Snapshot()
 	setGeneration(w, snap.Generation)
 	writeJSON(w, http.StatusOK, map[string]any{
-		"u": s.ids.external(u), "v": s.ids.external(v),
+		"u": sv.ids.external(u), "v": sv.ids.external(v),
 		"resistance": snap.Index.Resistance(u, v),
 	})
 }
@@ -565,24 +779,32 @@ func (s *server) handleResistance(w http.ResponseWriter, r *http.Request) {
 // generation: the full distribution scan and the O(l²) hull-pair diameter
 // run once after each generation swap; within a generation /summary is O(1).
 func (s *server) handleSummary(w http.ResponseWriter, _ *http.Request) {
-	snap := s.dyn.Snapshot()
+	sv, ok := s.engine(w)
+	if !ok {
+		return
+	}
+	snap := sv.dyn.Snapshot()
 	s.sumMu.Lock()
-	if s.sumGen != snap.Generation {
+	// The cache key is (engine, generation): generations are monotone within
+	// one engine but can repeat across a replica re-base, which swaps the
+	// whole engine pointer.
+	if s.sumFor != sv || s.sumGen != snap.Generation {
 		sum := resistecc.Summarize(snap.Index.Distribution())
 		s.sum = summaryResponse{
 			Radius:   sum.Radius,
 			Diameter: sum.Diameter,
 			Mean:     sum.Mean,
 			Skewness: sum.Skewness,
-			Center:   s.ids.externals(sum.Center),
+			Center:   sv.ids.externals(sum.Center),
 		}
 		// A hull boundary under two nodes has no pair to scan; the summary
 		// then omits the hull-pair diameter instead of reporting a fake
 		// (0, [0 0]) answer.
 		if diam, pair, err := snap.Index.ResistanceDiameter(); err == nil {
 			s.sum.HullDiameter = diam
-			s.sum.DiameterPair = s.ids.externals(pair[:])
+			s.sum.DiameterPair = sv.ids.externals(pair[:])
 		}
+		s.sumFor = sv
 		s.sumGen = snap.Generation
 	}
 	out := s.sum
@@ -613,14 +835,14 @@ type mutationResponse struct {
 // resolveMutationNodes maps the external endpoints of a mutation to internal
 // ids. Mutations are confined to the served component: ids outside it are a
 // 404, exactly like queries.
-func (s *server) resolveMutationNodes(w http.ResponseWriter, uExt, vExt int64) (int, int, bool) {
-	u, ok := s.ids.toInternal[uExt]
+func (sv *serving) resolveMutationNodes(w http.ResponseWriter, uExt, vExt int64) (int, int, bool) {
+	u, ok := sv.ids.toInternal[uExt]
 	if !ok {
 		writeError(w, http.StatusNotFound, "node_not_found",
 			"node %d not in the largest connected component", uExt)
 		return 0, 0, false
 	}
-	v, ok := s.ids.toInternal[vExt]
+	v, ok := sv.ids.toInternal[vExt]
 	if !ok {
 		writeError(w, http.StatusNotFound, "node_not_found",
 			"node %d not in the largest connected component", vExt)
@@ -679,11 +901,15 @@ func (s *server) handleAddEdge(w http.ResponseWriter, r *http.Request) {
 			`body must be JSON {"u":<id>,"v":<id>}`)
 		return
 	}
-	u, v, ok := s.resolveMutationNodes(w, *req.U, *req.V)
+	sv, ok := s.engine(w)
 	if !ok {
 		return
 	}
-	res, err := s.dyn.AddEdge(r.Context(), u, v)
+	u, v, ok := sv.resolveMutationNodes(w, *req.U, *req.V)
+	if !ok {
+		return
+	}
+	res, err := sv.dyn.AddEdge(r.Context(), u, v)
 	if err != nil {
 		writeMutationError(w, *req.U, *req.V, err)
 		return
@@ -708,11 +934,15 @@ func (s *server) handleRemoveEdge(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "bad_node_id", "bad node id %q", q.Get("v"))
 		return
 	}
-	u, v, ok := s.resolveMutationNodes(w, uExt, vExt)
+	sv, ok := s.engine(w)
 	if !ok {
 		return
 	}
-	res, err := s.dyn.RemoveEdge(r.Context(), u, v)
+	u, v, ok := sv.resolveMutationNodes(w, uExt, vExt)
+	if !ok {
+		return
+	}
+	res, err := sv.dyn.RemoveEdge(r.Context(), u, v)
 	if err != nil {
 		writeMutationError(w, uExt, vExt, err)
 		return
@@ -731,7 +961,8 @@ func (s *server) handleCheckpoint(w http.ResponseWriter, _ *http.Request) {
 			"server has no data directory (start reccd with -data-dir)")
 		return
 	}
-	if err := s.dyn.Checkpoint(); err != nil {
+	sv := s.current()
+	if err := sv.dyn.Checkpoint(); err != nil {
 		if errors.Is(err, resistecc.ErrIndexStale) {
 			writeError(w, http.StatusConflict, "index_stale",
 				"a rebuild is pending; its checkpoint will persist the backlog")
@@ -740,8 +971,8 @@ func (s *server) handleCheckpoint(w http.ResponseWriter, _ *http.Request) {
 		writeError(w, http.StatusInternalServerError, "checkpoint_failed", "%v", err)
 		return
 	}
-	ps := s.dyn.PersistStats()
-	snap := s.dyn.Snapshot()
+	ps := sv.dyn.PersistStats()
+	snap := sv.dyn.Snapshot()
 	setGeneration(w, snap.Generation)
 	writeJSON(w, http.StatusOK, map[string]any{
 		"checkpointed":    true,
@@ -755,8 +986,9 @@ func (s *server) handleCheckpoint(w http.ResponseWriter, _ *http.Request) {
 // handleRebuild implements POST /v1/rebuild: force a background rebuild
 // regardless of drift (e.g. after a burst of stale-mode mutations).
 func (s *server) handleRebuild(w http.ResponseWriter, _ *http.Request) {
-	s.dyn.TriggerRebuild()
-	snap := s.dyn.Snapshot()
+	sv := s.current()
+	sv.dyn.TriggerRebuild()
+	snap := sv.dyn.Snapshot()
 	setGeneration(w, snap.Generation)
 	writeJSON(w, http.StatusAccepted, map[string]any{
 		"scheduled":  true,

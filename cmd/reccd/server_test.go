@@ -73,7 +73,7 @@ func TestDisconnectedInputIDMapping(t *testing.T) {
 	}
 
 	for ext := int64(10); ext <= 14; ext++ {
-		rec := get(t, h, fmt.Sprintf("/eccentricity?node=%d", ext))
+		rec := get(t, h, fmt.Sprintf("/v1/eccentricity?node=%d", ext))
 		if rec.Code != http.StatusOK {
 			t.Fatalf("node %d: status %d (%s)", ext, rec.Code, rec.Body.String())
 		}
@@ -101,7 +101,7 @@ func TestDisconnectedInputIDMapping(t *testing.T) {
 	// (The seed accepted node=1 — in range for n=5 — and returned internal
 	// node 1's eccentricity, i.e. label 11's.)
 	for _, ext := range []string{"1", "2", "999"} {
-		rec := get(t, h, "/eccentricity?node="+ext)
+		rec := get(t, h, "/v1/eccentricity?node="+ext)
 		if rec.Code != http.StatusNotFound {
 			t.Fatalf("node %s (outside LCC): status %d, want 404 (%s)",
 				ext, rec.Code, rec.Body.String())
@@ -109,7 +109,7 @@ func TestDisconnectedInputIDMapping(t *testing.T) {
 	}
 
 	// Resistance translates both endpoints too.
-	rec := get(t, h, "/resistance?u=10&v=14")
+	rec := get(t, h, "/v1/resistance?u=10&v=14")
 	body := decodeObj(t, rec)
 	if rec.Code != http.StatusOK || body["u"].(float64) != 10 || body["v"].(float64) != 14 {
 		t.Fatalf("resistance: %d %v", rec.Code, body)
@@ -118,12 +118,12 @@ func TestDisconnectedInputIDMapping(t *testing.T) {
 	if got := body["resistance"].(float64); math.Abs(got-wantR) > 1e-12 {
 		t.Fatalf("resistance %g, want %g", got, wantR)
 	}
-	if rec := get(t, h, "/resistance?u=1&v=10"); rec.Code != http.StatusNotFound {
+	if rec := get(t, h, "/v1/resistance?u=1&v=10"); rec.Code != http.StatusNotFound {
 		t.Fatalf("resistance with dropped-component endpoint: %d, want 404", rec.Code)
 	}
 
 	// Summary reports external labels for center and diameter pair.
-	rec = get(t, h, "/summary")
+	rec = get(t, h, "/v1/summary")
 	body = decodeObj(t, rec)
 	for _, key := range []string{"center", "diameterPair"} {
 		for _, v := range body[key].([]any) {
@@ -134,7 +134,7 @@ func TestDisconnectedInputIDMapping(t *testing.T) {
 	}
 
 	// Healthz distinguishes the input graph from the indexed LCC.
-	body = decodeObj(t, get(t, h, "/healthz"))
+	body = decodeObj(t, get(t, h, "/v1/healthz"))
 	if body["inputNodes"].(float64) != 7 || body["nodes"].(float64) != 5 {
 		t.Fatalf("healthz input/LCC dims: %v", body)
 	}
@@ -246,13 +246,13 @@ func TestConcurrentQueries(t *testing.T) {
 			for i := 0; i < 30; i++ {
 				switch i % 4 {
 				case 0:
-					get(t, h, fmt.Sprintf("/eccentricity?node=%d", (w*31+i)%120))
+					get(t, h, fmt.Sprintf("/v1/eccentricity?node=%d", (w*31+i)%120))
 				case 1:
-					get(t, h, "/resistance?u=0&v=5")
+					get(t, h, "/v1/resistance?u=0&v=5")
 				case 2:
-					get(t, h, "/summary")
+					get(t, h, "/v1/summary")
 				case 3:
-					get(t, h, "/metrics")
+					get(t, h, "/v1/metrics")
 				}
 			}
 		}(w)
@@ -260,7 +260,7 @@ func TestConcurrentQueries(t *testing.T) {
 	for w := 0; w < 8; w++ {
 		<-done
 	}
-	rec := get(t, h, "/metrics")
+	rec := get(t, h, "/v1/metrics")
 	if rec.Code != http.StatusOK {
 		t.Fatalf("metrics after hammering: %d", rec.Code)
 	}

@@ -52,6 +52,7 @@ func lifecycleConfig(p persist.Params, c buildConfig) lifecycle.Config {
 		DriftThreshold: c.driftThreshold,
 		MaxDeletions:   c.maxDeletions,
 		QueueSize:      c.queueSize,
+		Follower:       c.follower,
 	}
 }
 
@@ -81,6 +82,22 @@ func LoadSnapshot(path string, opts ...Option) (*DynamicIndex, error) {
 	if err != nil {
 		return nil, err
 	}
+	return loadSnapshot(snap, opts)
+}
+
+// LoadSnapshotBytes is LoadSnapshot over an in-memory encoding — the form a
+// replication replica receives from the writer's snapshot endpoint. Combine
+// with WithFollower so the restored index never rebuilds locally and stays
+// bit-identical to the writer it tails.
+func LoadSnapshotBytes(b []byte, opts ...Option) (*DynamicIndex, error) {
+	snap, err := persist.ReadSnapshot(b)
+	if err != nil {
+		return nil, err
+	}
+	return loadSnapshot(snap, opts)
+}
+
+func loadSnapshot(snap *persist.Snapshot, opts []Option) (*DynamicIndex, error) {
 	c := applyOptions(opts)
 	if (c.sk != (SketchOptions{}) || c.hull != (HullOptions{})) && paramsOf(c) != snap.Params {
 		return nil, fmt.Errorf("%w: stored eps=%g dim=%d seed=%d",

@@ -101,6 +101,7 @@ func NewDynamicIndex(ctx context.Context, g *Graph, opts ...Option) (*DynamicInd
 		DriftThreshold: c.driftThreshold,
 		MaxDeletions:   c.maxDeletions,
 		QueueSize:      c.queueSize,
+		Follower:       c.follower,
 	})
 	if err != nil {
 		return nil, err
@@ -147,8 +148,21 @@ func convMutation(r lifecycle.ApplyResult, err error) (MutationResult, error) {
 	}, nil
 }
 
-// TriggerRebuild schedules a background rebuild regardless of drift.
+// TriggerRebuild schedules a background rebuild regardless of drift. A
+// no-op on follower indexes (WithFollower), which never rebuild locally.
 func (d *DynamicIndex) TriggerRebuild() { d.m.TriggerRebuild() }
+
+// Seq returns the number of mutations applied since the index's base state
+// (zero for a fresh build, the snapshot's sequence plus applied mutations
+// for a restored one). Replication uses it as the WAL tailing position.
+func (d *DynamicIndex) Seq() uint64 { return d.m.Seq() }
+
+// ReplicationStore exposes the durable store backing this index to the
+// in-process replication layer (internal/repl serves snapshot and WAL-tail
+// fetches over it); nil when the index has no data directory. TailSince and
+// SnapshotBytes on the returned store are safe for concurrent use with
+// serving and mutations.
+func (d *DynamicIndex) ReplicationStore() *persist.Store { return d.store }
 
 // WaitIdle blocks until no mutation is queued and no rebuild is pending or
 // running — the point at which served answers match a cold rebuild.

@@ -95,11 +95,12 @@ func TestBatchQueryOutOfRange(t *testing.T) {
 	}
 }
 
-// The deprecated method shims must produce the same index as the functional
-// constructors (same seeds → bit-identical answers).
-func TestDeprecatedShimsMatch(t *testing.T) {
+// WithSketchOptions must produce the same index as the equivalent individual
+// options (same seeds → bit-identical answers).
+func TestSketchOptionsEquivalence(t *testing.T) {
 	g := CycleGraph(16)
-	old, err := g.NewFastIndex(SketchOptions{Epsilon: 0.3, Dim: 32, Seed: 4})
+	old, err := NewFastIndex(context.Background(), g,
+		WithSketchOptions(SketchOptions{Epsilon: 0.3, Dim: 32, Seed: 4}))
 	if err != nil {
 		t.Fatal(err)
 	}

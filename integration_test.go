@@ -40,7 +40,7 @@ func TestIntegrationPipeline(t *testing.T) {
 	}
 
 	// 3. Exact ground truth.
-	exact, err := lcc.NewExactIndex()
+	exact, err := NewExactIndex(context.Background(), lcc)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -90,7 +90,7 @@ func TestIntegrationPipeline(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	reIdx, err := augmented.NewExactIndex()
+	reIdx, err := NewExactIndex(context.Background(), augmented)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -94,6 +94,15 @@ type Config struct {
 	// QueueSize is the mutation queue capacity; enqueueing blocks (with the
 	// caller's context as the way out) when full. Zero means 64.
 	QueueSize int
+	// Follower disables local rebuild scheduling: the manager's state then
+	// changes only through applied mutations, so it is a pure deterministic
+	// function of the base state (a restored snapshot) and the mutation
+	// sequence. Replication replicas rely on this for bit-identical
+	// convergence with the writer — a locally-timed rebuild would diverge.
+	// A follower that goes stale stays stale until its owner swaps in a
+	// fresh base (re-fetching the writer's snapshot); WaitIdle accordingly
+	// treats a drained-but-stale follower as idle.
+	Follower bool
 }
 
 func (c Config) withDefaults() Config {
@@ -370,10 +379,23 @@ func (m *Manager) mutate(ctx context.Context, mut mutation) (ApplyResult, error)
 }
 
 // TriggerRebuild schedules a background full rebuild regardless of drift.
+// A no-op in follower mode (followers never rebuild locally).
 func (m *Manager) TriggerRebuild() {
+	if m.cfg.Follower {
+		return
+	}
 	m.mu.Lock()
 	m.scheduleRebuildLocked()
 	m.mu.Unlock()
+}
+
+// Seq returns the number of mutations applied since the manager's base
+// state (the restored sequence for NewFromState managers, zero for New).
+// Replication uses it as the WAL tailing position.
+func (m *Manager) Seq() uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.mutSeq
 }
 
 // WaitIdle blocks until the mutation queue is drained and no rebuild is
@@ -385,7 +407,8 @@ func (m *Manager) WaitIdle(ctx context.Context) error {
 	defer tick.Stop()
 	for {
 		m.mu.Lock()
-		idle := m.pending.Load() == 0 && !m.rebuildScheduled && !m.rebuildInProgress && !m.stale
+		idle := m.pending.Load() == 0 && !m.rebuildScheduled && !m.rebuildInProgress &&
+			(!m.stale || m.cfg.Follower)
 		m.mu.Unlock()
 		if idle {
 			return nil
@@ -580,7 +603,8 @@ func (m *Manager) apply(mut mutation) (ApplyResult, error) {
 		res.Mode = ModeStale
 		res.Drift = m.cur.Load().Fast.Sk.Drift
 	}
-	if m.stale || m.deletions >= m.cfg.MaxDeletions || res.Drift > m.cfg.DriftThreshold {
+	if !m.cfg.Follower &&
+		(m.stale || m.deletions >= m.cfg.MaxDeletions || res.Drift > m.cfg.DriftThreshold) {
 		m.scheduleRebuildLocked()
 	}
 	res.RebuildScheduled = m.rebuildScheduled

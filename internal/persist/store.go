@@ -1,6 +1,7 @@
 package persist
 
 import (
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -11,6 +12,17 @@ import (
 
 	"resistecc/internal/lifecycle"
 )
+
+// ErrTailGap is returned by TailSince when the requested position falls
+// outside the contiguous WAL run the store can serve: below the newest
+// snapshot (those records were absorbed and truncated), beyond the newest
+// record (the caller's history diverged, e.g. across a writer restart), or
+// inside a hole left by a failed append. The caller must re-base on the
+// current snapshot instead of tailing.
+var ErrTailGap = errors.New("persist: requested WAL position outside the served tail")
+
+// ErrNoSnapshot is returned by SnapshotBytes before the first checkpoint.
+var ErrNoSnapshot = errors.New("persist: no snapshot on disk")
 
 // Store manages one durable-index directory: the newest snapshot plus the
 // WAL of mutations committed since it. All file operations serialize on an
@@ -23,6 +35,8 @@ type Store struct {
 	walRecords int      // guarded by mu
 	walLastSeq uint64   // guarded by mu
 	recovered  []Record // guarded by mu; valid WAL prefix found at Open, consumed by Recover
+	tail       []Record // guarded by mu; in-memory mirror of the WAL for O(1) tail serving
+	tailHole   bool     // guarded by mu; a failed append left a gap — tail unservable until rewritten
 
 	hasSnap  bool      // guarded by mu
 	snapSeq  uint64    // guarded by mu
@@ -75,6 +89,7 @@ func Open(dir string) (*Store, error) {
 		return nil, fmt.Errorf("persist: open wal: %w", err)
 	}
 	st := &Store{dir: dir, wal: wal, recovered: recs, SyncAppends: true}
+	st.tail = append([]Record(nil), recs...)
 	st.walRecords = len(recs)
 	if n := len(recs); n > 0 {
 		st.walLastSeq = recs[n-1].Seq
@@ -176,9 +191,77 @@ func (st *Store) Append(r Record) error {
 			return fmt.Errorf("persist: wal sync: %w", err)
 		}
 	}
+	// Mirror the record for tail serving. A non-contiguous append means an
+	// earlier append failed (a hole on disk too): the tail stops serving
+	// until the next checkpoint re-anchors it — a replica must never be
+	// handed a run with a silent gap in it.
+	if n := len(st.tail); !st.tailHole && (n == 0 || r.Seq == st.tail[n-1].Seq+1) {
+		st.tail = append(st.tail, r)
+	} else {
+		st.tail = nil
+		st.tailHole = true
+	}
 	st.walRecords++
 	st.walLastSeq = r.Seq
 	return nil
+}
+
+// TailView is a consistent cut of the servable WAL tail: the records from
+// the requested position, plus where the log and the newest snapshot stood
+// when the cut was taken.
+type TailView struct {
+	// Records is the contiguous run starting at the requested position
+	// (possibly empty when the caller is caught up, possibly capped).
+	Records []Record
+	// LastSeq is the newest sequence the store has (snapshot or WAL), so
+	// callers can compute lag even from a capped or empty view.
+	LastSeq uint64
+	// SnapSeq/SnapGen identify the newest on-disk snapshot.
+	SnapSeq, SnapGen uint64
+}
+
+// TailSince returns the WAL records with sequence ≥ from, capped at max
+// (0 = uncapped). It fails with ErrTailGap when from is not inside the
+// contiguous run the store can vouch for: at or below the newest snapshot's
+// sequence, past the newest record + 1, in a hole left by a failed append,
+// or before the first checkpoint exists. Records are copied; the view stays
+// valid after the store moves on.
+func (st *Store) TailSince(from uint64, max int) (TailView, error) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	v := TailView{LastSeq: st.snapSeq, SnapSeq: st.snapSeq, SnapGen: st.snapGen}
+	// The tail is anchored when it starts exactly one past the snapshot; an
+	// unanchored tail (hole after a failed append, or records predating a
+	// failed checkpoint truncation) is not servable.
+	anchored := !st.tailHole && (len(st.tail) == 0 || st.tail[0].Seq == st.snapSeq+1)
+	if len(st.tail) > 0 && anchored {
+		v.LastSeq = st.tail[len(st.tail)-1].Seq
+	}
+	if !st.hasSnap || !anchored || from == 0 || from <= st.snapSeq || from > v.LastSeq+1 {
+		return TailView{}, ErrTailGap
+	}
+	recs := st.tail[from-st.snapSeq-1:]
+	if max > 0 && len(recs) > max {
+		recs = recs[:max]
+	}
+	v.Records = append([]Record(nil), recs...)
+	return v, nil
+}
+
+// SnapshotBytes returns the raw encoded bytes of the newest on-disk
+// snapshot together with its sequence and generation, for shipping to a
+// replica. Fails with ErrNoSnapshot before the first checkpoint.
+func (st *Store) SnapshotBytes() ([]byte, uint64, uint64, error) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if !st.hasSnap {
+		return nil, 0, 0, ErrNoSnapshot
+	}
+	b, err := os.ReadFile(st.snapshotPath(st.snapSeq))
+	if err != nil {
+		return nil, 0, 0, fmt.Errorf("persist: snapshot bytes: %w", err)
+	}
+	return b, st.snapSeq, st.snapGen, nil
 }
 
 // Checkpoint atomically writes snap as the newest snapshot, deletes older
@@ -314,6 +397,8 @@ func (st *Store) rewriteWALLocked(recs []Record) error {
 		//recclint:ignore syncerr the rename above already replaced this handle's inode; its close error cannot lose acknowledged records
 		old.Close()
 	}
+	st.tail = append([]Record(nil), recs...)
+	st.tailHole = false
 	st.walRecords = len(recs)
 	if n := len(recs); n > 0 {
 		st.walLastSeq = recs[n-1].Seq

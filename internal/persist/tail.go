@@ -1,0 +1,100 @@
+//recclint:deterministic — tail frames must encode byte-identically for identical state.
+
+package persist
+
+import (
+	"fmt"
+	"hash/crc32"
+)
+
+// Tail-fetch frame layout (the wire format of GET /v1/repl/wal):
+//
+//	magic "RECCTAL1" | u32 format version
+//	u64 lastSeq | u64 writerGen | u64 snapSeq | u64 snapGen
+//	u32 record count | u32 CRC32-C over the 44 header bytes before it
+//	count × 21-byte WAL records (each self-checksummed, see wal.go)
+//
+// The header CRC catches truncated or bit-flipped transfers before any
+// record is trusted; each record then re-verifies its own WAL checksum, and
+// the decoder enforces strict sequence contiguity — a frame can be either
+// applied in full or rejected, never half-trusted.
+const (
+	tailMagic      = "RECCTAL1"
+	tailHeaderSize = 8 + 4 + 8 + 8 + 8 + 8 + 4 + 4
+)
+
+// TailFrame is one decoded tail-fetch response.
+type TailFrame struct {
+	// LastSeq is the newest sequence the writer's store holds; with a capped
+	// Records list it exceeds the last record's sequence, letting the
+	// replica compute lag and keep fetching without an extra round trip.
+	LastSeq uint64
+	// WriterGen is the writer's served index generation when the frame was
+	// cut. A replica that has applied every record up to LastSeq but serves
+	// a different generation has diverged (the writer rebuilt) and must
+	// re-base on a fresh snapshot.
+	WriterGen uint64
+	// SnapSeq/SnapGen identify the writer's newest on-disk snapshot — the
+	// base a resyncing replica would restore.
+	SnapSeq, SnapGen uint64
+	// Records is the contiguous mutation run (possibly empty).
+	Records []Record
+}
+
+// EncodeTailFrame serializes f.
+func EncodeTailFrame(f TailFrame) []byte {
+	b := make([]byte, tailHeaderSize, tailHeaderSize+len(f.Records)*walRecordSize)
+	copy(b[0:8], tailMagic)
+	putU32(b[8:12], FormatVersion)
+	putU64(b[12:20], f.LastSeq)
+	putU64(b[20:28], f.WriterGen)
+	putU64(b[28:36], f.SnapSeq)
+	putU64(b[36:44], f.SnapGen)
+	putU32(b[44:48], uint32(len(f.Records)))
+	putU32(b[48:52], crc32.Checksum(b[:48], castagnoli))
+	for _, r := range f.Records {
+		rec := encodeRecord(r)
+		b = append(b, rec[:]...)
+	}
+	return b
+}
+
+// DecodeTailFrame parses and verifies a tail-fetch response: header
+// checksum, per-record checksums, exact length, and strict sequence
+// contiguity. Any violation fails with ErrCorrupt (a replica discards the
+// frame and re-fetches); a foreign format version fails with ErrVersion.
+func DecodeTailFrame(b []byte) (TailFrame, error) {
+	if len(b) < tailHeaderSize || string(b[0:8]) != tailMagic {
+		return TailFrame{}, fmt.Errorf("%w: bad tail-frame header", ErrCorrupt)
+	}
+	if v := getU32(b[8:12]); v != FormatVersion {
+		return TailFrame{}, fmt.Errorf("%w: tail frame v%d, reader supports v%d", ErrVersion, v, FormatVersion)
+	}
+	if crc32.Checksum(b[:48], castagnoli) != getU32(b[48:52]) {
+		return TailFrame{}, fmt.Errorf("%w: tail-frame header checksum", ErrCorrupt)
+	}
+	f := TailFrame{
+		LastSeq:   getU64(b[12:20]),
+		WriterGen: getU64(b[20:28]),
+		SnapSeq:   getU64(b[28:36]),
+		SnapGen:   getU64(b[36:44]),
+	}
+	count := int(getU32(b[44:48]))
+	if len(b) != tailHeaderSize+count*walRecordSize {
+		return TailFrame{}, fmt.Errorf("%w: tail frame declares %d records, carries %d bytes",
+			ErrCorrupt, count, len(b)-tailHeaderSize)
+	}
+	f.Records = make([]Record, 0, count)
+	for i := 0; i < count; i++ {
+		off := tailHeaderSize + i*walRecordSize
+		rec, ok := decodeRecord(b[off : off+walRecordSize])
+		if !ok {
+			return TailFrame{}, fmt.Errorf("%w: tail-frame record %d checksum", ErrCorrupt, i)
+		}
+		if i > 0 && rec.Seq != f.Records[i-1].Seq+1 {
+			return TailFrame{}, fmt.Errorf("%w: tail-frame records not contiguous at %d", ErrCorrupt, i)
+		}
+		f.Records = append(f.Records, rec)
+	}
+	return f, nil
+}

@@ -1,0 +1,14 @@
+package repl
+
+import (
+	"os"
+	"testing"
+
+	"resistecc/internal/testutil"
+)
+
+// TestMain fails the suite if any test leaks a tailer or health-loop
+// goroutine: every Tailer/Pool started by a test must be stopped.
+func TestMain(m *testing.M) {
+	os.Exit(testutil.VerifyNoLeaksMain(m))
+}

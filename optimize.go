@@ -99,15 +99,9 @@ type OptimizeOptions struct {
 }
 
 func (o OptimizeOptions) internal() optimize.FastOptions {
-	h := o.Hull
-	if h.MaxVertices == 0 {
-		// Deprecated SketchOptions.MaxHullVertices still caps the hull for
-		// callers predating the HullOptions split.
-		h.MaxVertices = o.Sketch.MaxHullVertices
-	}
 	return optimize.FastOptions{
 		Sketch:        o.Sketch.internal(),
-		Hull:          h.internal(),
+		Hull:          o.Hull.internal(),
 		MaxCandidates: o.MaxCandidates,
 	}
 }

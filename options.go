@@ -47,6 +47,7 @@ type buildConfig struct {
 	driftThreshold float64
 	maxDeletions   int
 	queueSize      int
+	follower       bool
 }
 
 // Option configures an index constructor (NewFastIndex, NewApproxIndex,
@@ -92,16 +93,10 @@ func WithHullOptions(h HullOptions) Option {
 }
 
 // WithSketchOptions replaces the full APPROXER configuration at once, for
-// callers migrating from the struct-based constructors. The deprecated
-// SketchOptions.MaxHullVertices, when set, still caps the hull boundary
-// unless hull options already set MaxVertices.
+// callers migrating from the struct-based constructors. Hull configuration
+// is separate: use WithMaxHullVertices or WithHullOptions.
 func WithSketchOptions(o SketchOptions) Option {
-	return func(c *buildConfig) {
-		c.sk = o
-		if o.MaxHullVertices != 0 && c.hull.MaxVertices == 0 {
-			c.hull.MaxVertices = o.MaxHullVertices
-		}
-	}
+	return func(c *buildConfig) { c.sk = o }
 }
 
 // WithDriftThreshold sets the ε_drift rebuild trigger of a DynamicIndex:
@@ -122,6 +117,17 @@ func WithMaxDeletions(k int) Option {
 // Ignored by static indexes.
 func WithMutationQueue(n int) Option {
 	return func(c *buildConfig) { c.queueSize = n }
+}
+
+// WithFollower puts a DynamicIndex in follower mode: it never schedules
+// local rebuilds, so its state is a pure deterministic function of the base
+// state it was restored from plus the mutations applied to it. Replication
+// replicas use it (with LoadSnapshotBytes) to stay bit-identical to the
+// writer; a follower that cannot absorb a mutation incrementally stays
+// stale until its owner restores a fresher snapshot. Ignored by static
+// indexes.
+func WithFollower() Option {
+	return func(c *buildConfig) { c.follower = true }
 }
 
 func applyOptions(opts []Option) buildConfig {

@@ -1,7 +1,6 @@
 package resistecc
 
 import (
-	"context"
 	"fmt"
 
 	"resistecc/internal/ecc"
@@ -47,14 +46,6 @@ type SketchOptions struct {
 	Workers int
 	// SolverTol overrides the Laplacian-solver relative residual (0 = 1e-10).
 	SolverTol float64
-	// MaxHullVertices caps the hull boundary size l (0 = no cap).
-	//
-	// Deprecated: hull configuration moved to HullOptions (use
-	// WithMaxHullVertices or WithHullOptions). The field remains so
-	// struct-based callers keep compiling; WithSketchOptions, the deprecated
-	// Graph.New*Index shims, and OptimizeOptions still honor it when the
-	// hull options leave MaxVertices unset.
-	MaxHullVertices int
 }
 
 func (o SketchOptions) internal() sketch.Options {
@@ -90,16 +81,6 @@ type ExactIndex struct {
 	ex *ecc.Exact
 }
 
-// NewExactIndex builds the exact index (dense Laplacian pseudoinverse).
-//
-// Deprecated: use the package-level NewExactIndex(ctx, g), which supports
-// build cancellation. This shim remains for source compatibility.
-//
-//recclint:ctxroot deprecated context-free shim; its documented replacement threads ctx
-func (gr *Graph) NewExactIndex() (*ExactIndex, error) {
-	return NewExactIndex(context.Background(), gr)
-}
-
 // N returns the node count of the indexed graph.
 func (ix *ExactIndex) N() int { return ix.ex.Pinv().N }
 
@@ -125,17 +106,6 @@ func (ix *ExactIndex) Distribution() []float64 { return ix.ex.Distribution() }
 // embeddings per query (APPROXQUERY, Algorithm 2).
 type ApproxIndex struct {
 	ap *ecc.Approx
-}
-
-// NewApproxIndex builds the APPROXER sketch.
-//
-// Deprecated: use the package-level NewApproxIndex(ctx, g, opts...), which
-// supports build cancellation and functional options. This shim remains for
-// source compatibility.
-//
-//recclint:ctxroot deprecated context-free shim; its documented replacement threads ctx
-func (gr *Graph) NewApproxIndex(opt SketchOptions) (*ApproxIndex, error) {
-	return NewApproxIndex(context.Background(), gr, WithSketchOptions(opt))
 }
 
 // N returns the node count of the indexed graph.
@@ -168,18 +138,6 @@ func (ix *ApproxIndex) SketchDim() int { return ix.ap.Sk.Dim }
 // (1−ε)c(v) ≤ ĉ(v) ≤ (1+ε)c(v) with high probability (Theorem 5.6).
 type FastIndex struct {
 	f *ecc.Fast
-}
-
-// NewFastIndex builds the FASTQUERY index.
-//
-// Deprecated: use the package-level NewFastIndex(ctx, g, opts...), which
-// supports build cancellation, functional options, and a hull configuration
-// (WithMaxHullVertices / WithHullOptions) no longer folded into
-// SketchOptions. This shim remains for source compatibility.
-//
-//recclint:ctxroot deprecated context-free shim; its documented replacement threads ctx
-func (gr *Graph) NewFastIndex(opt SketchOptions) (*FastIndex, error) {
-	return NewFastIndex(context.Background(), gr, WithSketchOptions(opt))
 }
 
 // N returns the node count of the indexed graph.

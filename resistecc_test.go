@@ -155,7 +155,7 @@ func filepathCreate(path string, g *Graph) (struct{}, error) {
 
 func TestExactIndexPublic(t *testing.T) {
 	g := StarGraph(8)
-	idx, err := g.NewExactIndex()
+	idx, err := NewExactIndex(context.Background(), g)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -183,7 +183,7 @@ func TestExactIndexPublic(t *testing.T) {
 	}
 	// Disconnected rejected.
 	d := NewGraph(3)
-	if _, err := d.NewExactIndex(); err == nil {
+	if _, err := NewExactIndex(context.Background(), d); err == nil {
 		t.Fatal("disconnected must fail")
 	}
 }
@@ -193,19 +193,19 @@ func TestApproxAndFastIndexPublic(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	exact, err := g.NewExactIndex()
+	exact, err := NewExactIndex(context.Background(), g)
 	if err != nil {
 		t.Fatal(err)
 	}
 	opt := SketchOptions{Epsilon: 0.3, Dim: 256, Seed: 5}
-	ap, err := g.NewApproxIndex(opt)
+	ap, err := NewApproxIndex(context.Background(), g, WithSketchOptions(opt))
 	if err != nil {
 		t.Fatal(err)
 	}
 	if ap.SketchDim() != 256 {
 		t.Fatalf("dim %d", ap.SketchDim())
 	}
-	fast, err := g.NewFastIndex(opt)
+	fast, err := NewFastIndex(context.Background(), g, WithSketchOptions(opt))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -249,7 +249,7 @@ func TestApproxAndFastIndexPublic(t *testing.T) {
 	if TheoreticalSketchDim(1000, 0.3) <= 0 {
 		t.Fatal("theoretical dim")
 	}
-	if _, err := g.NewFastIndex(SketchOptions{}); err == nil {
+	if _, err := NewFastIndex(context.Background(), g); err == nil {
 		t.Fatal("missing epsilon must fail")
 	}
 }
@@ -351,7 +351,7 @@ func TestFitBurrPublic(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	idx, err := g.NewExactIndex()
+	idx, err := NewExactIndex(context.Background(), g)
 	if err != nil {
 		t.Fatal(err)
 	}
