@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: check build vet lint lint-fix lint-sarif test race repl-smoke bench bench-json
+.PHONY: check build vet lint lint-fix lint-sarif test race repl-smoke trace-smoke bench bench-json
 
 check: vet lint race
 
@@ -45,15 +45,25 @@ race:
 repl-smoke:
 	$(GO) test -race -count=1 -run '^TestRepl' ./cmd/reccd/
 
+# End-to-end trace smoke: records a mixed workload through the serving layer
+# and replays it bit-exactly against fresh indexes (in-process and over HTTP),
+# then drives a generated open-loop workload through the PR-7 replica set
+# asserting zero 5xx and generation convergence.
+trace-smoke:
+	$(GO) test -race -count=1 -run '^TestTrace' ./cmd/reccd/
+
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ ./...
 
-# Machine-readable bench trajectory (BENCH_6.json): the batch-engine
+# Machine-readable bench trajectory (BENCH_8.json): the batch-engine
 # benchmarks at batch sizes 1/16/256 against the serial per-node baseline,
-# plus the ColdBuild/WarmStart durability carry-overs. The durable pair runs
-# at -benchtime=1x because a cold build is a full sketch solve (~15 s/op);
-# cmd/benchjson merges both runs into one JSON record list.
+# the ColdBuild/WarmStart durability carry-overs, and the trace-driven
+# loadgen capacity probes (single node and the replicated tier; their req/s
+# and latency quantiles land in the record's metrics map). The one-shot runs
+# use -benchtime=1x because each iteration is a full cold build or load run;
+# cmd/benchjson merges all runs into one JSON record list.
 bench-json:
 	{ $(GO) test -run='^$$' -bench='^BenchmarkBatch' -benchmem . ; \
-	  $(GO) test -run='^$$' -bench='^Benchmark(ColdBuild|WarmStart)$$' -benchtime=1x -benchmem . ; } \
-	| $(GO) run ./cmd/benchjson -o BENCH_6.json
+	  $(GO) test -run='^$$' -bench='^Benchmark(ColdBuild|WarmStart)$$' -benchtime=1x -benchmem . ; \
+	  $(GO) test -run='^$$' -bench='^BenchmarkLoadgen' -benchtime=1x ./cmd/reccd/ ; } \
+	| $(GO) run ./cmd/benchjson -o BENCH_8.json

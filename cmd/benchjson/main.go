@@ -36,6 +36,10 @@ type record struct {
 	NsPerOp    float64 `json:"ns_per_op"`
 	// AllocsPerOp is nil when the run was not executed with -benchmem.
 	AllocsPerOp *int64 `json:"allocs_per_op,omitempty"`
+	// Metrics holds custom b.ReportMetric columns keyed by unit — e.g. the
+	// loadgen benchmarks report req/s, p50_ms, p99_ms and errs_5xx. Absent
+	// when the line carried only the standard columns.
+	Metrics map[string]float64 `json:"metrics,omitempty"`
 }
 
 // benchLine matches testing's benchmark result format:
@@ -47,6 +51,12 @@ var benchLine = regexp.MustCompile(
 	`^(Benchmark\S+?)(-\d+)?\s+(\d+)\s+([0-9.]+(?:e[+-]?\d+)?) ns/op(?:\s+[0-9.]+ B/op\s+(\d+) allocs/op)?`)
 
 var batchSuffix = regexp.MustCompile(`(?:^|[/_])batch=(\d+)`)
+
+// metricPair matches any `<value> <unit>` column; standard columns are
+// filtered out so Metrics carries only b.ReportMetric extras.
+var metricPair = regexp.MustCompile(`([0-9.]+(?:e[+-]?\d+)?) ([A-Za-z_][A-Za-z_0-9/%]*)`)
+
+var standardUnits = map[string]bool{"ns/op": true, "B/op": true, "allocs/op": true}
 
 func parse(r io.Reader) ([]record, error) {
 	var recs []record
@@ -71,6 +81,19 @@ func parse(r io.Reader) ([]record, error) {
 				return nil, fmt.Errorf("benchjson: allocs/op in %q: %w", sc.Text(), err)
 			}
 			rec.AllocsPerOp = &allocs
+		}
+		for _, pm := range metricPair.FindAllStringSubmatch(sc.Text(), -1) {
+			if standardUnits[pm[2]] {
+				continue
+			}
+			v, err := strconv.ParseFloat(pm[1], 64)
+			if err != nil {
+				return nil, fmt.Errorf("benchjson: metric %s in %q: %w", pm[2], sc.Text(), err)
+			}
+			if rec.Metrics == nil {
+				rec.Metrics = make(map[string]float64)
+			}
+			rec.Metrics[pm[2]] = v
 		}
 		if bm := batchSuffix.FindStringSubmatch(rec.Name); bm != nil {
 			n, err := strconv.Atoi(bm[1])

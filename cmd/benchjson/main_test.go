@@ -19,6 +19,10 @@ BenchmarkColdBuild-8   	       1	14713553898 ns/op	275312640 B/op	  513042 alloc
 BenchmarkWarmStart-8   	       1	  52034110 ns/op
 PASS
 ok  	resistecc	15.001s
+goos: linux
+BenchmarkLoadgenSingleNode-8   	       1	  91234567 ns/op	         0 errs_5xx	        12.3 p50_ms	        45.6 p99_ms	      1639 req/s
+PASS
+ok  	resistecc/cmd/reccd	2.002s
 `
 
 func TestParse(t *testing.T) {
@@ -26,8 +30,8 @@ func TestParse(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(recs) != 5 {
-		t.Fatalf("parsed %d records, want 5", len(recs))
+	if len(recs) != 6 {
+		t.Fatalf("parsed %d records, want 6", len(recs))
 	}
 	q1 := recs[0]
 	if q1.Name != "BenchmarkBatchQuery/batch=1" || q1.Batch != 1 ||
@@ -49,6 +53,24 @@ func TestParse(t *testing.T) {
 	// not zero.
 	if warm := recs[4]; warm.AllocsPerOp != nil || warm.NsPerOp != 52034110 {
 		t.Fatalf("record 4 = %+v", warm)
+	}
+	if warm := recs[4]; warm.Metrics != nil {
+		t.Fatalf("record 4 metrics = %v, want absent", warm.Metrics)
+	}
+	// ReportMetric extras land in Metrics keyed by unit; standard columns
+	// never do.
+	load := recs[5]
+	if load.Name != "BenchmarkLoadgenSingleNode" || load.NsPerOp != 91234567 {
+		t.Fatalf("record 5 = %+v", load)
+	}
+	want := map[string]float64{"errs_5xx": 0, "p50_ms": 12.3, "p99_ms": 45.6, "req/s": 1639}
+	if len(load.Metrics) != len(want) {
+		t.Fatalf("record 5 metrics = %v, want %v", load.Metrics, want)
+	}
+	for k, v := range want {
+		if load.Metrics[k] != v {
+			t.Fatalf("record 5 metric %s = %v, want %v", k, load.Metrics[k], v)
+		}
 	}
 }
 

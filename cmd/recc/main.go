@@ -11,7 +11,9 @@
 //	recc dist     -in graph.txt [-exact] [-eps 0.2] [-burr] [-bins 30]
 //	recc optimize -in graph.txt -source 0 -k 10 -algo minrecc [-eps 0.3]
 //	recc snapshot -in graph.txt -data-dir ./idx   (or -out index.snap)
-//	recc inspect  -path ./idx                     (or a .snap file)
+//	recc inspect  -path ./idx                     (or a .snap or trace file)
+//	recc replay   -trace ops.trc -in graph.txt    (or -target http://host:8080)
+//	recc loadgen  -nodes 1000 -ops 10000 -out ops.trc [-target http://host:8080]
 //
 // Graphs are whitespace edge lists (KONECT style); only the largest
 // connected component is analyzed, mirroring the paper's preprocessing.
@@ -66,6 +68,10 @@ func run(ctx context.Context, args []string) error {
 		return cmdSnapshot(ctx, args[1:])
 	case "inspect":
 		return cmdInspect(args[1:])
+	case "replay":
+		return cmdReplay(ctx, args[1:])
+	case "loadgen":
+		return cmdLoadgen(ctx, args[1:])
 	case "-h", "--help", "help":
 		usage()
 		return nil
@@ -76,7 +82,7 @@ func run(ctx context.Context, args []string) error {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: recc <gen|stats|query|dist|optimize|centrality|spectral|hitting|snapshot|inspect> [flags]
+	fmt.Fprintln(os.Stderr, `usage: recc <gen|stats|query|dist|optimize|centrality|spectral|hitting|snapshot|inspect|replay|loadgen> [flags]
   gen         generate a synthetic network and write an edge list
   stats       structural statistics of a network's LCC
   query       resistance eccentricity of given nodes
@@ -86,7 +92,9 @@ func usage() {
   spectral    λ₂, λmax, Kirchhoff index, Kemeny constant
   hitting     expected random-walk hitting times to a target
   snapshot    build an index offline and persist it (warm reccd starts)
-  inspect     examine a snapshot file or durable store directory
+  inspect     examine a snapshot file, durable store directory, or trace file
+  replay      re-execute a recorded trace with bit-exact verification
+  loadgen     synthesize a deterministic workload trace and/or drive it
 run 'recc <subcommand> -h' for flags`)
 }
 

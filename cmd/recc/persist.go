@@ -5,9 +5,11 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"resistecc"
 	"resistecc/internal/persist"
+	"resistecc/internal/trace"
 )
 
 // cmdSnapshot builds a FASTQUERY index offline and persists it, so a reccd
@@ -97,6 +99,9 @@ func cmdInspect(args []string) error {
 		return err
 	}
 	if !fi.IsDir() {
+		if isTraceFile(p) {
+			return inspectTrace(p, fi.Size())
+		}
 		rep, err := persist.InspectSnapshot(p)
 		if err != nil {
 			return err
@@ -128,6 +133,49 @@ func cmdInspect(args []string) error {
 		if wal.TornBytes > 0 {
 			fmt.Printf("  torn tail   %d bytes (recovery discards them)\n", wal.TornBytes)
 		}
+	}
+	return nil
+}
+
+// isTraceFile sniffs the first 8 bytes for the trace magic so inspect can
+// dispatch between snapshot and trace files without an extension convention.
+func isTraceFile(p string) bool {
+	f, err := os.Open(p)
+	if err != nil {
+		return false
+	}
+	defer f.Close()
+	var hdr [8]byte
+	if _, err := f.Read(hdr[:]); err != nil {
+		return false
+	}
+	return string(hdr[:]) == trace.Magic
+}
+
+// inspectTrace prints what a replayer would see in a trace file: the valid
+// record prefix with per-op counts, the wall-clock span the arrival deltas
+// cover, and how much of the file is a torn tail a reader discards.
+func inspectTrace(p string, size int64) error {
+	info, err := trace.InspectFile(p)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("trace %s\n", p)
+	fmt.Printf("  size        %d bytes, format v%d\n", size, info.Version)
+	fmt.Printf("  records     %d", info.Records)
+	if info.Records > 0 {
+		fmt.Printf(" (seq %d..%d)", info.FirstSeq, info.LastSeq)
+	}
+	fmt.Println()
+	for op := trace.OpQuery; int(op) < len(info.ByOp); op++ {
+		if n := info.ByOp[op]; n > 0 {
+			fmt.Printf("  %-11s %d\n", op, n)
+		}
+	}
+	fmt.Printf("  span        %s of recorded arrivals\n", time.Duration(info.SpanNanos).Round(time.Millisecond))
+	if info.TornBytes > 0 {
+		fmt.Printf("  torn tail   %d bytes after the %d-byte valid prefix (replay discards them)\n",
+			info.TornBytes, info.ValidBytes)
 	}
 	return nil
 }

@@ -11,7 +11,14 @@ import (
 
 // durableServer builds a server persisting into dir, over the same generated
 // graph as testServer so restarts can reuse the directory.
-func durableServer(t *testing.T, dir string) *server {
+func durableServer(t testing.TB, dir string) *server {
+	t.Helper()
+	return durableServerCfg(t, dir, nil)
+}
+
+// durableServerCfg is durableServer with a config hook (trace recording,
+// drift thresholds, …) applied before construction.
+func durableServerCfg(t testing.TB, dir string, mutate func(*serverConfig)) *server {
 	t.Helper()
 	g, err := resistecc.ScaleFreeMixed(120, 1, 4, 0.3, 5)
 	if err != nil {
@@ -19,6 +26,9 @@ func durableServer(t *testing.T, dir string) *server {
 	}
 	cfg := defaultConfig()
 	cfg.DataDir = dir
+	if mutate != nil {
+		mutate(&cfg)
+	}
 	srv, err := newServer(context.Background(), g, newIDMap(g.N(), nil, nil), g.N(), g.M(),
 		[]resistecc.Option{
 			resistecc.WithEpsilon(0.3), resistecc.WithDim(64),

@@ -107,6 +107,10 @@ func main() {
 		"time-based checkpoint period on top of after-rebuild checkpoints (0 = off; needs -data-dir)")
 	flag.BoolVar(&cfg.Server.LegacyRoutes, "legacy-routes", false,
 		"re-mount the retired unversioned GET aliases with a Deprecation header")
+	flag.StringVar(&cfg.Server.TraceOut, "trace-out", "",
+		"record every accepted API operation into this trace file (replay with recc replay)")
+	flag.IntVar(&cfg.Server.TraceSync, "trace-sync", 256,
+		"fsync the trace after every Nth record (0 = buffer until shutdown)")
 	flag.Parse()
 	cfg.Replicas = splitList(*replicasFlag)
 
@@ -136,7 +140,10 @@ func main() {
 			srv.buildTime, cfg.Listen)
 		handler, cleanup = srv.handler(logger), srv.close
 	case roleRouter:
-		rs := newRouterServer(ctx, cfg)
+		rs, err := newRouterServer(ctx, cfg)
+		if err != nil {
+			log.Fatalf("reccd: starting router: %v", err)
+		}
 		log.Printf("reccd: routing over %d replicas (writer %s); listening on %s",
 			len(cfg.Replicas), cfg.Upstream, cfg.Listen)
 		handler, cleanup = rs.handler(logger), rs.close

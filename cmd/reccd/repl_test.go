@@ -28,7 +28,7 @@ type replSet struct {
 
 // startReplica boots one replica against upstream and serves it. The fast
 // poll keeps convergence waits short.
-func startReplica(t *testing.T, ctx context.Context, upstream string) (*server, *httptest.Server) {
+func startReplica(t testing.TB, ctx context.Context, upstream string) (*server, *httptest.Server) {
 	t.Helper()
 	cfg := Config{
 		Role:         roleReplica,
@@ -49,7 +49,14 @@ func startReplica(t *testing.T, ctx context.Context, upstream string) (*server, 
 
 // startReplSet assembles writer + 2 replicas + router and tears the whole
 // tier down at cleanup.
-func startReplSet(t *testing.T) *replSet {
+func startReplSet(t testing.TB) *replSet {
+	t.Helper()
+	return startReplSetCfg(t, nil)
+}
+
+// startReplSetCfg is startReplSet with a hook over the router's Config
+// (trace recording, limits) applied before construction.
+func startReplSetCfg(t testing.TB, mutateRouter func(*Config)) *replSet {
 	t.Helper()
 	ctx, cancel := context.WithCancel(context.Background())
 	rs := &replSet{cancel: cancel}
@@ -71,10 +78,17 @@ func startReplSet(t *testing.T) *replSet {
 		PollInterval: 20 * time.Millisecond,
 		Server:       defaultConfig(),
 	}
+	if mutateRouter != nil {
+		mutateRouter(&rcfg)
+	}
 	if err := rcfg.Validate(); err != nil {
 		t.Fatal(err)
 	}
-	rs.router = newRouterServer(ctx, rcfg)
+	router, err := newRouterServer(ctx, rcfg)
+	if err != nil {
+		t.Fatalf("starting router: %v", err)
+	}
+	rs.router = router
 	rs.routerTS = httptest.NewServer(rs.router.handler(log.New(io.Discard, "", 0)))
 	return rs
 }
@@ -102,7 +116,7 @@ func (rs *replSet) teardown() {
 }
 
 // httpGet fetches url and returns status, body and the response header.
-func httpGet(t *testing.T, url string, hdr map[string]string) (int, string, http.Header) {
+func httpGet(t testing.TB, url string, hdr map[string]string) (int, string, http.Header) {
 	t.Helper()
 	req, err := http.NewRequestWithContext(context.Background(), http.MethodGet, url, nil)
 	if err != nil {
@@ -125,7 +139,7 @@ func httpGet(t *testing.T, url string, hdr map[string]string) (int, string, http
 
 // waitConverged blocks until the replica has applied the writer's sequence
 // and matches its generation.
-func waitConverged(t *testing.T, w *server, r *server) {
+func waitConverged(t testing.TB, w *server, r *server) {
 	t.Helper()
 	deadline := time.Now().Add(10 * time.Second)
 	for time.Now().Before(deadline) {

@@ -152,6 +152,12 @@ func newReplicaServer(ctx context.Context, cfg Config) (*server, error) {
 	sv := s.current()
 	s.totalNodes = sv.dyn.Snapshot().N
 	s.totalEdges = sv.dyn.Snapshot().M
+	// Replicas record too: the shared query handlers hook the recorder, so a
+	// replica's trace captures the read workload it served.
+	if err := s.openRecorder(); err != nil {
+		s.close()
+		return nil, err
+	}
 	s.publishBuildGauges()
 	s.publishLifecycleGauges()
 	s.publishReplicaMetrics()

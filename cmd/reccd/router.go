@@ -2,6 +2,7 @@ package main
 
 import (
 	"context"
+	"fmt"
 	"log"
 	"net/http"
 	"strconv"
@@ -9,6 +10,7 @@ import (
 
 	"resistecc/internal/obs"
 	"resistecc/internal/repl"
+	"resistecc/internal/trace"
 )
 
 // routerServer is the thin routing tier: it holds no index, only a pool of
@@ -20,18 +22,35 @@ type routerServer struct {
 	pool *repl.Pool
 	cfg  serverConfig
 	reg  *obs.Registry
+
+	// rec captures proxied operations (-trace-out) through a response tee;
+	// nil when recording is off.
+	rec *trace.Recorder
 }
 
-func newRouterServer(ctx context.Context, cfg Config) *routerServer {
+func newRouterServer(ctx context.Context, cfg Config) (*routerServer, error) {
 	client := &http.Client{Timeout: 2 * time.Minute}
 	pool := repl.NewPool(cfg.Upstream, cfg.Replicas, client, cfg.PollInterval)
 	rs := &routerServer{pool: pool, cfg: cfg.Server, reg: obs.NewRegistry("reccd")}
+	if rs.cfg.TraceOut != "" {
+		rec, err := trace.NewRecorder(rs.cfg.TraceOut, trace.RecorderOptions{SyncEvery: rs.cfg.TraceSync})
+		if err != nil {
+			return nil, fmt.Errorf("opening trace recorder: %w", err)
+		}
+		rs.rec = rec
+		publishTraceMetrics(rs.reg, rec)
+	}
 	rs.publishRouterMetrics()
 	pool.Start(ctx)
-	return rs
+	return rs, nil
 }
 
-func (rs *routerServer) close() { rs.pool.Stop() }
+func (rs *routerServer) close() {
+	rs.pool.Stop()
+	if err := rs.rec.Close(); err != nil {
+		log.Printf("reccd: closing trace recorder: %v", err)
+	}
+}
 
 func (rs *routerServer) publishRouterMetrics() {
 	rs.reg.SetCounterFunc("router_proxied_total", func() float64 { return float64(rs.pool.Stats().Proxied) })
@@ -109,14 +128,14 @@ func (rs *routerServer) handleHealth(w http.ResponseWriter, _ *http.Request) {
 func (rs *routerServer) handler(logger *log.Logger) http.Handler {
 	mux := http.NewServeMux()
 	proxyRead := rs.reg.InstrumentFunc("proxy_read", rs.pool.ProxyQuery)
-	mux.Handle("GET /v1/eccentricity", proxyRead)
+	mux.Handle("GET /v1/eccentricity", traceProxy(rs.rec, proxyRead, recordProxiedQuery))
 	mux.Handle("GET /v1/resistance", proxyRead)
 	mux.Handle("GET /v1/summary", proxyRead)
 	proxyWrite := rs.reg.InstrumentFunc("proxy_write", rs.pool.ProxyWriter)
-	mux.Handle("POST /v1/edges", proxyWrite)
-	mux.Handle("DELETE /v1/edges", proxyWrite)
-	mux.Handle("POST /v1/rebuild", proxyWrite)
-	mux.Handle("POST /v1/checkpoint", proxyWrite)
+	mux.Handle("POST /v1/edges", traceProxy(rs.rec, proxyWrite, recordProxiedMutation))
+	mux.Handle("DELETE /v1/edges", traceProxy(rs.rec, proxyWrite, recordProxiedMutation))
+	mux.Handle("POST /v1/rebuild", traceProxy(rs.rec, proxyWrite, recordProxiedControl(trace.OpRebuild)))
+	mux.Handle("POST /v1/checkpoint", traceProxy(rs.rec, proxyWrite, recordProxiedControl(trace.OpCheckpoint)))
 	mux.Handle("GET /v1/healthz", rs.reg.InstrumentFunc("healthz", rs.handleHealth))
 	mux.Handle("GET /v1/metrics", rs.reg.Instrument("metrics", rs.reg))
 	if rs.cfg.Pprof {

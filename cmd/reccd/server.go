@@ -16,6 +16,7 @@ import (
 	"resistecc"
 	"resistecc/internal/obs"
 	"resistecc/internal/repl"
+	"resistecc/internal/trace"
 )
 
 // idMap translates between external node ids (the labels clients use: the
@@ -109,6 +110,14 @@ type serverConfig struct {
 	// /eccentricity, …) next to their /v1 successors, stamped with a
 	// Deprecation header. Off by default; for clients mid-migration only.
 	LegacyRoutes bool
+	// TraceOut records every accepted API operation — queries, mutations,
+	// rebuilds, checkpoints — into a RECCTRC1 trace file for bit-exact
+	// replay and load generation (recc replay / recc loadgen). Empty
+	// disables recording.
+	TraceOut string
+	// TraceSync fsyncs the trace after every Nth record, the same policy
+	// knob the persist WAL uses; 0 buffers until shutdown.
+	TraceSync int
 }
 
 func defaultConfig() serverConfig {
@@ -155,6 +164,10 @@ type server struct {
 	// tailer pulls it (replica). Each nil on the roles that lack it.
 	source *repl.Source
 	tailer *repl.Tailer
+
+	// rec captures accepted API operations into a trace file (-trace-out);
+	// nil when recording is off — every hook is nil-safe.
+	rec *trace.Recorder
 
 	sumMu  sync.Mutex
 	sumFor *serving        // guarded by sumMu; engine the cache was computed on
@@ -227,6 +240,10 @@ func newServer(ctx context.Context, g *resistecc.Graph, ids *idMap, inputNodes, 
 		durable:   cfg.DataDir != "",
 	}
 	s.cur.Store(&serving{dyn: dyn, ids: ids})
+	if err := s.openRecorder(); err != nil {
+		dyn.Close()
+		return nil, err
+	}
 	s.publishBuildGauges()
 	s.publishLifecycleGauges()
 	if s.durable {
@@ -255,6 +272,32 @@ func (s *server) close() {
 	if sv := s.current(); sv != nil {
 		sv.dyn.Close()
 	}
+	if err := s.rec.Close(); err != nil {
+		log.Printf("reccd: closing trace recorder: %v", err)
+	}
+}
+
+// openRecorder starts trace recording when TraceOut is set and exports the
+// recorder counters. Shared by the writer and replica constructors.
+func (s *server) openRecorder() error {
+	if s.cfg.TraceOut == "" {
+		return nil
+	}
+	rec, err := trace.NewRecorder(s.cfg.TraceOut, trace.RecorderOptions{SyncEvery: s.cfg.TraceSync})
+	if err != nil {
+		return fmt.Errorf("opening trace recorder: %w", err)
+	}
+	s.rec = rec
+	publishTraceMetrics(s.reg, rec)
+	return nil
+}
+
+// publishTraceMetrics exports recorder activity; shared with the router,
+// which records through its proxy tee rather than a *server.
+func publishTraceMetrics(reg *obs.Registry, rec *trace.Recorder) {
+	reg.SetCounterFunc("trace_records_total", func() float64 { return float64(rec.Stats().Records) })
+	reg.SetCounterFunc("trace_bytes_total", func() float64 { return float64(rec.Stats().Bytes) })
+	reg.SetCounterFunc("trace_write_failures_total", func() float64 { return float64(rec.Stats().WriteFailures) })
 }
 
 // startCheckpointTicker checkpoints every CheckpointInterval so the WAL (and
@@ -370,6 +413,9 @@ func (s *server) publishReplicaMetrics() {
 	s.reg.SetGaugeFunc("repl_applied_seq", tstat(func(ts repl.TailerStats) float64 { return float64(ts.AppliedSeq) }))
 	s.reg.SetGaugeFunc("repl_upstream_seq", tstat(func(ts repl.TailerStats) float64 { return float64(ts.UpstreamSeq) }))
 	s.reg.SetGaugeFunc("repl_lag", tstat(func(ts repl.TailerStats) float64 { return float64(ts.Lag) }))
+	// repl_lag_seq is the canonical name for the sequence-number lag
+	// (upstream seq − applied seq); repl_lag stays as its legacy alias.
+	s.reg.SetGaugeFunc("repl_lag_seq", tstat(func(ts repl.TailerStats) float64 { return float64(ts.Lag) }))
 	s.reg.SetGaugeFunc("repl_last_contact_age_seconds", func() float64 {
 		ts := s.tailer.Stats()
 		if ts.LastContact.IsZero() {
@@ -718,12 +764,19 @@ func (s *server) handleEccentricity(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	nodes := make([]int, 0, len(parts))
+	var extIDs []int64 // requested ids for the trace record
+	if s.rec != nil {
+		extIDs = make([]int64, 0, len(parts))
+	}
 	for _, p := range parts {
 		v, ok := sv.resolveNode(w, p)
 		if !ok {
 			return
 		}
 		nodes = append(nodes, v)
+		if s.rec != nil {
+			extIDs = append(extIDs, sv.ids.external(v))
+		}
 	}
 	snap := sv.dyn.Snapshot()
 	// The batched path dedups repeated ids and amortizes one hull scan over
@@ -746,6 +799,17 @@ func (s *server) handleEccentricity(w http.ResponseWriter, r *http.Request) {
 	}
 	buf.Release()
 	setGeneration(w, snap.Generation)
+	if s.rec != nil {
+		op := trace.OpQuery
+		if len(out) > 1 {
+			op = trace.OpBatchQuery
+		}
+		res := make([]trace.EccResult, len(out))
+		for i, o := range out {
+			res[i] = trace.EccResult{Node: o.Node, Ecc: o.Eccentricity, Farthest: o.Farthest}
+		}
+		s.rec.Record(op, snap.Generation, trace.DigestQuery(res), extIDs...)
+	}
 	writeJSON(w, http.StatusOK, out)
 }
 
@@ -880,8 +944,10 @@ func writeMutationError(w http.ResponseWriter, uExt, vExt int64, err error) {
 	}
 }
 
-func (s *server) writeMutation(w http.ResponseWriter, uExt, vExt int64, res resistecc.MutationResult) {
+func (s *server) writeMutation(w http.ResponseWriter, op trace.Op, uExt, vExt int64, res resistecc.MutationResult) {
 	setGeneration(w, res.Generation)
+	s.rec.Record(op, res.Generation,
+		trace.DigestMutation(res.Generation, string(res.Mode), res.Drift), uExt, vExt)
 	writeJSON(w, http.StatusOK, mutationResponse{
 		U: uExt, V: vExt,
 		Generation:       res.Generation,
@@ -914,7 +980,7 @@ func (s *server) handleAddEdge(w http.ResponseWriter, r *http.Request) {
 		writeMutationError(w, *req.U, *req.V, err)
 		return
 	}
-	s.writeMutation(w, *req.U, *req.V, res)
+	s.writeMutation(w, trace.OpAddEdge, *req.U, *req.V, res)
 }
 
 // handleRemoveEdge implements DELETE /v1/edges?u=…&v=….
@@ -947,7 +1013,7 @@ func (s *server) handleRemoveEdge(w http.ResponseWriter, r *http.Request) {
 		writeMutationError(w, uExt, vExt, err)
 		return
 	}
-	s.writeMutation(w, uExt, vExt, res)
+	s.writeMutation(w, trace.OpRemoveEdge, uExt, vExt, res)
 }
 
 // handleCheckpoint implements POST /v1/checkpoint: force an immediate
@@ -974,6 +1040,7 @@ func (s *server) handleCheckpoint(w http.ResponseWriter, _ *http.Request) {
 	ps := sv.dyn.PersistStats()
 	snap := sv.dyn.Snapshot()
 	setGeneration(w, snap.Generation)
+	s.rec.Record(trace.OpCheckpoint, snap.Generation, trace.DigestGen(snap.Generation))
 	writeJSON(w, http.StatusOK, map[string]any{
 		"checkpointed":    true,
 		"snapshotSeq":     ps.SnapshotSeq,
@@ -987,9 +1054,14 @@ func (s *server) handleCheckpoint(w http.ResponseWriter, _ *http.Request) {
 // regardless of drift (e.g. after a burst of stale-mode mutations).
 func (s *server) handleRebuild(w http.ResponseWriter, _ *http.Request) {
 	sv := s.current()
-	sv.dyn.TriggerRebuild()
+	// Read the snapshot before triggering: the stamped generation must be
+	// deterministically pre-rebuild, both for clients correlating responses
+	// and for the trace record (replay verifies against it after running the
+	// rebuild to completion).
 	snap := sv.dyn.Snapshot()
+	sv.dyn.TriggerRebuild()
 	setGeneration(w, snap.Generation)
+	s.rec.Record(trace.OpRebuild, snap.Generation, trace.DigestGen(snap.Generation))
 	writeJSON(w, http.StatusAccepted, map[string]any{
 		"scheduled":  true,
 		"generation": snap.Generation,

@@ -1,0 +1,74 @@
+package main
+
+import (
+	"context"
+	"io"
+	"log"
+	"net/http/httptest"
+	"testing"
+
+	"resistecc/internal/trace"
+)
+
+// loadgenWorkload is the shared capacity workload: zipf-skewed reads with a
+// small mutation mix, dispatched as fast as the concurrency bound allows.
+func loadgenWorkload(b *testing.B, ops int) []trace.Record {
+	b.Helper()
+	w := trace.Workload{
+		Nodes: 120, Ops: ops, Seed: 11,
+		MaxBatch: 4, MutationRate: 0.05, RemoveFraction: 0.25,
+	}
+	recs, err := w.Generate()
+	if err != nil {
+		b.Fatal(err)
+	}
+	return recs
+}
+
+// driveLoad runs the workload against base and reports capacity metrics in
+// the units the bench trajectory (BENCH_8.json) records: achieved req/s,
+// p50/p99 latency in ms, and the 5xx count (which must stay 0).
+func driveLoad(b *testing.B, recs []trace.Record, base string) {
+	b.Helper()
+	rep, err := trace.RunLoad(context.Background(), recs, base,
+		trace.LoadOptions{Concurrency: 32, AsFast: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if rep.Errors > 0 {
+		b.Fatalf("load run hit %d transport errors", rep.Errors)
+	}
+	b.ReportMetric(rep.AchievedRate, "req/s")
+	b.ReportMetric(float64(rep.P50.Microseconds())/1e3, "p50_ms")
+	b.ReportMetric(float64(rep.P99.Microseconds())/1e3, "p99_ms")
+	b.ReportMetric(float64(rep.ServerErrors), "errs_5xx")
+}
+
+// BenchmarkLoadgenSingleNode measures one writer serving the capacity
+// workload directly.
+func BenchmarkLoadgenSingleNode(b *testing.B) {
+	srv := durableServer(b, b.TempDir())
+	defer srv.close()
+	ts := httptest.NewServer(srv.handler(log.New(io.Discard, "", 0)))
+	defer ts.Close()
+	recs := loadgenWorkload(b, 2000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		driveLoad(b, recs, ts.URL)
+	}
+}
+
+// BenchmarkLoadgenReplicated measures the same workload through the router
+// of a writer + 2 replicas tier: reads spread over replicas, mutations proxy
+// to the writer.
+func BenchmarkLoadgenReplicated(b *testing.B) {
+	rs := startReplSet(b)
+	for _, r := range rs.replicas {
+		waitConverged(b, rs.writer, r)
+	}
+	recs := loadgenWorkload(b, 2000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		driveLoad(b, recs, rs.routerTS.URL)
+	}
+}

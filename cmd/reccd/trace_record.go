@@ -1,0 +1,126 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"strconv"
+	"strings"
+
+	"resistecc/internal/trace"
+)
+
+// The router has no index of its own, so it records through a response tee:
+// each proxied 2xx answer is parsed with the same digest functions the
+// backends use, making a router-recorded trace replayable against any
+// backend (or a fresh same-seed index) exactly like a writer-recorded one.
+
+// captureWriter tees the response status, body and headers for the trace
+// middleware. Proxied bodies are small JSON documents, so buffering them is
+// cheap relative to the proxy hop itself.
+type captureWriter struct {
+	http.ResponseWriter
+	status int
+	body   bytes.Buffer
+}
+
+func (cw *captureWriter) WriteHeader(status int) {
+	if cw.status == 0 {
+		cw.status = status
+	}
+	cw.ResponseWriter.WriteHeader(status)
+}
+
+func (cw *captureWriter) Write(p []byte) (int, error) {
+	if cw.status == 0 {
+		cw.status = http.StatusOK
+	}
+	cw.body.Write(p)
+	return cw.ResponseWriter.Write(p)
+}
+
+// headerGeneration reads the X-Index-Generation stamp a backend put on the
+// proxied response; 0 when absent or malformed (the record then carries an
+// unverifiable generation, never a wrong one).
+func (cw *captureWriter) headerGeneration() uint64 {
+	gen, err := strconv.ParseUint(cw.Header().Get("X-Index-Generation"), 10, 64)
+	if err != nil {
+		return 0
+	}
+	return gen
+}
+
+// traceProxy wraps a proxy handler with trace recording. record is called
+// only for 2xx responses — a trace holds operations that were answered, so
+// replaying it against an equivalent deployment succeeds operation for
+// operation.
+func traceProxy(rec *trace.Recorder, next http.Handler,
+	record func(rec *trace.Recorder, r *http.Request, cw *captureWriter)) http.Handler {
+	if rec == nil {
+		return next
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		cw := &captureWriter{ResponseWriter: w}
+		next.ServeHTTP(cw, r)
+		if cw.status >= 200 && cw.status < 300 {
+			record(rec, r, cw)
+		}
+	})
+}
+
+// recordProxiedQuery captures a proxied GET /v1/eccentricity: the queried
+// ids from the request, the digest from the response body.
+func recordProxiedQuery(rec *trace.Recorder, r *http.Request, cw *captureWriter) {
+	var args []int64
+	raw := r.URL.Query().Get("node")
+	for _, part := range strings.Split(raw, ",") {
+		id, err := strconv.ParseInt(strings.TrimSpace(part), 10, 64)
+		if err != nil {
+			return // backend 2xx'd it, but don't record what we can't parse
+		}
+		args = append(args, id)
+	}
+	if len(args) == 0 {
+		return
+	}
+	dig, err := trace.ParseQueryBody(cw.body.Bytes())
+	if err != nil {
+		return
+	}
+	op := trace.OpQuery
+	if len(args) > 1 {
+		op = trace.OpBatchQuery
+	}
+	rec.Record(op, cw.headerGeneration(), dig, args...)
+}
+
+// recordProxiedMutation captures a proxied edge add/remove, pulling u and v
+// from the response body (the mutation response echoes them, saving a
+// request-body tee).
+func recordProxiedMutation(rec *trace.Recorder, r *http.Request, cw *captureWriter) {
+	op := trace.OpAddEdge
+	if r.Method == http.MethodDelete {
+		op = trace.OpRemoveEdge
+	}
+	gen, dig, err := trace.ParseMutationBody(cw.body.Bytes())
+	if err != nil {
+		return
+	}
+	var echo struct {
+		U int64 `json:"u"`
+		V int64 `json:"v"`
+	}
+	if err := json.Unmarshal(cw.body.Bytes(), &echo); err != nil {
+		return
+	}
+	rec.Record(op, gen, dig, echo.U, echo.V)
+}
+
+// recordProxiedControl captures a proxied rebuild or checkpoint: the
+// verification unit is the generation the backend stamped on the response.
+func recordProxiedControl(op trace.Op) func(*trace.Recorder, *http.Request, *captureWriter) {
+	return func(rec *trace.Recorder, _ *http.Request, cw *captureWriter) {
+		gen := cw.headerGeneration()
+		rec.Record(op, gen, trace.DigestGen(gen))
+	}
+}

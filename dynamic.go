@@ -152,6 +152,14 @@ func convMutation(r lifecycle.ApplyResult, err error) (MutationResult, error) {
 // no-op on follower indexes (WithFollower), which never rebuild locally.
 func (d *DynamicIndex) TriggerRebuild() { d.m.TriggerRebuild() }
 
+// RebuildAndWait schedules a rebuild and blocks until the index settles,
+// returning the generation that was serving when the rebuild was requested.
+// Trace replay uses it to absorb a recorded rebuild synchronously before the
+// next operation runs.
+func (d *DynamicIndex) RebuildAndWait(ctx context.Context) (uint64, error) {
+	return d.m.RebuildAndWait(ctx)
+}
+
 // Seq returns the number of mutations applied since the index's base state
 // (zero for a fresh build, the snapshot's sequence plus applied mutations
 // for a restored one). Replication uses it as the WAL tailing position.

@@ -389,6 +389,21 @@ func (m *Manager) TriggerRebuild() {
 	m.mu.Unlock()
 }
 
+// RebuildAndWait schedules a rebuild and blocks until the manager settles,
+// returning the generation that was serving when the rebuild was requested.
+// It is the deterministic re-execution entry point: trace replay needs the
+// rebuild fully absorbed before the next operation runs, and needs the
+// pre-rebuild generation because that is what the recording server stamped
+// on its acceptance.
+func (m *Manager) RebuildAndWait(ctx context.Context) (uint64, error) {
+	gen := m.Current().Gen
+	m.TriggerRebuild()
+	if err := m.WaitIdle(ctx); err != nil {
+		return gen, err
+	}
+	return gen, nil
+}
+
 // Seq returns the number of mutations applied since the manager's base
 // state (the restored sequence for NewFromState managers, zero for New).
 // Replication uses it as the WAL tailing position.

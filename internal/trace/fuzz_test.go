@@ -1,0 +1,58 @@
+package trace
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+// FuzzDecodeTrace asserts the two invariants that make torn-tail recovery
+// safe on arbitrary bytes: the scanner never panics, and whatever prefix it
+// accepts re-encodes byte-identically to the input it consumed (so a
+// repaired trace is exactly the trusted prefix, nothing synthesized).
+func FuzzDecodeTrace(f *testing.F) {
+	f.Add([]byte{})
+	h := header()
+	f.Add(h[:])
+	f.Add(encodeTrace(sampleRecords()))
+	torn := encodeTrace(sampleRecords())
+	f.Add(torn[:len(torn)-9])
+	flipped := encodeTrace(sampleRecords())
+	flipped[headerSize+5] ^= 0x40
+	f.Add(flipped)
+	f.Add([]byte("RECCTRC1\x02\x00\x00\x00tail"))
+	f.Add(bytes.Repeat([]byte{0xab}, 200))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		recs, validSize, err := ScanTrace(bytes.NewReader(data))
+		if err != nil {
+			if !errors.Is(err, ErrVersion) {
+				t.Fatalf("unexpected error class: %v", err)
+			}
+			return
+		}
+		if validSize > int64(len(data)) {
+			t.Fatalf("validSize %d exceeds input %d", validSize, len(data))
+		}
+		if len(recs) == 0 {
+			if validSize != 0 && validSize != headerSize {
+				t.Fatalf("no records but validSize = %d", validSize)
+			}
+			return
+		}
+		// Re-encode the accepted prefix; it must reproduce data[:validSize].
+		reenc := encodeTrace(recs)
+		if !bytes.Equal(reenc, data[:validSize]) {
+			t.Fatalf("accepted prefix does not re-encode identically (%d records, %d bytes)", len(recs), validSize)
+		}
+		// Sequence contiguity from 1 is part of the accept contract.
+		for i, r := range recs {
+			if r.Seq != uint64(i+1) {
+				t.Fatalf("record %d has seq %d", i, r.Seq)
+			}
+			if !validOp(r.Op) {
+				t.Fatalf("record %d has invalid op %d", i, r.Op)
+			}
+		}
+	})
+}

@@ -1,0 +1,176 @@
+//recclint:deterministic — same spec, same seed, same trace, byte for byte.
+
+package trace
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Workload specifies a synthetic open-loop trace. Node popularity follows a
+// Zipf distribution over a seeded permutation of the node ids (so the hot set
+// is spread across the id space, not clustered at 0), inter-arrival times are
+// exponential around the target rate, and a configurable fraction of
+// operations mutate the graph. All generated records carry zero digests —
+// they describe load, not expected answers; replaying one exercises the
+// target without verification.
+type Workload struct {
+	// Nodes is the external id space [0, Nodes); queries and mutations draw
+	// from it.
+	Nodes int
+	// Ops is the number of records to generate.
+	Ops int
+	// Seed fixes every random choice.
+	Seed int64
+
+	// ZipfS and ZipfV shape node popularity (s > 1, v >= 1). Zero values
+	// default to s=1.2, v=8 — a realistic skew where the top ~1% of nodes
+	// absorb a large share of queries without starving the tail.
+	ZipfS, ZipfV float64
+
+	// MaxBatch caps batch-query size; sizes are uniform in [1, MaxBatch].
+	// 0 or 1 generates only single-node queries.
+	MaxBatch int
+
+	// MutationRate is the fraction of operations that mutate the graph
+	// (edge adds and removes) rather than query it.
+	MutationRate float64
+	// RemoveFraction is the share of mutations that delete a previously
+	// generated edge rather than add a new one (removals only target edges
+	// this workload added, so they never race the base graph).
+	RemoveFraction float64
+
+	// RebuildEvery inserts an explicit rebuild every N operations (0 = never).
+	RebuildEvery int
+	// CheckpointEvery inserts a checkpoint every N operations (0 = never).
+	CheckpointEvery int
+
+	// Rate is the target arrival rate in operations per second; arrival
+	// deltas are exponential with mean 1/Rate. 0 generates a zero-delay
+	// trace (as-fast-as-possible when replayed with pacing).
+	Rate float64
+}
+
+type genEdge struct{ u, v int64 }
+
+// Generate synthesizes the trace. It is fully deterministic in the spec.
+func (w Workload) Generate() ([]Record, error) {
+	if w.Nodes < 2 {
+		return nil, fmt.Errorf("trace: workload needs at least 2 nodes, got %d", w.Nodes)
+	}
+	if w.Ops <= 0 {
+		return nil, fmt.Errorf("trace: workload needs at least 1 op, got %d", w.Ops)
+	}
+	if w.MutationRate < 0 || w.MutationRate > 1 {
+		return nil, fmt.Errorf("trace: mutation rate %v outside [0,1]", w.MutationRate)
+	}
+	if w.RemoveFraction < 0 || w.RemoveFraction > 1 {
+		return nil, fmt.Errorf("trace: remove fraction %v outside [0,1]", w.RemoveFraction)
+	}
+	s, v := w.ZipfS, w.ZipfV
+	if s == 0 {
+		s = 1.2
+	}
+	if v == 0 {
+		v = 8
+	}
+	if s <= 1 || v < 1 {
+		return nil, fmt.Errorf("trace: zipf parameters s=%v v=%v need s>1, v>=1", s, v)
+	}
+
+	r := rand.New(rand.NewSource(w.Seed))
+	zipf := rand.NewZipf(r, s, v, uint64(w.Nodes-1))
+	// Spread popularity ranks across the id space: rank i maps to a random
+	// node, so the hot set isn't just the lowest ids.
+	rank := r.Perm(w.Nodes)
+	pick := func() int64 { return int64(rank[zipf.Uint64()]) }
+
+	delta := func() uint64 {
+		if w.Rate <= 0 {
+			return 0
+		}
+		d := r.ExpFloat64() / w.Rate * 1e9
+		if d > math.MaxInt64 {
+			d = math.MaxInt64
+		}
+		return uint64(d)
+	}
+
+	var (
+		recs  = make([]Record, 0, w.Ops)
+		added []genEdge
+		have  = make(map[genEdge]bool)
+	)
+	emit := func(op Op, args ...int64) {
+		recs = append(recs, Record{
+			Seq:        uint64(len(recs) + 1),
+			DeltaNanos: delta(),
+			Op:         op,
+			Args:       args,
+		})
+	}
+
+	for i := 1; i <= w.Ops; i++ {
+		if w.RebuildEvery > 0 && i%w.RebuildEvery == 0 {
+			emit(OpRebuild)
+			continue
+		}
+		if w.CheckpointEvery > 0 && i%w.CheckpointEvery == 0 {
+			emit(OpCheckpoint)
+			continue
+		}
+		if r.Float64() < w.MutationRate {
+			if len(added) > 0 && r.Float64() < w.RemoveFraction {
+				j := r.Intn(len(added))
+				e := added[j]
+				added[j] = added[len(added)-1]
+				added = added[:len(added)-1]
+				delete(have, e)
+				emit(OpRemoveEdge, e.u, e.v)
+				continue
+			}
+			// Draw a fresh edge: one popular endpoint, one uniform, normalized
+			// u<v so the duplicate check is canonical.
+			var e genEdge
+			found := false
+			for try := 0; try < 32; try++ {
+				a, b := pick(), int64(r.Intn(w.Nodes))
+				if a == b {
+					continue
+				}
+				if a > b {
+					a, b = b, a
+				}
+				e = genEdge{a, b}
+				if !have[e] {
+					found = true
+					break
+				}
+			}
+			if !found {
+				// Dense neighborhood: fall back to a query instead of looping.
+				emit(OpQuery, pick())
+				continue
+			}
+			have[e] = true
+			added = append(added, e)
+			emit(OpAddEdge, e.u, e.v)
+			continue
+		}
+		n := 1
+		if w.MaxBatch > 1 {
+			n = 1 + r.Intn(w.MaxBatch)
+		}
+		if n == 1 {
+			emit(OpQuery, pick())
+			continue
+		}
+		args := make([]int64, n)
+		for j := range args {
+			args[j] = pick()
+		}
+		emit(OpBatchQuery, args...)
+	}
+	return recs, nil
+}

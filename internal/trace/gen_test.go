@@ -1,0 +1,140 @@
+package trace
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+)
+
+func TestGenerateDeterministic(t *testing.T) {
+	w := Workload{
+		Nodes: 200, Ops: 500, Seed: 42,
+		MaxBatch: 8, MutationRate: 0.2, RemoveFraction: 0.3,
+		RebuildEvery: 100, CheckpointEvery: 77, Rate: 5000,
+	}
+	a, err := w.Generate()
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	b, err := w.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same spec and seed produced different traces")
+	}
+	// Byte-level determinism, not just structural.
+	if !bytes.Equal(encodeTrace(a), encodeTrace(b)) {
+		t.Fatal("same spec and seed produced different bytes")
+	}
+	w2 := w
+	w2.Seed = 43
+	c, err := w2.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(a, c) {
+		t.Fatal("different seeds produced identical traces")
+	}
+}
+
+func TestGenerateShape(t *testing.T) {
+	w := Workload{
+		Nodes: 100, Ops: 2000, Seed: 7,
+		MaxBatch: 4, MutationRate: 0.25, RemoveFraction: 0.4,
+		RebuildEvery: 500, Rate: 10000,
+	}
+	recs, err := w.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != w.Ops {
+		t.Fatalf("generated %d records, want %d", len(recs), w.Ops)
+	}
+	var byOp [opMax]int
+	live := map[genEdge]bool{}
+	var span uint64
+	for i, r := range recs {
+		if r.Seq != uint64(i+1) {
+			t.Fatalf("record %d has seq %d", i, r.Seq)
+		}
+		if r.Gen != 0 || r.Digest != 0 {
+			t.Fatalf("generated record %d carries verification fields: %+v", i, r)
+		}
+		byOp[r.Op]++
+		span += r.DeltaNanos
+		switch r.Op {
+		case OpQuery:
+			if len(r.Args) != 1 || r.Args[0] < 0 || r.Args[0] >= int64(w.Nodes) {
+				t.Fatalf("query record %d args %v out of range", i, r.Args)
+			}
+		case OpBatchQuery:
+			if len(r.Args) < 2 || len(r.Args) > w.MaxBatch {
+				t.Fatalf("batch record %d has %d args, cap %d", i, len(r.Args), w.MaxBatch)
+			}
+		case OpAddEdge:
+			if len(r.Args) != 2 || r.Args[0] == r.Args[1] {
+				t.Fatalf("add record %d args %v", i, r.Args)
+			}
+			e := genEdge{r.Args[0], r.Args[1]}
+			if live[e] {
+				t.Fatalf("record %d re-adds live edge %v", i, e)
+			}
+			live[e] = true
+		case OpRemoveEdge:
+			e := genEdge{r.Args[0], r.Args[1]}
+			if !live[e] {
+				t.Fatalf("record %d removes edge %v this trace never added", i, e)
+			}
+			delete(live, e)
+		}
+	}
+	if byOp[OpRebuild] != w.Ops/w.RebuildEvery {
+		t.Fatalf("rebuilds = %d, want %d", byOp[OpRebuild], w.Ops/w.RebuildEvery)
+	}
+	if byOp[OpAddEdge] == 0 || byOp[OpRemoveEdge] == 0 || byOp[OpBatchQuery] == 0 {
+		t.Fatalf("workload mix degenerate: %v", byOp)
+	}
+	// 2000 ops at 10k/s target ≈ 200ms span; exponential arrivals put wide
+	// but bounded error bars on the sum.
+	if span < 50e6 || span > 800e6 {
+		t.Fatalf("arrival span %dns implausible for 2000 ops at 10k/s", span)
+	}
+}
+
+func TestGenerateValidation(t *testing.T) {
+	bad := []Workload{
+		{Nodes: 1, Ops: 10},
+		{Nodes: 10, Ops: 0},
+		{Nodes: 10, Ops: 10, MutationRate: 1.5},
+		{Nodes: 10, Ops: 10, RemoveFraction: -0.1},
+		{Nodes: 10, Ops: 10, ZipfS: 0.5, ZipfV: 1},
+	}
+	for i, w := range bad {
+		if _, err := w.Generate(); err == nil {
+			t.Fatalf("spec %d (%+v) accepted", i, w)
+		}
+	}
+}
+
+func TestGenerateFileRoundTrip(t *testing.T) {
+	w := Workload{Nodes: 50, Ops: 120, Seed: 3, MutationRate: 0.1, Rate: 1000}
+	recs, err := w.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := t.TempDir() + "/gen.trc"
+	if err := WriteFile(path, recs); err != nil {
+		t.Fatalf("WriteFile: %v", err)
+	}
+	got, info, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, recs) {
+		t.Fatal("generated trace did not survive the file round-trip")
+	}
+	if info.TornBytes != 0 || info.Records != len(recs) {
+		t.Fatalf("info = %+v", info)
+	}
+}

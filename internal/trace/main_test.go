@@ -1,0 +1,14 @@
+package trace
+
+import (
+	"os"
+	"testing"
+
+	"resistecc/internal/testutil"
+)
+
+// TestMain fails the suite if any test leaks a recorder writer goroutine:
+// every Recorder a test starts must be closed.
+func TestMain(m *testing.M) {
+	os.Exit(testutil.VerifyNoLeaksMain(m))
+}

@@ -1,0 +1,116 @@
+package trace
+
+import (
+	"path/filepath"
+	"sync"
+	"testing"
+)
+
+func TestRecorderRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "rec.trc")
+	r, err := NewRecorder(path, RecorderOptions{SyncEvery: 2})
+	if err != nil {
+		t.Fatalf("NewRecorder: %v", err)
+	}
+	r.Record(OpQuery, 1, 0xabc, 7)
+	r.Record(OpBatchQuery, 1, 0xdef, 1, 2, 3)
+	r.Record(OpAddEdge, 2, DigestMutation(2, "incremental", 0.5), 4, 9)
+	r.Record(OpRebuild, 2, DigestGen(2))
+	if err := r.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	st := r.Stats()
+	if st.Records != 4 || st.WriteFailures != 0 {
+		t.Fatalf("stats = %+v, want 4 records and no failures", st)
+	}
+
+	recs, info, err := ReadFile(path)
+	if err != nil {
+		t.Fatalf("ReadFile: %v", err)
+	}
+	if len(recs) != 4 || info.TornBytes != 0 {
+		t.Fatalf("read back %d records, torn %d bytes; want 4 and 0", len(recs), info.TornBytes)
+	}
+	if int64(st.Bytes)+headerSize != info.ValidBytes {
+		t.Fatalf("recorder counted %d body bytes, file has %d valid", st.Bytes, info.ValidBytes)
+	}
+	wantOps := []Op{OpQuery, OpBatchQuery, OpAddEdge, OpRebuild}
+	for i, rec := range recs {
+		if rec.Seq != uint64(i+1) || rec.Op != wantOps[i] {
+			t.Fatalf("record %d = seq %d op %s, want seq %d op %s", i, rec.Seq, rec.Op, i+1, wantOps[i])
+		}
+	}
+	if got := recs[1].Args; len(got) != 3 || got[0] != 1 || got[2] != 3 {
+		t.Fatalf("batch args round-trip wrong: %v", got)
+	}
+}
+
+func TestRecorderConcurrent(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "conc.trc")
+	r, err := NewRecorder(path, RecorderOptions{Buffer: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const goroutines, each = 8, 200
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				r.Record(OpQuery, 1, uint64(g*each+i+1), int64(i))
+			}
+		}(g)
+	}
+	wg.Wait()
+	if err := r.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	recs, info, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != goroutines*each || info.TornBytes != 0 {
+		t.Fatalf("got %d records (torn %d), want %d clean", len(recs), info.TornBytes, goroutines*each)
+	}
+	// The writer assigns seq in hand-off order; contiguity is the contract.
+	for i, rec := range recs {
+		if rec.Seq != uint64(i+1) {
+			t.Fatalf("record %d has seq %d", i, rec.Seq)
+		}
+	}
+}
+
+func TestRecorderAfterClose(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "closed.trc")
+	r, err := NewRecorder(path, RecorderOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Record(OpQuery, 1, 5, 1)
+	if err := r.Close(); err != nil {
+		t.Fatal(err)
+	}
+	r.Record(OpQuery, 1, 6, 2) // must not block or panic
+	if err := r.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+	recs, _, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 {
+		t.Fatalf("post-close record leaked into the file: %d records", len(recs))
+	}
+}
+
+func TestRecorderNil(t *testing.T) {
+	var r *Recorder
+	r.Record(OpQuery, 1, 2, 3)
+	if err := r.Close(); err != nil {
+		t.Fatalf("nil Close: %v", err)
+	}
+	if st := r.Stats(); st != (RecorderStats{}) {
+		t.Fatalf("nil Stats = %+v", st)
+	}
+}

@@ -1,0 +1,139 @@
+package trace
+
+import (
+	"context"
+	"fmt"
+	"time"
+)
+
+// OpResult is what executing one trace operation observed: the serving
+// generation and the response digest, computed with the same functions the
+// recorder used. The replayer compares both against the record.
+//
+// For OpRebuild, Gen is the generation *before* the rebuild (what the
+// recording server stamped on its 202 acceptance) — the rebuild itself then
+// runs to completion before the next record executes, which is exactly how
+// a serially recorded workload observed it.
+type OpResult struct {
+	Gen    uint64
+	Digest uint64
+}
+
+// Executor runs one trace operation against some target — a local
+// DynamicIndex (resistecc.TraceExecutor) or a live server (HTTPExecutor).
+type Executor interface {
+	Do(ctx context.Context, rec Record) (OpResult, error)
+}
+
+// ReplayOptions tune re-execution.
+type ReplayOptions struct {
+	// Timed honors the recorded arrival deltas (open-loop pacing); the
+	// default replays as fast as the target executes.
+	Timed bool
+	// MaxMismatches stops the replay early once this many divergences have
+	// been collected (0 = replay everything regardless).
+	MaxMismatches int
+}
+
+// Mismatch is one divergence between the trace and the replay target.
+type Mismatch struct {
+	Seq       uint64
+	Op        Op
+	Field     string // "generation" or "digest"
+	Want, Got uint64
+}
+
+func (m Mismatch) String() string {
+	return fmt.Sprintf("seq %d %s: %s %d, trace recorded %d", m.Seq, m.Op, m.Field, m.Got, m.Want)
+}
+
+// Report is the outcome of one replay.
+type Report struct {
+	// Ops counts executed records; ByOp splits them per operation kind.
+	Ops  int
+	ByOp [opMax]int
+	// Checked counts digest comparisons performed; Skipped counts records
+	// with no recorded digest (generated traces) that only executed.
+	Checked, Skipped int
+	// Mismatches are the divergences; empty means bit-exact.
+	Mismatches []Mismatch
+	// Rejected counts unverified (zero-digest) records the target refused —
+	// a generated mutation may legitimately conflict (duplicate edge,
+	// removal of a bridge); that is load-shaping, not divergence.
+	Rejected int
+	// Failures counts verified records whose execution errored: the target
+	// refused an operation the recorded server accepted.
+	Failures int
+	// FirstFailure describes the first execution error, for diagnostics.
+	FirstFailure string
+	Duration     time.Duration
+}
+
+// OK reports whether the replay was bit-exact: every executed verified
+// record matched its recorded generation and digest.
+func (r *Report) OK() bool { return len(r.Mismatches) == 0 && r.Failures == 0 }
+
+// Replay re-executes recs in sequence order against ex and verifies each
+// response against the recorded generation and digest. It returns early only
+// on ctx cancellation (or when MaxMismatches is hit); individual op errors
+// and divergences are collected in the report so one bad record doesn't hide
+// the rest.
+func Replay(ctx context.Context, recs []Record, ex Executor, opt ReplayOptions) (*Report, error) {
+	rep := &Report{}
+	start := time.Now()
+	var cum time.Duration
+	for _, rec := range recs {
+		if opt.Timed {
+			cum += time.Duration(rec.DeltaNanos)
+			if wait := cum - time.Since(start); wait > 0 {
+				select {
+				case <-time.After(wait):
+				case <-ctx.Done():
+					rep.Duration = time.Since(start)
+					return rep, ctx.Err()
+				}
+			}
+		} else if err := ctx.Err(); err != nil {
+			rep.Duration = time.Since(start)
+			return rep, err
+		}
+
+		res, err := ex.Do(ctx, rec)
+		rep.Ops++
+		if validOp(rec.Op) {
+			rep.ByOp[rec.Op]++
+		}
+		verified := rec.Digest != 0 || rec.Gen != 0
+		if err != nil {
+			if !verified {
+				rep.Rejected++
+				continue
+			}
+			rep.Failures++
+			if rep.FirstFailure == "" {
+				rep.FirstFailure = fmt.Sprintf("seq %d %s: %v", rec.Seq, rec.Op, err)
+			}
+			continue
+		}
+		if rec.Gen != 0 && res.Gen != rec.Gen {
+			rep.Mismatches = append(rep.Mismatches, Mismatch{
+				Seq: rec.Seq, Op: rec.Op, Field: "generation", Want: rec.Gen, Got: res.Gen,
+			})
+		}
+		if rec.Digest == 0 {
+			rep.Skipped++
+		} else {
+			rep.Checked++
+			if res.Digest != rec.Digest {
+				rep.Mismatches = append(rep.Mismatches, Mismatch{
+					Seq: rec.Seq, Op: rec.Op, Field: "digest", Want: rec.Digest, Got: res.Digest,
+				})
+			}
+		}
+		if opt.MaxMismatches > 0 && len(rep.Mismatches) >= opt.MaxMismatches {
+			break
+		}
+	}
+	rep.Duration = time.Since(start)
+	return rep, nil
+}

@@ -1,0 +1,155 @@
+package trace
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+)
+
+// scriptExecutor answers from a fixed script keyed by sequence number.
+type scriptExecutor struct {
+	results map[uint64]OpResult
+	errs    map[uint64]error
+	calls   int
+}
+
+func (s *scriptExecutor) Do(_ context.Context, rec Record) (OpResult, error) {
+	s.calls++
+	if err := s.errs[rec.Seq]; err != nil {
+		return OpResult{}, err
+	}
+	return s.results[rec.Seq], nil
+}
+
+func TestReplayBitExact(t *testing.T) {
+	recs := []Record{
+		{Seq: 1, Op: OpQuery, Gen: 3, Digest: 0xaa, Args: []int64{1}},
+		{Seq: 2, Op: OpAddEdge, Gen: 4, Digest: 0xbb, Args: []int64{1, 2}},
+		{Seq: 3, Op: OpRebuild, Gen: 4, Digest: DigestGen(4)},
+	}
+	ex := &scriptExecutor{results: map[uint64]OpResult{
+		1: {Gen: 3, Digest: 0xaa},
+		2: {Gen: 4, Digest: 0xbb},
+		3: {Gen: 4, Digest: DigestGen(4)},
+	}}
+	rep, err := Replay(context.Background(), recs, ex, ReplayOptions{})
+	if err != nil {
+		t.Fatalf("Replay: %v", err)
+	}
+	if !rep.OK() || rep.Ops != 3 || rep.Checked != 3 || rep.Skipped != 0 {
+		t.Fatalf("report = %+v, want OK with 3 checked", rep)
+	}
+	if rep.ByOp[OpQuery] != 1 || rep.ByOp[OpAddEdge] != 1 || rep.ByOp[OpRebuild] != 1 {
+		t.Fatalf("per-op counts wrong: %v", rep.ByOp)
+	}
+}
+
+func TestReplayDetectsDivergence(t *testing.T) {
+	recs := []Record{
+		{Seq: 1, Op: OpQuery, Gen: 3, Digest: 0xaa, Args: []int64{1}},
+		{Seq: 2, Op: OpQuery, Gen: 3, Digest: 0xbb, Args: []int64{2}},
+	}
+	ex := &scriptExecutor{results: map[uint64]OpResult{
+		1: {Gen: 5, Digest: 0xaa},   // generation divergence
+		2: {Gen: 3, Digest: 0xdead}, // digest divergence
+	}}
+	rep, err := Replay(context.Background(), recs, ex, ReplayOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.OK() || len(rep.Mismatches) != 2 {
+		t.Fatalf("report = %+v, want 2 mismatches", rep)
+	}
+	if rep.Mismatches[0].Field != "generation" || rep.Mismatches[0].Want != 3 || rep.Mismatches[0].Got != 5 {
+		t.Fatalf("first mismatch = %+v", rep.Mismatches[0])
+	}
+	if rep.Mismatches[1].Field != "digest" {
+		t.Fatalf("second mismatch = %+v", rep.Mismatches[1])
+	}
+	if !strings.Contains(rep.Mismatches[0].String(), "seq 1") {
+		t.Fatalf("mismatch string uninformative: %q", rep.Mismatches[0])
+	}
+}
+
+func TestReplayMaxMismatches(t *testing.T) {
+	var recs []Record
+	results := map[uint64]OpResult{}
+	for i := uint64(1); i <= 10; i++ {
+		recs = append(recs, Record{Seq: i, Op: OpQuery, Gen: 1, Digest: i, Args: []int64{int64(i)}})
+		results[i] = OpResult{Gen: 1, Digest: 0xffff} // all diverge
+	}
+	ex := &scriptExecutor{results: results}
+	rep, err := Replay(context.Background(), recs, ex, ReplayOptions{MaxMismatches: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Mismatches) != 3 || rep.Ops != 3 {
+		t.Fatalf("early stop failed: %d mismatches over %d ops", len(rep.Mismatches), rep.Ops)
+	}
+}
+
+func TestReplayRejectedVsFailed(t *testing.T) {
+	boom := errors.New("conflict")
+	recs := []Record{
+		// Unverified (generated) record: an executor error is load-shaping.
+		{Seq: 1, Op: OpAddEdge, Args: []int64{1, 2}},
+		// Verified record: the same error is a failure.
+		{Seq: 2, Op: OpAddEdge, Gen: 2, Digest: 0xcc, Args: []int64{3, 4}},
+		// Unverified success: executes, digest comparison skipped.
+		{Seq: 3, Op: OpQuery, Args: []int64{5}},
+	}
+	ex := &scriptExecutor{
+		results: map[uint64]OpResult{3: {Gen: 9, Digest: 0x11}},
+		errs:    map[uint64]error{1: boom, 2: boom},
+	}
+	rep, err := Replay(context.Background(), recs, ex, ReplayOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Rejected != 1 || rep.Failures != 1 || rep.Skipped != 1 || rep.Checked != 0 {
+		t.Fatalf("report = %+v, want 1 rejected / 1 failed / 1 skipped", rep)
+	}
+	if rep.OK() {
+		t.Fatal("a failed verified record must fail the replay")
+	}
+	if !strings.Contains(rep.FirstFailure, "seq 2") {
+		t.Fatalf("FirstFailure = %q, want seq 2 context", rep.FirstFailure)
+	}
+}
+
+func TestReplayCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	recs := []Record{{Seq: 1, Op: OpQuery, Gen: 1, Digest: 1, Args: []int64{1}}}
+	ex := &scriptExecutor{results: map[uint64]OpResult{1: {Gen: 1, Digest: 1}}}
+	rep, err := Replay(ctx, recs, ex, ReplayOptions{})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if rep.Ops != 0 || ex.calls != 0 {
+		t.Fatalf("cancelled replay still executed %d ops", ex.calls)
+	}
+}
+
+func TestReplayTimedHonorsDeltas(t *testing.T) {
+	// Three records 20ms apart: a timed replay must take at least the span.
+	recs := []Record{
+		{Seq: 1, Op: OpQuery, Gen: 1, Digest: 1, Args: []int64{1}},
+		{Seq: 2, DeltaNanos: 20e6, Op: OpQuery, Gen: 1, Digest: 1, Args: []int64{1}},
+		{Seq: 3, DeltaNanos: 20e6, Op: OpQuery, Gen: 1, Digest: 1, Args: []int64{1}},
+	}
+	ex := &scriptExecutor{results: map[uint64]OpResult{
+		1: {Gen: 1, Digest: 1}, 2: {Gen: 1, Digest: 1}, 3: {Gen: 1, Digest: 1},
+	}}
+	rep, err := Replay(context.Background(), recs, ex, ReplayOptions{Timed: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.OK() {
+		t.Fatalf("report = %+v", rep)
+	}
+	if rep.Duration < 40e6 {
+		t.Fatalf("timed replay finished in %v, deltas span 40ms", rep.Duration)
+	}
+}

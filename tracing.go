@@ -1,0 +1,120 @@
+package resistecc
+
+import (
+	"context"
+	"fmt"
+
+	"resistecc/internal/trace"
+)
+
+// indexExecutor replays trace records directly against a DynamicIndex,
+// translating the trace's external node ids through the same label mapping
+// the recording server used so digests come out bit-identical.
+type indexExecutor struct {
+	d          *DynamicIndex
+	toExternal []int64
+	toInternal map[int64]int
+}
+
+// TraceExecutor adapts a DynamicIndex into a trace replay target.
+// toExternal maps internal node index i to its external (edge-list label)
+// id, exactly as the serving layer's id map does; queries, mutations and
+// digests all pass through it. The executor serializes operations the way
+// the replayer issues them — it adds no locking of its own.
+func TraceExecutor(d *DynamicIndex, toExternal []int64) trace.Executor {
+	inv := make(map[int64]int, len(toExternal))
+	for i, ext := range toExternal {
+		inv[ext] = i
+	}
+	return &indexExecutor{d: d, toExternal: toExternal, toInternal: inv}
+}
+
+func (e *indexExecutor) resolve(ext int64) (int, error) {
+	i, ok := e.toInternal[ext]
+	if !ok {
+		return 0, fmt.Errorf("resistecc: trace references unknown node %d", ext)
+	}
+	return i, nil
+}
+
+func (e *indexExecutor) Do(ctx context.Context, rec trace.Record) (trace.OpResult, error) {
+	switch rec.Op {
+	case trace.OpQuery, trace.OpBatchQuery:
+		return e.query(rec.Args)
+	case trace.OpAddEdge, trace.OpRemoveEdge:
+		return e.mutate(ctx, rec)
+	case trace.OpRebuild:
+		gen, err := e.d.RebuildAndWait(ctx)
+		if err != nil {
+			return trace.OpResult{}, err
+		}
+		return trace.OpResult{Gen: gen, Digest: trace.DigestGen(gen)}, nil
+	case trace.OpCheckpoint:
+		// Non-durable replay targets skip the disk write; the verification
+		// unit is the serving generation either way.
+		if e.d.store != nil {
+			if err := e.d.Checkpoint(); err != nil {
+				return trace.OpResult{}, err
+			}
+		}
+		gen := e.d.Snapshot().Generation
+		return trace.OpResult{Gen: gen, Digest: trace.DigestGen(gen)}, nil
+	}
+	return trace.OpResult{}, fmt.Errorf("resistecc: trace record %d has unknown op %d", rec.Seq, rec.Op)
+}
+
+func (e *indexExecutor) query(ext []int64) (trace.OpResult, error) {
+	nodes := make([]int, len(ext))
+	for i, x := range ext {
+		n, err := e.resolve(x)
+		if err != nil {
+			return trace.OpResult{}, err
+		}
+		nodes[i] = n
+	}
+	// Pin one snapshot so the generation reported matches the generation
+	// that answered, exactly like the serving handler.
+	snap := e.d.Snapshot()
+	buf := GetBatchBuf()
+	defer buf.Release()
+	out, err := snap.Index.QueryBatch(nodes, buf)
+	if err != nil {
+		return trace.OpResult{}, err
+	}
+	res := make([]trace.EccResult, len(out))
+	for i, ecc := range out {
+		res[i] = trace.EccResult{
+			Node:     e.toExternal[ecc.Node],
+			Ecc:      ecc.Value,
+			Farthest: e.toExternal[ecc.Farthest],
+		}
+	}
+	return trace.OpResult{Gen: snap.Generation, Digest: trace.DigestQuery(res)}, nil
+}
+
+func (e *indexExecutor) mutate(ctx context.Context, rec trace.Record) (trace.OpResult, error) {
+	if len(rec.Args) != 2 {
+		return trace.OpResult{}, fmt.Errorf("resistecc: trace mutation record %d has %d args, want 2", rec.Seq, len(rec.Args))
+	}
+	u, err := e.resolve(rec.Args[0])
+	if err != nil {
+		return trace.OpResult{}, err
+	}
+	v, err := e.resolve(rec.Args[1])
+	if err != nil {
+		return trace.OpResult{}, err
+	}
+	var res MutationResult
+	if rec.Op == trace.OpAddEdge {
+		res, err = e.d.AddEdge(ctx, u, v)
+	} else {
+		res, err = e.d.RemoveEdge(ctx, u, v)
+	}
+	if err != nil {
+		return trace.OpResult{}, err
+	}
+	return trace.OpResult{
+		Gen:    res.Generation,
+		Digest: trace.DigestMutation(res.Generation, string(res.Mode), res.Drift),
+	}, nil
+}
