@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: check build vet lint lint-fix lint-sarif test race repl-smoke trace-smoke bench bench-json
+.PHONY: check build vet lint lint-fix lint-sarif lint-v3 test race repl-smoke trace-smoke bench bench-json
 
 check: vet lint race
 
@@ -14,9 +14,10 @@ build:
 vet:
 	$(GO) vet ./...
 
-# The repo-specific invariant checkers, all eight: ctxflow, determinism,
-# floateq, hotpath, lockguard, lockorder, mustclose, syncerr (see
-# internal/analysis and DESIGN.md §9).
+# The repo-specific invariant checkers, all twelve: atomicmix, chandisc,
+# ctxflow, determinism, floateq, goroutinelife, hotpath, lockguard,
+# lockorder, mustclose, syncerr, wgbalance (see internal/analysis and
+# DESIGN.md §9 and §13). Add -v for a per-analyzer wall-time breakdown.
 lint:
 	$(GO) run ./cmd/recclint ./...
 
@@ -28,6 +29,14 @@ lint-fix:
 # SARIF 2.1.0 on stdout, for CI code-scanning upload.
 lint-sarif:
 	$(GO) run ./cmd/recclint -format=sarif ./...
+
+# Fixture smoke for the v3 concurrency analyzers only: each package's test
+# runs its analyzer over the // want fixture module under testdata/src,
+# exercising the spawn/capture dataflow substrate without type-checking the
+# whole repository (that is `make lint`).
+lint-v3:
+	$(GO) test -count=1 ./internal/analysis/goroutinelife/ ./internal/analysis/chandisc/ \
+		./internal/analysis/wgbalance/ ./internal/analysis/atomicmix/
 
 test:
 	$(GO) test ./...

@@ -19,12 +19,15 @@ import (
 // candidate when a replica dies mid-request, falling back to the writer);
 // mutations proxy straight to the writer, single-attempt.
 type routerServer struct {
+	// All four fields are set in newRouterServer before the listener
+	// exists and never reassigned; handlers share them read-only. Mutable
+	// routing state lives inside the pool, which synchronizes itself.
 	pool *repl.Pool
 	cfg  serverConfig
 	reg  *obs.Registry
 
 	// rec captures proxied operations (-trace-out) through a response tee;
-	// nil when recording is off.
+	// nil when recording is off. The recorder serializes its own writes.
 	rec *trace.Recorder
 }
 

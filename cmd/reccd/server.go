@@ -412,10 +412,14 @@ func (s *server) publishReplicaMetrics() {
 	}
 	s.reg.SetGaugeFunc("repl_applied_seq", tstat(func(ts repl.TailerStats) float64 { return float64(ts.AppliedSeq) }))
 	s.reg.SetGaugeFunc("repl_upstream_seq", tstat(func(ts repl.TailerStats) float64 { return float64(ts.UpstreamSeq) }))
-	s.reg.SetGaugeFunc("repl_lag", tstat(func(ts repl.TailerStats) float64 { return float64(ts.Lag) }))
 	// repl_lag_seq is the canonical name for the sequence-number lag
-	// (upstream seq − applied seq); repl_lag stays as its legacy alias.
+	// (upstream seq − applied seq). The retired repl_lag alias is emitted
+	// only under -legacy-routes, the same switch that resurrects the pre-v1
+	// URL aliases; dashboards get one flag and one deprecation window.
 	s.reg.SetGaugeFunc("repl_lag_seq", tstat(func(ts repl.TailerStats) float64 { return float64(ts.Lag) }))
+	if s.cfg.LegacyRoutes {
+		s.reg.SetGaugeFunc("repl_lag", tstat(func(ts repl.TailerStats) float64 { return float64(ts.Lag) }))
+	}
 	s.reg.SetGaugeFunc("repl_last_contact_age_seconds", func() float64 {
 		ts := s.tailer.Stats()
 		if ts.LastContact.IsZero() {

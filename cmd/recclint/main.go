@@ -16,6 +16,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sort"
+	"time"
 
 	"resistecc/internal/analysis"
 	"resistecc/internal/analysis/framework"
@@ -31,8 +33,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 	list := fs.Bool("list", false, "list the registered analyzers and exit")
 	fix := fs.Bool("fix", false, "apply suggested fixes to the source tree")
 	format := fs.String("format", "text", "output format: text or sarif")
+	verbose := fs.Bool("v", false, "print per-analyzer wall time to stderr")
 	fs.Usage = func() {
-		fmt.Fprintf(stderr, "usage: recclint [-list] [-fix] [-format=text|sarif] [packages]\n")
+		fmt.Fprintf(stderr, "usage: recclint [-list] [-fix] [-v] [-format=text|sarif] [packages]\n")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
@@ -63,10 +66,23 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "recclint: %v\n", err)
 		return 2
 	}
-	findings, err := framework.RunAnalyzers(pkgs, analyzers)
+	findings, timings, err := framework.RunAnalyzersTimed(pkgs, analyzers)
 	if err != nil {
 		fmt.Fprintf(stderr, "recclint: %v\n", err)
 		return 2
+	}
+	if *verbose {
+		// Slowest first: the point of the breakdown is spotting the
+		// analyzer that is eating the lint budget.
+		byTime := make([]*framework.Analyzer, len(analyzers))
+		copy(byTime, analyzers)
+		sort.SliceStable(byTime, func(i, j int) bool { return timings[byTime[i].Name] > timings[byTime[j].Name] })
+		var total time.Duration
+		for _, a := range byTime {
+			fmt.Fprintf(stderr, "recclint: %-14s %s\n", a.Name, timings[a.Name].Round(10*time.Microsecond))
+			total += timings[a.Name]
+		}
+		fmt.Fprintf(stderr, "recclint: %-14s %s over %d package(s)\n", "total", total.Round(10*time.Microsecond), len(pkgs))
 	}
 	if *fix && len(findings) > 0 {
 		changed, ferr := framework.ApplyFixes(findings)

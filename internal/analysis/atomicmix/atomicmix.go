@@ -1,0 +1,486 @@
+// Package atomicmix implements the recclint atomics-hygiene check. Mixing
+// sync/atomic operations with plain loads and stores of the same word is a
+// data race that the memory model gives no meaning to, and it usually enters
+// a codebase gradually: one hot-path counter gets an atomic.AddUint64, the
+// snapshot code keeps reading the field bare. The rules:
+//
+//   - A field touched by any sync/atomic call must be touched *only* through
+//     sync/atomic: every plain read or write of the same field elsewhere in
+//     the program is reported.
+//   - Legacy call-style atomics (atomic.AddUint64(&s.n, 1)) on fields that
+//     are consistently atomic are reported with an autofix migrating the
+//     field to the typed atomics (atomic.Uint64) introduced in Go 1.19 —
+//     typed fields make the race in rule 1 unrepresentable. The fix is
+//     Minimal: it rewrites the declaration and each call site in place
+//     without reformatting the file.
+//   - A plain bool field written next to a `go` statement and read from
+//     another function with no lock held and no `guarded by` annotation is a
+//     cross-goroutine latch; the write is reported (make it atomic.Bool).
+package atomicmix
+
+import (
+	"bytes"
+	"go/ast"
+	"go/printer"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+
+	"resistecc/internal/analysis/dataflow"
+	"resistecc/internal/analysis/framework"
+)
+
+// Analyzer is the atomicmix check.
+var Analyzer = &framework.Analyzer{
+	Name:       "atomicmix",
+	Doc:        "sync/atomic hygiene: atomically accessed fields are never accessed plainly, legacy call-style atomics migrate to typed atomics (autofix), cross-goroutine bool latches become atomic.Bool",
+	RunProgram: run,
+}
+
+// legacyType maps the type suffix of legacy atomic functions to the typed
+// replacement and the underlying basic kind it applies to.
+var legacyType = map[string]struct {
+	typed string
+	kind  types.BasicKind
+}{
+	"Int32":   {"atomic.Int32", types.Int32},
+	"Int64":   {"atomic.Int64", types.Int64},
+	"Uint32":  {"atomic.Uint32", types.Uint32},
+	"Uint64":  {"atomic.Uint64", types.Uint64},
+	"Uintptr": {"atomic.Uintptr", types.Uintptr},
+}
+
+// legacyOp maps legacy atomic function prefixes to the typed method name.
+var legacyOp = map[string]string{
+	"Load":           "Load",
+	"Store":          "Store",
+	"Add":            "Add",
+	"Swap":           "Swap",
+	"CompareAndSwap": "CompareAndSwap",
+}
+
+// legacyCall is one call-style sync/atomic operation on a keyable location.
+type legacyCall struct {
+	call   *ast.CallExpr
+	pkg    *framework.Package
+	op     string // typed method name
+	suffix string // type suffix: Uint64, Int32...
+	target ast.Expr
+}
+
+func run(pass *framework.ProgramPass) error {
+	calls, atomicSpans := indexLegacyCalls(pass)
+	reportPlainAccess(pass, calls, atomicSpans)
+	reportMigrations(pass, calls, atomicSpans)
+	reportLatches(pass)
+	return nil
+}
+
+// splitLegacyName decomposes e.g. "AddUint64" into ("Add", "Uint64").
+func splitLegacyName(name string) (op, suffix string, ok bool) {
+	for p, method := range legacyOp {
+		if strings.HasPrefix(name, p) {
+			if _, known := legacyType[name[len(p):]]; known {
+				return method, name[len(p):], true
+			}
+		}
+	}
+	return "", "", false
+}
+
+// indexLegacyCalls finds every legacy sync/atomic call whose pointer argument
+// is &<keyable location>, keyed by location, and records the source span of
+// each call so plain-access scanning can exclude the operand uses inside it.
+func indexLegacyCalls(pass *framework.ProgramPass) (map[string][]legacyCall, map[string][][2]token.Pos) {
+	calls := make(map[string][]legacyCall)
+	spans := make(map[string][][2]token.Pos)
+	for _, pkg := range pass.Pkgs {
+		info := pkg.TypesInfo
+		for _, file := range pkg.Files {
+			ast.Inspect(file, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok || len(call.Args) == 0 {
+					return true
+				}
+				sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				pn, ok := ast.Unparen(sel.X).(*ast.Ident)
+				if !ok {
+					return true
+				}
+				if name, ok := info.Uses[pn].(*types.PkgName); !ok || name.Imported().Path() != "sync/atomic" {
+					return true
+				}
+				op, suffix, ok := splitLegacyName(sel.Sel.Name)
+				if !ok {
+					return true
+				}
+				addr, ok := ast.Unparen(call.Args[0]).(*ast.UnaryExpr)
+				if !ok || addr.Op != token.AND {
+					return true
+				}
+				key, ok := dataflow.ObjKey(info, addr.X)
+				if !ok {
+					return true
+				}
+				calls[key] = append(calls[key], legacyCall{call: call, pkg: pkg, op: op, suffix: suffix, target: addr.X})
+				spans[key] = append(spans[key], [2]token.Pos{call.Pos(), call.End()})
+				return true
+			})
+		}
+	}
+	return calls, spans
+}
+
+func inSpans(spans [][2]token.Pos, pos token.Pos) bool {
+	for _, s := range spans {
+		if pos >= s[0] && pos < s[1] {
+			return true
+		}
+	}
+	return false
+}
+
+// reportPlainAccess flags every use of an atomically accessed location that
+// is not itself inside a legacy atomic call on that location. plainUses
+// returns the offending positions so reportMigrations can tell consistently
+// atomic fields (fixable) from mixed ones (not).
+func reportPlainAccess(pass *framework.ProgramPass, calls map[string][]legacyCall, spans map[string][][2]token.Pos) {
+	for key, uses := range plainUses(pass, calls, spans) {
+		for _, pos := range uses {
+			pass.Reportf(pos, "plain access of %s races with its sync/atomic accesses elsewhere; every access to an atomic word must go through sync/atomic", key)
+		}
+	}
+}
+
+// plainUses finds, for each atomically accessed key, the positions of
+// accesses outside any atomic call. Declarations do not count as accesses.
+func plainUses(pass *framework.ProgramPass, calls map[string][]legacyCall, spans map[string][][2]token.Pos) map[string][]token.Pos {
+	out := make(map[string][]token.Pos)
+	if len(calls) == 0 {
+		return out
+	}
+	for _, pkg := range pass.Pkgs {
+		info := pkg.TypesInfo
+		for _, file := range pkg.Files {
+			ast.Inspect(file, func(n ast.Node) bool {
+				e, ok := n.(ast.Expr)
+				if !ok {
+					return true
+				}
+				switch e.(type) {
+				case *ast.SelectorExpr, *ast.Ident:
+				default:
+					return true
+				}
+				// Only uses, not declarations: an Ident that is a Def (the
+				// field or var declaration itself) is skipped below via ObjKey
+				// + position checks.
+				key, ok := dataflow.ObjKey(info, e)
+				if !ok {
+					return true
+				}
+				if _, tracked := calls[key]; !tracked {
+					return true
+				}
+				if id, isIdent := e.(*ast.Ident); isIdent {
+					if _, isDef := info.Defs[id]; isDef {
+						return true
+					}
+				}
+				if inSpans(spans[key], e.Pos()) {
+					return true
+				}
+				out[key] = append(out[key], e.Pos())
+				// A SelectorExpr's inner Ident would double-report; stop here.
+				return false
+			})
+		}
+	}
+	for key := range out {
+		sort.Slice(out[key], func(i, j int) bool { return out[key][i] < out[key][j] })
+	}
+	return out
+}
+
+// reportMigrations reports each consistently atomic field still using legacy
+// call-style atomics, with a Minimal autofix to the typed atomic: the field
+// declaration's type is rewritten and every call site becomes a method call.
+func reportMigrations(pass *framework.ProgramPass, calls map[string][]legacyCall, spans map[string][][2]token.Pos) {
+	mixed := plainUses(pass, calls, spans)
+	fields := indexFields(pass)
+	keys := make([]string, 0, len(calls))
+	for k := range calls {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, key := range keys {
+		if len(mixed[key]) > 0 {
+			continue // rule 1 already reported; migrating now would break the plain sites
+		}
+		fld, ok := fields[key]
+		if !ok || len(fld.field.Names) != 1 {
+			continue // package vars and multi-name declarations: report-only is still wrong; skip
+		}
+		sites := calls[key]
+		// Every call must use the same type suffix (it does if the program
+		// compiles) and the declared type must be the matching basic kind.
+		suffix := sites[0].suffix
+		lt := legacyType[suffix]
+		basic, ok := fld.typ.Underlying().(*types.Basic)
+		if !ok || basic.Kind() != lt.kind {
+			continue
+		}
+		if !importsAtomic(fld.file) {
+			continue // the fix could not name atomic.Uint64 in that file
+		}
+		fix := framework.SuggestedFix{
+			Message: "migrate " + key + " to " + lt.typed,
+			Minimal: true,
+			Edits: []framework.TextEdit{{
+				Pos:     fld.field.Type.Pos(),
+				End:     fld.field.Type.End(),
+				NewText: lt.typed,
+			}},
+		}
+		ok = true
+		for _, c := range sites {
+			edit, eok := rewriteCall(pass.Fset, c)
+			if !eok {
+				ok = false
+				break
+			}
+			fix.Edits = append(fix.Edits, edit)
+		}
+		if !ok {
+			continue
+		}
+		pass.Report(framework.Diagnostic{
+			Pos: fld.field.Pos(),
+			Message: key + " is accessed only through call-style sync/atomic; declare it " + lt.typed +
+				" so a plain access cannot compile",
+			Fixes: []framework.SuggestedFix{fix},
+		})
+	}
+}
+
+// rewriteCall renders atomic.AddUint64(&s.n, v) as s.n.Add(v).
+func rewriteCall(fset *token.FileSet, c legacyCall) (framework.TextEdit, bool) {
+	var buf bytes.Buffer
+	if err := printer.Fprint(&buf, fset, c.target); err != nil {
+		return framework.TextEdit{}, false
+	}
+	buf.WriteString("." + c.op + "(")
+	for i, arg := range c.call.Args[1:] {
+		if i > 0 {
+			buf.WriteString(", ")
+		}
+		if err := printer.Fprint(&buf, fset, arg); err != nil {
+			return framework.TextEdit{}, false
+		}
+	}
+	buf.WriteString(")")
+	return framework.TextEdit{Pos: c.call.Pos(), End: c.call.End(), NewText: buf.String()}, true
+}
+
+// fieldDecl ties a canonical field key to its declaration site.
+type fieldDecl struct {
+	field   *ast.Field
+	typ     types.Type
+	file    *ast.File
+	guarded bool // carries a "guarded by" annotation
+}
+
+// indexFields maps every single-struct field key in the program to its
+// declaration, recording whether its doc or line comment declares a lock
+// guard ("guarded by mu" — the idiom lockguard enforces).
+func indexFields(pass *framework.ProgramPass) map[string]fieldDecl {
+	out := make(map[string]fieldDecl)
+	for _, pkg := range pass.Pkgs {
+		info := pkg.TypesInfo
+		for _, file := range pkg.Files {
+			ast.Inspect(file, func(n ast.Node) bool {
+				ts, ok := n.(*ast.TypeSpec)
+				if !ok {
+					return true
+				}
+				st, ok := ts.Type.(*ast.StructType)
+				if !ok {
+					return true
+				}
+				tn, ok := info.Defs[ts.Name].(*types.TypeName)
+				if !ok {
+					return true
+				}
+				named := dataflow.NamedOf(tn.Type())
+				if named == nil {
+					return true
+				}
+				for _, f := range st.Fields.List {
+					for _, name := range f.Names {
+						v, ok := info.Defs[name].(*types.Var)
+						if !ok {
+							continue
+						}
+						out[dataflow.FieldKey(named, v)] = fieldDecl{
+							field:   f,
+							typ:     v.Type(),
+							file:    file,
+							guarded: guardedComment(f),
+						}
+					}
+				}
+				return true
+			})
+		}
+	}
+	return out
+}
+
+func guardedComment(f *ast.Field) bool {
+	for _, cg := range []*ast.CommentGroup{f.Doc, f.Comment} {
+		if cg != nil && strings.Contains(strings.ToLower(cg.Text()), "guarded by") {
+			return true
+		}
+	}
+	return false
+}
+
+func importsAtomic(file *ast.File) bool {
+	for _, imp := range file.Imports {
+		if imp.Path.Value == `"sync/atomic"` {
+			return true
+		}
+	}
+	return false
+}
+
+// reportLatches flags plain writes to unguarded bool fields in functions
+// that spawn goroutines, when another function reads the same field: the
+// classic started/closed latch that needs atomic.Bool (or the lock the
+// annotation would name).
+func reportLatches(pass *framework.ProgramPass) {
+	fields := indexFields(pass)
+
+	// Which functions reference which field keys (reads or writes).
+	readers := make(map[string]map[*ast.FuncDecl]bool)
+	for _, pkg := range pass.Pkgs {
+		info := pkg.TypesInfo
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				ast.Inspect(fd.Body, func(n ast.Node) bool {
+					sel, ok := n.(*ast.SelectorExpr)
+					if !ok {
+						return true
+					}
+					if key, ok := dataflow.ObjKey(info, sel); ok {
+						if readers[key] == nil {
+							readers[key] = make(map[*ast.FuncDecl]bool)
+						}
+						readers[key][fd] = true
+					}
+					return true
+				})
+			}
+		}
+	}
+	for _, pkg := range pass.Pkgs {
+		info := pkg.TypesInfo
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				if !spawns(fd.Body) || locks(fd.Body) {
+					continue
+				}
+				checkLatchWrites(pass, info, fd, fields, readers)
+			}
+		}
+	}
+}
+
+func checkLatchWrites(pass *framework.ProgramPass, info *types.Info, fd *ast.FuncDecl,
+	fields map[string]fieldDecl, readers map[string]map[*ast.FuncDecl]bool) {
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false // the goroutine's own writes are a different story
+		}
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for _, lhs := range as.Lhs {
+			sel, ok := ast.Unparen(lhs).(*ast.SelectorExpr)
+			if !ok {
+				continue
+			}
+			key, ok := dataflow.ObjKey(info, sel)
+			if !ok {
+				continue
+			}
+			fld, ok := fields[key]
+			if !ok || fld.guarded {
+				continue
+			}
+			basic, ok := fld.typ.Underlying().(*types.Basic)
+			if !ok || basic.Kind() != types.Bool {
+				continue
+			}
+			others := 0
+			for r := range readers[key] {
+				if r != fd {
+					others++
+				}
+			}
+			if others == 0 {
+				continue
+			}
+			pass.Reportf(lhs.Pos(),
+				"%s is a cross-goroutine latch: written here beside a go statement and read in %d other function(s) with no lock and no guarded-by annotation; make it atomic.Bool or name its lock",
+				key, others)
+		}
+		return true
+	})
+}
+
+// spawns reports whether body contains a go statement.
+func spawns(body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.GoStmt); ok {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// locks reports whether body calls a Lock or RLock method — a function that
+// takes any lock is assumed to be guarding its writes (lockguard checks that
+// the right one is held).
+func locks(body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return !found
+		}
+		if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+			if sel.Sel.Name == "Lock" || sel.Sel.Name == "RLock" {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}

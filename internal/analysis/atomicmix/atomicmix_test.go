@@ -1,0 +1,70 @@
+package atomicmix_test
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"resistecc/internal/analysis/atomicmix"
+	"resistecc/internal/analysis/framework"
+)
+
+func TestAtomicmix(t *testing.T) {
+	if testing.Short() {
+		t.Skip("invokes go list")
+	}
+	framework.TestAnalyzer(t, atomicmix.Analyzer, framework.FixturePath("atomicmix"))
+}
+
+// TestMigrationFix pins the shape of the typed-atomics autofix: it must be
+// Minimal (no whole-file reformat on apply) and rewrite both the field
+// declaration and every call site.
+func TestMigrationFix(t *testing.T) {
+	if testing.Short() {
+		t.Skip("invokes go list")
+	}
+	root, err := framework.ModuleRoot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	abs, err := filepath.Abs(framework.FixturePath("atomicmix"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := framework.LoadDir(root, abs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	findings, err := framework.RunAnalyzers([]*framework.Package{pkg}, []*framework.Analyzer{atomicmix.Analyzer})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var fix *framework.ResolvedFix
+	for i := range findings {
+		if strings.Contains(findings[i].Message, "accessed only through call-style") {
+			if len(findings[i].Fixes) != 1 {
+				t.Fatalf("migration finding carries %d fixes, want 1", len(findings[i].Fixes))
+			}
+			fix = &findings[i].Fixes[0]
+		}
+	}
+	if fix == nil {
+		t.Fatal("no migration finding with a fix")
+	}
+	if !fix.Minimal {
+		t.Error("migration fix is not Minimal; applying it would reformat the whole file")
+	}
+	var texts []string
+	for _, e := range fix.Edits {
+		texts = append(texts, e.NewText)
+	}
+	joined := strings.Join(texts, "\n")
+	for _, want := range []string{"atomic.Uint64", "g.n.Add(d)", "g.n.Load()"} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("fix edits missing %q; got:\n%s", want, joined)
+		}
+	}
+	if len(fix.Edits) != 3 {
+		t.Errorf("got %d edits (decl + 2 call sites expected): %v", len(fix.Edits), texts)
+	}
+}

@@ -1,0 +1,101 @@
+// Package atomicmix is the analyzer fixture: each declaration pins one
+// flagging or non-flagging behavior of the atomics-hygiene check.
+package atomicmix
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// C mixes call-style atomic access with a bare read of the same word.
+type C struct {
+	hits uint64
+}
+
+func (c *C) Incr() {
+	atomic.AddUint64(&c.hits, 1)
+}
+
+func (c *C) Snapshot() uint64 {
+	return c.hits // want "plain access of atomicmix.C.hits races"
+}
+
+// G is consistently atomic but stuck on call-style atomics; the finding
+// carries the typed-atomics migration fix.
+type G struct {
+	n uint64 // want "accessed only through call-style sync/atomic"
+}
+
+func (g *G) Add(d uint64) uint64 {
+	return atomic.AddUint64(&g.n, d)
+}
+
+func (g *G) Load() uint64 {
+	return atomic.LoadUint64(&g.n)
+}
+
+// L flips a plain bool latch beside a spawn and reads it elsewhere.
+type L struct {
+	started bool
+	done    chan struct{}
+}
+
+func (l *L) Start() {
+	l.started = true // want "cross-goroutine latch"
+	go func() {
+		close(l.done)
+	}()
+}
+
+func (l *L) Wait() {
+	if l.started {
+		<-l.done
+	}
+}
+
+// M is fine: the guarded-by annotation names the lock; lockguard owns the
+// discipline from there.
+type M struct {
+	mu      sync.Mutex
+	running bool // guarded by mu
+}
+
+func (m *M) Start() {
+	m.mu.Lock()
+	m.running = true
+	m.mu.Unlock()
+	go func() {}()
+}
+
+func (m *M) Running() bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.running
+}
+
+// T is fine: typed atomics make the mixed-access race unrepresentable.
+type T struct {
+	ready atomic.Bool
+}
+
+func (t *T) Start() {
+	t.ready.Store(true)
+	go func() {}()
+}
+
+func (t *T) Ready() bool { return t.ready.Load() }
+
+// P shows the generic escape hatch: an ignore directive with a
+// justification silences the latch finding.
+type P struct {
+	on   bool
+	done chan struct{}
+}
+
+func (p *P) Start() {
+	//recclint:ignore atomicmix single-goroutine harness sets the flag before any reader exists
+	p.on = true
+	go func() { close(p.done) }()
+}
+
+func (p *P) On() bool { return p.on }

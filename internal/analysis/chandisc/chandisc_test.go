@@ -1,0 +1,15 @@
+package chandisc_test
+
+import (
+	"testing"
+
+	"resistecc/internal/analysis/chandisc"
+	"resistecc/internal/analysis/framework"
+)
+
+func TestChandisc(t *testing.T) {
+	if testing.Short() {
+		t.Skip("invokes go list")
+	}
+	framework.TestAnalyzer(t, chandisc.Analyzer, framework.FixturePath("chandisc"))
+}

@@ -1,0 +1,108 @@
+// Package chandisc is the analyzer fixture: each declaration pins one
+// flagging or non-flagging behavior of the channel-discipline check.
+package chandisc
+
+import "sync"
+
+// S's stop channel has two competing closers — a latent double-close panic.
+type S struct {
+	stop chan struct{}
+}
+
+func (s *S) Stop() {
+	close(s.stop) // want "closed in 2 functions"
+}
+
+func (s *S) Shutdown() {
+	close(s.stop) // want "closed in 2 functions"
+}
+
+// R guards its close with a receive on the same channel in a sibling select
+// clause — the classic TOCTOU.
+type R struct {
+	stop chan struct{}
+}
+
+func (r *R) Stop() {
+	select {
+	case <-r.stop:
+	default:
+		close(r.stop) // want "racy idempotent close"
+	}
+}
+
+// O is the fixed idiom: idempotent close serialized through sync.Once.
+type O struct {
+	once sync.Once
+	stop chan struct{}
+}
+
+func (o *O) Stop() {
+	o.once.Do(func() { close(o.stop) })
+}
+
+// doubleClose closes the same local twice on the only path.
+func doubleClose() {
+	ch := make(chan int)
+	close(ch)
+	close(ch) // want "already closed on every path"
+}
+
+// sendAfterClose sends on a channel that is closed on every path to the send.
+func sendAfterClose() {
+	ch := make(chan int, 1)
+	close(ch)
+	ch <- 1 // want "send on ch after it is closed"
+}
+
+// branchClose is fine: the close and the send are on different paths.
+func branchClose(flush bool) {
+	ch := make(chan int, 1)
+	if flush {
+		close(ch)
+	} else {
+		ch <- 1
+	}
+}
+
+// drainClosed is fine: the ranged local is closed by the producer.
+func drainClosed() {
+	ch := make(chan int)
+	go func() {
+		ch <- 1
+		close(ch)
+	}()
+	for v := range ch {
+		_ = v
+	}
+}
+
+// rangeForever ranges a local channel nothing ever closes.
+func rangeForever() {
+	ch := make(chan int)
+	for v := range ch { // want "ranging over ch blocks forever"
+		_ = v
+	}
+}
+
+// rangeEscaped is fine: the channel escapes into a call, so a closer may
+// exist beyond the engine's sight.
+func rangeEscaped() {
+	ch := make(chan int)
+	hand(ch)
+	for v := range ch {
+		_ = v
+	}
+}
+
+func hand(ch chan int) { _ = ch }
+
+// suppressed shows the generic escape hatch: an ignore directive with a
+// justification silences the finding.
+func suppressed() {
+	ch := make(chan int)
+	//recclint:ignore chandisc fixture demonstrating a deliberately parked drain
+	for v := range ch {
+		_ = v
+	}
+}

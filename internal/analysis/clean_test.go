@@ -36,13 +36,13 @@ func TestRepoIsClean(t *testing.T) {
 	}
 }
 
-// TestRegistry pins the shape of the analyzer registry: all eight checkers
+// TestRegistry pins the shape of the analyzer registry: all twelve checkers
 // exist, names are unique (suppression directives key on them), and every
 // analyzer documents itself and is runnable per-package or program-wide.
 func TestRegistry(t *testing.T) {
 	all := All()
-	if len(all) < 8 {
-		t.Fatalf("expected at least 8 analyzers, got %d", len(all))
+	if len(all) < 12 {
+		t.Fatalf("expected at least 12 analyzers, got %d", len(all))
 	}
 	seen := make(map[string]bool)
 	for _, a := range all {
@@ -55,8 +55,9 @@ func TestRegistry(t *testing.T) {
 		seen[a.Name] = true
 	}
 	for _, want := range []string{
-		"ctxflow", "determinism", "floateq", "hotpath",
-		"lockguard", "lockorder", "mustclose", "syncerr",
+		"atomicmix", "chandisc", "ctxflow", "determinism",
+		"floateq", "goroutinelife", "hotpath", "lockguard",
+		"lockorder", "mustclose", "syncerr", "wgbalance",
 	} {
 		if !seen[want] {
 			t.Errorf("registry is missing %q", want)

@@ -41,6 +41,12 @@ type CFG struct {
 	// engine approximates defer semantics as "runs at every exit reachable
 	// after registration", which transfer functions model at the statement.
 	Defers []*ast.DeferStmt
+	// Spawns lists every go statement in the body, in source order. A spawn
+	// is a control-flow edge into a concurrently executing body: the spawned
+	// function starts at the statement but joins the spawner (if ever) only
+	// through a channel, WaitGroup or context — which is exactly what the
+	// concurrency analyzers (goroutinelife, wgbalance) check.
+	Spawns []*ast.GoStmt
 }
 
 type loopScope struct {
@@ -61,6 +67,25 @@ type labelInfo struct {
 	start      *Block // block the labeled statement begins in (goto target)
 	breakTo    *Block
 	continueTo *Block
+}
+
+// InspectStmt is ast.Inspect made safe for statements coming out of a CFG
+// block: range-loop headers appear there as shallow RangeStmt copies with a
+// nil Body (see the builder), which plain ast.Inspect cannot walk. Transfer
+// functions that re-inspect block statements must use this instead.
+func InspectStmt(s ast.Stmt, fn func(ast.Node) bool) {
+	if r, ok := s.(*ast.RangeStmt); ok && r.Body == nil {
+		if !fn(r) {
+			return
+		}
+		for _, e := range []ast.Expr{r.Key, r.Value, r.X} {
+			if e != nil {
+				ast.Inspect(e, fn)
+			}
+		}
+		return
+	}
+	ast.Inspect(s, fn)
 }
 
 // Build constructs the CFG of fn's body. Returns nil for bodiless functions
@@ -286,6 +311,10 @@ func (b *builder) stmt(s ast.Stmt) {
 	case *ast.DeferStmt:
 		b.cur.Stmts = append(b.cur.Stmts, s)
 		b.cfg.Defers = append(b.cfg.Defers, s)
+
+	case *ast.GoStmt:
+		b.cur.Stmts = append(b.cur.Stmts, s)
+		b.cfg.Spawns = append(b.cfg.Spawns, s)
 
 	default:
 		b.cur.Stmts = append(b.cur.Stmts, s)

@@ -1,0 +1,77 @@
+package dataflow
+
+// Channel close-site indexing. Close discipline is a whole-program property:
+// the goroutine that ranges over a channel lives in one package, the Stop
+// method that closes it in another. CloseSites gives the concurrency
+// analyzers one canonical index of every `close(ch)` in the load unit.
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"resistecc/internal/analysis/framework"
+)
+
+// A CloseSite is one `close(ch)` call: the canonical key of the channel it
+// closes and the function it appears in.
+type CloseSite struct {
+	// Key is the ObjKey of the closed channel expression.
+	Key string
+	// Fn is the enclosing function declaration ("" for closes at package
+	// scope, which cannot occur in valid Go).
+	Fn *ast.FuncDecl
+	// Pos is the close call's position.
+	Pos token.Pos
+}
+
+// CloseSites indexes every close() of a keyable channel across pkgs, in
+// deterministic (file, position) order. Closes of unkeyable expressions
+// (close(f()), close(m[k])) are skipped — the engine degrades toward "no
+// finding" on anything it cannot name.
+func CloseSites(pkgs []*framework.Package) []CloseSite {
+	var sites []CloseSite
+	for _, pkg := range pkgs {
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				ast.Inspect(fd.Body, func(n ast.Node) bool {
+					call, ok := n.(*ast.CallExpr)
+					if !ok || len(call.Args) != 1 {
+						return true
+					}
+					if !IsBuiltin(pkg.TypesInfo, call, "close") {
+						return true
+					}
+					if key, ok := ObjKey(pkg.TypesInfo, call.Args[0]); ok {
+						sites = append(sites, CloseSite{Key: key, Fn: fd, Pos: call.Pos()})
+					}
+					return true
+				})
+			}
+		}
+	}
+	return sites
+}
+
+// ClosedKeys is CloseSites reduced to a membership set.
+func ClosedKeys(pkgs []*framework.Package) map[string]bool {
+	keys := make(map[string]bool)
+	for _, cs := range CloseSites(pkgs) {
+		keys[cs.Key] = true
+	}
+	return keys
+}
+
+// IsBuiltin reports whether call invokes the named builtin (close, len...).
+func IsBuiltin(info *types.Info, call *ast.CallExpr, name string) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != name {
+		return false
+	}
+	_, ok = info.Uses[id].(*types.Builtin)
+	return ok
+}

@@ -1,0 +1,120 @@
+package dataflow
+
+// Canonical names for the storage locations the concurrency analyzers track
+// across functions and packages: struct fields ("pkg.Type.field"),
+// package-level variables ("pkg.var") and function-local variables
+// ("local@offset"). types.Object identity does not survive the
+// source-vs-export-data boundary between packages, so — as with the call
+// graph — cross-package matching goes through names; local variables key on
+// their declaration position, which is unique within the loader's shared
+// FileSet.
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// ObjKey canonicalizes an expression that names a storage location. The
+// second result is false when the expression is not a trackable location
+// (call results, composite expressions, index expressions...).
+func ObjKey(info *types.Info, e ast.Expr) (string, bool) {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		v, ok := useOrDef(info, e)
+		if !ok {
+			return "", false
+		}
+		return varKey(v), true
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[e]; ok && sel.Kind() == types.FieldVal {
+			f, ok := sel.Obj().(*types.Var)
+			if !ok {
+				return "", false
+			}
+			return fieldKey(f, sel.Recv()), true
+		}
+		// Package-qualified variable: pkg.Var.
+		if v, ok := info.Uses[e.Sel].(*types.Var); ok && v.Pkg() != nil {
+			return varKey(v), true
+		}
+	}
+	return "", false
+}
+
+// FieldKey canonicalizes a field object given its owner type, for callers
+// that walk struct declarations rather than access expressions. Keys use the
+// package name, not the import path — same canonicalization as the lock
+// names in lockorder — so they read naturally in diagnostics.
+func FieldKey(owner *types.Named, f *types.Var) string {
+	return fmt.Sprintf("%s.%s.%s", pkgName(f.Pkg()), owner.Obj().Name(), f.Name())
+}
+
+func fieldKey(f *types.Var, recv types.Type) string {
+	if named := NamedOf(recv); named != nil {
+		return FieldKey(named, f)
+	}
+	return fmt.Sprintf("%s._.%s", pkgName(f.Pkg()), f.Name())
+}
+
+func varKey(v *types.Var) string {
+	if v.Pkg() != nil && v.Parent() == v.Pkg().Scope() {
+		return pkgName(v.Pkg()) + "." + v.Name()
+	}
+	return fmt.Sprintf("local@%d", v.Pos())
+}
+
+func pkgName(p *types.Package) string {
+	if p == nil {
+		return "_"
+	}
+	return p.Name()
+}
+
+func useOrDef(info *types.Info, id *ast.Ident) (*types.Var, bool) {
+	if v, ok := info.Uses[id].(*types.Var); ok {
+		return v, true
+	}
+	v, ok := info.Defs[id].(*types.Var)
+	return v, ok
+}
+
+// DisplayName renders a storage-location expression for diagnostics. Field
+// and package-level keys are already readable ("repl.Pool.stop"); locals key
+// on their declaration offset, so the source expression is shown instead.
+func DisplayName(info *types.Info, fset *token.FileSet, e ast.Expr) string {
+	key, ok := ObjKey(info, e)
+	if ok && !strings.HasPrefix(key, "local@") {
+		return key
+	}
+	return renderExpr(fset, e)
+}
+
+// NamedOf unwraps pointers and aliases down to the named type, or nil.
+func NamedOf(t types.Type) *types.Named {
+	for {
+		switch tt := t.(type) {
+		case *types.Pointer:
+			t = tt.Elem()
+		case *types.Alias:
+			t = types.Unalias(tt)
+		case *types.Named:
+			return tt
+		default:
+			return nil
+		}
+	}
+}
+
+// IsNamed reports whether t (possibly behind pointers) is the named type
+// path.name — e.g. IsNamed(t, "context", "Context").
+func IsNamed(t types.Type, path, name string) bool {
+	named := NamedOf(t)
+	if named == nil {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == path && obj.Name() == name
+}

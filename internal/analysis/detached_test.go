@@ -1,0 +1,193 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"resistecc/internal/testutil"
+)
+
+// TestDetachedMarksCorrespond enforces the two-way contract between the
+// goroutinelife analyzer's //recclint:detached directives and the leak
+// checker's DetachedMarks allowlist:
+//
+//   - every detached directive in tree source names a goroutine some
+//     DetachedMarks entry matches, so a directive cannot silently exempt a
+//     goroutine the leak-checked suites would then report (or worse, one
+//     they would miss because a stale broad mark still covers it);
+//   - every DetachedMarks entry corresponds to a live directive, so marks
+//     cannot outlive the code they excused and rot into blanket exemptions.
+func TestDetachedMarksCorrespond(t *testing.T) {
+	root, err := moduleRootAndPath(t)
+	if err != nil {
+		t.Fatal(err)
+	}
+	directives := collectDetachedSites(t, root.dir, root.module)
+	if len(directives) == 0 {
+		t.Fatal("no //recclint:detached directives found; if the last one was removed, empty testutil.DetachedMarks too and update this test's expectations")
+	}
+
+	for _, d := range directives {
+		matched := false
+		for _, mark := range testutil.DetachedMarks {
+			if strings.HasPrefix(d.qualified, mark) || strings.HasPrefix(mark, d.qualified) {
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("%s: //recclint:detached on %s has no matching entry in testutil.DetachedMarks; the leak-checked suites would flag this goroutine",
+				d.pos, d.qualified)
+		}
+	}
+	for _, mark := range testutil.DetachedMarks {
+		matched := false
+		for _, d := range directives {
+			if strings.HasPrefix(d.qualified, mark) || strings.HasPrefix(mark, d.qualified) {
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("testutil.DetachedMarks entry %q matches no //recclint:detached directive in the tree; remove the stale exemption", mark)
+		}
+	}
+}
+
+type detachedSite struct {
+	qualified string // import-path-qualified function name, as a stack frame prints it
+	pos       string
+}
+
+type rootInfo struct {
+	dir    string
+	module string
+}
+
+// moduleRootAndPath locates go.mod and reads the module path from it.
+func moduleRootAndPath(t *testing.T) (rootInfo, error) {
+	t.Helper()
+	dir, err := os.Getwd()
+	if err != nil {
+		return rootInfo{}, err
+	}
+	for {
+		data, err := os.ReadFile(filepath.Join(dir, "go.mod"))
+		if err == nil {
+			for _, line := range strings.Split(string(data), "\n") {
+				if rest, ok := strings.CutPrefix(line, "module "); ok {
+					return rootInfo{dir: dir, module: strings.TrimSpace(rest)}, nil
+				}
+			}
+			t.Fatalf("go.mod in %s has no module line", dir)
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			t.Fatal("no go.mod found")
+		}
+		dir = parent
+	}
+}
+
+// collectDetachedSites parses every non-test, non-fixture source file and
+// returns the qualified name of each function carrying a detached directive
+// — on its doc comment, or inside its body on a go statement.
+func collectDetachedSites(t *testing.T, root, module string) []detachedSite {
+	t.Helper()
+	var sites []detachedSite
+	fset := token.NewFileSet()
+	err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if name == "testdata" || name == ".git" || strings.HasPrefix(name, ".") && name != "." {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
+			return nil
+		}
+		file, perr := parser.ParseFile(fset, path, nil, parser.ParseComments)
+		if perr != nil {
+			return perr
+		}
+		rel, rerr := filepath.Rel(root, filepath.Dir(path))
+		if rerr != nil {
+			return rerr
+		}
+		importPath := module
+		if rel != "." {
+			importPath = module + "/" + filepath.ToSlash(rel)
+		}
+		sites = append(sites, fileDetachedSites(fset, file, importPath)...)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sites
+}
+
+func fileDetachedSites(fset *token.FileSet, file *ast.File, importPath string) []detachedSite {
+	var sites []detachedSite
+	hasDirective := func(cg *ast.CommentGroup) bool {
+		if cg == nil {
+			return false
+		}
+		for _, c := range cg.List {
+			if strings.HasPrefix(strings.TrimSpace(c.Text), "//recclint:detached") {
+				return true
+			}
+		}
+		return false
+	}
+	qualify := func(fd *ast.FuncDecl) string {
+		name := fd.Name.Name
+		if fd.Recv != nil && len(fd.Recv.List) == 1 {
+			switch rt := fd.Recv.List[0].Type.(type) {
+			case *ast.StarExpr:
+				if id, ok := rt.X.(*ast.Ident); ok {
+					return importPath + ".(*" + id.Name + ")." + name
+				}
+			case *ast.Ident:
+				return importPath + "." + rt.Name + "." + name
+			}
+		}
+		return importPath + "." + name
+	}
+	for _, decl := range file.Decls {
+		fd, ok := decl.(*ast.FuncDecl)
+		if !ok {
+			continue
+		}
+		if hasDirective(fd.Doc) {
+			sites = append(sites, detachedSite{
+				qualified: qualify(fd),
+				pos:       fset.Position(fd.Pos()).String(),
+			})
+		}
+		if fd.Body == nil {
+			continue
+		}
+		// Line directives on go statements inside the body: the spawned
+		// closure's stack frames carry the enclosing function's name.
+		for _, cg := range file.Comments {
+			if cg.Pos() < fd.Body.Pos() || cg.End() > fd.Body.End() || !hasDirective(cg) {
+				continue
+			}
+			sites = append(sites, detachedSite{
+				qualified: qualify(fd),
+				pos:       fset.Position(cg.Pos()).String(),
+			})
+		}
+	}
+	return sites
+}

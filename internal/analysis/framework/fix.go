@@ -3,6 +3,7 @@ package framework
 import (
 	"fmt"
 	"go/format"
+	"go/parser"
 	"go/token"
 	"os"
 	"sort"
@@ -15,7 +16,7 @@ func resolveFixes(fset *token.FileSet, fixes []SuggestedFix) []ResolvedFix {
 	}
 	out := make([]ResolvedFix, 0, len(fixes))
 	for _, fx := range fixes {
-		rf := ResolvedFix{Message: fx.Message}
+		rf := ResolvedFix{Message: fx.Message, Minimal: fx.Minimal}
 		ok := true
 		for _, e := range fx.Edits {
 			start := fset.Position(e.Pos)
@@ -42,7 +43,9 @@ func resolveFixes(fset *token.FileSet, fixes []SuggestedFix) []ResolvedFix {
 }
 
 // ApplyFixes applies every suggested fix carried by findings to the source
-// files on disk, gofmt-formatting each rewritten file. Overlapping edits
+// files on disk, gofmt-formatting each rewritten file — except files whose
+// every fix is Minimal, which are spliced byte-exactly and only parse-checked
+// so untouched regions keep their original formatting. Overlapping edits
 // within one file are rejected (the second fix is dropped with an error
 // describing it) rather than applied blindly. Returns the sorted list of
 // files changed.
@@ -52,10 +55,17 @@ func ApplyFixes(findings []Finding) (changed []string, err error) {
 		from string // finding description, for conflict errors
 	}
 	byFile := make(map[string][]edit)
+	// A file is reformatted whole only if some non-minimal fix touched it;
+	// when every edit comes from Minimal fixes the splice is kept byte-exact
+	// outside the edited spans.
+	reformat := make(map[string]bool)
 	for _, f := range findings {
 		for _, fx := range f.Fixes {
 			for _, e := range fx.Edits {
 				byFile[e.Filename] = append(byFile[e.Filename], edit{e, f.String()})
+				if !fx.Minimal {
+					reformat[e.Filename] = true
+				}
 			}
 		}
 	}
@@ -93,9 +103,14 @@ func ApplyFixes(findings []Finding) (changed []string, err error) {
 			last = e.End
 		}
 		out = append(out, src[last:]...)
-		formatted, ferr := format.Source(out)
-		if ferr != nil {
-			return changed, fmt.Errorf("fix result for %s does not parse: %w", file, ferr)
+		formatted := out
+		if reformat[file] {
+			formatted, err = format.Source(out)
+			if err != nil {
+				return changed, fmt.Errorf("fix result for %s does not parse: %w", file, err)
+			}
+		} else if _, perr := parser.ParseFile(token.NewFileSet(), file, out, parser.ParseComments); perr != nil {
+			return changed, fmt.Errorf("fix result for %s does not parse: %w", file, perr)
 		}
 		info, serr := os.Stat(file)
 		mode := os.FileMode(0o644)

@@ -1,0 +1,109 @@
+package framework
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// A deliberately misformatted (but valid) source file: odd spacing and
+// alignment that gofmt would rewrite. Minimal fixes must leave every byte
+// outside their spans exactly as-is.
+const misformatted = `package scratch
+
+type  counter struct {
+	n	uint64
+}
+
+func  bump(c *counter)  {
+	c.n = c.n + 1
+}
+`
+
+func writeScratch(t *testing.T) string {
+	t.Helper()
+	dir := t.TempDir()
+	path := filepath.Join(dir, "scratch.go")
+	if err := os.WriteFile(path, []byte(misformatted), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func findingWithFix(fix ResolvedFix) Finding {
+	return Finding{Analyzer: "test", Message: "test fix", Fixes: []ResolvedFix{fix}}
+}
+
+// TestApplyFixesMinimalSpan: a Minimal fix splices its edit and leaves the
+// file's misformatting untouched everywhere else.
+func TestApplyFixesMinimalSpan(t *testing.T) {
+	path := writeScratch(t)
+	off := strings.Index(misformatted, "uint64")
+	f := findingWithFix(ResolvedFix{
+		Message: "retype",
+		Minimal: true,
+		Edits:   []ResolvedEdit{{Filename: path, Start: off, End: off + len("uint64"), NewText: "uint32"}},
+	})
+	changed, err := ApplyFixes([]Finding{f})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(changed) != 1 || changed[0] != path {
+		t.Fatalf("changed = %v, want [%s]", changed, path)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := strings.Replace(misformatted, "uint64", "uint32", 1)
+	if string(got) != want {
+		t.Errorf("minimal fix reformatted beyond its span:\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+}
+
+// TestApplyFixesMinimalParseCheck: a Minimal fix that breaks the syntax is
+// rejected before touching the file.
+func TestApplyFixesMinimalParseCheck(t *testing.T) {
+	path := writeScratch(t)
+	off := strings.Index(misformatted, "uint64")
+	f := findingWithFix(ResolvedFix{
+		Message: "break it",
+		Minimal: true,
+		Edits:   []ResolvedEdit{{Filename: path, Start: off, End: off + len("uint64"), NewText: "}{"}},
+	})
+	if _, err := ApplyFixes([]Finding{f}); err == nil {
+		t.Fatal("expected a parse error from a syntax-breaking minimal fix")
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != misformatted {
+		t.Error("file was modified despite the fix failing its parse check")
+	}
+}
+
+// TestApplyFixesNonMinimalReformats: the pre-existing behavior stands for
+// ordinary fixes — the whole file is gofmt-formatted after the splice.
+func TestApplyFixesNonMinimalReformats(t *testing.T) {
+	path := writeScratch(t)
+	off := strings.Index(misformatted, "uint64")
+	f := findingWithFix(ResolvedFix{
+		Message: "retype",
+		Edits:   []ResolvedEdit{{Filename: path, Start: off, End: off + len("uint64"), NewText: "uint32"}},
+	})
+	if _, err := ApplyFixes([]Finding{f}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(got), "type  counter") {
+		t.Error("non-minimal fix left the file unformatted; expected gofmt output")
+	}
+	if !strings.Contains(string(got), "uint32") {
+		t.Error("edit not applied")
+	}
+}

@@ -14,6 +14,7 @@ import (
 	"go/token"
 	"go/types"
 	"sort"
+	"time"
 )
 
 // An Analyzer describes one static check. Mirrors analysis.Analyzer.
@@ -82,6 +83,12 @@ type TextEdit struct {
 type SuggestedFix struct {
 	Message string
 	Edits   []TextEdit
+	// Minimal marks a fix whose edits are already formatted in place. When
+	// every fix applied to a file is minimal, ApplyFixes splices the edits and
+	// parse-checks the result but skips the whole-file gofmt pass — so a fix
+	// touching two lines cannot reformat an entire (possibly hand-formatted or
+	// generated) file as a side effect.
+	Minimal bool
 }
 
 // A Diagnostic is one finding at a position.
@@ -104,6 +111,7 @@ type ResolvedEdit struct {
 type ResolvedFix struct {
 	Message string
 	Edits   []ResolvedEdit
+	Minimal bool
 }
 
 // Finding is a resolved diagnostic ready for printing or comparison.
@@ -124,6 +132,15 @@ func (f Finding) String() string {
 // suppression directives are themselves reported, so a suppression without a
 // justification can never silence a finding.
 func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) ([]Finding, error) {
+	findings, _, err := RunAnalyzersTimed(pkgs, analyzers)
+	return findings, err
+}
+
+// RunAnalyzersTimed is RunAnalyzers plus a per-analyzer wall-time breakdown:
+// each analyzer's Run calls across all packages and its RunProgram pass sum
+// into one duration, keyed by analyzer name. Loading and suppression
+// collection are not attributed to any analyzer.
+func RunAnalyzersTimed(pkgs []*Package, analyzers []*Analyzer) ([]Finding, map[string]time.Duration, error) {
 	known := make(map[string]bool, len(analyzers))
 	for _, a := range analyzers {
 		known[a.Name] = true
@@ -132,6 +149,7 @@ func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) ([]Finding, error) {
 	// one global table that filters per-package and whole-program findings
 	// alike.
 	var findings []Finding
+	elapsed := make(map[string]time.Duration, len(analyzers))
 	supp := suppressions{byKey: make(map[suppression]bool)}
 	for _, pkg := range pkgs {
 		s, bad := collectSuppressions(pkg.Fset, pkg.Files, known)
@@ -173,8 +191,11 @@ func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) ([]Finding, error) {
 				d.Analyzer = a.Name
 				diags = append(diags, d)
 			}
-			if err := a.Run(pass); err != nil {
-				return nil, fmt.Errorf("%s: running %s: %w", pkg.PkgPath, a.Name, err)
+			start := time.Now()
+			err := a.Run(pass)
+			elapsed[a.Name] += time.Since(start)
+			if err != nil {
+				return nil, nil, fmt.Errorf("%s: running %s: %w", pkg.PkgPath, a.Name, err)
 			}
 			resolve(pkg.Fset, a, diags)
 		}
@@ -191,8 +212,11 @@ func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) ([]Finding, error) {
 				d.Analyzer = a.Name
 				diags = append(diags, d)
 			}
-			if err := a.RunProgram(pass); err != nil {
-				return nil, fmt.Errorf("running %s over the program: %w", a.Name, err)
+			start := time.Now()
+			err := a.RunProgram(pass)
+			elapsed[a.Name] += time.Since(start)
+			if err != nil {
+				return nil, nil, fmt.Errorf("running %s over the program: %w", a.Name, err)
 			}
 			resolve(fset, a, diags)
 		}
@@ -210,15 +234,21 @@ func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) ([]Finding, error) {
 		}
 		return a.Analyzer < b.Analyzer
 	})
-	return findings, nil
+	return findings, elapsed, nil
 }
 
 // WalkStack walks every node of f in source order, invoking fn with the node
 // and the stack of its ancestors (outermost first, not including n itself).
 // Analyzers use it where plain ast.Inspect loses the parent context.
 func WalkStack(f *ast.File, fn func(n ast.Node, stack []ast.Node)) {
+	WalkStackNode(f, fn)
+}
+
+// WalkStackNode is WalkStack rooted at an arbitrary node (a function body, a
+// single statement) instead of a whole file.
+func WalkStackNode(root ast.Node, fn func(n ast.Node, stack []ast.Node)) {
 	var stack []ast.Node
-	ast.Inspect(f, func(n ast.Node) bool {
+	ast.Inspect(root, func(n ast.Node) bool {
 		if n == nil {
 			stack = stack[:len(stack)-1]
 			return true

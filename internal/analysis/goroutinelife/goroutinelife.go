@@ -1,0 +1,235 @@
+// Package goroutinelife implements the recclint check that every spawned
+// goroutine is joined to a shutdown mechanism. A `go` statement hands a body
+// to the scheduler with no further control: unless the body observes a
+// cancellation signal, the goroutine outlives its spawner silently — the
+// exact class of leak the runtime leak checker in internal/testutil only
+// catches on paths a test happens to execute. The static contract: a spawned
+// body with a loop must either check a captured context (ctx.Done/ctx.Err),
+// receive from a quit/done channel that somebody in the program closes, or
+// release a WaitGroup the spawner owns; loop-free bodies are run-to-
+// completion and exempt. Deliberately unowned workers declare themselves
+// with //recclint:detached <reason> — on the go statement or on the spawned
+// function's doc comment — and internal/testutil.DetachedMarks must list
+// them so the leak-checked suites stay honest (a cross-check test enforces
+// the correspondence).
+package goroutinelife
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"resistecc/internal/analysis/dataflow"
+	"resistecc/internal/analysis/framework"
+)
+
+// DetachedDirective marks a goroutine as deliberately unjoined. The reason
+// is mandatory, like every other recclint directive.
+const DetachedDirective = "//recclint:detached"
+
+// Analyzer is the goroutinelife check.
+var Analyzer = &framework.Analyzer{
+	Name:       "goroutinelife",
+	Doc:        "every goroutine with a loop joins a shutdown mechanism (checked ctx, closed quit channel, spawner-owned WaitGroup) or declares //recclint:detached <reason>",
+	RunProgram: run,
+}
+
+func run(pass *framework.ProgramPass) error {
+	prog := dataflow.BuildProgram(pass.Pkgs)
+	closed := dataflow.ClosedKeys(pass.Pkgs)
+	reportedDoc := make(map[token.Pos]bool) // dedupe per-callee doc diagnostics
+	for _, pkg := range pass.Pkgs {
+		for _, file := range pkg.Files {
+			detached := detachedLines(pass.Fset, file)
+			for _, decl := range file.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				for _, site := range dataflow.Spawns(pkg.TypesInfo, fd.Body) {
+					checkSite(pass, pkg, prog, closed, detached, reportedDoc, site)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+type directive struct {
+	hasReason bool
+	pos       token.Pos
+}
+
+// detachedLines maps each line carrying a detached directive to it.
+func detachedLines(fset *token.FileSet, file *ast.File) map[int]directive {
+	out := make(map[int]directive)
+	for _, cg := range file.Comments {
+		for _, c := range cg.List {
+			text := strings.TrimSpace(c.Text)
+			if !strings.HasPrefix(text, DetachedDirective) {
+				continue
+			}
+			rest := strings.TrimPrefix(text, DetachedDirective)
+			if rest != "" && !strings.HasPrefix(rest, " ") {
+				continue // e.g. //recclint:detachedfoo
+			}
+			out[fset.Position(c.Pos()).Line] = directive{
+				hasReason: strings.TrimSpace(rest) != "",
+				pos:       c.Pos(),
+			}
+		}
+	}
+	return out
+}
+
+// docDetached scans a function's doc comment for the directive.
+func docDetached(doc *ast.CommentGroup) (present, hasReason bool) {
+	if doc == nil {
+		return false, false
+	}
+	for _, c := range doc.List {
+		text := strings.TrimSpace(c.Text)
+		if text == DetachedDirective {
+			return true, false
+		}
+		if strings.HasPrefix(text, DetachedDirective+" ") {
+			return true, strings.TrimSpace(strings.TrimPrefix(text, DetachedDirective)) != ""
+		}
+	}
+	return false, false
+}
+
+func checkSite(pass *framework.ProgramPass, pkg *framework.Package, prog *dataflow.Program,
+	closed map[string]bool, detached map[int]directive, reportedDoc map[token.Pos]bool, site dataflow.SpawnSite) {
+
+	// Directive on the go statement (same line or line above).
+	goLine := pass.Fset.Position(site.Go.Pos()).Line
+	for _, line := range []int{goLine, goLine - 1} {
+		if d, ok := detached[line]; ok {
+			if !d.hasReason {
+				pass.Reportf(site.Go.Pos(), "recclint:detached needs a reason: the directive must say why this goroutine deliberately has no shutdown path")
+			}
+			return
+		}
+	}
+
+	// Resolve the spawned body (and the types.Info it was checked under).
+	var (
+		body *ast.BlockStmt
+		info *types.Info
+	)
+	switch {
+	case site.Lit != nil:
+		body, info = site.Lit.Body, pkg.TypesInfo
+	case site.Callee != nil:
+		fi := prog.Func(site.Callee)
+		if fi == nil || fi.Decl.Body == nil {
+			return // externally defined: nothing to check
+		}
+		// Directive on the spawned function's own doc comment: the natural
+		// home for process-lifetime workers (`go batchWorker()`).
+		if present, hasReason := docDetached(fi.Decl.Doc); present {
+			if !hasReason && !reportedDoc[fi.Decl.Pos()] {
+				reportedDoc[fi.Decl.Pos()] = true
+				pass.Reportf(fi.Decl.Pos(), "recclint:detached needs a reason: the directive must say why %s deliberately has no shutdown path", fi.Decl.Name.Name)
+			}
+			return
+		}
+		body, info = fi.Decl.Body, fi.Pkg.TypesInfo
+	default:
+		return // dynamic target (interface method, func value): never guess
+	}
+
+	if verdict := joinMechanism(info, body, closed); verdict == "" {
+		target := "goroutine"
+		if site.Callee != nil {
+			target = site.Callee.Name()
+		}
+		pass.Reportf(site.Go.Pos(),
+			"%s loops with no shutdown path: no captured context is checked, no channel it receives from is ever closed, and no spawner-owned WaitGroup is released; join it to a lifecycle or declare //recclint:detached <reason>",
+			target)
+	}
+}
+
+// joinMechanism classifies how the spawned body can be told to stop. It
+// returns "" when the body loops and none of the mechanisms is present.
+func joinMechanism(info *types.Info, body *ast.BlockStmt, closed map[string]bool) string {
+	var hasLoop, ctxChecked, quitRecv, wgReleased bool
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.ForStmt:
+			hasLoop = true
+		case *ast.RangeStmt:
+			hasLoop = true
+			// Ranging a channel terminates when the channel is closed.
+			if t := info.TypeOf(n.X); t != nil {
+				if _, ok := t.Underlying().(*types.Chan); ok {
+					if key, ok := dataflow.ObjKey(info, n.X); ok && closed[key] {
+						quitRecv = true
+					}
+				}
+			}
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				if key, ok := dataflow.ObjKey(info, n.X); ok && closed[key] {
+					quitRecv = true
+				}
+			}
+		case *ast.CallExpr:
+			sel, ok := ast.Unparen(n.Fun).(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			recv := info.TypeOf(sel.X)
+			switch sel.Sel.Name {
+			case "Done", "Err":
+				if dataflow.IsNamed(recv, "context", "Context") {
+					ctxChecked = true
+				}
+			}
+			if sel.Sel.Name == "Done" && dataflow.IsNamed(recv, "sync", "WaitGroup") {
+				// The WaitGroup must be the spawner's: a Done on a value the
+				// goroutine pulled off a channel (a per-job wg) joins the job's
+				// consumer, not this goroutine.
+				if root := rootIdent(sel.X); root != nil && dataflow.CapturedBy(info, body, root) {
+					wgReleased = true
+				}
+			}
+		}
+		return true
+	})
+	switch {
+	case ctxChecked:
+		return "context"
+	case quitRecv:
+		return "quit-channel"
+	case wgReleased:
+		return "waitgroup"
+	case !hasLoop:
+		return "run-to-completion"
+	}
+	return ""
+}
+
+// rootIdent walks a selector/deref chain to its base identifier.
+func rootIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch t := e.(type) {
+		case *ast.Ident:
+			return t
+		case *ast.SelectorExpr:
+			e = t.X
+		case *ast.ParenExpr:
+			e = t.X
+		case *ast.StarExpr:
+			e = t.X
+		case *ast.UnaryExpr:
+			e = t.X
+		case *ast.IndexExpr:
+			e = t.X
+		default:
+			return nil
+		}
+	}
+}

@@ -1,0 +1,15 @@
+package goroutinelife_test
+
+import (
+	"testing"
+
+	"resistecc/internal/analysis/framework"
+	"resistecc/internal/analysis/goroutinelife"
+)
+
+func TestGoroutinelife(t *testing.T) {
+	if testing.Short() {
+		t.Skip("invokes go list")
+	}
+	framework.TestAnalyzer(t, goroutinelife.Analyzer, framework.FixturePath("goroutinelife"))
+}

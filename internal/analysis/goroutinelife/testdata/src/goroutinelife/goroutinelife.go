@@ -1,0 +1,160 @@
+// Package goroutinelife is the analyzer fixture: each function pins one
+// flagging or non-flagging behavior of the goroutine-lifecycle check.
+package goroutinelife
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+// W owns a worker joined through a quit channel the owner closes.
+type W struct {
+	stop chan struct{}
+	done chan struct{}
+}
+
+// Start is fine: the loop receives from stop, and Stop closes it.
+func (w *W) Start() {
+	go func() {
+		defer close(w.done)
+		for {
+			select {
+			case <-w.stop:
+				return
+			case <-time.After(time.Millisecond):
+			}
+		}
+	}()
+}
+
+// Stop closes the quit channel the worker selects on.
+func (w *W) Stop() {
+	close(w.stop)
+	<-w.done
+}
+
+// watch is fine: the loop checks the captured context.
+func watch(ctx context.Context) {
+	go func() {
+		for {
+			if ctx.Err() != nil {
+				return
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}()
+}
+
+// fanOut is fine: each goroutine releases the spawner's WaitGroup.
+func fanOut(n int) {
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 10; j++ {
+				_ = j
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// oneShot is fine: no loop, the body runs to completion.
+func oneShot(ch chan int) {
+	go func() { ch <- 1 }()
+}
+
+// drainJobs is fine: ranging a channel the program closes terminates when
+// closeJobs runs.
+var jobs = make(chan int)
+
+func drainJobs() {
+	go func() {
+		for j := range jobs {
+			_ = j
+		}
+	}()
+}
+
+func closeJobs() { close(jobs) }
+
+// leak spawns an unjoinable loop: nothing can ever stop it.
+func leak() {
+	go func() { // want "loops with no shutdown path"
+		for {
+			time.Sleep(time.Millisecond)
+		}
+	}()
+}
+
+// spinner loops forever with no mechanism; spawnSpinner is the offender.
+func spinner() {
+	for {
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func spawnSpinner() {
+	go spinner() // want "spinner loops with no shutdown path"
+}
+
+// spawnParked is fine: the directive with a reason declares the goroutine
+// deliberately detached.
+func spawnParked() {
+	//recclint:detached metrics flusher parked for the process lifetime
+	go func() {
+		for {
+			time.Sleep(time.Second)
+		}
+	}()
+}
+
+// spawnBare carries the directive without a justification.
+func spawnBare() {
+	//recclint:detached
+	go func() { // want "recclint:detached needs a reason"
+		for {
+			time.Sleep(time.Second)
+		}
+	}()
+}
+
+// pump is fine: a detached process-lifetime worker declared on its own doc
+// comment, where every spawn site inherits the declaration.
+//
+//recclint:detached process-lifetime pump accounted for in DetachedMarks
+func pump() {
+	for {
+		time.Sleep(time.Second)
+	}
+}
+
+func spawnPump() {
+	go pump()
+}
+
+// pumpBare declares detachment without saying why.
+//
+//recclint:detached
+func pumpBare() { // want "recclint:detached needs a reason"
+	for {
+		time.Sleep(time.Second)
+	}
+}
+
+func spawnPumpBare() {
+	go pumpBare()
+}
+
+// suppressed shows the generic escape hatch: an ignore directive with a
+// justification silences the finding.
+func suppressed() {
+	//recclint:ignore goroutinelife prototype scaffolding exercised only in examples
+	go func() {
+		for {
+			time.Sleep(time.Second)
+		}
+	}()
+}

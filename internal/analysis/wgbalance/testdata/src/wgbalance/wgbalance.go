@@ -1,0 +1,111 @@
+// Package wgbalance is the analyzer fixture: each function pins one
+// flagging or non-flagging behavior of the WaitGroup-balance check.
+package wgbalance
+
+import "sync"
+
+// fanOut is the canonical loop-carried pairing: Add(1) before each spawn,
+// Done deferred on every path. Nothing to report.
+func fanOut(n int) {
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+		}()
+	}
+	wg.Wait()
+}
+
+// twoWorkers is a balanced straight-line ledger: Add(2), two spawns.
+func twoWorkers() {
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+	}()
+	go func() {
+		defer wg.Done()
+	}()
+	wg.Wait()
+}
+
+// missingAdd spawns a releasing goroutine with no Add at all: Wait can
+// return before the goroutine runs.
+func missingAdd() {
+	var wg sync.WaitGroup
+	go func() { // want "no wg.Add precedes the spawn"
+		defer wg.Done()
+	}()
+	wg.Wait()
+}
+
+// addAfterSpawn orders the Add behind the go statement, which races Wait.
+func addAfterSpawn() {
+	var wg sync.WaitGroup
+	go func() { // want "no wg.Add precedes the spawn"
+		defer wg.Done()
+	}()
+	wg.Add(1)
+	wg.Wait()
+}
+
+// conditionalDone releases the group on one path only; the other path
+// strands Wait forever.
+func conditionalDone(ok bool) {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { // want "Done is skipped on some path"
+		if ok {
+			wg.Done()
+		}
+	}()
+	wg.Wait()
+}
+
+// overAdded counts two slots but spawns one releasing goroutine: Wait blocks
+// forever on the phantom second Done.
+func overAdded() {
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() { // want "ledger mismatch in overAdded: Add calls total 2 but 1"
+		defer wg.Done()
+	}()
+	wg.Wait()
+}
+
+// jobQueue is fine: the worker releases per-job WaitGroups it pulls off the
+// channel, not a group the spawner owns — no pairing to check.
+type job struct {
+	wg *sync.WaitGroup
+}
+
+func jobQueue(jobs chan *job) {
+	go func() {
+		for j := range jobs {
+			j.wg.Done()
+		}
+	}()
+}
+
+// dynamicAdd is fine: a non-constant Add degrades the ledger check rather
+// than guessing.
+func dynamicAdd(n int) {
+	var wg sync.WaitGroup
+	wg.Add(n)
+	go func() {
+		defer wg.Done()
+	}()
+	wg.Wait()
+}
+
+// suppressed shows the generic escape hatch: an ignore directive with a
+// justification silences the finding.
+func suppressed() {
+	var wg sync.WaitGroup
+	//recclint:ignore wgbalance fixture demonstrating an intentionally unpaired spawn
+	go func() {
+		defer wg.Done()
+	}()
+	wg.Wait()
+}

@@ -1,0 +1,360 @@
+// Package wgbalance implements the recclint WaitGroup-balance check. The
+// sync.WaitGroup contract has three clauses that the race detector only
+// sees when a test happens to lose the race: Add must happen-before the
+// spawn it accounts for (Add inside the goroutine races Wait), Done must run
+// on *every* path of the spawned body (a missed Done deadlocks Wait
+// forever), and the Add total must account for exactly the goroutines that
+// will call Done. wgbalance checks all three statically at each spawn site:
+//
+//   - a goroutine releasing a captured WaitGroup must be preceded, in its
+//     spawning function, by an Add on the same WaitGroup;
+//   - the Done must be deferred or reached on every CFG path of the body;
+//   - in straight-line code (no loops on either side) the Add constants
+//     must sum to the number of spawned goroutines that release the group,
+//     reported with the mismatch counts per spawn site.
+//
+// Loop-carried spawns pair an Add(1) with a spawn per iteration; counting
+// across iterations is a dynamic property, so mixed loop shapes degrade to
+// the first two checks only.
+package wgbalance
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+
+	"resistecc/internal/analysis/dataflow"
+	"resistecc/internal/analysis/framework"
+)
+
+// Analyzer is the wgbalance check.
+var Analyzer = &framework.Analyzer{
+	Name:       "wgbalance",
+	Doc:        "WaitGroup discipline at spawn sites: Add happens-before the go statement, Done on every path of the body (deferred or terminal), Add totals match spawn counts",
+	RunProgram: run,
+}
+
+func run(pass *framework.ProgramPass) error {
+	prog := dataflow.BuildProgram(pass.Pkgs)
+	for _, pkg := range pass.Pkgs {
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				checkFunc(pass, pkg, prog, fd)
+			}
+		}
+	}
+	return nil
+}
+
+// wgCall describes one Add/Done call on a canonical WaitGroup key.
+type wgCall struct {
+	key    string
+	name   string // display form of the receiver for diagnostics
+	call   *ast.CallExpr
+	amount int64 // Add argument when constant, -1 otherwise; 1 for Done
+	inLoop bool  // lexically inside a for/range of the inspected function
+}
+
+func checkFunc(pass *framework.ProgramPass, pkg *framework.Package, prog *dataflow.Program, fd *ast.FuncDecl) {
+	info := pkg.TypesInfo
+	sites := dataflow.Spawns(info, fd.Body)
+	if len(sites) == 0 {
+		return
+	}
+	adds := collectAdds(info, fd.Body, sites)
+
+	// spawnsByKey counts, per WaitGroup, the spawn sites whose bodies release
+	// it — the other half of the straight-line Add/Done ledger.
+	type spawnRec struct {
+		site   dataflow.SpawnSite
+		inLoop bool
+	}
+	spawnsByKey := make(map[string][]spawnRec)
+
+	names := make(map[string]string)
+	for _, site := range sites {
+		body, bodyInfo := spawnedBody(pkg, prog, site)
+		if body == nil {
+			continue
+		}
+		for _, done := range doneCalls(pass, bodyInfo, body) {
+			key := done.key
+			names[key] = done.name
+			spawnsByKey[key] = append(spawnsByKey[key], spawnRec{site, inLoop(fd.Body, site.Go)})
+
+			// Rule 1: an Add on the same WaitGroup must precede the spawn.
+			preceded := false
+			for _, a := range adds[key] {
+				if a.call.Pos() < site.Go.Pos() {
+					preceded = true
+					break
+				}
+			}
+			if !preceded {
+				pass.Reportf(site.Go.Pos(),
+					"goroutine releases %s but no %s.Add precedes the spawn in %s; Add must happen-before the go statement or Wait can return early",
+					done.name, done.name, fd.Name.Name)
+			}
+
+			// Rule 2: Done on every path of the spawned body.
+			if !doneOnEveryPath(bodyInfo, body, key) {
+				pass.Reportf(site.Go.Pos(),
+					"%s.Done is skipped on some path through the goroutine body; defer it so every exit releases the group",
+					done.name)
+			}
+		}
+	}
+
+	// Rule 3: straight-line ledger. Only when every Add has a constant
+	// amount and nothing sits in a loop is the count a static property.
+	for key, spawns := range spawnsByKey {
+		addList := adds[key]
+		if len(addList) == 0 {
+			continue // rule 1 already reported
+		}
+		static := true
+		total := int64(0)
+		for _, a := range addList {
+			if a.inLoop || a.amount < 0 {
+				static = false
+				break
+			}
+			total += a.amount
+		}
+		for _, s := range spawns {
+			if s.inLoop {
+				static = false
+			}
+		}
+		if !static || total == int64(len(spawns)) {
+			continue
+		}
+		pass.Reportf(spawns[0].site.Go.Pos(),
+			"%s ledger mismatch in %s: Add calls total %d but %d spawned goroutine(s) call Done; Wait will %s",
+			names[key], fd.Name.Name, total, len(spawns),
+			mismatchEffect(total, int64(len(spawns))))
+	}
+}
+
+func mismatchEffect(added, spawned int64) string {
+	if added > spawned {
+		return "block forever"
+	}
+	return "return before the extra goroutines finish (and Done will panic the counter negative)"
+}
+
+// collectAdds indexes every wg.Add(n) in body (outside spawned bodies) by
+// WaitGroup key.
+func collectAdds(info *types.Info, body *ast.BlockStmt, sites []dataflow.SpawnSite) map[string][]wgCall {
+	adds := make(map[string][]wgCall)
+	ast.Inspect(body, func(n ast.Node) bool {
+		// Don't descend into the spawned literals themselves: an Add inside
+		// the goroutine is exactly what rule 1 exists to reject.
+		for _, s := range sites {
+			if s.Lit != nil && n == ast.Node(s.Lit) {
+				return false
+			}
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != "Add" || len(call.Args) != 1 {
+			return true
+		}
+		if !dataflow.IsNamed(info.TypeOf(sel.X), "sync", "WaitGroup") {
+			return true
+		}
+		key, ok := dataflow.ObjKey(info, sel.X)
+		if !ok {
+			return true
+		}
+		amount := int64(-1)
+		if tv, ok := info.Types[call.Args[0]]; ok && tv.Value != nil {
+			if v, exact := constant.Int64Val(tv.Value); exact {
+				amount = v
+			}
+		}
+		adds[key] = append(adds[key], wgCall{key: key, call: call, amount: amount, inLoop: inLoop(body, call)})
+		return true
+	})
+	return adds
+}
+
+// doneCalls finds the WaitGroups the spawned body releases. Only groups
+// captured from outside the body count: a Done on a value the goroutine
+// pulled off a channel (a per-job wg) releases the job's group, not a group
+// the spawner could have Added to.
+func doneCalls(pass *framework.ProgramPass, bodyInfo *types.Info, body *ast.BlockStmt) []wgCall {
+	var out []wgCall
+	seen := make(map[string]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != "Done" || len(call.Args) != 0 {
+			return true
+		}
+		if !dataflow.IsNamed(bodyInfo.TypeOf(sel.X), "sync", "WaitGroup") {
+			return true
+		}
+		root := rootIdent(sel.X)
+		if root == nil || !dataflow.CapturedBy(bodyInfo, body, root) {
+			return true // a per-job wg pulled off a channel, not the spawner's
+		}
+		key, ok := dataflow.ObjKey(bodyInfo, sel.X)
+		if !ok || seen[key] {
+			return true
+		}
+		seen[key] = true
+		out = append(out, wgCall{
+			key:    key,
+			name:   dataflow.DisplayName(bodyInfo, pass.Fset, sel.X),
+			call:   call,
+			amount: 1,
+		})
+		return true
+	})
+	return out
+}
+
+// doneOnEveryPath reports whether every CFG path through body reaches a
+// Done on key — a top-level (or unconditional) defer counts for all paths.
+func doneOnEveryPath(info *types.Info, body *ast.BlockStmt, key string) bool {
+	isDone := func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return false
+		}
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != "Done" {
+			return false
+		}
+		if !dataflow.IsNamed(info.TypeOf(sel.X), "sync", "WaitGroup") {
+			return false
+		}
+		k, ok := dataflow.ObjKey(info, sel.X)
+		return ok && k == key
+	}
+	// Deferred Done at the top level of the body covers every path.
+	for _, s := range body.List {
+		if d, ok := s.(*ast.DeferStmt); ok && isDone(d.Call) {
+			return true
+		}
+	}
+	cfg := dataflow.BuildBody(body)
+	stmtDone := func(s ast.Stmt) bool {
+		found := false
+		dataflow.InspectStmt(s, func(n ast.Node) bool {
+			if _, ok := n.(*ast.FuncLit); ok {
+				return false
+			}
+			if _, ok := n.(*ast.GoStmt); ok {
+				return false
+			}
+			if isDone(n) {
+				found = true
+			}
+			return true
+		})
+		return found
+	}
+	facts := dataflow.Forward(cfg, dataflow.Flow[bool]{
+		Entry: false,
+		Join:  func(a, b bool) bool { return a && b },
+		Equal: func(a, b bool) bool { return a == b },
+		Transfer: func(f bool, s ast.Stmt) bool {
+			return f || stmtDone(s)
+		},
+	})
+	done, reachable := facts[cfg.Exit]
+	// An unreachable exit (the body never returns normally — infinite worker
+	// loop) releases nothing, but also never strands Wait on a *taken* path;
+	// treat the registered defers as authoritative there.
+	if !reachable {
+		for _, d := range cfg.Defers {
+			if isDone(d.Call) {
+				return true
+			}
+		}
+		return true
+	}
+	if done {
+		return true
+	}
+	for _, d := range cfg.Defers {
+		if isDone(d.Call) {
+			// A conditional defer: registered on some path. The must-analysis
+			// above already folds executed statements; a defer anywhere in a
+			// straight-line body was caught by the top-level scan. Treat a
+			// branch-registered defer as covering only if it dominates...
+			// conservatively accept it (degrade toward silence).
+			return true
+		}
+	}
+	return false
+}
+
+// inLoop reports whether node sits lexically inside a for/range statement
+// within root.
+func inLoop(root ast.Node, node ast.Node) bool {
+	found := false
+	framework.WalkStackNode(root, func(n ast.Node, stack []ast.Node) {
+		if n != node || found {
+			if n == node {
+				return
+			}
+			return
+		}
+		for _, anc := range stack {
+			switch anc.(type) {
+			case *ast.ForStmt, *ast.RangeStmt:
+				found = true
+			}
+		}
+	})
+	return found
+}
+
+// rootIdent walks a selector/deref chain to its base identifier.
+func rootIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch t := e.(type) {
+		case *ast.Ident:
+			return t
+		case *ast.SelectorExpr:
+			e = t.X
+		case *ast.ParenExpr:
+			e = t.X
+		case *ast.StarExpr:
+			e = t.X
+		case *ast.UnaryExpr:
+			e = t.X
+		case *ast.IndexExpr:
+			e = t.X
+		default:
+			return nil
+		}
+	}
+}
+
+// spawnedBody resolves the body a spawn site will run, with the types.Info
+// that body was checked under.
+func spawnedBody(pkg *framework.Package, prog *dataflow.Program, site dataflow.SpawnSite) (*ast.BlockStmt, *types.Info) {
+	if site.Lit != nil {
+		return site.Lit.Body, pkg.TypesInfo
+	}
+	if site.Callee != nil {
+		if fi := prog.Func(site.Callee); fi != nil && fi.Decl.Body != nil {
+			return fi.Decl.Body, fi.Pkg.TypesInfo
+		}
+	}
+	return nil, nil
+}

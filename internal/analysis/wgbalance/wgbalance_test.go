@@ -1,0 +1,15 @@
+package wgbalance_test
+
+import (
+	"testing"
+
+	"resistecc/internal/analysis/framework"
+	"resistecc/internal/analysis/wgbalance"
+)
+
+func TestWgbalance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("invokes go list")
+	}
+	framework.TestAnalyzer(t, wgbalance.Analyzer, framework.FixturePath("wgbalance"))
+}

@@ -140,6 +140,9 @@ func startBatchWorkers() {
 	}
 }
 
+// batchWorker drains the shared job channel for the process lifetime.
+//
+//recclint:detached process-lifetime shard worker parked on channel receive; torn down only at exit (see startBatchWorkers) and accounted for in testutil.DetachedMarks
 func batchWorker() {
 	for j := range batchJobs {
 		if j.all {

@@ -61,21 +61,25 @@ type ringEntry struct {
 // lagging backends, and reads carrying an X-Min-Generation floor skip
 // replicas that have not caught up to it (read-your-writes).
 type Pool struct {
-	writer   *Backend
-	replicas []*Backend
-	ring     []ringEntry // static; health is filtered at lookup time
-	client   *http.Client
-	interval time.Duration
+	writer   *Backend      // set in NewPool, immutable; per-Backend state is atomic
+	replicas []*Backend    // set in NewPool, immutable (the slice; Backends self-synchronize)
+	ring     []ringEntry   // static; health is filtered at lookup time
+	client   *http.Client  // set in NewPool, immutable
+	interval time.Duration // set in NewPool, immutable
 
+	// Routing counters: bumped atomically on the request path, snapshotted
+	// by Stats. No lock orders them against each other — each is
+	// independently monotonic.
 	retries         atomic.Uint64
 	writerFallbacks atomic.Uint64
 	proxied         atomic.Uint64
 	noBackend       atomic.Uint64
 
 	startOnce sync.Once
-	started   atomic.Bool
-	stop      chan struct{}
-	done      chan struct{}
+	stopOnce  sync.Once
+	started   atomic.Bool   // set by Start; Stop only waits on a started loop
+	stop      chan struct{} // closed exactly once, through stopOnce
+	done      chan struct{} // closed by the health loop as it exits
 }
 
 // NewPool builds a pool for one writer URL and its replica URLs. client
@@ -145,13 +149,12 @@ func (p *Pool) Start(ctx context.Context) {
 	})
 }
 
-// Stop ends the health loop and waits for it to exit. A no-op before Start.
+// Stop ends the health loop and waits for it to exit. A no-op before Start;
+// safe to call from any number of goroutines (the close is serialized
+// through stopOnce — checking the channel first and closing in a default
+// clause would let two callers race to the close and panic).
 func (p *Pool) Stop() {
-	select {
-	case <-p.stop:
-	default:
-		close(p.stop)
-	}
+	p.stopOnce.Do(func() { close(p.stop) })
 	if p.started.Load() {
 		<-p.done
 	}

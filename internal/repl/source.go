@@ -40,6 +40,9 @@ type Source struct {
 	// fetching.
 	MaxBatch int
 
+	// Serving counters: Store, Generation, and MaxBatch above are set
+	// before the first request and never reassigned; these are the only
+	// fields handlers mutate, each atomically, snapshotted by Stats.
 	snapshotsServed atomic.Uint64
 	framesServed    atomic.Uint64
 	recordsServed   atomic.Uint64

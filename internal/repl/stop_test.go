@@ -1,0 +1,73 @@
+package repl
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+)
+
+// The Stop methods on Pool and Tailer are idempotent and safe to call from
+// any number of goroutines: shutdown paths converge (a signal handler, a
+// failing health probe, and a deferred cleanup can all reach Stop), and the
+// old select-then-close idiom let two callers race past the guard and panic
+// on the second close. These tests hammer that window; under -race they also
+// pin the started-latch handoff between Start and Stop.
+
+func TestPoolStopConcurrent(t *testing.T) {
+	w := backendStub(t, 1, nil)
+	p := NewPool(w.URL, nil, nil, 10*time.Millisecond)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	p.Start(ctx)
+
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			p.Stop() // must not panic on a concurrently closed channel
+		}()
+	}
+	wg.Wait()
+	p.Stop() // and stays idempotent afterwards
+}
+
+func TestPoolStopBeforeStart(t *testing.T) {
+	w := backendStub(t, 1, nil)
+	p := NewPool(w.URL, nil, nil, 10*time.Millisecond)
+	p.Stop() // no-op: must not block waiting on a loop that never started
+	p.Stop()
+}
+
+func TestTailerStopConcurrent(t *testing.T) {
+	tw := newTestWriter(t)
+	tw.checkpoint(t, 0, 1)
+	f := &fakeFollower{}
+	tl := newTestTailer(t, tw, f)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	if err := tl.Sync(ctx); err != nil {
+		t.Fatal(err)
+	}
+	tl.Start(ctx)
+
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			tl.Stop()
+		}()
+	}
+	wg.Wait()
+	tl.Stop()
+}
+
+func TestTailerStopBeforeStart(t *testing.T) {
+	tw := newTestWriter(t)
+	f := &fakeFollower{}
+	tl := newTestTailer(t, tw, f)
+	tl.Stop() // started is false: Stop must return without waiting on done
+	tl.Stop()
+}

@@ -7,6 +7,7 @@ import (
 	"io"
 	"net/http"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"resistecc/internal/persist"
@@ -82,9 +83,10 @@ type Tailer struct {
 	lastContact time.Time  // guarded by mu
 	lastError   string     // guarded by mu
 
-	started bool // set by Start; Stop only waits on a started loop
-	stop    chan struct{}
-	done    chan struct{}
+	started  atomic.Bool // set by Start; Stop only waits on a started loop
+	stopOnce sync.Once
+	stop     chan struct{}
+	done     chan struct{}
 }
 
 // NewTailer validates cfg and fills defaults.
@@ -138,7 +140,7 @@ func (t *Tailer) Sync(ctx context.Context) error {
 // Start launches the background poll loop. Stop (or ctx cancellation) ends
 // it; Start must be called at most once.
 func (t *Tailer) Start(ctx context.Context) {
-	t.started = true
+	t.started.Store(true)
 	go func() {
 		defer close(t.done)
 		ticker := time.NewTicker(t.cfg.Interval)
@@ -158,14 +160,13 @@ func (t *Tailer) Start(ctx context.Context) {
 	}()
 }
 
-// Stop ends the poll loop and waits for it to exit. A no-op before Start.
+// Stop ends the poll loop and waits for it to exit. A no-op before Start;
+// safe to call from any number of goroutines (the close is serialized
+// through stopOnce, and started is atomic because Stop may run on a
+// different goroutine than the Start that set it).
 func (t *Tailer) Stop() {
-	select {
-	case <-t.stop:
-	default:
-		close(t.stop)
-	}
-	if t.started {
+	t.stopOnce.Do(func() { close(t.stop) })
+	if t.started.Load() {
 		<-t.done
 	}
 }

@@ -31,6 +31,16 @@ var benignMarks = []string{
 	"created by runtime",
 }
 
+// DetachedMarks identify goroutines the codebase deliberately never joins to
+// a lifecycle — every function carrying a //recclint:detached directive (the
+// goroutinelife analyzer's escape hatch) must appear here, qualified enough
+// to match its stack frames unambiguously. The correspondence is enforced
+// both ways by a cross-check test in internal/analysis, so a directive
+// cannot silently rot into an unaccounted leak.
+var DetachedMarks = []string{
+	"resistecc/internal/ecc.batchWorker",
+}
+
 // VerifyNoLeaks reports an error if goroutines other than the benign set are
 // still running. Goroutine shutdown is asynchronous — Close returns before
 // the worker's final return instruction retires — so the check polls with
@@ -102,6 +112,11 @@ func leakedStacks() []string {
 
 func isBenign(stack string) bool {
 	for _, mark := range benignMarks {
+		if strings.Contains(stack, mark) {
+			return true
+		}
+	}
+	for _, mark := range DetachedMarks {
 		if strings.Contains(stack, mark) {
 			return true
 		}
