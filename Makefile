@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: check build vet lint lint-fix lint-sarif lint-v3 test race repl-smoke trace-smoke bench bench-json
+.PHONY: check build vet lint lint-fix lint-sarif lint-v3 lint-v4 test race repl-smoke trace-smoke bench bench-json bench-trend
 
 check: vet lint race
 
@@ -14,12 +14,16 @@ build:
 vet:
 	$(GO) vet ./...
 
-# The repo-specific invariant checkers, all twelve: atomicmix, chandisc,
-# ctxflow, determinism, floateq, goroutinelife, hotpath, lockguard,
-# lockorder, mustclose, syncerr, wgbalance (see internal/analysis and
-# DESIGN.md §9 and §13). Add -v for a per-analyzer wall-time breakdown.
+# The repo-specific invariant checkers, all sixteen: apisurface, atomicmix,
+# chandisc, ctxflow, determinism, erridentity, floateq, goroutinelife,
+# hotpath, lockguard, lockorder, metrichygiene, mustclose, syncerr,
+# wgbalance, wireproto (see internal/analysis and DESIGN.md §9, §13 and
+# §14). The ./... pattern includes internal/analysis itself, so the suite
+# lints its own framework and analyzers. -budget fails the run if any single
+# analyzer exceeds the ceiling, keeping lint wall time an enforced contract;
+# add -v for the slowest-first per-analyzer breakdown.
 lint:
-	$(GO) run ./cmd/recclint ./...
+	$(GO) run ./cmd/recclint -budget=30s ./...
 
 # Apply every suggested fix (mustclose deferred Closes, ctxflow rewrites),
 # gofmt-formatting the touched files in place.
@@ -37,6 +41,14 @@ lint-sarif:
 lint-v3:
 	$(GO) test -count=1 ./internal/analysis/goroutinelife/ ./internal/analysis/chandisc/ \
 		./internal/analysis/wgbalance/ ./internal/analysis/atomicmix/
+
+# Fixture smoke for the v4 protocol & surface analyzers: wire-format
+# symmetry, HTTP envelope/routes-manifest discipline, metrics registration
+# hygiene, and sentinel-error identity (including the erridentity autofix
+# round trip in cmd/recclint's tests).
+lint-v4:
+	$(GO) test -count=1 ./internal/analysis/wireproto/ ./internal/analysis/apisurface/ \
+		./internal/analysis/metrichygiene/ ./internal/analysis/erridentity/
 
 test:
 	$(GO) test ./...
@@ -64,7 +76,7 @@ trace-smoke:
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ ./...
 
-# Machine-readable bench trajectory (BENCH_8.json): the batch-engine
+# Machine-readable bench trajectory (BENCH_10.json): the batch-engine
 # benchmarks at batch sizes 1/16/256 against the serial per-node baseline,
 # the ColdBuild/WarmStart durability carry-overs, and the trace-driven
 # loadgen capacity probes (single node and the replicated tier; their req/s
@@ -75,4 +87,12 @@ bench-json:
 	{ $(GO) test -run='^$$' -bench='^BenchmarkBatch' -benchmem . ; \
 	  $(GO) test -run='^$$' -bench='^Benchmark(ColdBuild|WarmStart)$$' -benchtime=1x -benchmem . ; \
 	  $(GO) test -run='^$$' -bench='^BenchmarkLoadgen' -benchtime=1x ./cmd/reccd/ ; } \
-	| $(GO) run ./cmd/benchjson -o BENCH_8.json
+	| $(GO) run ./cmd/benchjson -o BENCH_10.json
+
+# Walk the committed BENCH_*.json trajectory oldest to newest and fail on
+# any tracked metric regressing more than 20% between a benchmark's
+# consecutive appearances. CI runs this against the committed records (never
+# against freshly benchmarked ones — runner hardware varies), so degrading
+# the trajectory requires a deliberate rewrite of the record files.
+bench-trend:
+	$(GO) run ./cmd/benchjson -trend

@@ -11,6 +11,12 @@
 //	{ go test -bench='BenchmarkBatch' -benchmem -run='^$' . ; \
 //	  go test -bench='BenchmarkColdBuild' -benchtime=1x -benchmem -run='^$' . ; } \
 //	| go run ./cmd/benchjson -o BENCH_6.json
+//
+// With -trend it instead reads every committed BENCH_<n>.json in numeric
+// order and fails on any tracked metric moving more than 20% in its
+// regression direction between a benchmark's consecutive appearances (see
+// runTrend for the exact gates); CI runs this so a perf regression has to be
+// acknowledged by rewriting the trajectory, never slipped in silently.
 package main
 
 import (
@@ -125,7 +131,16 @@ func run(in io.Reader, out io.Writer) error {
 
 func main() {
 	outPath := flag.String("o", "", "write JSON to this file instead of stdout")
+	trend := flag.Bool("trend", false, "compare the committed BENCH_*.json trajectory and fail on regressions")
+	trendDir := flag.String("trend-dir", ".", "directory holding the BENCH_*.json trajectory (with -trend)")
 	flag.Parse()
+	if *trend {
+		if err := runTrend(*trendDir, os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
 	// Render into memory first so the output file is written (and its close
 	// error checked) in one step, never left half-filled on a parse error.
 	var buf bytes.Buffer

@@ -1,0 +1,169 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// trendThreshold is the regression budget: a tracked metric may drift this
+// fraction worse between consecutive trajectory records before -trend fails.
+const trendThreshold = 0.20
+
+var benchFileName = regexp.MustCompile(`^BENCH_(\d+)\.json$`)
+
+// benchFiles returns the committed trajectory files in dir, ordered by their
+// numeric index (BENCH_2 before BENCH_10, which lexical order would flip).
+func benchFiles(dir string) ([]string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	type indexed struct {
+		n    int
+		name string
+	}
+	var files []indexed
+	for _, e := range entries {
+		m := benchFileName.FindStringSubmatch(e.Name())
+		if e.IsDir() || m == nil {
+			continue
+		}
+		n, err := strconv.Atoi(m[1])
+		if err != nil {
+			return nil, fmt.Errorf("benchjson: index in %q: %w", e.Name(), err)
+		}
+		files = append(files, indexed{n, e.Name()})
+	}
+	sort.Slice(files, func(i, j int) bool { return files[i].n < files[j].n })
+	out := make([]string, len(files))
+	for i, f := range files {
+		out[i] = filepath.Join(dir, f.name)
+	}
+	return out, nil
+}
+
+func loadRecords(path string) ([]record, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var recs []record
+	if err := json.Unmarshal(b, &recs); err != nil {
+		return nil, fmt.Errorf("benchjson: %s: %w", path, err)
+	}
+	return recs, nil
+}
+
+// higherIsBetter reports whether a larger value of a custom metric unit is an
+// improvement: throughput units are, latencies are not.
+func higherIsBetter(unit string) bool { return strings.HasSuffix(unit, "/s") }
+
+// runTrend reads every BENCH_<n>.json in dir and walks the trajectory oldest
+// to newest, comparing each benchmark against its previous appearance. Two
+// gates apply: any record carrying errs_5xx > 0 fails outright (the count is
+// exact regardless of run length), and multi-iteration benchmarks fail on a
+// >trendThreshold move in the regression direction of ns/op, allocs/op, or
+// any custom metric. One-shot runs (-benchtime=1x: cold builds, load probes)
+// are carried and printed but exempt from the ratio gate — a single
+// iteration's wall time swings far past any useful threshold.
+func runTrend(dir string, out io.Writer) error {
+	files, err := benchFiles(dir)
+	if err != nil {
+		return err
+	}
+	if len(files) == 0 {
+		return fmt.Errorf("benchjson: no BENCH_*.json files in %s", dir)
+	}
+	history := make([][]record, len(files))
+	for i, f := range files {
+		if history[i], err = loadRecords(f); err != nil {
+			return err
+		}
+	}
+	regressions := 0
+	for i, recs := range history {
+		for _, r := range recs {
+			if v, ok := r.Metrics["errs_5xx"]; ok && v > 0 {
+				fmt.Fprintf(out, "REGRESSION %s: %s saw %g 5xx answers\n", files[i], r.Name, v)
+				regressions++
+			}
+		}
+	}
+	comparisons := 0
+	for i := 1; i < len(files); i++ {
+		prev := make(map[string]record, len(history[i-1]))
+		for _, r := range history[i-1] {
+			prev[r.Name] = r
+		}
+		for _, r := range history[i] {
+			p, ok := prev[r.Name]
+			if !ok {
+				continue // first appearance: nothing to compare against
+			}
+			if p.Iterations == 1 || r.Iterations == 1 {
+				continue // one-shot smoke run: exempt from the ratio gate
+			}
+			comparisons++
+			regressions += compareRecords(out, files[i-1], files[i], p, r)
+		}
+	}
+	fmt.Fprintf(out, "trend: %d file(s), %d gated comparison(s), %d regression(s) over the %d%% budget\n",
+		len(files), comparisons, regressions, int(trendThreshold*100))
+	if regressions > 0 {
+		return fmt.Errorf("benchjson: %d regression(s) in the bench trajectory", regressions)
+	}
+	return nil
+}
+
+// compareRecords prints every over-budget move from p (in file from) to r (in
+// file to) and returns how many it found.
+func compareRecords(out io.Writer, from, to string, p, r record) int {
+	n := 0
+	report := func(unit string, old, new float64) {
+		fmt.Fprintf(out, "REGRESSION %s: %s %g -> %g %s (%+.1f%%) since %s\n",
+			to, r.Name, old, new, unit, 100*(new-old)/old, from)
+		n++
+	}
+	if r.NsPerOp > p.NsPerOp*(1+trendThreshold) {
+		report("ns/op", p.NsPerOp, r.NsPerOp)
+	}
+	if p.AllocsPerOp != nil && r.AllocsPerOp != nil {
+		old, new := float64(*p.AllocsPerOp), float64(*r.AllocsPerOp)
+		// A benchmark that was allocation-free must stay so; any nonzero
+		// count after a zero baseline is a regression at every threshold.
+		if old == 0 && new > 0 {
+			fmt.Fprintf(out, "REGRESSION %s: %s allocates (%g allocs/op, was 0) since %s\n", to, r.Name, new, from)
+			n++
+		} else if new > old*(1+trendThreshold) {
+			report("allocs/op", old, new)
+		}
+	}
+	units := make([]string, 0, len(r.Metrics))
+	for unit := range r.Metrics {
+		if unit == "errs_5xx" { // gated absolutely, per file
+			continue
+		}
+		if _, ok := p.Metrics[unit]; ok {
+			units = append(units, unit)
+		}
+	}
+	sort.Strings(units)
+	for _, unit := range units {
+		old, new := p.Metrics[unit], r.Metrics[unit]
+		if higherIsBetter(unit) {
+			if new < old*(1-trendThreshold) {
+				report(unit, old, new)
+			}
+		} else if new > old*(1+trendThreshold) {
+			report(unit, old, new)
+		}
+	}
+	return n
+}

@@ -1,0 +1,100 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeTrajectory(t *testing.T, dir, name, body string) {
+	t.Helper()
+	if err := os.WriteFile(filepath.Join(dir, name), []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBenchFilesNumericOrder(t *testing.T) {
+	dir := t.TempDir()
+	for _, name := range []string{"BENCH_10.json", "BENCH_2.json", "BENCH_6.json", "BENCH_x.json", "notes.txt"} {
+		writeTrajectory(t, dir, name, "[]")
+	}
+	files, err := benchFiles(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var names []string
+	for _, f := range files {
+		names = append(names, filepath.Base(f))
+	}
+	want := "BENCH_2.json BENCH_6.json BENCH_10.json"
+	if got := strings.Join(names, " "); got != want {
+		t.Fatalf("benchFiles order = %q, want %q", got, want)
+	}
+}
+
+func TestTrendCleanTrajectory(t *testing.T) {
+	dir := t.TempDir()
+	// +10% ns/op and -10% req/s stay inside the 20% budget; the one-shot
+	// ColdBuild doubling is exempt (iterations == 1); the new Loadgen record
+	// in file 2 has no baseline and is skipped.
+	writeTrajectory(t, dir, "BENCH_1.json", `[
+	  {"name":"BenchmarkBatchQuery/batch=16","batch":16,"iterations":1000,"ns_per_op":1000,"allocs_per_op":0},
+	  {"name":"BenchmarkColdBuild","batch":0,"iterations":1,"ns_per_op":1e10}
+	]`)
+	writeTrajectory(t, dir, "BENCH_2.json", `[
+	  {"name":"BenchmarkBatchQuery/batch=16","batch":16,"iterations":1000,"ns_per_op":1100,"allocs_per_op":0},
+	  {"name":"BenchmarkColdBuild","batch":0,"iterations":1,"ns_per_op":2e10},
+	  {"name":"BenchmarkLoadgenSingleNode","batch":0,"iterations":1,"ns_per_op":4e8,
+	   "metrics":{"errs_5xx":0,"p99_ms":50,"req/s":5000}}
+	]`)
+	var out strings.Builder
+	if err := runTrend(dir, &out); err != nil {
+		t.Fatalf("clean trajectory failed: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "1 gated comparison(s), 0 regression(s)") {
+		t.Errorf("unexpected summary:\n%s", out.String())
+	}
+}
+
+func TestTrendCatchesRegressions(t *testing.T) {
+	dir := t.TempDir()
+	writeTrajectory(t, dir, "BENCH_1.json", `[
+	  {"name":"BenchmarkBatchQuery/batch=16","batch":16,"iterations":1000,"ns_per_op":1000,"allocs_per_op":0},
+	  {"name":"BenchmarkBatchQuery/batch=256","batch":256,"iterations":1000,"ns_per_op":1000,
+	   "metrics":{"q/s":1000}}
+	]`)
+	writeTrajectory(t, dir, "BENCH_2.json", `[
+	  {"name":"BenchmarkBatchQuery/batch=16","batch":16,"iterations":1000,"ns_per_op":1300,"allocs_per_op":2},
+	  {"name":"BenchmarkBatchQuery/batch=256","batch":256,"iterations":1000,"ns_per_op":1000,
+	   "metrics":{"q/s":700}},
+	  {"name":"BenchmarkLoadgenSingleNode","batch":0,"iterations":1,"ns_per_op":4e8,
+	   "metrics":{"errs_5xx":3}}
+	]`)
+	var out strings.Builder
+	err := runTrend(dir, &out)
+	if err == nil {
+		t.Fatalf("regressed trajectory passed:\n%s", out.String())
+	}
+	for _, want := range []string{
+		"1000 -> 1300 ns/op",     // +30% latency
+		"allocates (2 allocs/op", // zero-alloc benchmark started allocating
+		"1000 -> 700 q/s",        // -30% throughput (higher-is-better unit)
+		"saw 3 5xx answers",      // absolute gate, one-shot or not
+		"4 regression(s) over the 20% budget",
+	} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("output is missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+// TestTrendCommittedTrajectory runs the real gate over the repository's own
+// committed BENCH_*.json files — the same invocation CI uses — so a record
+// that would fail CI cannot be committed past this test.
+func TestTrendCommittedTrajectory(t *testing.T) {
+	var out strings.Builder
+	if err := runTrend(filepath.Join("..", ".."), &out); err != nil {
+		t.Fatalf("committed trajectory fails the trend gate: %v\n%s", err, out.String())
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"time"
 
@@ -77,12 +78,13 @@ func cmdSnapshot(ctx context.Context, args []string) error {
 	return nil
 }
 
-// cmdInspect prints what recovery would see in a snapshot file or a durable
-// store directory: per-section sizes and checksums, build parameters, and the
-// WAL's valid prefix — without loading the index.
+// cmdInspect prints what recovery would see in a snapshot, WAL, tail-frame,
+// or trace file, or a durable store directory: per-section sizes and
+// checksums, build parameters, and each format's valid prefix — without
+// loading the index.
 func cmdInspect(args []string) error {
 	fs := flag.NewFlagSet("inspect", flag.ContinueOnError)
-	path := fs.String("path", "", "snapshot file or durable store directory")
+	path := fs.String("path", "", "snapshot, WAL, tail-frame, or trace file, or a store directory")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -99,9 +101,16 @@ func cmdInspect(args []string) error {
 		return err
 	}
 	if !fi.IsDir() {
-		if isTraceFile(p) {
+		switch sniffMagic(p) {
+		case trace.Magic:
 			return inspectTrace(p, fi.Size())
+		case persist.WALMagic:
+			return inspectWAL(p)
+		case persist.TailMagic:
+			return inspectTailFrame(p)
 		}
+		// Everything else is presented as a snapshot; InspectSnapshot
+		// reports an unrecognized magic rather than failing.
 		rep, err := persist.InspectSnapshot(p)
 		if err != nil {
 			return err
@@ -123,33 +132,84 @@ func cmdInspect(args []string) error {
 		printReport(rep)
 	}
 	if wal != nil {
-		fmt.Printf("\nwal %s\n", wal.Path)
-		fmt.Printf("  size        %d bytes\n", wal.Size)
-		fmt.Printf("  records     %d", wal.Records)
-		if wal.Records > 0 {
-			fmt.Printf(" (seq %d..%d)", wal.FirstSeq, wal.LastSeq)
-		}
 		fmt.Println()
-		if wal.TornBytes > 0 {
-			fmt.Printf("  torn tail   %d bytes (recovery discards them)\n", wal.TornBytes)
-		}
+		printWALInfo(wal)
 	}
 	return nil
 }
 
-// isTraceFile sniffs the first 8 bytes for the trace magic so inspect can
-// dispatch between snapshot and trace files without an extension convention.
-func isTraceFile(p string) bool {
+// sniffMagic reads the 8-byte format tag so inspect can dispatch between the
+// four on-disk formats without an extension convention.
+func sniffMagic(p string) string {
 	f, err := os.Open(p)
 	if err != nil {
-		return false
+		return ""
 	}
 	defer f.Close()
 	var hdr [8]byte
-	if _, err := f.Read(hdr[:]); err != nil {
-		return false
+	if _, err := io.ReadFull(f, hdr[:]); err != nil {
+		return ""
 	}
-	return string(hdr[:]) == trace.Magic
+	return string(hdr[:])
+}
+
+// inspectWAL prints what recovery would see in a standalone WAL file: the
+// valid record prefix and any torn tail recovery would truncate.
+func inspectWAL(p string) error {
+	wi, err := persist.InspectWAL(p)
+	if err != nil {
+		return err
+	}
+	printWALInfo(wi)
+	return nil
+}
+
+func printWALInfo(wal *persist.WALInfo) {
+	fmt.Printf("wal %s\n", wal.Path)
+	if wal.Version != 0 {
+		fmt.Printf("  size        %d bytes, format v%d\n", wal.Size, wal.Version)
+	} else {
+		fmt.Printf("  size        %d bytes\n", wal.Size)
+	}
+	fmt.Printf("  records     %d", wal.Records)
+	if wal.Records > 0 {
+		fmt.Printf(" (seq %d..%d)", wal.FirstSeq, wal.LastSeq)
+	}
+	fmt.Println()
+	if wal.TornBytes > 0 {
+		fmt.Printf("  torn tail   %d bytes (recovery discards them)\n", wal.TornBytes)
+	}
+}
+
+// inspectTailFrame prints what a replica would see in a captured tail-fetch
+// frame: the writer's header fields, how many records verify, and why the
+// frame would be rejected if it would be. Frames apply all-or-nothing, so
+// unlike a WAL a bad byte anywhere invalidates the whole frame.
+func inspectTailFrame(p string) error {
+	ti, err := persist.InspectTail(p)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("tail frame %s\n", ti.Path)
+	fmt.Printf("  size        %d bytes, format v%d\n", ti.Size, ti.Version)
+	if ti.Valid {
+		fmt.Printf("  status      valid\n")
+	} else {
+		fmt.Printf("  status      INVALID: %s\n", ti.Err)
+	}
+	if ti.HeaderOK {
+		fmt.Printf("  writer      lastSeq=%d gen=%d snapSeq=%d snapGen=%d\n",
+			ti.LastSeq, ti.WriterGen, ti.SnapSeq, ti.SnapGen)
+	}
+	fmt.Printf("  records     %d declared, %d verified", ti.Declared, ti.Records)
+	if ti.Records > 0 {
+		fmt.Printf(" (seq %d..%d)", ti.FirstRec, ti.LastRec)
+	}
+	fmt.Println()
+	if ti.TornBytes > 0 {
+		fmt.Printf("  trailing    %d bytes past the verified records (a replica rejects the frame)\n", ti.TornBytes)
+	}
+	return nil
 }
 
 // inspectTrace prints what a replayer would see in a trace file: the valid

@@ -11,6 +11,7 @@ import (
 	"testing"
 
 	"resistecc"
+	"resistecc/internal/obs"
 )
 
 // testServer builds a server over a connected generated graph (identity id
@@ -69,7 +70,7 @@ func decodeArr(t *testing.T, rec *httptest.ResponseRecorder) []map[string]any {
 // body is {"error":{"code":…,"message":…}} with both fields non-empty.
 func decodeErrEnvelope(t *testing.T, rec *httptest.ResponseRecorder) (code, msg string) {
 	t.Helper()
-	var body errorResponse
+	var body obs.ErrorEnvelope
 	if err := json.Unmarshal(rec.Body.Bytes(), &body); err != nil {
 		t.Fatalf("bad error envelope: %v (%s)", err, rec.Body.String())
 	}

@@ -2,6 +2,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"fmt"
 	"io"
 	"log"
@@ -11,6 +12,8 @@ import (
 	"strings"
 	"testing"
 	"time"
+
+	"resistecc/internal/obs"
 )
 
 // replSet is a full replication tier under test: one durable writer, two
@@ -409,5 +412,103 @@ func TestReplLagGaugeRetired(t *testing.T) {
 		if !strings.Contains(metrics, want) {
 			t.Fatalf("legacy replica metrics missing %q:\n%s", want, metrics)
 		}
+	}
+}
+
+// envelopeOf decodes body as the canonical error envelope, failing the test
+// when either field is empty.
+func envelopeOf(t *testing.T, status int, body string) obs.ErrorEnvelope {
+	t.Helper()
+	var env obs.ErrorEnvelope
+	if err := json.Unmarshal([]byte(body), &env); err != nil {
+		t.Fatalf("non-2xx body (%d) is not the error envelope: %v (%s)", status, err, body)
+	}
+	if env.Error.Code == "" || env.Error.Message == "" {
+		t.Fatalf("non-2xx body (%d) missing code/message: %s", status, body)
+	}
+	return env
+}
+
+// TestReplEnvelopeOnEveryNon2xx pins the error-envelope contract for the
+// router and replica roles: unknown paths, wrong methods, refused writes,
+// not-yet-synced reads and a degraded router health check all answer with
+// {"error":{"code":…,"message":…}} — the same shape the writer serves.
+func TestReplEnvelopeOnEveryNon2xx(t *testing.T) {
+	rs := startReplSet(t)
+	for _, r := range rs.replicas {
+		waitConverged(t, rs.writer, r)
+	}
+
+	// Router: mux-produced 404 and 405 are rewritten into the envelope.
+	code, body, _ := httpGet(t, rs.routerTS.URL+"/v1/nope", nil)
+	if code != http.StatusNotFound {
+		t.Fatalf("unknown router path: %d (%s)", code, body)
+	}
+	if env := envelopeOf(t, code, body); env.Error.Code != "not_found" {
+		t.Fatalf("router 404 code %q", env.Error.Code)
+	}
+	resp, err := http.Post(rs.routerTS.URL+"/v1/healthz", "application/json", strings.NewReader("{}"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("POST healthz via router: %d (%s)", resp.StatusCode, b)
+	}
+	if env := envelopeOf(t, resp.StatusCode, string(b)); env.Error.Code != "method_not_allowed" {
+		t.Fatalf("router 405 code %q", env.Error.Code)
+	}
+
+	// Replica: refused mutation (403 not_writer) carries the envelope.
+	resp, err = http.Post(rs.replicaTSs[0].URL+"/v1/edges", "application/json", strings.NewReader(`{"u":0,"v":1}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusForbidden {
+		t.Fatalf("replica mutation: %d (%s)", resp.StatusCode, b)
+	}
+	if env := envelopeOf(t, resp.StatusCode, string(b)); env.Error.Code != "not_writer" {
+		t.Fatalf("replica 403 code %q", env.Error.Code)
+	}
+}
+
+// TestRouterDegradedHealthEnvelope boots a router whose backends do not
+// exist: the 503 degraded health answer must carry the error envelope next
+// to its per-backend diagnostics.
+func TestRouterDegradedHealthEnvelope(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	cfg := Config{
+		Role:         roleRouter,
+		Upstream:     "http://127.0.0.1:1",
+		Replicas:     []string{"http://127.0.0.1:1"},
+		PollInterval: time.Hour, // backends start unhealthy; no poll needed
+		Server:       defaultConfig(),
+	}
+	if err := cfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	router, err := newRouterServer(ctx, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer router.close()
+	ts := httptest.NewServer(router.handler(log.New(io.Discard, "", 0)))
+	defer ts.Close()
+
+	code, body, _ := httpGet(t, ts.URL+"/v1/healthz", nil)
+	if code != http.StatusServiceUnavailable {
+		t.Fatalf("degraded router health: %d (%s)", code, body)
+	}
+	env := envelopeOf(t, code, body)
+	if env.Error.Code != "degraded" {
+		t.Fatalf("degraded health code %q", env.Error.Code)
+	}
+	// The diagnostics ride along in the same body.
+	if !strings.Contains(body, `"replicas"`) || !strings.Contains(body, `"status":"degraded"`) {
+		t.Fatalf("degraded health lost its diagnostics: %s", body)
 	}
 }

@@ -68,20 +68,17 @@ func (rs *routerServer) publishRouterMetrics() {
 			return 0
 		}
 	}
+	// Per-backend series are label values on two fixed names, not
+	// per-backend names: metrichygiene forbids dynamically-constructed
+	// metric names, and labels are what Prometheus dimensions are for.
 	for i, b := range rs.pool.Replicas() {
 		b := b
-		rs.reg.SetGaugeFunc(nameIdx("router_backend_healthy", i), healthGauge(b))
-		rs.reg.SetGaugeFunc(nameIdx("router_backend_generation", i), func() float64 { return float64(b.Generation()) })
+		rs.reg.SetLabeledGaugeFunc("router_backend_healthy", "backend", strconv.Itoa(i), healthGauge(b))
+		rs.reg.SetLabeledGaugeFunc("router_backend_generation", "backend", strconv.Itoa(i), func() float64 { return float64(b.Generation()) })
 	}
 	w := rs.pool.Writer()
 	rs.reg.SetGaugeFunc("router_writer_healthy", healthGauge(w))
 	rs.reg.SetGaugeFunc("router_writer_generation", func() float64 { return float64(w.Generation()) })
-}
-
-// nameIdx builds a per-backend metric name; the registry namespace prefixes
-// it with reccd_.
-func nameIdx(base string, i int) string {
-	return base + "_" + strconv.Itoa(i)
 }
 
 // handleHealth reports the router's own state: per-backend health and
@@ -93,12 +90,29 @@ func (rs *routerServer) handleHealth(w http.ResponseWriter, _ *http.Request) {
 		Healthy    bool   `json:"healthy"`
 		Generation uint64 `json:"generation"`
 	}
-	wr := rs.pool.Writer()
-	body := map[string]any{
-		"role":   roleRouter,
-		"writer": backendView{URL: wr.URL, Healthy: wr.Healthy(), Generation: wr.Generation()},
+	type routingView struct {
+		Proxied         uint64 `json:"proxied"`
+		Retries         uint64 `json:"retries"`
+		WriterFallbacks uint64 `json:"writerFallbacks"`
+		NoBackend       uint64 `json:"noBackend"`
 	}
-	replicas := make([]backendView, 0, len(rs.pool.Replicas()))
+	// The degraded 503 must carry the {"error":{code,message}} envelope like
+	// every other non-2xx — apisurface checks the body type at the writeJSON
+	// call below — so the health view embeds an optional envelope field next
+	// to its diagnostics.
+	type healthView struct {
+		Role     string         `json:"role"`
+		Status   string         `json:"status"`
+		Writer   backendView    `json:"writer"`
+		Replicas []backendView  `json:"replicas"`
+		Routing  routingView    `json:"routing"`
+		Error    *obs.ErrorBody `json:"error,omitempty"`
+	}
+	wr := rs.pool.Writer()
+	body := healthView{
+		Role:   roleRouter,
+		Writer: backendView{URL: wr.URL, Healthy: wr.Healthy(), Generation: wr.Generation()},
+	}
 	healthy := 0
 	if wr.Healthy() {
 		healthy++
@@ -107,22 +121,22 @@ func (rs *routerServer) handleHealth(w http.ResponseWriter, _ *http.Request) {
 		if b.Healthy() {
 			healthy++
 		}
-		replicas = append(replicas, backendView{URL: b.URL, Healthy: b.Healthy(), Generation: b.Generation()})
+		body.Replicas = append(body.Replicas, backendView{URL: b.URL, Healthy: b.Healthy(), Generation: b.Generation()})
 	}
-	body["replicas"] = replicas
 	st := rs.pool.Stats()
-	body["routing"] = map[string]any{
-		"proxied":         st.Proxied,
-		"retries":         st.Retries,
-		"writerFallbacks": st.WriterFallbacks,
-		"noBackend":       st.NoBackend,
+	body.Routing = routingView{
+		Proxied:         st.Proxied,
+		Retries:         st.Retries,
+		WriterFallbacks: st.WriterFallbacks,
+		NoBackend:       st.NoBackend,
 	}
 	if healthy == 0 {
-		body["status"] = "degraded"
+		body.Status = "degraded"
+		body.Error = &obs.ErrorBody{Code: "degraded", Message: "no healthy backends"}
 		writeJSON(w, http.StatusServiceUnavailable, body)
 		return
 	}
-	body["status"] = "ok"
+	body.Status = "ok"
 	writeJSON(w, http.StatusOK, body)
 }
 

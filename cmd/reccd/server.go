@@ -444,21 +444,27 @@ func (s *server) publishReplicaMetrics() {
 // carries a Deprecation header pointing at the /v1 successor.
 func (s *server) handler(logger *log.Logger) http.Handler {
 	mux := http.NewServeMux()
-	get := func(path, name string, h http.HandlerFunc) {
+	// Registrations use full "METHOD /v1/path" literals: the apisurface
+	// analyzer collects every such constant in this function and checks the
+	// set against routes.json. The legacy alias pattern is derived (non-
+	// constant) so retired unversioned paths stay out of the manifest.
+	get := func(pattern, name string, h http.HandlerFunc) {
 		wrapped := s.reg.InstrumentFunc(name, h)
-		mux.Handle("GET /v1"+path, wrapped)
+		mux.Handle(pattern, wrapped)
 		if s.cfg.LegacyRoutes {
-			mux.Handle("GET "+path, deprecated(path, wrapped))
+			aliasPattern, path := legacyAlias(pattern)
+			mux.Handle(aliasPattern, deprecated(path, wrapped))
 		}
 	}
-	get("/healthz", "healthz", s.handleHealth)
-	get("/eccentricity", "eccentricity", s.handleEccentricity)
-	get("/resistance", "resistance", s.handleResistance)
-	get("/summary", "summary", s.handleSummary)
+	get("GET /v1/healthz", "healthz", s.handleHealth)
+	get("GET /v1/eccentricity", "eccentricity", s.handleEccentricity)
+	get("GET /v1/resistance", "resistance", s.handleResistance)
+	get("GET /v1/summary", "summary", s.handleSummary)
 	metrics := s.reg.Instrument("metrics", s.reg)
 	mux.Handle("GET /v1/metrics", metrics)
 	if s.cfg.LegacyRoutes {
-		mux.Handle("GET /metrics", deprecated("/metrics", metrics))
+		aliasPattern, path := legacyAlias("GET /v1/metrics")
+		mux.Handle(aliasPattern, deprecated(path, metrics))
 	}
 
 	// Mutations exist only under /v1/. Replicas refuse them with a typed
@@ -502,18 +508,19 @@ func httpServer(addr string, h http.Handler, cfg serverConfig) *http.Server {
 	}
 }
 
-// errorResponse is the structured error envelope of the API: every non-2xx
-// response carries {"error":{"code":…,"message":…}} with a stable,
-// machine-readable code.
-type errorResponse struct {
-	Error errorBody `json:"error"`
-}
+// The error envelope types live in internal/obs (ErrorEnvelope/ErrorBody),
+// shared with the replication feed so the whole tier speaks one error shape.
+// The route/method surface of this binary is pinned by cmd/reccd/routes.json,
+// which the apisurface analyzer validates and cross-checks against the
+// registration literals in (*server).handler and (*routerServer).handler.
+//recclint:routes routes.json
 
-type errorBody struct {
-	Code    string `json:"code"`
-	Message string `json:"message"`
-}
-
+// writeJSON emits status with a JSON body. It is the envelope layer of the
+// server: the apisurface analyzer sanctions its WriteHeader and, at every
+// call site passing a constant error status, requires the body's type to
+// carry the {"error":{code,message}} envelope.
+//
+//recclint:envelope
 func writeJSON(w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
@@ -524,7 +531,7 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 }
 
 func writeError(w http.ResponseWriter, status int, code, format string, args ...any) {
-	writeJSON(w, status, errorResponse{errorBody{Code: code, Message: fmt.Sprintf(format, args...)}})
+	obs.WriteError(w, status, code, format, args...)
 }
 
 // envelopeWriter rewrites the mux's own plain-text 404/405 pages into the
@@ -549,7 +556,7 @@ func (ew *envelopeWriter) WriteHeader(status int) {
 			}
 			ew.Header().Set("Content-Type", "application/json")
 			ew.ResponseWriter.WriteHeader(status)
-			if err := json.NewEncoder(ew.ResponseWriter).Encode(errorResponse{errorBody{Code: code, Message: msg}}); err != nil {
+			if err := json.NewEncoder(ew.ResponseWriter).Encode(obs.ErrorEnvelope{Error: obs.ErrorBody{Code: code, Message: msg}}); err != nil {
 				log.Printf("reccd: encoding error envelope: %v", err)
 			}
 			return
@@ -575,9 +582,23 @@ func withEnvelope(next http.Handler) http.Handler {
 }
 
 // setGeneration stamps the served index generation on the response, so
-// clients can correlate answers with mutations they issued.
+// clients can correlate answers with mutations they issued. The apisurface
+// analyzer requires every manifest route marked "generation" to reach this
+// function from its handler.
+//
+//recclint:genstamp
 func setGeneration(w http.ResponseWriter, gen uint64) {
 	w.Header().Set("X-Index-Generation", strconv.FormatUint(gen, 10))
+}
+
+// legacyAlias derives the retired unversioned mux pattern (and bare path)
+// from a "METHOD /v1/path" literal: "GET /v1/healthz" → "GET /healthz",
+// "/healthz". Deliberately not a constant expression at the call sites, so
+// the apisurface route collection sees only the canonical /v1 surface.
+func legacyAlias(pattern string) (aliasPattern, path string) {
+	method, rest, _ := strings.Cut(pattern, " ")
+	path = strings.TrimPrefix(rest, "/v1")
+	return method + " " + path, path
 }
 
 // deprecated wraps a retired unversioned alias: the response carries a

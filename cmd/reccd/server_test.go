@@ -2,6 +2,7 @@ package main
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"io"
 	"log"
@@ -224,7 +225,7 @@ func TestGracefulShutdownDrain(t *testing.T) {
 	if err := <-shutdownDone; err != nil {
 		t.Fatalf("shutdown: %v", err)
 	}
-	if err := <-serveErr; err != http.ErrServerClosed {
+	if err := <-serveErr; !errors.Is(err, http.ErrServerClosed) {
 		t.Fatalf("serve returned %v, want ErrServerClosed", err)
 	}
 	// New connections are refused after shutdown.

@@ -26,7 +26,7 @@ func loadgenWorkload(b *testing.B, ops int) []trace.Record {
 }
 
 // driveLoad runs the workload against base and reports capacity metrics in
-// the units the bench trajectory (BENCH_8.json) records: achieved req/s,
+// the units the bench trajectory (BENCH_<n>.json) records: achieved req/s,
 // p50/p99 latency in ms, and the 5xx count (which must stay 0).
 func driveLoad(b *testing.B, recs []trace.Record, base string) {
 	b.Helper()

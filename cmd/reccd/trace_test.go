@@ -222,8 +222,8 @@ func TestTraceMetricsSurfaced(t *testing.T) {
 
 	_, metrics, _ = httpGet(t, rs.routerTS.URL+"/v1/metrics", nil)
 	for _, want := range []string{
-		"reccd_router_backend_generation_0",
-		"reccd_router_backend_generation_1",
+		`reccd_router_backend_generation{backend="0"}`,
+		`reccd_router_backend_generation{backend="1"}`,
 		"reccd_trace_records_total",
 	} {
 		if !strings.Contains(metrics, want) {

@@ -34,8 +34,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fix := fs.Bool("fix", false, "apply suggested fixes to the source tree")
 	format := fs.String("format", "text", "output format: text or sarif")
 	verbose := fs.Bool("v", false, "print per-analyzer wall time to stderr")
+	budget := fs.Duration("budget", 0, "fail (exit 2) when any single analyzer exceeds this wall time; 0 disables")
 	fs.Usage = func() {
-		fmt.Fprintf(stderr, "usage: recclint [-list] [-fix] [-v] [-format=text|sarif] [packages]\n")
+		fmt.Fprintf(stderr, "usage: recclint [-list] [-fix] [-v] [-budget=30s] [-format=text|sarif] [packages]\n")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
@@ -84,6 +85,19 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 		fmt.Fprintf(stderr, "recclint: %-14s %s over %d package(s)\n", "total", total.Round(10*time.Microsecond), len(pkgs))
 	}
+	// A per-analyzer wall-time ceiling keeps the lint gate honest: an
+	// analyzer that regresses into quadratic behavior fails CI instead of
+	// silently doubling every `make lint`. Findings still print first.
+	overBudget := false
+	if *budget > 0 {
+		for _, a := range analyzers {
+			if d := timings[a.Name]; d > *budget {
+				fmt.Fprintf(stderr, "recclint: analyzer %s took %s, over the %s budget\n",
+					a.Name, d.Round(10*time.Microsecond), *budget)
+				overBudget = true
+			}
+		}
+	}
 	if *fix && len(findings) > 0 {
 		changed, ferr := framework.ApplyFixes(findings)
 		for _, file := range changed {
@@ -112,6 +126,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 		for _, f := range findings {
 			fmt.Fprintln(stdout, f)
 		}
+	}
+	if overBudget {
+		return 2
 	}
 	if len(findings) > 0 {
 		fmt.Fprintf(stderr, "recclint: %d finding(s) across %d package(s)\n", len(findings), len(pkgs))

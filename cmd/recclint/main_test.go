@@ -16,8 +16,9 @@ func TestListFlag(t *testing.T) {
 		t.Fatalf("run(-list) = %d, stderr: %s", code, errb.String())
 	}
 	for _, name := range []string{
-		"ctxflow", "determinism", "floateq", "hotpath",
-		"lockguard", "lockorder", "mustclose", "syncerr",
+		"apisurface", "ctxflow", "determinism", "erridentity",
+		"floateq", "hotpath", "lockguard", "lockorder",
+		"metrichygiene", "mustclose", "syncerr", "wireproto",
 	} {
 		if !strings.Contains(out.String(), name) {
 			t.Errorf("-list output is missing %q:\n%s", name, out.String())
@@ -229,6 +230,89 @@ func TestFixRoundTrip(t *testing.T) {
 	}
 	if !strings.Contains(string(fixed), "defer f.Close()") {
 		t.Errorf("fix did not insert the deferred Close:\n%s", fixed)
+	}
+	formatted, err := format.Source(fixed)
+	if err != nil {
+		t.Fatalf("fixed file does not parse: %v", err)
+	}
+	if !bytes.Equal(formatted, fixed) {
+		t.Errorf("fixed file is not gofmt-clean:\n%s", fixed)
+	}
+
+	if code, out, errb := runIn(t, dir, "."); code != 0 {
+		t.Errorf("tree still has findings after -fix: exit %d\nstdout: %s\nstderr: %s", code, out, errb)
+	}
+}
+
+// TestBudgetExceededExit2 pins the -budget contract: a ceiling no analyzer
+// can meet trips exit 2 and names at least one offender on stderr.
+func TestBudgetExceededExit2(t *testing.T) {
+	if testing.Short() {
+		t.Skip("invokes go list")
+	}
+	code, _, errb := runIn(t, filepath.Join("..", "..", "internal", "graph"), "-budget=1ns", ".")
+	if code != 2 {
+		t.Fatalf("run -budget=1ns = %d, want 2\nstderr: %s", code, errb)
+	}
+	if !strings.Contains(errb, "over the 1ns budget") {
+		t.Errorf("stderr does not name the over-budget analyzer: %s", errb)
+	}
+}
+
+// TestBudgetGenerousExit0 is the other half: a realistic ceiling passes.
+func TestBudgetGenerousExit0(t *testing.T) {
+	if testing.Short() {
+		t.Skip("invokes go list")
+	}
+	code, out, errb := runIn(t, filepath.Join("..", "..", "internal", "graph"), "-budget=10m", ".")
+	if code != 0 {
+		t.Fatalf("run -budget=10m = %d, want 0\nstdout: %s\nstderr: %s", code, out, errb)
+	}
+}
+
+// TestErrIdentityFixRoundTrip pins the erridentity autofix end to end: both
+// sentinel comparisons are rewritten to errors.Is, the "errors" import is
+// inserted exactly once, and the rewritten file is gofmt-clean and lints
+// clean on a second pass.
+func TestErrIdentityFixRoundTrip(t *testing.T) {
+	if testing.Short() {
+		t.Skip("invokes go list")
+	}
+	dir := t.TempDir()
+	src := filepath.Join("testdata", "src", "errfixpkg")
+	entries, err := os.ReadDir(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		data, err := os.ReadFile(filepath.Join(src, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(dir, e.Name()), data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	code, out, errb := runIn(t, dir, "-fix", ".")
+	if code != 0 {
+		t.Fatalf("run -fix = %d, want 0 (every finding fixable)\nstdout: %s\nstderr: %s", code, out, errb)
+	}
+	if !strings.Contains(errb, "applied 2 fix(es)") {
+		t.Errorf("stderr does not report both applied fixes: %s", errb)
+	}
+
+	fixed, err := os.ReadFile(filepath.Join(dir, "err.go"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"errors.Is(err, io.EOF)", "!errors.Is(err, io.ErrUnexpectedEOF)"} {
+		if !strings.Contains(string(fixed), want) {
+			t.Errorf("fix did not produce %q:\n%s", want, fixed)
+		}
+	}
+	if n := strings.Count(string(fixed), `"errors"`); n != 1 {
+		t.Errorf("expected the errors import inserted exactly once, found %d:\n%s", n, fixed)
 	}
 	formatted, err := format.Source(fixed)
 	if err != nil {

@@ -1,0 +1,28 @@
+// Package errfixpkg is the erridentity autofix fixture: both comparisons
+// below are the pre-errors.Is idiom, and the file does not import the errors
+// package yet — so -fix must rewrite the comparisons AND insert the import, and the
+// result must be gofmt-clean.
+package errfixpkg
+
+import (
+	"io"
+)
+
+// Drain reads r to exhaustion, treating EOF as success.
+func Drain(r io.Reader) error {
+	buf := make([]byte, 16)
+	for {
+		_, err := r.Read(buf)
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+	}
+}
+
+// Complete reports whether err is anything but a truncated read.
+func Complete(err error) bool {
+	return err != io.ErrUnexpectedEOF
+}

@@ -1,0 +1,3 @@
+module errfixpkg
+
+go 1.22

@@ -15,7 +15,10 @@ import (
 //
 // The sentinels alias the internal ones, so errors returned by deeper layers
 // (graph mutation, sketch construction, the lifecycle manager) match without
-// re-wrapping.
+// re-wrapping. Identity comparisons (err == ErrDisconnected) are not part of
+// the contract — any layer may wrap with %w — and the erridentity analyzer
+// (internal/analysis/erridentity) rejects them everywhere but a sentinel's
+// own defining package.
 var (
 	// ErrDisconnected reports an operation that requires a connected graph:
 	// effective resistance is infinite across components, so indexes refuse

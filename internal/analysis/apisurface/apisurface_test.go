@@ -1,0 +1,16 @@
+package apisurface_test
+
+import (
+	"testing"
+
+	"resistecc/internal/analysis/apisurface"
+	"resistecc/internal/analysis/framework"
+)
+
+func TestAPISurface(t *testing.T) {
+	framework.TestAnalyzer(t, apisurface.Analyzer, framework.FixturePath("apisurface"))
+}
+
+func TestAPISurfaceBrokenManifest(t *testing.T) {
+	framework.TestAnalyzer(t, apisurface.Analyzer, framework.FixturePath("apisurfacebroken"))
+}

@@ -1,0 +1,92 @@
+// Fixture for the apisurface analyzer: error responses go through the
+// envelope helper, WriteHeader never writes a naked error status, constant
+// error statuses carry an envelope-shaped body, and the registered route set
+// matches routes.json.
+package fixture
+
+//recclint:routes routes.json
+
+import (
+	"encoding/json"
+	"net/http"
+)
+
+type errorBody struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+}
+
+type envelope struct {
+	Error errorBody `json:"error"`
+}
+
+type plainBody struct {
+	Status string `json:"status"`
+}
+
+// writeJSON is the envelope layer of this package.
+//
+//recclint:envelope
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status) // allowed: inside the envelope function
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		_ = err
+	}
+}
+
+func bad(w http.ResponseWriter, status int) {
+	http.Error(w, "nope", http.StatusBadRequest)  // want "http.Error bypasses the error envelope"
+	w.WriteHeader(http.StatusInternalServerError) // want "naked WriteHeader\(500\)"
+	w.WriteHeader(status)                         // want "non-constant status outside the envelope layer"
+	w.WriteHeader(http.StatusNoContent)           // allowed: 2xx never needs the envelope
+}
+
+func respond(w http.ResponseWriter, code int) {
+	writeJSON(w, http.StatusBadRequest, plainBody{Status: "bad"}) // want "does not carry the error envelope"
+	writeJSON(w, http.StatusConflict, envelope{Error: errorBody{Code: "duplicate_edge", Message: "already present"}})
+	writeJSON(w, http.StatusServiceUnavailable, &envelope{Error: errorBody{Code: "overloaded"}})
+	writeJSON(w, http.StatusOK, plainBody{Status: "ok"})
+	writeJSON(w, code, plainBody{Status: "dynamic"}) // allowed: non-constant status is unknowable statically
+}
+
+// statusWriter is the middleware wrapper idiom: forwarding through the
+// embedded ResponseWriter is exempt.
+type statusWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+func (sw *statusWriter) WriteHeader(code int) {
+	sw.code = code
+	sw.ResponseWriter.WriteHeader(code)
+}
+
+// relay forwards an upstream status whose body the upstream already
+// enveloped; the suppression records why that is safe.
+func relay(w http.ResponseWriter, status int) {
+	//recclint:ignore apisurface upstream already enveloped the body
+	w.WriteHeader(status)
+}
+
+//recclint:genstamp
+func stamp(w http.ResponseWriter) {
+	w.Header().Set("X-Index-Generation", "1")
+}
+
+type srv struct{}
+
+func (s *srv) handleThing(w http.ResponseWriter, _ *http.Request) {
+	stamp(w)
+	writeJSON(w, http.StatusOK, plainBody{Status: "ok"})
+}
+
+func (s *srv) handleNoStamp(w http.ResponseWriter, _ *http.Request) { // want "never reaches a //recclint:genstamp function"
+	writeJSON(w, http.StatusOK, plainBody{Status: "ok"})
+}
+
+func (s *srv) handler(mux *http.ServeMux) { // want "route \"GET /v1/missing\" is in the routes manifest but not registered"
+	mux.HandleFunc("GET /v1/thing", s.handleThing)
+	mux.HandleFunc("GET /v1/nostamp", s.handleNoStamp)
+	mux.HandleFunc("GET /v1/extra", s.handleThing) // want "registered pattern \"GET /v1/extra\" is not in the routes manifest"
+}

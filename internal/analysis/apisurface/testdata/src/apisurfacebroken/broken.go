@@ -1,0 +1,6 @@
+// Fixture for apisurface manifest validation: the manifest names a registrar
+// that does not exist in the package, so the cross-checks are skipped and
+// only the manifest error is reported.
+package fixture
+
+//recclint:routes routes.json // want "routes manifest names registrar \"ghost.handler\": no such function in this package"

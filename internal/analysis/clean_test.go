@@ -36,13 +36,13 @@ func TestRepoIsClean(t *testing.T) {
 	}
 }
 
-// TestRegistry pins the shape of the analyzer registry: all twelve checkers
+// TestRegistry pins the shape of the analyzer registry: all sixteen checkers
 // exist, names are unique (suppression directives key on them), and every
 // analyzer documents itself and is runnable per-package or program-wide.
 func TestRegistry(t *testing.T) {
 	all := All()
-	if len(all) < 12 {
-		t.Fatalf("expected at least 12 analyzers, got %d", len(all))
+	if len(all) < 16 {
+		t.Fatalf("expected at least 16 analyzers, got %d", len(all))
 	}
 	seen := make(map[string]bool)
 	for _, a := range all {
@@ -55,9 +55,10 @@ func TestRegistry(t *testing.T) {
 		seen[a.Name] = true
 	}
 	for _, want := range []string{
-		"atomicmix", "chandisc", "ctxflow", "determinism",
-		"floateq", "goroutinelife", "hotpath", "lockguard",
-		"lockorder", "mustclose", "syncerr", "wgbalance",
+		"apisurface", "atomicmix", "chandisc", "ctxflow",
+		"determinism", "erridentity", "floateq", "goroutinelife",
+		"hotpath", "lockguard", "lockorder", "metrichygiene",
+		"mustclose", "syncerr", "wgbalance", "wireproto",
 	} {
 		if !seen[want] {
 			t.Errorf("registry is missing %q", want)

@@ -1,0 +1,285 @@
+// Package erridentity forbids identity comparisons on error values: ==/!=
+// between error-typed operands, type assertions and type switches over
+// errors. The serving tier wraps errors liberally (%w through the persist,
+// repl and trace layers), so identity checks rot the moment a call site adds
+// context — `err == io.EOF` stops matching a wrapped EOF while errors.Is
+// keeps working. The analyzer requires errors.Is / errors.As instead and
+// autofixes the comparison form.
+//
+// Two exemptions keep the check sharp. Comparisons against nil are the
+// idiomatic success test and always allowed. And the sentinel-definition
+// package may compare against its own package-level sentinels with == —
+// inside the package that owns the value nothing can have wrapped it yet.
+// Likewise a type switch or assertion whose case types are all defined in
+// the current package is allowed; asserting on someone else's error type is
+// what errors.As is for. Everything else needs a
+// //recclint:ignore erridentity <reason> justification.
+package erridentity
+
+import (
+	"bytes"
+	"go/ast"
+	"go/printer"
+	"go/token"
+	"go/types"
+
+	"resistecc/internal/analysis/framework"
+)
+
+var Analyzer = &framework.Analyzer{
+	Name: "erridentity",
+	Doc:  "forbid ==/!= and type-switches on error values (use errors.Is / errors.As); autofixes the comparison form",
+	Run:  run,
+}
+
+func run(pass *framework.Pass) error {
+	for _, f := range pass.Files {
+		// At most one finding per file may carry the add-the-errors-import
+		// edit, or applying them together would insert the import twice.
+		importEditUsed := false
+		errorsName, haveImport := errorsImport(f)
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.BinaryExpr:
+				if x.Op != token.EQL && x.Op != token.NEQ {
+					return true
+				}
+				if !isErrorType(pass, x.X) && !isErrorType(pass, x.Y) {
+					return true
+				}
+				if isNil(pass, x.X) || isNil(pass, x.Y) {
+					return true
+				}
+				// The package defining a sentinel may identity-compare it.
+				if isLocalSentinel(pass, x.X) || isLocalSentinel(pass, x.Y) {
+					return true
+				}
+				d := framework.Diagnostic{
+					Pos:     x.OpPos,
+					Message: "error compared with " + x.Op.String() + ": use errors.Is, which matches wrapped errors",
+				}
+				if fix, ok := rewriteFix(pass, f, x, errorsName, haveImport, &importEditUsed); ok {
+					d.Fixes = []framework.SuggestedFix{fix}
+				}
+				pass.Report(d)
+			case *ast.TypeSwitchStmt:
+				operand, ok := typeSwitchOperand(x)
+				if !ok || !isErrorType(pass, operand) {
+					return true
+				}
+				if allCaseTypesLocal(pass, x) {
+					return true
+				}
+				pass.Reportf(x.Switch, "type switch on an error value: use errors.As, which matches wrapped errors")
+			case *ast.TypeAssertExpr:
+				if x.Type == nil { // the x.(type) inside a type switch
+					return true
+				}
+				if !isErrorType(pass, x.X) {
+					return true
+				}
+				if isLocalType(pass, x.Type) {
+					return true
+				}
+				pass.Reportf(x.Lparen, "type assertion on an error value: use errors.As, which matches wrapped errors")
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// rewriteFix builds the errors.Is rewrite for cmp. The error operand goes
+// first and the sentinel second (errors.Is unwraps its first argument), so a
+// yoda `io.EOF == err` still becomes errors.Is(err, io.EOF). When the file
+// does not import "errors" yet the fix also inserts the import — at most
+// once per file — and gives up (comparison reported without a fix) when the
+// import exists only dot- or blank-named.
+func rewriteFix(pass *framework.Pass, f *ast.File, cmp *ast.BinaryExpr, errorsName string, haveImport bool, importEditUsed *bool) (framework.SuggestedFix, bool) {
+	if haveImport && errorsName == "" {
+		return framework.SuggestedFix{}, false
+	}
+	errOperand, sentinel := cmp.X, cmp.Y
+	if !isPkgLevelErrVar(pass, sentinel) && isPkgLevelErrVar(pass, errOperand) {
+		errOperand, sentinel = sentinel, errOperand
+	}
+	name := errorsName
+	if !haveImport {
+		name = "errors"
+	}
+	neg := ""
+	if cmp.Op == token.NEQ {
+		neg = "!"
+	}
+	text := neg + name + ".Is(" + exprText(pass.Fset, errOperand) + ", " + exprText(pass.Fset, sentinel) + ")"
+	fix := framework.SuggestedFix{
+		Message: "rewrite to " + name + ".Is",
+		Edits:   []framework.TextEdit{{Pos: cmp.Pos(), End: cmp.End(), NewText: text}},
+		Minimal: true,
+	}
+	if !haveImport {
+		spec, ok := firstImportSpec(f)
+		if !ok {
+			return framework.SuggestedFix{}, false
+		}
+		if *importEditUsed {
+			// Another finding in this file already inserts the import; this
+			// fix can ride on the same file rewrite.
+			return fix, true
+		}
+		*importEditUsed = true
+		fix.Edits = append(fix.Edits, framework.TextEdit{Pos: spec.Pos(), End: spec.Pos(), NewText: "\"errors\"\n\t"})
+		fix.Minimal = false // let ApplyFixes gofmt the import block
+	}
+	return fix, true
+}
+
+// errorsImport reports how the file refers to package errors: ("errors",
+// true) for a plain import, (alias, true) for a named one, ("", true) for
+// dot/blank imports the fix cannot use, ("", false) when absent.
+func errorsImport(f *ast.File) (string, bool) {
+	for _, imp := range f.Imports {
+		if imp.Path.Value != `"errors"` {
+			continue
+		}
+		if imp.Name == nil {
+			return "errors", true
+		}
+		if n := imp.Name.Name; n != "_" && n != "." {
+			return n, true
+		}
+		return "", true
+	}
+	return "", false
+}
+
+// firstImportSpec returns the first spec of the file's first parenthesized
+// import block; single-line imports are left to the human.
+func firstImportSpec(f *ast.File) (ast.Spec, bool) {
+	for _, d := range f.Decls {
+		g, ok := d.(*ast.GenDecl)
+		if !ok || g.Tok != token.IMPORT {
+			continue
+		}
+		if g.Lparen.IsValid() && len(g.Specs) > 0 {
+			return g.Specs[0], true
+		}
+		return nil, false
+	}
+	return nil, false
+}
+
+func exprText(fset *token.FileSet, e ast.Expr) string {
+	var buf bytes.Buffer
+	if err := printer.Fprint(&buf, fset, e); err != nil {
+		return ""
+	}
+	return buf.String()
+}
+
+var errorIface = types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+
+// isErrorType reports whether e's static type is the error interface or an
+// interface that embeds it. Concrete types are left alone: comparing two
+// *parseError pointers is ordinary pointer identity, not sentinel matching.
+func isErrorType(pass *framework.Pass, e ast.Expr) bool {
+	tv, ok := pass.TypesInfo.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	if _, isIface := tv.Type.Underlying().(*types.Interface); !isIface {
+		return false
+	}
+	return types.Implements(tv.Type, errorIface)
+}
+
+func isNil(pass *framework.Pass, e ast.Expr) bool {
+	tv, ok := pass.TypesInfo.Types[e]
+	return ok && tv.IsNil()
+}
+
+// isLocalSentinel reports whether e resolves to a package-level variable of
+// the package under analysis.
+func isLocalSentinel(pass *framework.Pass, e ast.Expr) bool {
+	v, ok := pkgLevelVar(pass, e)
+	return ok && v.Pkg() == pass.Pkg
+}
+
+// isPkgLevelErrVar reports whether e resolves to any package-level variable
+// — the shape of an error sentinel, whichever package owns it.
+func isPkgLevelErrVar(pass *framework.Pass, e ast.Expr) bool {
+	_, ok := pkgLevelVar(pass, e)
+	return ok
+}
+
+func pkgLevelVar(pass *framework.Pass, e ast.Expr) (*types.Var, bool) {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		v, ok := pass.TypesInfo.Uses[x].(*types.Var)
+		if ok && v.Pkg() != nil && v.Parent() == v.Pkg().Scope() {
+			return v, true
+		}
+	case *ast.SelectorExpr:
+		v, ok := pass.TypesInfo.Uses[x.Sel].(*types.Var)
+		if ok && v.Pkg() != nil && v.Parent() == v.Pkg().Scope() {
+			return v, true
+		}
+	}
+	return nil, false
+}
+
+// typeSwitchOperand digs the switched expression out of either type-switch
+// form: `switch err.(type)` and `switch e := err.(type)`.
+func typeSwitchOperand(s *ast.TypeSwitchStmt) (ast.Expr, bool) {
+	switch a := s.Assign.(type) {
+	case *ast.ExprStmt:
+		if ta, ok := a.X.(*ast.TypeAssertExpr); ok {
+			return ta.X, true
+		}
+	case *ast.AssignStmt:
+		if len(a.Rhs) == 1 {
+			if ta, ok := a.Rhs[0].(*ast.TypeAssertExpr); ok {
+				return ta.X, true
+			}
+		}
+	}
+	return nil, false
+}
+
+// allCaseTypesLocal reports whether every (non-nil) case type of the switch
+// is defined in the package under analysis.
+func allCaseTypesLocal(pass *framework.Pass, s *ast.TypeSwitchStmt) bool {
+	for _, stmt := range s.Body.List {
+		cc, ok := stmt.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		for _, t := range cc.List {
+			if isNil(pass, t) {
+				continue
+			}
+			if !isLocalType(pass, t) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// isLocalType reports whether the type expression names (possibly through a
+// pointer) a type defined in the package under analysis.
+func isLocalType(pass *framework.Pass, e ast.Expr) bool {
+	tv, ok := pass.TypesInfo.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	t := tv.Type
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	return n.Obj().Pkg() == pass.Pkg
+}

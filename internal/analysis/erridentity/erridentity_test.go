@@ -1,0 +1,12 @@
+package erridentity_test
+
+import (
+	"testing"
+
+	"resistecc/internal/analysis/erridentity"
+	"resistecc/internal/analysis/framework"
+)
+
+func TestErrIdentity(t *testing.T) {
+	framework.TestAnalyzer(t, erridentity.Analyzer, framework.FixturePath("erridentity"))
+}

@@ -1,0 +1,77 @@
+// Fixture for the erridentity analyzer: identity comparisons and type
+// dispatch on error values must go through errors.Is / errors.As, except
+// inside the package that defines the sentinel or the asserted type.
+package fixture
+
+import (
+	"errors"
+	"io"
+	"os"
+)
+
+// ErrLocal is this package's own sentinel; identity checks against it are
+// the definition-package exemption.
+var ErrLocal = errors.New("local")
+
+type parseError struct{ msg string }
+
+func (e *parseError) Error() string { return e.msg }
+
+func compare(err error) bool {
+	if err == io.EOF { // want "error compared with ==: use errors.Is"
+		return true
+	}
+	if io.EOF == err { // want "error compared with ==: use errors.Is"
+		return true
+	}
+	if err != io.ErrUnexpectedEOF { // want "error compared with !=: use errors.Is"
+		return false
+	}
+	if errors.Is(err, io.EOF) { // the sanctioned form
+		return true
+	}
+	if err == nil { // nil success test is idiomatic
+		return true
+	}
+	if err == ErrLocal { // definition-package exemption
+		return true
+	}
+	var other error
+	return err == other // want "error compared with ==: use errors.Is"
+}
+
+func dispatch(err error) string {
+	switch err.(type) { // want "type switch on an error value: use errors.As"
+	case *os.PathError:
+		return "path"
+	case nil:
+		return ""
+	default:
+		return "other"
+	}
+}
+
+func dispatchLocal(err error) string {
+	switch err.(type) { // all case types local: allowed
+	case *parseError:
+		return "parse"
+	default:
+		return "other"
+	}
+}
+
+func assert(err error) bool {
+	if _, ok := err.(*os.PathError); ok { // want "type assertion on an error value: use errors.As"
+		return true
+	}
+	if _, ok := err.(*parseError); ok { // local type: allowed
+		return true
+	}
+	var as *os.PathError
+	return errors.As(err, &as)
+}
+
+func suppressed(err error) bool {
+	//recclint:ignore erridentity pointer identity of the exact sentinel is intended here
+	return err == io.EOF
+}

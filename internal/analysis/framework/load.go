@@ -3,6 +3,7 @@ package framework
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"go/ast"
 	"go/importer"
@@ -57,7 +58,7 @@ func goList(dir string, args []string) ([]*listedPackage, error) {
 	var pkgs []*listedPackage
 	for {
 		lp := new(listedPackage)
-		if err := dec.Decode(lp); err == io.EOF {
+		if err := dec.Decode(lp); errors.Is(err, io.EOF) {
 			break
 		} else if err != nil {
 			return nil, fmt.Errorf("decoding go list output: %w", err)

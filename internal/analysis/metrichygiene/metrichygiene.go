@@ -1,0 +1,152 @@
+// Package metrichygiene enforces the obs metrics registry conventions at
+// every registration call site, program-wide:
+//
+//   - the metric name is a compile-time constant string — dynamically
+//     constructed names ("backend_healthy_"+i) are unbounded cardinality and
+//     break dashboards; varying dimensions belong in a label
+//     (SetLabeledGaugeFunc), not the name;
+//   - names are snake_case with a subsystem prefix: at least two [a-z0-9]+
+//     segments, so every series sorts under its subsystem in the exposition;
+//   - the call style matches the metric kind: SetCounterFunc names end in
+//     _total (Prometheus counter convention), gauge registrations never do;
+//   - each name has exactly one registration site in the whole program — two
+//     packages fighting over one series is a bug even when only one runs per
+//     process role.
+//
+// The obs package itself (the registry implementation) is exempt; it owns
+// the built-in requests/latency/in-flight series.
+package metrichygiene
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"regexp"
+	"sort"
+	"strings"
+
+	"resistecc/internal/analysis/framework"
+)
+
+var Analyzer = &framework.Analyzer{
+	Name:       "metrichygiene",
+	Doc:        "obs metric registrations: constant snake_case names with a subsystem prefix, counter/gauge style, one site per name",
+	RunProgram: runProgram,
+}
+
+// nameRe: snake_case with at least two segments (subsystem prefix + name).
+var nameRe = regexp.MustCompile(`^[a-z][a-z0-9]*(_[a-z0-9]+)+$`)
+
+// registrarMethods maps obs.Registry method → whether it registers a counter.
+var registrarMethods = map[string]bool{
+	"SetGauge":            false,
+	"SetGaugeFunc":        false,
+	"SetLabeledGaugeFunc": false,
+	"SetCounterFunc":      true,
+}
+
+type site struct {
+	pos   token.Pos
+	where token.Position
+}
+
+func runProgram(pass *framework.ProgramPass) error {
+	// name → every static registration site, across all packages.
+	sites := make(map[string][]site)
+
+	for _, pkg := range pass.Pkgs {
+		if definesRegistry(pkg.Types) {
+			continue // the registry implementation owns its built-in series
+		}
+		for _, f := range pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				sel, ok := call.Fun.(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				isCounter, ok := registrarMethods[sel.Sel.Name]
+				if !ok || len(call.Args) == 0 {
+					return true
+				}
+				fn, ok := pkg.TypesInfo.Uses[sel.Sel].(*types.Func)
+				if !ok || !isRegistryMethod(fn) {
+					return true
+				}
+				nameArg := call.Args[0]
+				tv, ok := pkg.TypesInfo.Types[nameArg]
+				if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+					pass.Reportf(nameArg.Pos(),
+						"metric name is not a compile-time constant (cardinality guard): put the varying dimension in a label (SetLabeledGaugeFunc), not the name")
+					return true
+				}
+				name := constant.StringVal(tv.Value)
+				if !nameRe.MatchString(name) {
+					pass.Reportf(nameArg.Pos(),
+						"metric name %q is not snake_case with a subsystem prefix (want two or more [a-z0-9]+ segments)", name)
+				} else if isCounter && !strings.HasSuffix(name, "_total") {
+					pass.Reportf(nameArg.Pos(), "counter %q must end in _total", name)
+				} else if !isCounter && strings.HasSuffix(name, "_total") {
+					pass.Reportf(nameArg.Pos(), "gauge %q must not end in _total (counter-style name on a gauge registration)", name)
+				}
+				sites[name] = append(sites[name], site{
+					pos:   nameArg.Pos(),
+					where: pass.Fset.Position(nameArg.Pos()),
+				})
+				return true
+			})
+		}
+	}
+
+	names := make([]string, 0, len(sites))
+	for name := range sites {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		ss := sites[name]
+		if len(ss) < 2 {
+			continue
+		}
+		sort.Slice(ss, func(i, j int) bool { return ss[i].pos < ss[j].pos })
+		first := ss[0].where
+		for _, s := range ss[1:] {
+			pass.Reportf(s.pos,
+				"metric %q is already registered at %s:%d: each name must have exactly one registration site", name, first.Filename, first.Line)
+		}
+	}
+	return nil
+}
+
+// definesRegistry reports whether pkg is the registry implementation (it
+// declares the Registry type the registrar methods hang off).
+func definesRegistry(pkg *types.Package) bool {
+	if pkg == nil || pkg.Name() != "obs" {
+		return false
+	}
+	obj := pkg.Scope().Lookup("Registry")
+	_, ok := obj.(*types.TypeName)
+	return ok
+}
+
+// isRegistryMethod reports whether fn is a method on obs.Registry.
+func isRegistryMethod(fn *types.Func) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	t := sig.Recv().Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Registry" && obj.Pkg() != nil && obj.Pkg().Name() == "obs"
+}

@@ -1,0 +1,12 @@
+package metrichygiene_test
+
+import (
+	"testing"
+
+	"resistecc/internal/analysis/framework"
+	"resistecc/internal/analysis/metrichygiene"
+)
+
+func TestMetricHygiene(t *testing.T) {
+	framework.TestAnalyzer(t, metrichygiene.Analyzer, framework.FixturePath("metrichygiene"))
+}

@@ -1,0 +1,39 @@
+// Fixture for the metrichygiene analyzer: obs registry registrations must
+// use constant snake_case names with a subsystem prefix, counter names end
+// in _total, gauges never do, and each name has exactly one site.
+package fixture
+
+import (
+	"strconv"
+
+	"resistecc/internal/obs"
+)
+
+func one() float64 { return 1 }
+
+func publish(reg *obs.Registry, backends int) {
+	reg.SetGauge("index_nodes", 1)
+	reg.SetGaugeFunc("index_generation", one)
+	reg.SetCounterFunc("wal_records_total", one)
+	for i := 0; i < backends; i++ {
+		reg.SetLabeledGaugeFunc("router_backend_healthy", "backend", strconv.Itoa(i), one)
+	}
+
+	reg.SetGauge("sketchDim", 1)  // want "not snake_case with a subsystem prefix"
+	reg.SetGauge("nodes", 1)      // want "not snake_case with a subsystem prefix"
+	reg.SetGauge("index__bad", 1) // want "not snake_case with a subsystem prefix"
+
+	reg.SetCounterFunc("wal_records", one) // want "counter \"wal_records\" must end in _total"
+	reg.SetGaugeFunc("queue_total", one)   // want "gauge \"queue_total\" must not end in _total"
+	reg.SetGauge("index_built_total", 1)   // want "gauge \"index_built_total\" must not end in _total"
+
+	for i := 0; i < backends; i++ {
+		reg.SetGaugeFunc("backend_healthy_"+strconv.Itoa(i), one) // want "not a compile-time constant"
+	}
+}
+
+func publishAgain(reg *obs.Registry) {
+	reg.SetGauge("index_nodes", 2) // want "metric \"index_nodes\" is already registered"
+	//recclint:ignore metrichygiene exercising the suppression path
+	reg.SetGauge("not_snake!", 1)
+}

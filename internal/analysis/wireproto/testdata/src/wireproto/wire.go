@@ -1,0 +1,384 @@
+// Fixture for the wireproto analyzer: paired encoders and decoders must
+// touch the same byte layout, verify the encoder's CRC over the same span,
+// and check the same magic and format-version constants.
+package fixture
+
+import (
+	"hash/crc32"
+	"math"
+)
+
+const (
+	wireMagic   = "RECCFIX1"
+	otherMagic  = "RECCOTH1"
+	wireVersion = 1
+)
+
+var table = crc32.MakeTable(crc32.Castagnoli)
+
+func putU32(b []byte, x uint32) {
+	b[0], b[1], b[2], b[3] = byte(x), byte(x>>8), byte(x>>16), byte(x>>24)
+}
+
+func putU64(b []byte, x uint64) {
+	for i := 0; i < 8; i++ {
+		b[i] = byte(x >> (8 * i))
+	}
+}
+
+func getU32(b []byte) uint32 {
+	return uint32(b[0]) | uint32(b[1])<<8 | uint32(b[2])<<16 | uint32(b[3])<<24
+}
+
+func getU64(b []byte) uint64 {
+	var x uint64
+	for i := 0; i < 8; i++ {
+		x |= uint64(b[i]) << (8 * i)
+	}
+	return x
+}
+
+// wenc/wdec are a local stream-style encoder/decoder pair.
+type wenc struct{ b []byte }
+
+func (e *wenc) u32(x uint32) {
+	e.b = append(e.b, byte(x), byte(x>>8), byte(x>>16), byte(x>>24))
+}
+
+func (e *wenc) u64(x uint64) {
+	for i := 0; i < 8; i++ {
+		e.b = append(e.b, byte(x>>(8*i)))
+	}
+}
+
+func (e *wenc) i64(x int64)   { e.u64(uint64(x)) }
+func (e *wenc) f64(x float64) { e.u64(math.Float64bits(x)) }
+
+type wdec struct {
+	b   []byte
+	off int
+}
+
+func (d *wdec) u32() uint32 {
+	v := getU32(d.b[d.off:])
+	d.off += 4
+	return v
+}
+
+func (d *wdec) u64() uint64 {
+	v := getU64(d.b[d.off:])
+	d.off += 8
+	return v
+}
+
+func (d *wdec) i64() int64   { return int64(d.u64()) }
+func (d *wdec) f64() float64 { return math.Float64frombits(d.u64()) }
+
+// hash64 is a chainable digest type for //recclint:wirelayout cases.
+type hash64 uint64
+
+func (h hash64) u64(x uint64) hash64 { return h ^ hash64(x) }
+func (h hash64) i64(x int64) hash64  { return h.u64(uint64(x)) }
+func (h hash64) f64(x float64) hash64 {
+	return h.u64(math.Float64bits(x))
+}
+func (h hash64) str(s string) hash64 {
+	for i := 0; i < len(s); i++ {
+		h ^= hash64(s[i])
+	}
+	return h
+}
+
+// --- clean offset pair: magic, version, CRC, count-prefixed loop ---
+
+func encodeFrame(vals []uint64) []byte {
+	b := make([]byte, 20+8*len(vals))
+	copy(b[0:8], wireMagic)
+	putU32(b[8:12], wireVersion)
+	putU32(b[12:16], uint32(len(vals)))
+	putU32(b[16:20], crc32.Checksum(b[:16], table))
+	for i, v := range vals {
+		putU64(b[20+8*i:], v)
+	}
+	return b
+}
+
+func decodeFrame(b []byte) ([]uint64, bool) {
+	if len(b) < 20 || string(b[0:8]) != wireMagic {
+		return nil, false
+	}
+	if getU32(b[8:12]) != wireVersion {
+		return nil, false
+	}
+	if crc32.Checksum(b[:16], table) != getU32(b[16:20]) {
+		return nil, false
+	}
+	n := int(getU32(b[12:16]))
+	vals := make([]uint64, n)
+	for i := range vals {
+		vals[i] = getU64(b[20+8*i:])
+	}
+	return vals, true
+}
+
+// --- field width asymmetry ---
+
+func encodeWidth(b []byte, x uint32, y uint64) {
+	putU32(b[0:4], x)
+	putU64(b[4:12], y)
+}
+
+func decodeWidth(b []byte) (uint64, uint64) {
+	a := getU64(b[0:8])  // want "wire pair \"width\" field 0: encoder emits u32 \(4 bytes\) but decoder reads u64 \(8 bytes\)"
+	c := getU32(b[8:12]) // want "wire pair \"width\" field 1: encoder emits u64 \(8 bytes\) but decoder reads u32 \(4 bytes\)"
+	return a, uint64(c)
+}
+
+// --- same width, shifted span ---
+
+func encodeShift(b []byte, x, y uint32) {
+	putU32(b[0:4], x)
+	putU32(b[4:8], y)
+}
+
+func decodeShift(b []byte) (uint32, uint32) {
+	x := getU32(b[0:4])
+	y := getU32(b[8:12]) // want "wire pair \"shift\" field 1: encoder writes bytes \[4,8\) but decoder reads \[8,12\)"
+	return x, y
+}
+
+// --- stream-mode field order asymmetry ---
+
+func encodeOrder(e *wenc, a int64, b float64) {
+	e.i64(a)
+	e.f64(b)
+}
+
+func decodeOrder(d *wdec) (int64, float64) {
+	b := d.f64() // want "wire pair \"order\" field 0: encoder emits i64 but decoder reads f64"
+	a := d.i64() // want "wire pair \"order\" field 1: encoder emits f64 but decoder reads i64"
+	return a, b
+}
+
+// --- field count mismatch ---
+
+func encodeCount(e *wenc, a, b, c uint32) {
+	e.u32(a)
+	e.u32(b)
+	e.u32(c)
+}
+
+func decodeCount(d *wdec) uint32 { // want "wire pair \"count\": encoder encodeCount emits 3 fields, decoder decodeCount reads 2"
+	x := d.u32()
+	_ = d.u32()
+	return x
+}
+
+// --- decoder skips the CRC ---
+
+func encodeSealed(b []byte, x uint32, y uint64) {
+	putU32(b[0:4], x)
+	putU64(b[4:12], y)
+	putU32(b[12:16], crc32.Checksum(b[:12], table))
+}
+
+func decodeSealed(b []byte) (uint32, uint64) { // want "wire pair \"sealed\": decoder decodeSealed does not verify the CRC the encoder writes"
+	return getU32(b[0:4]), getU64(b[4:12])
+}
+
+// --- a field escapes the CRC-covered span ---
+
+func encodeGap(b []byte, x uint32, y uint64, z uint32) {
+	putU32(b[0:4], x)
+	putU64(b[4:12], y)
+	putU32(b[12:16], crc32.Checksum(b[:12], table))
+	putU32(b[16:20], z) // want "wire pair \"gap\": field at bytes \[16,20\) is outside the CRC-covered span \[0,12\)"
+}
+
+func decodeGap(b []byte) (uint32, uint64, uint32) {
+	if crc32.Checksum(b[:12], table) != getU32(b[12:16]) {
+		return 0, 0, 0
+	}
+	return getU32(b[0:4]), getU64(b[4:12]), getU32(b[16:20])
+}
+
+// --- decoder never checks the format version ---
+
+func encodeVer(h []byte, x uint32) {
+	copy(h[0:8], wireMagic)
+	putU32(h[8:12], wireVersion)
+	putU32(h[12:16], x)
+}
+
+func decodeVer(b []byte) (uint32, bool) { // want "wire pair \"ver\": decoder decodeVer does not check the format version"
+	if string(b[0:8]) != wireMagic {
+		return 0, false
+	}
+	if getU32(b[8:12]) != 1 {
+		return 0, false
+	}
+	return getU32(b[12:16]), true
+}
+
+// --- decoder never checks the magic ---
+
+func encodeTag(h []byte, x uint32) {
+	copy(h[0:8], wireMagic)
+	putU32(h[8:12], x)
+}
+
+func decodeTag(b []byte) uint32 { // want "wire pair \"tag\": decoder decodeTag does not check the format magic \"RECCFIX1\""
+	_ = string(b[0:8])
+	return getU32(b[8:12])
+}
+
+// --- decoder checks the wrong magic constant ---
+
+func encodeBadge(h []byte, x uint32) {
+	copy(h[0:8], wireMagic)
+	putU32(h[8:12], x)
+}
+
+func decodeBadge(b []byte) (uint32, bool) { // want "wire pair \"badge\": decoder decodeBadge checks a different magic constant than the \"RECCFIX1\" the encoder writes"
+	if string(b[0:8]) != otherMagic {
+		return 0, false
+	}
+	return getU32(b[8:12]), true
+}
+
+// --- loop fields without an integer count prefix ---
+
+func encodeRun(e *wenc, vals []float64) {
+	e.f64(0)
+	for _, v := range vals {
+		e.u64(uint64(v)) // want "wire pair \"run\": loop-emitted fields in encodeRun are not preceded by an integer count field"
+	}
+}
+
+func decodeRun(d *wdec, n int) []uint64 {
+	_ = d.f64()
+	out := make([]uint64, n)
+	for i := range out {
+		out[i] = d.u64()
+	}
+	return out
+}
+
+// --- loop structure mismatch ---
+
+func encodeRepeat(e *wenc, vals []uint32) {
+	e.u32(uint32(len(vals)))
+	for _, v := range vals {
+		e.u32(v)
+	}
+}
+
+func decodeRepeat(d *wdec) (uint32, uint32) {
+	n := d.u32()
+	v := d.u32() // want "wire pair \"repeat\" field 1: the encoder handles it in a loop but the decoder does not"
+	return n, v
+}
+
+// --- put/get width must match the slot ---
+
+func encodeSlot(b []byte, x uint64) {
+	putU64(b[0:4], x) // want "putU64 writes a 8-byte value in a 4-byte slot \[0,4\)"
+}
+
+func decodeSlot(b []byte) uint64 {
+	return getU64(b[0:4]) // want "getU64 reads a 8-byte value in a 4-byte slot \[0,4\)"
+}
+
+// --- append/staging-buffer encoder against an offset decoder: clean ---
+
+func appendItem(dst []byte, seq uint64, kind byte, n uint32) []byte {
+	var scratch [8]byte
+	putU64(scratch[:], seq)
+	dst = append(dst, scratch[:]...)
+	dst = append(dst, kind)
+	putU32(scratch[:4], n)
+	dst = append(dst, scratch[:4]...)
+	putU32(scratch[:4], crc32.Checksum(dst, table))
+	return append(dst, scratch[:4]...)
+}
+
+func decodeItem(b []byte) (uint64, byte, uint32, bool) {
+	if crc32.Checksum(b[:13], table) != getU32(b[13:17]) {
+		return 0, 0, 0, false
+	}
+	return getU64(b[0:8]), b[8], getU32(b[9:13]), true
+}
+
+// --- explicit pairing: clean ---
+
+// buildHdr writes the fixture header.
+//
+//recclint:wirepair hdr
+func buildHdr(h []byte) {
+	copy(h[0:8], wireMagic)
+	putU32(h[8:12], wireVersion)
+}
+
+// parseHdr checks the fixture header.
+//
+//recclint:wirepair hdr
+func parseHdr(b []byte) bool {
+	if string(b[0:8]) != wireMagic {
+		return false
+	}
+	return getU32(b[8:12]) == wireVersion
+}
+
+// --- explicit pairing: missing partner ---
+
+// encodeLonely carries a pair tag no other function shares.
+//
+//recclint:wirepair lonely
+func encodeLonely(b []byte, x uint32) { // want "//recclint:wirepair \"lonely\" tags 1 functions, want exactly an encoder and a decoder"
+	putU32(b[0:4], x)
+}
+
+// --- pinned layouts ---
+
+// digestPair hashes id, name and score.
+//
+//recclint:wirelayout u64 str f64
+func digestPair(id uint64, name string, score float64) uint64 {
+	return uint64(hash64(0).u64(id).str(name).f64(score))
+}
+
+// digestList hashes each entry.
+//
+//recclint:wirelayout loop(i64 f64)
+func digestList(ids []int64, scores []float64) uint64 {
+	h := hash64(0)
+	for i := range ids {
+		h = h.i64(ids[i]).f64(scores[i])
+	}
+	return uint64(h)
+}
+
+// digestWrong declares str but hashes f64.
+//
+//recclint:wirelayout u64 str
+func digestWrong(id uint64, score float64) uint64 { // want "layout of digestWrong is \"u64 f64\" but //recclint:wirelayout declares \"u64 str\""
+	return uint64(hash64(0).u64(id).f64(score))
+}
+
+// digestBad has a malformed spec.
+//
+//recclint:wirelayout u64 nope
+func digestBad(id uint64) uint64 { // want "bad //recclint:wirelayout spec \"u64 nope\": unknown kind \"nope\""
+	return uint64(hash64(0).u64(id))
+}
+
+// --- suppression: a justified asymmetry stays quiet ---
+
+func encodeQuiet(b []byte, x uint32) {
+	putU32(b[0:4], x)
+}
+
+func decodeQuiet(b []byte) uint64 {
+	//recclint:ignore wireproto legacy readers widen the field deliberately
+	return getU64(b[0:8])
+}

@@ -1,0 +1,774 @@
+package wireproto
+
+// The layout walker: a symbolic interpreter that reduces an encoder or
+// decoder function body to the sequence of wire fields it touches. Two
+// idioms are recognized:
+//
+//   - stream style: method calls named u8/u32/u64/i64/f64/str on a local
+//     encoder/decoder/digest type (`e.u64(x)`, `d.f64()`), emitted in
+//     evaluation order;
+//   - offset style: putU32/putU64/getU32/getU64 helpers, indexed byte
+//     stores and loads with constant offsets (`b[8] = op`), copy of a
+//     magic string into a prefix, string(b[lo:hi]) magic comparisons, and
+//     the append-with-staging-buffer pattern
+//     (`putU64(scratch[:], x); dst = append(dst, scratch[:]...)`).
+//
+// CRC writes (a put whose value contains crc32.Checksum) and CRC
+// verifications (a comparison of Checksum against a get) become a separate
+// crc record rather than a field token, so a checksum never misaligns the
+// field zip. Calls to other functions of the package (delegated
+// sub-encodings like a WAL record inside a tail frame) are deliberately
+// invisible on both sides, which keeps delegation symmetric.
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"regexp"
+	"strings"
+
+	"resistecc/internal/analysis/framework"
+)
+
+// tok is one wire field as seen from one side of a pair.
+type tok struct {
+	kind   string // u8, u16, u32, u64, i64, f64, str, bytes
+	width  int    // bytes; -1 when variable (str)
+	lo, hi int    // constant byte span within the buffer; -1 when unknown
+	loop   bool   // emitted/consumed inside a loop (or a per-element callback)
+	magic  bool   // carries the format magic
+	stream bool   // stream-method token (kinds comparable) vs offset token
+	root   string // buffer variable the field lives in, for grouping
+	pos    token.Pos
+}
+
+func (t tok) sameField(o tok) bool {
+	return t.kind == o.kind && t.width == o.width && t.lo == o.lo && t.hi == o.hi && t.loop == o.loop
+}
+
+// crcRec is a checksum write or verification.
+type crcRec struct {
+	lo, hi         int // the slot holding the checksum; -1 unknown
+	spanLo, spanHi int // the covered span; -1 when variable
+	root           string
+	pos            token.Pos
+}
+
+// layout is everything the walker learned about one function.
+type layout struct {
+	name    string
+	pos     token.Pos // function name position
+	toks    []tok     // chosen group, const-sorted (see finish)
+	crc     *crcRec
+	magics  map[string]bool // magic string values referenced ("RECC...")
+	version bool            // references a *Version* constant
+	writes  int
+	reads   int
+}
+
+var putGetRe = regexp.MustCompile(`^(put|get)([UIF])(8|16|32|64)$`)
+
+var streamKinds = map[string]int{
+	"u8": 1, "u16": 2, "u32": 4, "u64": 8, "i64": 8, "f64": 8, "str": -1,
+}
+
+type walker struct {
+	pass    *framework.Pass
+	toks    []tok
+	crcs    []crcRec
+	magics  map[string]bool
+	version bool
+	writes  int
+	reads   int
+	staging map[string]*pending
+	reportf func(pos token.Pos, format string, args ...any)
+}
+
+// pending is the last put into a staging buffer, waiting for its append.
+type pending struct {
+	kind  string
+	width int
+	isCRC bool
+	span  [2]int // checksum coverage when isCRC
+}
+
+// walkFunc reduces fd to a layout.
+func walkFunc(pass *framework.Pass, fd *ast.FuncDecl) *layout {
+	w := &walker{
+		pass:    pass,
+		magics:  map[string]bool{},
+		staging: map[string]*pending{},
+		reportf: pass.Reportf,
+	}
+	if fd.Body != nil {
+		w.findStagingRoots(fd.Body)
+		w.stmts(fd.Body.List, false)
+	}
+	return w.finish(fd)
+}
+
+// findStagingRoots pre-scans for `append(dst, src[...]...)` so that puts into
+// src are held as pending instead of emitted directly.
+func (w *walker) findStagingRoots(body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Ellipsis == token.NoPos || len(call.Args) != 2 {
+			return true
+		}
+		if id, ok := call.Fun.(*ast.Ident); !ok || id.Name != "append" {
+			return true
+		}
+		if root := rootName(call.Args[1]); root != "" {
+			w.staging[root] = nil
+		}
+		return true
+	})
+}
+
+// finish groups tokens by buffer variable, picks the group that carries the
+// magic (else the largest), sorts constant-offset tokens by position in the
+// buffer — offset-style reads may legally happen in any order — and appends
+// the variable-offset tokens in source order.
+func (w *walker) finish(fd *ast.FuncDecl) *layout {
+	groups := map[string][]tok{}
+	order := []string{}
+	for _, t := range w.toks {
+		if _, seen := groups[t.root]; !seen {
+			order = append(order, t.root)
+		}
+		groups[t.root] = append(groups[t.root], t)
+	}
+	best := ""
+	for _, r := range order {
+		if best == "" {
+			best = r
+		}
+		for _, t := range groups[r] {
+			if t.magic {
+				best = r
+			}
+		}
+	}
+	if best != "" {
+		for _, r := range order {
+			hasMagic := false
+			for _, t := range groups[best] {
+				hasMagic = hasMagic || t.magic
+			}
+			if !hasMagic && len(groups[r]) > len(groups[best]) {
+				best = r
+			}
+		}
+	}
+	var consts, vars []tok
+	for _, t := range groups[best] {
+		if t.lo >= 0 {
+			consts = append(consts, t)
+		} else {
+			vars = append(vars, t)
+		}
+	}
+	// Insertion sort by lo keeps it dependency-free and stable.
+	for i := 1; i < len(consts); i++ {
+		for j := i; j > 0 && consts[j-1].lo > consts[j].lo; j-- {
+			consts[j-1], consts[j] = consts[j], consts[j-1]
+		}
+	}
+	// Drop exact duplicates (a decoder may peek the same slot twice).
+	var toks []tok
+	for _, t := range consts {
+		if n := len(toks); n > 0 && toks[n-1].sameField(t) {
+			continue
+		}
+		toks = append(toks, t)
+	}
+	toks = append(toks, vars...)
+	lay := &layout{
+		name:    fd.Name.Name,
+		pos:     fd.Name.Pos(),
+		toks:    toks,
+		magics:  w.magics,
+		version: w.version,
+		writes:  w.writes,
+		reads:   w.reads,
+	}
+	for i := range w.crcs {
+		if w.crcs[i].root == best {
+			lay.crc = &w.crcs[i]
+			break
+		}
+	}
+	return lay
+}
+
+func (w *walker) stmts(list []ast.Stmt, loop bool) {
+	for _, s := range list {
+		w.stmt(s, loop)
+	}
+}
+
+func (w *walker) stmt(s ast.Stmt, loop bool) {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		w.stmts(s.List, loop)
+	case *ast.ForStmt:
+		if s.Init != nil {
+			w.stmt(s.Init, loop)
+		}
+		if s.Cond != nil {
+			w.expr(s.Cond, true)
+		}
+		if s.Post != nil {
+			w.stmt(s.Post, true)
+		}
+		w.stmt(s.Body, true)
+	case *ast.RangeStmt:
+		w.expr(s.X, loop)
+		w.stmt(s.Body, true)
+	case *ast.IfStmt:
+		if s.Init != nil {
+			w.stmt(s.Init, loop)
+		}
+		w.expr(s.Cond, loop)
+		mark := len(w.toks)
+		w.stmt(s.Body, loop)
+		bodyEnd := len(w.toks)
+		if s.Else != nil {
+			w.stmt(s.Else, loop)
+			// When both branches emit the same field sequence (the
+			// encode-a-flag-byte-either-way idiom), keep one copy.
+			body, other := w.toks[mark:bodyEnd], w.toks[bodyEnd:]
+			if len(body) == len(other) {
+				same := true
+				for i := range body {
+					if !body[i].sameField(other[i]) {
+						same = false
+					}
+				}
+				if same {
+					w.toks = w.toks[:bodyEnd]
+				}
+			}
+		}
+	case *ast.AssignStmt:
+		for _, l := range s.Lhs {
+			w.indexStore(l, loop)
+		}
+		for _, r := range s.Rhs {
+			w.expr(r, loop)
+		}
+	case *ast.ExprStmt:
+		w.expr(s.X, loop)
+	case *ast.ReturnStmt:
+		for _, r := range s.Results {
+			w.expr(r, loop)
+		}
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, sp := range gd.Specs {
+				if vs, ok := sp.(*ast.ValueSpec); ok {
+					for _, v := range vs.Values {
+						w.expr(v, loop)
+					}
+				}
+			}
+		}
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			w.stmt(s.Init, loop)
+		}
+		if s.Tag != nil {
+			w.expr(s.Tag, loop)
+		}
+		w.stmt(s.Body, loop)
+	case *ast.CaseClause:
+		for _, e := range s.List {
+			w.expr(e, loop)
+		}
+		w.stmts(s.Body, loop)
+	case *ast.LabeledStmt:
+		w.stmt(s.Stmt, loop)
+	case *ast.GoStmt:
+		w.expr(s.Call, loop)
+	case *ast.DeferStmt:
+		w.expr(s.Call, loop)
+	}
+}
+
+// indexStore emits a width-1 write for `b[i] = x` with a constant index into
+// a byte sequence.
+func (w *walker) indexStore(l ast.Expr, loop bool) {
+	ix, ok := l.(*ast.IndexExpr)
+	if !ok || !w.isByteSeq(ix.X) {
+		return
+	}
+	if i, ok := w.constInt(ix.Index); ok {
+		w.emit(tok{kind: "u8", width: 1, lo: i, hi: i + 1, loop: loop,
+			root: rootName(ix.X), pos: ix.Pos()})
+		w.writes++
+	}
+}
+
+func (w *walker) emit(t tok) { w.toks = append(w.toks, t) }
+
+func (w *walker) expr(e ast.Expr, loop bool) {
+	switch e := e.(type) {
+	case *ast.Ident:
+		w.noteConst(e)
+	case *ast.CallExpr:
+		w.call(e, loop)
+	case *ast.BinaryExpr:
+		if e.Op == token.EQL || e.Op == token.NEQ {
+			if w.crcCompare(e, loop) || w.magicCompare(e, loop) {
+				return
+			}
+		}
+		w.expr(e.X, loop)
+		w.expr(e.Y, loop)
+	case *ast.IndexExpr:
+		if w.isByteSeq(e.X) {
+			if i, ok := w.constInt(e.Index); ok {
+				w.emit(tok{kind: "u8", width: 1, lo: i, hi: i + 1, loop: loop,
+					root: rootName(e.X), pos: e.Pos()})
+				w.reads++
+				return
+			}
+		}
+		w.expr(e.X, loop)
+		w.expr(e.Index, loop)
+	case *ast.SliceExpr:
+		w.expr(e.X, loop)
+		if e.Low != nil {
+			w.expr(e.Low, loop)
+		}
+		if e.High != nil {
+			w.expr(e.High, loop)
+		}
+	case *ast.ParenExpr:
+		w.expr(e.X, loop)
+	case *ast.UnaryExpr:
+		w.expr(e.X, loop)
+	case *ast.StarExpr:
+		w.expr(e.X, loop)
+	case *ast.SelectorExpr:
+		w.noteConst(e.Sel)
+		w.expr(e.X, loop)
+	case *ast.CompositeLit:
+		for _, el := range e.Elts {
+			w.expr(el, loop)
+		}
+	case *ast.KeyValueExpr:
+		w.expr(e.Value, loop)
+	case *ast.FuncLit:
+		// A callback passed to an iterator runs once per element.
+		w.stmts(e.Body.List, true)
+	case *ast.TypeAssertExpr:
+		w.expr(e.X, loop)
+	}
+}
+
+// noteConst records magic ("RECC…" string constant) and format-version
+// constant references anywhere in the function.
+func (w *walker) noteConst(id *ast.Ident) {
+	obj := w.pass.TypesInfo.Uses[id]
+	c, ok := obj.(*types.Const)
+	if !ok {
+		return
+	}
+	if c.Val().Kind() == constant.String {
+		if v := constant.StringVal(c.Val()); strings.HasPrefix(v, "RECC") {
+			w.magics[v] = true
+		}
+	}
+	if strings.Contains(c.Name(), "Version") {
+		w.version = true
+	}
+}
+
+func (w *walker) call(call *ast.CallExpr, loop bool) {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		switch {
+		case fun.Name == "append":
+			w.appendCall(call, loop)
+			return
+		case fun.Name == "copy" && len(call.Args) == 2:
+			if w.copyCall(call, loop) {
+				return
+			}
+		case fun.Name == "string" && len(call.Args) == 1:
+			if root, lo, hi, ok := w.sliceSpan(call.Args[0]); ok {
+				w.emit(tok{kind: "bytes", width: hi - lo, lo: lo, hi: hi,
+					loop: loop, root: root, pos: call.Pos()})
+				w.reads++
+				return
+			}
+		default:
+			if m := putGetRe.FindStringSubmatch(fun.Name); m != nil && len(call.Args) >= 1 {
+				w.putGet(call, m, loop)
+				return
+			}
+		}
+	case *ast.SelectorExpr:
+		if w.streamCall(call, fun, loop) {
+			return
+		}
+		w.expr(fun.X, loop)
+	}
+	for _, a := range call.Args {
+		w.expr(a, loop)
+	}
+}
+
+// putGet handles putU32/getU64-style helpers: width from the name, span from
+// a constant slice argument, CRC detection from the value.
+func (w *walker) putGet(call *ast.CallExpr, m []string, loop bool) {
+	kind := strings.ToLower(m[2]) + m[3]
+	width := bitsToBytes(m[3])
+	root, lo, hi, spanOK := w.sliceSpan(call.Args[0])
+	if root == "" {
+		root = rootName(call.Args[0])
+	}
+	if spanOK && hi-lo != width {
+		verb := "writes"
+		if m[1] == "get" {
+			verb = "reads"
+		}
+		w.reportf(call.Pos(), "%s %s a %d-byte value in a %d-byte slot [%d,%d)",
+			call.Fun.(*ast.Ident).Name, verb, width, hi-lo, lo, hi)
+	}
+	if !spanOK {
+		lo, hi = -1, -1
+	}
+	if m[1] == "put" {
+		w.writes++
+		val := call.Args[len(call.Args)-1]
+		if len(call.Args) >= 2 {
+			val = call.Args[1]
+		}
+		if span, isCRC := checksumSpan(w, val); isCRC {
+			if p, staged := w.staging[root]; staged || p != nil {
+				w.staging[root] = &pending{kind: kind, width: width, isCRC: true, span: span}
+				return
+			}
+			w.crcs = append(w.crcs, crcRec{lo: lo, hi: hi, spanLo: span[0], spanHi: span[1],
+				root: root, pos: call.Pos()})
+			return
+		}
+		if _, staged := w.staging[root]; staged {
+			w.staging[root] = &pending{kind: kind, width: width}
+			return
+		}
+		w.emit(tok{kind: kind, width: width, lo: lo, hi: hi, loop: loop, root: root, pos: call.Pos()})
+		if len(call.Args) >= 2 {
+			w.expr(call.Args[1], loop)
+		}
+		return
+	}
+	w.reads++
+	w.emit(tok{kind: kind, width: width, lo: lo, hi: hi, loop: loop, root: root, pos: call.Pos()})
+}
+
+// appendCall handles the append idioms: flushing a staging buffer, a raw
+// byte, or a magic string. Appends of anything else (a delegated
+// sub-encoding) are invisible by design.
+func (w *walker) appendCall(call *ast.CallExpr, loop bool) {
+	if len(call.Args) < 2 {
+		return
+	}
+	dst := rootName(call.Args[0])
+	if call.Ellipsis != token.NoPos {
+		src := call.Args[1]
+		if root := rootName(src); root != "" {
+			if p, staged := w.staging[root]; staged && p != nil {
+				width := p.width
+				if _, lo, hi, ok := w.sliceSpan(src); ok && hi > lo {
+					width = hi - lo
+				}
+				w.writes++
+				if p.isCRC {
+					w.crcs = append(w.crcs, crcRec{lo: -1, hi: -1,
+						spanLo: p.span[0], spanHi: p.span[1], root: dst, pos: call.Pos()})
+					return
+				}
+				w.emit(tok{kind: p.kind, width: width, lo: -1, hi: -1, loop: loop,
+					root: dst, pos: call.Pos()})
+				return
+			}
+		}
+		if v, ok := w.stringConst(src); ok && strings.HasPrefix(v, "RECC") {
+			w.magics[v] = true
+			w.emit(tok{kind: "bytes", width: len(v), lo: -1, hi: -1, loop: loop,
+				magic: true, root: dst, pos: call.Pos()})
+			w.writes++
+		}
+		return
+	}
+	for _, a := range call.Args[1:] {
+		if t := w.pass.TypesInfo.TypeOf(a); t != nil {
+			if b, ok := t.Underlying().(*types.Basic); ok && (b.Kind() == types.Uint8 || b.Kind() == types.Byte) {
+				w.emit(tok{kind: "u8", width: 1, lo: -1, hi: -1, loop: loop,
+					root: dst, pos: a.Pos()})
+				w.writes++
+				continue
+			}
+		}
+		w.expr(a, loop)
+	}
+}
+
+// copyCall emits a magic token for `copy(buf[lo:hi], magicConst)`.
+func (w *walker) copyCall(call *ast.CallExpr, loop bool) bool {
+	v, ok := w.stringConst(call.Args[1])
+	if !ok || !strings.HasPrefix(v, "RECC") {
+		return false
+	}
+	w.magics[v] = true
+	root, lo, hi, spanOK := w.sliceSpan(call.Args[0])
+	if !spanOK {
+		lo, hi = -1, -1
+		root = rootName(call.Args[0])
+	}
+	width := hi - lo
+	if width <= 0 {
+		width = len(v)
+	}
+	w.emit(tok{kind: "bytes", width: width, lo: lo, hi: hi, loop: loop,
+		magic: true, root: root, pos: call.Pos()})
+	w.writes++
+	return true
+}
+
+// streamCall emits a token for `e.u64(x)` / `d.f64()` methods declared in
+// the package under analysis.
+func (w *walker) streamCall(call *ast.CallExpr, sel *ast.SelectorExpr, loop bool) bool {
+	width, isKind := streamKinds[sel.Sel.Name]
+	if !isKind {
+		return false
+	}
+	fn, ok := w.pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() != w.pass.Pkg || fn.Type().(*types.Signature).Recv() == nil {
+		return false
+	}
+	// The receiver chain evaluates before this call, so walk it first to
+	// keep `d.i64(a).f64(b)` in wire order.
+	w.expr(sel.X, loop)
+	w.emit(tok{kind: sel.Sel.Name, width: width, lo: -1, hi: -1, loop: loop,
+		stream: true, root: rootName(sel.X), pos: sel.Sel.Pos()})
+	if len(call.Args) > 0 {
+		w.writes++
+		for _, a := range call.Args {
+			w.expr(a, loop)
+		}
+	} else {
+		w.reads++
+	}
+	return true
+}
+
+// crcCompare recognizes `crc32.Checksum(buf[span], tab) != getU32(buf[slot])`
+// (either operand order) and records it as the decoder-side CRC.
+func (w *walker) crcCompare(e *ast.BinaryExpr, loop bool) bool {
+	for _, pair := range [2][2]ast.Expr{{e.X, e.Y}, {e.Y, e.X}} {
+		span, isCRC := checksumSpan(w, pair[0])
+		get, ok := ast.Unparen(pair[1]).(*ast.CallExpr)
+		if !isCRC || !ok {
+			continue
+		}
+		id, ok := get.Fun.(*ast.Ident)
+		if !ok {
+			continue
+		}
+		m := putGetRe.FindStringSubmatch(id.Name)
+		if m == nil || m[1] != "get" || len(get.Args) < 1 {
+			continue
+		}
+		root, lo, hi, spanOK := w.sliceSpan(get.Args[0])
+		if !spanOK {
+			lo, hi = -1, -1
+			root = rootName(get.Args[0])
+		}
+		w.reads++
+		w.crcs = append(w.crcs, crcRec{lo: lo, hi: hi, spanLo: span[0], spanHi: span[1],
+			root: root, pos: e.Pos()})
+		return true
+	}
+	return false
+}
+
+// magicCompare recognizes `string(buf[lo:hi]) != magicConst`.
+func (w *walker) magicCompare(e *ast.BinaryExpr, loop bool) bool {
+	for _, pair := range [2][2]ast.Expr{{e.X, e.Y}, {e.Y, e.X}} {
+		conv, ok := ast.Unparen(pair[0]).(*ast.CallExpr)
+		if !ok {
+			continue
+		}
+		if id, ok := conv.Fun.(*ast.Ident); !ok || id.Name != "string" || len(conv.Args) != 1 {
+			continue
+		}
+		v, isStr := w.stringConst(pair[1])
+		if !isStr || !strings.HasPrefix(v, "RECC") {
+			continue
+		}
+		w.magics[v] = true
+		root, lo, hi, spanOK := w.sliceSpan(conv.Args[0])
+		if !spanOK {
+			lo, hi = -1, -1
+			root = rootName(conv.Args[0])
+		}
+		width := hi - lo
+		if width <= 0 {
+			width = len(v)
+		}
+		w.emit(tok{kind: "bytes", width: width, lo: lo, hi: hi, loop: loop,
+			magic: true, root: root, pos: e.Pos()})
+		w.reads++
+		return true
+	}
+	return false
+}
+
+// checksumSpan reports whether e contains a crc32.Checksum call and the
+// constant span of its data argument ([-1,-1] when variable).
+func checksumSpan(w *walker, e ast.Expr) ([2]int, bool) {
+	span, found := [2]int{-1, -1}, false
+	ast.Inspect(e, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || found {
+			return !found
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != "Checksum" || len(call.Args) < 1 {
+			return true
+		}
+		found = true
+		if _, lo, hi, ok := w.sliceSpan(call.Args[0]); ok {
+			span = [2]int{lo, hi}
+		}
+		return false
+	})
+	return span, found
+}
+
+// sliceSpan resolves `buf[lo:hi]` (and `buf[:hi]`, `buf[:]` over an array)
+// to a constant byte span.
+func (w *walker) sliceSpan(e ast.Expr) (root string, lo, hi int, ok bool) {
+	sl, isSlice := ast.Unparen(e).(*ast.SliceExpr)
+	if !isSlice || !w.isByteSeq(sl.X) {
+		return "", 0, 0, false
+	}
+	root = rootName(sl.X)
+	lo = 0
+	if sl.Low != nil {
+		if v, cok := w.constInt(sl.Low); cok {
+			lo = v
+		} else {
+			return root, 0, 0, false
+		}
+	}
+	if sl.High != nil {
+		if v, cok := w.constInt(sl.High); cok {
+			return root, lo, v, true
+		}
+		return root, 0, 0, false
+	}
+	// buf[lo:] — the bound is the array length when buf is an array.
+	if t := w.pass.TypesInfo.TypeOf(sl.X); t != nil {
+		u := t.Underlying()
+		if p, isPtr := u.(*types.Pointer); isPtr {
+			u = p.Elem().Underlying()
+		}
+		if arr, isArr := u.(*types.Array); isArr {
+			return root, lo, int(arr.Len()), true
+		}
+	}
+	return root, 0, 0, false
+}
+
+// constInt evaluates a constant integer expression.
+func (w *walker) constInt(e ast.Expr) (int, bool) {
+	tv, ok := w.pass.TypesInfo.Types[e]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.Int {
+		return 0, false
+	}
+	v, exact := constant.Int64Val(tv.Value)
+	if !exact {
+		return 0, false
+	}
+	return int(v), true
+}
+
+// stringConst evaluates a constant string expression.
+func (w *walker) stringConst(e ast.Expr) (string, bool) {
+	tv, ok := w.pass.TypesInfo.Types[e]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return "", false
+	}
+	return constant.StringVal(tv.Value), true
+}
+
+// isByteSeq reports whether e is a []byte, [N]byte, or *[N]byte.
+func (w *walker) isByteSeq(e ast.Expr) bool {
+	t := w.pass.TypesInfo.TypeOf(e)
+	if t == nil {
+		return false
+	}
+	u := t.Underlying()
+	if p, ok := u.(*types.Pointer); ok {
+		u = p.Elem().Underlying()
+	}
+	var elem types.Type
+	switch u := u.(type) {
+	case *types.Slice:
+		elem = u.Elem()
+	case *types.Array:
+		elem = u.Elem()
+	default:
+		return false
+	}
+	b, ok := elem.Underlying().(*types.Basic)
+	return ok && b.Kind() == types.Uint8
+}
+
+// rootName unwraps slices, indexes, stars and parens down to the base
+// identifier of a buffer expression.
+func rootName(e ast.Expr) string {
+	for {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			return x.Name
+		case *ast.SliceExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.UnaryExpr:
+			e = x.X
+		case *ast.SelectorExpr:
+			return x.Sel.Name
+		case *ast.CallExpr:
+			if sel, ok := x.Fun.(*ast.SelectorExpr); ok {
+				e = sel.X
+				continue
+			}
+			return ""
+		default:
+			return ""
+		}
+	}
+}
+
+func bitsToBytes(bits string) int {
+	switch bits {
+	case "8":
+		return 1
+	case "16":
+		return 2
+	case "32":
+		return 4
+	default:
+		return 8
+	}
+}

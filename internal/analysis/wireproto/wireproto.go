@@ -1,0 +1,366 @@
+// Package wireproto pairs binary encoder and decoder functions and checks
+// that the two sides of each wire format agree: same field sequence (width,
+// order, loop structure), a CRC that is both written and verified over the
+// same span with no fields outside it, and a decoder that checks the same
+// magic and format-version constants the encoder writes.
+//
+// Pairing is by naming convention — encodeX/EncodeX/appendX with
+// decodeX/DecodeX in the same package — or explicit, by tagging exactly two
+// functions with `//recclint:wirepair <name>` in their doc comments (the
+// walker then classifies which side writes and which reads). A function
+// whose layout should be pinned without a partner (a response digest) takes
+// `//recclint:wirelayout <spec>`, where the spec lists stream kinds with
+// `loop(...)` for repeated groups, e.g. `u64 str f64` or `loop(i64 f64 i64)`.
+package wireproto
+
+import (
+	"fmt"
+	"go/ast"
+	"strings"
+
+	"resistecc/internal/analysis/framework"
+)
+
+// Analyzer detects wire-format asymmetries between paired encoders and
+// decoders.
+var Analyzer = &framework.Analyzer{
+	Name: "wireproto",
+	Doc: "wire-format symmetry: paired encoders and decoders must touch the same " +
+		"byte layout, verify the CRC the other side writes over the same span, and " +
+		"agree on magic and format-version checks; //recclint:wirepair pairs " +
+		"functions explicitly, //recclint:wirelayout pins a layout without a partner",
+	Run: run,
+}
+
+const (
+	pairDirective   = "//recclint:wirepair"
+	layoutDirective = "//recclint:wirelayout"
+)
+
+var encPrefixes = []string{"encode", "Encode", "append", "Append"}
+var decPrefixes = []string{"decode", "Decode"}
+
+func run(pass *framework.Pass) error {
+	type tagged struct {
+		fd   *ast.FuncDecl
+		name string
+	}
+	var pairs []tagged
+	autoEnc := map[string][]*ast.FuncDecl{}
+	autoDec := map[string][]*ast.FuncDecl{}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			if spec := docDirectiveRest(fd.Doc, layoutDirective); spec != "" {
+				checkLayoutSpec(pass, fd, spec)
+			}
+			if name := docDirectiveRest(fd.Doc, pairDirective); name != "" {
+				pairs = append(pairs, tagged{fd, firstField(name)})
+				continue
+			}
+			if fd.Recv != nil {
+				continue
+			}
+			if key, ok := trimAnyPrefix(fd.Name.Name, encPrefixes); ok {
+				autoEnc[key] = append(autoEnc[key], fd)
+			} else if key, ok := trimAnyPrefix(fd.Name.Name, decPrefixes); ok {
+				autoDec[key] = append(autoDec[key], fd)
+			}
+		}
+	}
+
+	// Explicitly tagged pairs: exactly two functions per tag, direction from
+	// whether the body mostly writes or mostly reads.
+	byTag := map[string][]*ast.FuncDecl{}
+	var tags []string
+	for _, t := range pairs {
+		if _, seen := byTag[t.name]; !seen {
+			tags = append(tags, t.name)
+		}
+		byTag[t.name] = append(byTag[t.name], t.fd)
+	}
+	for _, tag := range tags {
+		fds := byTag[tag]
+		if len(fds) != 2 {
+			for _, fd := range fds {
+				pass.Reportf(fd.Name.Pos(),
+					"//recclint:wirepair %q tags %d functions, want exactly an encoder and a decoder",
+					tag, len(fds))
+			}
+			continue
+		}
+		a, b := walkFunc(pass, fds[0]), walkFunc(pass, fds[1])
+		aw, bw := a.writes-a.reads, b.writes-b.reads
+		if (aw > 0) == (bw > 0) {
+			pass.Reportf(fds[0].Name.Pos(),
+				"//recclint:wirepair %q: cannot tell the encoder from the decoder", tag)
+			continue
+		}
+		if aw > bw {
+			comparePair(pass, tag, a, b)
+		} else {
+			comparePair(pass, tag, b, a)
+		}
+	}
+
+	// Auto pairs by name; a key with several encoders or decoders is
+	// ambiguous and skipped.
+	for key, encs := range autoEnc {
+		decs := autoDec[key]
+		if len(encs) != 1 || len(decs) != 1 {
+			continue
+		}
+		comparePair(pass, key,
+			walkFunc(pass, encs[0]), walkFunc(pass, decs[0]))
+	}
+	return nil
+}
+
+// comparePair zips the encoder's emitted fields against the decoder's reads
+// and checks the CRC, magic, and version invariants.
+func comparePair(pass *framework.Pass, name string, enc, dec *layout) {
+	// Magic: the decoder must compare against the same magic constant the
+	// encoder writes.
+	for v := range enc.magics {
+		if len(dec.magics) == 0 {
+			pass.Reportf(dec.pos, "wire pair %q: decoder %s does not check the format magic %q",
+				name, dec.name, v)
+		} else if !dec.magics[v] {
+			pass.Reportf(dec.pos,
+				"wire pair %q: decoder %s checks a different magic constant than the %q the encoder writes",
+				name, dec.name, v)
+		}
+		break
+	}
+	if enc.version && !dec.version {
+		pass.Reportf(dec.pos, "wire pair %q: decoder %s does not check the format version",
+			name, dec.name)
+	}
+
+	// CRC discipline.
+	switch {
+	case enc.crc != nil && dec.crc == nil:
+		pass.Reportf(dec.pos, "wire pair %q: decoder %s does not verify the CRC the encoder writes",
+			name, dec.name)
+	case enc.crc == nil && dec.crc != nil:
+		pass.Reportf(dec.crc.pos, "wire pair %q: decoder %s verifies a CRC that encoder %s never writes",
+			name, dec.name, enc.name)
+	case enc.crc != nil && dec.crc != nil:
+		e, d := enc.crc, dec.crc
+		if e.spanLo >= 0 && d.spanLo >= 0 && (e.spanLo != d.spanLo || e.spanHi != d.spanHi) {
+			pass.Reportf(d.pos, "wire pair %q: CRC covers [%d,%d) in the encoder but [%d,%d) in the decoder",
+				name, e.spanLo, e.spanHi, d.spanLo, d.spanHi)
+		}
+		if e.lo >= 0 && d.lo >= 0 && (e.lo != d.lo || e.hi != d.hi) {
+			pass.Reportf(d.pos, "wire pair %q: CRC is stored at [%d,%d) but verified from [%d,%d)",
+				name, e.lo, e.hi, d.lo, d.hi)
+		}
+	}
+
+	// Every constant-offset field the encoder writes must sit inside the
+	// CRC-covered span (or be the CRC slot itself).
+	if enc.crc != nil && enc.crc.spanLo >= 0 {
+		c := enc.crc
+		for _, t := range enc.toks {
+			if t.lo < 0 {
+				continue
+			}
+			inSpan := t.lo >= c.spanLo && t.hi <= c.spanHi
+			inSlot := c.lo >= 0 && t.lo >= c.lo && t.hi <= c.hi
+			if !inSpan && !inSlot {
+				pass.Reportf(t.pos, "wire pair %q: field at bytes [%d,%d) is outside the CRC-covered span [%d,%d)",
+					name, t.lo, t.hi, c.spanLo, c.spanHi)
+			}
+		}
+	}
+
+	// Loop-emitted fields need a count the decoder can read first.
+	for i, t := range enc.toks {
+		if !t.loop || (i > 0 && enc.toks[i-1].loop) {
+			continue
+		}
+		if i == 0 || !isCountKind(enc.toks[i-1]) {
+			pass.Reportf(t.pos, "wire pair %q: loop-emitted fields in %s are not preceded by an integer count field",
+				name, enc.name)
+		}
+	}
+
+	// Field zip.
+	if len(enc.toks) != len(dec.toks) {
+		pass.Reportf(dec.pos, "wire pair %q: encoder %s emits %d fields, decoder %s reads %d",
+			name, enc.name, len(enc.toks), dec.name, len(dec.toks))
+		return
+	}
+	for i := range enc.toks {
+		e, d := enc.toks[i], dec.toks[i]
+		switch {
+		case e.width != d.width && e.width > 0 && d.width > 0:
+			pass.Reportf(d.pos, "wire pair %q field %d: encoder emits %s (%d bytes) but decoder reads %s (%d bytes)",
+				name, i, e.kind, e.width, d.kind, d.width)
+		case e.stream && d.stream && e.kind != d.kind:
+			pass.Reportf(d.pos, "wire pair %q field %d: encoder emits %s but decoder reads %s",
+				name, i, e.kind, d.kind)
+		case e.lo >= 0 && d.lo >= 0 && (e.lo != d.lo || e.hi != d.hi):
+			pass.Reportf(d.pos, "wire pair %q field %d: encoder writes bytes [%d,%d) but decoder reads [%d,%d)",
+				name, i, e.lo, e.hi, d.lo, d.hi)
+		case e.loop != d.loop:
+			side, other := "encoder", "decoder"
+			if d.loop {
+				side, other = "decoder", "encoder"
+			}
+			pass.Reportf(d.pos, "wire pair %q field %d: the %s handles it in a loop but the %s does not",
+				name, i, side, other)
+		}
+	}
+}
+
+// specItem is one element of a //recclint:wirelayout spec.
+type specItem struct {
+	kind string
+	loop bool
+}
+
+// checkLayoutSpec compares a function's stream-token layout against its
+// declared spec.
+func checkLayoutSpec(pass *framework.Pass, fd *ast.FuncDecl, spec string) {
+	want, err := parseSpec(spec)
+	if err != nil {
+		pass.Reportf(fd.Name.Pos(), "bad //recclint:wirelayout spec %q: %v", spec, err)
+		return
+	}
+	lay := walkFunc(pass, fd)
+	got := make([]specItem, 0, len(lay.toks))
+	for _, t := range lay.toks {
+		got = append(got, specItem{kind: t.kind, loop: t.loop})
+	}
+	if !specEqual(got, want) {
+		pass.Reportf(fd.Name.Pos(), "layout of %s is %q but //recclint:wirelayout declares %q",
+			fd.Name.Name, renderSpec(got), renderSpec(want))
+	}
+}
+
+// parseSpec parses "u64 str f64" / "u64 loop(i64 f64)" into items.
+func parseSpec(s string) ([]specItem, error) {
+	var items []specItem
+	inLoop := false
+	for _, f := range strings.FieldsFunc(s, func(r rune) bool { return r == ' ' || r == '\t' }) {
+		for f != "" {
+			switch {
+			case strings.HasPrefix(f, "loop("):
+				if inLoop {
+					return nil, fmt.Errorf("nested loop()")
+				}
+				inLoop = true
+				f = f[len("loop("):]
+			case strings.HasSuffix(f, ")"):
+				f = strings.TrimSuffix(f, ")")
+				if f != "" {
+					if _, ok := streamKinds[f]; !ok {
+						return nil, fmt.Errorf("unknown kind %q", f)
+					}
+					items = append(items, specItem{kind: f, loop: inLoop})
+					f = ""
+				}
+				if !inLoop {
+					return nil, fmt.Errorf("unbalanced )")
+				}
+				inLoop = false
+			default:
+				if _, ok := streamKinds[f]; !ok {
+					return nil, fmt.Errorf("unknown kind %q", f)
+				}
+				items = append(items, specItem{kind: f, loop: inLoop})
+				f = ""
+			}
+		}
+	}
+	if inLoop {
+		return nil, fmt.Errorf("unclosed loop(")
+	}
+	if len(items) == 0 {
+		return nil, fmt.Errorf("empty spec")
+	}
+	return items, nil
+}
+
+func specEqual(a, b []specItem) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// renderSpec prints items with consecutive looped kinds grouped as loop(...).
+func renderSpec(items []specItem) string {
+	var b strings.Builder
+	for i := 0; i < len(items); {
+		if b.Len() > 0 {
+			b.WriteByte(' ')
+		}
+		if !items[i].loop {
+			b.WriteString(items[i].kind)
+			i++
+			continue
+		}
+		b.WriteString("loop(")
+		for first := true; i < len(items) && items[i].loop; i++ {
+			if !first {
+				b.WriteByte(' ')
+			}
+			b.WriteString(items[i].kind)
+			first = false
+		}
+		b.WriteString(")")
+	}
+	return b.String()
+}
+
+func isCountKind(t tok) bool {
+	switch t.kind {
+	case "u16", "u32", "u64", "i64":
+		return true
+	}
+	return false
+}
+
+// docDirectiveRest returns everything after the directive on its comment
+// line, trimmed; empty when the directive is absent.
+func docDirectiveRest(doc *ast.CommentGroup, directive string) string {
+	if doc == nil {
+		return ""
+	}
+	for _, c := range doc.List {
+		text := strings.TrimSpace(c.Text)
+		if text == directive {
+			return ""
+		}
+		if strings.HasPrefix(text, directive+" ") {
+			return strings.TrimSpace(strings.TrimPrefix(text, directive))
+		}
+	}
+	return ""
+}
+
+func firstField(s string) string {
+	if f := strings.Fields(s); len(f) > 0 {
+		return f[0]
+	}
+	return s
+}
+
+func trimAnyPrefix(name string, prefixes []string) (string, bool) {
+	for _, p := range prefixes {
+		if rest := strings.TrimPrefix(name, p); rest != name && rest != "" {
+			return strings.ToLower(rest), true
+		}
+	}
+	return "", false
+}

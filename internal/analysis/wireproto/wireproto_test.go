@@ -1,0 +1,12 @@
+package wireproto_test
+
+import (
+	"testing"
+
+	"resistecc/internal/analysis/framework"
+	"resistecc/internal/analysis/wireproto"
+)
+
+func TestWireProto(t *testing.T) {
+	framework.TestAnalyzer(t, wireproto.Analyzer, framework.FixturePath("wireproto"))
+}

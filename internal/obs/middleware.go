@@ -80,19 +80,17 @@ func (r *Registry) LimitInFlight(limit int, next http.Handler) http.Handler {
 }
 
 // LimitInFlightWith is LimitInFlight with a caller-supplied rejection
-// handler, so servers with a structured error envelope can shed load in
-// their own wire format. A nil reject falls back to the default flat JSON
-// 503 body.
+// handler, so servers with extra headers or codes can shed load in their
+// own wire format. A nil reject falls back to a WriteError 503 carrying
+// the canonical {"error":{code,message}} envelope.
 func (r *Registry) LimitInFlightWith(limit int, next http.Handler, reject http.Handler) http.Handler {
 	if limit <= 0 {
 		return next
 	}
 	if reject == nil {
 		reject = http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
-			w.Header().Set("Content-Type", "application/json")
 			w.Header().Set("Retry-After", "1")
-			w.WriteHeader(http.StatusServiceUnavailable)
-			w.Write([]byte(`{"error":"server overloaded; retry"}` + "\n"))
+			WriteError(w, http.StatusServiceUnavailable, "overloaded", "server overloaded; retry")
 		})
 	}
 	sem := make(chan struct{}, limit)

@@ -65,6 +65,7 @@ type Registry struct {
 	gauges     map[string]float64          // guarded by mu
 	gaugeFns   map[string]func() float64   // guarded by mu
 	counterFns map[string]func() float64   // guarded by mu
+	labeled    map[string]*labeledGauge    // guarded by mu
 
 	// rejected counts requests shed by the in-flight limiter.
 	rejected atomic.Uint64
@@ -81,6 +82,7 @@ func NewRegistry(namespace string) *Registry {
 		gauges:     make(map[string]float64),
 		gaugeFns:   make(map[string]func() float64),
 		counterFns: make(map[string]func() float64),
+		labeled:    make(map[string]*labeledGauge),
 	}
 }
 
@@ -119,6 +121,40 @@ func (r *Registry) SetCounterFunc(name string, fn func() float64) {
 		r.counterFns[name] = fn
 	}
 	r.mu.Unlock()
+}
+
+// labeledGauge holds all series of one labeled gauge name. Every series
+// shares the single label key fixed at first registration.
+type labeledGauge struct {
+	label string
+	fns   map[string]func() float64 // label value → sampler; the owning Registry's mu synchronizes access
+}
+
+// SetLabeledGaugeFunc registers one series of a labeled live gauge,
+// exposed as <ns>_<name>{<label>="<value>"}. All series under one name must
+// use the same label key (registering a second key for the same name
+// panics — it is a wiring bug, not a runtime condition). The metric name
+// stays a compile-time constant; only the label value varies, which is how
+// per-backend series keep the metrichygiene cardinality guard happy. A nil
+// fn unregisters the series.
+func (r *Registry) SetLabeledGaugeFunc(name, label, value string, fn func() float64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	lg, ok := r.labeled[name]
+	if !ok {
+		lg = &labeledGauge{label: label, fns: make(map[string]func() float64)}
+		r.labeled[name] = lg
+	} else if lg.label != label {
+		panic(fmt.Sprintf("obs: labeled gauge %s registered with label %q, then %q", name, lg.label, label))
+	}
+	if fn == nil {
+		delete(lg.fns, value)
+		if len(lg.fns) == 0 {
+			delete(r.labeled, name)
+		}
+		return
+	}
+	lg.fns[value] = fn
 }
 
 // endpoint returns (creating if needed) the metrics cell for name.
@@ -199,6 +235,24 @@ func (r *Registry) WriteMetrics(w io.Writer) {
 	for _, name := range cnames {
 		cfns = append(cfns, r.counterFns[name])
 	}
+	type labeledSeries struct {
+		name, label string
+		values      []string
+		fns         []func() float64
+	}
+	lseries := make([]labeledSeries, 0, len(r.labeled))
+	for name, lg := range r.labeled {
+		s := labeledSeries{name: name, label: lg.label}
+		for v := range lg.fns {
+			s.values = append(s.values, v)
+		}
+		sort.Strings(s.values)
+		for _, v := range s.values {
+			s.fns = append(s.fns, lg.fns[v])
+		}
+		lseries = append(lseries, s)
+	}
+	sort.Slice(lseries, func(i, j int) bool { return lseries[i].name < lseries[j].name })
 	r.mu.Unlock()
 
 	// Live gauges are sampled outside the lock (the fn may itself take locks)
@@ -246,6 +300,16 @@ func (r *Registry) WriteMetrics(w io.Writer) {
 	for i, name := range gnames {
 		fmt.Fprintf(w, "# TYPE %s_%s gauge\n", ns, name)
 		fmt.Fprintf(w, "%s_%s %g\n", ns, name, gvals[i])
+	}
+
+	// Labeled live gauges: one TYPE line per name, one sample per series,
+	// both in deterministic (sorted) order. Samplers run outside the lock
+	// like plain gauge fns.
+	for _, s := range lseries {
+		fmt.Fprintf(w, "# TYPE %s_%s gauge\n", ns, s.name)
+		for i, v := range s.values {
+			fmt.Fprintf(w, "%s_%s{%s=%q} %g\n", ns, s.name, s.label, v, s.fns[i]())
+		}
 	}
 
 	for i, name := range cnames {

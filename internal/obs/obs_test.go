@@ -2,6 +2,7 @@ package obs
 
 import (
 	"bytes"
+	"encoding/json"
 	"fmt"
 	"log"
 	"net/http"
@@ -255,6 +256,105 @@ func TestLimitInFlightWithCustomReject(t *testing.T) {
 	if !strings.Contains(buf.String(), "t_rejected_total 1") {
 		t.Fatalf("rejection not counted:\n%s", buf.String())
 	}
+}
+
+func TestWriteErrorEnvelope(t *testing.T) {
+	rec := httptest.NewRecorder()
+	WriteError(rec, http.StatusConflict, "duplicate_edge", "edge (%d,%d) already present", 3, 4)
+	if rec.Code != http.StatusConflict {
+		t.Fatalf("status = %d, want 409", rec.Code)
+	}
+	if ct := rec.Header().Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("Content-Type = %q", ct)
+	}
+	var env ErrorEnvelope
+	if err := json.Unmarshal(rec.Body.Bytes(), &env); err != nil {
+		t.Fatalf("body not an envelope: %v (%s)", err, rec.Body.String())
+	}
+	if env.Error.Code != "duplicate_edge" || env.Error.Message != "edge (3,4) already present" {
+		t.Fatalf("envelope = %+v", env)
+	}
+}
+
+func TestLimitInFlightDefaultRejectEnvelope(t *testing.T) {
+	reg := NewRegistry("t")
+	release := make(chan struct{})
+	started := make(chan struct{})
+	h := reg.LimitInFlight(1, http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		close(started)
+		<-release
+	}))
+	go func() {
+		h.ServeHTTP(httptest.NewRecorder(), httptest.NewRequest("GET", "/", nil))
+	}()
+	<-started
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/", nil))
+	close(release)
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("expected 503, got %d", rec.Code)
+	}
+	var env ErrorEnvelope
+	if err := json.Unmarshal(rec.Body.Bytes(), &env); err != nil {
+		t.Fatalf("default reject body is not the envelope: %v (%s)", err, rec.Body.String())
+	}
+	if env.Error.Code != "overloaded" || env.Error.Message == "" {
+		t.Fatalf("envelope = %+v", env)
+	}
+	if rec.Header().Get("Retry-After") == "" {
+		t.Fatal("missing Retry-After")
+	}
+}
+
+func TestLabeledGaugeFunc(t *testing.T) {
+	reg := NewRegistry("t")
+	vals := map[string]float64{"a": 1, "b": 0}
+	reg.SetLabeledGaugeFunc("backend_healthy", "backend", "b", func() float64 { return vals["b"] })
+	reg.SetLabeledGaugeFunc("backend_healthy", "backend", "a", func() float64 { return vals["a"] })
+
+	var buf bytes.Buffer
+	reg.WriteMetrics(&buf)
+	out := buf.String()
+	if n := strings.Count(out, "# TYPE t_backend_healthy gauge"); n != 1 {
+		t.Fatalf("TYPE line emitted %d times:\n%s", n, out)
+	}
+	aLine := `t_backend_healthy{backend="a"} 1`
+	bLine := `t_backend_healthy{backend="b"} 0`
+	ai, bi := strings.Index(out, aLine), strings.Index(out, bLine)
+	if ai < 0 || bi < 0 {
+		t.Fatalf("missing labeled series:\n%s", out)
+	}
+	if ai > bi {
+		t.Fatalf("series not sorted by label value:\n%s", out)
+	}
+
+	// Live: re-sampled at every exposition.
+	vals["b"] = 1
+	buf.Reset()
+	reg.WriteMetrics(&buf)
+	if !strings.Contains(buf.String(), `t_backend_healthy{backend="b"} 1`) {
+		t.Fatalf("labeled gauge not re-evaluated:\n%s", buf.String())
+	}
+
+	// Unregistering the last series drops the name entirely.
+	reg.SetLabeledGaugeFunc("backend_healthy", "backend", "a", nil)
+	reg.SetLabeledGaugeFunc("backend_healthy", "backend", "b", nil)
+	buf.Reset()
+	reg.WriteMetrics(&buf)
+	if strings.Contains(buf.String(), "backend_healthy") {
+		t.Fatalf("labeled gauge still exposed after unregister:\n%s", buf.String())
+	}
+}
+
+func TestLabeledGaugeLabelKeyFixed(t *testing.T) {
+	reg := NewRegistry("t")
+	reg.SetLabeledGaugeFunc("backend_healthy", "backend", "a", func() float64 { return 1 })
+	defer func() {
+		if recover() == nil {
+			t.Fatal("second label key for the same name should panic")
+		}
+	}()
+	reg.SetLabeledGaugeFunc("backend_healthy", "upstream", "a", func() float64 { return 1 })
 }
 
 func TestCounterFunc(t *testing.T) {

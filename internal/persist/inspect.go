@@ -153,6 +153,7 @@ func InspectSnapshot(path string) (*Report, error) {
 type WALInfo struct {
 	Path     string
 	Size     int64
+	Version  uint32 // 0 when the header is missing or foreign
 	Records  int
 	FirstSeq uint64
 	LastSeq  uint64
@@ -172,17 +173,96 @@ func InspectWAL(path string) (*WALInfo, error) {
 	if err != nil {
 		return nil, err
 	}
+	var version uint32
+	var hdr [walHeaderSize]byte
+	// ReadAt leaves the scan offset at 0; the version is reported even when
+	// scanWAL rejects the rest of the header.
+	if n, _ := f.ReadAt(hdr[:], 0); n == walHeaderSize && string(hdr[:8]) == WALMagic {
+		version = getU32(hdr[8:12])
+	}
 	recs, validSize, err := scanWAL(f)
 	if err != nil {
 		return nil, err
 	}
-	info := &WALInfo{Path: path, Size: fi.Size(), Records: len(recs), TornBytes: fi.Size() - validSize}
+	info := &WALInfo{Path: path, Size: fi.Size(), Version: version, Records: len(recs), TornBytes: fi.Size() - validSize}
 	if validSize == 0 {
 		info.TornBytes = fi.Size()
 	}
 	if len(recs) > 0 {
 		info.FirstSeq = recs[0].Seq
 		info.LastSeq = recs[len(recs)-1].Seq
+	}
+	return info, nil
+}
+
+// TailInfo is a tolerant description of a tail-fetch frame (the wire format
+// of GET /v1/repl/wal, sometimes captured to disk for debugging). Like
+// Report it keeps going past checksum failures so `recc inspect` can show
+// what is wrong; Valid summarizes whether a replica would apply the frame.
+type TailInfo struct {
+	Path    string
+	Size    int64
+	Version uint32
+
+	// Header fields, trustworthy only when HeaderOK (the header CRC held).
+	HeaderOK  bool
+	LastSeq   uint64 // newest sequence the writer's store holds
+	WriterGen uint64
+	SnapSeq   uint64
+	SnapGen   uint64
+	Declared  int // record count the header declares
+
+	// The verified record prefix: records whose own checksums hold and whose
+	// sequences stay contiguous. A replica applies all of Declared or
+	// nothing, so Records < Declared always means Valid is false.
+	Records           int
+	FirstRec, LastRec uint64
+	TornBytes         int64 // bytes past the verified prefix
+
+	Valid bool
+	Err   string // first reason a replica would reject the frame, "" when Valid
+}
+
+// InspectTail examines a tail-frame file without requiring it to be valid.
+func InspectTail(path string) (*TailInfo, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	info := &TailInfo{Path: path, Size: int64(len(b))}
+	if len(b) < tailHeaderSize || string(b[0:8]) != TailMagic {
+		info.Err = "bad or truncated tail-frame header"
+		info.TornBytes = info.Size
+		return info, nil
+	}
+	info.Version = getU32(b[8:12])
+	if crc32.Checksum(b[:48], castagnoli) == getU32(b[48:52]) {
+		info.HeaderOK = true
+		info.LastSeq = getU64(b[12:20])
+		info.WriterGen = getU64(b[20:28])
+		info.SnapSeq = getU64(b[28:36])
+		info.SnapGen = getU64(b[36:44])
+		info.Declared = int(getU32(b[44:48]))
+	}
+	off := tailHeaderSize
+	for info.Records < info.Declared && off+walRecordSize <= len(b) {
+		rec, ok := decodeRecord(b[off : off+walRecordSize])
+		if !ok || (info.Records > 0 && rec.Seq != info.LastRec+1) {
+			break
+		}
+		if info.Records == 0 {
+			info.FirstRec = rec.Seq
+		}
+		info.LastRec = rec.Seq
+		info.Records++
+		off += walRecordSize
+	}
+	info.TornBytes = int64(len(b) - off)
+	// Authoritative answer: exactly what a replica would decide.
+	if _, derr := DecodeTailFrame(b); derr != nil {
+		info.Err = derr.Error()
+	} else {
+		info.Valid = true
 	}
 	return info, nil
 }

@@ -19,7 +19,10 @@ import (
 // the decoder enforces strict sequence contiguity — a frame can be either
 // applied in full or rejected, never half-trusted.
 const (
-	tailMagic      = "RECCTAL1"
+	// TailMagic is the 8-byte tag that opens every tail-fetch frame; `recc
+	// inspect` sniffs it to dispatch between the on-disk formats.
+	TailMagic = "RECCTAL1"
+
 	tailHeaderSize = 8 + 4 + 8 + 8 + 8 + 8 + 4 + 4
 )
 
@@ -44,7 +47,7 @@ type TailFrame struct {
 // EncodeTailFrame serializes f.
 func EncodeTailFrame(f TailFrame) []byte {
 	b := make([]byte, tailHeaderSize, tailHeaderSize+len(f.Records)*walRecordSize)
-	copy(b[0:8], tailMagic)
+	copy(b[0:8], TailMagic)
 	putU32(b[8:12], FormatVersion)
 	putU64(b[12:20], f.LastSeq)
 	putU64(b[20:28], f.WriterGen)
@@ -64,7 +67,7 @@ func EncodeTailFrame(f TailFrame) []byte {
 // contiguity. Any violation fails with ErrCorrupt (a replica discards the
 // frame and re-fetches); a foreign format version fails with ErrVersion.
 func DecodeTailFrame(b []byte) (TailFrame, error) {
-	if len(b) < tailHeaderSize || string(b[0:8]) != tailMagic {
+	if len(b) < tailHeaderSize || string(b[0:8]) != TailMagic {
 		return TailFrame{}, fmt.Errorf("%w: bad tail-frame header", ErrCorrupt)
 	}
 	if v := getU32(b[8:12]); v != FormatVersion {

@@ -21,7 +21,10 @@ import (
 // trusted, everything after is discarded (a torn tail never yields a bogus
 // mutation).
 const (
-	walMagic      = "RECCWAL1"
+	// WALMagic is the 8-byte tag that opens every WAL file; `recc inspect`
+	// sniffs it to dispatch between the on-disk formats.
+	WALMagic = "RECCWAL1"
+
 	walHeaderSize = 12
 	walRecordSize = 21
 
@@ -91,9 +94,12 @@ func decodeRecord(b []byte) (Record, bool) {
 	}, true
 }
 
+// walHeader renders the 12-byte WAL file header.
+//
+//recclint:wirepair walheader
 func walHeader() [walHeaderSize]byte {
 	var h [walHeaderSize]byte
-	copy(h[:8], walMagic)
+	copy(h[:8], WALMagic)
 	putU32(h[8:12], FormatVersion)
 	return h
 }
@@ -101,12 +107,14 @@ func walHeader() [walHeaderSize]byte {
 // scanWAL reads r and returns the valid record prefix plus the byte offset
 // where validity ends (for tail repair). A missing or foreign header yields
 // zero records and offset 0 — the caller rewrites the file.
+//
+//recclint:wirepair walheader
 func scanWAL(r io.Reader) (recs []Record, validSize int64, err error) {
 	var hdr [walHeaderSize]byte
 	if _, herr := io.ReadFull(r, hdr[:]); herr != nil {
 		return nil, 0, nil
 	}
-	if string(hdr[:8]) != walMagic {
+	if string(hdr[:8]) != WALMagic {
 		return nil, 0, nil
 	}
 	if v := getU32(hdr[8:12]); v != FormatVersion {

@@ -17,12 +17,11 @@
 package repl
 
 import (
-	"encoding/json"
-	"fmt"
 	"net/http"
 	"strconv"
 	"sync/atomic"
 
+	"resistecc/internal/obs"
 	"resistecc/internal/persist"
 )
 
@@ -129,12 +128,13 @@ func (s *Source) ServeWAL(w http.ResponseWriter, r *http.Request) {
 	w.Write(frame)
 }
 
-// writeErr emits the same {"error":{code,message}} envelope reccd uses, so
-// replication clients and human callers see one error shape.
+// The replication feed is part of the public HTTP surface; hold it to the
+// same envelope discipline as cmd/reccd.
+//recclint:apisurface
+
+// writeErr emits the canonical {"error":{code,message}} envelope via the
+// shared obs helper, so replication clients and human callers see one error
+// shape — and exactly one implementation of it.
 func writeErr(w http.ResponseWriter, status int, code, format string, args ...any) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(status)
-	json.NewEncoder(w).Encode(map[string]any{
-		"error": map[string]string{"code": code, "message": fmt.Sprintf(format, args...)},
-	})
+	obs.WriteError(w, status, code, format, args...)
 }
